@@ -1,0 +1,94 @@
+//! Criterion benches for the design-choice ablations called out in
+//! DESIGN.md §4:
+//!
+//! * **linear vs binary interval search** (§2.2: the paper argues linear
+//!   search wins because the lower bound is usually achievable and
+//!   schedulability is not monotonic);
+//! * **height-based vs source-order list-scheduling priority**;
+//! * **min-code-size vs min-registers unroll policy** (§2.3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use machine::presets::warp_cell;
+use swp::{CompileOptions, IiSearch, Priority, SchedOptions, UnrollPolicy};
+
+fn search_bodies() -> Vec<kernels::Kernel> {
+    vec![
+        kernels::livermore::ll1_hydro(),
+        kernels::livermore::ll3_inner_product(),
+        kernels::livermore::ll7_eos(),
+        kernels::livermore::ll10_diff_predictors(),
+    ]
+}
+
+fn bench_ii_search(c: &mut Criterion) {
+    let m = warp_cell();
+    let mut g = c.benchmark_group("ii_search");
+    for k in search_bodies() {
+        for (label, search) in [("linear", IiSearch::Linear), ("binary", IiSearch::Binary)] {
+            let opts = CompileOptions {
+                sched: SchedOptions {
+                    search,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            g.bench_with_input(BenchmarkId::new(label, &k.name), &k, |b, k| {
+                b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_priority(c: &mut Criterion) {
+    let m = warp_cell();
+    let mut g = c.benchmark_group("priority");
+    for k in search_bodies() {
+        for (label, priority) in [
+            ("height", Priority::Height),
+            ("source", Priority::SourceOrder),
+        ] {
+            let opts = CompileOptions {
+                sched: SchedOptions {
+                    priority,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            g.bench_with_input(BenchmarkId::new(label, &k.name), &k, |b, k| {
+                b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_unroll_policy(c: &mut Criterion) {
+    let m = warp_cell();
+    let mut g = c.benchmark_group("unroll_policy");
+    for k in search_bodies() {
+        for (label, policy) in [
+            ("min_code", UnrollPolicy::MinCodeSize),
+            ("min_regs", UnrollPolicy::MinRegisters),
+        ] {
+            let opts = CompileOptions {
+                unroll_policy: policy,
+                ..Default::default()
+            };
+            g.bench_with_input(BenchmarkId::new(label, &k.name), &k, |b, k| {
+                b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_ii_search, bench_priority, bench_unroll_policy
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion benches: compilation (scheduling) throughput.
+//!
+//! The paper argues its approach keeps compilation cheap — the kernel is
+//! unrolled at code-emission time, so "the compilation time is
+//! unaffected". These benches measure the full compile path (dependence
+//! graph, SCC closure, interval search, expansion, emission) per kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use machine::presets::warp_cell;
+use swp::CompileOptions;
+
+fn bench_compile_livermore(c: &mut Criterion) {
+    let m = warp_cell();
+    let opts = CompileOptions::default();
+    let mut g = c.benchmark_group("compile_livermore");
+    for k in kernels::livermore::all() {
+        // Skip the deliberately enormous kernel 22 analog in the timing
+        // loop; its cost is dominated by sheer op count.
+        if k.name == "ll22_planck" {
+            continue;
+        }
+        g.bench_function(&k.name, |b| {
+            b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
+        });
+    }
+    g.finish();
+}
+
+fn bench_compile_apps(c: &mut Criterion) {
+    let m = warp_cell();
+    let opts = CompileOptions::default();
+    let mut g = c.benchmark_group("compile_apps");
+    for k in kernels::apps::all() {
+        g.bench_function(&k.name, |b| {
+            b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(30)
+        .measurement_time(std::time::Duration::from_secs(2))
+        .warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_compile_livermore, bench_compile_apps
+}
+criterion_main!(benches);

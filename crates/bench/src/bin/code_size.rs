@@ -1,0 +1,74 @@
+//! Regenerates the **§2.4 code-size claims**:
+//!
+//! * with a compile-time trip count, pipelined code stays within ~3x the
+//!   unpipelined loop;
+//! * with unknown trip counts (guarded remainder scheme), within ~4x;
+//! * the *steady state* — what must fit in an instruction buffer — is
+//!   typically much shorter than the unpipelined loop;
+//! * the two modulo-variable-expansion policies trade registers for code.
+
+use machine::presets::{warp_cell, WARP_CLOCK_MHZ};
+use swp::{CompileOptions, UnrollPolicy};
+
+use bench::print_table;
+
+fn main() {
+    println!("S2.4 code size: pipelined vs unpipelined loops\n");
+    let m = warp_cell();
+    let mut rows = Vec::new();
+    let mut worst_ratio = 0.0f64;
+    for k in kernels::livermore::all() {
+        let meas = k
+            .measure_unchecked(&m, &CompileOptions::default(), WARP_CLOCK_MHZ)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        for r in &meas.reports {
+            let Some(ii) = r.ii else { continue };
+            let kernel_words = ii * r.unroll;
+            let ratio = r.code_words as f64 / r.unpipelined_words.max(1) as f64;
+            worst_ratio = worst_ratio.max(ratio);
+            rows.push(vec![
+                format!("{}/{}", k.name, r.label),
+                format!("{}", r.unpipelined_words),
+                format!("{}", r.code_words),
+                format!("{ratio:.2}x"),
+                format!("{kernel_words}"),
+                format!("{}", r.unroll),
+            ]);
+        }
+    }
+    print_table(
+        &[
+            "loop",
+            "unpipelined words",
+            "pipelined words (all regions)",
+            "ratio",
+            "steady state words",
+            "unroll",
+        ],
+        &rows,
+    );
+    println!(
+        "\nworst ratio: {worst_ratio:.2}x (paper: <= 3x known trips, <= 4x unknown)"
+    );
+
+    println!("\nMVE policy ablation (S2.3): lcm(q_i) vs max-factor unrolling\n");
+    let mut rows = Vec::new();
+    for k in kernels::livermore::all() {
+        let mut cells = vec![k.name.clone()];
+        for policy in [UnrollPolicy::MinCodeSize, UnrollPolicy::MinRegisters] {
+            let opts = CompileOptions {
+                unroll_policy: policy,
+                ..Default::default()
+            };
+            match k.measure_unchecked(&m, &opts, WARP_CLOCK_MHZ) {
+                Ok(meas) => {
+                    let unroll: u32 = meas.reports.iter().map(|r| r.unroll).max().unwrap_or(1);
+                    cells.push(format!("u={unroll}, {} words", meas.code_words));
+                }
+                Err(e) => cells.push(format!("failed: {e}")),
+            }
+        }
+        rows.push(cells);
+    }
+    print_table(&["kernel", "min-code-size (paper)", "min-registers (lcm)"], &rows);
+}

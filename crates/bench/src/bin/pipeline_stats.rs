@@ -1,0 +1,81 @@
+//! Regenerates the **§4.1 headline statistics**:
+//!
+//! * "75% of all the loops are scheduled with an initiation interval
+//!   matching the theoretical lower bound";
+//! * "93% of the loops containing no conditional statements or connected
+//!   components are pipelined perfectly";
+//! * "Of the 25% of the loops for which the achieved initiation interval
+//!   is greater than the lower bound, the average efficiency is 75%".
+
+use machine::presets::{warp_cell, WARP_CLOCK_MHZ};
+use swp::CompileOptions;
+
+fn main() {
+    println!("S4.1 statistics over every loop in the workload suites\n");
+    let m = warp_cell();
+    let mut total = 0usize;
+    let mut optimal = 0usize;
+    let mut plain_total = 0usize; // no conditionals, no recurrences
+    let mut plain_optimal = 0usize;
+    let mut subopt_eff = Vec::new();
+    let mut pipelined = 0usize;
+
+    let mut kernels_all = kernels::synth::population();
+    kernels_all.extend(kernels::livermore::all());
+    kernels_all.extend(kernels::apps::all());
+
+    for k in &kernels_all {
+        let meas = k
+            .measure_unchecked(&m, &CompileOptions::default(), WARP_CLOCK_MHZ)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        for r in &meas.reports {
+            // Only innermost loops where pipelining was considered count
+            // (outer loops are emitted structurally by construction).
+            if r.num_ops == 0
+                || matches!(
+                    r.not_pipelined,
+                    Some(swp::NotPipelined::ControlFlow) | Some(swp::NotPipelined::Disabled)
+                )
+            {
+                continue;
+            }
+            total += 1;
+            let is_plain = !r.has_conditional && !r.has_recurrence;
+            if is_plain {
+                plain_total += 1;
+            }
+            if r.ii.is_some() {
+                pipelined += 1;
+            }
+            if r.optimal() {
+                optimal += 1;
+                if is_plain {
+                    plain_optimal += 1;
+                }
+            } else {
+                subopt_eff.push(r.efficiency());
+            }
+        }
+    }
+
+    let pct = |a: usize, b: usize| 100.0 * a as f64 / b.max(1) as f64;
+    println!("loops analyzed:                     {total}");
+    println!("loops software pipelined:           {pipelined} ({:.0}%)", pct(pipelined, total));
+    println!(
+        "loops achieving II == MII:          {optimal} ({:.0}%)   [paper: 75%]",
+        pct(optimal, total)
+    );
+    println!(
+        "plain loops (no cond/recurrence)\n  pipelined perfectly:              {plain_optimal}/{plain_total} ({:.0}%)   [paper: 93%]",
+        pct(plain_optimal, plain_total)
+    );
+    let avg_eff = if subopt_eff.is_empty() {
+        1.0
+    } else {
+        subopt_eff.iter().sum::<f64>() / subopt_eff.len() as f64
+    };
+    println!(
+        "avg efficiency of suboptimal loops: {:.0}%   [paper: 75%]",
+        avg_eff * 100.0
+    );
+}

@@ -1,0 +1,58 @@
+//! Regenerates the **§2.3 register-file claim**: "The Warp machine has
+//! two 31-word register files for the floating-point units, and one
+//! 64-word register for the ALU. Empirical results show that they are
+//! large enough for almost all the user programs developed."
+//!
+//! For every kernel we report MAXLIVE (a lower bound on any register
+//! allocation) of the *pipelined* code — including the rotating copies
+//! introduced by modulo variable expansion — against the file sizes.
+
+use bench::print_table;
+use machine::presets::warp_cell;
+use machine::RegClass;
+use swp::{register_pressure, CompileOptions};
+
+fn main() {
+    println!("S2.3: register pressure of pipelined code vs Warp's files\n");
+    let m = warp_cell();
+    let float_file = m.reg_file_size(RegClass::Float).expect("bounded");
+    let int_file = m.reg_file_size(RegClass::Int).expect("bounded");
+    println!("files: float {float_file}, int {int_file}\n");
+
+    let mut rows = Vec::new();
+    let mut fitting = 0usize;
+    let mut total = 0usize;
+    let mut all: Vec<kernels::Kernel> = kernels::livermore::all();
+    all.extend(kernels::apps::all());
+    all.extend(kernels::synth::population().into_iter().step_by(8));
+    for k in all {
+        let compiled = match swp::compile(&k.program, &m, &CompileOptions::default()) {
+            Ok(c) => c,
+            Err(e) => panic!("{}: {e}", k.name),
+        };
+        let p = register_pressure(&compiled.vliw, &m);
+        total += 1;
+        if p.fits() {
+            fitting += 1;
+        }
+        rows.push(vec![
+            k.name.clone(),
+            p.max_live
+                .get(&RegClass::Float)
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            p.max_live
+                .get(&RegClass::Int)
+                .copied()
+                .unwrap_or(0)
+                .to_string(),
+            if p.fits() { "yes".into() } else { format!("NO {:?}", p.violations) },
+        ]);
+    }
+    print_table(&["kernel", "float maxlive", "int maxlive", "fits"], &rows);
+    println!(
+        "\n{fitting}/{total} programs fit the register files \
+         (paper: \"large enough for almost all the user programs\")."
+    );
+}

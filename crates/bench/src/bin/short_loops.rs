@@ -1,0 +1,84 @@
+//! Regenerates the **§3 short-loop claim**: hierarchical reduction
+//! "minimizes the penalty of short vectors, or loops with small numbers
+//! of iterations — the prolog and epilog of a loop can be overlapped
+//! with scalar operations outside the loop."
+//!
+//! A chain of eight reduction loops with independent scalar work between
+//! them, swept over trip counts: with epilog fusion the scalar work rides
+//! in the drain cycles; without it, every loop pays a full drain plus a
+//! serial scalar region. The relative saving shrinks as the loops grow —
+//! the fixed overhead amortizes — which is precisely the "short vector
+//! penalty" shape.
+
+use bench::print_table;
+use ir::{Op, Opcode, ProgramBuilder, TripCount};
+use machine::presets::warp_cell;
+use swp::CompileOptions;
+use vm::{run_checked, RunInput};
+
+fn build(trips: u32, loops: u32) -> ir::Program {
+    let mut b = ProgramBuilder::new("short_loops");
+    let a = b.array("a", trips);
+    let w = b.array("w", loops + 2);
+    let out = b.array("out", 2 * (loops + 1));
+    for l in 0..loops {
+        let acc = b.fconst(0.0);
+        b.for_counted(TripCount::Const(trips), |b, i| {
+            let x = b.load_elem(a, i.into(), 1, 0);
+            let y = b.fmul(x.into(), 1.01f32.into());
+            b.push_op(Op::new(Opcode::FAdd, Some(acc), vec![acc.into(), y.into()]));
+        });
+        // Scalar work between the loops; independent of the reduction, so
+        // it can overlap the epilog.
+        let u = b.load_elem(w, (l as i32).into(), 1, 0);
+        let v = b.fmul(u.into(), 2.0f32.into());
+        let q = b.fadd(v.into(), 3.0f32.into());
+        b.store_elem(out, (l as i32).into(), 2, 1, q.into());
+        b.store_elem(out, (l as i32).into(), 2, 0, acc.into());
+    }
+    b.finish()
+}
+
+fn main() {
+    println!("S3: short-loop penalty — scalar code overlapped with epilogs\n");
+    let m = warp_cell();
+    let mut rows = Vec::new();
+    for trips in [4u32, 8, 16, 32, 64, 128] {
+        let p = build(trips, 8);
+        let input = RunInput {
+            mem: kernels::test_data(256, 3),
+            ..Default::default()
+        };
+        let fused = run_checked(&p, &m, &CompileOptions::default(), &input)
+            .expect("fused run verified");
+        let unfused = run_checked(
+            &p,
+            &m,
+            &CompileOptions {
+                fuse_epilog: false,
+                ..Default::default()
+            },
+            &input,
+        )
+        .expect("unfused run verified");
+        rows.push(vec![
+            trips.to_string(),
+            fused.vm_stats.cycles.to_string(),
+            unfused.vm_stats.cycles.to_string(),
+            format!(
+                "{:.1}%",
+                100.0 * (unfused.vm_stats.cycles as f64 - fused.vm_stats.cycles as f64)
+                    / unfused.vm_stats.cycles as f64
+            ),
+        ]);
+    }
+    print_table(
+        &["trip count", "fused cycles", "unfused cycles", "saved"],
+        &rows,
+    );
+    println!(
+        "\nThe relative saving shrinks with the trip count: overlapping \
+         fill/drain with scalar code matters most for short loops, as the \
+         paper argues. Both configurations verified against the reference."
+    );
+}

@@ -1,0 +1,71 @@
+//! Regenerates the **§5.1 comparison**: software pipelining vs the
+//! trace-scheduling school's source unrolling.
+//!
+//! The paper's two arguments: (1) unrolling can approach but not reach
+//! pipelined throughput, because the hardware pipelines still fill and
+//! drain once per unrolled body; (2) the unroll degree must be found by
+//! experimentation and the code grows with it, while software pipelining
+//! has a known optimal unrolling (from modulo variable expansion) chosen
+//! after scheduling.
+
+use bench::print_table;
+use machine::presets::{warp_cell, WARP_CLOCK_MHZ};
+use swp::{unroll_innermost, CompileOptions};
+
+fn main() {
+    println!("S5.1: software pipelining vs source unrolling + compaction\n");
+    let m = warp_cell();
+    let compacted = CompileOptions {
+        pipeline: false,
+        ..Default::default()
+    };
+    let pipelined = CompileOptions::default();
+
+    let mut rows = Vec::new();
+    for k in [
+        kernels::livermore::ll1_hydro(),
+        kernels::livermore::ll7_eos(),
+        kernels::livermore::ll12_first_diff(),
+        kernels::apps::convolution3x3(),
+    ] {
+        let mut cells = vec![k.name.clone()];
+        // Baseline: rolled, locally compacted.
+        let base = k
+            .measure(&m, &compacted, WARP_CLOCK_MHZ)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        cells.push(format!("{} cyc / {} w", base.cycles, base.code_words));
+        // Unrolled at increasing degrees, still only compacted.
+        for f in [2u32, 4, 8] {
+            let u = kernels::Kernel {
+                program: unroll_innermost(&k.program, f),
+                ..k.clone()
+            };
+            match u.measure(&m, &compacted, WARP_CLOCK_MHZ) {
+                Ok(r) => cells.push(format!("{} cyc / {} w", r.cycles, r.code_words)),
+                Err(e) => cells.push(format!("failed: {e}")),
+            }
+        }
+        // Software pipelined (rolled source).
+        let pipe = k
+            .measure(&m, &pipelined, WARP_CLOCK_MHZ)
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        cells.push(format!("{} cyc / {} w", pipe.cycles, pipe.code_words));
+        rows.push(cells);
+    }
+    print_table(
+        &[
+            "kernel",
+            "compacted",
+            "unroll x2",
+            "unroll x4",
+            "unroll x8",
+            "pipelined",
+        ],
+        &rows,
+    );
+    println!(
+        "\nExpected shape (paper): cycles fall with the unroll degree but \
+         stay above the pipelined loop, while unrolled code size grows \
+         linearly. All runs verified against the reference interpreter."
+    );
+}

@@ -1,0 +1,156 @@
+//! Shared harness for the evaluation binaries.
+//!
+//! Each binary regenerates one table or figure of the paper (see
+//! `DESIGN.md` §3 for the index): run them with
+//! `cargo run --release -p bench --bin <name>`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use kernels::{Kernel, Measurement};
+use machine::presets::{warp_cell, WARP_ARRAY_CELLS, WARP_CLOCK_MHZ};
+use swp::CompileOptions;
+
+/// A kernel measured both software-pipelined and with the paper's
+/// baseline (local compaction only).
+#[derive(Debug, Clone)]
+pub struct Comparison {
+    /// The kernel's name.
+    pub name: String,
+    /// Pipelined measurement.
+    pub pipelined: Measurement,
+    /// Locally-compacted baseline measurement.
+    pub baseline: Measurement,
+    /// Whether any loop contains a conditional.
+    pub has_conditional: bool,
+    /// Whether any loop has a dependence recurrence.
+    pub has_recurrence: bool,
+}
+
+impl Comparison {
+    /// Cycle-count speedup of pipelining over local compaction (the
+    /// Figure 4-2 metric).
+    pub fn speedup(&self) -> f64 {
+        self.baseline.cycles as f64 / self.pipelined.cycles.max(1) as f64
+    }
+}
+
+/// Measures one kernel under both configurations on the Warp cell.
+/// `checked` runs the (slow) reference-equivalence oracle too.
+pub fn compare(k: &Kernel, checked: bool) -> Comparison {
+    let m = warp_cell();
+    let pipelined_opts = CompileOptions::default();
+    let baseline_opts = CompileOptions {
+        pipeline: false,
+        ..Default::default()
+    };
+    let run = |opts: &CompileOptions| -> Measurement {
+        let r = if checked {
+            k.measure(&m, opts, WARP_CLOCK_MHZ)
+        } else {
+            k.measure_unchecked(&m, opts, WARP_CLOCK_MHZ)
+        };
+        r.unwrap_or_else(|e| panic!("{}: {e}", k.name))
+    };
+    let pipelined = run(&pipelined_opts);
+    let baseline = run(&baseline_opts);
+    Comparison {
+        name: k.name.clone(),
+        has_conditional: pipelined.reports.iter().any(|r| r.has_conditional),
+        has_recurrence: pipelined.reports.iter().any(|r| r.has_recurrence),
+        pipelined,
+        baseline,
+    }
+}
+
+/// Scales a cell rate to the 10-cell array, per the paper's homogeneous
+/// model ("the computation rate for each cell is simply one-tenth of the
+/// reported rate for the array").
+pub fn array_mflops(cell: f64) -> f64 {
+    cell * WARP_ARRAY_CELLS as f64
+}
+
+/// Renders an ASCII histogram like the paper's Figures 4-1/4-2.
+pub fn histogram(title: &str, values: &[f64], lo: f64, hi: f64, buckets: usize) -> String {
+    let mut counts = vec![0usize; buckets];
+    for &v in values {
+        let t = ((v - lo) / (hi - lo) * buckets as f64).floor();
+        let b = (t as isize).clamp(0, buckets as isize - 1) as usize;
+        counts[b] += 1;
+    }
+    let mut out = format!("{title}\n");
+    let width = (hi - lo) / buckets as f64;
+    for (i, &c) in counts.iter().enumerate() {
+        let a = lo + i as f64 * width;
+        let b = a + width;
+        out.push_str(&format!(
+            "  {a:>6.2} - {b:>6.2} | {:<40} {c}\n",
+            "#".repeat(c.min(40))
+        ));
+    }
+    out
+}
+
+/// Simple fixed-width table printing.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let joined: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+            .collect();
+        println!("| {} |", joined.join(" | "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Mean of a slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_cover_range() {
+        let h = histogram("t", &[0.5, 1.5, 1.6, 9.9], 0.0, 10.0, 5);
+        assert!(h.contains('#'));
+        assert_eq!(h.matches('#').count(), 4);
+    }
+
+    #[test]
+    fn mean_works() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn array_scaling() {
+        assert_eq!(array_mflops(5.0), 50.0);
+    }
+
+    #[test]
+    fn compare_runs_a_small_kernel() {
+        let k = kernels::livermore::ll12_first_diff();
+        let c = compare(&k, true);
+        assert!(c.speedup() > 1.0, "speedup {}", c.speedup());
+        assert!(!c.has_conditional);
+    }
+}

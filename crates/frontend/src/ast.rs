@@ -1,0 +1,176 @@
+//! Abstract syntax of the W2-like language.
+
+use crate::token::Pos;
+
+/// A complete source program.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SrcProgram {
+    /// Program name.
+    pub name: String,
+    /// Variable declarations.
+    pub decls: Vec<Decl>,
+    /// The body.
+    pub body: Vec<SrcStmt>,
+}
+
+/// Declared type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SrcType {
+    /// Single-precision float scalar.
+    Float,
+    /// Integer scalar.
+    Int,
+    /// Float array of the given extent.
+    FloatArray(u32),
+}
+
+/// One declaration (possibly several names sharing a type).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decl {
+    /// Declared names.
+    pub names: Vec<String>,
+    /// Their type.
+    pub ty: SrcType,
+    /// Position (for diagnostics).
+    pub pos: Pos,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%` (integers only)
+    Rem,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `and` (on 0/1 integers)
+    And,
+    /// `or`
+    Or,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (on 0/1 integers).
+    Not,
+}
+
+/// Intrinsic functions (the paper's INVERSE, SQRT, EXP library calls are
+/// this surface's `sqrt`, `abs`, `min`, `max`, `exp`, plus `receive`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Intrinsic {
+    /// Square root.
+    Sqrt,
+    /// Absolute value.
+    Abs,
+    /// Minimum of two floats.
+    Min,
+    /// Maximum of two floats.
+    Max,
+    /// Float of an int.
+    Float,
+    /// Truncated int of a float.
+    Trunc,
+    /// Pop one of the cell's input queues: `receive()` reads the X
+    /// channel, `receive(1)` the Y channel.
+    Receive,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    IntLit(i64, Pos),
+    /// Float literal.
+    FloatLit(f32, Pos),
+    /// Scalar variable reference.
+    Var(String, Pos),
+    /// Array element.
+    Index(String, Box<Expr>, Pos),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>, Pos),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>, Pos),
+    /// Intrinsic call.
+    Call(Intrinsic, Vec<Expr>, Pos),
+}
+
+impl Expr {
+    /// The source position of the expression.
+    pub fn pos(&self) -> Pos {
+        match self {
+            Expr::IntLit(_, p)
+            | Expr::FloatLit(_, p)
+            | Expr::Var(_, p)
+            | Expr::Index(_, _, p)
+            | Expr::Bin(_, _, _, p)
+            | Expr::Un(_, _, p)
+            | Expr::Call(_, _, p) => *p,
+        }
+    }
+}
+
+/// Assignment targets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LValue {
+    /// Scalar variable.
+    Var(String, Pos),
+    /// Array element.
+    Index(String, Box<Expr>, Pos),
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SrcStmt {
+    /// `lvalue := expr`
+    Assign(LValue, Expr),
+    /// `for v := lo to hi do begin ... end` (or `downto`).
+    For {
+        /// Counter variable (declared `int`).
+        var: String,
+        /// Initial value.
+        lo: Expr,
+        /// Final value (inclusive).
+        hi: Expr,
+        /// True for `downto`.
+        down: bool,
+        /// Body.
+        body: Vec<SrcStmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `if cond then begin ... end [else begin ... end]`
+    If {
+        /// Condition (integer 0/1).
+        cond: Expr,
+        /// THEN arm.
+        then_body: Vec<SrcStmt>,
+        /// ELSE arm.
+        else_body: Vec<SrcStmt>,
+        /// Position.
+        pos: Pos,
+    },
+    /// `send(expr [, channel])` — push to an output queue (channel 0 = X,
+    /// 1 = Y; default X).
+    Send(Expr, Option<Box<Expr>>, Pos),
+}

@@ -1,0 +1,43 @@
+//! Frontend error type with source positions.
+
+use std::fmt;
+
+use crate::token::Pos;
+
+/// A lexing, parsing or semantic error at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FrontendError {
+    /// Where the problem is.
+    pub pos: Pos,
+    /// What the problem is.
+    pub message: String,
+}
+
+impl FrontendError {
+    /// Creates an error at a position.
+    pub fn at(pos: Pos, message: impl Into<String>) -> Self {
+        FrontendError {
+            pos,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.pos, self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_position() {
+        let e = FrontendError::at(Pos { line: 3, col: 7 }, "unexpected thing");
+        assert_eq!(e.to_string(), "3:7: unexpected thing");
+    }
+}

@@ -1,0 +1,333 @@
+//! Lexer for the W2-like language.
+//!
+//! Comments are Pascal-style `{ ... }` or line comments `--` to end of
+//! line. Keywords are case-insensitive, as in the W2 examples of the
+//! paper (`FOR i := 0 TO 100 DO`).
+
+use crate::error::FrontendError;
+use crate::token::{Pos, Spanned, Tok};
+
+/// Lexes a complete source text.
+///
+/// # Errors
+///
+/// Returns a positioned error on unknown characters, malformed numbers or
+/// unterminated comments.
+pub fn lex(src: &str) -> Result<Vec<Spanned>, FrontendError> {
+    Lexer {
+        chars: src.chars().collect(),
+        at: 0,
+        pos: Pos { line: 1, col: 1 },
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    at: usize,
+    pos: Pos,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.at).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.at + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.at += 1;
+        if c == '\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(c)
+    }
+
+    fn err(&self, msg: impl Into<String>) -> FrontendError {
+        FrontendError::at(self.pos, msg)
+    }
+
+    fn run(mut self) -> Result<Vec<Spanned>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let pos = self.pos;
+            let Some(c) = self.peek() else {
+                out.push(Spanned { tok: Tok::Eof, pos });
+                return Ok(out);
+            };
+            let tok = if c.is_ascii_alphabetic() || c == '_' {
+                self.ident_or_keyword()
+            } else if c.is_ascii_digit() {
+                self.number()?
+            } else {
+                self.symbol()?
+            };
+            out.push(Spanned { tok, pos });
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), FrontendError> {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('{') => {
+                    let start = self.pos;
+                    loop {
+                        match self.bump() {
+                            Some('}') => break,
+                            Some(_) => {}
+                            None => {
+                                return Err(FrontendError::at(start, "unterminated comment"))
+                            }
+                        }
+                    }
+                }
+                Some('-') if self.peek2() == Some('-') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn ident_or_keyword(&mut self) -> Tok {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        match s.to_ascii_lowercase().as_str() {
+            "program" => Tok::Program,
+            "var" => Tok::Var,
+            "begin" => Tok::Begin,
+            "end" => Tok::End,
+            "for" => Tok::For,
+            "to" => Tok::To,
+            "downto" => Tok::Downto,
+            "do" => Tok::Do,
+            "if" => Tok::If,
+            "then" => Tok::Then,
+            "else" => Tok::Else,
+            "array" => Tok::Array,
+            "of" => Tok::Of,
+            "float" | "real" => Tok::FloatTy,
+            "int" | "integer" => Tok::IntTy,
+            "and" => Tok::And,
+            "or" => Tok::Or,
+            "not" => Tok::Not,
+            "send" => Tok::Send,
+            "receive" => Tok::Receive,
+            _ => Tok::Ident(s),
+        }
+    }
+
+    fn number(&mut self) -> Result<Tok, FrontendError> {
+        let mut s = String::new();
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() {
+                s.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let is_float = self.peek() == Some('.')
+            && self.peek2().map(|c| c.is_ascii_digit()).unwrap_or(false);
+        if is_float {
+            s.push('.');
+            self.bump();
+            while let Some(c) = self.peek() {
+                if c.is_ascii_digit() {
+                    s.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+        if matches!(self.peek(), Some('e') | Some('E')) {
+            let save = s.clone();
+            s.push('e');
+            self.bump();
+            if matches!(self.peek(), Some('+') | Some('-')) {
+                s.push(self.bump().expect("peeked"));
+            }
+            if self.peek().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                while let Some(c) = self.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        self.bump();
+                    } else {
+                        break;
+                    }
+                }
+                return s
+                    .parse::<f32>()
+                    .map(Tok::Float)
+                    .map_err(|e| self.err(format!("bad float literal {s:?}: {e}")));
+            }
+            s = save;
+        }
+        if is_float || s.contains('e') {
+            s.parse::<f32>()
+                .map(Tok::Float)
+                .map_err(|e| self.err(format!("bad float literal {s:?}: {e}")))
+        } else {
+            s.parse::<i64>()
+                .map(Tok::Int)
+                .map_err(|e| self.err(format!("bad integer literal {s:?}: {e}")))
+        }
+    }
+
+    fn symbol(&mut self) -> Result<Tok, FrontendError> {
+        let c = self.bump().expect("caller checked");
+        let tok = match c {
+            '+' => Tok::Plus,
+            '-' => Tok::Minus,
+            '*' => Tok::Star,
+            '/' => Tok::Slash,
+            '%' => Tok::Percent,
+            '(' => Tok::LParen,
+            ')' => Tok::RParen,
+            '[' => Tok::LBrack,
+            ']' => Tok::RBrack,
+            ';' => Tok::Semi,
+            ',' => Tok::Comma,
+            '=' => Tok::Eq,
+            ':' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::Assign
+                } else {
+                    Tok::Colon
+                }
+            }
+            '<' => match self.peek() {
+                Some('=') => {
+                    self.bump();
+                    Tok::Le
+                }
+                Some('>') => {
+                    self.bump();
+                    Tok::Ne
+                }
+                _ => Tok::Lt,
+            },
+            '>' => {
+                if self.peek() == Some('=') {
+                    self.bump();
+                    Tok::Ge
+                } else {
+                    Tok::Gt
+                }
+            }
+            other => return Err(self.err(format!("unexpected character {other:?}"))),
+        };
+        Ok(tok)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|s| s.tok).collect()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(
+            toks("FOR for For"),
+            vec![Tok::For, Tok::For, Tok::For, Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(
+            toks("42 3.5 1e3 2.5e-2"),
+            vec![
+                Tok::Int(42),
+                Tok::Float(3.5),
+                Tok::Float(1000.0),
+                Tok::Float(0.025),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn integer_then_range_like_dot() {
+        // "1." without digits stays an integer followed by an error-free
+        // context; we never consume a lone dot.
+        let r = lex("1.");
+        assert!(r.is_err(), "lone dot is not a token");
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks(":= <= >= <> < > ="),
+            vec![
+                Tok::Assign,
+                Tok::Le,
+                Tok::Ge,
+                Tok::Ne,
+                Tok::Lt,
+                Tok::Gt,
+                Tok::Eq,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(
+            toks("a { comment } b -- line\nc"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::Ident("b".into()),
+                Tok::Ident("c".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_errors() {
+        assert!(lex("{ oops").is_err());
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let ts = lex("a\n  b").unwrap();
+        assert_eq!(ts[0].pos.line, 1);
+        assert_eq!(ts[1].pos.line, 2);
+        assert_eq!(ts[1].pos.col, 3);
+    }
+
+    #[test]
+    fn unknown_char_errors() {
+        assert!(lex("a ? b").is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! A W2-like source language for the software-pipelining reproduction.
+//!
+//! The paper's Warp machine was programmed in W2, "a language \[with\]
+//! conventional Pascal-like control constructs" plus asynchronous
+//! `receive`/`send` primitives for inter-cell communication. This crate
+//! provides a faithful miniature: lexer, recursive-descent parser,
+//! semantic analysis and lowering to the [`ir`] crate, including affine
+//! subscript analysis that feeds the dependence builder's loop-carried
+//! distance computation.
+//!
+//! # Examples
+//!
+//! ```
+//! let src = "
+//!     program scale;
+//!     var i : int;
+//!     var a : array[16] of float;
+//!     begin
+//!       for i := 0 to 15 do begin
+//!         a[i] := a[i] * 2.0;
+//!       end;
+//!     end";
+//! let program = frontend::compile_source(src).unwrap();
+//! assert_eq!(program.name, "scale");
+//! assert!(program.validate().is_ok());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+mod token;
+
+pub use error::FrontendError;
+pub use lexer::lex;
+pub use lower::{compile_source, lower};
+pub use parser::parse;
+pub use token::{Pos, Spanned, Tok};

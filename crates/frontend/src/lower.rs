@@ -1,0 +1,1224 @@
+//! Semantic analysis and lowering from the AST to the IR.
+//!
+//! The interesting part is **subscript analysis**: array indices that are
+//! affine in the innermost loop counter lower to precise [`ir::MemRef`]
+//! patterns, which is what lets the dependence builder compute exact
+//! loop-carried iteration distances (the paper used compiler directives
+//! for the cases its analysis missed; our analysis covers the affine
+//! cases directly and falls back to `Unknown` otherwise).
+//!
+//! An index `coeff*i + c (+ invariant)` in a loop `for i := lo to hi`
+//! becomes, in iteration numbers `it = 0, 1, …`:
+//! `  (coeff*step)*it + (c + coeff*lo + invariant)`.
+//! Two references are only compared when their strides agree — which
+//! forces their `coeff`s to agree, making the unknown `coeff*lo` parts
+//! cancel — so the stored pattern keeps just `stride = coeff*step`,
+//! `offset = c`, and a token identifying the invariant component (outer
+//! loop counters and the like). Distinct tokens compare as "unknown".
+
+use std::collections::BTreeMap;
+
+use ir::{CmpPred, MemRef, Op, Opcode, Operand, ProgramBuilder, TripCount, Type, VReg};
+
+use crate::ast::*;
+use crate::error::FrontendError;
+use crate::parser::parse;
+use crate::token::Pos;
+
+/// Parses and lowers a source text into an IR program.
+///
+/// # Errors
+///
+/// Returns the first lexical, syntactic or semantic error.
+pub fn compile_source(src: &str) -> Result<ir::Program, FrontendError> {
+    lower(&parse(src)?)
+}
+
+/// Lowers a parsed program.
+///
+/// # Errors
+///
+/// Returns the first semantic error (unknown names, type mismatches,
+/// assignments to active loop counters).
+pub fn lower(ast: &SrcProgram) -> Result<ir::Program, FrontendError> {
+    let mut b = ProgramBuilder::new(ast.name.clone());
+    let mut syms: BTreeMap<String, Sym> = BTreeMap::new();
+    for d in &ast.decls {
+        for name in &d.names {
+            if syms.contains_key(name) {
+                return Err(FrontendError::at(d.pos, format!("duplicate variable {name:?}")));
+            }
+            let sym = match d.ty {
+                SrcType::Float => Sym::Scalar(b.named_reg(Type::F32, name.clone()), Type::F32),
+                SrcType::Int => Sym::Scalar(b.named_reg(Type::I32, name.clone()), Type::I32),
+                SrcType::FloatArray(len) => Sym::Array(b.array(name.clone(), len)),
+            };
+            syms.insert(name.clone(), sym);
+        }
+    }
+    let mut lw = Lowerer {
+        b,
+        syms,
+        loops: Vec::new(),
+        inv_tokens: BTreeMap::new(),
+        cache: vec![CseScope::default()],
+    };
+    lw.stmts(&ast.body)?;
+    let p = lw.b.finish();
+    p.validate()
+        .map_err(|e| FrontendError::at(Pos { line: 0, col: 0 }, e.to_string()))?;
+    Ok(p)
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Sym {
+    Scalar(VReg, Type),
+    Array(ir::ArrayId),
+}
+
+/// An active loop: counter variable and step (+1 / -1).
+struct LoopCtx {
+    name: String,
+    step: i64,
+}
+
+struct Lowerer {
+    b: ProgramBuilder,
+    syms: BTreeMap<String, Sym>,
+    loops: Vec<LoopCtx>,
+    /// Canonical invariant-expression strings to tokens.
+    inv_tokens: BTreeMap<String, u32>,
+    /// Common-subexpression scopes, one per open statement frame: integer
+    /// expressions over loop counters (which cannot change within an
+    /// iteration) and loaded array elements. Equivalent to the address
+    /// CSE the paper's W2 compiler performed; without it the single ALU
+    /// becomes a false bottleneck.
+    cache: Vec<CseScope>,
+}
+
+#[derive(Debug, Default)]
+struct CseScope {
+    exprs: BTreeMap<String, Operand>,
+    loads: BTreeMap<(u32, String), VReg>,
+}
+
+/// Result of affine subscript analysis: `coeff * i + konst + inv`, where
+/// `i` is the innermost counter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Aff {
+    /// Exact affine form; `inv` is the canonical string of the invariant
+    /// component, if any.
+    Exact {
+        coeff: i64,
+        konst: i64,
+        inv: Option<String>,
+    },
+    /// Not analyzable.
+    Opaque,
+}
+
+impl Lowerer {
+    fn scalar(&self, name: &str, pos: Pos) -> Result<(VReg, Type), FrontendError> {
+        match self.syms.get(name) {
+            Some(&Sym::Scalar(r, t)) => Ok((r, t)),
+            Some(Sym::Array(_)) => Err(FrontendError::at(
+                pos,
+                format!("{name:?} is an array; subscript it"),
+            )),
+            None => Err(FrontendError::at(pos, format!("unknown variable {name:?}"))),
+        }
+    }
+
+    fn array(&self, name: &str, pos: Pos) -> Result<ir::ArrayId, FrontendError> {
+        match self.syms.get(name) {
+            Some(&Sym::Array(a)) => Ok(a),
+            Some(Sym::Scalar(..)) => Err(FrontendError::at(
+                pos,
+                format!("{name:?} is a scalar, not an array"),
+            )),
+            None => Err(FrontendError::at(pos, format!("unknown array {name:?}"))),
+        }
+    }
+
+    fn stmts(&mut self, stmts: &[SrcStmt]) -> Result<(), FrontendError> {
+        for s in stmts {
+            self.stmt(s)?;
+        }
+        Ok(())
+    }
+
+    fn stmt(&mut self, s: &SrcStmt) -> Result<(), FrontendError> {
+        match s {
+            SrcStmt::Assign(lv, e) => self.assign(lv, e),
+            SrcStmt::For {
+                var,
+                lo,
+                hi,
+                down,
+                body,
+                pos,
+            } => self.for_loop(var, lo, hi, *down, body, *pos),
+            SrcStmt::If {
+                cond,
+                then_body,
+                else_body,
+                pos,
+            } => self.if_stmt(cond, then_body, else_body, *pos),
+            SrcStmt::Send(e, channel, pos) => {
+                let (v, t) = self.expr(e)?;
+                if t != Type::F32 {
+                    return Err(FrontendError::at(*pos, "send() takes a float"));
+                }
+                let ch = match channel {
+                    None => 0,
+                    Some(c) => channel_index(c, *pos)?,
+                };
+                self.b.qpush_ch(ch, v);
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, lv: &LValue, e: &Expr) -> Result<(), FrontendError> {
+        match lv {
+            LValue::Var(name, pos) => {
+                if self.loops.iter().any(|l| &l.name == name) {
+                    return Err(FrontendError::at(
+                        *pos,
+                        format!("cannot assign to active loop counter {name:?}"),
+                    ));
+                }
+                let (dst, ty) = self.scalar(name, *pos)?;
+                self.expr_into(e, dst, ty)
+            }
+            LValue::Index(name, idx, pos) => {
+                let arr = self.array(name, *pos)?;
+                let (val, vt) = self.expr(e)?;
+                if vt != Type::F32 {
+                    return Err(FrontendError::at(*pos, "arrays hold floats"));
+                }
+                let (addr, mref) = self.element(arr, idx)?;
+                self.b.store(addr, val, mref);
+                self.invalidate_array(arr);
+                Ok(())
+            }
+        }
+    }
+
+    /// Lowers an array element access: returns the address operand and the
+    /// dependence metadata. Additive constants in the subscript fold into
+    /// the base (one `add` per access) and the variable part goes through
+    /// the CSE cache, so `a[i]`, `a[i+1]`, `a[i+2]` share one index value.
+    fn element(&mut self, arr: ir::ArrayId, idx: &Expr) -> Result<(Operand, MemRef), FrontendError> {
+        let base = self.b.base_of(arr) as i64;
+        let (rest, konst) = split_const(idx);
+        let addr: Operand = match rest {
+            None => Operand::Imm(ir::Imm::I((base + konst) as i32)),
+            Some(re) => {
+                let iv = self.lower_int_cached(re)?;
+                let key = self
+                    .canon(re)
+                    .map(|k| format!("@{}:{k}:{konst}", arr.0));
+                if let Some(v) = key.as_deref().and_then(|k| self.lookup_expr(k)) {
+                    v
+                } else {
+                    let a: Operand = match iv {
+                        Operand::Imm(ir::Imm::I(k)) => {
+                            Operand::Imm(ir::Imm::I((base + konst + k as i64) as i32))
+                        }
+                        _ => self
+                            .b
+                            .add(iv, Operand::Imm(ir::Imm::I((base + konst) as i32)))
+                            .into(),
+                    };
+                    if let Some(k) = key {
+                        self.insert_expr(k, a);
+                    }
+                    a
+                }
+            }
+        };
+        let mref = match self.affine(idx) {
+            Aff::Exact { coeff, konst, inv } => {
+                let step = self.loops.last().map(|l| l.step).unwrap_or(0);
+                let stride = coeff * step;
+                match inv {
+                    None => MemRef::affine(arr, stride, konst),
+                    Some(key) => {
+                        let next = self.inv_tokens.len() as u32;
+                        let tok = *self.inv_tokens.entry(key).or_insert(next);
+                        MemRef::affine_inv(arr, stride, konst, tok)
+                    }
+                }
+            }
+            Aff::Opaque => MemRef::unknown(arr),
+        };
+        Ok((addr, mref))
+    }
+
+    /// Affine analysis of an integer expression with respect to the
+    /// innermost loop counter. Outer counters are loop-invariant within
+    /// the innermost loop; other variables are treated as opaque (they may
+    /// be redefined mid-loop).
+    fn affine(&self, e: &Expr) -> Aff {
+        use Aff::*;
+        let exact = |coeff, konst, inv| Exact { coeff, konst, inv };
+        match e {
+            Expr::IntLit(v, _) => exact(0, *v, None),
+            Expr::Var(name, _) => {
+                let innermost = self.loops.last().map(|l| l.name.as_str());
+                if Some(name.as_str()) == innermost {
+                    exact(1, 0, None)
+                } else if self.loops.iter().any(|l| &l.name == name) {
+                    // An outer counter: invariant here.
+                    exact(0, 0, Some(name.clone()))
+                } else {
+                    Opaque
+                }
+            }
+            Expr::Bin(op, a, b, _) => {
+                let (x, y) = (self.affine(a), self.affine(b));
+                let (Exact { coeff: ca, konst: ka, inv: ia }, Exact { coeff: cb, konst: kb, inv: ib }) =
+                    (x, y)
+                else {
+                    return Opaque;
+                };
+                match op {
+                    BinOp::Add => exact(ca + cb, ka + kb, merge_inv(ia, ib, "+")),
+                    BinOp::Sub => exact(ca - cb, ka - kb, merge_inv(ia, ib, "-")),
+                    BinOp::Mul => {
+                        // One side must be a pure constant.
+                        if cb == 0 && ib.is_none() {
+                            exact(ca * kb, ka * kb, ia.map(|s| format!("({s}*{kb})")))
+                        } else if ca == 0 && ia.is_none() {
+                            exact(cb * ka, kb * ka, ib.map(|s| format!("({ka}*{s})")))
+                        } else {
+                            Opaque
+                        }
+                    }
+                    _ => Opaque,
+                }
+            }
+            _ => Opaque,
+        }
+    }
+
+    fn for_loop(
+        &mut self,
+        var: &str,
+        lo: &Expr,
+        hi: &Expr,
+        down: bool,
+        body: &[SrcStmt],
+        pos: Pos,
+    ) -> Result<(), FrontendError> {
+        let (counter, cty) = self.scalar(var, pos)?;
+        if cty != Type::I32 {
+            return Err(FrontendError::at(pos, "loop counters must be integers"));
+        }
+        if self.loops.iter().any(|l| l.name == var) {
+            return Err(FrontendError::at(pos, format!("counter {var:?} already active")));
+        }
+        let (lo_v, lt) = self.expr(lo)?;
+        let (hi_v, ht) = self.expr(hi)?;
+        if lt != Type::I32 || ht != Type::I32 {
+            return Err(FrontendError::at(pos, "loop bounds must be integers"));
+        }
+        self.b.copy_to(counter, lo_v);
+        let step: i64 = if down { -1 } else { 1 };
+        // trip = hi - lo + 1 (or lo - hi + 1 for downto), clamped at 0 by
+        // the loop guard at run time.
+        let trip = match (lo_v, hi_v) {
+            (Operand::Imm(ir::Imm::I(a)), Operand::Imm(ir::Imm::I(b))) => {
+                let n = if down { a - b + 1 } else { b - a + 1 };
+                TripCount::Const(n.max(0) as u32)
+            }
+            _ => {
+                let diff = if down {
+                    self.b.sub(lo_v, hi_v)
+                } else {
+                    self.b.sub(hi_v, lo_v)
+                };
+                let n = self.b.add(diff.into(), 1i32.into());
+                TripCount::Reg(n)
+            }
+        };
+        self.loops.push(LoopCtx {
+            name: var.to_string(),
+            step,
+        });
+        // Statements lower through `&mut self`, so the closure-based
+        // builder API does not fit; manage the frame explicitly.
+        self.b_open_frame();
+        let inner_err = self.stmts(body).err();
+        // i := i + step closes the iteration.
+        self.b.push_op(Op::new(
+            Opcode::Add,
+            Some(counter),
+            vec![counter.into(), ir::Imm::I(step as i32).into()],
+        ));
+        let body_stmts = self.b_close_frame();
+        self.b.push_stmt(ir::Stmt::Loop(ir::Loop {
+            trip,
+            body: body_stmts,
+        }));
+        self.loops.pop();
+        match inner_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    fn if_stmt(
+        &mut self,
+        cond: &Expr,
+        then_body: &[SrcStmt],
+        else_body: &[SrcStmt],
+        pos: Pos,
+    ) -> Result<(), FrontendError> {
+        let (cv, ct) = self.expr(cond)?;
+        if ct != Type::I32 {
+            return Err(FrontendError::at(pos, "conditions must be boolean (integer)"));
+        }
+        let creg = match cv {
+            Operand::Reg(r) => r,
+            imm => self.b.copy(imm),
+        };
+        self.b_open_frame();
+        let mut err = self.stmts(then_body).err();
+        let tb = self.b_close_frame();
+        self.b_open_frame();
+        if err.is_none() {
+            err = self.stmts(else_body).err();
+        }
+        let eb = self.b_close_frame();
+        self.b.push_stmt(ir::Stmt::If(ir::IfStmt {
+            cond: creg,
+            then_body: tb,
+            else_body: eb,
+        }));
+        match err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    // --- frame plumbing against ProgramBuilder ---------------------------
+    // ProgramBuilder's closure API doesn't mix with `&mut self` lowering,
+    // so we manipulate frames through these small shims.
+
+    fn b_open_frame(&mut self) {
+        self.b.open_frame();
+        self.cache.push(CseScope::default());
+    }
+
+    fn b_close_frame(&mut self) -> Vec<ir::Stmt> {
+        self.cache.pop();
+        self.b.close_frame()
+    }
+
+    // --- common subexpressions -------------------------------------------
+
+    /// Canonical string of an integer expression built from literals and
+    /// *loop counters* (which cannot change within an iteration); `None`
+    /// for anything else — mutable variables make caching unsound.
+    fn canon(&self, e: &Expr) -> Option<String> {
+        match e {
+            Expr::IntLit(v, _) => Some(v.to_string()),
+            Expr::Var(name, _) => {
+                if self.loops.iter().any(|l| &l.name == name) {
+                    Some(name.clone())
+                } else {
+                    None
+                }
+            }
+            Expr::Bin(op, a, b, _) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    _ => return None,
+                };
+                Some(format!("({}{sym}{})", self.canon(a)?, self.canon(b)?))
+            }
+            _ => None,
+        }
+    }
+
+    fn lookup_expr(&self, key: &str) -> Option<Operand> {
+        self.cache
+            .iter()
+            .rev()
+            .find_map(|sc| sc.exprs.get(key).copied())
+    }
+
+    fn insert_expr(&mut self, key: String, v: Operand) {
+        self.cache
+            .last_mut()
+            .expect("cse scope always open")
+            .exprs
+            .insert(key, v);
+    }
+
+    fn lookup_load(&self, arr: ir::ArrayId, key: &str) -> Option<VReg> {
+        self.cache
+            .iter()
+            .rev()
+            .find_map(|sc| sc.loads.get(&(arr.0, key.to_string())).copied())
+    }
+
+    fn insert_load(&mut self, arr: ir::ArrayId, key: String, v: VReg) {
+        self.cache
+            .last_mut()
+            .expect("cse scope always open")
+            .loads
+            .insert((arr.0, key), v);
+    }
+
+    /// A store to `arr` invalidates every cached load from it.
+    fn invalidate_array(&mut self, arr: ir::ArrayId) {
+        for sc in &mut self.cache {
+            sc.loads.retain(|(a, _), _| *a != arr.0);
+        }
+    }
+
+    /// Lowers an integer expression through the CSE cache.
+    fn lower_int_cached(&mut self, e: &Expr) -> Result<Operand, FrontendError> {
+        let key = self.canon(e);
+        if let Some(k) = &key {
+            if let Some(v) = self.lookup_expr(k) {
+                return Ok(v);
+            }
+        }
+        let (v, t) = self.expr(e)?;
+        if t != Type::I32 {
+            return Err(FrontendError::at(e.pos(), "subscripts are integers"));
+        }
+        if let Some(k) = key {
+            self.insert_expr(k, v);
+        }
+        Ok(v)
+    }
+
+    // --- expressions ------------------------------------------------------
+
+    /// Lowers an expression to an operand.
+    fn expr(&mut self, e: &Expr) -> Result<(Operand, Type), FrontendError> {
+        match e {
+            Expr::IntLit(v, pos) => {
+                let v32 = i32::try_from(*v)
+                    .map_err(|_| FrontendError::at(*pos, "integer literal out of range"))?;
+                Ok((Operand::Imm(ir::Imm::I(v32)), Type::I32))
+            }
+            Expr::FloatLit(v, _) => Ok((Operand::Imm(ir::Imm::F(*v)), Type::F32)),
+            Expr::Var(name, pos) => {
+                let (r, t) = self.scalar(name, *pos)?;
+                Ok((Operand::Reg(r), t))
+            }
+            Expr::Index(name, idx, pos) => {
+                let arr = self.array(name, *pos)?;
+                let key = self.canon(idx);
+                if let Some(v) = key.as_deref().and_then(|k| self.lookup_load(arr, k)) {
+                    return Ok((v.into(), Type::F32));
+                }
+                let (addr, mref) = self.element(arr, idx)?;
+                let v = self.b.load(addr, mref);
+                if let Some(k) = key {
+                    self.insert_load(arr, k, v);
+                }
+                Ok((v.into(), Type::F32))
+            }
+            Expr::Call(Intrinsic::Receive, args, pos) => {
+                if args.len() > 1 {
+                    return Err(FrontendError::at(
+                        *pos,
+                        "receive() takes at most a channel number",
+                    ));
+                }
+                let ch = match args.first() {
+                    None => 0,
+                    Some(c) => channel_index(c, *pos)?,
+                };
+                Ok((self.b.qpop_ch(ch).into(), Type::F32))
+            }
+            Expr::Bin(..) | Expr::Un(..) | Expr::Call(..) => {
+                let (opcode, srcs, ty) = self.compound(e)?;
+                let dst = self.b.reg(ty);
+                self.b.push_op(Op::new(opcode, Some(dst), srcs));
+                Ok((dst.into(), ty))
+            }
+        }
+    }
+
+    /// Lowers an expression directly into `dst` (saving a copy for the
+    /// common `x := a op b` case).
+    fn expr_into(&mut self, e: &Expr, dst: VReg, want: Type) -> Result<(), FrontendError> {
+        match e {
+            Expr::Call(Intrinsic::Receive, args, pos) => {
+                if want != Type::F32 {
+                    return Err(FrontendError::at(*pos, "receive() yields a float"));
+                }
+                if args.len() > 1 {
+                    return Err(FrontendError::at(
+                        *pos,
+                        "receive() takes at most a channel number",
+                    ));
+                }
+                let ch = match args.first() {
+                    None => 0,
+                    Some(c) => channel_index(c, *pos)?,
+                };
+                self.b.push_op(
+                    Op::new(Opcode::QPop, Some(dst), vec![ir::Imm::I(0).into()])
+                        .with_channel(ch),
+                );
+                Ok(())
+            }
+            Expr::Bin(..) | Expr::Un(..) | Expr::Call(..) => {
+                let (opcode, srcs, ty) = self.compound(e)?;
+                if ty != want {
+                    return Err(FrontendError::at(
+                        e.pos(),
+                        format!("cannot assign {ty} expression to {want} variable"),
+                    ));
+                }
+                self.b.push_op(Op::new(opcode, Some(dst), srcs));
+                Ok(())
+            }
+            _ => {
+                let (v, ty) = self.expr(e)?;
+                let v = self.coerce(v, ty, want, e.pos())?;
+                self.b.copy_to(dst, v);
+                Ok(())
+            }
+        }
+    }
+
+    fn coerce(
+        &mut self,
+        v: Operand,
+        have: Type,
+        want: Type,
+        pos: Pos,
+    ) -> Result<Operand, FrontendError> {
+        if have == want {
+            return Ok(v);
+        }
+        // Integer literals quietly become float literals; anything else is
+        // an explicit float()/trunc() in the source.
+        if let (Operand::Imm(ir::Imm::I(k)), Type::F32) = (v, want) {
+            return Ok(Operand::Imm(ir::Imm::F(k as f32)));
+        }
+        Err(FrontendError::at(
+            pos,
+            format!("type mismatch: found {have}, expected {want} (use float()/trunc())"),
+        ))
+    }
+
+    /// Lowers a compound expression's *top level* to (opcode, sources,
+    /// type); sub-expressions are fully lowered.
+    fn compound(&mut self, e: &Expr) -> Result<(Opcode, Vec<Operand>, Type), FrontendError> {
+        match e {
+            Expr::Bin(op, a, b, pos) => {
+                let (mut va, mut ta) = self.expr(a)?;
+                let (mut vb, mut tb) = self.expr(b)?;
+                // Coerce int literals toward the float side.
+                if ta != tb {
+                    if ta == Type::I32 {
+                        va = self.coerce(va, ta, Type::F32, *pos)?;
+                        ta = Type::F32;
+                    } else {
+                        vb = self.coerce(vb, tb, Type::F32, *pos)?;
+                        tb = Type::F32;
+                    }
+                }
+                debug_assert_eq!(ta, tb);
+                let float = ta == Type::F32;
+                let (opcode, ty) = match op {
+                    BinOp::Add => (if float { Opcode::FAdd } else { Opcode::Add }, ta),
+                    BinOp::Sub => (if float { Opcode::FSub } else { Opcode::Sub }, ta),
+                    BinOp::Mul => (if float { Opcode::FMul } else { Opcode::Mul }, ta),
+                    BinOp::Div => (if float { Opcode::FDiv } else { Opcode::Div }, ta),
+                    BinOp::Rem => {
+                        if float {
+                            return Err(FrontendError::at(*pos, "% is integer-only"));
+                        }
+                        (Opcode::Rem, Type::I32)
+                    }
+                    BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge => {
+                        let pred = match op {
+                            BinOp::Eq => CmpPred::Eq,
+                            BinOp::Ne => CmpPred::Ne,
+                            BinOp::Lt => CmpPred::Lt,
+                            BinOp::Le => CmpPred::Le,
+                            BinOp::Gt => CmpPred::Gt,
+                            _ => CmpPred::Ge,
+                        };
+                        (
+                            if float {
+                                Opcode::FCmp(pred)
+                            } else {
+                                Opcode::ICmp(pred)
+                            },
+                            Type::I32,
+                        )
+                    }
+                    BinOp::And => {
+                        if float {
+                            return Err(FrontendError::at(*pos, "'and' needs booleans"));
+                        }
+                        (Opcode::And, Type::I32)
+                    }
+                    BinOp::Or => {
+                        if float {
+                            return Err(FrontendError::at(*pos, "'or' needs booleans"));
+                        }
+                        (Opcode::Or, Type::I32)
+                    }
+                };
+                Ok((opcode, vec![va, vb], ty))
+            }
+            Expr::Un(op, a, pos) => {
+                let (va, ta) = self.expr(a)?;
+                match op {
+                    UnOp::Neg => {
+                        if ta == Type::F32 {
+                            Ok((Opcode::FNeg, vec![va], Type::F32))
+                        } else {
+                            Ok((Opcode::Sub, vec![0i32.into(), va], Type::I32))
+                        }
+                    }
+                    UnOp::Not => {
+                        if ta != Type::I32 {
+                            return Err(FrontendError::at(*pos, "'not' needs a boolean"));
+                        }
+                        Ok((Opcode::ICmp(CmpPred::Eq), vec![va, 0i32.into()], Type::I32))
+                    }
+                }
+            }
+            Expr::Call(intr, args, pos) => {
+                let mut vals = Vec::new();
+                for a in args {
+                    let (v, t) = self.expr(a)?;
+                    // Float intrinsics accept integer literals; float()
+                    // keeps its integer argument.
+                    let v = if *intr != Intrinsic::Float && t == Type::I32 {
+                        self.coerce(v, t, Type::F32, *pos).unwrap_or(v)
+                    } else {
+                        v
+                    };
+                    vals.push((v, t));
+                }
+                let need = |n: usize| -> Result<(), FrontendError> {
+                    if vals.len() != n {
+                        Err(FrontendError::at(
+                            *pos,
+                            format!("intrinsic takes {n} argument(s), got {}", vals.len()),
+                        ))
+                    } else {
+                        Ok(())
+                    }
+                };
+                match intr {
+                    Intrinsic::Sqrt => {
+                        need(1)?;
+                        Ok((Opcode::FSqrt, vec![vals[0].0], Type::F32))
+                    }
+                    Intrinsic::Abs => {
+                        need(1)?;
+                        Ok((Opcode::FAbs, vec![vals[0].0], Type::F32))
+                    }
+                    Intrinsic::Min => {
+                        need(2)?;
+                        Ok((Opcode::FMin, vec![vals[0].0, vals[1].0], Type::F32))
+                    }
+                    Intrinsic::Max => {
+                        need(2)?;
+                        Ok((Opcode::FMax, vec![vals[0].0, vals[1].0], Type::F32))
+                    }
+                    Intrinsic::Float => {
+                        need(1)?;
+                        Ok((Opcode::ItoF, vec![vals[0].0], Type::F32))
+                    }
+                    Intrinsic::Trunc => {
+                        need(1)?;
+                        Ok((Opcode::FtoI, vec![vals[0].0], Type::I32))
+                    }
+                    Intrinsic::Receive => {
+                        unreachable!("receive() is intercepted in expr()/expr_into()")
+                    }
+                }
+            }
+            _ => unreachable!("compound called on simple expression"),
+        }
+    }
+}
+
+/// Syntactically peels additive integer constants off an index expression:
+/// `i + 10` -> (`i`, 10), `i - 1` -> (`i`, -1), `7` -> (None, 7).
+fn split_const(e: &Expr) -> (Option<&Expr>, i64) {
+    match e {
+        Expr::IntLit(v, _) => (None, *v),
+        Expr::Bin(BinOp::Add, a, b, _) => {
+            if let Expr::IntLit(v, _) = **b {
+                let (r, c) = split_const(a);
+                (r.or(Some(a)), c + v)
+            } else if let Expr::IntLit(v, _) = **a {
+                let (r, c) = split_const(b);
+                (r.or(Some(b)), c + v)
+            } else {
+                (Some(e), 0)
+            }
+        }
+        Expr::Bin(BinOp::Sub, a, b, _) => {
+            if let Expr::IntLit(v, _) = **b {
+                let (r, c) = split_const(a);
+                (r.or(Some(a)), c - v)
+            } else {
+                (Some(e), 0)
+            }
+        }
+        _ => (Some(e), 0),
+    }
+}
+
+/// A queue channel must be the literal 0 or 1.
+fn channel_index(e: &Expr, pos: Pos) -> Result<u8, FrontendError> {
+    match e {
+        Expr::IntLit(0, _) => Ok(0),
+        Expr::IntLit(1, _) => Ok(1),
+        _ => Err(FrontendError::at(
+            pos,
+            "queue channel must be the literal 0 or 1",
+        )),
+    }
+}
+
+fn merge_inv(a: Option<String>, b: Option<String>, op: &str) -> Option<String> {
+    match (a, b) {
+        (None, None) => None,
+        (Some(x), None) => Some(x),
+        (None, Some(y)) => {
+            if op == "-" {
+                Some(format!("(0-{y})"))
+            } else {
+                Some(y)
+            }
+        }
+        (Some(x), Some(y)) => Some(format!("({x}{op}{y})")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_src(src: &str) -> ir::Program {
+        compile_source(src).unwrap()
+    }
+
+    #[test]
+    fn lowers_and_runs_vector_add() {
+        let p = lower_src(
+            "program vadd;
+             var i : int;
+             var a : array[8] of float;
+             begin
+               for i := 0 to 7 do begin
+                 a[i] := a[i] + 1.5;
+               end;
+             end",
+        );
+        let mut it = ir::Interp::new(&p);
+        for (k, w) in it.mem.iter_mut().enumerate() {
+            *w = k as f32;
+        }
+        it.run(&p).unwrap();
+        for (k, w) in it.mem.iter().enumerate() {
+            assert_eq!(*w, k as f32 + 1.5);
+        }
+    }
+
+    #[test]
+    fn affine_metadata_attached() {
+        let p = lower_src(
+            "program t;
+             var i : int;
+             var a : array[8] of float;
+             begin
+               for i := 1 to 7 do begin
+                 a[i] := a[i - 1];
+               end;
+             end",
+        );
+        let mut refs = Vec::new();
+        p.for_each_op(|op| {
+            if let Some(m) = &op.mem {
+                refs.push(*m);
+            }
+        });
+        assert_eq!(refs.len(), 2);
+        // load a[i-1] then store a[i]: strides 1, offsets -1 and 0.
+        assert_eq!(refs[0], MemRef::affine(ir::ArrayId(0), 1, -1));
+        assert_eq!(refs[1], MemRef::affine(ir::ArrayId(0), 1, 0));
+    }
+
+    #[test]
+    fn downto_flips_stride() {
+        let p = lower_src(
+            "program t;
+             var i : int;
+             var a : array[8] of float;
+             begin
+               for i := 7 downto 0 do begin
+                 a[i] := 0.0;
+               end;
+             end",
+        );
+        let mut refs = Vec::new();
+        p.for_each_op(|op| refs.extend(op.mem));
+        assert_eq!(refs[0], MemRef::affine(ir::ArrayId(0), -1, 0));
+    }
+
+    #[test]
+    fn outer_counter_becomes_invariant_token() {
+        let p = lower_src(
+            "program t;
+             var i, j : int;
+             var a : array[64] of float;
+             begin
+               for j := 0 to 7 do begin
+                 for i := 0 to 7 do begin
+                   a[j * 8 + i] := 1.0;
+                 end;
+               end;
+             end",
+        );
+        let mut refs = Vec::new();
+        p.for_each_op(|op| refs.extend(op.mem));
+        match refs[0].pattern {
+            ir::MemPattern::Affine { stride, offset, inv } => {
+                assert_eq!(stride, 1);
+                assert_eq!(offset, 0);
+                assert!(inv.is_some(), "outer-counter term needs a token");
+            }
+            other => panic!("expected affine, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn opaque_subscript_is_unknown() {
+        let p = lower_src(
+            "program t;
+             var i, k : int;
+             var a : array[8] of float;
+             begin
+               k := 3;
+               for i := 0 to 7 do begin
+                 a[k] := 1.0;
+               end;
+             end",
+        );
+        let mut refs = Vec::new();
+        p.for_each_op(|op| refs.extend(op.mem));
+        assert_eq!(refs[0], MemRef::unknown(ir::ArrayId(0)));
+    }
+
+    #[test]
+    fn runtime_bounds_compute_trip() {
+        let p = lower_src(
+            "program t;
+             var i, n : int;
+             var s : float;
+             begin
+               n := 5;
+               s := 0.0;
+               for i := 0 to n - 1 do begin
+                 s := s + 2.0;
+               end;
+             end",
+        );
+        let mut it = ir::Interp::new(&p);
+        it.run(&p).unwrap();
+        // s is the third declared register (i, n, s).
+        let s_reg = VReg(2);
+        assert_eq!(it.reg(s_reg), ir::Value::F(10.0));
+    }
+
+    #[test]
+    fn if_else_lowers_and_runs() {
+        let p = lower_src(
+            "program t;
+             var x, y : float;
+             begin
+               x := 3.0;
+               if x > 1.0 then begin y := 10.0; end
+               else begin y := 20.0; end;
+             end",
+        );
+        let mut it = ir::Interp::new(&p);
+        it.run(&p).unwrap();
+        assert_eq!(it.reg(VReg(1)), ir::Value::F(10.0));
+    }
+
+    #[test]
+    fn queue_intrinsics() {
+        let p = lower_src(
+            "program t;
+             var i : int;
+             begin
+               for i := 0 to 2 do begin
+                 send(receive() * 3.0);
+               end;
+             end",
+        );
+        let mut it = ir::Interp::new(&p);
+        it.input.extend([1.0, 2.0, 3.0]);
+        it.run(&p).unwrap();
+        assert_eq!(it.output, vec![3.0, 6.0, 9.0]);
+    }
+
+    #[test]
+    fn intrinsics_lower() {
+        let p = lower_src(
+            "program t;
+             var x : float;
+             begin
+               x := sqrt(16.0) + abs(0.0 - 2.0) + min(1.0, 2.0) + max(1.0, 2.0) + float(3);
+             end",
+        );
+        let mut it = ir::Interp::new(&p);
+        it.run(&p).unwrap();
+        assert_eq!(it.reg(VReg(0)), ir::Value::F(4.0 + 2.0 + 1.0 + 2.0 + 3.0));
+    }
+
+    #[test]
+    fn rejects_unknown_variable() {
+        let e = compile_source("program t; begin x := 1.0; end").unwrap_err();
+        assert!(e.message.contains("unknown variable"), "{e}");
+    }
+
+    #[test]
+    fn rejects_type_mismatch() {
+        let e = compile_source(
+            "program t; var n : int; begin n := 1.5; end",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("type mismatch") || e.message.contains("cannot assign"), "{e}");
+    }
+
+    #[test]
+    fn rejects_counter_assignment() {
+        let e = compile_source(
+            "program t; var i : int;
+             begin for i := 0 to 3 do begin i := 5; end; end",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("loop counter"), "{e}");
+    }
+
+    #[test]
+    fn rejects_float_counter() {
+        let e = compile_source(
+            "program t; var x : float;
+             begin for x := 0 to 3 do begin end; end",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("integers"), "{e}");
+    }
+
+    #[test]
+    fn nested_counter_reuse_rejected() {
+        let e = compile_source(
+            "program t; var i : int;
+             begin for i := 0 to 3 do begin
+               for i := 0 to 3 do begin end;
+             end; end",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("already active"), "{e}");
+    }
+
+    #[test]
+    fn cse_shares_address_computation() {
+        // a[i], a[i+1], a[i+2] share one index value; each access then
+        // needs only its own base+offset add.
+        let p = lower_src(
+            "program t;
+             var i : int;
+             var a : array[16] of float;
+             var y : array[16] of float;
+             begin
+               for i := 0 to 13 do begin
+                 y[i] := a[i] + a[i + 1] + a[i + 2];
+               end;
+             end",
+        );
+        let mut adds = 0;
+        p.for_each_op(|op| {
+            if op.opcode == Opcode::Add {
+                adds += 1;
+            }
+        });
+        // One add per distinct (array, offset) address (4) plus the
+        // counter increment; without CSE there would also be idx adds.
+        assert!(adds <= 5, "expected <= 5 integer adds, found {adds}");
+    }
+
+    #[test]
+    fn cse_reuses_repeated_loads() {
+        let p = lower_src(
+            "program t;
+             var i : int;
+             var a : array[8] of float;
+             var y : array[8] of float;
+             begin
+               for i := 0 to 7 do begin
+                 y[i] := a[i] * a[i];
+               end;
+             end",
+        );
+        let mut loads = 0;
+        p.for_each_op(|op| {
+            if op.opcode == Opcode::Load {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 1, "a[i] loads once per iteration");
+    }
+
+    #[test]
+    fn store_invalidates_load_cache() {
+        // a[i] read, a[i] written, a[i] read again: the second read must
+        // be a fresh load (it sees the store).
+        let p = lower_src(
+            "program t;
+             var i : int;
+             var x : float;
+             var a : array[8] of float;
+             begin
+               for i := 0 to 7 do begin
+                 x := a[i];
+                 a[i] := x + 1.0;
+                 x := a[i] * 2.0;
+                 a[i] := x;
+               end;
+             end",
+        );
+        let mut loads = 0;
+        p.for_each_op(|op| {
+            if op.opcode == Opcode::Load {
+                loads += 1;
+            }
+        });
+        assert_eq!(loads, 2, "reload after the intervening store");
+        // Semantics double-check through the interpreter.
+        let mut it = ir::Interp::new(&p);
+        it.mem.copy_from_slice(&[1.0; 8]);
+        it.run(&p).unwrap();
+        assert_eq!(it.mem[0], 4.0); // ((1+1)*2)
+    }
+
+    #[test]
+    fn cse_does_not_leak_out_of_conditional_arms() {
+        // A load performed only inside an arm must not satisfy a use
+        // after the conditional.
+        let p = lower_src(
+            "program t;
+             var i : int;
+             var x, y : float;
+             var a : array[8] of float;
+             var o : array[8] of float;
+             begin
+               for i := 0 to 7 do begin
+                 x := a[i];
+                 if x > 1.0 then begin
+                   y := a[i] * 3.0;
+                 end else begin
+                   y := 0.0;
+                 end;
+                 o[i] := y + a[i];
+               end;
+             end",
+        );
+        // The trailing a[i] may reuse the *top-level* load (x := a[i]);
+        // correctness is what matters — run it.
+        let mut it = ir::Interp::new(&p);
+        for (k, w) in it.mem[..8].iter_mut().enumerate() {
+            *w = k as f32;
+        }
+        it.run(&p).unwrap();
+        for k in 0..8usize {
+            let x = k as f32;
+            let y = if x > 1.0 { x * 3.0 } else { 0.0 };
+            assert_eq!(it.mem[8 + k], y + x, "element {k}");
+        }
+    }
+
+    #[test]
+    fn mutable_variable_not_cached() {
+        // k changes mid-loop: a[k] must not be CSE'd on the counter rule.
+        let p = lower_src(
+            "program t;
+             var i, k : int;
+             var a : array[8] of float;
+             var o : array[8] of float;
+             begin
+               for i := 0 to 7 do begin
+                 k := i % 4;
+                 o[i] := a[k];
+                 k := (i + 1) % 4;
+                 o[i] := o[i] + a[k];
+               end;
+             end",
+        );
+        let mut loads = 0;
+        p.for_each_op(|op| {
+            if op.opcode == Opcode::Load {
+                loads += 1;
+            }
+        });
+        assert!(loads >= 2, "a[k] reads twice with different k: {loads}");
+    }
+
+    #[test]
+    fn channel_syntax_lowers_to_both_queues() {
+        let p = lower_src(
+            "program t;
+             var i : int;
+             begin
+               for i := 0 to 3 do begin
+                 send(receive() + receive(1));
+                 send(receive(0) * 2.0, 1);
+               end;
+             end",
+        );
+        let mut it = ir::Interp::new(&p);
+        it.input.extend([1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0]);
+        it.input_y.extend([0.5, 0.5, 0.5, 0.5]);
+        it.run(&p).unwrap();
+        // Each iteration pops two X values and one Y value.
+        assert_eq!(it.output, vec![1.5, 3.5, 10.5, 30.5]);
+        assert_eq!(it.output_y, vec![4.0, 8.0, 40.0, 80.0]);
+    }
+
+    #[test]
+    fn bad_channel_rejected() {
+        let e = compile_source(
+            "program t; begin send(1.0, 2); end",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("channel"), "{e}");
+        let e = compile_source("program t; var x : float; begin x := receive(7); end")
+            .unwrap_err();
+        assert!(e.message.contains("channel"), "{e}");
+    }
+
+    #[test]
+    fn integer_literal_coerces_in_float_context() {
+        let p = lower_src("program t; var x : float; begin x := 1 + 2.5; end");
+        let mut it = ir::Interp::new(&p);
+        it.run(&p).unwrap();
+        assert_eq!(it.reg(VReg(0)), ir::Value::F(3.5));
+    }
+}

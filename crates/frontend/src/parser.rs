@@ -1,0 +1,568 @@
+//! Recursive-descent parser for the W2-like language.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! program   ::= 'program' IDENT ';' { var_decl } 'begin' stmts 'end'
+//! var_decl  ::= 'var' IDENT { ',' IDENT } ':' type ';'
+//! type      ::= 'float' | 'int' | 'array' '[' INT ']' 'of' 'float'
+//! stmts     ::= { stmt ';' }
+//! stmt      ::= lvalue ':=' expr
+//!             | 'for' IDENT ':=' expr ('to' | 'downto') expr 'do'
+//!               'begin' stmts 'end'
+//!             | 'if' expr 'then' 'begin' stmts 'end'
+//!               [ 'else' 'begin' stmts 'end' ]
+//!             | 'send' '(' expr ')'
+//! lvalue    ::= IDENT [ '[' expr ']' ]
+//! expr      ::= or-chain of comparisons over +- over */% over unary over
+//!               primaries; intrinsics sqrt/abs/min/max/float/trunc and
+//!               receive() parse as calls.
+//! ```
+
+use crate::ast::*;
+use crate::error::FrontendError;
+use crate::lexer::lex;
+use crate::token::{Pos, Spanned, Tok};
+
+/// Parses a source text into an AST.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error, with position.
+pub fn parse(src: &str) -> Result<SrcProgram, FrontendError> {
+    let toks = lex(src)?;
+    Parser { toks, at: 0 }.program()
+}
+
+struct Parser {
+    toks: Vec<Spanned>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.at].tok
+    }
+
+    fn pos(&self) -> Pos {
+        self.toks[self.at].pos
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.at].tok.clone();
+        if self.at + 1 < self.toks.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: &Tok) -> Result<(), FrontendError> {
+        if self.peek() == want {
+            self.bump();
+            Ok(())
+        } else {
+            Err(FrontendError::at(
+                self.pos(),
+                format!("expected {want}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, FrontendError> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => Err(FrontendError::at(
+                self.pos(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<SrcProgram, FrontendError> {
+        self.expect(&Tok::Program)?;
+        let name = self.ident()?;
+        self.expect(&Tok::Semi)?;
+        let mut decls = Vec::new();
+        while self.peek() == &Tok::Var {
+            decls.push(self.var_decl()?);
+        }
+        self.expect(&Tok::Begin)?;
+        let body = self.stmts()?;
+        self.expect(&Tok::End)?;
+        if self.peek() != &Tok::Eof {
+            return Err(FrontendError::at(
+                self.pos(),
+                format!("trailing input after program end: {}", self.peek()),
+            ));
+        }
+        Ok(SrcProgram { name, decls, body })
+    }
+
+    fn var_decl(&mut self) -> Result<Decl, FrontendError> {
+        let pos = self.pos();
+        self.expect(&Tok::Var)?;
+        let mut names = vec![self.ident()?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            names.push(self.ident()?);
+        }
+        self.expect(&Tok::Colon)?;
+        let ty = match self.bump() {
+            Tok::FloatTy => SrcType::Float,
+            Tok::IntTy => SrcType::Int,
+            Tok::Array => {
+                self.expect(&Tok::LBrack)?;
+                let len = match self.bump() {
+                    Tok::Int(v) if v > 0 => v as u32,
+                    other => {
+                        return Err(FrontendError::at(
+                            pos,
+                            format!("array extent must be a positive integer, found {other}"),
+                        ))
+                    }
+                };
+                self.expect(&Tok::RBrack)?;
+                self.expect(&Tok::Of)?;
+                self.expect(&Tok::FloatTy)?;
+                SrcType::FloatArray(len)
+            }
+            other => {
+                return Err(FrontendError::at(
+                    pos,
+                    format!("expected a type, found {other}"),
+                ))
+            }
+        };
+        self.expect(&Tok::Semi)?;
+        Ok(Decl { names, ty, pos })
+    }
+
+    /// Statements until `end` / `else` / EOF; each followed by `;` except
+    /// optionally the last.
+    fn stmts(&mut self) -> Result<Vec<SrcStmt>, FrontendError> {
+        let mut out = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::End | Tok::Else | Tok::Eof => break,
+                Tok::Semi => {
+                    self.bump();
+                }
+                _ => {
+                    out.push(self.stmt()?);
+                    match self.peek() {
+                        Tok::Semi => {
+                            self.bump();
+                        }
+                        Tok::End | Tok::Else | Tok::Eof => {}
+                        other => {
+                            return Err(FrontendError::at(
+                                self.pos(),
+                                format!("expected ';' or 'end', found {other}"),
+                            ))
+                        }
+                    }
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    fn block(&mut self) -> Result<Vec<SrcStmt>, FrontendError> {
+        self.expect(&Tok::Begin)?;
+        let body = self.stmts()?;
+        self.expect(&Tok::End)?;
+        Ok(body)
+    }
+
+    fn stmt(&mut self) -> Result<SrcStmt, FrontendError> {
+        let pos = self.pos();
+        match self.peek().clone() {
+            Tok::For => {
+                self.bump();
+                let var = self.ident()?;
+                self.expect(&Tok::Assign)?;
+                let lo = self.expr()?;
+                let down = match self.bump() {
+                    Tok::To => false,
+                    Tok::Downto => true,
+                    other => {
+                        return Err(FrontendError::at(
+                            pos,
+                            format!("expected 'to' or 'downto', found {other}"),
+                        ))
+                    }
+                };
+                let hi = self.expr()?;
+                self.expect(&Tok::Do)?;
+                let body = self.block()?;
+                Ok(SrcStmt::For {
+                    var,
+                    lo,
+                    hi,
+                    down,
+                    body,
+                    pos,
+                })
+            }
+            Tok::If => {
+                self.bump();
+                let cond = self.expr()?;
+                self.expect(&Tok::Then)?;
+                let then_body = self.block()?;
+                let else_body = if self.peek() == &Tok::Else {
+                    self.bump();
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(SrcStmt::If {
+                    cond,
+                    then_body,
+                    else_body,
+                    pos,
+                })
+            }
+            Tok::Send => {
+                self.bump();
+                self.expect(&Tok::LParen)?;
+                let e = self.expr()?;
+                let channel = if self.peek() == &Tok::Comma {
+                    self.bump();
+                    Some(Box::new(self.expr()?))
+                } else {
+                    None
+                };
+                self.expect(&Tok::RParen)?;
+                Ok(SrcStmt::Send(e, channel, pos))
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                let lv = if self.peek() == &Tok::LBrack {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBrack)?;
+                    LValue::Index(name, Box::new(idx), pos)
+                } else {
+                    LValue::Var(name, pos)
+                };
+                self.expect(&Tok::Assign)?;
+                let e = self.expr()?;
+                Ok(SrcStmt::Assign(lv, e))
+            }
+            other => Err(FrontendError::at(
+                pos,
+                format!("expected a statement, found {other}"),
+            )),
+        }
+    }
+
+    // Expression precedence, loosest first: or, and, comparison, additive,
+    // multiplicative, unary, primary.
+    fn expr(&mut self) -> Result<Expr, FrontendError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.and_expr()?;
+        while self.peek() == &Tok::Or {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.peek() == &Tok::And {
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs), pos);
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, FrontendError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Tok::Eq => BinOp::Eq,
+            Tok::Ne => BinOp::Ne,
+            Tok::Lt => BinOp::Lt,
+            Tok::Le => BinOp::Le,
+            Tok::Gt => BinOp::Gt,
+            Tok::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let pos = self.pos();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos))
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, FrontendError> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                Tok::Percent => BinOp::Rem,
+                _ => return Ok(lhs),
+            };
+            let pos = self.pos();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs), pos);
+        }
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, FrontendError> {
+        let pos = self.pos();
+        match self.peek() {
+            Tok::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Neg, Box::new(e), pos))
+            }
+            Tok::Not => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr::Un(UnOp::Not, Box::new(e), pos))
+            }
+            _ => self.primary(),
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, FrontendError> {
+        let pos = self.pos();
+        match self.bump() {
+            Tok::Int(v) => Ok(Expr::IntLit(v, pos)),
+            Tok::Float(v) => Ok(Expr::FloatLit(v, pos)),
+            Tok::LParen => {
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::Receive => {
+                self.expect(&Tok::LParen)?;
+                let mut args = Vec::new();
+                if self.peek() != &Tok::RParen {
+                    args.push(self.expr()?);
+                }
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Call(Intrinsic::Receive, args, pos))
+            }
+            // `float(...)` — the type keyword doubles as the conversion
+            // intrinsic, as in Pascal-family languages.
+            Tok::FloatTy => {
+                self.expect(&Tok::LParen)?;
+                let e = self.expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(Expr::Call(Intrinsic::Float, vec![e], pos))
+            }
+            Tok::Ident(name) => {
+                if self.peek() == &Tok::LBrack {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(&Tok::RBrack)?;
+                    Ok(Expr::Index(name, Box::new(idx), pos))
+                } else if self.peek() == &Tok::LParen {
+                    let intr = match name.to_ascii_lowercase().as_str() {
+                        "sqrt" => Intrinsic::Sqrt,
+                        "abs" => Intrinsic::Abs,
+                        "min" => Intrinsic::Min,
+                        "max" => Intrinsic::Max,
+                        "float" => Intrinsic::Float,
+                        "trunc" => Intrinsic::Trunc,
+                        other => {
+                            return Err(FrontendError::at(
+                                pos,
+                                format!("unknown function {other:?}"),
+                            ))
+                        }
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &Tok::RParen {
+                        args.push(self.expr()?);
+                        while self.peek() == &Tok::Comma {
+                            self.bump();
+                            args.push(self.expr()?);
+                        }
+                    }
+                    self.expect(&Tok::RParen)?;
+                    Ok(Expr::Call(intr, args, pos))
+                } else {
+                    Ok(Expr::Var(name, pos))
+                }
+            }
+            other => Err(FrontendError::at(
+                pos,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_program() {
+        let p = parse("program t; begin end").unwrap();
+        assert_eq!(p.name, "t");
+        assert!(p.decls.is_empty());
+        assert!(p.body.is_empty());
+    }
+
+    #[test]
+    fn parses_declarations() {
+        let p = parse(
+            "program t;
+             var x, y : float;
+             var n : int;
+             var a : array[100] of float;
+             begin end",
+        )
+        .unwrap();
+        assert_eq!(p.decls.len(), 3);
+        assert_eq!(p.decls[0].names, vec!["x", "y"]);
+        assert_eq!(p.decls[0].ty, SrcType::Float);
+        assert_eq!(p.decls[2].ty, SrcType::FloatArray(100));
+    }
+
+    #[test]
+    fn parses_for_loop_with_body() {
+        let p = parse(
+            "program t;
+             var i : int; var a : array[8] of float;
+             begin
+               for i := 0 to 7 do begin
+                 a[i] := a[i] + 1.0;
+               end;
+             end",
+        )
+        .unwrap();
+        match &p.body[0] {
+            SrcStmt::For { var, down, body, .. } => {
+                assert_eq!(var, "i");
+                assert!(!down);
+                assert_eq!(body.len(), 1);
+            }
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let p = parse(
+            "program t; var x : float;
+             begin
+               if x > 0.0 then begin x := 1.0; end
+               else begin x := 2.0; end;
+             end",
+        )
+        .unwrap();
+        match &p.body[0] {
+            SrcStmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
+                assert_eq!(then_body.len(), 1);
+                assert_eq!(else_body.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse("program t; var x : float; begin x := 1.0 + 2.0 * 3.0; end").unwrap();
+        match &p.body[0] {
+            SrcStmt::Assign(_, Expr::Bin(BinOp::Add, _, rhs, _)) => {
+                assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _, _)));
+            }
+            other => panic!("unexpected shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_intrinsics_and_queues() {
+        let p = parse(
+            "program t; var x : float;
+             begin
+               x := sqrt(abs(receive()));
+               send(max(x, 0.0));
+             end",
+        )
+        .unwrap();
+        assert_eq!(p.body.len(), 2);
+        assert!(matches!(p.body[1], SrcStmt::Send(..)));
+    }
+
+    #[test]
+    fn parses_comparison_and_logic() {
+        let p = parse(
+            "program t; var x : float; var c : int;
+             begin c := x > 1.0 and x < 2.0 or c; end",
+        )
+        .unwrap();
+        match &p.body[0] {
+            SrcStmt::Assign(_, Expr::Bin(BinOp::Or, _, _, _)) => {}
+            other => panic!("expected or at top: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_has_position() {
+        let e = parse("program t; begin x := ; end").unwrap_err();
+        assert!(e.pos.line == 1 && e.pos.col > 0);
+        assert!(e.message.contains("expression"), "{e}");
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let e = parse("program t; var x : float; begin x := frob(1.0); end").unwrap_err();
+        assert!(e.message.contains("unknown function"), "{e}");
+    }
+
+    #[test]
+    fn rejects_trailing_tokens() {
+        let e = parse("program t; begin end extra").unwrap_err();
+        assert!(e.message.contains("trailing"), "{e}");
+    }
+
+    #[test]
+    fn parses_downto() {
+        let p = parse(
+            "program t; var i : int;
+             begin for i := 7 downto 0 do begin end; end",
+        )
+        .unwrap();
+        match &p.body[0] {
+            SrcStmt::For { down, .. } => assert!(down),
+            other => panic!("expected for, got {other:?}"),
+        }
+    }
+}

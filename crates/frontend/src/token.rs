@@ -1,0 +1,170 @@
+//! Tokens of the W2-like language.
+
+use std::fmt;
+
+/// Source position (byte offset, line, column), for error reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Pos {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f32),
+    // Keywords.
+    /// `program`
+    Program,
+    /// `var`
+    Var,
+    /// `begin`
+    Begin,
+    /// `end`
+    End,
+    /// `for`
+    For,
+    /// `to`
+    To,
+    /// `downto`
+    Downto,
+    /// `do`
+    Do,
+    /// `if`
+    If,
+    /// `then`
+    Then,
+    /// `else`
+    Else,
+    /// `array`
+    Array,
+    /// `of`
+    Of,
+    /// `float`
+    FloatTy,
+    /// `int`
+    IntTy,
+    /// `and`
+    And,
+    /// `or`
+    Or,
+    /// `not`
+    Not,
+    /// `send`
+    Send,
+    /// `receive`
+    Receive,
+    // Punctuation and operators.
+    /// `:=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `=`
+    Eq,
+    /// `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBrack,
+    /// `]`
+    RBrack,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "identifier {s:?}"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "float {v}"),
+            Tok::Program => f.write_str("'program'"),
+            Tok::Var => f.write_str("'var'"),
+            Tok::Begin => f.write_str("'begin'"),
+            Tok::End => f.write_str("'end'"),
+            Tok::For => f.write_str("'for'"),
+            Tok::To => f.write_str("'to'"),
+            Tok::Downto => f.write_str("'downto'"),
+            Tok::Do => f.write_str("'do'"),
+            Tok::If => f.write_str("'if'"),
+            Tok::Then => f.write_str("'then'"),
+            Tok::Else => f.write_str("'else'"),
+            Tok::Array => f.write_str("'array'"),
+            Tok::Of => f.write_str("'of'"),
+            Tok::FloatTy => f.write_str("'float'"),
+            Tok::IntTy => f.write_str("'int'"),
+            Tok::And => f.write_str("'and'"),
+            Tok::Or => f.write_str("'or'"),
+            Tok::Not => f.write_str("'not'"),
+            Tok::Send => f.write_str("'send'"),
+            Tok::Receive => f.write_str("'receive'"),
+            Tok::Assign => f.write_str("':='"),
+            Tok::Plus => f.write_str("'+'"),
+            Tok::Minus => f.write_str("'-'"),
+            Tok::Star => f.write_str("'*'"),
+            Tok::Slash => f.write_str("'/'"),
+            Tok::Percent => f.write_str("'%'"),
+            Tok::Eq => f.write_str("'='"),
+            Tok::Ne => f.write_str("'<>'"),
+            Tok::Lt => f.write_str("'<'"),
+            Tok::Le => f.write_str("'<='"),
+            Tok::Gt => f.write_str("'>'"),
+            Tok::Ge => f.write_str("'>='"),
+            Tok::LParen => f.write_str("'('"),
+            Tok::RParen => f.write_str("')'"),
+            Tok::LBrack => f.write_str("'['"),
+            Tok::RBrack => f.write_str("']'"),
+            Tok::Semi => f.write_str("';'"),
+            Tok::Colon => f.write_str("':'"),
+            Tok::Comma => f.write_str("','"),
+            Tok::Eof => f.write_str("end of input"),
+        }
+    }
+}
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub tok: Tok,
+    /// Where it starts.
+    pub pos: Pos,
+}

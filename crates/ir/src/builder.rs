@@ -1,0 +1,496 @@
+//! Ergonomic construction of [`Program`]s.
+//!
+//! The builder keeps a stack of open statement lists so loops and
+//! conditionals nest naturally with closures:
+//!
+//! ```
+//! use ir::{ProgramBuilder, TripCount};
+//!
+//! let mut b = ProgramBuilder::new("saxpy");
+//! let x = b.array("x", 128);
+//! let y = b.array("y", 128);
+//! let a = b.fconst(2.0);
+//! b.for_counted(TripCount::Const(128), |b, i| {
+//!     let xi = b.load_elem(x, i.into(), 1, 0);
+//!     let yi = b.load_elem(y, i.into(), 1, 0);
+//!     let ax = b.fmul(a.into(), xi.into());
+//!     let s = b.fadd(ax.into(), yi.into());
+//!     b.store_elem(y, i.into(), 1, 0, s.into());
+//! });
+//! let p = b.finish();
+//! assert!(p.validate().is_ok());
+//! ```
+
+use crate::mem::{Array, ArrayId, MemRef};
+use crate::op::{CmpPred, Op, Opcode};
+use crate::program::{IfStmt, Loop, Program, Stmt, TripCount};
+use crate::ty::{Imm, Type};
+use crate::value::{Operand, RegTable, VReg};
+
+/// Builder for [`Program`]. See the module documentation for an example.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    regs: RegTable,
+    arrays: Vec<Array>,
+    next_base: u32,
+    /// Stack of open statement lists; the last is the innermost.
+    frames: Vec<Vec<Stmt>>,
+}
+
+impl ProgramBuilder {
+    /// Starts building a program with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        ProgramBuilder {
+            name: name.into(),
+            regs: RegTable::new(),
+            arrays: Vec::new(),
+            next_base: 0,
+            frames: vec![Vec::new()],
+        }
+    }
+
+    /// Declares an array of `len` words; bases are assigned consecutively.
+    pub fn array(&mut self, name: impl Into<String>, len: u32) -> ArrayId {
+        let id = ArrayId(self.arrays.len() as u32);
+        self.arrays.push(Array {
+            name: name.into(),
+            base: self.next_base,
+            len,
+        });
+        self.next_base += len;
+        id
+    }
+
+    /// Base address of a declared array.
+    pub fn base_of(&self, a: ArrayId) -> u32 {
+        self.arrays[a.index()].base
+    }
+
+    /// Allocates a fresh register.
+    pub fn reg(&mut self, ty: Type) -> VReg {
+        self.regs.alloc(ty)
+    }
+
+    /// Allocates a fresh named register.
+    pub fn named_reg(&mut self, ty: Type, name: impl Into<String>) -> VReg {
+        self.regs.alloc_named(ty, name)
+    }
+
+    /// Appends a raw statement to the innermost open block.
+    pub fn push_stmt(&mut self, s: Stmt) {
+        self.frames
+            .last_mut()
+            .expect("builder always has an open frame")
+            .push(s);
+    }
+
+    /// Appends a raw operation.
+    pub fn push_op(&mut self, op: Op) {
+        self.push_stmt(Stmt::Op(op));
+    }
+
+    fn emit(&mut self, opcode: Opcode, srcs: Vec<Operand>, ty: Type) -> VReg {
+        let dst = self.regs.alloc(ty);
+        self.push_op(Op::new(opcode, Some(dst), srcs));
+        dst
+    }
+
+    // --- constants and moves -------------------------------------------
+
+    /// Materializes a float constant.
+    pub fn fconst(&mut self, v: f32) -> VReg {
+        self.emit(Opcode::Const, vec![Imm::F(v).into()], Type::F32)
+    }
+
+    /// Materializes an integer constant.
+    pub fn iconst(&mut self, v: i32) -> VReg {
+        self.emit(Opcode::Const, vec![Imm::I(v).into()], Type::I32)
+    }
+
+    /// Copies a value into a fresh register of the same type.
+    pub fn copy(&mut self, src: Operand) -> VReg {
+        let ty = self.operand_ty(src);
+        self.emit(Opcode::Copy, vec![src], ty)
+    }
+
+    /// Copies a value into an existing register (e.g. a loop accumulator).
+    pub fn copy_to(&mut self, dst: VReg, src: Operand) {
+        self.push_op(Op::new(Opcode::Copy, Some(dst), vec![src]));
+    }
+
+    fn operand_ty(&self, o: Operand) -> Type {
+        match o {
+            Operand::Reg(r) => self.regs.ty(r),
+            Operand::Imm(i) => i.ty(),
+        }
+    }
+
+    // --- float arithmetic ----------------------------------------------
+
+    /// `a + b` (float).
+    pub fn fadd(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::FAdd, vec![a, b], Type::F32)
+    }
+
+    /// `a - b` (float).
+    pub fn fsub(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::FSub, vec![a, b], Type::F32)
+    }
+
+    /// `a * b` (float).
+    pub fn fmul(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::FMul, vec![a, b], Type::F32)
+    }
+
+    /// `a / b` (float).
+    pub fn fdiv(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::FDiv, vec![a, b], Type::F32)
+    }
+
+    /// `sqrt(a)` (float).
+    pub fn fsqrt(&mut self, a: Operand) -> VReg {
+        self.emit(Opcode::FSqrt, vec![a], Type::F32)
+    }
+
+    /// `-a` (float).
+    pub fn fneg(&mut self, a: Operand) -> VReg {
+        self.emit(Opcode::FNeg, vec![a], Type::F32)
+    }
+
+    /// `|a|` (float).
+    pub fn fabs(&mut self, a: Operand) -> VReg {
+        self.emit(Opcode::FAbs, vec![a], Type::F32)
+    }
+
+    /// `min(a, b)` (float).
+    pub fn fmin(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::FMin, vec![a, b], Type::F32)
+    }
+
+    /// `max(a, b)` (float).
+    pub fn fmax(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::FMax, vec![a, b], Type::F32)
+    }
+
+    /// `a <pred> b` on floats, yielding 0/1.
+    pub fn fcmp(&mut self, pred: CmpPred, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::FCmp(pred), vec![a, b], Type::I32)
+    }
+
+    /// Int-to-float conversion.
+    pub fn itof(&mut self, a: Operand) -> VReg {
+        self.emit(Opcode::ItoF, vec![a], Type::F32)
+    }
+
+    /// Float-to-int (truncating) conversion.
+    pub fn ftoi(&mut self, a: Operand) -> VReg {
+        self.emit(Opcode::FtoI, vec![a], Type::I32)
+    }
+
+    // --- integer arithmetic --------------------------------------------
+
+    /// `a + b` (int).
+    pub fn add(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::Add, vec![a, b], Type::I32)
+    }
+
+    /// `a - b` (int).
+    pub fn sub(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::Sub, vec![a, b], Type::I32)
+    }
+
+    /// `a * b` (int).
+    pub fn mul(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::Mul, vec![a, b], Type::I32)
+    }
+
+    /// `a / b` (int, truncating).
+    pub fn div(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::Div, vec![a, b], Type::I32)
+    }
+
+    /// `a % b` (int).
+    pub fn rem(&mut self, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::Rem, vec![a, b], Type::I32)
+    }
+
+    /// `a <pred> b` on ints, yielding 0/1.
+    pub fn icmp(&mut self, pred: CmpPred, a: Operand, b: Operand) -> VReg {
+        self.emit(Opcode::ICmp(pred), vec![a, b], Type::I32)
+    }
+
+    /// `cond != 0 ? a : b`.
+    pub fn select(&mut self, cond: Operand, a: Operand, b: Operand) -> VReg {
+        let ty = self.operand_ty(a);
+        self.emit(Opcode::Select, vec![cond, a, b], ty)
+    }
+
+    // --- memory ----------------------------------------------------------
+
+    /// Loads from an absolute address with explicit metadata.
+    pub fn load(&mut self, addr: Operand, mem: MemRef) -> VReg {
+        let dst = self.regs.alloc(Type::F32);
+        self.push_op(Op::new(Opcode::Load, Some(dst), vec![addr]).with_mem(mem));
+        dst
+    }
+
+    /// Stores to an absolute address with explicit metadata.
+    pub fn store(&mut self, addr: Operand, val: Operand, mem: MemRef) {
+        self.push_op(Op::new(Opcode::Store, None, vec![addr, val]).with_mem(mem));
+    }
+
+    /// Loads `array[stride * idx + offset]`, emitting the address
+    /// arithmetic and attaching the matching affine [`MemRef`]. `idx` is
+    /// normally the innermost loop counter.
+    pub fn load_elem(&mut self, array: ArrayId, idx: Operand, stride: i64, offset: i64) -> VReg {
+        let addr = self.elem_addr(array, idx, stride, offset);
+        self.load(addr.into(), MemRef::affine(array, stride, offset))
+    }
+
+    /// Stores `val` into `array[stride * idx + offset]`.
+    pub fn store_elem(
+        &mut self,
+        array: ArrayId,
+        idx: Operand,
+        stride: i64,
+        offset: i64,
+        val: Operand,
+    ) {
+        let addr = self.elem_addr(array, idx, stride, offset);
+        self.store(addr.into(), val, MemRef::affine(array, stride, offset));
+    }
+
+    /// Loads a fixed element `array[offset]` (loop-invariant address).
+    pub fn load_fixed(&mut self, array: ArrayId, offset: i64) -> VReg {
+        let base = self.base_of(array) as i64 + offset;
+        self.load(
+            Operand::Imm(Imm::I(base as i32)),
+            MemRef::affine(array, 0, offset),
+        )
+    }
+
+    /// Stores into a fixed element `array[offset]`.
+    pub fn store_fixed(&mut self, array: ArrayId, offset: i64, val: Operand) {
+        let base = self.base_of(array) as i64 + offset;
+        self.store(
+            Operand::Imm(Imm::I(base as i32)),
+            val,
+            MemRef::affine(array, 0, offset),
+        );
+    }
+
+    /// Computes the address of `array[stride * idx + offset]` (one `mul`
+    /// if `stride != 1`, one `add`). Useful for sharing a single address
+    /// computation between a load and a store to the same element.
+    pub fn elem_addr(&mut self, array: ArrayId, idx: Operand, stride: i64, offset: i64) -> VReg {
+        let base = self.base_of(array) as i64 + offset;
+        let scaled = if stride == 1 {
+            idx
+        } else {
+            self.mul(idx, Operand::Imm(Imm::I(stride as i32))).into()
+        };
+        self.add(scaled, Operand::Imm(Imm::I(base as i32)))
+    }
+
+    // --- queues ----------------------------------------------------------
+
+    /// Pops the next value from the cell's X input queue.
+    pub fn qpop(&mut self) -> VReg {
+        self.qpop_ch(0)
+    }
+
+    /// Pushes a value onto the cell's X output queue.
+    pub fn qpush(&mut self, v: Operand) {
+        self.qpush_ch(0, v);
+    }
+
+    /// Pops from the given channel (0 = X, 1 = Y).
+    pub fn qpop_ch(&mut self, channel: u8) -> VReg {
+        let dst = self.regs.alloc(Type::F32);
+        self.push_op(
+            Op::new(Opcode::QPop, Some(dst), vec![Imm::I(0).into()]).with_channel(channel),
+        );
+        dst
+    }
+
+    /// Pushes onto the given channel (0 = X, 1 = Y).
+    pub fn qpush_ch(&mut self, channel: u8, v: Operand) {
+        self.push_op(Op::new(Opcode::QPush, None, vec![v]).with_channel(channel));
+    }
+
+    // --- control constructs ----------------------------------------------
+
+    /// Opens a new statement frame. Pair with [`Self::close_frame`];
+    /// useful when building constructs from code that cannot use the
+    /// closure-based API (e.g. a lowering pass threading `&mut self`).
+    pub fn open_frame(&mut self) {
+        self.frames.push(Vec::new());
+    }
+
+    /// Closes the innermost frame opened by [`Self::open_frame`] and
+    /// returns its statements.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no frame beyond the root is open.
+    pub fn close_frame(&mut self) -> Vec<Stmt> {
+        assert!(self.frames.len() > 1, "no open frame to close");
+        self.frames.pop().expect("checked above")
+    }
+
+    /// Removes and returns the most recently pushed statement of the
+    /// innermost frame.
+    pub fn pop_last_stmt(&mut self) -> Option<Stmt> {
+        self.frames.last_mut().expect("builder always has a frame").pop()
+    }
+
+    /// Builds a loop executing `trip` iterations; the closure fills the
+    /// body.
+    pub fn for_loop(&mut self, trip: TripCount, f: impl FnOnce(&mut Self)) {
+        self.frames.push(Vec::new());
+        f(self);
+        let body = self.frames.pop().expect("frame pushed above");
+        self.push_stmt(Stmt::Loop(Loop { trip, body }));
+    }
+
+    /// Builds a loop with an explicit iteration counter: `i` is 0 in the
+    /// first iteration and increments at the end of each iteration. The
+    /// counter init (`i = 0`) is emitted before the loop, the increment
+    /// inside the body, so the dependence graph sees the recurrence.
+    pub fn for_counted(&mut self, trip: TripCount, f: impl FnOnce(&mut Self, VReg)) {
+        let i = self.named_reg(Type::I32, "i");
+        self.push_op(Op::new(Opcode::Const, Some(i), vec![Imm::I(0).into()]));
+        self.frames.push(Vec::new());
+        f(self, i);
+        // i = i + 1 closes the iteration.
+        self.push_op(Op::new(Opcode::Add, Some(i), vec![i.into(), Imm::I(1).into()]));
+        let body = self.frames.pop().expect("frame pushed above");
+        self.push_stmt(Stmt::Loop(Loop { trip, body }));
+    }
+
+    /// Builds a two-armed conditional.
+    pub fn if_else(
+        &mut self,
+        cond: VReg,
+        then_f: impl FnOnce(&mut Self),
+        else_f: impl FnOnce(&mut Self),
+    ) {
+        self.frames.push(Vec::new());
+        then_f(self);
+        let then_body = self.frames.pop().expect("frame pushed above");
+        self.frames.push(Vec::new());
+        else_f(self);
+        let else_body = self.frames.pop().expect("frame pushed above");
+        self.push_stmt(Stmt::If(IfStmt {
+            cond,
+            then_body,
+            else_body,
+        }));
+    }
+
+    /// Builds a one-armed conditional.
+    pub fn if_then(&mut self, cond: VReg, then_f: impl FnOnce(&mut Self)) {
+        self.if_else(cond, then_f, |_| {});
+    }
+
+    /// Finishes construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a control construct was left open (builder misuse).
+    pub fn finish(mut self) -> Program {
+        assert_eq!(self.frames.len(), 1, "unclosed control construct");
+        Program {
+            name: self.name,
+            regs: self.regs,
+            arrays: self.arrays,
+            mem_size: self.next_base,
+            body: self.frames.pop().expect("top frame"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_valid_saxpy() {
+        let mut b = ProgramBuilder::new("saxpy");
+        let x = b.array("x", 16);
+        let y = b.array("y", 16);
+        let a = b.fconst(2.0);
+        b.for_counted(TripCount::Const(16), |b, i| {
+            let xi = b.load_elem(x, i.into(), 1, 0);
+            let yi = b.load_elem(y, i.into(), 1, 0);
+            let ax = b.fmul(a.into(), xi.into());
+            let s = b.fadd(ax.into(), yi.into());
+            b.store_elem(y, i.into(), 1, 0, s.into());
+        });
+        let p = b.finish();
+        p.validate().unwrap();
+        assert_eq!(p.arrays.len(), 2);
+        assert_eq!(p.array(y).base, 16);
+        assert_eq!(p.mem_size, 32);
+    }
+
+    #[test]
+    fn arrays_do_not_overlap() {
+        let mut b = ProgramBuilder::new("t");
+        let a1 = b.array("a", 10);
+        let a2 = b.array("b", 5);
+        assert_eq!(b.base_of(a1), 0);
+        assert_eq!(b.base_of(a2), 10);
+    }
+
+    #[test]
+    fn if_else_builds_both_arms() {
+        let mut b = ProgramBuilder::new("t");
+        let c = b.iconst(1);
+        let x = b.fconst(0.0);
+        b.if_else(
+            c,
+            |b| {
+                b.fadd(x.into(), 1.0f32.into());
+            },
+            |b| {
+                b.fsub(x.into(), 1.0f32.into());
+            },
+        );
+        let p = b.finish();
+        p.validate().unwrap();
+        match &p.body[2] {
+            Stmt::If(i) => {
+                assert_eq!(i.then_body.len(), 1);
+                assert_eq!(i.else_body.len(), 1);
+            }
+            other => panic!("expected if, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn counted_loop_has_increment() {
+        let mut b = ProgramBuilder::new("t");
+        b.for_counted(TripCount::Const(4), |_, _| {});
+        let p = b.finish();
+        match &p.body[1] {
+            Stmt::Loop(l) => {
+                assert_eq!(l.body.len(), 1, "increment only");
+                match &l.body[0] {
+                    Stmt::Op(op) => assert_eq!(op.opcode, Opcode::Add),
+                    other => panic!("expected add, got {other:?}"),
+                }
+            }
+            other => panic!("expected loop, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unclosed")]
+    fn unclosed_frame_panics() {
+        let mut b = ProgramBuilder::new("t");
+        b.frames.push(Vec::new());
+        let _ = b.finish();
+    }
+}

@@ -1,0 +1,490 @@
+//! Reference interpreter: executes a [`Program`] sequentially, one
+//! operation at a time.
+//!
+//! This defines the *semantics* of the IR. The VLIW simulator (crate `vm`)
+//! must produce bit-identical memory and queue contents for any schedule
+//! the compiler emits — that equivalence is the end-to-end correctness
+//! property of the whole system, and the property tests lean on it.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::op::{Op, Opcode};
+use crate::program::{Program, Stmt, TripCount};
+use crate::ty::Imm;
+use crate::value::{Operand, VReg};
+
+/// A dynamic value: registers are typed, but the interpreter checks types
+/// dynamically anyway to catch builder bugs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Value {
+    /// Float value.
+    F(f32),
+    /// Integer value.
+    I(i32),
+    /// Never written.
+    Undef,
+}
+
+impl Value {
+    fn as_f(self) -> Result<f32, InterpError> {
+        match self {
+            Value::F(v) => Ok(v),
+            other => Err(InterpError::TypeMismatch(format!("expected float, got {other:?}"))),
+        }
+    }
+
+    fn as_i(self) -> Result<i32, InterpError> {
+        match self {
+            Value::I(v) => Ok(v),
+            other => Err(InterpError::TypeMismatch(format!("expected int, got {other:?}"))),
+        }
+    }
+}
+
+/// Execution statistics, used to compute MFLOPS and speedups.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Operations executed.
+    pub ops: u64,
+    /// Floating-point operations executed (adds, multiplies, divides — the
+    /// paper's MFLOPS numerator).
+    pub flops: u64,
+}
+
+/// Errors during interpretation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InterpError {
+    /// A register was read before ever being written.
+    UndefRead(VReg),
+    /// Dynamic type confusion (indicates an IR builder bug).
+    TypeMismatch(String),
+    /// Address outside data memory.
+    MemOutOfBounds {
+        /// The offending address.
+        addr: i64,
+        /// Memory size in words.
+        size: u32,
+    },
+    /// `QPop` on an empty input queue.
+    QueueEmpty,
+    /// The fuel budget was exhausted (runaway loop guard).
+    OutOfFuel,
+}
+
+impl fmt::Display for InterpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InterpError::UndefRead(r) => write!(f, "read of undefined register {r}"),
+            InterpError::TypeMismatch(m) => write!(f, "type mismatch: {m}"),
+            InterpError::MemOutOfBounds { addr, size } => {
+                write!(f, "memory access at {addr} outside {size}-word memory")
+            }
+            InterpError::QueueEmpty => write!(f, "qpop from empty input queue"),
+            InterpError::OutOfFuel => write!(f, "execution exceeded fuel budget"),
+        }
+    }
+}
+
+impl std::error::Error for InterpError {}
+
+/// Machine state for sequential execution.
+#[derive(Debug, Clone)]
+pub struct Interp {
+    regs: Vec<Value>,
+    /// Data memory (f32 words, like Warp's data memory).
+    pub mem: Vec<f32>,
+    /// Input queue, channel X (pre-loaded by the harness).
+    pub input: VecDeque<f32>,
+    /// Output queue, channel X (collected by the harness).
+    pub output: Vec<f32>,
+    /// Input queue, channel Y.
+    pub input_y: VecDeque<f32>,
+    /// Output queue, channel Y.
+    pub output_y: Vec<f32>,
+    /// Statistics accumulated so far.
+    pub stats: ExecStats,
+    fuel: u64,
+}
+
+/// Default fuel: generous enough for every kernel in the suite, small
+/// enough to catch accidental infinite loops quickly.
+pub const DEFAULT_FUEL: u64 = 200_000_000;
+
+impl Interp {
+    /// Creates an interpreter sized for `program`.
+    pub fn new(program: &Program) -> Self {
+        Interp {
+            regs: vec![Value::Undef; program.regs.len()],
+            mem: vec![0.0; program.mem_size as usize],
+            input: VecDeque::new(),
+            output: Vec::new(),
+            input_y: VecDeque::new(),
+            output_y: Vec::new(),
+            stats: ExecStats::default(),
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Overrides the fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Sets a register (e.g. a runtime trip count) before execution.
+    pub fn set_reg(&mut self, r: VReg, v: Value) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Reads a register after execution.
+    pub fn reg(&self, r: VReg) -> Value {
+        self.regs[r.index()]
+    }
+
+    fn read(&self, r: VReg) -> Result<Value, InterpError> {
+        match self.regs[r.index()] {
+            Value::Undef => Err(InterpError::UndefRead(r)),
+            v => Ok(v),
+        }
+    }
+
+    fn operand(&self, o: Operand) -> Result<Value, InterpError> {
+        match o {
+            Operand::Reg(r) => self.read(r),
+            Operand::Imm(Imm::F(v)) => Ok(Value::F(v)),
+            Operand::Imm(Imm::I(v)) => Ok(Value::I(v)),
+        }
+    }
+
+    /// Runs the whole program.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first dynamic error (undefined read, bad address,
+    /// empty queue, fuel exhaustion).
+    pub fn run(&mut self, program: &Program) -> Result<(), InterpError> {
+        self.exec_stmts(&program.body)
+    }
+
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> Result<(), InterpError> {
+        for s in stmts {
+            match s {
+                Stmt::Op(op) => self.exec_op(op)?,
+                Stmt::Loop(l) => {
+                    let n = match l.trip {
+                        TripCount::Const(n) => n as i64,
+                        TripCount::Reg(r) => self.read(r)?.as_i()? as i64,
+                    };
+                    for _ in 0..n.max(0) {
+                        self.exec_stmts(&l.body)?;
+                    }
+                }
+                Stmt::If(i) => {
+                    let c = self.read(i.cond)?.as_i()?;
+                    if c != 0 {
+                        self.exec_stmts(&i.then_body)?;
+                    } else {
+                        self.exec_stmts(&i.else_body)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Executes one operation, updating state and statistics.
+    pub fn exec_op(&mut self, op: &Op) -> Result<(), InterpError> {
+        if self.fuel == 0 {
+            return Err(InterpError::OutOfFuel);
+        }
+        self.fuel -= 1;
+        self.stats.ops += 1;
+        if op.opcode.is_flop() {
+            self.stats.flops += 1;
+        }
+        let result = self.eval(op)?;
+        if let Some(dst) = op.dst {
+            self.regs[dst.index()] = result.expect("opcode with dst produced a value");
+        }
+        Ok(())
+    }
+
+    fn mem_addr(&self, v: Value) -> Result<usize, InterpError> {
+        let addr = v.as_i()? as i64;
+        if addr < 0 || addr as usize >= self.mem.len() {
+            return Err(InterpError::MemOutOfBounds {
+                addr,
+                size: self.mem.len() as u32,
+            });
+        }
+        Ok(addr as usize)
+    }
+
+    fn eval(&mut self, op: &Op) -> Result<Option<Value>, InterpError> {
+        use Opcode::*;
+        let s = |i: usize| self.operand(op.srcs[i]);
+        let v = match op.opcode {
+            FAdd => Value::F(s(0)?.as_f()? + s(1)?.as_f()?),
+            FSub => Value::F(s(0)?.as_f()? - s(1)?.as_f()?),
+            FMul => Value::F(s(0)?.as_f()? * s(1)?.as_f()?),
+            FDiv => Value::F(s(0)?.as_f()? / s(1)?.as_f()?),
+            FSqrt => Value::F(s(0)?.as_f()?.sqrt()),
+            FNeg => Value::F(-s(0)?.as_f()?),
+            FAbs => Value::F(s(0)?.as_f()?.abs()),
+            FMin => Value::F(s(0)?.as_f()?.min(s(1)?.as_f()?)),
+            FMax => Value::F(s(0)?.as_f()?.max(s(1)?.as_f()?)),
+            FCmp(p) => Value::I(p.eval(s(0)?.as_f()?, s(1)?.as_f()?) as i32),
+            ItoF => Value::F(s(0)?.as_i()? as f32),
+            FtoI => Value::I(s(0)?.as_f()? as i32),
+            Add => Value::I(s(0)?.as_i()?.wrapping_add(s(1)?.as_i()?)),
+            Sub => Value::I(s(0)?.as_i()?.wrapping_sub(s(1)?.as_i()?)),
+            Mul => Value::I(s(0)?.as_i()?.wrapping_mul(s(1)?.as_i()?)),
+            Div => {
+                let d = s(1)?.as_i()?;
+                if d == 0 {
+                    return Err(InterpError::TypeMismatch("division by zero".into()));
+                }
+                Value::I(s(0)?.as_i()?.wrapping_div(d))
+            }
+            Rem => {
+                let d = s(1)?.as_i()?;
+                if d == 0 {
+                    return Err(InterpError::TypeMismatch("remainder by zero".into()));
+                }
+                Value::I(s(0)?.as_i()?.wrapping_rem(d))
+            }
+            And => Value::I(s(0)?.as_i()? & s(1)?.as_i()?),
+            Or => Value::I(s(0)?.as_i()? | s(1)?.as_i()?),
+            Xor => Value::I(s(0)?.as_i()? ^ s(1)?.as_i()?),
+            Shl => Value::I(s(0)?.as_i()?.wrapping_shl(s(1)?.as_i()? as u32)),
+            Shr => Value::I(s(0)?.as_i()?.wrapping_shr(s(1)?.as_i()? as u32)),
+            ICmp(p) => Value::I(p.eval(s(0)?.as_i()?, s(1)?.as_i()?) as i32),
+            Select => {
+                if s(0)?.as_i()? != 0 {
+                    s(1)?
+                } else {
+                    s(2)?
+                }
+            }
+            Copy => s(0)?,
+            Const => s(0)?,
+            Load => {
+                let a = self.mem_addr(s(0)?)?;
+                Value::F(self.mem[a])
+            }
+            Store => {
+                let a = self.mem_addr(s(0)?)?;
+                let val = s(1)?.as_f()?;
+                self.mem[a] = val;
+                return Ok(None);
+            }
+            QPop => {
+                let q = if op.channel == 0 {
+                    &mut self.input
+                } else {
+                    &mut self.input_y
+                };
+                let v = q.pop_front().ok_or(InterpError::QueueEmpty)?;
+                Value::F(v)
+            }
+            QPush => {
+                let v = s(0)?.as_f()?;
+                if op.channel == 0 {
+                    self.output.push(v);
+                } else {
+                    self.output_y.push(v);
+                }
+                return Ok(None);
+            }
+        };
+        Ok(Some(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::TripCount;
+
+    #[test]
+    fn vector_increment_runs() {
+        // The paper's §2 example: add a constant to a vector.
+        let mut b = ProgramBuilder::new("vinc");
+        let a = b.array("a", 8);
+        b.for_counted(TripCount::Const(8), |b, i| {
+            let x = b.load_elem(a, i.into(), 1, 0);
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store_elem(a, i.into(), 1, 0, y.into());
+        });
+        let p = b.finish();
+        p.validate().unwrap();
+        let mut it = Interp::new(&p);
+        for (i, w) in it.mem.iter_mut().enumerate() {
+            *w = i as f32;
+        }
+        it.run(&p).unwrap();
+        for (i, w) in it.mem.iter().enumerate() {
+            assert_eq!(*w, i as f32 + 1.0);
+        }
+        assert_eq!(it.stats.flops, 8);
+    }
+
+    #[test]
+    fn accumulator_recurrence() {
+        let mut b = ProgramBuilder::new("sum");
+        let a = b.array("a", 4);
+        let s = b.fconst(0.0);
+        b.for_counted(TripCount::Const(4), |b, i| {
+            let x = b.load_elem(a, i.into(), 1, 0);
+            b.push_op(Op::new(Opcode::FAdd, Some(s), vec![s.into(), x.into()]));
+        });
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        it.mem.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        it.run(&p).unwrap();
+        assert_eq!(it.reg(s), Value::F(10.0));
+    }
+
+    #[test]
+    fn runtime_trip_count_from_register() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.named_reg(crate::Type::I32, "n");
+        let c = b.fconst(0.0);
+        b.for_loop(TripCount::Reg(n), |b| {
+            b.push_op(Op::new(Opcode::FAdd, Some(c), vec![c.into(), 1.0f32.into()]));
+        });
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        it.set_reg(n, Value::I(5));
+        it.run(&p).unwrap();
+        assert_eq!(it.reg(c), Value::F(5.0));
+    }
+
+    #[test]
+    fn negative_trip_count_means_zero() {
+        let mut b = ProgramBuilder::new("t");
+        let n = b.named_reg(crate::Type::I32, "n");
+        let c = b.fconst(7.0);
+        b.for_loop(TripCount::Reg(n), |b| {
+            b.push_op(Op::new(Opcode::FAdd, Some(c), vec![c.into(), 1.0f32.into()]));
+        });
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        it.set_reg(n, Value::I(-3));
+        it.run(&p).unwrap();
+        assert_eq!(it.reg(c), Value::F(7.0));
+    }
+
+    #[test]
+    fn conditional_selects_arm() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.fconst(3.0);
+        let c = b.fcmp(crate::CmpPred::Gt, x.into(), 0.0f32.into());
+        let out = b.named_reg(crate::Type::F32, "out");
+        b.if_else(
+            c,
+            |b| b.copy_to(out, 1.0f32.into()),
+            |b| b.copy_to(out, (-1.0f32).into()),
+        );
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        it.run(&p).unwrap();
+        assert_eq!(it.reg(out), Value::F(1.0));
+    }
+
+    #[test]
+    fn queues_roundtrip() {
+        let mut b = ProgramBuilder::new("t");
+        b.for_loop(TripCount::Const(3), |b| {
+            let x = b.qpop();
+            let y = b.fmul(x.into(), 2.0f32.into());
+            b.qpush(y.into());
+        });
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        it.input.extend([1.0, 2.0, 3.0]);
+        it.run(&p).unwrap();
+        assert_eq!(it.output, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn dual_channel_queues_are_independent() {
+        let mut b = ProgramBuilder::new("t");
+        b.for_loop(TripCount::Const(3), |b| {
+            let x = b.qpop();
+            let y = b.qpop_ch(1);
+            let s = b.fadd(x.into(), y.into());
+            let d = b.fsub(x.into(), y.into());
+            b.qpush(s.into());
+            b.qpush_ch(1, d.into());
+        });
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        it.input.extend([10.0, 20.0, 30.0]);
+        it.input_y.extend([1.0, 2.0, 3.0]);
+        it.run(&p).unwrap();
+        assert_eq!(it.output, vec![11.0, 22.0, 33.0]);
+        assert_eq!(it.output_y, vec![9.0, 18.0, 27.0]);
+    }
+
+    #[test]
+    fn empty_queue_errors() {
+        let mut b = ProgramBuilder::new("t");
+        b.qpop();
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        assert_eq!(it.run(&p), Err(InterpError::QueueEmpty));
+    }
+
+    #[test]
+    fn oob_memory_errors() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 2);
+        b.load_elem(a, Operand::Imm(Imm::I(10)), 1, 0);
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        assert!(matches!(
+            it.run(&p),
+            Err(InterpError::MemOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn undef_read_errors() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.named_reg(crate::Type::F32, "x");
+        b.fadd(x.into(), 1.0f32.into());
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        assert_eq!(it.run(&p), Err(InterpError::UndefRead(x)));
+    }
+
+    #[test]
+    fn fuel_guard_trips() {
+        let mut b = ProgramBuilder::new("t");
+        let c = b.fconst(0.0);
+        b.for_loop(TripCount::Const(1000), |b| {
+            b.push_op(Op::new(Opcode::FAdd, Some(c), vec![c.into(), 1.0f32.into()]));
+        });
+        let p = b.finish();
+        let mut it = Interp::new(&p).with_fuel(10);
+        assert_eq!(it.run(&p), Err(InterpError::OutOfFuel));
+    }
+
+    #[test]
+    fn select_and_int_ops() {
+        let mut b = ProgramBuilder::new("t");
+        let x = b.iconst(6);
+        let y = b.iconst(3);
+        let q = b.mul(x.into(), y.into());
+        let cnd = b.icmp(crate::CmpPred::Gt, q.into(), 10i32.into());
+        let r = b.select(cnd.into(), 100i32.into(), 200i32.into());
+        let p = b.finish();
+        let mut it = Interp::new(&p);
+        it.run(&p).unwrap();
+        assert_eq!(it.reg(q), Value::I(18));
+        assert_eq!(it.reg(r), Value::I(100));
+    }
+}

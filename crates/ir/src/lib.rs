@@ -1,0 +1,58 @@
+//! Mid-level intermediate representation for the software-pipelining
+//! reproduction.
+//!
+//! Programs are *block structured* — a tree of counted loops and two-armed
+//! conditionals whose leaves are operations ([`Op`]) over typed virtual
+//! registers, data memory and inter-cell queues. This mirrors the W2
+//! language targeted by the paper's compiler and is the shape that
+//! hierarchical reduction (crate `swp`) requires.
+//!
+//! * [`ProgramBuilder`] builds programs ergonomically;
+//! * [`Interp`] gives the IR its reference semantics (the VLIW simulator
+//!   must agree with it bit for bit);
+//! * [`MemRef`] metadata on loads/stores carries the affine subscript
+//!   information the dependence analyzer uses to compute loop-carried
+//!   iteration distances.
+//!
+//! # Examples
+//!
+//! ```
+//! use ir::{Interp, ProgramBuilder, TripCount};
+//!
+//! // sum[0] = Σ a[i]
+//! let mut b = ProgramBuilder::new("sum");
+//! let a = b.array("a", 4);
+//! let out = b.array("out", 1);
+//! let acc = b.fconst(0.0);
+//! b.for_counted(TripCount::Const(4), |b, i| {
+//!     let x = b.load_elem(a, i.into(), 1, 0);
+//!     b.push_op(ir::Op::new(ir::Opcode::FAdd, Some(acc), vec![acc.into(), x.into()]));
+//! });
+//! b.store_fixed(out, 0, acc.into());
+//! let p = b.finish();
+//! p.validate().unwrap();
+//!
+//! let mut it = Interp::new(&p);
+//! it.mem[..4].copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+//! it.run(&p).unwrap();
+//! assert_eq!(it.mem[4], 10.0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod builder;
+mod interp;
+mod mem;
+mod op;
+mod program;
+mod ty;
+mod value;
+
+pub use builder::ProgramBuilder;
+pub use interp::{ExecStats, Interp, InterpError, Value, DEFAULT_FUEL};
+pub use mem::{alias, Alias, Array, ArrayId, MemPattern, MemRef};
+pub use op::{CmpPred, Op, Opcode};
+pub use program::{IfStmt, Loop, Program, Stmt, TripCount, ValidateError};
+pub use ty::{Imm, Type};
+pub use value::{Operand, RegTable, VReg};

@@ -1,0 +1,298 @@
+//! Data-memory layout and memory-reference metadata.
+//!
+//! Dependence analysis between `Load`/`Store` operations needs to know
+//! *which* array a reference touches and *how its subscript varies with
+//! the innermost loop counter*. W2 programs index arrays with affine
+//! expressions of loop counters; the frontend (or the IR builder) records
+//! that shape here so the dependence builder can compute exact iteration
+//! distances. The paper notes that some Livermore kernels needed
+//! "compiler directives to disambiguate array references" — the same role
+//! is played by attaching precise [`MemRef`]s.
+
+use std::fmt;
+
+/// Identifies an array (a named region of data memory).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArrayId(pub u32);
+
+impl ArrayId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ArrayId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "a{}", self.0)
+    }
+}
+
+/// A named array with a fixed extent, placed at `base` in data memory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Array {
+    /// Source-level name.
+    pub name: String,
+    /// First word of the array in data memory.
+    pub base: u32,
+    /// Number of words.
+    pub len: u32,
+}
+
+/// How a memory reference's address varies with the innermost loop.
+///
+/// The address is `array.base + stride * i + offset (+ invariant)`, where
+/// `i` is the innermost loop's iteration number (starting at 0). Any
+/// additional loop-invariant component (e.g. an outer loop's row offset)
+/// does not affect iteration distances within the innermost loop and is
+/// summarized by the `invariant` flag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemPattern {
+    /// Subscript is affine in the innermost counter with the given
+    /// per-iteration `stride` (in words) and constant `offset`, plus an
+    /// optional loop-invariant component identified by `inv`: two
+    /// references are comparable only if their invariant parts are the
+    /// same expression (same token) or both absent.
+    Affine {
+        /// Words advanced per innermost iteration.
+        stride: i64,
+        /// Constant word offset relative to the iteration-0 address.
+        offset: i64,
+        /// Identity token of the loop-invariant address component
+        /// (`None` = no invariant part). Tokens are assigned by the
+        /// frontend per structurally distinct invariant expression.
+        inv: Option<u32>,
+    },
+    /// Subscript does not vary with the innermost loop (a scalar-like
+    /// element, reused every iteration).
+    Invariant,
+    /// Subscript varies in a way the frontend could not analyze (indirect
+    /// indexing, data-dependent addresses). Forces conservative
+    /// dependences.
+    Unknown,
+}
+
+/// Memory-reference metadata attached to a `Load` or `Store`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// The array referenced. References to different arrays never alias.
+    pub array: ArrayId,
+    /// How the subscript varies with the innermost loop counter.
+    pub pattern: MemPattern,
+}
+
+impl MemRef {
+    /// An affine reference `array[stride * i + offset]` with no
+    /// loop-invariant component.
+    pub fn affine(array: ArrayId, stride: i64, offset: i64) -> Self {
+        MemRef {
+            array,
+            pattern: MemPattern::Affine {
+                stride,
+                offset,
+                inv: None,
+            },
+        }
+    }
+
+    /// An affine reference `array[stride * i + offset + inv]`, where `inv`
+    /// identifies the loop-invariant component.
+    pub fn affine_inv(array: ArrayId, stride: i64, offset: i64, inv: u32) -> Self {
+        MemRef {
+            array,
+            pattern: MemPattern::Affine {
+                stride,
+                offset,
+                inv: Some(inv),
+            },
+        }
+    }
+
+    /// A loop-invariant reference.
+    pub fn invariant(array: ArrayId) -> Self {
+        MemRef {
+            array,
+            pattern: MemPattern::Invariant,
+        }
+    }
+
+    /// An unanalyzable reference.
+    pub fn unknown(array: ArrayId) -> Self {
+        MemRef {
+            array,
+            pattern: MemPattern::Unknown,
+        }
+    }
+}
+
+impl fmt::Display for MemRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pattern {
+            MemPattern::Affine { stride, offset, inv } => {
+                write!(f, "{}[{}i{:+}", self.array, stride, offset)?;
+                if let Some(t) = inv {
+                    write!(f, "+inv{t}")?;
+                }
+                write!(f, "]")
+            }
+            MemPattern::Invariant => write!(f, "{}[inv]", self.array),
+            MemPattern::Unknown => write!(f, "{}[?]", self.array),
+        }
+    }
+}
+
+/// Result of querying whether two references to the *same array* may
+/// touch the same word `delta` iterations apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alias {
+    /// They never conflict at any non-negative iteration distance.
+    Never,
+    /// They conflict exactly when the later access runs `distance`
+    /// iterations after the earlier one (`distance >= 0`).
+    At {
+        /// Iteration distance of the conflict.
+        distance: i64,
+    },
+    /// Analysis cannot bound the conflict; assume all distances.
+    Unknown,
+}
+
+/// Computes possible conflicts between two references in the same loop
+/// body: does the address of `later` in iteration `i + distance` equal the
+/// address of `earlier` in iteration `i`?
+///
+/// Returns [`Alias::Never`] for references to different arrays.
+pub fn alias(earlier: &MemRef, later: &MemRef) -> Alias {
+    if earlier.array != later.array {
+        return Alias::Never;
+    }
+    use MemPattern::*;
+    match (earlier.pattern, later.pattern) {
+        (
+            Affine { stride: s1, offset: o1, inv: i1 },
+            Affine { stride: s2, offset: o2, inv: i2 },
+        ) => {
+            if i1 != i2 {
+                // Different (or one-sided) invariant address components:
+                // not comparable within the innermost loop.
+                return Alias::Unknown;
+            }
+            if s1 != s2 {
+                // Different strides cross at data-dependent points; be
+                // conservative (rare in W2-style kernels).
+                return Alias::Unknown;
+            }
+            if s1 == 0 {
+                return if o1 == o2 { Alias::At { distance: 0 } } else { Alias::Never };
+            }
+            // s*(i+delta) + o2 == s*i + o1  =>  delta == (o1 - o2) / s
+            let num = o1 - o2;
+            if num % s1 != 0 {
+                Alias::Never
+            } else {
+                Alias::At { distance: num / s1 }
+            }
+        }
+        (Invariant, Invariant) => Alias::At { distance: 0 },
+        (Affine { stride, .. }, Invariant) | (Invariant, Affine { stride, .. }) => {
+            if stride == 0 {
+                Alias::Unknown
+            } else {
+                // A moving reference hits a fixed element at most once; the
+                // distance is data dependent, so stay conservative.
+                Alias::Unknown
+            }
+        }
+        _ => Alias::Unknown,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn a() -> ArrayId {
+        ArrayId(0)
+    }
+
+    #[test]
+    fn different_arrays_never_alias() {
+        let x = MemRef::affine(ArrayId(0), 1, 0);
+        let y = MemRef::affine(ArrayId(1), 1, 0);
+        assert_eq!(alias(&x, &y), Alias::Never);
+    }
+
+    #[test]
+    fn same_stride_distance() {
+        // store a[i], load a[i-1]: the load in iteration i+1 reads what the
+        // store wrote in iteration i => distance 1.
+        let st = MemRef::affine(a(), 1, 0);
+        let ld = MemRef::affine(a(), 1, -1);
+        assert_eq!(alias(&st, &ld), Alias::At { distance: 1 });
+    }
+
+    #[test]
+    fn same_element_same_iteration() {
+        let st = MemRef::affine(a(), 1, 0);
+        let ld = MemRef::affine(a(), 1, 0);
+        assert_eq!(alias(&st, &ld), Alias::At { distance: 0 });
+    }
+
+    #[test]
+    fn non_integral_distance_never_aliases() {
+        // a[2i] vs a[2i+1]: even vs odd words.
+        let x = MemRef::affine(a(), 2, 0);
+        let y = MemRef::affine(a(), 2, 1);
+        assert_eq!(alias(&y, &x), Alias::Never);
+        assert_eq!(alias(&x, &y), Alias::Never);
+    }
+
+    #[test]
+    fn negative_distance_reported() {
+        // store a[i], load a[i+1]: the load reads *ahead*; conflict occurs
+        // at distance -1, i.e. the load in iteration i-1... callers treat
+        // negative distances as "dependence flows the other way".
+        let st = MemRef::affine(a(), 1, 0);
+        let ld = MemRef::affine(a(), 1, 1);
+        assert_eq!(alias(&st, &ld), Alias::At { distance: -1 });
+    }
+
+    #[test]
+    fn different_strides_unknown() {
+        let x = MemRef::affine(a(), 1, 0);
+        let y = MemRef::affine(a(), 2, 0);
+        assert_eq!(alias(&x, &y), Alias::Unknown);
+    }
+
+    #[test]
+    fn invariant_pairs() {
+        let x = MemRef::invariant(a());
+        assert_eq!(alias(&x, &x), Alias::At { distance: 0 });
+        let m = MemRef::affine(a(), 1, 0);
+        assert_eq!(alias(&x, &m), Alias::Unknown);
+    }
+
+    #[test]
+    fn unknown_is_conservative() {
+        let x = MemRef::unknown(a());
+        let y = MemRef::affine(a(), 1, 0);
+        assert_eq!(alias(&x, &y), Alias::Unknown);
+    }
+
+    #[test]
+    fn zero_stride_affine_behaves_like_invariant() {
+        let x = MemRef::affine(a(), 0, 3);
+        let y = MemRef::affine(a(), 0, 3);
+        let z = MemRef::affine(a(), 0, 4);
+        assert_eq!(alias(&x, &y), Alias::At { distance: 0 });
+        assert_eq!(alias(&x, &z), Alias::Never);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MemRef::affine(a(), 1, -1).to_string(), "a0[1i-1]");
+        assert_eq!(MemRef::invariant(a()).to_string(), "a0[inv]");
+        assert_eq!(MemRef::unknown(a()).to_string(), "a0[?]");
+    }
+}

@@ -1,0 +1,510 @@
+//! Operations: the minimally indivisible units of scheduling.
+
+use std::fmt;
+
+use machine::OpClass;
+
+use crate::mem::MemRef;
+use crate::ty::Type;
+use crate::value::{Operand, RegTable, VReg};
+
+/// Comparison predicate shared by integer and float compares.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpPred {
+    /// Evaluates the predicate on an ordering-comparable pair.
+    pub fn eval<T: PartialOrd>(self, a: T, b: T) -> bool {
+        match self {
+            CmpPred::Eq => a == b,
+            CmpPred::Ne => a != b,
+            CmpPred::Lt => a < b,
+            CmpPred::Le => a <= b,
+            CmpPred::Gt => a > b,
+            CmpPred::Ge => a >= b,
+        }
+    }
+
+    /// Mnemonic suffix, e.g. `lt`.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpPred::Eq => "eq",
+            CmpPred::Ne => "ne",
+            CmpPred::Lt => "lt",
+            CmpPred::Le => "le",
+            CmpPred::Gt => "gt",
+            CmpPred::Ge => "ge",
+        }
+    }
+}
+
+/// Operation codes.
+///
+/// Every opcode has exact executable semantics (see `interp`), a machine
+/// [`OpClass`] determining its timing, and a fixed arity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    /// `dst = src0 + src1` (float).
+    FAdd,
+    /// `dst = src0 - src1` (float).
+    FSub,
+    /// `dst = src0 * src1` (float).
+    FMul,
+    /// `dst = src0 / src1` (float; W2 expands this on Warp, we model the
+    /// expansion's cost in the machine description).
+    FDiv,
+    /// `dst = sqrt(src0)` (float).
+    FSqrt,
+    /// `dst = -src0` (float).
+    FNeg,
+    /// `dst = |src0|` (float).
+    FAbs,
+    /// `dst = min(src0, src1)` (float).
+    FMin,
+    /// `dst = max(src0, src1)` (float).
+    FMax,
+    /// `dst = src0 <pred> src1 ? 1 : 0` (float inputs, int result).
+    FCmp(CmpPred),
+    /// `dst = (float) src0`.
+    ItoF,
+    /// `dst = (int) src0` (truncating).
+    FtoI,
+    /// `dst = src0 + src1` (int).
+    Add,
+    /// `dst = src0 - src1` (int).
+    Sub,
+    /// `dst = src0 * src1` (int; address arithmetic).
+    Mul,
+    /// `dst = src0 / src1` (int, truncating; loop-count arithmetic).
+    Div,
+    /// `dst = src0 % src1` (int; loop-count arithmetic).
+    Rem,
+    /// `dst = src0 & src1`.
+    And,
+    /// `dst = src0 | src1`.
+    Or,
+    /// `dst = src0 ^ src1`.
+    Xor,
+    /// `dst = src0 << src1`.
+    Shl,
+    /// `dst = src0 >> src1` (arithmetic).
+    Shr,
+    /// `dst = src0 <pred> src1 ? 1 : 0` (int).
+    ICmp(CmpPred),
+    /// `dst = src0 != 0 ? src1 : src2`; sources 1 and 2 share a type.
+    Select,
+    /// `dst = src0` (either type).
+    Copy,
+    /// `dst = imm` (source 0 must be an immediate).
+    Const,
+    /// `dst = memory[src0]` (float load, int address).
+    Load,
+    /// `memory[src0] = src1` (int address, float value).
+    Store,
+    /// `dst = pop()` from one of the cell's input queues (see
+    /// [`Op::channel`]).
+    QPop,
+    /// `push(src0)` to one of the cell's output queues.
+    QPush,
+}
+
+impl Opcode {
+    /// The machine class this opcode executes on.
+    pub fn class(self) -> OpClass {
+        use Opcode::*;
+        match self {
+            FAdd | FSub | FNeg | FAbs | FMin | FMax | FCmp(_) | ItoF | FtoI => OpClass::FloatAdd,
+            FMul => OpClass::FloatMul,
+            FDiv | FSqrt => OpClass::FloatDiv,
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | ICmp(_) | Select | Copy
+            | Const => {
+                OpClass::Alu
+            }
+            Load => OpClass::MemLoad,
+            Store => OpClass::MemStore,
+            QPop => OpClass::QueueRead,
+            QPush => OpClass::QueueWrite,
+        }
+    }
+
+    /// Number of source operands.
+    pub fn arity(self) -> usize {
+        use Opcode::*;
+        match self {
+            Const | QPop => 1, // Const carries its immediate as src0
+            FNeg | FAbs | FSqrt | ItoF | FtoI | Copy | Load | QPush => 1,
+            FAdd | FSub | FMul | FDiv | FMin | FMax | FCmp(_) | Add | Sub | Mul | Div | Rem
+            | And | Or | Xor | Shl | Shr | ICmp(_) | Store => 2,
+            Select => 3,
+        }
+    }
+
+    /// Whether the opcode writes a destination register.
+    pub fn has_dst(self) -> bool {
+        !matches!(self, Opcode::Store | Opcode::QPush)
+    }
+
+    /// True for opcodes counted as floating-point work in MFLOPS figures.
+    pub fn is_flop(self) -> bool {
+        self.class().is_flop()
+    }
+
+    /// Result type given the source types, or `None` for `Store`/`QPush`.
+    pub fn result_ty(self, src_ty: impl Fn(usize) -> Type) -> Option<Type> {
+        use Opcode::*;
+        match self {
+            FAdd | FSub | FMul | FDiv | FSqrt | FNeg | FAbs | FMin | FMax | ItoF | Load
+            | QPop => Some(Type::F32),
+            FtoI | Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | ICmp(_)
+            | FCmp(_) => Some(Type::I32),
+            Select => Some(src_ty(1)),
+            Copy | Const => Some(src_ty(0)),
+            Store | QPush => None,
+        }
+    }
+
+    /// Short mnemonic for displays.
+    pub fn mnemonic(self) -> String {
+        use Opcode::*;
+        match self {
+            FAdd => "fadd".into(),
+            FSub => "fsub".into(),
+            FMul => "fmul".into(),
+            FDiv => "fdiv".into(),
+            FSqrt => "fsqrt".into(),
+            FNeg => "fneg".into(),
+            FAbs => "fabs".into(),
+            FMin => "fmin".into(),
+            FMax => "fmax".into(),
+            FCmp(p) => format!("fcmp.{}", p.mnemonic()),
+            ItoF => "itof".into(),
+            FtoI => "ftoi".into(),
+            Add => "add".into(),
+            Sub => "sub".into(),
+            Mul => "mul".into(),
+            Div => "div".into(),
+            Rem => "rem".into(),
+            And => "and".into(),
+            Or => "or".into(),
+            Xor => "xor".into(),
+            Shl => "shl".into(),
+            Shr => "shr".into(),
+            ICmp(p) => format!("icmp.{}", p.mnemonic()),
+            Select => "select".into(),
+            Copy => "copy".into(),
+            Const => "const".into(),
+            Load => "load".into(),
+            Store => "store".into(),
+            QPop => "qpop".into(),
+            QPush => "qpush".into(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// A single operation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Op {
+    /// What the operation does.
+    pub opcode: Opcode,
+    /// Destination register, if the opcode produces a value.
+    pub dst: Option<VReg>,
+    /// Source operands (`opcode.arity()` of them).
+    pub srcs: Vec<Operand>,
+    /// Memory-reference metadata for `Load`/`Store`, used by dependence
+    /// analysis to compute iteration distances. `None` means "cannot
+    /// disambiguate" and forces conservative dependences.
+    pub mem: Option<MemRef>,
+    /// Communication channel for `QPop`/`QPush`: Warp cells have two
+    /// (the X and Y channels). 0 or 1; ignored by other opcodes.
+    pub channel: u8,
+}
+
+impl Op {
+    /// Creates an operation; `dst` must be present exactly when the opcode
+    /// produces a result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the operand count does not match the opcode's arity or
+    /// `dst` presence does not match [`Opcode::has_dst`].
+    pub fn new(opcode: Opcode, dst: Option<VReg>, srcs: Vec<Operand>) -> Self {
+        assert_eq!(
+            srcs.len(),
+            opcode.arity(),
+            "{opcode} expects {} sources, got {}",
+            opcode.arity(),
+            srcs.len()
+        );
+        assert_eq!(
+            dst.is_some(),
+            opcode.has_dst(),
+            "{opcode} dst presence mismatch"
+        );
+        Op {
+            opcode,
+            dst,
+            srcs,
+            mem: None,
+            channel: 0,
+        }
+    }
+
+    /// Selects the communication channel for a queue operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the opcode is not a queue operation or `channel > 1`
+    /// (Warp has two channels).
+    pub fn with_channel(mut self, channel: u8) -> Self {
+        assert!(
+            self.touches_queue(),
+            "{} has no channel",
+            self.opcode
+        );
+        assert!(channel <= 1, "Warp cells have channels 0 and 1");
+        self.channel = channel;
+        self
+    }
+
+    /// Attaches memory-reference metadata (builder-style).
+    pub fn with_mem(mut self, mem: MemRef) -> Self {
+        debug_assert!(matches!(self.opcode, Opcode::Load | Opcode::Store));
+        self.mem = Some(mem);
+        self
+    }
+
+    /// Registers read by this operation.
+    pub fn uses(&self) -> impl Iterator<Item = VReg> + '_ {
+        self.srcs.iter().filter_map(|s| s.reg())
+    }
+
+    /// The register written, if any.
+    pub fn def(&self) -> Option<VReg> {
+        self.dst
+    }
+
+    /// True if this op reads or writes data memory.
+    pub fn touches_memory(&self) -> bool {
+        matches!(self.opcode, Opcode::Load | Opcode::Store)
+    }
+
+    /// True if this op interacts with the inter-cell queues. Queue ops are
+    /// ordered side effects and must never be reordered with each other.
+    pub fn touches_queue(&self) -> bool {
+        matches!(self.opcode, Opcode::QPop | Opcode::QPush)
+    }
+
+    /// Validates operand types against a register table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first type error found.
+    pub fn type_check(&self, regs: &RegTable) -> Result<(), String> {
+        use Opcode::*;
+        let src_ty = |i: usize| -> Type {
+            match self.srcs[i] {
+                Operand::Reg(r) => regs.ty(r),
+                Operand::Imm(imm) => imm.ty(),
+            }
+        };
+        let expect = |i: usize, want: Type| -> Result<(), String> {
+            let got = src_ty(i);
+            if got != want {
+                return Err(format!("{}: source {i} is {got}, expected {want}", self.opcode));
+            }
+            Ok(())
+        };
+        match self.opcode {
+            FAdd | FSub | FMul | FDiv | FMin | FMax | FCmp(_) => {
+                expect(0, Type::F32)?;
+                expect(1, Type::F32)?;
+            }
+            FSqrt | FNeg | FAbs | FtoI => expect(0, Type::F32)?,
+            ItoF => expect(0, Type::I32)?,
+            Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | ICmp(_) => {
+                expect(0, Type::I32)?;
+                expect(1, Type::I32)?;
+            }
+            Select => {
+                expect(0, Type::I32)?;
+                if src_ty(1) != src_ty(2) {
+                    return Err("select: branch operand types differ".into());
+                }
+            }
+            Copy | Const => {}
+            Load => expect(0, Type::I32)?,
+            Store => {
+                expect(0, Type::I32)?;
+                expect(1, Type::F32)?;
+            }
+            QPop => {}
+            QPush => expect(0, Type::F32)?,
+        }
+        if let Some(dst) = self.dst {
+            let want = self
+                .opcode
+                .result_ty(src_ty)
+                .expect("opcode with dst has result type");
+            if regs.ty(dst) != want {
+                return Err(format!(
+                    "{}: destination {dst} is {}, expected {want}",
+                    self.opcode,
+                    regs.ty(dst)
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Op {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(d) = self.dst {
+            write!(f, "{d} = ")?;
+        }
+        write!(f, "{}", self.opcode)?;
+        for (i, s) in self.srcs.iter().enumerate() {
+            if i == 0 {
+                write!(f, " {s}")?;
+            } else {
+                write!(f, ", {s}")?;
+            }
+        }
+        if let Some(m) = &self.mem {
+            write!(f, " !{m}")?;
+        }
+        if self.touches_queue() && self.channel != 0 {
+            write!(f, " @y")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ty::Imm;
+
+    fn regs() -> (RegTable, VReg, VReg, VReg) {
+        let mut t = RegTable::new();
+        let f1 = t.alloc(Type::F32);
+        let f2 = t.alloc(Type::F32);
+        let i1 = t.alloc(Type::I32);
+        (t, f1, f2, i1)
+    }
+
+    #[test]
+    fn op_classes() {
+        assert_eq!(Opcode::FAdd.class(), OpClass::FloatAdd);
+        assert_eq!(Opcode::FMul.class(), OpClass::FloatMul);
+        assert_eq!(Opcode::FDiv.class(), OpClass::FloatDiv);
+        assert_eq!(Opcode::Add.class(), OpClass::Alu);
+        assert_eq!(Opcode::Load.class(), OpClass::MemLoad);
+        assert_eq!(Opcode::Store.class(), OpClass::MemStore);
+        assert_eq!(Opcode::QPop.class(), OpClass::QueueRead);
+    }
+
+    #[test]
+    fn flop_counting() {
+        assert!(Opcode::FAdd.is_flop());
+        assert!(Opcode::FMul.is_flop());
+        assert!(!Opcode::Add.is_flop());
+        assert!(!Opcode::Load.is_flop());
+    }
+
+    #[test]
+    fn well_formed_op() {
+        let (t, f1, f2, _) = regs();
+        let mut t = t;
+        let d = t.alloc(Type::F32);
+        let op = Op::new(Opcode::FAdd, Some(d), vec![f1.into(), f2.into()]);
+        assert!(op.type_check(&t).is_ok());
+        assert_eq!(op.uses().collect::<Vec<_>>(), vec![f1, f2]);
+        assert_eq!(op.def(), Some(d));
+        assert_eq!(op.to_string(), "v3 = fadd v0, v1");
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 2 sources")]
+    fn wrong_arity_panics() {
+        let (_, f1, _, _) = regs();
+        let _ = Op::new(Opcode::FAdd, Some(VReg(0)), vec![f1.into()]);
+    }
+
+    #[test]
+    fn type_errors_detected() {
+        let (mut t, f1, _, i1) = regs();
+        let d = t.alloc(Type::F32);
+        let op = Op::new(Opcode::FAdd, Some(d), vec![f1.into(), i1.into()]);
+        let err = op.type_check(&t).unwrap_err();
+        assert!(err.contains("expected f32"), "{err}");
+    }
+
+    #[test]
+    fn dst_type_checked() {
+        let (mut t, f1, f2, _) = regs();
+        let d = t.alloc(Type::I32);
+        let op = Op::new(Opcode::FAdd, Some(d), vec![f1.into(), f2.into()]);
+        assert!(op.type_check(&t).is_err());
+    }
+
+    #[test]
+    fn store_has_no_dst() {
+        let (t, f1, _, i1) = regs();
+        let op = Op::new(Opcode::Store, None, vec![i1.into(), f1.into()]);
+        assert!(op.type_check(&t).is_ok());
+        assert!(op.touches_memory());
+        assert!(op.def().is_none());
+    }
+
+    #[test]
+    fn const_takes_imm() {
+        let (mut t, _, _, _) = regs();
+        let d = t.alloc(Type::I32);
+        let op = Op::new(Opcode::Const, Some(d), vec![Imm::I(5).into()]);
+        assert!(op.type_check(&t).is_ok());
+        assert_eq!(op.uses().count(), 0);
+    }
+
+    #[test]
+    fn cmp_preds() {
+        assert!(CmpPred::Lt.eval(1, 2));
+        assert!(!CmpPred::Lt.eval(2, 2));
+        assert!(CmpPred::Le.eval(2, 2));
+        assert!(CmpPred::Ne.eval(1.0, 2.0));
+        assert!(CmpPred::Ge.eval(3, 3));
+        assert!(CmpPred::Gt.eval(4, 3));
+        assert!(CmpPred::Eq.eval(4, 4));
+    }
+
+    #[test]
+    fn select_result_type_follows_branches() {
+        let (mut t, f1, f2, i1) = regs();
+        let d = t.alloc(Type::F32);
+        let op = Op::new(
+            Opcode::Select,
+            Some(d),
+            vec![i1.into(), f1.into(), f2.into()],
+        );
+        assert!(op.type_check(&t).is_ok());
+    }
+}

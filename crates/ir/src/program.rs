@@ -1,0 +1,319 @@
+//! Structured programs: the control-construct tree.
+//!
+//! W2 is a block-structured language, and the paper's hierarchical
+//! reduction exploits exactly that structure: the program is a tree of
+//! blocks, counted loops and conditionals whose leaves are operations.
+//! There is no arbitrary control flow — this is a deliberate property the
+//! scheduler relies on (§5: "our scheduling algorithm is designed for
+//! block-structured constructs").
+
+use std::fmt;
+
+use crate::mem::{Array, ArrayId};
+use crate::op::Op;
+use crate::ty::Type;
+use crate::value::{RegTable, VReg};
+
+/// Number of iterations of a loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TripCount {
+    /// Known at compile time.
+    Const(u32),
+    /// Read from an integer register at loop entry. Negative values mean
+    /// zero iterations.
+    Reg(VReg),
+}
+
+impl fmt::Display for TripCount {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TripCount::Const(n) => write!(f, "{n}"),
+            TripCount::Reg(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A counted loop. The iteration counter, if the body needs one, is an
+/// ordinary register updated by an ordinary `add` in the body (so the
+/// dependence graph sees the recurrence); the *trip count* is managed by
+/// the code generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Loop {
+    /// Number of iterations.
+    pub trip: TripCount,
+    /// Loop body.
+    pub body: Vec<Stmt>,
+}
+
+/// A two-armed conditional. `cond` is an integer register; nonzero selects
+/// the THEN arm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IfStmt {
+    /// Condition register (read at the construct's entry).
+    pub cond: VReg,
+    /// THEN arm.
+    pub then_body: Vec<Stmt>,
+    /// ELSE arm (possibly empty).
+    pub else_body: Vec<Stmt>,
+}
+
+/// A statement: an operation or a nested control construct.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// A single operation.
+    Op(Op),
+    /// A counted loop.
+    Loop(Loop),
+    /// A conditional.
+    If(IfStmt),
+}
+
+impl Stmt {
+    /// Visits every operation in this statement tree, in program order.
+    pub fn for_each_op<'a>(&'a self, f: &mut impl FnMut(&'a Op)) {
+        match self {
+            Stmt::Op(op) => f(op),
+            Stmt::Loop(l) => {
+                for s in &l.body {
+                    s.for_each_op(f);
+                }
+            }
+            Stmt::If(i) => {
+                for s in i.then_body.iter().chain(&i.else_body) {
+                    s.for_each_op(f);
+                }
+            }
+        }
+    }
+}
+
+/// A complete program for one cell.
+#[derive(Debug, Clone)]
+pub struct Program {
+    /// Program name (for reports).
+    pub name: String,
+    /// Virtual register metadata.
+    pub regs: RegTable,
+    /// Declared arrays, with assigned base addresses.
+    pub arrays: Vec<Array>,
+    /// Total data-memory words required.
+    pub mem_size: u32,
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A structural or type error found by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ValidateError(pub String);
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid program: {}", self.0)
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+impl Program {
+    /// Looks up an array by id.
+    pub fn array(&self, id: ArrayId) -> &Array {
+        &self.arrays[id.index()]
+    }
+
+    /// Visits every operation in the program, in program order.
+    pub fn for_each_op<'a>(&'a self, mut f: impl FnMut(&'a Op)) {
+        for s in &self.body {
+            s.for_each_op(&mut f);
+        }
+    }
+
+    /// Total number of operations (statically, not dynamically).
+    pub fn num_ops(&self) -> usize {
+        let mut n = 0;
+        self.for_each_op(|_| n += 1);
+        n
+    }
+
+    /// Checks types, trip-count and condition registers, and array layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first problem found.
+    pub fn validate(&self) -> Result<(), ValidateError> {
+        for (i, a) in self.arrays.iter().enumerate() {
+            if a.base + a.len > self.mem_size {
+                return Err(ValidateError(format!(
+                    "array {} exceeds memory ({} + {} > {})",
+                    a.name, a.base, a.len, self.mem_size
+                )));
+            }
+            for b in &self.arrays[..i] {
+                let disjoint = a.base + a.len <= b.base || b.base + b.len <= a.base;
+                if !disjoint {
+                    return Err(ValidateError(format!(
+                        "arrays {} and {} overlap",
+                        a.name, b.name
+                    )));
+                }
+            }
+        }
+        self.validate_stmts(&self.body)
+    }
+
+    fn validate_stmts(&self, stmts: &[Stmt]) -> Result<(), ValidateError> {
+        for s in stmts {
+            match s {
+                Stmt::Op(op) => {
+                    op.type_check(&self.regs).map_err(ValidateError)?;
+                    if let Some(m) = &op.mem {
+                        if m.array.index() >= self.arrays.len() {
+                            return Err(ValidateError(format!(
+                                "op {op} references undeclared array {}",
+                                m.array
+                            )));
+                        }
+                    }
+                }
+                Stmt::Loop(l) => {
+                    if let TripCount::Reg(r) = l.trip {
+                        if self.regs.ty(r) != Type::I32 {
+                            return Err(ValidateError(format!(
+                                "loop trip register {r} is not an integer"
+                            )));
+                        }
+                    }
+                    self.validate_stmts(&l.body)?;
+                }
+                Stmt::If(i) => {
+                    if self.regs.ty(i.cond) != Type::I32 {
+                        return Err(ValidateError(format!(
+                            "condition register {} is not an integer",
+                            i.cond
+                        )));
+                    }
+                    self.validate_stmts(&i.then_body)?;
+                    self.validate_stmts(&i.else_body)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn fmt_stmts(f: &mut fmt::Formatter<'_>, stmts: &[Stmt], indent: usize) -> fmt::Result {
+    for s in stmts {
+        match s {
+            Stmt::Op(op) => writeln!(f, "{:indent$}{op}", "", indent = indent)?,
+            Stmt::Loop(l) => {
+                writeln!(f, "{:indent$}loop {} {{", "", l.trip, indent = indent)?;
+                fmt_stmts(f, &l.body, indent + 2)?;
+                writeln!(f, "{:indent$}}}", "", indent = indent)?;
+            }
+            Stmt::If(i) => {
+                writeln!(f, "{:indent$}if {} {{", "", i.cond, indent = indent)?;
+                fmt_stmts(f, &i.then_body, indent + 2)?;
+                if !i.else_body.is_empty() {
+                    writeln!(f, "{:indent$}}} else {{", "", indent = indent)?;
+                    fmt_stmts(f, &i.else_body, indent + 2)?;
+                }
+                writeln!(f, "{:indent$}}}", "", indent = indent)?;
+            }
+        }
+    }
+    Ok(())
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "program {} (mem {} words)", self.name, self.mem_size)?;
+        for a in &self.arrays {
+            writeln!(f, "  array {}[{}] @ {}", a.name, a.len, a.base)?;
+        }
+        fmt_stmts(f, &self.body, 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+    use crate::ty::Imm;
+
+    fn small_program() -> Program {
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let y = regs.alloc(Type::F32);
+        let body = vec![Stmt::Op(Op::new(
+            Opcode::FAdd,
+            Some(y),
+            vec![x.into(), Imm::F(1.0).into()],
+        ))];
+        Program {
+            name: "t".into(),
+            regs,
+            arrays: vec![],
+            mem_size: 0,
+            body,
+        }
+    }
+
+    #[test]
+    fn validate_ok() {
+        assert!(small_program().validate().is_ok());
+    }
+
+    #[test]
+    fn num_ops_counts_nested() {
+        let mut p = small_program();
+        let inner = p.body.clone();
+        p.body = vec![Stmt::Loop(Loop {
+            trip: TripCount::Const(3),
+            body: inner,
+        })];
+        assert_eq!(p.num_ops(), 1);
+    }
+
+    #[test]
+    fn overlapping_arrays_rejected() {
+        let mut p = small_program();
+        p.arrays = vec![
+            Array { name: "a".into(), base: 0, len: 10 },
+            Array { name: "b".into(), base: 5, len: 10 },
+        ];
+        p.mem_size = 20;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn array_out_of_memory_rejected() {
+        let mut p = small_program();
+        p.arrays = vec![Array { name: "a".into(), base: 0, len: 10 }];
+        p.mem_size = 5;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn float_condition_rejected() {
+        let mut p = small_program();
+        let c = VReg(0); // f32 register
+        p.body = vec![Stmt::If(IfStmt {
+            cond: c,
+            then_body: vec![],
+            else_body: vec![],
+        })];
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_renders_structure() {
+        let mut p = small_program();
+        let inner = p.body.clone();
+        p.body = vec![Stmt::Loop(Loop {
+            trip: TripCount::Const(3),
+            body: inner,
+        })];
+        let s = p.to_string();
+        assert!(s.contains("loop 3 {"), "{s}");
+        assert!(s.contains("fadd"), "{s}");
+    }
+}

@@ -1,0 +1,119 @@
+//! Value types and immediates.
+//!
+//! The W2 language (and Warp itself) distinguishes single-precision
+//! floating-point data from integer address/control data; booleans are
+//! represented as integers 0/1.
+
+use std::fmt;
+
+/// The type of a virtual register or immediate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// 32-bit IEEE single-precision float (Warp's only float format).
+    F32,
+    /// Signed integer (addresses, counters, booleans).
+    I32,
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::F32 => f.write_str("f32"),
+            Type::I32 => f.write_str("i32"),
+        }
+    }
+}
+
+/// A compile-time constant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Imm {
+    /// Float constant.
+    F(f32),
+    /// Integer constant.
+    I(i32),
+}
+
+impl Imm {
+    /// The type of the immediate.
+    pub fn ty(self) -> Type {
+        match self {
+            Imm::F(_) => Type::F32,
+            Imm::I(_) => Type::I32,
+        }
+    }
+
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the immediate is a float.
+    pub fn as_i32(self) -> i32 {
+        match self {
+            Imm::I(v) => v,
+            Imm::F(v) => panic!("expected integer immediate, found float {v}"),
+        }
+    }
+
+    /// The float payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the immediate is an integer.
+    pub fn as_f32(self) -> f32 {
+        match self {
+            Imm::F(v) => v,
+            Imm::I(v) => panic!("expected float immediate, found integer {v}"),
+        }
+    }
+}
+
+impl From<f32> for Imm {
+    fn from(v: f32) -> Self {
+        Imm::F(v)
+    }
+}
+
+impl From<i32> for Imm {
+    fn from(v: i32) -> Self {
+        Imm::I(v)
+    }
+}
+
+impl fmt::Display for Imm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Imm::F(v) => write!(f, "{v}f"),
+            Imm::I(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imm_types() {
+        assert_eq!(Imm::from(1.5f32).ty(), Type::F32);
+        assert_eq!(Imm::from(7i32).ty(), Type::I32);
+    }
+
+    #[test]
+    fn imm_payloads() {
+        assert_eq!(Imm::from(7i32).as_i32(), 7);
+        assert_eq!(Imm::from(2.0f32).as_f32(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected integer")]
+    fn wrong_payload_panics() {
+        let _ = Imm::from(2.0f32).as_i32();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Imm::from(2.5f32).to_string(), "2.5f");
+        assert_eq!(Imm::from(-3i32).to_string(), "-3");
+        assert_eq!(Type::F32.to_string(), "f32");
+    }
+}

@@ -1,0 +1,170 @@
+//! Virtual registers and operands.
+
+use std::fmt;
+
+use machine::RegClass;
+
+use crate::ty::{Imm, Type};
+
+/// A virtual register. The scheduler works on an unbounded virtual file;
+/// modulo variable expansion later maps loop variants onto rotating copies
+/// and register accounting checks the result against the machine's file
+/// sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// The register number as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// An operand: either a virtual register or an immediate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Operand {
+    /// Register operand.
+    Reg(VReg),
+    /// Immediate operand (VLIW instruction fields carry immediates).
+    Imm(Imm),
+}
+
+impl Operand {
+    /// The register, if this operand is one.
+    pub fn reg(self) -> Option<VReg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<VReg> for Operand {
+    fn from(r: VReg) -> Self {
+        Operand::Reg(r)
+    }
+}
+
+impl From<Imm> for Operand {
+    fn from(i: Imm) -> Self {
+        Operand::Imm(i)
+    }
+}
+
+impl From<f32> for Operand {
+    fn from(v: f32) -> Self {
+        Operand::Imm(Imm::F(v))
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Self {
+        Operand::Imm(Imm::I(v))
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(i) => write!(f, "{i}"),
+        }
+    }
+}
+
+/// Per-register metadata owned by a [`crate::Program`].
+#[derive(Debug, Clone, Default)]
+pub struct RegTable {
+    types: Vec<Type>,
+    names: Vec<Option<String>>,
+}
+
+impl RegTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        RegTable::default()
+    }
+
+    /// Allocates a fresh register of the given type.
+    pub fn alloc(&mut self, ty: Type) -> VReg {
+        self.types.push(ty);
+        self.names.push(None);
+        VReg((self.types.len() - 1) as u32)
+    }
+
+    /// Allocates a fresh named register (names aid pretty-printing only).
+    pub fn alloc_named(&mut self, ty: Type, name: impl Into<String>) -> VReg {
+        let r = self.alloc(ty);
+        self.names[r.index()] = Some(name.into());
+        r
+    }
+
+    /// The type of a register.
+    pub fn ty(&self, r: VReg) -> Type {
+        self.types[r.index()]
+    }
+
+    /// The machine register class a register belongs to.
+    pub fn class(&self, r: VReg) -> RegClass {
+        match self.ty(r) {
+            Type::F32 => RegClass::Float,
+            Type::I32 => RegClass::Int,
+        }
+    }
+
+    /// The register's debug name, if any.
+    pub fn name(&self, r: VReg) -> Option<&str> {
+        self.names[r.index()].as_deref()
+    }
+
+    /// Number of registers allocated so far.
+    pub fn len(&self) -> usize {
+        self.types.len()
+    }
+
+    /// True if no registers were allocated.
+    pub fn is_empty(&self) -> bool {
+        self.types.is_empty()
+    }
+
+    /// Iterates over all registers.
+    pub fn iter(&self) -> impl Iterator<Item = VReg> {
+        (0..self.types.len() as u32).map(VReg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_query() {
+        let mut t = RegTable::new();
+        let a = t.alloc(Type::F32);
+        let b = t.alloc_named(Type::I32, "i");
+        assert_eq!(t.ty(a), Type::F32);
+        assert_eq!(t.ty(b), Type::I32);
+        assert_eq!(t.class(a), RegClass::Float);
+        assert_eq!(t.class(b), RegClass::Int);
+        assert_eq!(t.name(a), None);
+        assert_eq!(t.name(b), Some("i"));
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.iter().count(), 2);
+    }
+
+    #[test]
+    fn operand_conversions() {
+        let r = VReg(3);
+        assert_eq!(Operand::from(r).reg(), Some(r));
+        assert_eq!(Operand::from(1.5f32).reg(), None);
+        assert_eq!(Operand::from(2i32).to_string(), "2");
+        assert_eq!(r.to_string(), "v3");
+    }
+}

@@ -1,0 +1,532 @@
+//! The Warp application suite (Table 4-1).
+//!
+//! Each program reproduces the computational *shape* of one row of the
+//! paper's table: the op mix, the memory/queue traffic and the dependence
+//! structure that determine how close to peak the cell can run. Problem
+//! sizes are scaled down so the full table simulates in seconds; MFLOPS
+//! rates are throughputs and do not depend on the iteration count once the
+//! steady state dominates (each kernel notes its scaling).
+
+use frontend::compile_source;
+use vm::RunInput;
+
+use crate::{test_data, Kernel, Suite};
+
+fn kernel(name: &str, description: &str, src: &str, input: RunInput) -> Kernel {
+    let program = compile_source(src)
+        .unwrap_or_else(|e| panic!("app kernel {name} failed to compile: {e}"));
+    Kernel {
+        name: name.to_string(),
+        description: description.to_string(),
+        suite: Suite::App,
+        program,
+        input,
+    }
+}
+
+/// Matrix multiplication, the paper's 100×100 row (here 48×48).
+///
+/// Written the way Warp's systolic matmul works: the B operand *streams
+/// through the cell's input queue* while A stays resident, and eight
+/// output columns are accumulated in parallel registers — eight
+/// independent accumulators break the single-accumulator recurrence, and
+/// the queue supplies a second data stream beside the memory port, letting
+/// the cell sustain one add and one multiply per cycle (peak rate, like
+/// the paper's 104 MFLOPS on the 10-cell array).
+pub fn matmul() -> Kernel {
+    let n = 48u32; // multiple of the 8-wide column block
+    let src = format!(
+        "program matmul;
+         var i, jb, k : int;
+         var a0 : float;
+         var s0, s1, s2, s3, s4, s5, s6, s7 : float;
+         var a : array[{sz}] of float;
+         var c : array[{sz}] of float;
+         begin
+           for i := 0 to {last} do begin
+             for jb := 0 to {jblast} do begin
+               s0 := 0.0; s1 := 0.0; s2 := 0.0; s3 := 0.0;
+               s4 := 0.0; s5 := 0.0; s6 := 0.0; s7 := 0.0;
+               for k := 0 to {last} do begin
+                 a0 := a[i * {n} + k];
+                 s0 := s0 + a0 * receive();
+                 s1 := s1 + a0 * receive();
+                 s2 := s2 + a0 * receive();
+                 s3 := s3 + a0 * receive();
+                 s4 := s4 + a0 * receive();
+                 s5 := s5 + a0 * receive();
+                 s6 := s6 + a0 * receive();
+                 s7 := s7 + a0 * receive();
+               end;
+               c[i * {n} + jb * 8 + 0] := s0;
+               c[i * {n} + jb * 8 + 1] := s1;
+               c[i * {n} + jb * 8 + 2] := s2;
+               c[i * {n} + jb * 8 + 3] := s3;
+               c[i * {n} + jb * 8 + 4] := s4;
+               c[i * {n} + jb * 8 + 5] := s5;
+               c[i * {n} + jb * 8 + 6] := s6;
+               c[i * {n} + jb * 8 + 7] := s7;
+             end;
+           end;
+         end",
+        sz = n * n,
+        last = n - 1,
+        jblast = n / 8 - 1,
+        n = n
+    );
+    // The streamed B operand: for each (i, jb, k) the eight values
+    // b[k][jb*8 .. jb*8+8).
+    let b_mat = test_data((n * n) as usize, 31);
+    let mut queue = Vec::new();
+    for _i in 0..n {
+        for jb in 0..n / 8 {
+            for k in 0..n {
+                for j in 0..8 {
+                    queue.push(b_mat[(k * n + jb * 8 + j) as usize]);
+                }
+            }
+        }
+    }
+    let mut mem = test_data((n * n) as usize, 30);
+    mem.extend(vec![0.0; (n * n) as usize]);
+    kernel(
+        "matmul",
+        "Matrix multiply (paper: 100x100, 104 MFLOPS): B streams via queue, \
+         8 parallel accumulators -> near-peak",
+        &src,
+        RunInput {
+            mem,
+            input: queue,
+            ..Default::default()
+        },
+    )
+}
+
+/// Complex FFT (paper: 512×512 1-D FFT, 79.4 MFLOPS). One 256-point
+/// radix-2 pass structure: per-stage loop nests generated at build time so
+/// every stage's stride is a compile-time constant (exact affine
+/// subscripts). Bit reversal is omitted — it is pure data movement and
+/// does not affect the arithmetic throughput the table reports.
+pub fn fft() -> Kernel {
+    let n: u32 = 256;
+    let stages = 8; // log2(n)
+    let mut body = String::new();
+    for s in 0..stages {
+        let half = 1u32 << s;
+        let groups = n / (2 * half);
+        // Butterfly (g, k): a = g*2*half + k, b = a + half, twiddle index
+        // k * groups. Loop order puts the longer dimension innermost so
+        // the pipelined loop has a useful trip count (early stages have
+        // half = 1, 2, ...: iterate over groups inside; late stages the
+        // other way around) — the same interchange a Warp programmer
+        // would write.
+        let tw_stride = groups;
+        if groups >= half {
+            body.push_str(&format!(
+                "for k := 0 to {klast} do begin
+                   wr := twr[k * {tw_stride}];
+                   wi := twi[k * {tw_stride}];
+                   for g := 0 to {glast} do begin
+                     ur := xr[g * {two_half} + k];
+                     ui := xi[g * {two_half} + k];
+                     vr := xr[g * {two_half} + k + {half}] * wr -
+                           xi[g * {two_half} + k + {half}] * wi;
+                     vi := xr[g * {two_half} + k + {half}] * wi +
+                           xi[g * {two_half} + k + {half}] * wr;
+                     xr[g * {two_half} + k] := ur + vr;
+                     xi[g * {two_half} + k] := ui + vi;
+                     xr[g * {two_half} + k + {half}] := ur - vr;
+                     xi[g * {two_half} + k + {half}] := ui - vi;
+                   end;
+                 end;\n",
+                glast = groups - 1,
+                klast = half - 1,
+                two_half = 2 * half,
+                half = half,
+                tw_stride = tw_stride,
+            ));
+        } else {
+            body.push_str(&format!(
+                "for g := 0 to {glast} do begin
+                   for k := 0 to {klast} do begin
+                     ur := xr[g * {two_half} + k];
+                     ui := xi[g * {two_half} + k];
+                     wr := twr[k * {tw_stride}];
+                     wi := twi[k * {tw_stride}];
+                     vr := xr[g * {two_half} + k + {half}] * wr -
+                           xi[g * {two_half} + k + {half}] * wi;
+                     vi := xr[g * {two_half} + k + {half}] * wi +
+                           xi[g * {two_half} + k + {half}] * wr;
+                     xr[g * {two_half} + k] := ur + vr;
+                     xi[g * {two_half} + k] := ui + vi;
+                     xr[g * {two_half} + k + {half}] := ur - vr;
+                     xi[g * {two_half} + k + {half}] := ui - vi;
+                   end;
+                 end;\n",
+                glast = groups - 1,
+                klast = half - 1,
+                two_half = 2 * half,
+                half = half,
+                tw_stride = tw_stride,
+            ));
+        }
+    }
+    let src = format!(
+        "program fft;
+         var g, k : int;
+         var ur, ui, wr, wi, vr, vi : float;
+         var xr : array[{n}] of float;
+         var xi : array[{n}] of float;
+         var twr : array[{h}] of float;
+         var twi : array[{h}] of float;
+         begin
+           {body}
+         end",
+        n = n,
+        h = n / 2,
+        body = body
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(n as usize, 32)); // xr
+    mem.extend(test_data(n as usize, 33)); // xi
+    // Twiddle factors: cos/sin of -2*pi*t/n.
+    let mut twr = Vec::new();
+    let mut twi = Vec::new();
+    for t in 0..n / 2 {
+        let ang = -2.0 * std::f32::consts::PI * t as f32 / n as f32;
+        twr.push(ang.cos());
+        twi.push(ang.sin());
+    }
+    mem.extend(twr);
+    mem.extend(twi);
+    kernel(
+        "fft",
+        "Complex FFT passes (paper: 512-point, 79.4 MFLOPS): memory-port bound",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// 3×3 convolution (paper: 512×512 image, 71.9 MFLOPS); here 48×48.
+pub fn convolution3x3() -> Kernel {
+    let w = 48u32;
+    let src = format!(
+        "program conv3;
+         var r, c : int;
+         var k0, k1, k2, k3, k4, k5, k6, k7, k8 : float;
+         var img : array[{sz}] of float;
+         var out : array[{sz}] of float;
+         begin
+           k0 := 0.1; k1 := 0.2; k2 := 0.1;
+           k3 := 0.2; k4 := 0.4; k5 := 0.2;
+           k6 := 0.1; k7 := 0.2; k8 := 0.1;
+           for r := 0 to {rlast} do begin
+             for c := 0 to {clast} do begin
+               out[r * {w} + c + {w1}] :=
+                 k0 * img[r * {w} + c] +
+                 k1 * img[r * {w} + c + 1] +
+                 k2 * img[r * {w} + c + 2] +
+                 k3 * img[r * {w} + c + {w0}] +
+                 k4 * img[r * {w} + c + {w1}] +
+                 k5 * img[r * {w} + c + {w2}] +
+                 k6 * img[r * {w} + c + {w3}] +
+                 k7 * img[r * {w} + c + {w4}] +
+                 k8 * img[r * {w} + c + {w5}];
+             end;
+           end;
+         end",
+        sz = w * w,
+        rlast = w - 3,
+        clast = w - 3,
+        w = w,
+        w0 = w,
+        w1 = w + 1,
+        w2 = w + 2,
+        w3 = 2 * w,
+        w4 = 2 * w + 1,
+        w5 = 2 * w + 2
+    );
+    let mut mem = test_data((w * w) as usize, 34);
+    mem.extend(vec![0.0; (w * w) as usize]);
+    kernel(
+        "conv3x3",
+        "3x3 convolution (paper: 512x512, 71.9 MFLOPS): 17 flops per 10 \
+         memory accesses",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Hough-style transform (paper: 65.7 MFLOPS): for every pixel above a
+/// threshold, accumulate votes along a table of angles. The vote store is
+/// data dependent (unknown subscript), so memory dependences are
+/// conservative — the paper's Hough similarly fell below the streaming
+/// kernels.
+pub fn hough() -> Kernel {
+    let w = 24u32;
+    let nang = 8u32;
+    let nbins = 64u32;
+    let src = format!(
+        "program hough;
+         var r, c, t, bin : int;
+         var v, rho : float;
+         var img : array[{sz}] of float;
+         var cosv : array[{nang}] of float;
+         var sinv : array[{nang}] of float;
+         var acc : array[{nbins}] of float;
+         begin
+           for r := 0 to {wlast} do begin
+             for c := 0 to {wlast} do begin
+               v := img[r * {w} + c];
+               if v > 1.2 then begin
+                 for t := 0 to {alast} do begin
+                   rho := float(r) * cosv[t] + float(c) * sinv[t];
+                   bin := trunc(rho + 32.0) % {nbins};
+                   acc[bin] := acc[bin] + v;
+                 end;
+               end;
+             end;
+           end;
+         end",
+        sz = w * w,
+        nang = nang,
+        nbins = nbins,
+        wlast = w - 1,
+        alast = nang - 1,
+        w = w
+    );
+    let mut mem = test_data((w * w) as usize, 35);
+    for t in 0..nang {
+        let a = t as f32 * std::f32::consts::PI / nang as f32;
+        mem.push(a.cos());
+    }
+    for t in 0..nang {
+        let a = t as f32 * std::f32::consts::PI / nang as f32;
+        mem.push(a.sin());
+    }
+    mem.extend(vec![0.0; nbins as usize]);
+    kernel(
+        "hough",
+        "Hough transform (paper: 65.7 MFLOPS): data-dependent vote scatter",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Local selective averaging (paper: 42.2 MFLOPS): average a pixel with
+/// those neighbors that are close in intensity — a conditional per
+/// neighbor inside the pipelined loop (hierarchical reduction at work).
+pub fn local_averaging() -> Kernel {
+    let w = 32u32;
+    let src = format!(
+        "program lsavg;
+         var r, c : int;
+         var ctr, s, cnt, d : float;
+         var img : array[{sz}] of float;
+         var out : array[{sz}] of float;
+         begin
+           for r := 1 to {rlast} do begin
+             for c := 1 to {clast} do begin
+               ctr := img[r * {w} + c];
+               s := ctr;
+               cnt := 1.0;
+               d := img[r * {w} + c - 1] - ctr;
+               if abs(d) < 0.3 then begin
+                 s := s + img[r * {w} + c - 1];
+                 cnt := cnt + 1.0;
+               end;
+               d := img[r * {w} + c + 1] - ctr;
+               if abs(d) < 0.3 then begin
+                 s := s + img[r * {w} + c + 1];
+                 cnt := cnt + 1.0;
+               end;
+               out[r * {w} + c] := s / cnt;
+             end;
+           end;
+         end",
+        sz = w * w,
+        rlast = w - 2,
+        clast = w - 2,
+        w = w
+    );
+    let mut mem = test_data((w * w) as usize, 36);
+    mem.extend(vec![0.0; (w * w) as usize]);
+    kernel(
+        "local_avg",
+        "Local selective averaging (paper: 42.2 MFLOPS): conditionals in the \
+         inner loop",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Warshall/Floyd shortest paths (paper: 350 nodes, 10 iterations,
+/// 39.2 MFLOPS); here 24 nodes, one sweep. Row `k` is copied into a
+/// separate buffer before the `i` sweep — the standard formulation on a
+/// machine without runtime memory disambiguation, and safe because row
+/// `k` cannot improve during pass `k` (self-distances are nonnegative).
+/// Without the buffer, `d[i*n+j]` and `d[k*n+j]` cannot be statically
+/// disambiguated and the loop serializes on a possible memory recurrence
+/// (the paper's kernels needed the analogous compiler directives).
+pub fn warshall() -> Kernel {
+    let n = 24u32;
+    let src = format!(
+        "program warshall;
+         var i, j, k : int;
+         var dik : float;
+         var d : array[{sz}] of float;
+         var row : array[{n}] of float;
+         begin
+           for k := 0 to {last} do begin
+             for j := 0 to {last} do begin
+               row[j] := d[k * {n} + j];
+             end;
+             for i := 0 to {last} do begin
+               dik := d[i * {n} + k];
+               for j := 0 to {last} do begin
+                 d[i * {n} + j] := min(d[i * {n} + j], dik + row[j]);
+               end;
+             end;
+           end;
+         end",
+        sz = n * n,
+        last = n - 1,
+        n = n
+    );
+    kernel(
+        "warshall",
+        "Warshall/Floyd shortest paths (paper: 350 nodes, 39.2 MFLOPS)",
+        &src,
+        RunInput {
+            mem: test_data((n * n) as usize, 37),
+            ..Default::default()
+        },
+    )
+}
+
+/// Roberts edge operator (paper: 24.3 MFLOPS): diagonal differences with
+/// absolute values; 5 flops per 5 memory accesses.
+pub fn roberts() -> Kernel {
+    let w = 48u32;
+    let src = format!(
+        "program roberts;
+         var r, c : int;
+         var img : array[{sz}] of float;
+         var out : array[{sz}] of float;
+         begin
+           for r := 0 to {rlast} do begin
+             for c := 0 to {clast} do begin
+               out[r * {w} + c] :=
+                 abs(img[r * {w} + c] - img[r * {w} + c + {w1}]) +
+                 abs(img[r * {w} + c + {w0}] - img[r * {w} + c + 1]);
+             end;
+           end;
+         end",
+        sz = w * w,
+        rlast = w - 2,
+        clast = w - 2,
+        w = w,
+        w0 = w,
+        w1 = w + 1
+    );
+    let mut mem = test_data((w * w) as usize, 38);
+    mem.extend(vec![0.0; (w * w) as usize]);
+    kernel(
+        "roberts",
+        "Roberts operator (paper: 24.3 MFLOPS): short body, memory bound",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// The full Table 4-1 suite.
+pub fn all() -> Vec<Kernel> {
+    vec![
+        matmul(),
+        fft(),
+        convolution3x3(),
+        hough(),
+        local_averaging(),
+        warshall(),
+        roberts(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_apps_compile_and_validate() {
+        for k in all() {
+            k.program
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference_product() {
+        let k = matmul();
+        let mut it = ir::Interp::new(&k.program);
+        it.mem[..k.input.mem.len()].copy_from_slice(&k.input.mem);
+        it.input.extend(k.input.input.iter().copied());
+        it.run(&k.program).unwrap();
+        // Spot-check one output element against a direct product using the
+        // same accumulation order (sequential over k).
+        let n = 48usize;
+        let b_mat = test_data(n * n, 31);
+        let a_mat = &k.input.mem[..n * n];
+        let (i, j) = (3usize, 5usize);
+        let mut s = 0.0f32;
+        for kk in 0..n {
+            s += a_mat[i * n + kk] * b_mat[kk * n + j];
+        }
+        assert_eq!(it.mem[n * n + i * n + j], s);
+    }
+
+    #[test]
+    fn warshall_triangle_inequality() {
+        let k = warshall();
+        let mut it = ir::Interp::new(&k.program);
+        it.mem[..k.input.mem.len()].copy_from_slice(&k.input.mem);
+        it.run(&k.program).unwrap();
+        // After one full sweep, d[i][j] <= d[i][k] + d[k][j] for all k.
+        let n = 24usize;
+        for i in 0..n {
+            for j in 0..n {
+                for kk in 0..n {
+                    assert!(
+                        it.mem[i * n + j] <= it.mem[i * n + kk] + it.mem[kk * n + j] + 1e-4
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hough_votes_accumulate() {
+        let k = hough();
+        let mut it = ir::Interp::new(&k.program);
+        it.mem[..k.input.mem.len()].copy_from_slice(&k.input.mem);
+        it.run(&k.program).unwrap();
+        let acc_base = k.program.array(ir::ArrayId(3)).base as usize;
+        let total: f32 = it.mem[acc_base..acc_base + 64].iter().sum();
+        assert!(total > 0.0, "some votes must land");
+    }
+}

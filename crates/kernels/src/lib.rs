@@ -1,0 +1,152 @@
+//! Workloads for the evaluation: Livermore loops (Table 4-2), the Warp
+//! application suite (Table 4-1), and a deterministic synthetic population
+//! standing in for the paper's 72 user programs (Figures 4-1 and 4-2).
+//!
+//! Each [`Kernel`] bundles an IR program with deterministic input data and
+//! a note on how it relates to the paper's workload. Harness helpers run a
+//! kernel through the full pipeline — compile, simulate, *and* check
+//! against the sequential reference — and report cycles and MFLOPS.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod apps;
+pub mod livermore;
+pub mod synth;
+
+use machine::MachineDescription;
+use swp::{CompileOptions, LoopReport};
+use vm::{CheckError, RunInput};
+
+/// Which suite a kernel belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Suite {
+    /// Livermore loops (Table 4-2).
+    Livermore,
+    /// Warp application suite (Table 4-1).
+    App,
+    /// Synthetic user-program population (Figures 4-1, 4-2).
+    Synthetic,
+}
+
+/// A benchmark kernel: program + input + provenance.
+#[derive(Debug, Clone)]
+pub struct Kernel {
+    /// Short name, e.g. `"ll1_hydro"`.
+    pub name: String,
+    /// What it computes and how it maps to the paper's workload.
+    pub description: String,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+    /// The program.
+    pub program: ir::Program,
+    /// Deterministic input state.
+    pub input: RunInput,
+}
+
+/// Measurements from one checked run.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Kernel name.
+    pub name: String,
+    /// Simulated cycles.
+    pub cycles: u64,
+    /// Floating-point operations executed.
+    pub flops: u64,
+    /// MFLOPS on one cell at the given clock.
+    pub cell_mflops: f64,
+    /// Static code size in instruction words.
+    pub code_words: usize,
+    /// Per-loop compilation reports.
+    pub reports: Vec<LoopReport>,
+}
+
+impl Kernel {
+    /// Compiles, runs (checked against the reference interpreter) and
+    /// measures this kernel.
+    ///
+    /// # Errors
+    ///
+    /// Any compile, runtime or equivalence failure.
+    pub fn measure(
+        &self,
+        mach: &MachineDescription,
+        opts: &CompileOptions,
+        clock_mhz: f64,
+    ) -> Result<Measurement, CheckError> {
+        let compiled = swp::compile(&self.program, mach, opts).map_err(CheckError::Compile)?;
+        let run = vm::run_checked_compiled(&self.program, &compiled, mach, &self.input)?;
+        Ok(Measurement {
+            name: self.name.clone(),
+            cycles: run.vm_stats.cycles,
+            flops: run.vm_stats.flops,
+            cell_mflops: run.vm_stats.mflops(clock_mhz),
+            code_words: compiled.vliw.num_words(),
+            reports: compiled.reports,
+        })
+    }
+
+    /// As [`measure`](Self::measure), but without the (slow) reference
+    /// check — for use after correctness has been established once.
+    ///
+    /// # Errors
+    ///
+    /// Any compile or runtime failure.
+    pub fn measure_unchecked(
+        &self,
+        mach: &MachineDescription,
+        opts: &CompileOptions,
+        clock_mhz: f64,
+    ) -> Result<Measurement, CheckError> {
+        let compiled = swp::compile(&self.program, mach, opts).map_err(CheckError::Compile)?;
+        let (stats, _, _) = vm::run_vm(&compiled, mach, &self.input)?;
+        Ok(Measurement {
+            name: self.name.clone(),
+            cycles: stats.cycles,
+            flops: stats.flops,
+            cell_mflops: stats.mflops(clock_mhz),
+            code_words: compiled.vliw.num_words(),
+            reports: compiled.reports,
+        })
+    }
+}
+
+/// Convenience: checked run with default options on the Warp cell.
+///
+/// # Errors
+///
+/// Any compile, runtime or equivalence failure.
+pub fn measure_on_warp(k: &Kernel) -> Result<Measurement, CheckError> {
+    k.measure(
+        &machine::presets::warp_cell(),
+        &CompileOptions::default(),
+        machine::presets::WARP_CLOCK_MHZ,
+    )
+}
+
+/// Deterministic pseudo-data: a reproducible, well-conditioned sequence in
+/// `[0.5, 2.0)` (positive, away from denormals and overflow).
+pub fn test_data(n: usize, seed: u32) -> Vec<f32> {
+    let mut x = seed.wrapping_mul(2654435761).wrapping_add(12345);
+    (0..n)
+        .map(|_| {
+            x = x.wrapping_mul(1664525).wrapping_add(1013904223);
+            0.5 + (x >> 8) as f32 / ((1u32 << 24) as f32) * 1.5
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_data_is_deterministic_and_bounded() {
+        let a = test_data(100, 7);
+        let b = test_data(100, 7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|&v| (0.5..2.0).contains(&v)));
+        let c = test_data(100, 8);
+        assert_ne!(a, c);
+    }
+}

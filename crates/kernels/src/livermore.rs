@@ -1,0 +1,901 @@
+//! Livermore loops, the Table 4-2 workload.
+//!
+//! The paper hand-translated the FORTRAN kernels into W2; we do the same,
+//! writing each kernel in the W2-like source language (exercising the
+//! whole frontend) except where noted. Kernels are sized to run quickly
+//! under the cycle-accurate simulator while keeping their dependence and
+//! resource structure; the paper's qualitative outcomes — which kernels
+//! pipeline perfectly, which are recurrence-bound, which are skipped by
+//! the length/99% rules — are preserved.
+
+use frontend::compile_source;
+use vm::RunInput;
+
+use crate::{test_data, Kernel, Suite};
+
+fn kernel(name: &str, description: &str, src: &str, input: RunInput) -> Kernel {
+    let program = compile_source(src)
+        .unwrap_or_else(|e| panic!("livermore kernel {name} failed to compile: {e}"));
+    Kernel {
+        name: name.to_string(),
+        description: description.to_string(),
+        suite: Suite::Livermore,
+        program,
+        input,
+    }
+}
+
+/// Problem size shared by the 1-D kernels.
+pub const N: u32 = 256;
+
+/// Kernel 1 — hydro fragment: `x[k] = q + y[k]*(r*z[k+10] + t*z[k+11])`.
+/// Straight-line body, no recurrence: pipelines at the memory bound.
+pub fn ll1_hydro() -> Kernel {
+    let src = format!(
+        "program ll1;
+         var k : int;
+         var q, r, t : float;
+         var x : array[{n}] of float;
+         var y : array[{n}] of float;
+         var z : array[{nz}] of float;
+         begin
+           q := 0.5; r := 0.25; t := 0.125;
+           for k := 0 to {last} do begin
+             x[k] := q + y[k] * (r * z[k + 10] + t * z[k + 11]);
+           end;
+         end",
+        n = N,
+        nz = N + 11,
+        last = N - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(N as usize, 1)); // x
+    mem.extend(test_data(N as usize, 2)); // y
+    mem.extend(test_data((N + 11) as usize, 3)); // z
+    kernel(
+        "ll1_hydro",
+        "Livermore 1: hydro excerpt; independent iterations",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 3 — inner product: `q = q + z[k]*x[k]`. A classic reduction:
+/// the recurrence through `q` bounds the initiation interval at the
+/// floating adder's latency.
+pub fn ll3_inner_product() -> Kernel {
+    let src = format!(
+        "program ll3;
+         var k : int;
+         var q : float;
+         var x : array[{n}] of float;
+         var z : array[{n}] of float;
+         var out : array[1] of float;
+         begin
+           q := 0.0;
+           for k := 0 to {last} do begin
+             q := q + z[k] * x[k];
+           end;
+           out[0] := q;
+         end",
+        n = N,
+        last = N - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(N as usize, 4));
+    mem.extend(test_data(N as usize, 5));
+    mem.push(0.0);
+    kernel(
+        "ll3_inner_product",
+        "Livermore 3: inner product; recurrence-bound by the adder",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 5 — tridiagonal elimination, lower half:
+/// `x[i] = z[i]*(y[i] - x[i-1])`. A first-order linear recurrence through
+/// *memory*: serializes load+subtract+multiply+store around the cycle.
+pub fn ll5_tridiag() -> Kernel {
+    let src = format!(
+        "program ll5;
+         var i : int;
+         var x : array[{n}] of float;
+         var y : array[{n}] of float;
+         var z : array[{n}] of float;
+         begin
+           for i := 1 to {last} do begin
+             x[i] := z[i] * (y[i] - x[i - 1]);
+           end;
+         end",
+        n = N,
+        last = N - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(N as usize, 6));
+    mem.extend(test_data(N as usize, 7));
+    mem.extend(test_data(N as usize, 8));
+    kernel(
+        "ll5_tridiag",
+        "Livermore 5: tridiagonal elimination; loop-carried memory recurrence",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 7 — equation of state fragment: a large straight-line body with
+/// abundant intra-iteration parallelism.
+pub fn ll7_eos() -> Kernel {
+    let src = format!(
+        "program ll7;
+         var k : int;
+         var q, r, t : float;
+         var x : array[{n}] of float;
+         var y : array[{n}] of float;
+         var z : array[{n}] of float;
+         var u : array[{nu}] of float;
+         begin
+           q := 0.5; r := 0.25; t := 0.125;
+           for k := 0 to {last} do begin
+             x[k] := u[k] + r * (z[k] + r * y[k]) +
+                     t * (u[k + 3] + r * (u[k + 2] + r * u[k + 1]) +
+                          t * (u[k + 6] + q * (u[k + 5] + q * u[k + 4])));
+           end;
+         end",
+        n = N,
+        nu = N + 6,
+        last = N - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(N as usize, 9));
+    mem.extend(test_data(N as usize, 10));
+    mem.extend(test_data(N as usize, 11));
+    mem.extend(test_data((N + 6) as usize, 12));
+    kernel(
+        "ll7_eos",
+        "Livermore 7: equation of state; long independent body",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 9 — integrate predictors: one long polynomial combination per
+/// element over a 13-column flattened array.
+pub fn ll9_integrate() -> Kernel {
+    let src = format!(
+        "program ll9;
+         var i : int;
+         var dm22, dm23, dm24, dm25, dm26, dm27, dm28, c0 : float;
+         var px : array[{npx}] of float;
+         begin
+           dm22 := 0.2; dm23 := 0.3; dm24 := 0.4; dm25 := 0.5;
+           dm26 := 0.6; dm27 := 0.7; dm28 := 0.8; c0 := 1.5;
+           for i := 0 to {last} do begin
+             px[i] := dm28 * px[{c12} + i] + dm27 * px[{c11} + i] +
+                      dm26 * px[{c10} + i] + dm25 * px[{c9} + i] +
+                      dm24 * px[{c8} + i] + dm23 * px[{c7} + i] +
+                      dm22 * px[{c6} + i] +
+                      c0 * (px[{c4} + i] + px[{c5} + i]) + px[{c2} + i];
+           end;
+         end",
+        npx = 13 * N,
+        last = N - 1,
+        c2 = 2 * N,
+        c4 = 4 * N,
+        c5 = 5 * N,
+        c6 = 6 * N,
+        c7 = 7 * N,
+        c8 = 8 * N,
+        c9 = 9 * N,
+        c10 = 10 * N,
+        c11 = 11 * N,
+        c12 = 12 * N
+    );
+    kernel(
+        "ll9_integrate",
+        "Livermore 9: integrate predictors; wide independent body",
+        &src,
+        RunInput {
+            mem: test_data(13 * N as usize, 13),
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 10 — difference predictors: a chain of running differences over
+/// a 4-column flattened array.
+pub fn ll10_diff_predictors() -> Kernel {
+    let src = format!(
+        "program ll10;
+         var i : int;
+         var ar, br, cr : float;
+         var cx : array[{n}] of float;
+         var px : array[{npx}] of float;
+         begin
+           for i := 0 to {last} do begin
+             ar := cx[i];
+             br := ar - px[i];
+             px[i] := ar;
+             cr := br - px[{c1} + i];
+             px[{c1} + i] := br;
+             ar := cr - px[{c2} + i];
+             px[{c2} + i] := cr;
+             px[{c3} + i] := ar;
+           end;
+         end",
+        n = N,
+        npx = 4 * N,
+        last = N - 1,
+        c1 = N,
+        c2 = 2 * N,
+        c3 = 3 * N
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(N as usize, 14));
+    mem.extend(test_data(4 * N as usize, 15));
+    kernel(
+        "ll10_diff",
+        "Livermore 10: difference predictors; serial chain within iteration",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 11 — first sum: `x[k] = x[k-1] + y[k]`, the prefix-sum
+/// recurrence. The memory-carried cycle dominates.
+pub fn ll11_first_sum() -> Kernel {
+    let src = format!(
+        "program ll11;
+         var k : int;
+         var x : array[{n}] of float;
+         var y : array[{n}] of float;
+         begin
+           x[0] := y[0];
+           for k := 1 to {last} do begin
+             x[k] := x[k - 1] + y[k];
+           end;
+         end",
+        n = N,
+        last = N - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(vec![0.0; N as usize]);
+    mem.extend(test_data(N as usize, 16));
+    kernel(
+        "ll11_first_sum",
+        "Livermore 11: prefix sum; tight loop-carried memory recurrence",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 12 — first difference: `x[k] = y[k+1] - y[k]`. Fully parallel.
+pub fn ll12_first_diff() -> Kernel {
+    let src = format!(
+        "program ll12;
+         var k : int;
+         var x : array[{n}] of float;
+         var y : array[{ny}] of float;
+         begin
+           for k := 0 to {last} do begin
+             x[k] := y[k + 1] - y[k];
+           end;
+         end",
+        n = N,
+        ny = N + 1,
+        last = N - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(vec![0.0; N as usize]);
+    mem.extend(test_data((N + 1) as usize, 17));
+    kernel(
+        "ll12_first_diff",
+        "Livermore 12: first difference; independent iterations",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 18 — 2-D explicit hydrodynamics fragment (one of its loops)
+/// over a flattened grid: nested loops, inner loop pipelined.
+pub fn ll18_hydro2d() -> Kernel {
+    let (jn, kn) = (16u32, 16u32);
+    let src = format!(
+        "program ll18;
+         var j, k : int;
+         var t, s : float;
+         var za : array[{sz}] of float;
+         var zb : array[{sz}] of float;
+         var zm : array[{sz}] of float;
+         begin
+           t := 0.0037; s := 0.0041;
+           for k := 1 to {klast} do begin
+             for j := 1 to {jlast} do begin
+               za[k * {jn} + j] :=
+                 zm[k * {jn} + j] +
+                 t * (zb[k * {jn} + j + 1] - zb[k * {jn} + j]) -
+                 s * (zb[(k - 1) * {jn} + j] - zb[k * {jn} + j]);
+             end;
+           end;
+         end",
+        sz = jn * kn,
+        klast = kn - 2,
+        jlast = jn - 2,
+        jn = jn
+    );
+    let mut mem = Vec::new();
+    mem.extend(vec![0.0; (jn * kn) as usize]);
+    mem.extend(test_data((jn * kn) as usize, 18));
+    mem.extend(test_data((jn * kn) as usize, 19));
+    kernel(
+        "ll18_hydro2d",
+        "Livermore 18: 2-D hydro fragment; nested loops, inner pipelined",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 21 — matrix product (small): triple nest with an accumulator
+/// recurrence in the inner loop.
+pub fn ll21_matmul() -> Kernel {
+    let n = 12u32;
+    let src = format!(
+        "program ll21;
+         var i, j, k : int;
+         var s : float;
+         var a : array[{sz}] of float;
+         var b : array[{sz}] of float;
+         var c : array[{sz}] of float;
+         begin
+           for i := 0 to {last} do begin
+             for j := 0 to {last} do begin
+               s := 0.0;
+               for k := 0 to {last} do begin
+                 s := s + a[i * {n} + k] * b[k * {n} + j];
+               end;
+               c[i * {n} + j] := s;
+             end;
+           end;
+         end",
+        sz = n * n,
+        last = n - 1,
+        n = n
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data((n * n) as usize, 20));
+    mem.extend(test_data((n * n) as usize, 21));
+    mem.extend(vec![0.0; (n * n) as usize]);
+    kernel(
+        "ll21_matmul",
+        "Livermore 21: matrix multiply; inner reduction recurrence",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 24 — location of the first minimum, expressed with a
+/// conditional update in the loop: exercises hierarchical reduction.
+pub fn ll24_min_loc() -> Kernel {
+    let src = format!(
+        "program ll24;
+         var k : int;
+         var m, xm : float;
+         var x : array[{n}] of float;
+         var out : array[2] of float;
+         begin
+           m := 0.0;
+           xm := x[0];
+           for k := 1 to {last} do begin
+             if x[k] < xm then begin
+               xm := x[k];
+               m := float(k);
+             end;
+           end;
+           out[0] := m;
+           out[1] := xm;
+         end",
+        n = N,
+        last = N - 1
+    );
+    let mut mem = test_data(N as usize, 22);
+    mem.extend([0.0, 0.0]);
+    kernel(
+        "ll24_min_loc",
+        "Livermore 24: first minimum; conditional inside the pipelined loop",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 16-analog — a loop whose MII sits within 99% of the unpipelined
+/// length (the paper's reason for not pipelining kernels 16 and 20):
+/// nearly everything is one serial recurrence chain.
+pub fn ll16_search() -> Kernel {
+    // The body is *only* the recurrence chain (add then multiply), so the
+    // recurrence MII equals the unpipelined length and the 99% rule
+    // declines to pipeline.
+    let src = format!(
+        "program ll16;
+         var k : int;
+         var s : float;
+         var out : array[1] of float;
+         begin
+           s := 1.0;
+           for k := 0 to {last} do begin
+             s := (s + 1.1) * 0.5;
+           end;
+           out[0] := s;
+         end",
+        last = N - 1
+    );
+    kernel(
+        "ll16_search",
+        "Livermore 16 analog: pure serial chain; MII ~ unpipelined length (99% rule)",
+        &src,
+        RunInput {
+            mem: vec![0.0],
+            ..Default::default()
+        },
+    )
+}
+
+/// Kernel 22-analog — the Planck-distribution loop whose EXP library
+/// expansion made the body enormous (331 instructions); the paper's
+/// scheduler refused to pipeline it on a length threshold. We synthesize
+/// an equally long body via a deeply unrolled polynomial.
+pub fn ll22_planck() -> Kernel {
+    use ir::{Op, Opcode, ProgramBuilder, TripCount};
+    let n = 64u32;
+    let mut b = ProgramBuilder::new("ll22");
+    let x = b.array("x", n);
+    let y = b.array("y", n);
+    b.for_counted(TripCount::Const(n), |b, i| {
+        let v = b.load_elem(x, i.into(), 1, 0);
+        // A ~340-op Horner chain standing in for the EXP expansion.
+        let mut acc = b.copy(v.into());
+        for k in 0..170 {
+            let c = 1.0 + (k as f32) * 1.0e-4;
+            let m = b.fmul(acc.into(), v.into());
+            let s = b.fadd(m.into(), c.into());
+            acc = s;
+            // Keep magnitudes bounded.
+            if k % 16 == 15 {
+                let op = Op::new(
+                    Opcode::FMul,
+                    Some(acc),
+                    vec![acc.into(), ir::Imm::F(1.0e-3).into()],
+                );
+                b.push_op(op);
+            }
+        }
+        b.store_elem(y, i.into(), 1, 0, acc.into());
+    });
+    let program = b.finish();
+    let mut mem = test_data(n as usize, 24);
+    mem.extend(vec![0.0; n as usize]);
+    Kernel {
+        name: "ll22_planck".into(),
+        description: "Livermore 22 analog: 340-op body; over the pipelining \
+                      length threshold"
+            .into(),
+        suite: Suite::Livermore,
+        program,
+        input: RunInput {
+            mem,
+            ..Default::default()
+        },
+    }
+}
+
+
+/// Kernel 2 — an ICCG reduction level: stride-2 gathers combining each
+/// even element with its odd neighbors. Exercises non-unit-stride affine
+/// subscripts.
+pub fn ll2_iccg() -> Kernel {
+    let n = N / 2;
+    let src = format!(
+        "program ll2;
+         var k : int;
+         var x : array[{nx}] of float;
+         var v : array[{nx}] of float;
+         var xo : array[{n}] of float;
+         begin
+           for k := 1 to {last} do begin
+             xo[k] := x[2 * k] - v[2 * k - 1] * x[2 * k - 1]
+                              - v[2 * k + 1] * x[2 * k + 1];
+           end;
+         end",
+        nx = N + 2,
+        n = n,
+        last = n - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data((N + 2) as usize, 40));
+    mem.extend(test_data((N + 2) as usize, 41));
+    mem.extend(vec![0.0; n as usize]);
+    kernel(
+        "ll2_iccg",
+        "Livermore 2: ICCG reduction level; stride-2 affine subscripts",
+        &src,
+        RunInput { mem, ..Default::default() },
+    )
+}
+
+/// Kernel 6 — general linear recurrence: a triangular nest whose inner
+/// trip count is the outer counter (known only at run time), with a
+/// reduction inside. Exercises runtime-trip pipelined loops inside an
+/// outer loop.
+pub fn ll6_recurrence() -> Kernel {
+    let n = 32u32;
+    let src = format!(
+        "program ll6;
+         var i, k : int;
+         var s : float;
+         var w : array[{n}] of float;
+         var b : array[{sz}] of float;
+         begin
+           for i := 1 to {last} do begin
+             s := 0.0;
+             for k := 0 to i - 1 do begin
+               s := s + b[k * {n} + i] * w[k];
+             end;
+             w[i] := w[i] + 0.01 + s;
+           end;
+         end",
+        n = n,
+        sz = n * n,
+        last = n - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(n as usize, 42));
+    mem.extend(test_data((n * n) as usize, 43));
+    kernel(
+        "ll6_recurrence",
+        "Livermore 6: general linear recurrence; triangular runtime trips",
+        &src,
+        RunInput { mem, ..Default::default() },
+    )
+}
+
+/// Kernel 8 — ADI integration fragment: a wide straight-line body over
+/// many arrays (scaled to two fields).
+pub fn ll8_adi() -> Kernel {
+    let src = format!(
+        "program ll8;
+         var kx : int;
+         var a11, a12, a13 : float;
+         var du1 : array[{n}] of float;
+         var du2 : array[{n}] of float;
+         var u1 : array[{nu}] of float;
+         var u2 : array[{nu}] of float;
+         var o1 : array[{n}] of float;
+         var o2 : array[{n}] of float;
+         begin
+           a11 := 0.1; a12 := 0.2; a13 := 0.3;
+           for kx := 1 to {last} do begin
+             du1[kx] := u1[kx + 1] - u1[kx - 1];
+             du2[kx] := u2[kx + 1] - u2[kx - 1];
+             o1[kx] := u1[kx] + a11 * du1[kx] + a12 * du2[kx]
+                       + a13 * (u1[kx + 1] - 2.0 * u1[kx] + u1[kx - 1]);
+             o2[kx] := u2[kx] + a11 * du2[kx] + a12 * du1[kx]
+                       + a13 * (u2[kx + 1] - 2.0 * u2[kx] + u2[kx - 1]);
+           end;
+         end",
+        n = N,
+        nu = N + 2,
+        last = N - 2
+    );
+    let mut mem = Vec::new();
+    mem.extend(vec![0.0; N as usize]); // du1
+    mem.extend(vec![0.0; N as usize]); // du2
+    mem.extend(test_data((N + 2) as usize, 44));
+    mem.extend(test_data((N + 2) as usize, 45));
+    mem.extend(vec![0.0; 2 * N as usize]);
+    kernel(
+        "ll8_adi",
+        "Livermore 8: ADI fragment; wide independent body over many arrays",
+        &src,
+        RunInput { mem, ..Default::default() },
+    )
+}
+
+/// Kernel 13 — 2-D particle in cell (gather/scatter): data-dependent
+/// indices force conservative memory dependences.
+pub fn ll13_pic() -> Kernel {
+    let np = 64u32;
+    let grid = 32u32;
+    let src = format!(
+        "program ll13;
+         var ip, i1 : int;
+         var xx : float;
+         var px : array[{np}] of float;
+         var gr : array[{grid}] of float;
+         var dep : array[{grid}] of float;
+         begin
+           for ip := 0 to {last} do begin
+             xx := px[ip];
+             i1 := trunc(xx) % {grid};
+             px[ip] := xx + gr[i1] * 0.1;
+             dep[i1] := dep[i1] + 1.0;
+           end;
+         end",
+        np = np,
+        grid = grid,
+        last = np - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(np as usize, 46).iter().map(|v| v * 10.0));
+    mem.extend(test_data(grid as usize, 47));
+    mem.extend(vec![0.0; grid as usize]);
+    kernel(
+        "ll13_pic",
+        "Livermore 13: particle-in-cell gather/scatter; unanalyzable indices",
+        &src,
+        RunInput { mem, ..Default::default() },
+    )
+}
+
+/// Kernel 17 — implicit conditional computation: a loop dominated by a
+/// data-dependent two-way branch (paper: conditionals pipeline through
+/// hierarchical reduction).
+pub fn ll17_conditional() -> Kernel {
+    let src = format!(
+        "program ll17;
+         var k : int;
+         var t, s : float;
+         var vxne : array[{n}] of float;
+         var vlr : array[{n}] of float;
+         var out : array[{n}] of float;
+         begin
+           for k := 0 to {last} do begin
+             t := vxne[k] * 0.5;
+             s := vlr[k] + t;
+             {{ the branch picks a value; the store stays outside, keeping
+               the construct short and off the counter's dependence cycle }}
+             if s > 1.5 then begin
+               t := s * 0.25;
+             end else begin
+               t := s + 0.25;
+             end;
+             out[k] := t;
+           end;
+         end",
+        n = N,
+        last = N - 1
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(N as usize, 48));
+    mem.extend(test_data(N as usize, 49));
+    mem.extend(vec![0.0; N as usize]);
+    kernel(
+        "ll17_conditional",
+        "Livermore 17: implicit conditional; pipelined via hierarchical reduction",
+        &src,
+        RunInput { mem, ..Default::default() },
+    )
+}
+
+/// Kernel 19 — general linear recurrence equations: a forward and a
+/// backward (`downto`) first-order recurrence.
+pub fn ll19_recurrences() -> Kernel {
+    let src = format!(
+        "program ll19;
+         var k : int;
+         var b : array[{n}] of float;
+         var sa : array[{n}] of float;
+         var sb : array[{n}] of float;
+         begin
+           for k := 1 to {last} do begin
+             b[k] := b[k] - sa[k] * b[k - 1];
+           end;
+           for k := {last2} downto 0 do begin
+             b[k] := b[k] - sb[k] * b[k + 1];
+           end;
+         end",
+        n = N,
+        last = N - 1,
+        last2 = N - 2
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data(N as usize, 50));
+    mem.extend(test_data(N as usize, 51).iter().map(|v| v * 0.3));
+    mem.extend(test_data(N as usize, 52).iter().map(|v| v * 0.3));
+    kernel(
+        "ll19_recurrences",
+        "Livermore 19: forward and backward first-order recurrences",
+        &src,
+        RunInput { mem, ..Default::default() },
+    )
+}
+
+/// Kernel 20 — discrete ordinates transport analog: the recurrence runs
+/// through a *division*, making the cycle nearly the whole iteration —
+/// the paper reports kernel 20 was left unpipelined because the bound
+/// sat within 99% of the loop length.
+pub fn ll20_transport() -> Kernel {
+    let src = format!(
+        "program ll20;
+         var k : int;
+         var xx : float;
+         var y : array[{n}] of float;
+         var out : array[1] of float;
+         begin
+           xx := 1.0;
+           for k := 0 to {last} do begin
+             xx := (0.2 + y[k]) / (1.5 + xx);
+           end;
+           out[0] := xx;
+         end",
+        n = N,
+        last = N - 1
+    );
+    let mut mem = test_data(N as usize, 53);
+    mem.push(0.0);
+    kernel(
+        "ll20_transport",
+        "Livermore 20 analog: division inside the recurrence; 99% rule territory",
+        &src,
+        RunInput { mem, ..Default::default() },
+    )
+}
+
+/// Kernel 23 — 2-D implicit hydrodynamics fragment: a stencil whose
+/// update depends on the element just written in the same row (carried
+/// dependence in the inner loop).
+pub fn ll23_implicit() -> Kernel {
+    let (jn, kn) = (12u32, 12u32);
+    let src = format!(
+        "program ll23;
+         var j, k : int;
+         var qa : float;
+         var za : array[{sz}] of float;
+         var zb : array[{sz}] of float;
+         begin
+           for k := 1 to {klast} do begin
+             for j := 1 to {jlast} do begin
+               qa := za[k * {jn} + j + 1] * 0.175 + za[k * {jn} + j - 1] * 0.153
+                   + zb[k * {jn} + j] * 0.4;
+               za[k * {jn} + j] := za[k * {jn} + j]
+                   + 0.175 * (qa - za[k * {jn} + j]);
+             end;
+           end;
+         end",
+        sz = jn * kn,
+        klast = kn - 2,
+        jlast = jn - 2,
+        jn = jn
+    );
+    let mut mem = Vec::new();
+    mem.extend(test_data((jn * kn) as usize, 54));
+    mem.extend(test_data((jn * kn) as usize, 55));
+    kernel(
+        "ll23_implicit",
+        "Livermore 23: implicit hydro; in-row carried stencil dependence",
+        &src,
+        RunInput { mem, ..Default::default() },
+    )
+}
+
+/// The full Table 4-2 suite, in kernel order.
+pub fn all() -> Vec<Kernel> {
+    vec![
+        ll1_hydro(),
+        ll2_iccg(),
+        ll3_inner_product(),
+        ll5_tridiag(),
+        ll6_recurrence(),
+        ll7_eos(),
+        ll8_adi(),
+        ll9_integrate(),
+        ll10_diff_predictors(),
+        ll11_first_sum(),
+        ll12_first_diff(),
+        ll13_pic(),
+        ll16_search(),
+        ll17_conditional(),
+        ll18_hydro2d(),
+        ll19_recurrences(),
+        ll20_transport(),
+        ll21_matmul(),
+        ll22_planck(),
+        ll23_implicit(),
+        ll24_min_loc(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kernels_compile_and_validate() {
+        for k in all() {
+            k.program
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        }
+    }
+
+    #[test]
+    fn ll3_reference_result_is_inner_product() {
+        let k = ll3_inner_product();
+        let mut it = ir::Interp::new(&k.program);
+        it.mem[..k.input.mem.len()].copy_from_slice(&k.input.mem);
+        it.run(&k.program).unwrap();
+        let n = N as usize;
+        let mut q = 0.0f32;
+        for i in 0..n {
+            q += k.input.mem[n + i] * k.input.mem[i];
+        }
+        assert_eq!(it.mem[2 * n], q);
+    }
+
+    #[test]
+    fn ll11_is_prefix_sum() {
+        let k = ll11_first_sum();
+        let mut it = ir::Interp::new(&k.program);
+        it.mem[..k.input.mem.len()].copy_from_slice(&k.input.mem);
+        it.run(&k.program).unwrap();
+        let n = N as usize;
+        let mut expect = vec![0.0f32; n];
+        expect[0] = k.input.mem[n];
+        for i in 1..n {
+            expect[i] = expect[i - 1] + k.input.mem[n + i];
+        }
+        assert_eq!(&it.mem[..n], &expect[..]);
+    }
+
+    #[test]
+    fn ll24_finds_minimum() {
+        let k = ll24_min_loc();
+        let mut it = ir::Interp::new(&k.program);
+        it.mem[..k.input.mem.len()].copy_from_slice(&k.input.mem);
+        it.run(&k.program).unwrap();
+        let n = N as usize;
+        let (mut mi, mut mv) = (0usize, k.input.mem[0]);
+        for i in 1..n {
+            if k.input.mem[i] < mv {
+                mv = k.input.mem[i];
+                mi = i;
+            }
+        }
+        assert_eq!(it.mem[n], mi as f32);
+        assert_eq!(it.mem[n + 1], mv);
+    }
+
+    #[test]
+    fn ll22_body_is_over_threshold() {
+        let k = ll22_planck();
+        assert!(k.program.num_ops() > 331, "{}", k.program.num_ops());
+    }
+}

@@ -1,0 +1,131 @@
+//! Every kernel in every suite must compile, simulate, and match the
+//! sequential reference bit for bit — on the Warp cell with and without
+//! pipelining.
+
+use kernels::{apps, livermore, synth, Kernel};
+use machine::presets::{warp_cell, WARP_CLOCK_MHZ};
+use swp::CompileOptions;
+
+fn check(k: &Kernel, opts: &CompileOptions) {
+    let m = warp_cell();
+    let r = k
+        .measure(&m, opts, WARP_CLOCK_MHZ)
+        .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+    assert!(r.cycles > 0, "{} ran no cycles", k.name);
+}
+
+#[test]
+fn livermore_suite_checked_pipelined() {
+    for k in livermore::all() {
+        check(&k, &CompileOptions::default());
+    }
+}
+
+#[test]
+fn livermore_suite_checked_baseline() {
+    for k in livermore::all() {
+        check(
+            &k,
+            &CompileOptions {
+                pipeline: false,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn app_suite_checked_pipelined() {
+    for k in apps::all() {
+        check(&k, &CompileOptions::default());
+    }
+}
+
+#[test]
+fn app_suite_checked_baseline() {
+    for k in apps::all() {
+        check(
+            &k,
+            &CompileOptions {
+                pipeline: false,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn synthetic_population_checked() {
+    for k in synth::population() {
+        check(&k, &CompileOptions::default());
+        check(
+            &k,
+            &CompileOptions {
+                pipeline: false,
+                ..Default::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn pipelining_helps_the_streaming_kernels() {
+    let m = warp_cell();
+    for k in [livermore::ll1_hydro(), livermore::ll7_eos(), apps::matmul()] {
+        let fast = k
+            .measure(&m, &CompileOptions::default(), WARP_CLOCK_MHZ)
+            .unwrap();
+        let slow = k
+            .measure(
+                &m,
+                &CompileOptions {
+                    pipeline: false,
+                    ..Default::default()
+                },
+                WARP_CLOCK_MHZ,
+            )
+            .unwrap();
+        assert!(
+            (fast.cycles as f64) < 0.7 * slow.cycles as f64,
+            "{}: pipelined {} vs baseline {}",
+            k.name,
+            fast.cycles,
+            slow.cycles
+        );
+    }
+}
+
+#[test]
+fn matmul_reaches_near_peak() {
+    let k = apps::matmul();
+    let r = kernels::measure_on_warp(&k).unwrap();
+    // Peak is 10 MFLOPS/cell; the streamed matmul should exceed 8.
+    assert!(
+        r.cell_mflops > 8.0,
+        "matmul only reached {:.2} MFLOPS",
+        r.cell_mflops
+    );
+}
+
+#[test]
+fn length_and_bound_rules_fire() {
+    let m = warp_cell();
+    let planck = livermore::ll22_planck()
+        .measure(&m, &CompileOptions::default(), WARP_CLOCK_MHZ)
+        .unwrap();
+    assert!(planck.reports.iter().any(|r| matches!(
+        r.not_pipelined,
+        Some(swp::NotPipelined::BodyTooLong { .. })
+    )));
+    let search = livermore::ll16_search()
+        .measure(&m, &CompileOptions::default(), WARP_CLOCK_MHZ)
+        .unwrap();
+    assert!(
+        search.reports.iter().any(|r| matches!(
+            r.not_pipelined,
+            Some(swp::NotPipelined::NearBound { .. })
+        )),
+        "{:?}",
+        search.reports
+    );
+}

@@ -1,0 +1,357 @@
+//! The machine description proper: resources, per-class timings, register
+//! files, and a builder for assembling custom machines.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::op_class::OpClass;
+use crate::resource::{ReservationTable, Resource, ResourceId};
+
+/// Register file classes. Warp has separate files feeding the adder, the
+/// multiplier and the ALU; simpler machines can use a single `Float` and a
+/// single `Int` file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum RegClass {
+    /// Floating-point registers.
+    Float,
+    /// Integer (address/control) registers.
+    Int,
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Float => f.write_str("float"),
+            RegClass::Int => f.write_str("int"),
+        }
+    }
+}
+
+/// Timing of an operation class on a particular machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpTiming {
+    /// Cycles from issue until the result may be consumed by a dependent
+    /// operation issuing in that cycle. A latency of 1 means a consumer can
+    /// issue in the very next cycle; pseudo-ops may have latency 0.
+    pub latency: u32,
+    /// Resource usage relative to the issue cycle.
+    pub reservation: ReservationTable,
+}
+
+/// Errors produced when assembling a [`MachineDescription`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Two resources were declared with the same name.
+    DuplicateResource(String),
+    /// An operation class was given no timing.
+    MissingTiming(OpClass),
+    /// A reservation row requests more units than the resource has.
+    OverSubscribed {
+        /// The class whose table oversubscribes.
+        class: OpClass,
+        /// The offending resource.
+        resource: String,
+        /// Units requested in one cycle.
+        requested: u16,
+        /// Units available per cycle.
+        available: u16,
+    },
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::DuplicateResource(name) => {
+                write!(f, "duplicate resource name {name:?}")
+            }
+            MachineError::MissingTiming(class) => {
+                write!(f, "no timing specified for operation class {class}")
+            }
+            MachineError::OverSubscribed {
+                class,
+                resource,
+                requested,
+                available,
+            } => write!(
+                f,
+                "class {class} requests {requested} units of {resource:?} in one \
+                 cycle but only {available} exist"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+/// A complete description of a VLIW target.
+///
+/// Constructed through [`MachineBuilder`]; immutable afterwards, so it can
+/// be shared freely between the scheduler, the emitter and the simulator.
+#[derive(Debug, Clone)]
+pub struct MachineDescription {
+    name: String,
+    resources: Vec<Resource>,
+    timings: BTreeMap<OpClass, OpTiming>,
+    reg_file_sizes: BTreeMap<RegClass, u32>,
+    branch_resource: Option<ResourceId>,
+}
+
+impl MachineDescription {
+    /// The machine's name (e.g. `"warp-cell"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All resources, indexable by [`ResourceId::index`].
+    pub fn resources(&self) -> &[Resource] {
+        &self.resources
+    }
+
+    /// Number of resources.
+    pub fn num_resources(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Looks up a resource id by name.
+    pub fn resource_by_name(&self, name: &str) -> Option<ResourceId> {
+        self.resources
+            .iter()
+            .position(|r| r.name == name)
+            .map(|i| ResourceId(i as u32))
+    }
+
+    /// Units of `resource` available per cycle.
+    pub fn units(&self, resource: ResourceId) -> u16 {
+        self.resources[resource.index()].count
+    }
+
+    /// Timing of an operation class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the class was somehow not specified; [`MachineBuilder`]
+    /// guarantees all classes are present.
+    pub fn timing(&self, class: OpClass) -> &OpTiming {
+        self.timings
+            .get(&class)
+            .unwrap_or_else(|| panic!("machine {:?} lacks timing for {class}", self.name))
+    }
+
+    /// Result latency of an operation class.
+    pub fn latency(&self, class: OpClass) -> u32 {
+        self.timing(class).latency
+    }
+
+    /// Reservation table of an operation class.
+    pub fn reservation(&self, class: OpClass) -> &ReservationTable {
+        &self.timing(class).reservation
+    }
+
+    /// Size of a register file, if bounded. `None` means unbounded (useful
+    /// for tests that want to ignore register pressure).
+    pub fn reg_file_size(&self, class: RegClass) -> Option<u32> {
+        self.reg_file_sizes.get(&class).copied()
+    }
+
+    /// The resource representing the sequencer / branch unit, if one was
+    /// designated. Hierarchical reduction claims this resource for the
+    /// whole extent of a reduced control construct so that two constructs
+    /// never overlap in time (one program counter per cell).
+    pub fn branch_resource(&self) -> Option<ResourceId> {
+        self.branch_resource
+    }
+}
+
+/// Builder for [`MachineDescription`].
+///
+/// # Examples
+///
+/// ```
+/// use machine::{MachineBuilder, OpClass, ReservationTable};
+///
+/// # fn main() -> Result<(), machine::MachineError> {
+/// let mut b = MachineBuilder::new("toy");
+/// let alu = b.resource("alu", 1);
+/// b.uniform_default_timing(1);
+/// b.timing(OpClass::Alu, 1, ReservationTable::single_cycle(alu, 1));
+/// let m = b.build()?;
+/// assert_eq!(m.latency(OpClass::Alu), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct MachineBuilder {
+    name: String,
+    resources: Vec<Resource>,
+    timings: BTreeMap<OpClass, OpTiming>,
+    reg_file_sizes: BTreeMap<RegClass, u32>,
+    branch_resource: Option<ResourceId>,
+}
+
+impl MachineBuilder {
+    /// Starts a new description with the given machine name.
+    pub fn new(name: impl Into<String>) -> Self {
+        MachineBuilder {
+            name: name.into(),
+            resources: Vec::new(),
+            timings: BTreeMap::new(),
+            reg_file_sizes: BTreeMap::new(),
+            branch_resource: None,
+        }
+    }
+
+    /// Declares a resource with `count` units per cycle and returns its id.
+    pub fn resource(&mut self, name: impl Into<String>, count: u16) -> ResourceId {
+        let id = ResourceId(self.resources.len() as u32);
+        self.resources.push(Resource::new(name, count));
+        id
+    }
+
+    /// Sets the timing of one operation class.
+    pub fn timing(
+        &mut self,
+        class: OpClass,
+        latency: u32,
+        reservation: ReservationTable,
+    ) -> &mut Self {
+        self.timings.insert(class, OpTiming { latency, reservation });
+        self
+    }
+
+    /// Gives every class not yet specified a free timing: `latency` cycles,
+    /// empty reservation table. Convenient for tests and for machines that
+    /// do not implement queues etc.
+    pub fn uniform_default_timing(&mut self, latency: u32) -> &mut Self {
+        for class in OpClass::ALL {
+            self.timings.entry(class).or_insert(OpTiming {
+                latency,
+                reservation: ReservationTable::empty(),
+            });
+        }
+        // Pseudo-ops are always free.
+        self.timings.insert(
+            OpClass::Pseudo,
+            OpTiming {
+                latency: 0,
+                reservation: ReservationTable::empty(),
+            },
+        );
+        self
+    }
+
+    /// Bounds the size of a register file (for allocation accounting).
+    pub fn reg_file(&mut self, class: RegClass, size: u32) -> &mut Self {
+        self.reg_file_sizes.insert(class, size);
+        self
+    }
+
+    /// Designates the sequencer / branch-unit resource.
+    pub fn branch_resource(&mut self, resource: ResourceId) -> &mut Self {
+        self.branch_resource = Some(resource);
+        self
+    }
+
+    /// Validates and freezes the description.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MachineError`] if resource names collide, any class lacks
+    /// a timing, or a reservation table requests more units in one cycle
+    /// than the resource possesses.
+    pub fn build(self) -> Result<MachineDescription, MachineError> {
+        for (i, r) in self.resources.iter().enumerate() {
+            if self.resources[..i].iter().any(|o| o.name == r.name) {
+                return Err(MachineError::DuplicateResource(r.name.clone()));
+            }
+        }
+        for class in OpClass::ALL {
+            let timing = self
+                .timings
+                .get(&class)
+                .ok_or(MachineError::MissingTiming(class))?;
+            for row in timing.reservation.rows() {
+                for (rid, units) in row.iter() {
+                    let available = self.resources[rid.index()].count;
+                    if units > available {
+                        return Err(MachineError::OverSubscribed {
+                            class,
+                            resource: self.resources[rid.index()].name.clone(),
+                            requested: units,
+                            available,
+                        });
+                    }
+                }
+            }
+        }
+        Ok(MachineDescription {
+            name: self.name,
+            resources: self.resources,
+            timings: self.timings,
+            reg_file_sizes: self.reg_file_sizes,
+            branch_resource: self.branch_resource,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let mut b = MachineBuilder::new("m");
+        let alu = b.resource("alu", 2);
+        b.uniform_default_timing(1);
+        b.timing(OpClass::Alu, 3, ReservationTable::single_cycle(alu, 1));
+        b.reg_file(RegClass::Int, 64);
+        let m = b.build().unwrap();
+        assert_eq!(m.name(), "m");
+        assert_eq!(m.num_resources(), 1);
+        assert_eq!(m.units(alu), 2);
+        assert_eq!(m.latency(OpClass::Alu), 3);
+        assert_eq!(m.latency(OpClass::Pseudo), 0);
+        assert_eq!(m.reg_file_size(RegClass::Int), Some(64));
+        assert_eq!(m.reg_file_size(RegClass::Float), None);
+        assert_eq!(m.resource_by_name("alu"), Some(alu));
+        assert_eq!(m.resource_by_name("nope"), None);
+    }
+
+    #[test]
+    fn duplicate_resource_rejected() {
+        let mut b = MachineBuilder::new("m");
+        b.resource("x", 1);
+        b.resource("x", 1);
+        b.uniform_default_timing(1);
+        assert!(matches!(
+            b.build(),
+            Err(MachineError::DuplicateResource(_))
+        ));
+    }
+
+    #[test]
+    fn missing_timing_rejected() {
+        let b = MachineBuilder::new("m");
+        assert!(matches!(b.build(), Err(MachineError::MissingTiming(_))));
+    }
+
+    #[test]
+    fn oversubscribed_reservation_rejected() {
+        let mut b = MachineBuilder::new("m");
+        let alu = b.resource("alu", 1);
+        b.uniform_default_timing(1);
+        b.timing(OpClass::Alu, 1, ReservationTable::single_cycle(alu, 2));
+        let err = b.build().unwrap_err();
+        assert!(matches!(err, MachineError::OverSubscribed { .. }));
+        assert!(err.to_string().contains("alu"));
+    }
+
+    #[test]
+    fn branch_resource_recorded() {
+        let mut b = MachineBuilder::new("m");
+        let seq = b.resource("seq", 1);
+        b.uniform_default_timing(1);
+        b.branch_resource(seq);
+        let m = b.build().unwrap();
+        assert_eq!(m.branch_resource(), Some(seq));
+    }
+}

@@ -1,0 +1,42 @@
+//! VLIW machine model for the software-pipelining reproduction.
+//!
+//! This crate describes the *target* of the scheduler in
+//! [Lam, PLDI 1988]: a very-long-instruction-word data path made of
+//! multiple, possibly pipelined functional units, each independently
+//! controlled through dedicated instruction fields.
+//!
+//! The model has three ingredients:
+//!
+//! * [`Resource`]s — functional units, ports and the sequencer, each with a
+//!   per-cycle capacity;
+//! * [`ReservationTable`]s — an operation's resource usage in each cycle
+//!   after issue, the structure the modulo scheduler wraps around the
+//!   initiation interval;
+//! * [`MachineDescription`] — per-[`OpClass`] latency and reservation
+//!   table, register-file sizes, and the designated branch resource.
+//!
+//! [`presets`] provides a Warp-cell model matching the paper's §1 numbers
+//! plus smaller machines for tests and examples.
+//!
+//! # Examples
+//!
+//! ```
+//! use machine::{presets, OpClass};
+//!
+//! let warp = presets::warp_cell();
+//! // Additions and multiplications take 7 cycles to complete (paper §1).
+//! assert_eq!(warp.latency(OpClass::FloatAdd), 7);
+//! assert_eq!(warp.latency(OpClass::FloatMul), 7);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod descr;
+mod op_class;
+pub mod presets;
+mod resource;
+
+pub use descr::{MachineBuilder, MachineDescription, MachineError, OpTiming, RegClass};
+pub use op_class::OpClass;
+pub use resource::{ReservationTable, Resource, ResourceId, ResourceUse};

@@ -1,0 +1,117 @@
+//! Coarse operation classes.
+//!
+//! The machine description assigns timing (latency + reservation table) per
+//! *operation class* rather than per concrete opcode; the IR maps each of
+//! its opcodes onto one of these classes. This mirrors how horizontal
+//! machines are specified: the floating adder does not care whether it is
+//! computing `a+b` or `a-b`.
+
+use std::fmt;
+
+/// The functional-unit class an operation executes on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OpClass {
+    /// Floating-point adder operations (add, subtract, compare, convert,
+    /// min/max, negate, absolute value).
+    FloatAdd,
+    /// Floating-point multiplier operations.
+    FloatMul,
+    /// Floating-point divide / reciprocal (often iterative and unpipelined).
+    FloatDiv,
+    /// Integer ALU operations (arithmetic, logic, shifts, compares, moves,
+    /// address arithmetic, select).
+    Alu,
+    /// Data-memory read.
+    MemLoad,
+    /// Data-memory write.
+    MemStore,
+    /// Read from an inter-cell input queue (Warp communication channel).
+    QueueRead,
+    /// Write to an inter-cell output queue.
+    QueueWrite,
+    /// Control transfer: conditional/unconditional branches, loop control.
+    Branch,
+    /// Costless pseudo-operation (e.g. a constant materialized at assembly
+    /// time); uses no resources and has zero latency.
+    Pseudo,
+}
+
+impl OpClass {
+    /// All classes, in a fixed order (useful for building machine
+    /// descriptions and for exhaustiveness in tests).
+    pub const ALL: [OpClass; 10] = [
+        OpClass::FloatAdd,
+        OpClass::FloatMul,
+        OpClass::FloatDiv,
+        OpClass::Alu,
+        OpClass::MemLoad,
+        OpClass::MemStore,
+        OpClass::QueueRead,
+        OpClass::QueueWrite,
+        OpClass::Branch,
+        OpClass::Pseudo,
+    ];
+
+    /// True for the classes that count as floating-point work when
+    /// computing MFLOPS (the paper counts additions and multiplications;
+    /// we include divides, which its library functions expand away).
+    pub fn is_flop(self) -> bool {
+        matches!(
+            self,
+            OpClass::FloatAdd | OpClass::FloatMul | OpClass::FloatDiv
+        )
+    }
+
+    /// Short lowercase mnemonic for displays.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            OpClass::FloatAdd => "fadd",
+            OpClass::FloatMul => "fmul",
+            OpClass::FloatDiv => "fdiv",
+            OpClass::Alu => "alu",
+            OpClass::MemLoad => "load",
+            OpClass::MemStore => "store",
+            OpClass::QueueRead => "qread",
+            OpClass::QueueWrite => "qwrite",
+            OpClass::Branch => "branch",
+            OpClass::Pseudo => "pseudo",
+        }
+    }
+}
+
+impl fmt::Display for OpClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flop_classification() {
+        assert!(OpClass::FloatAdd.is_flop());
+        assert!(OpClass::FloatMul.is_flop());
+        assert!(OpClass::FloatDiv.is_flop());
+        assert!(!OpClass::Alu.is_flop());
+        assert!(!OpClass::MemLoad.is_flop());
+        assert!(!OpClass::Branch.is_flop());
+    }
+
+    #[test]
+    fn all_contains_every_class_once() {
+        let mut v = OpClass::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), OpClass::ALL.len());
+    }
+
+    #[test]
+    fn mnemonics_unique() {
+        let mut names: Vec<_> = OpClass::ALL.iter().map(|c| c.mnemonic()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), OpClass::ALL.len());
+    }
+}

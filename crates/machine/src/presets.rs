@@ -1,0 +1,251 @@
+//! Ready-made machine descriptions.
+//!
+//! [`warp_cell`] models one cell of the CMU/GE Warp systolic array, the
+//! machine the paper's compiler targets. The remaining presets are smaller
+//! machines used by tests, examples and the paper's §2 illustration.
+
+use crate::descr::{MachineBuilder, MachineDescription, RegClass};
+use crate::op_class::OpClass;
+use crate::resource::ReservationTable;
+
+/// One Warp cell, per §1 of the paper:
+///
+/// * a 5-stage pipelined floating-point multiplier and a 5-stage pipelined
+///   floating-point adder; with the 2-cycle register-file delay, additions
+///   and multiplications *take 7 cycles to complete* — so both classes have
+///   latency 7 and occupy their (fully pipelined) unit for one cycle;
+/// * an integer ALU (latency 1);
+/// * a 32 K-word data memory reached through the crossbar (one port; loads
+///   have latency 3, stores 1);
+/// * two 512-word inter-cell queues (one read, one write port each);
+/// * a single sequencer, which is also the branch unit;
+/// * register files: two 31-word files for the floating units (modeled as
+///   one 62-entry float file) and a 64-word file for the ALU.
+///
+/// Warp has no floating divider; W2 expands division into a 7-operation
+/// reciprocal sequence. We keep an explicit `FloatDiv` class whose timing
+/// charges the multiplier for 7 cycles with a 21-cycle latency, which
+/// preserves the cost structure without changing program semantics.
+pub fn warp_cell() -> MachineDescription {
+    let mut b = MachineBuilder::new("warp-cell");
+    let fadd = b.resource("fadd", 1);
+    let fmul = b.resource("fmul", 1);
+    let alu = b.resource("alu", 1);
+    let mem = b.resource("mem", 1);
+    // One input and one output port per channel (X and Y): two queue
+    // operations may issue in the same word only when they address
+    // different channels — same-channel ordering is enforced by the
+    // dependence edges, not the port count.
+    let qin = b.resource("qin", 2);
+    let qout = b.resource("qout", 2);
+    let seq = b.resource("seq", 1);
+
+    b.timing(OpClass::FloatAdd, 7, ReservationTable::single_cycle(fadd, 1));
+    b.timing(OpClass::FloatMul, 7, ReservationTable::single_cycle(fmul, 1));
+    b.timing(OpClass::FloatDiv, 21, ReservationTable::block(fmul, 1, 7));
+    b.timing(OpClass::Alu, 1, ReservationTable::single_cycle(alu, 1));
+    b.timing(OpClass::MemLoad, 3, ReservationTable::single_cycle(mem, 1));
+    b.timing(OpClass::MemStore, 1, ReservationTable::single_cycle(mem, 1));
+    b.timing(OpClass::QueueRead, 1, ReservationTable::single_cycle(qin, 1));
+    b.timing(OpClass::QueueWrite, 1, ReservationTable::single_cycle(qout, 1));
+    b.timing(OpClass::Branch, 1, ReservationTable::single_cycle(seq, 1));
+    b.timing(OpClass::Pseudo, 0, ReservationTable::empty());
+    b.reg_file(RegClass::Float, 62);
+    b.reg_file(RegClass::Int, 64);
+    b.branch_resource(seq);
+    b.build().expect("warp preset is well-formed")
+}
+
+/// The nominal peak rate of one Warp cell in MFLOPS (§1: 10 MFLOPS —
+/// one add and one multiply per 200 ns... the model abstracts the clock to
+/// "two FLOPs per cycle at 5 MHz").
+pub const WARP_CELL_PEAK_MFLOPS: f64 = 10.0;
+
+/// Clock rate assumed when converting simulated cycles to MFLOPS for the
+/// Warp presets (5 MHz: two floating units × 5 MHz = 10 MFLOPS peak).
+pub const WARP_CLOCK_MHZ: f64 = 5.0;
+
+/// Number of cells in the standard Warp array (§1).
+pub const WARP_ARRAY_CELLS: u32 = 10;
+
+/// A Warp cell with every data-path resource multiplied by `factor` —
+/// the §6 thought experiment: "what kind of performance can be obtained
+/// if we scale up the degree of parallelism and pipelining in the
+/// architecture?" Latencies are unchanged (pipelining depth is the same);
+/// only the width grows. The sequencer stays single — the paper's point
+/// that central control limits VLIW scaling.
+pub fn warp_cell_scaled(factor: u16) -> MachineDescription {
+    assert!(factor >= 1, "scale factor must be positive");
+    let mut b = MachineBuilder::new(format!("warp-cell-x{factor}"));
+    let fadd = b.resource("fadd", factor);
+    let fmul = b.resource("fmul", factor);
+    let alu = b.resource("alu", factor);
+    let mem = b.resource("mem", factor);
+    let qin = b.resource("qin", 2 * factor);
+    let qout = b.resource("qout", 2 * factor);
+    let seq = b.resource("seq", 1);
+
+    b.timing(OpClass::FloatAdd, 7, ReservationTable::single_cycle(fadd, 1));
+    b.timing(OpClass::FloatMul, 7, ReservationTable::single_cycle(fmul, 1));
+    b.timing(OpClass::FloatDiv, 21, ReservationTable::block(fmul, 1, 7));
+    b.timing(OpClass::Alu, 1, ReservationTable::single_cycle(alu, 1));
+    b.timing(OpClass::MemLoad, 3, ReservationTable::single_cycle(mem, 1));
+    b.timing(OpClass::MemStore, 1, ReservationTable::single_cycle(mem, 1));
+    b.timing(OpClass::QueueRead, 1, ReservationTable::single_cycle(qin, 1));
+    b.timing(OpClass::QueueWrite, 1, ReservationTable::single_cycle(qout, 1));
+    b.timing(OpClass::Branch, 1, ReservationTable::single_cycle(seq, 1));
+    b.timing(OpClass::Pseudo, 0, ReservationTable::empty());
+    b.reg_file(RegClass::Float, 62 * factor as u32);
+    b.reg_file(RegClass::Int, 64 * factor as u32);
+    b.branch_resource(seq);
+    b.build().expect("scaled warp preset is well-formed")
+}
+
+/// The three-unit machine of the paper's §2 illustration: a vector of data
+/// is read, incremented and written back, and the loop pipelines to one
+/// iteration per cycle.
+///
+/// * separate memory read and write ports (so a load and a store can issue
+///   in the same word);
+/// * a one-stage-pipelined adder whose result is written "precisely two
+///   cycles after the computation is initiated" (latency 2);
+/// * two address ALUs (the paper's machine folds addressing into the
+///   memory access; we keep explicit address arithmetic, so two ALU slots
+///   per cycle are needed to reach one iteration per cycle) and a
+///   sequencer for loop control.
+pub fn toy_vector() -> MachineDescription {
+    let mut b = MachineBuilder::new("toy-vector");
+    let rport = b.resource("rport", 1);
+    let wport = b.resource("wport", 1);
+    let fadd = b.resource("fadd", 1);
+    let alu = b.resource("alu", 2);
+    let seq = b.resource("seq", 1);
+
+    b.timing(OpClass::MemLoad, 1, ReservationTable::single_cycle(rport, 1));
+    b.timing(OpClass::MemStore, 1, ReservationTable::single_cycle(wport, 1));
+    b.timing(OpClass::FloatAdd, 2, ReservationTable::single_cycle(fadd, 1));
+    b.timing(OpClass::FloatMul, 2, ReservationTable::single_cycle(fadd, 1));
+    b.timing(OpClass::FloatDiv, 8, ReservationTable::block(fadd, 1, 4));
+    b.timing(OpClass::Alu, 1, ReservationTable::single_cycle(alu, 1));
+    b.timing(OpClass::QueueRead, 1, ReservationTable::single_cycle(rport, 1));
+    b.timing(OpClass::QueueWrite, 1, ReservationTable::single_cycle(wport, 1));
+    b.timing(OpClass::Branch, 1, ReservationTable::single_cycle(seq, 1));
+    b.timing(OpClass::Pseudo, 0, ReservationTable::empty());
+    b.branch_resource(seq);
+    b.build().expect("toy preset is well-formed")
+}
+
+/// A small general-purpose VLIW used throughout the unit tests: one unit of
+/// each class, short latencies, a single shared memory port.
+pub fn test_machine() -> MachineDescription {
+    let mut b = MachineBuilder::new("test");
+    let fadd = b.resource("fadd", 1);
+    let fmul = b.resource("fmul", 1);
+    let alu = b.resource("alu", 1);
+    let mem = b.resource("mem", 1);
+    let seq = b.resource("seq", 1);
+
+    b.timing(OpClass::FloatAdd, 2, ReservationTable::single_cycle(fadd, 1));
+    b.timing(OpClass::FloatMul, 3, ReservationTable::single_cycle(fmul, 1));
+    b.timing(OpClass::FloatDiv, 9, ReservationTable::block(fmul, 1, 3));
+    b.timing(OpClass::Alu, 1, ReservationTable::single_cycle(alu, 1));
+    b.timing(OpClass::MemLoad, 2, ReservationTable::single_cycle(mem, 1));
+    b.timing(OpClass::MemStore, 1, ReservationTable::single_cycle(mem, 1));
+    b.timing(OpClass::QueueRead, 1, ReservationTable::single_cycle(mem, 1));
+    b.timing(OpClass::QueueWrite, 1, ReservationTable::single_cycle(mem, 1));
+    b.timing(OpClass::Branch, 1, ReservationTable::single_cycle(seq, 1));
+    b.timing(OpClass::Pseudo, 0, ReservationTable::empty());
+    b.branch_resource(seq);
+    b.build().expect("test preset is well-formed")
+}
+
+/// A purely sequential machine: every class shares the single unit, so no
+/// two operations ever execute in the same cycle. The degenerate baseline.
+pub fn sequential() -> MachineDescription {
+    let mut b = MachineBuilder::new("sequential");
+    let u = b.resource("unit", 1);
+    for class in OpClass::ALL {
+        if class == OpClass::Pseudo {
+            b.timing(class, 0, ReservationTable::empty());
+        } else {
+            b.timing(class, 1, ReservationTable::single_cycle(u, 1));
+        }
+    }
+    b.branch_resource(u);
+    b.build().expect("sequential preset is well-formed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warp_has_seven_cycle_float_latency() {
+        let m = warp_cell();
+        assert_eq!(m.latency(OpClass::FloatAdd), 7);
+        assert_eq!(m.latency(OpClass::FloatMul), 7);
+        assert_eq!(m.reservation(OpClass::FloatAdd).len(), 1, "fully pipelined");
+    }
+
+    #[test]
+    fn warp_register_files_match_paper() {
+        let m = warp_cell();
+        assert_eq!(m.reg_file_size(RegClass::Float), Some(62));
+        assert_eq!(m.reg_file_size(RegClass::Int), Some(64));
+    }
+
+    #[test]
+    fn warp_has_branch_resource() {
+        let m = warp_cell();
+        let seq = m.branch_resource().expect("sequencer");
+        assert_eq!(m.resources()[seq.index()].name, "seq");
+    }
+
+    #[test]
+    fn toy_vector_add_latency_is_two() {
+        let m = toy_vector();
+        assert_eq!(m.latency(OpClass::FloatAdd), 2);
+        // Read and write ports are distinct so II = 1 is feasible.
+        assert_ne!(
+            m.resource_by_name("rport"),
+            m.resource_by_name("wport")
+        );
+    }
+
+    #[test]
+    fn sequential_machine_serializes_everything() {
+        let m = sequential();
+        assert_eq!(m.num_resources(), 1);
+        for class in OpClass::ALL {
+            if class != OpClass::Pseudo {
+                assert_eq!(m.reservation(class).row(0).units(crate::ResourceId(0)), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn presets_all_build() {
+        for m in [warp_cell(), toy_vector(), test_machine(), sequential()] {
+            assert!(!m.name().is_empty());
+            assert!(m.num_resources() >= 1);
+        }
+    }
+
+    #[test]
+    fn scaled_warp_widens_units_not_latency() {
+        let m = warp_cell_scaled(4);
+        assert_eq!(m.latency(OpClass::FloatAdd), 7, "latencies unchanged");
+        assert_eq!(m.units(m.resource_by_name("fadd").unwrap()), 4);
+        assert_eq!(m.units(m.resource_by_name("seq").unwrap()), 1);
+        assert_eq!(m.reg_file_size(RegClass::Float), Some(248));
+    }
+
+    #[test]
+    fn scale_one_matches_warp_widths() {
+        let a = warp_cell_scaled(1);
+        let b = warp_cell();
+        for (ra, rb) in a.resources().iter().zip(b.resources()) {
+            assert_eq!(ra.count, rb.count, "{}", ra.name);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Machine resources and reservation tables.
+//!
+//! A VLIW data path is modeled as a set of named *resources* (functional
+//! units, memory ports, buses, the sequencer). Each resource has a fixed
+//! number of identical units available in every instruction cycle. An
+//! operation's usage of resources over time is described by a
+//! [`ReservationTable`]: row `t` lists the resources consumed `t` cycles
+//! after the operation issues.
+//!
+//! Reservation tables are the currency of the whole scheduler: list
+//! scheduling checks them against the partial schedule, modulo scheduling
+//! wraps them around the initiation interval, and hierarchical reduction
+//! merges them (entry-wise max) to represent a conditional construct.
+
+use std::fmt;
+
+/// Index of a resource in a [`crate::MachineDescription`].
+///
+/// `ResourceId`s are only meaningful relative to the machine description
+/// that created them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ResourceId(pub u32);
+
+impl ResourceId {
+    /// Returns the id as a usable index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ResourceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A named machine resource with a per-cycle capacity.
+///
+/// Examples: a floating-point adder (`count = 1`), a pair of memory ports
+/// (`count = 2`), the instruction sequencer (`count = 1`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Resource {
+    /// Human-readable name, e.g. `"fadd"`.
+    pub name: String,
+    /// Number of identical units available per instruction cycle.
+    pub count: u16,
+}
+
+impl Resource {
+    /// Creates a resource with the given name and unit count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero: a resource that can never be used is
+    /// always a specification error.
+    pub fn new(name: impl Into<String>, count: u16) -> Self {
+        let name = name.into();
+        assert!(count > 0, "resource {name:?} must have at least one unit");
+        Resource { name, count }
+    }
+}
+
+/// One row of a reservation table: the resources consumed during a single
+/// cycle, as `(resource, units)` pairs sorted by resource id.
+///
+/// Rows are kept sparse because most operations touch one or two resources
+/// out of a dozen.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ResourceUse {
+    uses: Vec<(ResourceId, u16)>,
+}
+
+impl ResourceUse {
+    /// An empty row (no resources used this cycle).
+    pub fn none() -> Self {
+        ResourceUse::default()
+    }
+
+    /// A row using `units` units of a single resource.
+    pub fn one(resource: ResourceId, units: u16) -> Self {
+        let mut row = ResourceUse::default();
+        row.add(resource, units);
+        row
+    }
+
+    /// Adds `units` units of `resource` to this row, merging with any
+    /// existing entry for the same resource.
+    pub fn add(&mut self, resource: ResourceId, units: u16) {
+        if units == 0 {
+            return;
+        }
+        match self.uses.binary_search_by_key(&resource, |&(r, _)| r) {
+            Ok(i) => self.uses[i].1 += units,
+            Err(i) => self.uses.insert(i, (resource, units)),
+        }
+    }
+
+    /// Units of `resource` used by this row.
+    pub fn units(&self, resource: ResourceId) -> u16 {
+        self.uses
+            .binary_search_by_key(&resource, |&(r, _)| r)
+            .map(|i| self.uses[i].1)
+            .unwrap_or(0)
+    }
+
+    /// Iterates over `(resource, units)` pairs with non-zero usage.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, u16)> + '_ {
+        self.uses.iter().copied()
+    }
+
+    /// True if no resource is used this cycle.
+    pub fn is_empty(&self) -> bool {
+        self.uses.is_empty()
+    }
+
+    /// Entry-wise sum with another row.
+    pub fn merge_sum(&mut self, other: &ResourceUse) {
+        for (r, u) in other.iter() {
+            self.add(r, u);
+        }
+    }
+
+    /// Entry-wise maximum with another row.
+    ///
+    /// This is the merge used by hierarchical reduction of conditionals:
+    /// a schedule that satisfies the max of both branches satisfies either.
+    pub fn merge_max(&mut self, other: &ResourceUse) {
+        for (r, u) in other.iter() {
+            match self.uses.binary_search_by_key(&r, |&(x, _)| x) {
+                Ok(i) => self.uses[i].1 = self.uses[i].1.max(u),
+                Err(i) => self.uses.insert(i, (r, u)),
+            }
+        }
+    }
+}
+
+/// Resource usage of an operation over the cycles following its issue.
+///
+/// Row 0 is the issue cycle. Most fully pipelined operations have a single
+/// non-empty row; an unpipelined divider would occupy its unit for many
+/// consecutive rows; a *reduced* construct (conditional or inner loop) can
+/// have a long, dense table.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct ReservationTable {
+    rows: Vec<ResourceUse>,
+}
+
+impl ReservationTable {
+    /// An empty table (an operation using no resources at all, e.g. a
+    /// pseudo-op).
+    pub fn empty() -> Self {
+        ReservationTable::default()
+    }
+
+    /// A table occupying `units` of `resource` on the issue cycle only —
+    /// the shape of every fully pipelined operation.
+    pub fn single_cycle(resource: ResourceId, units: u16) -> Self {
+        ReservationTable {
+            rows: vec![ResourceUse::one(resource, units)],
+        }
+    }
+
+    /// A table occupying `units` of `resource` for `cycles` consecutive
+    /// cycles starting at issue — the shape of an unpipelined unit.
+    pub fn block(resource: ResourceId, units: u16, cycles: usize) -> Self {
+        ReservationTable {
+            rows: (0..cycles)
+                .map(|_| ResourceUse::one(resource, units))
+                .collect(),
+        }
+    }
+
+    /// Builds a table from explicit rows.
+    pub fn from_rows(rows: Vec<ResourceUse>) -> Self {
+        ReservationTable { rows }
+    }
+
+    /// Number of rows (cycles) in the table. May be zero.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if the table has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The row `t` cycles after issue; rows past the end are empty.
+    pub fn row(&self, t: usize) -> &ResourceUse {
+        static EMPTY: ResourceUse = ResourceUse { uses: Vec::new() };
+        self.rows.get(t).unwrap_or(&EMPTY)
+    }
+
+    /// Mutable access to row `t`, growing the table as needed.
+    pub fn row_mut(&mut self, t: usize) -> &mut ResourceUse {
+        if t >= self.rows.len() {
+            self.rows.resize(t + 1, ResourceUse::none());
+        }
+        &mut self.rows[t]
+    }
+
+    /// Iterates over rows in issue order.
+    pub fn rows(&self) -> impl Iterator<Item = &ResourceUse> {
+        self.rows.iter()
+    }
+
+    /// Adds `other`, offset by `at` cycles, summing overlapping entries.
+    ///
+    /// Used to aggregate the resource usage of a strongly connected
+    /// component or of a reduced construct's internal schedule.
+    pub fn add_shifted_sum(&mut self, other: &ReservationTable, at: usize) {
+        for (t, row) in other.rows.iter().enumerate() {
+            if !row.is_empty() {
+                self.row_mut(at + t).merge_sum(row);
+            }
+        }
+    }
+
+    /// Merges `other`, offset by `at` cycles, taking entry-wise maxima.
+    ///
+    /// Used by hierarchical reduction of conditionals (union of the THEN
+    /// and ELSE branch requirements).
+    pub fn add_shifted_max(&mut self, other: &ReservationTable, at: usize) {
+        for (t, row) in other.rows.iter().enumerate() {
+            if !row.is_empty() {
+                self.row_mut(at + t).merge_max(row);
+            }
+        }
+    }
+
+    /// Pads the table with empty rows so it has at least `cycles` rows.
+    pub fn pad_to(&mut self, cycles: usize) {
+        if cycles > self.rows.len() {
+            self.rows.resize(cycles, ResourceUse::none());
+        }
+    }
+
+    /// Total units of `resource` used over the whole table.
+    pub fn total_units(&self, resource: ResourceId) -> u64 {
+        self.rows.iter().map(|r| r.units(resource) as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(i: u32) -> ResourceId {
+        ResourceId(i)
+    }
+
+    #[test]
+    fn resource_use_add_and_query() {
+        let mut row = ResourceUse::none();
+        assert!(row.is_empty());
+        row.add(r(3), 2);
+        row.add(r(1), 1);
+        row.add(r(3), 1);
+        assert_eq!(row.units(r(3)), 3);
+        assert_eq!(row.units(r(1)), 1);
+        assert_eq!(row.units(r(0)), 0);
+        let pairs: Vec<_> = row.iter().collect();
+        assert_eq!(pairs, vec![(r(1), 1), (r(3), 3)]);
+    }
+
+    #[test]
+    fn resource_use_zero_units_ignored() {
+        let mut row = ResourceUse::none();
+        row.add(r(0), 0);
+        assert!(row.is_empty());
+    }
+
+    #[test]
+    fn merge_max_takes_larger() {
+        let mut a = ResourceUse::one(r(0), 2);
+        a.add(r(1), 1);
+        let mut b = ResourceUse::one(r(0), 1);
+        b.add(r(2), 4);
+        a.merge_max(&b);
+        assert_eq!(a.units(r(0)), 2);
+        assert_eq!(a.units(r(1)), 1);
+        assert_eq!(a.units(r(2)), 4);
+    }
+
+    #[test]
+    fn merge_sum_adds() {
+        let mut a = ResourceUse::one(r(0), 2);
+        a.merge_sum(&ResourceUse::one(r(0), 3));
+        assert_eq!(a.units(r(0)), 5);
+    }
+
+    #[test]
+    fn single_cycle_table() {
+        let t = ReservationTable::single_cycle(r(1), 1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.row(0).units(r(1)), 1);
+        assert_eq!(t.row(5).units(r(1)), 0, "rows past end are empty");
+    }
+
+    #[test]
+    fn block_table() {
+        let t = ReservationTable::block(r(0), 1, 3);
+        assert_eq!(t.len(), 3);
+        for i in 0..3 {
+            assert_eq!(t.row(i).units(r(0)), 1);
+        }
+    }
+
+    #[test]
+    fn add_shifted_sum_offsets() {
+        let mut t = ReservationTable::single_cycle(r(0), 1);
+        t.add_shifted_sum(&ReservationTable::single_cycle(r(0), 1), 2);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.row(0).units(r(0)), 1);
+        assert_eq!(t.row(1).units(r(0)), 0);
+        assert_eq!(t.row(2).units(r(0)), 1);
+    }
+
+    #[test]
+    fn add_shifted_max_unions() {
+        let mut t = ReservationTable::block(r(0), 2, 2);
+        t.add_shifted_max(&ReservationTable::block(r(0), 3, 1), 1);
+        assert_eq!(t.row(0).units(r(0)), 2);
+        assert_eq!(t.row(1).units(r(0)), 3);
+    }
+
+    #[test]
+    fn total_units_sums_rows() {
+        let mut t = ReservationTable::block(r(0), 1, 3);
+        t.row_mut(1).add(r(0), 2);
+        assert_eq!(t.total_units(r(0)), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one unit")]
+    fn zero_count_resource_rejected() {
+        let _ = Resource::new("bad", 0);
+    }
+}

@@ -1,0 +1,742 @@
+//! Dependence-graph construction.
+//!
+//! Produces the edges of §2.1: register flow/anti/output dependences,
+//! memory dependences with exact iteration distances (from [`ir::MemRef`]
+//! metadata), and queue-ordering dependences. Delays are derived from the
+//! machine's latencies under the timing model shared with the simulator:
+//! an operation issued at cycle `t` reads its register sources at the
+//! start of `t` and its result becomes readable at the start of
+//! `t + latency`; stores become visible to loads issued at `t + 1`.
+//!
+//! The builder works over *items* — plain operations or reduced
+//! conditional constructs (hierarchical reduction, §3). Each item exposes
+//! its flattened accesses (operation occurrences and condition-register
+//! reads, with offsets from the item's issue cycle); a dependence between
+//! two accesses at offsets `o_a`, `o_b` with op-level delay `d` becomes an
+//! item-level edge with delay `d + o_a - o_b`. Accesses within one item
+//! need no intra-iteration edges (the construct's internal schedule
+//! already honors them), but loop-carried dependences between an item and
+//! itself are still recorded as self edges.
+//!
+//! When modulo variable expansion is enabled, variables that are redefined
+//! at the beginning of every iteration (no use precedes their first def,
+//! and every def executes unconditionally) have their **loop-carried**
+//! anti and output dependences omitted — §2.3: "we pretend that every
+//! iteration of the loop has a dedicated register location for each
+//! qualified variable, and remove all inter-iteration precedence
+//! constraints between operations on these variables."
+
+use std::collections::BTreeMap;
+
+use ir::{alias, Alias, MemRef, Op, Opcode, VReg};
+use machine::MachineDescription;
+
+use crate::graph::{Access, DepEdge, DepGraph, DepKind, Node, NodeId};
+
+/// Options for dependence construction.
+#[derive(Debug, Clone, Copy)]
+pub struct BuildOptions {
+    /// Add loop-carried (omega >= 1) edges. Disable for basic blocks.
+    pub loop_carried: bool,
+    /// Omit loop-carried anti/output edges for expandable variables,
+    /// recording them in [`DepGraph::expandable`] (modulo variable
+    /// expansion, §2.3).
+    pub enable_mve: bool,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions {
+            loop_carried: true,
+            enable_mve: true,
+        }
+    }
+}
+
+/// Builds the dependence graph for a straight-line body of plain ops.
+pub fn build_graph(ops: &[Op], mach: &MachineDescription, opts: BuildOptions) -> DepGraph {
+    let items: Vec<Node> = ops
+        .iter()
+        .map(|op| Node::op(op.clone(), mach.reservation(op.opcode.class()).clone()))
+        .collect();
+    build_item_graph(items, mach, opts)
+}
+
+/// One flattened access, pre-resolved for dependence building.
+#[derive(Debug, Clone)]
+struct FlatAcc {
+    item: usize,
+    offset: i64,
+    def: Option<VReg>,
+    uses: Vec<VReg>,
+    /// Result latency (defs only).
+    lat: i64,
+    /// Memory access, if any.
+    mem: Option<(Opcode, Option<MemRef>)>,
+    /// Queue access, if any: `(opcode, channel)`.
+    queue: Option<(Opcode, u8)>,
+    /// Executes only on some paths (inside a conditional arm).
+    conditional: bool,
+}
+
+fn flatten(items: &[Node], mach: &MachineDescription) -> Vec<FlatAcc> {
+    let mut out = Vec::new();
+    for (idx, node) in items.iter().enumerate() {
+        node.for_each_access(&mut |acc| match acc {
+            Access::Op {
+                offset,
+                op,
+                conditional,
+            } => {
+                let mut uses: Vec<VReg> = op.uses().collect();
+                uses.dedup();
+                out.push(FlatAcc {
+                    item: idx,
+                    offset: offset as i64,
+                    def: op.def(),
+                    uses,
+                    lat: mach.latency(op.opcode.class()) as i64,
+                    mem: if op.touches_memory() {
+                        Some((op.opcode, op.mem))
+                    } else {
+                        None
+                    },
+                    queue: if op.touches_queue() {
+                        Some((op.opcode, op.channel))
+                    } else {
+                        None
+                    },
+                    conditional,
+                });
+            }
+            Access::CondUse { offset, reg } => out.push(FlatAcc {
+                item: idx,
+                offset: offset as i64,
+                def: None,
+                uses: vec![reg],
+                lat: 0,
+                mem: None,
+                queue: None,
+                conditional: false,
+            }),
+        });
+    }
+    out
+}
+
+/// Builds the dependence graph over scheduling items (ops and reduced
+/// constructs). Items must carry their reservation tables already.
+pub fn build_item_graph(
+    items: Vec<Node>,
+    mach: &MachineDescription,
+    opts: BuildOptions,
+) -> DepGraph {
+    let accs = flatten(&items, mach);
+    let mut g = DepGraph::new();
+    for node in items {
+        g.add_node(node);
+    }
+    add_register_edges(&mut g, &accs, opts);
+    add_memory_edges(&mut g, &accs, opts);
+    for channel in 0..=1u8 {
+        add_queue_edges(&mut g, &accs, opts, Opcode::QPop, channel);
+        add_queue_edges(&mut g, &accs, opts, Opcode::QPush, channel);
+    }
+    g
+}
+
+/// Per-variable occurrence lists (indices into the access list).
+#[derive(Debug, Default)]
+struct VarOcc {
+    defs: Vec<usize>,
+    uses: Vec<usize>,
+}
+
+fn add_register_edges(g: &mut DepGraph, accs: &[FlatAcc], opts: BuildOptions) {
+    let mut occ: BTreeMap<VReg, VarOcc> = BTreeMap::new();
+    for (i, a) in accs.iter().enumerate() {
+        for &u in &a.uses {
+            occ.entry(u).or_default().uses.push(i);
+        }
+        if let Some(d) = a.def {
+            occ.entry(d).or_default().defs.push(i);
+        }
+    }
+
+    let mut push = |from: usize, to: usize, omega: u32, delay: i64, kind: DepKind| {
+        let (fi, ti) = (accs[from].item, accs[to].item);
+        if omega == 0 && fi == ti {
+            return; // enforced by the construct's internal schedule
+        }
+        g.add_edge(DepEdge {
+            from: NodeId(fi as u32),
+            to: NodeId(ti as u32),
+            omega,
+            delay,
+            kind,
+        });
+    };
+
+    let mut expandable = Vec::new();
+    for (reg, v) in &occ {
+        if v.defs.is_empty() {
+            continue; // live-in invariant
+        }
+        let first_def = v.defs[0];
+        let is_expandable = opts.enable_mve
+            && opts.loop_carried
+            && v.uses.iter().all(|&u| u > first_def)
+            && v.defs.iter().all(|&d| !accs[d].conditional);
+        if is_expandable {
+            expandable.push(*reg);
+        }
+
+        for &u in &v.uses {
+            let (ou, _iu) = (accs[u].offset, accs[u].item);
+            let defs_before: Vec<usize> = v.defs.iter().copied().filter(|&d| d < u).collect();
+            if defs_before.is_empty() {
+                // Recurrence: the use reads the previous iteration's value.
+                if opts.loop_carried {
+                    for &d in &v.defs {
+                        push(
+                            d,
+                            u,
+                            1,
+                            accs[d].lat + accs[d].offset - ou,
+                            DepKind::True,
+                        );
+                    }
+                }
+            } else {
+                // Conservative: the use must follow every potential
+                // reaching def (conditional defs make "latest" ambiguous).
+                for &d in &defs_before {
+                    push(
+                        d,
+                        u,
+                        0,
+                        accs[d].lat + accs[d].offset - ou,
+                        DepKind::True,
+                    );
+                }
+            }
+            // Anti: later defs must not clobber before the read.
+            let defs_after: Vec<usize> = v.defs.iter().copied().filter(|&d| d > u).collect();
+            if defs_after.is_empty() {
+                if opts.loop_carried && !is_expandable {
+                    for &d in &v.defs {
+                        push(
+                            u,
+                            d,
+                            1,
+                            ou + 1 - accs[d].offset - accs[d].lat,
+                            DepKind::Anti,
+                        );
+                    }
+                }
+            } else {
+                for &d in &defs_after {
+                    push(
+                        u,
+                        d,
+                        0,
+                        ou + 1 - accs[d].offset - accs[d].lat,
+                        DepKind::Anti,
+                    );
+                }
+            }
+        }
+        // Output dependences: writes retire in program order.
+        for (xi, &a) in v.defs.iter().enumerate() {
+            for &b in &v.defs[xi + 1..] {
+                push(
+                    a,
+                    b,
+                    0,
+                    accs[a].lat + accs[a].offset - accs[b].lat - accs[b].offset + 1,
+                    DepKind::Output,
+                );
+            }
+        }
+        if opts.loop_carried && !is_expandable && (v.defs.len() > 1 || !v.uses.is_empty()) {
+            for &a in &v.defs {
+                for &b in &v.defs {
+                    push(
+                        a,
+                        b,
+                        1,
+                        accs[a].lat + accs[a].offset - accs[b].lat - accs[b].offset + 1,
+                        DepKind::Output,
+                    );
+                }
+            }
+        }
+    }
+    g.expandable = expandable;
+}
+
+/// Delay required between two ordered memory operations under the
+/// simulator's timing model.
+fn mem_delay(earlier: Opcode, later: Opcode) -> i64 {
+    match (earlier, later) {
+        // A store is visible to loads issued strictly later.
+        (Opcode::Store, Opcode::Load) => 1,
+        // A load issued in the same cycle as a following store still reads
+        // the old value.
+        (Opcode::Load, Opcode::Store) => 0,
+        // Stores commit in issue order only if strictly ordered.
+        (Opcode::Store, Opcode::Store) => 1,
+        _ => unreachable!("load/load pairs need no ordering"),
+    }
+}
+
+fn add_memory_edges(g: &mut DepGraph, accs: &[FlatAcc], opts: BuildOptions) {
+    let mem: Vec<usize> = (0..accs.len()).filter(|&i| accs[i].mem.is_some()).collect();
+    let mut push = |from: usize, to: usize, omega: u32, delay: i64| {
+        let (fi, ti) = (accs[from].item, accs[to].item);
+        if omega == 0 && fi == ti {
+            return;
+        }
+        g.add_edge(DepEdge {
+            from: NodeId(fi as u32),
+            to: NodeId(ti as u32),
+            omega,
+            delay,
+            kind: DepKind::Memory,
+        });
+    };
+    for (xi, &i) in mem.iter().enumerate() {
+        for &j in &mem[xi + 1..] {
+            let (oc_i, mr_i) = accs[i].mem.expect("filtered");
+            let (oc_j, mr_j) = accs[j].mem.expect("filtered");
+            if oc_i == Opcode::Load && oc_j == Opcode::Load {
+                continue;
+            }
+            let verdict = match (mr_i, mr_j) {
+                (Some(a), Some(b)) => alias(&a, &b),
+                _ => Alias::Unknown,
+            };
+            match verdict {
+                Alias::Never => {}
+                Alias::At { distance } => {
+                    if distance >= 0 {
+                        if distance == 0 || opts.loop_carried {
+                            push(
+                                i,
+                                j,
+                                distance as u32,
+                                mem_delay(oc_i, oc_j) + accs[i].offset - accs[j].offset,
+                            );
+                        }
+                    } else if opts.loop_carried {
+                        push(
+                            j,
+                            i,
+                            (-distance) as u32,
+                            mem_delay(oc_j, oc_i) + accs[j].offset - accs[i].offset,
+                        );
+                    }
+                }
+                Alias::Unknown => {
+                    push(
+                        i,
+                        j,
+                        0,
+                        mem_delay(oc_i, oc_j) + accs[i].offset - accs[j].offset,
+                    );
+                    if opts.loop_carried {
+                        push(
+                            j,
+                            i,
+                            1,
+                            mem_delay(oc_j, oc_i) + accs[j].offset - accs[i].offset,
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn add_queue_edges(
+    g: &mut DepGraph,
+    accs: &[FlatAcc],
+    opts: BuildOptions,
+    opcode: Opcode,
+    channel: u8,
+) {
+    let qs: Vec<usize> = (0..accs.len())
+        .filter(|&i| accs[i].queue == Some((opcode, channel)))
+        .collect();
+    let mut push = |from: usize, to: usize, omega: u32, delay: i64| {
+        let (fi, ti) = (accs[from].item, accs[to].item);
+        if omega == 0 && fi == ti {
+            return;
+        }
+        g.add_edge(DepEdge {
+            from: NodeId(fi as u32),
+            to: NodeId(ti as u32),
+            omega,
+            delay,
+            kind: DepKind::Queue,
+        });
+    };
+    for w in qs.windows(2) {
+        push(
+            w[0],
+            w[1],
+            0,
+            1 + accs[w[0]].offset - accs[w[1]].offset,
+        );
+    }
+    if opts.loop_carried && qs.len() >= 2 {
+        let last = *qs.last().expect("len >= 2");
+        push(last, qs[0], 1, 1 + accs[last].offset - accs[qs[0]].offset);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{ArrayId, Imm, MemRef, Operand, Type};
+    use machine::presets::test_machine;
+
+    /// Builds ops with a tiny harness: returns (ops, regs) for manual
+    /// construction without a full Program.
+    struct Body {
+        regs: ir::RegTable,
+        ops: Vec<Op>,
+    }
+
+    impl Body {
+        fn new() -> Self {
+            Body {
+                regs: ir::RegTable::new(),
+                ops: Vec::new(),
+            }
+        }
+
+        fn f(&mut self) -> VReg {
+            self.regs.alloc(Type::F32)
+        }
+
+        fn i(&mut self) -> VReg {
+            self.regs.alloc(Type::I32)
+        }
+
+        fn push(&mut self, opcode: Opcode, dst: Option<VReg>, srcs: Vec<Operand>) -> usize {
+            self.ops.push(Op::new(opcode, dst, srcs));
+            self.ops.len() - 1
+        }
+    }
+
+    fn edge_between(g: &DepGraph, from: usize, to: usize) -> Vec<DepEdge> {
+        g.edges()
+            .iter()
+            .filter(|e| e.from.index() == from && e.to.index() == to)
+            .copied()
+            .collect()
+    }
+
+    #[test]
+    fn flow_edge_has_producer_latency() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let x = b.f();
+        let y = b.f();
+        let z = b.f();
+        b.push(Opcode::FMul, Some(y), vec![x.into(), x.into()]);
+        b.push(Opcode::FAdd, Some(z), vec![y.into(), y.into()]);
+        // x is live-in (no def): no edges for it. y: def at 0, use at 1.
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        let es = edge_between(&g, 0, 1);
+        assert_eq!(es.len(), 1);
+        assert_eq!(es[0].kind, DepKind::True);
+        assert_eq!(es[0].delay, m.latency(machine::OpClass::FloatMul) as i64);
+        assert_eq!(es[0].omega, 0);
+    }
+
+    #[test]
+    fn recurrence_creates_loop_carried_true_edge() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let s = b.f();
+        let x = b.f();
+        // s = s + x : use of s precedes (is within) its def.
+        b.push(Opcode::FAdd, Some(s), vec![s.into(), x.into()]);
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        let es = edge_between(&g, 0, 0);
+        assert!(
+            es.iter()
+                .any(|e| e.kind == DepKind::True && e.omega == 1 && e.delay == 2),
+            "expected self loop-carried true edge, got {es:?}"
+        );
+        assert!(
+            !g.expandable.contains(&s),
+            "recurrence variable must not be expandable"
+        );
+    }
+
+    #[test]
+    fn temporary_is_expandable_and_loses_carried_edges() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let t = b.f();
+        let addr = b.i();
+        b.push(Opcode::Load, Some(t), vec![addr.into()]);
+        b.push(Opcode::QPush, None, vec![t.into()]);
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        assert!(g.expandable.contains(&t));
+        assert!(
+            g.edges()
+                .iter()
+                .all(|e| e.omega == 0 || e.kind == DepKind::Memory || e.kind == DepKind::Queue),
+            "{g}"
+        );
+    }
+
+    #[test]
+    fn without_mve_carried_anti_edge_appears() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let t = b.f();
+        let addr = b.i();
+        b.push(Opcode::Load, Some(t), vec![addr.into()]);
+        b.push(Opcode::QPush, None, vec![t.into()]);
+        let g = build_graph(
+            &b.ops,
+            &m,
+            BuildOptions {
+                loop_carried: true,
+                enable_mve: false,
+            },
+        );
+        assert!(g.expandable.is_empty());
+        let anti = edge_between(&g, 1, 0);
+        assert!(
+            anti.iter().any(|e| e.kind == DepKind::Anti && e.omega == 1),
+            "{g}"
+        );
+        // Anti delay: 1 - load latency (2) = -1.
+        assert_eq!(
+            anti.iter()
+                .find(|e| e.kind == DepKind::Anti)
+                .expect("anti edge")
+                .delay,
+            -1
+        );
+    }
+
+    #[test]
+    fn intra_anti_edge_for_redefinition() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let t = b.f();
+        let u = b.f();
+        b.push(Opcode::FAdd, Some(u), vec![t.into(), t.into()]); // use t
+        b.push(Opcode::FAdd, Some(t), vec![u.into(), u.into()]); // redefine t
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        let anti = edge_between(&g, 0, 1);
+        assert!(anti.iter().any(|e| e.kind == DepKind::Anti && e.omega == 0));
+    }
+
+    #[test]
+    fn output_edges_between_defs() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let t = b.f();
+        let x = b.f();
+        b.push(Opcode::FAdd, Some(t), vec![x.into(), x.into()]);
+        b.push(Opcode::FMul, Some(t), vec![x.into(), x.into()]);
+        b.push(Opcode::QPush, None, vec![t.into()]);
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        let out = edge_between(&g, 0, 1);
+        // fadd lat 2, fmul lat 3 => delay 2 - 3 + 1 = 0.
+        assert!(out.iter().any(|e| e.kind == DepKind::Output && e.delay == 0));
+    }
+
+    #[test]
+    fn memory_distance_one_dependence() {
+        // store a[i]; load a[i-1] (reads last iteration's store).
+        let m = test_machine();
+        let mut b = Body::new();
+        let v = b.f();
+        let a1 = b.i();
+        let a2 = b.i();
+        let t = b.f();
+        let st = b.push(Opcode::Store, None, vec![a1.into(), v.into()]);
+        b.ops[st].mem = Some(MemRef::affine(ArrayId(0), 1, 0));
+        let ld = b.push(Opcode::Load, Some(t), vec![a2.into()]);
+        b.ops[ld].mem = Some(MemRef::affine(ArrayId(0), 1, -1));
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        let es = edge_between(&g, st, ld);
+        assert!(
+            es.iter()
+                .any(|e| e.kind == DepKind::Memory && e.omega == 1 && e.delay == 1),
+            "{g}"
+        );
+    }
+
+    #[test]
+    fn disjoint_memory_no_edge() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let v = b.f();
+        let a1 = b.i();
+        let a2 = b.i();
+        let t = b.f();
+        let st = b.push(Opcode::Store, None, vec![a1.into(), v.into()]);
+        b.ops[st].mem = Some(MemRef::affine(ArrayId(0), 1, 0));
+        let ld = b.push(Opcode::Load, Some(t), vec![a2.into()]);
+        b.ops[ld].mem = Some(MemRef::affine(ArrayId(1), 1, 0));
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        assert!(g.edges().iter().all(|e| e.kind != DepKind::Memory), "{g}");
+    }
+
+    #[test]
+    fn unannotated_memory_is_conservative() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let v = b.f();
+        let a1 = b.i();
+        let a2 = b.i();
+        let t = b.f();
+        let st = b.push(Opcode::Store, None, vec![a1.into(), v.into()]);
+        let ld = b.push(Opcode::Load, Some(t), vec![a2.into()]);
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        assert!(!edge_between(&g, st, ld).is_empty());
+        assert!(edge_between(&g, ld, st).iter().any(|e| e.omega == 1));
+    }
+
+    #[test]
+    fn loads_never_depend_on_loads() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let a1 = b.i();
+        let t1 = b.f();
+        let t2 = b.f();
+        b.push(Opcode::Load, Some(t1), vec![a1.into()]);
+        b.push(Opcode::Load, Some(t2), vec![a1.into()]);
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        assert!(g.edges().iter().all(|e| e.kind != DepKind::Memory));
+    }
+
+    #[test]
+    fn queue_ops_are_chained_and_carried() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let t1 = b.f();
+        let t2 = b.f();
+        b.push(Opcode::QPop, Some(t1), vec![Imm::I(0).into()]);
+        b.push(Opcode::QPop, Some(t2), vec![Imm::I(0).into()]);
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        assert!(edge_between(&g, 0, 1)
+            .iter()
+            .any(|e| e.kind == DepKind::Queue && e.omega == 0 && e.delay == 1));
+        assert!(edge_between(&g, 1, 0)
+            .iter()
+            .any(|e| e.kind == DepKind::Queue && e.omega == 1 && e.delay == 1));
+    }
+
+    #[test]
+    fn basic_block_mode_has_no_carried_edges() {
+        let m = test_machine();
+        let mut b = Body::new();
+        let s = b.f();
+        let x = b.f();
+        b.push(Opcode::FAdd, Some(s), vec![s.into(), x.into()]);
+        let g = build_graph(
+            &b.ops,
+            &m,
+            BuildOptions {
+                loop_carried: false,
+                enable_mve: false,
+            },
+        );
+        assert!(g.edges().iter().all(|e| e.omega == 0), "{g}");
+    }
+
+    #[test]
+    fn counter_increment_pattern() {
+        // i used by address computation then incremented: classic counter.
+        let m = test_machine();
+        let mut b = Body::new();
+        let i = b.i();
+        let addr = b.i();
+        b.push(Opcode::Add, Some(addr), vec![i.into(), Imm::I(100).into()]);
+        b.push(Opcode::Add, Some(i), vec![i.into(), Imm::I(1).into()]);
+        let g = build_graph(&b.ops, &m, BuildOptions::default());
+        // addr use of i must precede the redefinition (anti, intra).
+        assert!(edge_between(&g, 0, 1)
+            .iter()
+            .any(|e| e.kind == DepKind::Anti && e.omega == 0 && e.delay == 0));
+        // i's self recurrence: def(1) -> use(1) omega 1 delay 1 and
+        // def(1) -> use(0) omega 1.
+        assert!(edge_between(&g, 1, 0)
+            .iter()
+            .any(|e| e.kind == DepKind::True && e.omega == 1 && e.delay == 1));
+        assert!(edge_between(&g, 1, 1)
+            .iter()
+            .any(|e| e.kind == DepKind::True && e.omega == 1));
+        // i is a recurrence: not expandable. addr is a temporary: expandable.
+        assert!(!g.expandable.contains(&i));
+        assert!(g.expandable.contains(&addr));
+    }
+
+    #[test]
+    fn cond_item_edges_use_internal_offsets() {
+        use crate::graph::{NodeKind, PlacedItem, ReducedCond};
+        let m = test_machine();
+        let mut regs = ir::RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let c = regs.alloc(Type::I32);
+        let y = regs.alloc(Type::F32);
+        let z = regs.alloc(Type::F32);
+        // Item 0: x = fadd x0, x0 (produces x, lat 2).
+        let prod = Node::op(
+            Op::new(Opcode::FAdd, Some(x), vec![Imm::F(0.0).into(), Imm::F(0.0).into()]),
+            m.reservation(machine::OpClass::FloatAdd).clone(),
+        );
+        // Item 1: reduced conditional whose THEN arm at offset 1 uses x
+        // and defines y.
+        let arm_op = Node::op(
+            Op::new(Opcode::FAdd, Some(y), vec![x.into(), x.into()]),
+            m.reservation(machine::OpClass::FloatAdd).clone(),
+        );
+        let mut res = machine::ReservationTable::empty();
+        res.add_shifted_max(&arm_op.reservation, 1);
+        let cond = Node {
+            kind: NodeKind::Cond(Box::new(ReducedCond {
+                cond: c,
+                then_items: vec![PlacedItem {
+                    offset: 1,
+                    node: arm_op,
+                }],
+                else_items: vec![],
+                len: 3,
+            })),
+            reservation: res,
+            len: 3,
+        };
+        // Item 2: uses y after the construct.
+        let after = Node::op(
+            Op::new(Opcode::FAdd, Some(z), vec![y.into(), y.into()]),
+            m.reservation(machine::OpClass::FloatAdd).clone(),
+        );
+        let g = build_item_graph(vec![prod, cond, after], &m, BuildOptions::default());
+        // Producer -> cond: use at internal offset 1, so delay = lat(2) - 1.
+        let es = edge_between(&g, 0, 1);
+        assert!(
+            es.iter().any(|e| e.kind == DepKind::True && e.delay == 1),
+            "{g}"
+        );
+        // Cond -> after: def at offset 1 with lat 2 => delay 3.
+        let es = edge_between(&g, 1, 2);
+        assert!(
+            es.iter().any(|e| e.kind == DepKind::True && e.delay == 3),
+            "{g}"
+        );
+        // y defined conditionally: never expandable.
+        assert!(!g.expandable.contains(&y));
+    }
+}

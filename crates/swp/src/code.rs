@@ -1,0 +1,225 @@
+//! VLIW object code.
+//!
+//! The compiler's output is a control-flow graph of [`Block`]s, each a
+//! straight-line sequence of [`Word`]s (one word per cycle; every
+//! operation in a word issues simultaneously) ending in a [`Terminator`].
+//! Loop back-edges use [`Terminator::CountedLoop`], modeling the Warp
+//! sequencer's hardware loop support: the counter register is decremented
+//! and tested without occupying a data-path slot ("the operation CJump L
+//! branches back to label L unless all iterations have been initiated").
+//!
+//! Timing contract with the simulator (crate `vm`):
+//! * each word takes exactly one cycle; jumps add no bubble;
+//! * an operation issued at cycle `t` reads registers at the start of `t`
+//!   and its result retires at the start of `t + latency`;
+//! * loads read memory at the start of their cycle, stores commit at the
+//!   end, and a store is visible to loads issued at `t + 1`;
+//! * terminator conditions are evaluated at the cycle boundary *after* the
+//!   block's last word, so a latency-1 compare in the final word is
+//!   visible to its own block's terminator;
+//! * register writes in flight survive jumps (pipelines are **not**
+//!   drained at block boundaries — the essence of software pipelining).
+
+use std::fmt;
+
+use ir::{Array, Op, RegTable, VReg};
+
+/// Index of a block within a [`VliwProgram`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// One very long instruction word: the operations issuing this cycle.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Word {
+    /// Operations issued simultaneously.
+    pub ops: Vec<Op>,
+}
+
+impl Word {
+    /// An empty word (a cycle spent only covering latency).
+    pub fn empty() -> Self {
+        Word::default()
+    }
+
+    /// True if the word issues nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// How a block ends.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Terminator {
+    /// Continue with the next block in program order.
+    Fall(BlockId),
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on an integer register (nonzero = first target).
+    CondJump {
+        /// Condition register.
+        cond: VReg,
+        /// Target when `cond != 0`.
+        nonzero: BlockId,
+        /// Target when `cond == 0`.
+        zero: BlockId,
+    },
+    /// Hardware loop: decrement `counter` by `dec`; jump to `back` while
+    /// it remains positive, otherwise to `exit`. (Do-while shape: the
+    /// block body has already executed once when the test runs.)
+    CountedLoop {
+        /// Counter register, decremented in place.
+        counter: VReg,
+        /// Amount subtracted per pass.
+        dec: i32,
+        /// Back-edge target.
+        back: BlockId,
+        /// Exit target.
+        exit: BlockId,
+    },
+    /// Program end.
+    Halt,
+}
+
+/// A straight-line run of words with a terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Debug label (e.g. `"loop3.kernel"`).
+    pub label: String,
+    /// The instruction words, one per cycle.
+    pub words: Vec<Word>,
+    /// Control transfer at the end.
+    pub term: Terminator,
+}
+
+impl Block {
+    /// Creates an empty block with a label; terminator set later.
+    pub fn new(label: impl Into<String>) -> Self {
+        Block {
+            label: label.into(),
+            words: Vec::new(),
+            term: Terminator::Halt,
+        }
+    }
+}
+
+/// A compiled VLIW program.
+#[derive(Debug, Clone)]
+pub struct VliwProgram {
+    /// Program name.
+    pub name: String,
+    /// Register metadata (the source program's registers plus compiler
+    /// temporaries: rotating copies, loop counters, trip arithmetic).
+    pub regs: RegTable,
+    /// Data-memory layout, copied from the source program.
+    pub arrays: Vec<Array>,
+    /// Data-memory size in words.
+    pub mem_size: u32,
+    /// All blocks; [`Self::entry`] starts execution.
+    pub blocks: Vec<Block>,
+    /// Entry block.
+    pub entry: BlockId,
+}
+
+impl VliwProgram {
+    /// Static code size in instruction words.
+    pub fn num_words(&self) -> usize {
+        self.blocks.iter().map(|b| b.words.len()).sum()
+    }
+
+    /// Number of operation slots actually filled.
+    pub fn num_ops(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| &b.words)
+            .map(|w| w.ops.len())
+            .sum()
+    }
+
+    /// A block by id.
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+}
+
+impl fmt::Display for VliwProgram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "vliw {} ({} blocks, {} words, {} ops)",
+            self.name,
+            self.blocks.len(),
+            self.num_words(),
+            self.num_ops()
+        )?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "{} [{}]:", BlockId(i as u32), b.label)?;
+            for (c, w) in b.words.iter().enumerate() {
+                if w.is_empty() {
+                    writeln!(f, "  {c:>4}: nop")?;
+                } else {
+                    let ops: Vec<String> = w.ops.iter().map(|o| o.to_string()).collect();
+                    writeln!(f, "  {c:>4}: {}", ops.join(" || "))?;
+                }
+            }
+            match &b.term {
+                Terminator::Fall(t) => writeln!(f, "  fall {t}")?,
+                Terminator::Jump(t) => writeln!(f, "  jump {t}")?,
+                Terminator::CondJump { cond, nonzero, zero } => {
+                    writeln!(f, "  if {cond} != 0 -> {nonzero} else {zero}")?
+                }
+                Terminator::CountedLoop {
+                    counter,
+                    dec,
+                    back,
+                    exit,
+                } => writeln!(f, "  loop {counter} -= {dec}; >0 -> {back} else {exit}")?,
+                Terminator::Halt => writeln!(f, "  halt")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{Imm, Opcode};
+
+    #[test]
+    fn code_size_counts() {
+        let mut regs = RegTable::new();
+        let r = regs.alloc(ir::Type::I32);
+        let mut b = Block::new("entry");
+        b.words.push(Word {
+            ops: vec![Op::new(Opcode::Const, Some(r), vec![Imm::I(1).into()])],
+        });
+        b.words.push(Word::empty());
+        let p = VliwProgram {
+            name: "t".into(),
+            regs,
+            arrays: vec![],
+            mem_size: 0,
+            blocks: vec![b],
+            entry: BlockId(0),
+        };
+        assert_eq!(p.num_words(), 2);
+        assert_eq!(p.num_ops(), 1);
+        let s = p.to_string();
+        assert!(s.contains("nop"), "{s}");
+        assert!(s.contains("halt"), "{s}");
+    }
+}

@@ -1,0 +1,255 @@
+//! Local compaction: list scheduling of a single basic block.
+//!
+//! This is both a building block of the compiler (straight-line code
+//! between constructs, unpipelined loop bodies) and the paper's Figure 4-2
+//! **baseline**: "we compare the performance obtained against that
+//! obtained by only compacting individual basic blocks."
+
+use machine::MachineDescription;
+
+use crate::build::{build_graph, BuildOptions};
+use crate::code::Word;
+use crate::graph::{DepGraph, NodeId};
+use crate::mrt::LinearTable;
+
+/// A compacted straight-line region.
+#[derive(Debug, Clone)]
+pub struct CompactedRegion {
+    /// The instruction words.
+    pub words: Vec<Word>,
+    /// Cycles past the last word until every result has retired: the
+    /// caller must pad this many empty words before dependent code that
+    /// was scheduled independently (e.g. across a loop back edge).
+    pub tail: u32,
+}
+
+impl CompactedRegion {
+    /// Total cycles including the drain tail.
+    pub fn drained_len(&self) -> u32 {
+        self.words.len() as u32 + self.tail
+    }
+
+    /// The words followed by `tail` empty padding words (an *unpipelined*
+    /// region: all pipelines empty at the end).
+    pub fn into_padded_words(mut self) -> Vec<Word> {
+        for _ in 0..self.tail {
+            self.words.push(Word::empty());
+        }
+        self.words
+    }
+}
+
+/// List-schedules the ops of one basic block (program order = data order).
+///
+/// Only intra-iteration dependences are honored; the caller decides
+/// whether to pad the tail (loop back edges, construct boundaries).
+pub fn compact_block(ops: &[ir::Op], mach: &MachineDescription) -> CompactedRegion {
+    let g = build_graph(
+        ops,
+        mach,
+        BuildOptions {
+            loop_carried: false,
+            enable_mve: false,
+        },
+    );
+    compact_graph(&g, mach)
+}
+
+/// List-schedules the nodes of a basic-block (omega = 0) graph, returning
+/// each node's issue cycle. Works for plain ops and reduced constructs
+/// alike — hierarchical reduction uses it to schedule conditional arms.
+pub fn linear_place(g: &DepGraph, mach: &MachineDescription) -> Vec<u32> {
+    let n = g.num_nodes();
+    // Priority: height along dependence edges.
+    let mut height = vec![0i64; n];
+    // Edges always point forward in program order within a block (even
+    // anti edges: use before def). Process in reverse program order.
+    for u in (0..n).rev() {
+        let mut h = g.node(NodeId(u as u32)).len as i64;
+        for e in g.succ_edges(NodeId(u as u32)) {
+            h = h.max(e.delay.max(1) + height[e.to.index()]);
+        }
+        height[u] = h;
+    }
+
+    let mut indeg = vec![0usize; n];
+    for e in g.edges() {
+        indeg[e.to.index()] += 1;
+    }
+    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
+    let mut earliest = vec![0i64; n];
+    let mut table = LinearTable::new(mach);
+    let mut time = vec![0u32; n];
+    let mut scheduled = 0usize;
+
+    while scheduled < n {
+        let (pos, &u) = ready
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &i)| (height[i], std::cmp::Reverse(i)))
+            .expect("block graphs are acyclic");
+        ready.swap_remove(pos);
+        let mut t = earliest[u].max(0) as u32;
+        while !table.fits(&g.node(NodeId(u as u32)).reservation, t) {
+            t += 1;
+        }
+        table.place(&g.node(NodeId(u as u32)).reservation, t);
+        time[u] = t;
+        scheduled += 1;
+        for e in g.succ_edges(NodeId(u as u32)) {
+            let v = e.to.index();
+            earliest[v] = earliest[v].max(t as i64 + e.delay);
+            indeg[v] -= 1;
+            if indeg[v] == 0 {
+                ready.push(v);
+            }
+        }
+    }
+    time
+}
+
+/// List-schedules a prebuilt basic-block graph of plain ops (all edges
+/// omega = 0) into instruction words.
+pub fn compact_graph(g: &DepGraph, mach: &MachineDescription) -> CompactedRegion {
+    let time = linear_place(g, mach);
+
+    // Materialize words and compute the drain tail.
+    let len = g
+        .node_ids()
+        .map(|i| time[i.index()] + g.node(i).len.max(1))
+        .max()
+        .unwrap_or(0);
+    let mut words = vec![Word::empty(); len as usize];
+    let mut tail_end = len as i64;
+    for i in g.node_ids() {
+        let op = g
+            .node(i)
+            .as_op()
+            .expect("compact_graph expects op nodes")
+            .clone();
+        let lat = mach.latency(op.opcode.class()) as i64;
+        tail_end = tail_end.max(time[i.index()] as i64 + lat);
+        words[time[i.index()] as usize].ops.push(op);
+    }
+    CompactedRegion {
+        words,
+        tail: (tail_end - len as i64).max(0) as u32,
+    }
+}
+
+/// Fully sequential emission: one op per word, each waiting out its
+/// producer's latency. The degenerate baseline used for "speed up over
+/// sequential" style comparisons.
+pub fn sequentialize(ops: &[ir::Op], mach: &MachineDescription) -> CompactedRegion {
+    let mut words = Vec::new();
+    let mut tail = 0i64;
+    for op in ops {
+        // Wait for everything issued so far to retire, then issue.
+        for _ in 0..tail.max(0) {
+            words.push(Word::empty());
+        }
+        let lat = mach.latency(op.opcode.class()) as i64;
+        words.push(Word {
+            ops: vec![op.clone()],
+        });
+        tail = lat - 1;
+    }
+    CompactedRegion {
+        words,
+        tail: tail.max(0) as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{Op, Opcode, RegTable, Type};
+    use machine::presets::test_machine;
+
+    fn chain_body() -> (Vec<ir::Op>, RegTable) {
+        let mut regs = RegTable::new();
+        let a = regs.alloc(Type::F32);
+        let b = regs.alloc(Type::F32);
+        let c = regs.alloc(Type::F32);
+        let d = regs.alloc(Type::F32);
+        let ops = vec![
+            Op::new(Opcode::FAdd, Some(b), vec![a.into(), a.into()]),
+            Op::new(Opcode::FMul, Some(c), vec![b.into(), b.into()]),
+            Op::new(Opcode::FAdd, Some(d), vec![c.into(), c.into()]),
+        ];
+        (ops, regs)
+    }
+
+    #[test]
+    fn chain_respects_latency() {
+        let m = test_machine();
+        let (ops, _) = chain_body();
+        let r = compact_block(&ops, &m);
+        // fadd lat 2 -> fmul at 2, fmul lat 3 -> fadd at 5; len 6, tail:
+        // final fadd retires at 5 + 2 = 7, so tail = 1.
+        assert_eq!(r.words.len(), 6);
+        assert_eq!(r.tail, 1);
+        assert_eq!(r.drained_len(), 7);
+        assert_eq!(r.words[0].ops.len(), 1);
+        assert!(r.words[1].is_empty());
+        assert_eq!(r.words[2].ops[0].opcode, Opcode::FMul);
+        assert_eq!(r.words[5].ops[0].opcode, Opcode::FAdd);
+    }
+
+    #[test]
+    fn independent_ops_pack_into_one_word() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let a = regs.alloc(Type::F32);
+        let b = regs.alloc(Type::F32);
+        let ops = vec![
+            Op::new(Opcode::FAdd, Some(a), vec![x.into(), x.into()]),
+            Op::new(Opcode::FMul, Some(b), vec![x.into(), x.into()]),
+        ];
+        let r = compact_block(&ops, &m);
+        assert_eq!(r.words.len(), 1, "adder and multiplier run in parallel");
+        assert_eq!(r.words[0].ops.len(), 2);
+    }
+
+    #[test]
+    fn resource_conflict_serializes() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let a = regs.alloc(Type::F32);
+        let b = regs.alloc(Type::F32);
+        let ops = vec![
+            Op::new(Opcode::FAdd, Some(a), vec![x.into(), x.into()]),
+            Op::new(Opcode::FAdd, Some(b), vec![x.into(), x.into()]),
+        ];
+        let r = compact_block(&ops, &m);
+        assert_eq!(r.words.len(), 2, "one adder");
+    }
+
+    #[test]
+    fn padded_words_drain_pipelines() {
+        let m = test_machine();
+        let (ops, _) = chain_body();
+        let r = compact_block(&ops, &m);
+        let drained = r.drained_len() as usize;
+        assert_eq!(r.clone().into_padded_words().len(), drained);
+    }
+
+    #[test]
+    fn sequential_is_never_shorter_than_compacted() {
+        let m = test_machine();
+        let (ops, _) = chain_body();
+        let seq = sequentialize(&ops, &m);
+        let cmp = compact_block(&ops, &m);
+        assert!(seq.drained_len() >= cmp.drained_len());
+    }
+
+    #[test]
+    fn empty_block() {
+        let m = test_machine();
+        let r = compact_block(&[], &m);
+        assert_eq!(r.words.len(), 0);
+        assert_eq!(r.tail, 0);
+    }
+}

@@ -1,0 +1,1504 @@
+//! Code generation: from structured IR to VLIW object code.
+//!
+//! Innermost loops whose bodies contain only operations and (reduced)
+//! conditionals are software pipelined; loops containing nested loops are
+//! emitted structurally. The emitter implements the paper's §2.4
+//! code-size scheme for unknown trip counts: a guarded unpipelined copy of
+//! the loop executes `n` iterations when `n < k` (the pipeline cannot
+//! fill) and `(n - k) mod u` iterations otherwise, with the remaining
+//! iterations on the pipelined loop.
+//!
+//! ## Iteration bookkeeping
+//!
+//! With initiation interval `s`, schedule length `L`, stage count
+//! `m = ceil(L / s)` and `k = m - 1`, a fully pipelined execution of `n'`
+//! iterations (where `n' ≡ k (mod u)`) is partitioned as:
+//!
+//! * **prolog** — cycles `[0, k*s)`: iteration `it` issues node `x` at
+//!   `it*s + time(x)` whenever that lands below `k*s`;
+//! * **kernel** — `u*s` cycles repeated `(n' - k)/u` times; at kernel
+//!   offset `a*s + b`, nodes with `time(x) mod s == b` execute for local
+//!   iteration `k - stage(x) + a` (mod `u`, which is all the renaming
+//!   needs, since every variable's copy count divides `u`);
+//! * **epilog** — cycles `[n'*s, (n'-1)*s + L)`: drains the last `k`
+//!   iterations.
+//!
+//! All three streams are compile-time constants; only the two loop
+//! counters (`(n-k) mod u` and `(n-k) div u`) depend on `n`.
+//!
+//! ## Conditionals inside pipelined loops
+//!
+//! A reduced conditional instance occupies `[c, c + len)`; the scheduler
+//! guarantees (via the no-wrap placement rule) that this span stays inside
+//! one `s`-aligned window, hence entirely inside one region. Emission
+//! splits the region's word stream at `c`: the block ends with a
+//! conditional branch on the (renamed) condition register, both arms carry
+//! the construct's own operations *plus* every operation scheduled in
+//! parallel with it (duplicated, per §3.1), and control rejoins after
+//! `len` cycles. Nested conditionals split the arm blocks recursively.
+
+use ir::{Imm, Op, Opcode, Operand, Program, RegTable, Stmt, TripCount, Type, VReg};
+use machine::{MachineDescription, RegClass};
+
+use crate::build::{build_item_graph, BuildOptions};
+use crate::code::{Block, BlockId, Terminator, VliwProgram, Word};
+use crate::compact::{compact_block, CompactedRegion};
+use crate::graph::{Access, DepGraph, Node, NodeKind, ReducedCond};
+use crate::hier::{reduce_stmts_with, stats, CondMode};
+use crate::mii::{rec_mii, res_mii, MiiReport};
+use crate::modsched::{modulo_schedule, SchedError, SchedOptions};
+use crate::mve::{expand, Expansion, UnrollPolicy};
+use crate::pathalg::SccClosure;
+use crate::scc::tarjan;
+use crate::schedule::Schedule;
+
+/// Compiler options.
+#[derive(Debug, Clone, Copy)]
+pub struct CompileOptions {
+    /// Attempt software pipelining at all (false = the Figure 4-2
+    /// baseline: local compaction only).
+    pub pipeline: bool,
+    /// Modulo-scheduler options.
+    pub sched: SchedOptions,
+    /// Kernel unroll policy for modulo variable expansion.
+    pub unroll_policy: UnrollPolicy,
+    /// Do not attempt to pipeline bodies longer than this many operations
+    /// (the paper's scheduler skipped Livermore kernel 22's 331-instruction
+    /// loop on such a threshold).
+    pub body_len_threshold: u32,
+    /// Skip pipelining when the MII is at least this fraction of the
+    /// unpipelined iteration length (the paper's 99% rule, which excluded
+    /// Livermore kernels 16 and 20).
+    pub near_bound_fraction: f64,
+    /// Fall back to the unpipelined loop when the rotating-register
+    /// allocation exceeds the machine's register files.
+    pub respect_reg_files: bool,
+    /// Reduce conditionals inside innermost loops so those loops can be
+    /// pipelined (hierarchical reduction, Part II of the paper).
+    pub hierarchical: bool,
+    /// How reduced conditionals advertise resources (§3.1): union of the
+    /// arms (default) or fully exclusive.
+    pub cond_mode: CondMode,
+    /// Overlap the scalar code following a pipelined loop with the loop's
+    /// epilog (hierarchical reduction's third benefit: "the prolog and
+    /// epilog of a loop can be overlapped with other operations outside
+    /// the loop", diminishing the penalty of short loops).
+    pub fuse_epilog: bool,
+}
+
+impl Default for CompileOptions {
+    fn default() -> Self {
+        CompileOptions {
+            pipeline: true,
+            sched: SchedOptions::default(),
+            unroll_policy: UnrollPolicy::default(),
+            body_len_threshold: 331,
+            near_bound_fraction: 0.99,
+            respect_reg_files: true,
+            hierarchical: true,
+            cond_mode: CondMode::default(),
+            fuse_epilog: true,
+        }
+    }
+}
+
+/// Why a loop was not software pipelined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NotPipelined {
+    /// Pipelining disabled by options.
+    Disabled,
+    /// The body contains nested loops (or conditionals with hierarchical
+    /// reduction disabled).
+    ControlFlow,
+    /// Body exceeds the instruction-count threshold.
+    BodyTooLong {
+        /// Operations in the body.
+        ops: usize,
+        /// The configured threshold.
+        threshold: u32,
+    },
+    /// The MII is within the configured fraction of the unpipelined
+    /// length; pipelining cannot pay.
+    NearBound {
+        /// Lower bound on the interval.
+        mii: u32,
+        /// Unpipelined iteration length.
+        unpipelined: u32,
+    },
+    /// Compile-time trip count too small to fill the pipeline.
+    TripTooSmall {
+        /// The trip count.
+        trip: u32,
+        /// Iterations needed to reach steady state.
+        needed: u32,
+    },
+    /// The rotating-register allocation would overflow a register file.
+    Registers {
+        /// The class that overflowed.
+        class: RegClass,
+        /// Registers required.
+        required: u32,
+        /// File size.
+        available: u32,
+    },
+    /// A schedule was found but its achieved interval is no better than
+    /// the unpipelined loop; pipelining would only add overhead.
+    NotProfitable {
+        /// Achieved initiation interval.
+        ii: u32,
+        /// Unpipelined iteration length.
+        unpipelined: u32,
+    },
+    /// The interval search failed outright.
+    SearchFailed(String),
+}
+
+/// Per-loop compilation report (feeds every table in the evaluation).
+#[derive(Debug, Clone)]
+pub struct LoopReport {
+    /// Emitter-assigned label, e.g. `"loop2"`.
+    pub label: String,
+    /// Nesting depth (0 = outermost).
+    pub depth: u32,
+    /// Operations in the loop body (including conditional arms).
+    pub num_ops: usize,
+    /// Whether the body contains conditionals.
+    pub has_conditional: bool,
+    /// Whether the dependence graph has a nontrivial SCC (recurrence).
+    pub has_recurrence: bool,
+    /// Resource-constrained lower bound.
+    pub mii_res: u32,
+    /// Recurrence-constrained lower bound.
+    pub mii_rec: u32,
+    /// Achieved initiation interval, if pipelined.
+    pub ii: Option<u32>,
+    /// Why not, if not.
+    pub not_pipelined: Option<NotPipelined>,
+    /// Kernel unroll degree (modulo variable expansion).
+    pub unroll: u32,
+    /// Pipeline stages.
+    pub stages: u32,
+    /// Unpipelined (locally compacted, drained) iteration length.
+    pub unpipelined_len: u32,
+    /// Instruction words emitted for this loop (all regions).
+    pub code_words: u32,
+    /// Instruction words of the unpipelined loop alone.
+    pub unpipelined_words: u32,
+}
+
+impl LoopReport {
+    /// The combined MII.
+    pub fn mii(&self) -> u32 {
+        self.mii_res.max(self.mii_rec).max(1)
+    }
+
+    /// True if pipelined at exactly the lower bound.
+    pub fn optimal(&self) -> bool {
+        self.ii == Some(self.mii())
+    }
+
+    /// Efficiency lower bound (Table 4-2's third column): MII / achieved
+    /// interval; 1.0 when optimal. Unpipelined loops report
+    /// `mii / unpipelined_len`.
+    pub fn efficiency(&self) -> f64 {
+        match self.ii {
+            Some(ii) => self.mii() as f64 / ii as f64,
+            None => self.mii() as f64 / self.unpipelined_len.max(1) as f64,
+        }
+    }
+}
+
+/// A compiled program plus per-loop reports.
+#[derive(Debug, Clone)]
+pub struct CompiledProgram {
+    /// The object code.
+    pub vliw: VliwProgram,
+    /// One report per loop, innermost-first within each nest.
+    pub reports: Vec<LoopReport>,
+}
+
+/// Compilation errors (malformed input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompileError(pub String);
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "compile error: {}", self.0)
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Compiles a program.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the program fails validation.
+pub fn compile(
+    p: &Program,
+    mach: &MachineDescription,
+    opts: &CompileOptions,
+) -> Result<CompiledProgram, CompileError> {
+    p.validate().map_err(|e| CompileError(e.to_string()))?;
+    let mut e = Emitter {
+        mach,
+        opts: *opts,
+        regs: p.regs.clone(),
+        blocks: vec![Block::new("entry")],
+        reports: Vec::new(),
+        next_loop: 0,
+    };
+    e.emit_stmts(&p.body, 0);
+    let last = e.blocks.len() - 1;
+    e.blocks[last].term = Terminator::Halt;
+    Ok(CompiledProgram {
+        vliw: VliwProgram {
+            name: p.name.clone(),
+            regs: e.regs,
+            arrays: p.arrays.clone(),
+            mem_size: p.mem_size,
+            blocks: e.blocks,
+            entry: BlockId(0),
+        },
+        reports: e.reports,
+    })
+}
+
+/// How the unpipelined version of a loop is emitted.
+enum Fallback {
+    /// A single compacted, drained block (straight-line bodies).
+    Compact(CompactedRegion),
+    /// Structural emission (bodies with conditionals).
+    Structured,
+}
+
+struct Emitter<'m> {
+    mach: &'m MachineDescription,
+    opts: CompileOptions,
+    regs: RegTable,
+    blocks: Vec<Block>,
+    reports: Vec<LoopReport>,
+    next_loop: u32,
+}
+
+impl<'m> Emitter<'m> {
+    fn cur(&mut self) -> &mut Block {
+        self.blocks.last_mut().expect("emitter always has a block")
+    }
+
+    fn cur_id(&self) -> BlockId {
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Seals the current block with `term` and opens a new one.
+    fn seal_and_open(&mut self, term: Terminator, label: impl Into<String>) -> BlockId {
+        self.cur().term = term;
+        self.blocks.push(Block::new(label));
+        self.cur_id()
+    }
+
+    /// Opens a new block, falling through from the current one.
+    fn open_fallthrough(&mut self, label: impl Into<String>) -> BlockId {
+        let next = BlockId(self.blocks.len() as u32);
+        self.seal_and_open(Terminator::Fall(next), label)
+    }
+
+    /// Appends a fully drained straight-line region to the current block.
+    fn append_region(&mut self, region: CompactedRegion) {
+        let words = region.into_padded_words();
+        self.cur().words.extend(words);
+    }
+
+    /// Appends ops as one compacted, drained region.
+    fn append_ops(&mut self, ops: &[Op]) {
+        if ops.is_empty() {
+            return;
+        }
+        let region = compact_block(ops, self.mach);
+        self.append_region(region);
+    }
+
+    fn alloc_reg(&mut self, ty: Type, name: String) -> VReg {
+        self.regs.alloc_named(ty, name)
+    }
+
+    fn total_words(&self) -> usize {
+        self.blocks.iter().map(|b| b.words.len()).sum()
+    }
+
+    fn emit_stmts(&mut self, stmts: &[Stmt], depth: u32) {
+        let mut run: Vec<Op> = Vec::new();
+        let mut i = 0;
+        while i < stmts.len() {
+            match &stmts[i] {
+                Stmt::Op(op) => {
+                    run.push(op.clone());
+                    i += 1;
+                }
+                Stmt::Loop(l) => {
+                    let pre = std::mem::take(&mut run);
+                    self.append_ops(&pre);
+                    // Offer the scalar run that follows the loop for
+                    // epilog fusion.
+                    let mut tail: Vec<Op> = Vec::new();
+                    let mut j = i + 1;
+                    while let Some(Stmt::Op(op)) = stmts.get(j) {
+                        tail.push(op.clone());
+                        j += 1;
+                    }
+                    let consumed = self.emit_loop(l, depth, &tail);
+                    i = if consumed { j } else { i + 1 };
+                }
+                Stmt::If(c) => {
+                    let pre = std::mem::take(&mut run);
+                    self.append_ops(&pre);
+                    self.emit_if(c, depth);
+                    i += 1;
+                }
+            }
+        }
+        self.append_ops(&run);
+    }
+
+    fn emit_if(&mut self, i: &ir::IfStmt, depth: u32) {
+        // The preceding region is drained, so the condition is committed.
+        let then_entry = BlockId(self.blocks.len() as u32);
+        self.cur().term = Terminator::CondJump {
+            cond: i.cond,
+            nonzero: then_entry,
+            zero: BlockId(0), // patched below
+        };
+        let cond_block = self.cur_id();
+        self.blocks.push(Block::new("if.then"));
+        self.emit_stmts(&i.then_body, depth);
+        let then_exit = self.cur_id();
+        let else_entry = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new("if.else"));
+        self.emit_stmts(&i.else_body, depth);
+        let else_exit = self.cur_id();
+        let join = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new("if.join"));
+        self.blocks[then_exit.index()].term = Terminator::Jump(join);
+        self.blocks[else_exit.index()].term = Terminator::Fall(join);
+        if let Terminator::CondJump { zero, .. } = &mut self.blocks[cond_block.index()].term {
+            *zero = else_entry;
+        }
+    }
+
+    /// Emits one loop. `tail` is the scalar run that follows the loop in
+    /// its block; returns true if it was *consumed* (fused into the
+    /// loop's epilog) and must not be emitted again.
+    fn emit_loop(&mut self, l: &ir::Loop, depth: u32, tail: &[Op]) -> bool {
+        let label = format!("loop{}", self.next_loop);
+        self.next_loop += 1;
+        if matches!(l.trip, TripCount::Const(0)) {
+            return false;
+        }
+
+        let all_ops = l.body.iter().all(|s| matches!(s, Stmt::Op(_)));
+        let items = if all_ops || self.opts.hierarchical {
+            reduce_stmts_with(&l.body, self.mach, self.opts.cond_mode)
+        } else {
+            None
+        };
+        let Some(items) = items else {
+            // Nested loops (or hierarchy disabled): structural emission.
+            self.emit_structured_loop(l, depth, &label);
+            self.reports.push(LoopReport {
+                label,
+                depth,
+                num_ops: l.body.len(),
+                has_conditional: l.body.iter().any(|s| matches!(s, Stmt::If(_))),
+                has_recurrence: false,
+                mii_res: 0,
+                mii_rec: 0,
+                ii: None,
+                not_pipelined: Some(NotPipelined::ControlFlow),
+                unroll: 1,
+                stages: 1,
+                unpipelined_len: 0,
+                code_words: 0,
+                unpipelined_words: 0,
+            });
+            return false;
+        };
+
+        let has_conditional = stats::has_conditional(&items);
+        let fallback = if all_ops {
+            let ops: Vec<Op> = l
+                .body
+                .iter()
+                .map(|s| match s {
+                    Stmt::Op(op) => op.clone(),
+                    _ => unreachable!("all_ops checked"),
+                })
+                .collect();
+            Fallback::Compact(compact_block(&ops, self.mach))
+        } else {
+            Fallback::Structured
+        };
+        let unpip_len = match &fallback {
+            Fallback::Compact(r) => r.drained_len(),
+            Fallback::Structured => stats::unpipelined_len(&items, self.mach),
+        };
+
+        let mut report = LoopReport {
+            label: label.clone(),
+            depth,
+            num_ops: stats::num_ops(&items),
+            has_conditional,
+            has_recurrence: false,
+            mii_res: 0,
+            mii_rec: 0,
+            ii: None,
+            not_pipelined: None,
+            unroll: 1,
+            stages: 1,
+            unpipelined_len: unpip_len,
+            code_words: 0,
+            unpipelined_words: match &fallback {
+                Fallback::Compact(r) => r.words.len() as u32 + r.tail,
+                Fallback::Structured => unpip_len,
+            },
+        };
+
+        let plan = self.plan_pipeline(items, &l.trip, unpip_len, &mut report);
+        let words_before = self.total_words();
+        let consumed = match plan {
+            Some(plan) => self.emit_pipelined(l, &fallback, plan, &label, tail),
+            None => {
+                self.emit_fallback_loop(&l.body, l.trip, &fallback, depth, &label);
+                false
+            }
+        };
+        report.code_words = (self.total_words() - words_before) as u32;
+        self.reports.push(report);
+        consumed
+    }
+
+    /// A loop whose body contains nested loops: emitted structurally, each
+    /// region drained.
+    fn emit_structured_loop(&mut self, l: &ir::Loop, depth: u32, label: &str) {
+        if matches!(l.trip, TripCount::Const(0)) {
+            return;
+        }
+        let counter = self.trip_counter(&l.trip, label);
+        match l.trip {
+            TripCount::Const(_) => {
+                let body = self.open_fallthrough(format!("{label}.body"));
+                self.emit_stmts(&l.body, depth + 1);
+                let exit = BlockId(self.blocks.len() as u32);
+                self.cur().term = Terminator::CountedLoop {
+                    counter,
+                    dec: 1,
+                    back: body,
+                    exit,
+                };
+                self.blocks.push(Block::new(format!("{label}.exit")));
+            }
+            TripCount::Reg(_) => {
+                let guard = self.alloc_reg(Type::I32, format!("{label}.guard"));
+                self.append_ops(&[Op::new(
+                    Opcode::ICmp(ir::CmpPred::Gt),
+                    Some(guard),
+                    vec![counter.into(), Imm::I(0).into()],
+                )]);
+                let cond_block = self.cur_id();
+                let body = BlockId(self.blocks.len() as u32);
+                self.blocks.push(Block::new(format!("{label}.body")));
+                self.emit_stmts(&l.body, depth + 1);
+                let exit = BlockId(self.blocks.len() as u32);
+                self.cur().term = Terminator::CountedLoop {
+                    counter,
+                    dec: 1,
+                    back: body,
+                    exit,
+                };
+                self.blocks.push(Block::new(format!("{label}.exit")));
+                self.blocks[cond_block.index()].term = Terminator::CondJump {
+                    cond: guard,
+                    nonzero: body,
+                    zero: exit,
+                };
+            }
+        }
+    }
+
+    /// Materializes the trip count into a fresh counter register (counted
+    /// loops destroy their counter).
+    fn trip_counter(&mut self, trip: &TripCount, label: &str) -> VReg {
+        let c = self.alloc_reg(Type::I32, format!("{label}.n"));
+        let op = match *trip {
+            TripCount::Const(n) => Op::new(Opcode::Const, Some(c), vec![Imm::I(n as i32).into()]),
+            TripCount::Reg(r) => Op::new(Opcode::Copy, Some(c), vec![r.into()]),
+        };
+        self.append_ops(&[op]);
+        c
+    }
+
+    /// Emits the unpipelined version of a loop.
+    fn emit_fallback_loop(
+        &mut self,
+        body: &[Stmt],
+        trip: TripCount,
+        fallback: &Fallback,
+        depth: u32,
+        label: &str,
+    ) {
+        match fallback {
+            Fallback::Compact(region) => self.emit_unpipelined(trip, region, label),
+            Fallback::Structured => {
+                let l = ir::Loop {
+                    trip,
+                    body: body.to_vec(),
+                };
+                self.emit_structured_loop(&l, depth, label);
+            }
+        }
+    }
+
+    /// Emits a straight-line loop as a single compacted, drained block.
+    fn emit_unpipelined(&mut self, trip: TripCount, compacted: &CompactedRegion, label: &str) {
+        if compacted.words.is_empty() || matches!(trip, TripCount::Const(0)) {
+            return;
+        }
+        let counter = self.trip_counter(&trip, label);
+        match trip {
+            TripCount::Const(_) => {
+                let body = self.open_fallthrough(format!("{label}.body"));
+                self.cur().words = compacted.clone().into_padded_words();
+                let exit = BlockId(self.blocks.len() as u32);
+                self.cur().term = Terminator::CountedLoop {
+                    counter,
+                    dec: 1,
+                    back: body,
+                    exit,
+                };
+                self.blocks.push(Block::new(format!("{label}.exit")));
+            }
+            TripCount::Reg(_) => {
+                let guard = self.alloc_reg(Type::I32, format!("{label}.guard"));
+                self.append_ops(&[Op::new(
+                    Opcode::ICmp(ir::CmpPred::Gt),
+                    Some(guard),
+                    vec![counter.into(), Imm::I(0).into()],
+                )]);
+                let cond_block = self.cur_id();
+                let body = BlockId(self.blocks.len() as u32);
+                self.blocks.push(Block::new(format!("{label}.body")));
+                self.cur().words = compacted.clone().into_padded_words();
+                let exit = BlockId(self.blocks.len() as u32);
+                self.cur().term = Terminator::CountedLoop {
+                    counter,
+                    dec: 1,
+                    back: body,
+                    exit,
+                };
+                self.blocks.push(Block::new(format!("{label}.exit")));
+                self.blocks[cond_block.index()].term = Terminator::CondJump {
+                    cond: guard,
+                    nonzero: body,
+                    zero: exit,
+                };
+            }
+        }
+    }
+
+    /// Decides whether (and how) to pipeline; fills in the report.
+    fn plan_pipeline(
+        &mut self,
+        items: Vec<Node>,
+        trip: &TripCount,
+        unpip_len: u32,
+        report: &mut LoopReport,
+    ) -> Option<PipelinePlan> {
+        // Compute the bounds even when pipelining is skipped, for the
+        // statistics tables.
+        let g = build_item_graph(items, self.mach, BuildOptions::default());
+        let scc = tarjan(&g);
+        let closures: Vec<SccClosure> = (0..scc.len())
+            .filter(|&c| {
+                scc.members[c].len() > 1 || {
+                    let n = scc.members[c][0];
+                    g.succ_edges(n).any(|e| e.to == n)
+                }
+            })
+            .map(|c| SccClosure::compute(&g, &scc, c))
+            .collect();
+        report.mii_res = res_mii(&g, self.mach);
+        report.mii_rec = match rec_mii(&closures) {
+            Ok(r) => r,
+            Err(_) => {
+                report.not_pipelined = Some(NotPipelined::SearchFailed(
+                    "illegal dependence cycle".into(),
+                ));
+                return None;
+            }
+        };
+        // A loop "contains a connected component" in the paper's sense
+        // when a dependence cycle actually constrains the interval; the
+        // ubiquitous counter increment (RecMII = 1) does not count.
+        report.has_recurrence = report.mii_rec > 1;
+        let mii = MiiReport {
+            res_mii: report.mii_res,
+            rec_mii: report.mii_rec,
+        }
+        .mii();
+
+        if !self.opts.pipeline {
+            report.not_pipelined = Some(NotPipelined::Disabled);
+            return None;
+        }
+        if report.num_ops as u32 > self.opts.body_len_threshold {
+            report.not_pipelined = Some(NotPipelined::BodyTooLong {
+                ops: report.num_ops,
+                threshold: self.opts.body_len_threshold,
+            });
+            return None;
+        }
+        if (mii as f64) >= self.opts.near_bound_fraction * unpip_len as f64 {
+            report.not_pipelined = Some(NotPipelined::NearBound {
+                mii,
+                unpipelined: unpip_len,
+            });
+            return None;
+        }
+        let result = match modulo_schedule(&g, self.mach, &self.opts.sched) {
+            Ok(r) => r,
+            Err(e @ SchedError::IllegalCycle) | Err(e @ SchedError::NoSchedule { .. }) => {
+                report.not_pipelined = Some(NotPipelined::SearchFailed(e.to_string()));
+                return None;
+            }
+        };
+        if result.schedule.ii() >= unpip_len.max(1) {
+            report.not_pipelined = Some(NotPipelined::NotProfitable {
+                ii: result.schedule.ii(),
+                unpipelined: unpip_len,
+            });
+            return None;
+        }
+        let exp = expand(&g, &result.schedule, self.mach, &mut self.regs, self.opts.unroll_policy);
+        report.ii = Some(result.schedule.ii());
+        report.unroll = exp.unroll;
+        report.stages = result.schedule.stages(&g);
+
+        if let TripCount::Const(n) = *trip {
+            let k = result.schedule.stages(&g) - 1;
+            if n < k {
+                report.ii = None;
+                report.not_pipelined = Some(NotPipelined::TripTooSmall { trip: n, needed: k });
+                return None;
+            }
+        }
+
+        if self.opts.respect_reg_files {
+            if let Some((class, required, available)) = self.register_overflow(&g, &exp) {
+                report.ii = None;
+                report.not_pipelined = Some(NotPipelined::Registers {
+                    class,
+                    required,
+                    available,
+                });
+                return None;
+            }
+        }
+        Some(PipelinePlan {
+            g,
+            sched: result.schedule,
+            exp,
+        })
+    }
+
+    /// Checks the loop's register footprint (variables referenced in the
+    /// body plus rotating copies) against the machine's file sizes.
+    fn register_overflow(&self, g: &DepGraph, exp: &Expansion) -> Option<(RegClass, u32, u32)> {
+        let mut used: std::collections::BTreeSet<VReg> = std::collections::BTreeSet::new();
+        for n in g.nodes() {
+            n.for_each_access(&mut |a| match a {
+                Access::Op { op, .. } => {
+                    used.extend(op.uses());
+                    used.extend(op.def());
+                }
+                Access::CondUse { reg, .. } => {
+                    used.insert(reg);
+                }
+            });
+        }
+        let mut counts: std::collections::BTreeMap<RegClass, u32> = Default::default();
+        for &v in &used {
+            *counts.entry(self.regs.class(v)).or_insert(0) += exp.locations(v);
+        }
+        for (class, required) in counts {
+            if let Some(available) = self.mach.reg_file_size(class) {
+                if required > available {
+                    return Some((class, required, available));
+                }
+            }
+        }
+        None
+    }
+
+    /// Emits prolog + kernel + epilog, with the §2.4 unpipelined remainder
+    /// scheme.
+    fn emit_pipelined(
+        &mut self,
+        l: &ir::Loop,
+        fallback: &Fallback,
+        plan: PipelinePlan,
+        label: &str,
+        tail: &[Op],
+    ) -> bool {
+        let gen = InstanceGen::new(&plan, self.mach);
+        let (k, u) = (gen.k, gen.u);
+
+        match l.trip {
+            TripCount::Const(n) => {
+                let n = n as i64;
+                debug_assert!(n >= k as i64, "plan_pipeline rejects small trips");
+                let r = (n - k as i64) % u as i64;
+                let passes = (n - k as i64) / u as i64;
+                if r > 0 {
+                    self.emit_fallback_loop(
+                        &l.body,
+                        TripCount::Const(r as u32),
+                        fallback,
+                        0,
+                        &format!("{label}.rem"),
+                    );
+                }
+                // The pass counter initializes *before* the prolog: the
+                // prolog→kernel→epilog stream must stay cycle-exact — an
+                // extra word between regions would shift every in-flight
+                // latency crossing the boundary.
+                let counter = if passes > 0 {
+                    let counter = self.alloc_reg(Type::I32, format!("{label}.passes"));
+                    self.cur().words.push(Word {
+                        ops: vec![Op::new(
+                            Opcode::Const,
+                            Some(counter),
+                            vec![Imm::I(passes as i32).into()],
+                        )],
+                    });
+                    Some(counter)
+                } else {
+                    None
+                };
+                self.emit_region(gen.prolog());
+                if let Some(counter) = counter {
+                    let kernel = self.open_fallthrough(format!("{label}.kernel"));
+                    self.emit_region(gen.kernel());
+                    let exit = BlockId(self.blocks.len() as u32);
+                    self.cur().term = Terminator::CountedLoop {
+                        counter,
+                        dec: 1,
+                        back: kernel,
+                        exit,
+                    };
+                    self.blocks.push(Block::new(format!("{label}.epilog")));
+                } else {
+                    self.open_fallthrough(format!("{label}.epilog"));
+                }
+                let epilog = gen.epilog();
+                if self.opts.fuse_epilog && epilog.splits.is_empty() && !tail.is_empty() {
+                    let words = self.fuse_epilog_scalar(&gen, &epilog, tail);
+                    self.cur().words.extend(words);
+                    true
+                } else {
+                    self.emit_region(epilog);
+                    self.emit_copybacks(&gen);
+                    false
+                }
+            }
+            TripCount::Reg(nr) => {
+                self.emit_runtime_pipelined(l, fallback, &gen, nr, label, k, u);
+                false
+            }
+        }
+    }
+
+    /// Schedules the scalar run (and the rotating-register copy-backs)
+    /// *into* the epilog's empty slots. The epilog instances keep their
+    /// modulo-schedule cycles; each scalar op is list-scheduled at the
+    /// earliest slot satisfying (a) its dependences on epilog instances
+    /// and earlier scalar ops and (b) a per-register horizon covering
+    /// writes still in flight from pre-epilog (prolog/kernel) instances.
+    fn fuse_epilog_scalar(
+        &mut self,
+        gen: &InstanceGen<'_>,
+        epilog: &Region,
+        tail: &[Op],
+    ) -> Vec<Word> {
+        // Combined program order: epilog instances (by cycle), then the
+        // copy-backs, then the user's scalar run.
+        let mut base: Vec<(u32, Op)> = Vec::new();
+        for (t, w) in epilog.words.iter().enumerate() {
+            for op in &w.ops {
+                base.push((t as u32, op.clone()));
+            }
+        }
+        let mut extra: Vec<Op> = gen.copyback_ops();
+        extra.extend(tail.iter().cloned());
+        let all: Vec<Op> = base
+            .iter()
+            .map(|(_, op)| op.clone())
+            .chain(extra.iter().cloned())
+            .collect();
+        let g = build_item_graph(
+            all.iter()
+                .map(|op| {
+                    crate::graph::Node::op(
+                        op.clone(),
+                        self.mach.reservation(op.opcode.class()).clone(),
+                    )
+                })
+                .collect(),
+            self.mach,
+            BuildOptions {
+                loop_carried: false,
+                enable_mve: false,
+            },
+        );
+        let nb = base.len();
+        let horizons = gen.reg_horizons();
+        let horizon_of = |op: &Op| -> i64 {
+            let mut h = 0i64;
+            for r in op.uses().chain(op.def()) {
+                h = h.max(horizons.get(&r).copied().unwrap_or(0));
+            }
+            h
+        };
+
+        // Seed the resource grid with the fixed epilog instances.
+        let mut table = crate::mrt::LinearTable::new(self.mach);
+        let mut time: Vec<i64> = Vec::with_capacity(all.len());
+        for (t, op) in &base {
+            table.place(self.mach.reservation(op.opcode.class()), *t);
+            time.push(*t as i64);
+        }
+        // Earliest start per scalar op from dependence edges.
+        let mut earliest = vec![0i64; extra.len()];
+        for (i, op) in extra.iter().enumerate() {
+            let idx = nb + i;
+            let mut t0 = horizon_of(op);
+            for e in g.pred_edges(crate::graph::NodeId(idx as u32)) {
+                let from = e.from.index();
+                if from < time.len() {
+                    t0 = t0.max(time[from] + e.delay);
+                }
+            }
+            earliest[i] = t0;
+            let mut t = t0.max(0) as u32;
+            let res = self.mach.reservation(op.opcode.class());
+            while !table.fits(res, t) {
+                t += 1;
+            }
+            table.place(res, t);
+            time.push(t as i64);
+        }
+
+        // Materialize words, padded so the region drains completely —
+        // including writes from pre-epilog instances still in flight past
+        // the epilog's end.
+        let mut end = (epilog.words.len() + gen.epilog_tail() as usize) as i64;
+        for (idx, op) in all.iter().enumerate() {
+            let lat = self.mach.latency(op.opcode.class()) as i64;
+            end = end.max(time[idx] + lat);
+        }
+        let mut words = vec![Word::empty(); end as usize];
+        for (idx, op) in all.iter().enumerate() {
+            words[time[idx] as usize].ops.push(op.clone());
+        }
+        words
+    }
+
+    /// The unknown-trip-count scheme: one unpipelined loop executes either
+    /// all `n` iterations (when `n < k`) or the `(n-k) mod u` remainder,
+    /// then the pipelined regions run unless `n < k`.
+    #[allow(clippy::too_many_arguments)] // mirrors the §2.4 scheme's moving parts
+    fn emit_runtime_pipelined(
+        &mut self,
+        l: &ir::Loop,
+        fallback: &Fallback,
+        gen: &InstanceGen<'_>,
+        nr: VReg,
+        label: &str,
+        k: u32,
+        u: u32,
+    ) {
+        // Preamble arithmetic (latency-1 ALU ops, compacted + drained).
+        let t = |e: &mut Self, name: &str| e.alloc_reg(Type::I32, format!("{label}.{name}"));
+        let small = t(self, "small");
+        let nk = t(self, "nk");
+        let r = t(self, "r");
+        let passes = t(self, "passes");
+        let cnt_un = t(self, "cnt_un");
+        let cnt_ker = t(self, "cnt_ker");
+        let any_ker = t(self, "any_ker");
+        let pre = vec![
+            Op::new(
+                Opcode::ICmp(ir::CmpPred::Lt),
+                Some(small),
+                vec![nr.into(), Imm::I(k as i32).into()],
+            ),
+            Op::new(Opcode::Sub, Some(nk), vec![nr.into(), Imm::I(k as i32).into()]),
+            Op::new(Opcode::Rem, Some(r), vec![nk.into(), Imm::I(u as i32).into()]),
+            Op::new(Opcode::Div, Some(passes), vec![nk.into(), Imm::I(u as i32).into()]),
+            Op::new(
+                Opcode::Select,
+                Some(cnt_un),
+                vec![small.into(), nr.into(), r.into()],
+            ),
+            Op::new(
+                Opcode::Select,
+                Some(cnt_ker),
+                vec![small.into(), Imm::I(0).into(), passes.into()],
+            ),
+            Op::new(
+                Opcode::ICmp(ir::CmpPred::Gt),
+                Some(any_ker),
+                vec![cnt_ker.into(), Imm::I(0).into()],
+            ),
+        ];
+        self.append_ops(&pre);
+
+        // Unpipelined portion: the fallback loop self-guards on its count.
+        self.emit_fallback_loop(
+            &l.body,
+            TripCount::Reg(cnt_un),
+            fallback,
+            0,
+            &format!("{label}.rem"),
+        );
+
+        // If n < k the pipelined part is skipped entirely.
+        let skip_block = self.cur_id();
+        self.blocks.push(Block::new(format!("{label}.prolog")));
+        self.emit_region(gen.prolog());
+        let prolog_exit = self.cur_id();
+        let kernel_entry = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block::new(format!("{label}.kernel")));
+        self.emit_region(gen.kernel());
+        let epilog_entry = BlockId(self.blocks.len() as u32);
+        self.cur().term = Terminator::CountedLoop {
+            counter: cnt_ker,
+            dec: 1,
+            back: kernel_entry,
+            exit: epilog_entry,
+        };
+        self.blocks.push(Block::new(format!("{label}.epilog")));
+        self.emit_region(gen.epilog());
+        self.emit_copybacks(gen);
+        let after = self.open_fallthrough(format!("{label}.after"));
+
+        self.blocks[skip_block.index()].term = Terminator::CondJump {
+            cond: small,
+            nonzero: after,
+            zero: BlockId(skip_block.0 + 1),
+        };
+        self.blocks[prolog_exit.index()].term = Terminator::CondJump {
+            cond: any_ker,
+            nonzero: kernel_entry,
+            zero: epilog_entry,
+        };
+    }
+
+    /// After the epilog: wait for in-flight results, then copy each
+    /// rotated variable's final copy back to its original register so
+    /// downstream scalar code sees it under its own name.
+    fn emit_copybacks(&mut self, gen: &InstanceGen<'_>) {
+        for _ in 0..gen.epilog_tail() {
+            self.cur().words.push(Word::empty());
+        }
+        let copies = gen.copyback_ops();
+        if !copies.is_empty() {
+            let region = compact_block(&copies, self.mach);
+            self.append_region(region);
+        }
+    }
+
+    /// Emits a region (words plus conditional splits) into the current
+    /// block chain, splitting at each reduced-conditional instance.
+    fn emit_region(&mut self, region: Region) {
+        let words = region.words;
+        self.emit_window(&words, region.splits);
+    }
+
+    /// Emits a window of words with (window-local) splits. Splits are
+    /// disjoint (the sequencer resource serializes reduced constructs).
+    fn emit_window(&mut self, words: &[Word], mut splits: Vec<SplitSpec>) {
+        splits.sort_by_key(|s| s.at);
+        let mut cursor = 0usize;
+        for sp in splits {
+            debug_assert!(sp.at >= cursor, "overlapping conditional instances");
+            for w in &words[cursor..sp.at] {
+                self.cur().words.push(w.clone());
+            }
+            let window_end = sp.at + sp.len as usize;
+            debug_assert!(window_end <= words.len(), "split exceeds region");
+
+            // Both arms carry the base (parallel) words plus their own ops.
+            let base: &[Word] = &words[sp.at..window_end];
+            let then_words = merge_arm_words(base, &sp.then_ops, sp.len);
+            let else_words = merge_arm_words(base, &sp.else_ops, sp.len);
+
+            let cond_block = self.cur_id();
+            let then_entry = BlockId(self.blocks.len() as u32);
+            self.blocks.push(Block::new("cond.then"));
+            self.emit_window(&then_words, sp.then_children);
+            let then_exit = self.cur_id();
+            let else_entry = BlockId(self.blocks.len() as u32);
+            self.blocks.push(Block::new("cond.else"));
+            self.emit_window(&else_words, sp.else_children);
+            let else_exit = self.cur_id();
+            let join = BlockId(self.blocks.len() as u32);
+            self.blocks.push(Block::new("cond.join"));
+            self.blocks[cond_block.index()].term = Terminator::CondJump {
+                cond: sp.cond,
+                nonzero: then_entry,
+                zero: else_entry,
+            };
+            self.blocks[then_exit.index()].term = Terminator::Jump(join);
+            self.blocks[else_exit.index()].term = Terminator::Fall(join);
+            cursor = window_end;
+        }
+        for w in &words[cursor..] {
+            self.cur().words.push(w.clone());
+        }
+    }
+}
+
+fn merge_arm_words(base: &[Word], arm_ops: &[(u32, Op)], len: u32) -> Vec<Word> {
+    let mut out: Vec<Word> = base.to_vec();
+    out.resize(len as usize, Word::empty());
+    for (off, op) in arm_ops {
+        out[*off as usize].ops.push(op.clone());
+    }
+    out
+}
+
+/// Everything needed to materialize the three code regions.
+struct PipelinePlan {
+    g: DepGraph,
+    sched: Schedule,
+    exp: Expansion,
+}
+
+/// A region's word stream plus the conditional instances inside it.
+struct Region {
+    words: Vec<Word>,
+    splits: Vec<SplitSpec>,
+}
+
+/// One reduced-conditional instance to expand at emission time.
+struct SplitSpec {
+    /// Start cycle, window-local.
+    at: usize,
+    /// Construct length.
+    len: u32,
+    /// Renamed condition register.
+    cond: VReg,
+    /// THEN arm ops (offset within the construct, renamed).
+    then_ops: Vec<(u32, Op)>,
+    /// ELSE arm ops.
+    else_ops: Vec<(u32, Op)>,
+    /// Nested conditionals in the THEN arm (construct-local offsets).
+    then_children: Vec<SplitSpec>,
+    /// Nested conditionals in the ELSE arm.
+    else_children: Vec<SplitSpec>,
+}
+
+/// Computes op instances for prolog/kernel/epilog words.
+struct InstanceGen<'a> {
+    plan: &'a PipelinePlan,
+    mach: &'a MachineDescription,
+    /// Per node: (stage, offset-within-stage).
+    placed: Vec<(u32, u32)>,
+    s: u32,
+    k: u32,
+    u: u32,
+    len: u32,
+}
+
+impl<'a> InstanceGen<'a> {
+    fn new(plan: &'a PipelinePlan, mach: &'a MachineDescription) -> Self {
+        let s = plan.sched.ii();
+        let len = plan.sched.len_with(&plan.g);
+        let stages = plan.sched.stages(&plan.g);
+        let k = stages - 1;
+        let u = plan.exp.unroll;
+        let placed = plan
+            .g
+            .node_ids()
+            .map(|n| {
+                let t = plan.sched.time(n) as u32;
+                (t / s, t % s)
+            })
+            .collect();
+        InstanceGen {
+            plan,
+            mach,
+            placed,
+            s,
+            k,
+            u,
+            len,
+        }
+    }
+
+    /// Renames expanded variables for (local) iteration `it`.
+    fn rename(&self, op: &Op, it: u64) -> Op {
+        let mut op = op.clone();
+        if let Some(d) = op.dst {
+            op.dst = Some(self.plan.exp.reg_for(d, it));
+        }
+        for sop in &mut op.srcs {
+            if let Operand::Reg(r) = sop {
+                *r = self.plan.exp.reg_for(*r, it);
+            }
+        }
+        op
+    }
+
+    /// Adds node `i`'s instance for iteration `it` at region-local cycle
+    /// `c` to the region.
+    fn add_instance(&self, region: &mut Region, i: usize, it: u64, c: usize) {
+        let node = self.plan.g.node(crate::graph::NodeId(i as u32));
+        match &node.kind {
+            NodeKind::Op(op) => region.words[c].ops.push(self.rename(op, it)),
+            NodeKind::Cond(rc) => region.splits.push(self.materialize_cond(rc, it, c)),
+        }
+    }
+
+    fn materialize_cond(&self, rc: &ReducedCond, it: u64, at: usize) -> SplitSpec {
+        let mut sp = SplitSpec {
+            at,
+            len: rc.len,
+            cond: self.plan.exp.reg_for(rc.cond, it),
+            then_ops: Vec::new(),
+            else_ops: Vec::new(),
+            then_children: Vec::new(),
+            else_children: Vec::new(),
+        };
+        for (items, ops, children) in [
+            (&rc.then_items, &mut sp.then_ops, &mut sp.then_children),
+            (&rc.else_items, &mut sp.else_ops, &mut sp.else_children),
+        ] {
+            for item in items {
+                match &item.node.kind {
+                    NodeKind::Op(op) => ops.push((item.offset, self.rename(op, it))),
+                    NodeKind::Cond(nested) => {
+                        children.push(self.materialize_cond(nested, it, item.offset as usize));
+                    }
+                }
+            }
+        }
+        sp
+    }
+
+    /// Prolog: cycles `[0, k*s)`; iteration `it` issues at `it*s + time`.
+    fn prolog(&self) -> Region {
+        let total = (self.k * self.s) as usize;
+        let mut region = Region {
+            words: vec![Word::empty(); total],
+            splits: Vec::new(),
+        };
+        for (i, &(st, off)) in self.placed.iter().enumerate() {
+            let sigma = (st * self.s + off) as usize;
+            let mut it = 0usize;
+            loop {
+                let c = it * self.s as usize + sigma;
+                if c >= total {
+                    break;
+                }
+                self.add_instance(&mut region, i, it as u64, c);
+                it += 1;
+            }
+        }
+        region
+    }
+
+    /// Kernel: `u*s` cycles; at offset `a*s + b`, nodes with offset `b`
+    /// run for local iteration `k - stage + a` (modulo `u`).
+    fn kernel(&self) -> Region {
+        let mut region = Region {
+            words: vec![Word::empty(); (self.u * self.s) as usize],
+            splits: Vec::new(),
+        };
+        for a in 0..self.u {
+            for (i, &(st, off)) in self.placed.iter().enumerate() {
+                let q = (a * self.s + off) as usize;
+                let it = ((self.k - st + a) % self.u) as u64;
+                self.add_instance(&mut region, i, it, q);
+            }
+        }
+        region
+    }
+
+    /// Epilog: `len - s` cycles draining the last `k` iterations. The
+    /// instance at offset `e` exists for stage `st` when `(e - off)` is a
+    /// nonnegative multiple `g*s` with `g < st`; its local iteration is
+    /// congruent to `k - st + g` (mod `u`).
+    fn epilog(&self) -> Region {
+        let elen = (self.len - self.s) as usize;
+        let mut region = Region {
+            words: vec![Word::empty(); elen],
+            splits: Vec::new(),
+        };
+        for e in 0..elen as i64 {
+            for (i, &(st, off)) in self.placed.iter().enumerate() {
+                let diff = e - off as i64;
+                if diff >= 0 && diff % self.s as i64 == 0 {
+                    let gstages = diff / self.s as i64;
+                    if gstages < st as i64 {
+                        let it = (self.k as i64 - st as i64 + gstages) as u64;
+                        self.add_instance(&mut region, i, it % self.u as u64, e as usize);
+                    }
+                }
+            }
+        }
+        region
+    }
+
+    /// The copy-back operations restoring each rotated variable's final
+    /// value to its home register. Local iteration count n' satisfies
+    /// n' ≡ k (mod u), so the final iteration n'-1 uses copy
+    /// (k-1) mod n_v (or n_v - 1 when k == 0, since n' is then a positive
+    /// multiple of u).
+    fn copyback_ops(&self) -> Vec<Op> {
+        let mut copies = Vec::new();
+        for (&v, cs) in &self.plan.exp.copies {
+            let n_v = cs.len() as u64;
+            let last = if self.k == 0 {
+                (n_v - 1) as usize
+            } else {
+                ((self.k as u64 - 1) % n_v) as usize
+            };
+            let src = cs[last];
+            if src != v {
+                copies.push(Op::new(Opcode::Copy, Some(v), vec![src.into()]));
+            }
+        }
+        copies
+    }
+
+    /// Per-register in-flight horizons for epilog fusion: a write issued
+    /// by a pre-epilog instance retires at most `latency - 1` cycles into
+    /// the epilog, so code touching that register must start at or after
+    /// `latency`. Keyed by the *renamed* registers (every rotating copy of
+    /// a destination inherits its producer's latency).
+    fn reg_horizons(&self) -> std::collections::BTreeMap<ir::VReg, i64> {
+        let mut h: std::collections::BTreeMap<ir::VReg, i64> = Default::default();
+        for n in self.plan.g.node_ids() {
+            self.plan.g.node(n).for_each_access(&mut |a| {
+                if let Access::Op { op, .. } = a {
+                    if let Some(d) = op.def() {
+                        let lat = self.mach.latency(op.opcode.class()) as i64;
+                        match self.plan.exp.copies.get(&d) {
+                            Some(cs) => {
+                                for &c in cs {
+                                    let e = h.entry(c).or_insert(0);
+                                    *e = (*e).max(lat);
+                                }
+                            }
+                            None => {
+                                let e = h.entry(d).or_insert(0);
+                                *e = (*e).max(lat);
+                            }
+                        }
+                    }
+                }
+            });
+        }
+        h
+    }
+
+    /// Cycles past the epilog before every result has retired.
+    fn epilog_tail(&self) -> u32 {
+        let mut tail = 0i64;
+        for (i, &(st, off)) in self.placed.iter().enumerate() {
+            let sigma = (st * self.s + off) as i64;
+            let node = self.plan.g.node(crate::graph::NodeId(i as u32));
+            let mut node_end = node.len as i64;
+            node.for_each_access(&mut |a| {
+                if let Access::Op { offset, op, .. } = a {
+                    let lat = self.mach.latency(op.opcode.class()) as i64;
+                    node_end = node_end.max(offset as i64 + lat);
+                }
+            });
+            tail = tail.max(sigma + node_end - self.len as i64);
+        }
+        tail.max(0) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{CmpPred, ProgramBuilder};
+    use machine::presets::{test_machine, warp_cell};
+
+    fn vinc(n: u32) -> Program {
+        let mut b = ProgramBuilder::new("vinc");
+        let a = b.array("a", n.max(1));
+        b.for_counted(TripCount::Const(n), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+        });
+        b.finish()
+    }
+
+    /// The prolog→kernel→epilog stream must be cycle-exact: the prolog
+    /// block carries exactly `k*s` region words plus the single
+    /// pass-counter word *before* them, the kernel block exactly `u*s`.
+    #[test]
+    fn regions_are_cycle_exact() {
+        let m = warp_cell();
+        let c = compile(&vinc(64), &m, &CompileOptions::default()).unwrap();
+        let r = &c.reports[0];
+        let (ii, u, stages) = (r.ii.unwrap(), r.unroll, r.stages);
+        let k = stages - 1;
+        let kernel = c
+            .vliw
+            .blocks
+            .iter()
+            .find(|b| b.label.ends_with(".kernel"))
+            .expect("kernel block");
+        assert_eq!(kernel.words.len() as u32, u * ii, "kernel is u*s words");
+        // The block before the kernel holds preamble + counter + prolog;
+        // its last k*s words are the prolog region.
+        let before = c
+            .vliw
+            .blocks
+            .iter()
+            .position(|b| b.label.ends_with(".kernel"))
+            .expect("kernel position");
+        let pre = &c.vliw.blocks[before - 1];
+        assert!(
+            pre.words.len() as u32 >= k * ii,
+            "prolog words present: {} < {}",
+            pre.words.len(),
+            k * ii
+        );
+        // No pass-counter write may sit *between* prolog words and the
+        // kernel: the last prolog word is the region's final cycle.
+        let tail_ops: Vec<_> = pre.words[pre.words.len() - (k * ii) as usize..]
+            .iter()
+            .flat_map(|w| &w.ops)
+            .filter(|o| matches!(o.opcode, Opcode::Const))
+            .collect();
+        assert!(
+            tail_ops.is_empty(),
+            "counter init must precede the prolog region"
+        );
+    }
+
+    #[test]
+    fn trip_too_small_falls_back() {
+        let m = warp_cell();
+        // Two iterations cannot fill a multi-stage pipe on Warp.
+        let c = compile(&vinc(2), &m, &CompileOptions::default()).unwrap();
+        let r = &c.reports[0];
+        assert!(
+            matches!(r.not_pipelined, Some(NotPipelined::TripTooSmall { .. })),
+            "{:?}",
+            r.not_pipelined
+        );
+        // And the fallback still terminates with a counted loop.
+        assert!(c
+            .vliw
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Terminator::CountedLoop { .. })));
+    }
+
+    #[test]
+    fn not_profitable_falls_back() {
+        // A body that is one serial chain: the schedule's interval equals
+        // the unpipelined length, so pipelining is refused post hoc (when
+        // the 99% pre-filter is disabled).
+        let m = test_machine();
+        let mut b = ProgramBuilder::new("serial");
+        let out = b.array("o", 1);
+        let acc = b.fconst(1.0);
+        b.for_counted(TripCount::Const(16), |b, _| {
+            let t = b.fadd(acc.into(), 1.0f32.into());
+            b.push_op(Op::new(Opcode::FMul, Some(acc), vec![t.into(), t.into()]));
+        });
+        b.store_fixed(out, 0, acc.into());
+        let p = b.finish();
+        let opts = CompileOptions {
+            near_bound_fraction: 10.0, // effectively off
+            ..Default::default()
+        };
+        let c = compile(&p, &m, &opts).unwrap();
+        let r = &c.reports[0];
+        assert!(
+            matches!(
+                r.not_pipelined,
+                Some(NotPipelined::NotProfitable { .. }) | Some(NotPipelined::NearBound { .. })
+            ),
+            "{:?}",
+            r.not_pipelined
+        );
+    }
+
+    #[test]
+    fn conditional_body_emits_branches_in_kernel() {
+        let m = warp_cell();
+        let mut b = ProgramBuilder::new("cond");
+        let a = b.array("a", 64);
+        let o = b.array("o", 64);
+        b.for_counted(TripCount::Const(64), |b, i| {
+            let x = b.load_elem(a, i.into(), 1, 0);
+            let c = b.fcmp(CmpPred::Gt, x.into(), 1.0f32.into());
+            let y = b.named_reg(ir::Type::F32, "y");
+            b.if_else(
+                c,
+                |b| b.copy_to(y, x.into()),
+                |b| b.copy_to(y, 0.0f32.into()),
+            );
+            b.store_elem(o, i.into(), 1, 0, y.into());
+        });
+        let p = b.finish();
+        let c = compile(&p, &m, &CompileOptions::default()).unwrap();
+        assert!(c.reports[0].ii.is_some(), "{:?}", c.reports[0].not_pipelined);
+        let branches = c
+            .vliw
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, Terminator::CondJump { .. }))
+            .count();
+        // One split per conditional instance across prolog, unrolled
+        // kernel and epilog.
+        assert!(branches >= 3, "{branches} branches");
+    }
+
+    #[test]
+    fn zero_trip_loop_emits_nothing() {
+        let m = test_machine();
+        let c = compile(&vinc(0), &m, &CompileOptions::default()).unwrap();
+        assert!(c
+            .vliw
+            .blocks
+            .iter()
+            .all(|b| !matches!(b.term, Terminator::CountedLoop { .. })));
+    }
+
+    #[test]
+    fn disabled_pipelining_reports_reason() {
+        let m = test_machine();
+        let c = compile(
+            &vinc(32),
+            &m,
+            &CompileOptions {
+                pipeline: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(c.reports[0].not_pipelined, Some(NotPipelined::Disabled));
+        assert!(c.reports[0].mii_res > 0, "bounds still computed for stats");
+    }
+}

@@ -1,0 +1,395 @@
+//! The dependence graph over scheduling items.
+//!
+//! Nodes are *minimally indivisible sequences* (§2.1): ordinary operations,
+//! or — after hierarchical reduction — whole scheduled control constructs.
+//! Each node carries a resource reservation table. Edges carry the paper's
+//! two attributes: a **minimum iteration difference** `omega` (written *p*
+//! in the paper) and a **delay** `d`: node `v` must execute at least `d`
+//! cycles after node `u` of the `omega`-th previous iteration, i.e.
+//!
+//! ```text
+//! sigma(v) - sigma(u) >= d - s * omega
+//! ```
+//!
+//! where `s` is the initiation interval.
+
+use std::fmt;
+
+use ir::{Op, VReg};
+use machine::ReservationTable;
+
+/// Index of a node in a [`DepGraph`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The id as an index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Why an edge exists. Only used for diagnostics and for modulo variable
+/// expansion (which removes certain register edges); the scheduler treats
+/// all kinds identically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DepKind {
+    /// Flow dependence through a register (def → use).
+    True,
+    /// Anti dependence through a register (use → redefinition).
+    Anti,
+    /// Output dependence through a register (def → def).
+    Output,
+    /// Dependence through data memory.
+    Memory,
+    /// Ordering between operations on the same inter-cell queue.
+    Queue,
+    /// Ordering imposed by a control construct boundary.
+    Control,
+}
+
+impl fmt::Display for DepKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DepKind::True => "true",
+            DepKind::Anti => "anti",
+            DepKind::Output => "output",
+            DepKind::Memory => "memory",
+            DepKind::Queue => "queue",
+            DepKind::Control => "control",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A dependence edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source node.
+    pub from: NodeId,
+    /// Destination node.
+    pub to: NodeId,
+    /// Minimum iteration difference (the paper's *p*). Always >= 0: a node
+    /// cannot depend on a value from a future iteration.
+    pub omega: u32,
+    /// Delay in cycles (the paper's *d*). May be negative (e.g. anti
+    /// dependences on long-latency producers).
+    pub delay: i64,
+    /// Diagnostic classification.
+    pub kind: DepKind,
+}
+
+/// An item placed at a fixed offset inside a reduced construct's internal
+/// schedule.
+#[derive(Debug, Clone)]
+pub struct PlacedItem {
+    /// Issue offset relative to the construct's start.
+    pub offset: u32,
+    /// The item (an op, or a nested reduced conditional).
+    pub node: Node,
+}
+
+/// A conditional construct reduced to a single scheduling node (§3.1).
+///
+/// The THEN and ELSE arms were scheduled independently (list scheduling
+/// with intra dependences only); the node's reservation table is the
+/// entry-wise **max** of the two arms' tables, plus the sequencer resource
+/// for the full extent (one program counter per cell: two conditionals can
+/// never be in flight simultaneously, which also keeps code emission's
+/// block splitting well-nested).
+#[derive(Debug, Clone)]
+pub struct ReducedCond {
+    /// Condition register, read at the construct's first cycle boundary.
+    pub cond: VReg,
+    /// THEN arm items with internal offsets.
+    pub then_items: Vec<PlacedItem>,
+    /// ELSE arm items with internal offsets.
+    pub else_items: Vec<PlacedItem>,
+    /// Construct length in cycles (both arms padded to this).
+    pub len: u32,
+}
+
+/// What a node stands for.
+#[derive(Debug, Clone)]
+pub enum NodeKind {
+    /// A single operation, kept by value for emission.
+    Op(Op),
+    /// A reduced conditional construct (hierarchical reduction).
+    Cond(Box<ReducedCond>),
+}
+
+/// One flattened access inside a node: an operation occurrence (possibly
+/// nested in conditional arms) or a condition-register read.
+#[derive(Debug, Clone)]
+pub enum Access<'a> {
+    /// An operation at the given offset from the node's issue cycle;
+    /// `conditional` is true when it sits inside some arm (it may not
+    /// execute every iteration).
+    Op {
+        /// Offset from the node's issue cycle.
+        offset: u32,
+        /// The operation.
+        op: &'a Op,
+        /// Inside a conditional arm?
+        conditional: bool,
+    },
+    /// A condition-register read at the given offset.
+    CondUse {
+        /// Offset from the node's issue cycle.
+        offset: u32,
+        /// The register read.
+        reg: VReg,
+    },
+}
+
+/// A scheduling node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The payload.
+    pub kind: NodeKind,
+    /// Resource usage relative to the node's issue cycle.
+    pub reservation: ReservationTable,
+    /// Number of cycles the node occupies (>= reservation length; reduced
+    /// constructs may be longer than their resource footprint).
+    pub len: u32,
+}
+
+impl Node {
+    /// Wraps a single operation with its machine reservation table.
+    pub fn op(op: Op, reservation: ReservationTable) -> Self {
+        let len = reservation.len().max(1) as u32;
+        Node {
+            kind: NodeKind::Op(op),
+            reservation,
+            len,
+        }
+    }
+
+    /// The operation, if this node is one.
+    pub fn as_op(&self) -> Option<&Op> {
+        match &self.kind {
+            NodeKind::Op(op) => Some(op),
+            NodeKind::Cond(_) => None,
+        }
+    }
+
+    /// True for reduced constructs, whose kernel instances must not wrap
+    /// around an initiation-interval boundary (the emitted branch code
+    /// must stay within one s-aligned window).
+    pub fn needs_no_wrap(&self) -> bool {
+        matches!(self.kind, NodeKind::Cond(_))
+    }
+
+    /// Visits every flattened access of this node (recursing into nested
+    /// conditionals), in program order.
+    pub fn for_each_access<'a>(&'a self, f: &mut impl FnMut(Access<'a>)) {
+        self.walk_accesses(0, false, f);
+    }
+
+    fn walk_accesses<'a>(
+        &'a self,
+        base: u32,
+        conditional: bool,
+        f: &mut impl FnMut(Access<'a>),
+    ) {
+        match &self.kind {
+            NodeKind::Op(op) => f(Access::Op {
+                offset: base,
+                op,
+                conditional,
+            }),
+            NodeKind::Cond(c) => {
+                f(Access::CondUse {
+                    offset: base,
+                    reg: c.cond,
+                });
+                for item in c.then_items.iter().chain(&c.else_items) {
+                    item.node.walk_accesses(base + item.offset, true, f);
+                }
+            }
+        }
+    }
+}
+
+/// A dependence graph over one loop body (or one basic block, when built
+/// without loop-carried edges).
+#[derive(Debug, Clone, Default)]
+pub struct DepGraph {
+    nodes: Vec<Node>,
+    edges: Vec<DepEdge>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+    /// Variables eligible for modulo variable expansion: they are redefined
+    /// at the beginning of every iteration (no use precedes their first
+    /// def), so their loop-carried anti/output dependences were omitted on
+    /// the promise that each iteration gets its own register copy.
+    pub expandable: Vec<VReg>,
+}
+
+impl DepGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        DepGraph::default()
+    }
+
+    /// Adds a node, returning its id.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(node);
+        self.succs.push(Vec::new());
+        self.preds.push(Vec::new());
+        id
+    }
+
+    /// Adds an edge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint is out of range.
+    pub fn add_edge(&mut self, edge: DepEdge) {
+        assert!(edge.from.index() < self.nodes.len());
+        assert!(edge.to.index() < self.nodes.len());
+        let idx = self.edges.len();
+        self.succs[edge.from.index()].push(idx);
+        self.preds[edge.to.index()].push(idx);
+        self.edges.push(edge);
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+
+    /// One node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    /// All edges.
+    pub fn edges(&self) -> &[DepEdge] {
+        &self.edges
+    }
+
+    /// Outgoing edges of a node.
+    pub fn succ_edges(&self, id: NodeId) -> impl Iterator<Item = &DepEdge> {
+        self.succs[id.index()].iter().map(|&i| &self.edges[i])
+    }
+
+    /// Incoming edges of a node.
+    pub fn pred_edges(&self, id: NodeId) -> impl Iterator<Item = &DepEdge> {
+        self.preds[id.index()].iter().map(|&i| &self.edges[i])
+    }
+
+    /// Node ids in insertion (program) order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+}
+
+impl fmt::Display for DepGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph ({} nodes, {} edges)", self.nodes.len(), self.edges.len())?;
+        for id in self.node_ids() {
+            match &self.node(id).kind {
+                NodeKind::Op(op) => writeln!(f, "  {id}: {op}")?,
+                NodeKind::Cond(c) => writeln!(
+                    f,
+                    "  {id}: if {} (len {}, {}+{} arm items)",
+                    c.cond,
+                    c.len,
+                    c.then_items.len(),
+                    c.else_items.len()
+                )?,
+            }
+        }
+        for e in &self.edges {
+            writeln!(
+                f,
+                "  {} -> {} (omega={}, d={}, {})",
+                e.from, e.to, e.omega, e.delay, e.kind
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::Opcode;
+
+    fn dummy_node() -> Node {
+        Node::op(
+            Op::new(Opcode::Const, Some(VReg(0)), vec![ir::Imm::I(0).into()]),
+            ReservationTable::empty(),
+        )
+    }
+
+    #[test]
+    fn add_nodes_and_edges() {
+        let mut g = DepGraph::new();
+        let a = g.add_node(dummy_node());
+        let b = g.add_node(dummy_node());
+        g.add_edge(DepEdge {
+            from: a,
+            to: b,
+            omega: 0,
+            delay: 2,
+            kind: DepKind::True,
+        });
+        assert_eq!(g.num_nodes(), 2);
+        assert_eq!(g.succ_edges(a).count(), 1);
+        assert_eq!(g.pred_edges(b).count(), 1);
+        assert_eq!(g.succ_edges(b).count(), 0);
+        assert_eq!(g.edges()[0].delay, 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn edge_bounds_checked() {
+        let mut g = DepGraph::new();
+        let a = g.add_node(dummy_node());
+        g.add_edge(DepEdge {
+            from: a,
+            to: NodeId(5),
+            omega: 0,
+            delay: 0,
+            kind: DepKind::True,
+        });
+    }
+
+    #[test]
+    fn node_len_defaults_to_reservation() {
+        let n = dummy_node();
+        assert_eq!(n.len, 1, "empty reservation still occupies one cycle");
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let mut g = DepGraph::new();
+        let a = g.add_node(dummy_node());
+        let b = g.add_node(dummy_node());
+        g.add_edge(DepEdge {
+            from: a,
+            to: b,
+            omega: 1,
+            delay: 3,
+            kind: DepKind::Memory,
+        });
+        let s = g.to_string();
+        assert!(s.contains("omega=1"), "{s}");
+        assert!(s.contains("memory"), "{s}");
+    }
+}

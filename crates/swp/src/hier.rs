@@ -1,0 +1,362 @@
+//! Hierarchical reduction (Part II of the paper).
+//!
+//! The program is scheduled hierarchically, innermost constructs first;
+//! each scheduled construct is *reduced* to a node "similar to an
+//! operation in a basic block" carrying the union of its scheduling
+//! constraints, so that basic-block techniques — and, crucially, software
+//! pipelining — apply across control constructs.
+//!
+//! For a conditional (§3.1): the THEN and ELSE branches are first
+//! scheduled independently (list scheduling over their own dependence
+//! graphs); the reduced node's length is the maximum of the branch
+//! lengths, and each reservation-table entry is the maximum of the
+//! corresponding branch entries. At code emission time two code sequences
+//! are generated, and any operation scheduled in parallel with the
+//! construct is duplicated into both arms.
+//!
+//! Deviating detail, documented in DESIGN.md: the reduced node also claims
+//! the machine's sequencer resource for its whole extent. Warp has one
+//! sequencer, so two conditional constructs cannot be in flight at once;
+//! this both matches the hardware and guarantees the emitted branch
+//! regions are well-nested and never wrap around a kernel boundary.
+
+use ir::Stmt;
+use machine::{MachineDescription, ReservationTable, ResourceId};
+
+use crate::build::{build_item_graph, BuildOptions};
+use crate::compact::linear_place;
+use crate::graph::{Access, Node, NodeKind, PlacedItem, ReducedCond};
+
+/// How a reduced conditional advertises its resource usage (§3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CondMode {
+    /// The union (entry-wise max) of the two branches' reservation
+    /// tables: operations outside the construct may overlap it. The
+    /// paper's default, "optimized for handling short conditional
+    /// statements in innermost loops".
+    #[default]
+    Union,
+    /// Every resource marked fully consumed for the construct's whole
+    /// extent: nothing overlaps the conditional (no duplication into the
+    /// arms), though code still moves *around* it. The paper's fallback
+    /// "for those cases that violate this assumption".
+    Exclusive,
+}
+
+/// Reduces a statement list to a flat sequence of scheduling items:
+/// ordinary operations plus reduced conditionals. Returns `None` if the
+/// body contains a nested loop (those are handled structurally by the
+/// emitter, not by reduction — pipelining an outer loop is out of scope
+/// for this reproduction, as it was optional in the paper).
+pub fn reduce_stmts(stmts: &[Stmt], mach: &MachineDescription) -> Option<Vec<Node>> {
+    reduce_stmts_with(stmts, mach, CondMode::Union)
+}
+
+/// As [`reduce_stmts`], selecting the conditional resource mode.
+pub fn reduce_stmts_with(
+    stmts: &[Stmt],
+    mach: &MachineDescription,
+    mode: CondMode,
+) -> Option<Vec<Node>> {
+    let mut items = Vec::with_capacity(stmts.len());
+    for s in stmts {
+        match s {
+            Stmt::Op(op) => items.push(Node::op(
+                op.clone(),
+                mach.reservation(op.opcode.class()).clone(),
+            )),
+            Stmt::If(i) => items.push(reduce_if(i, mach, mode)?),
+            Stmt::Loop(_) => return None,
+        }
+    }
+    Some(items)
+}
+
+fn reduce_if(i: &ir::IfStmt, mach: &MachineDescription, mode: CondMode) -> Option<Node> {
+    let then_items = reduce_stmts_with(&i.then_body, mach, mode)?;
+    let else_items = reduce_stmts_with(&i.else_body, mach, mode)?;
+    let (then_placed, then_res, then_len) = schedule_arm(then_items, mach);
+    let (else_placed, else_res, else_len) = schedule_arm(else_items, mach);
+    let len = then_len.max(else_len).max(1);
+
+    // Union of the branch constraints: entry-wise max of the reservation
+    // tables (§3.1), plus the sequencer for the whole construct; or, in
+    // exclusive mode, every unit saturated for the whole extent.
+    let mut reservation = ReservationTable::empty();
+    match mode {
+        CondMode::Union => {
+            reservation.add_shifted_max(&then_res, 0);
+            reservation.add_shifted_max(&else_res, 0);
+            if let Some(seq) = mach.branch_resource() {
+                for t in 0..len {
+                    reservation.row_mut(t as usize).add(seq, 1);
+                }
+            }
+        }
+        CondMode::Exclusive => {
+            for t in 0..len {
+                for (ri, r) in mach.resources().iter().enumerate() {
+                    reservation
+                        .row_mut(t as usize)
+                        .add(ResourceId(ri as u32), r.count);
+                }
+            }
+        }
+    }
+    Some(Node {
+        kind: NodeKind::Cond(Box::new(ReducedCond {
+            cond: i.cond,
+            then_items: then_placed,
+            else_items: else_placed,
+            len,
+        })),
+        reservation,
+        len,
+    })
+}
+
+/// List-schedules one arm's items against intra-iteration dependences
+/// only, returning the placed items, their aggregate reservation table and
+/// the arm length.
+fn schedule_arm(
+    items: Vec<Node>,
+    mach: &MachineDescription,
+) -> (Vec<PlacedItem>, ReservationTable, u32) {
+    if items.is_empty() {
+        return (Vec::new(), ReservationTable::empty(), 0);
+    }
+    let g = build_item_graph(
+        items,
+        mach,
+        BuildOptions {
+            loop_carried: false,
+            enable_mve: false,
+        },
+    );
+    let times = linear_place(&g, mach);
+    let mut placed = Vec::with_capacity(g.num_nodes());
+    let mut reservation = ReservationTable::empty();
+    let mut len = 0u32;
+    for n in g.node_ids() {
+        let t = times[n.index()];
+        let node = g.node(n).clone();
+        reservation.add_shifted_sum(&node.reservation, t as usize);
+        len = len.max(t + node.len);
+        placed.push(PlacedItem { offset: t, node });
+    }
+    (placed, reservation, len)
+}
+
+/// Statistics helpers over reduced items.
+pub mod stats {
+    use super::*;
+
+    /// True if any item is (or contains) a reduced conditional.
+    pub fn has_conditional(items: &[Node]) -> bool {
+        items.iter().any(|n| matches!(n.kind, NodeKind::Cond(_)))
+    }
+
+    /// Number of operations across all items, including arm contents.
+    pub fn num_ops(items: &[Node]) -> usize {
+        let mut n = 0;
+        for item in items {
+            item.for_each_access(&mut |a| {
+                if matches!(a, Access::Op { .. }) {
+                    n += 1;
+                }
+            });
+        }
+        n
+    }
+
+    /// An estimate of the unpipelined (locally compacted, drained)
+    /// iteration length of a body of items: list-schedule them linearly
+    /// and drain every latency.
+    pub fn unpipelined_len(items: &[Node], mach: &MachineDescription) -> u32 {
+        if items.is_empty() {
+            return 0;
+        }
+        let g = build_item_graph(
+            items.to_vec(),
+            mach,
+            BuildOptions {
+                loop_carried: false,
+                enable_mve: false,
+            },
+        );
+        let times = linear_place(&g, mach);
+        let mut end = 0i64;
+        for n in g.node_ids() {
+            let t = times[n.index()] as i64;
+            end = end.max(t + g.node(n).len as i64);
+            g.node(n).for_each_access(&mut |a| {
+                if let Access::Op { offset, op, .. } = a {
+                    let lat = mach.latency(op.opcode.class()) as i64;
+                    end = end.max(t + offset as i64 + lat);
+                }
+            });
+        }
+        end as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{CmpPred, IfStmt, Op, Opcode, RegTable, Type};
+    use machine::presets::test_machine;
+    use machine::OpClass;
+
+    fn simple_if(regs: &mut RegTable) -> IfStmt {
+        let c = regs.alloc(Type::I32);
+        let x = regs.alloc(Type::F32);
+        let y = regs.alloc(Type::F32);
+        IfStmt {
+            cond: c,
+            then_body: vec![
+                Stmt::Op(Op::new(Opcode::FAdd, Some(y), vec![x.into(), x.into()])),
+            ],
+            else_body: vec![
+                Stmt::Op(Op::new(Opcode::FMul, Some(y), vec![x.into(), x.into()])),
+                Stmt::Op(Op::new(Opcode::FAdd, Some(y), vec![y.into(), y.into()])),
+            ],
+        }
+    }
+
+    #[test]
+    fn reduce_if_takes_max_of_arms() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let i = simple_if(&mut regs);
+        let node = reduce_if(&i, &m, CondMode::Union).expect("no loops inside");
+        // ELSE arm: fmul (lat 3) then dependent fadd at t=3, len 4.
+        assert_eq!(node.len, 4);
+        // Reservation is the max of arms: one fadd at cycle 0 (then arm)
+        // and the fmul at 0 / fadd at 3 (else arm).
+        let fadd = m.resource_by_name("fadd").expect("resource");
+        let fmul = m.resource_by_name("fmul").expect("resource");
+        assert_eq!(node.reservation.row(0).units(fadd), 1);
+        assert_eq!(node.reservation.row(0).units(fmul), 1);
+        assert_eq!(node.reservation.row(3).units(fadd), 1);
+        // Sequencer claimed throughout.
+        let seq = m.branch_resource().expect("seq");
+        for t in 0..4 {
+            assert_eq!(node.reservation.row(t).units(seq), 1, "cycle {t}");
+        }
+        assert!(node.needs_no_wrap());
+    }
+
+    #[test]
+    fn reduce_rejects_nested_loops() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let c = regs.alloc(Type::I32);
+        let i = IfStmt {
+            cond: c,
+            then_body: vec![Stmt::Loop(ir::Loop {
+                trip: ir::TripCount::Const(3),
+                body: vec![],
+            })],
+            else_body: vec![],
+        };
+        assert!(reduce_if(&i, &m, CondMode::Union).is_none());
+    }
+
+    #[test]
+    fn nested_conditionals_reduce_recursively() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let inner = simple_if(&mut regs);
+        let c2 = regs.alloc(Type::I32);
+        let outer = IfStmt {
+            cond: c2,
+            then_body: vec![Stmt::If(inner)],
+            else_body: vec![],
+        };
+        let node = reduce_if(&outer, &m, CondMode::Union).expect("reducible");
+        // Outer length covers the inner construct.
+        assert!(node.len >= 4);
+        match &node.kind {
+            NodeKind::Cond(rc) => {
+                assert_eq!(rc.then_items.len(), 1);
+                assert!(matches!(rc.then_items[0].node.kind, NodeKind::Cond(_)));
+            }
+            other => panic!("expected cond, got {other:?}"),
+        }
+        // Flattened accesses see both levels' ops and both cond reads.
+        let mut conds = 0;
+        let mut ops = 0;
+        node.for_each_access(&mut |a| match a {
+            Access::CondUse { .. } => conds += 1,
+            Access::Op { .. } => ops += 1,
+        });
+        assert_eq!(conds, 2);
+        assert_eq!(ops, 3);
+    }
+
+    #[test]
+    fn reduce_stmts_mixes_ops_and_conds() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let d = regs.alloc(Type::I32);
+        let i = simple_if(&mut regs);
+        let stmts = vec![
+            Stmt::Op(Op::new(
+                Opcode::ICmp(CmpPred::Gt),
+                Some(d),
+                vec![0i32.into(), 1i32.into()],
+            )),
+            Stmt::If(i),
+            Stmt::Op(Op::new(Opcode::QPush, None, vec![x.into()])),
+        ];
+        let items = reduce_stmts(&stmts, &m).expect("reducible");
+        assert_eq!(items.len(), 3);
+        assert!(stats::has_conditional(&items));
+        assert_eq!(stats::num_ops(&items), 5);
+        assert!(stats::unpipelined_len(&items, &m) >= 4);
+    }
+
+    #[test]
+    fn arm_scheduling_respects_resources() {
+        // Two independent fadds in one arm share the single adder: the arm
+        // is 2+ cycles long even though they are data independent.
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let c = regs.alloc(Type::I32);
+        let x = regs.alloc(Type::F32);
+        let y1 = regs.alloc(Type::F32);
+        let y2 = regs.alloc(Type::F32);
+        let i = IfStmt {
+            cond: c,
+            then_body: vec![
+                Stmt::Op(Op::new(Opcode::FAdd, Some(y1), vec![x.into(), x.into()])),
+                Stmt::Op(Op::new(Opcode::FAdd, Some(y2), vec![x.into(), x.into()])),
+            ],
+            else_body: vec![],
+        };
+        let node = reduce_if(&i, &m, CondMode::Union).expect("reducible");
+        assert!(node.len >= 2);
+        let fadd = m.resource_by_name("fadd").expect("resource");
+        // Never more than one adder per cycle inside the construct.
+        for row in node.reservation.rows() {
+            assert!(row.units(fadd) <= 1);
+        }
+    }
+
+    #[test]
+    fn op_class_reservations_flow_through() {
+        // Items built by reduce_stmts carry machine reservations.
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let y = regs.alloc(Type::F32);
+        let stmts = vec![Stmt::Op(Op::new(
+            Opcode::FMul,
+            Some(y),
+            vec![x.into(), x.into()],
+        ))];
+        let items = reduce_stmts(&stmts, &m).expect("reducible");
+        assert_eq!(items[0].reservation, *m.reservation(OpClass::FloatMul));
+    }
+}

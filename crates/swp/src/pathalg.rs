@@ -1,0 +1,433 @@
+//! All-points longest paths with a *symbolic* initiation interval.
+//!
+//! The paper's preprocessing step (§2.2.2): "compute the closure of the
+//! precedence constraints in each connected component by solving the
+//! all-points longest path problem for each component … using a symbolic
+//! value to stand for the initiation interval."
+//!
+//! A path's weight is `d(P) - s * omega(P)` — a *linear function* of the
+//! initiation interval `s`, determined by the pair `(d, omega)` of summed
+//! delays and iteration differences. We therefore represent distances as
+//! Pareto sets of such pairs: one pair dominates another if its weight is
+//! at least as large **for every** `s >= 1`, i.e. if it has no larger
+//! `omega` and no smaller `d`.
+//!
+//! The closure is computed by Bellman–Ford-style relaxation, bounded at
+//! `|V|` rounds: that covers every elementary path and cycle, which is
+//! sufficient because for any feasible `s` (at least the recurrence-based
+//! MII) traversing an extra cycle contributes `d(c) - s*omega(c) <= 0` and
+//! can never tighten a constraint. (The final schedule is independently
+//! validated against every edge, so this bound affects search guidance
+//! only, never soundness.)
+
+use std::fmt;
+
+use crate::graph::{DepGraph, NodeId};
+use crate::scc::SccDecomposition;
+
+/// A Pareto set of `(delay, omega)` path weights from one node to another.
+///
+/// Invariant: entries are sorted by increasing `omega` and strictly
+/// increasing `delay` (otherwise a smaller-omega entry would dominate).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DistSet {
+    entries: Vec<(i64, u32)>, // (delay, omega)
+}
+
+impl DistSet {
+    /// The empty set: no path.
+    pub fn empty() -> Self {
+        DistSet::default()
+    }
+
+    /// A set with a single path weight.
+    pub fn single(delay: i64, omega: u32) -> Self {
+        DistSet {
+            entries: vec![(delay, omega)],
+        }
+    }
+
+    /// True if there is no path.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `(delay, omega)` pairs, sorted by `omega`.
+    pub fn entries(&self) -> &[(i64, u32)] {
+        &self.entries
+    }
+
+    /// Inserts a path weight, keeping only Pareto-optimal entries.
+    /// Returns true if the set changed.
+    pub fn insert(&mut self, delay: i64, omega: u32) -> bool {
+        // Dominated by an existing entry with omega' <= omega, d' >= d?
+        if self
+            .entries
+            .iter()
+            .any(|&(d, o)| o <= omega && d >= delay)
+        {
+            return false;
+        }
+        // Remove entries dominated by the new one.
+        self.entries.retain(|&(d, o)| !(o >= omega && d <= delay));
+        let pos = self
+            .entries
+            .binary_search_by_key(&(omega, delay), |&(d, o)| (o, d))
+            .unwrap_or_else(|p| p);
+        self.entries.insert(pos, (delay, omega));
+        true
+    }
+
+    /// Merges another set into this one; returns true if anything changed.
+    pub fn merge(&mut self, other: &DistSet) -> bool {
+        let mut changed = false;
+        for &(d, o) in &other.entries {
+            changed |= self.insert(d, o);
+        }
+        changed
+    }
+
+    /// The set of weights of concatenated paths `self ++ other`.
+    pub fn combine(&self, other: &DistSet) -> DistSet {
+        let mut out = DistSet::empty();
+        for &(d1, o1) in &self.entries {
+            for &(d2, o2) in &other.entries {
+                out.insert(d1 + d2, o1 + o2);
+            }
+        }
+        out
+    }
+
+    /// Evaluates the longest-path weight for a concrete initiation
+    /// interval: `max over entries of (d - s * omega)`. `None` if empty.
+    pub fn eval(&self, s: u32) -> Option<i64> {
+        self.entries
+            .iter()
+            .map(|&(d, o)| d - (s as i64) * (o as i64))
+            .max()
+    }
+
+    /// The tightest lower bound on the initiation interval implied by a
+    /// *cycle* with these weights: the constraint `d - s*omega <= 0` for
+    /// every entry with `omega > 0`, i.e. `s >= ceil(d / omega)`.
+    ///
+    /// Entries with `omega == 0` and `d > 0` mean an illegal program
+    /// (a zero-distance positive-delay cycle) and yield `None`.
+    pub fn cycle_bound(&self) -> Option<i64> {
+        let mut bound = 0i64;
+        for &(d, o) in &self.entries {
+            if o == 0 {
+                if d > 0 {
+                    return None;
+                }
+            } else {
+                bound = bound.max(div_ceil(d, o as i64));
+            }
+        }
+        Some(bound)
+    }
+}
+
+impl fmt::Display for DistSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (d, o)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}-{o}s")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    if a > 0 {
+        (a + b - 1) / b
+    } else {
+        a / b
+    }
+}
+
+/// The all-points longest-path closure of one strongly connected
+/// component, with symbolic initiation interval.
+#[derive(Debug, Clone)]
+pub struct SccClosure {
+    /// Members of the component, ascending.
+    pub members: Vec<NodeId>,
+    /// `dist[i][j]` is the Pareto set of path weights from `members[i]` to
+    /// `members[j]` (paths of length >= 1 edge; `i == j` gives cycles).
+    dist: Vec<Vec<DistSet>>,
+    /// Maps a node id to its index in `members`.
+    index_of: Vec<usize>,
+    max_node: usize,
+}
+
+impl SccClosure {
+    /// Computes the closure of component `comp` of `scc` within `g`,
+    /// considering only edges internal to the component.
+    ///
+    /// Relaxation is edge-wise Bellman–Ford, run for `k` rounds (covering
+    /// every path of at most `k + 1` edges, hence every elementary path
+    /// and cycle), with total iteration difference capped at a small
+    /// multiple of the largest single-edge omega. The cap keeps the
+    /// Pareto sets tiny — without it, cycle extensions `(t*d, t*omega)`
+    /// are pairwise incomparable and large components (e.g. unrolled
+    /// bodies glued together by conservative anti edges) blow the closure
+    /// up combinatorially. High-omega composite cycles can never raise
+    /// the recurrence bound anyway (the mediant inequality bounds a
+    /// composite cycle's `d/omega` by its worst sub-cycle), and any range
+    /// constraint the cap hides merely costs the search a failed,
+    /// *validated* attempt — never soundness.
+    pub fn compute(g: &DepGraph, scc: &SccDecomposition, comp: usize) -> SccClosure {
+        let members = scc.members[comp].clone();
+        let k = members.len();
+        let max_node = g.num_nodes();
+        let mut index_of = vec![usize::MAX; max_node];
+        for (i, m) in members.iter().enumerate() {
+            index_of[m.index()] = i;
+        }
+        // Internal edges as (from, to, delay, omega).
+        let mut edges: Vec<(usize, usize, i64, u32)> = Vec::new();
+        let mut max_edge_omega = 0u32;
+        for &m in &members {
+            for e in g.succ_edges(m) {
+                if scc.comp[e.to.index()] == comp {
+                    edges.push((
+                        index_of[m.index()],
+                        index_of[e.to.index()],
+                        e.delay,
+                        e.omega,
+                    ));
+                    max_edge_omega = max_edge_omega.max(e.omega);
+                }
+            }
+        }
+        let omega_cap = max_edge_omega.saturating_mul(2).saturating_add(2);
+        let mut dist = vec![vec![DistSet::empty(); k]; k];
+        for &(u, v, d, o) in &edges {
+            dist[u][v].insert(d, o);
+        }
+        for _ in 0..k {
+            let mut changed = false;
+            for &(u, v, d, o) in &edges {
+                #[allow(clippy::needless_range_loop)] // dist[i][u] and dist[i][v] alias
+                for i in 0..k {
+                    if dist[i][u].is_empty() {
+                        continue;
+                    }
+                    // Extend every known path i -> u by the edge u -> v.
+                    let mut additions: Vec<(i64, u32)> = Vec::new();
+                    for &(pd, po) in dist[i][u].entries() {
+                        let no = po + o;
+                        if no <= omega_cap {
+                            additions.push((pd + d, no));
+                        }
+                    }
+                    for (nd, no) in additions {
+                        changed |= dist[i][v].insert(nd, no);
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        SccClosure {
+            members,
+            dist,
+            index_of,
+            max_node,
+        }
+    }
+
+    /// Path-weight set from `a` to `b` (both must be members).
+    pub fn dist(&self, a: NodeId, b: NodeId) -> &DistSet {
+        let i = self.index_of[a.index()];
+        let j = self.index_of[b.index()];
+        &self.dist[i][j]
+    }
+
+    /// True if `n` belongs to this component.
+    pub fn contains(&self, n: NodeId) -> bool {
+        n.index() < self.max_node && self.index_of[n.index()] != usize::MAX
+    }
+
+    /// The recurrence-constrained lower bound on the initiation interval
+    /// contributed by this component: `max over cycles c of
+    /// ceil(d(c) / omega(c))` (§2.2, precedence constraints).
+    ///
+    /// Returns `None` for an illegal zero-omega positive-delay cycle.
+    pub fn recurrence_mii(&self) -> Option<i64> {
+        let mut bound = 0i64;
+        for i in 0..self.members.len() {
+            bound = bound.max(self.dist[i][i].cycle_bound()?);
+        }
+        Some(bound)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DepEdge, DepKind, Node};
+    use crate::scc::tarjan;
+    use ir::{Imm, Op, Opcode, VReg};
+    use machine::ReservationTable;
+
+    #[test]
+    fn distset_pareto_pruning() {
+        let mut s = DistSet::empty();
+        assert!(s.insert(5, 1));
+        assert!(!s.insert(4, 1), "dominated: same omega, smaller d");
+        assert!(!s.insert(5, 2), "dominated: larger omega, same d");
+        assert!(s.insert(9, 2), "larger d at larger omega is incomparable");
+        assert!(s.insert(2, 0));
+        assert_eq!(s.entries(), &[(2, 0), (5, 1), (9, 2)]);
+    }
+
+    #[test]
+    fn distset_insert_removes_dominated() {
+        let mut s = DistSet::empty();
+        s.insert(3, 2);
+        s.insert(5, 1); // dominates (3, 2)
+        assert_eq!(s.entries(), &[(5, 1)]);
+    }
+
+    #[test]
+    fn distset_eval_maximizes() {
+        let mut s = DistSet::empty();
+        s.insert(2, 0);
+        s.insert(9, 2);
+        // s = 1: max(2, 9-2) = 7. s = 4: max(2, 1) = 2. s = 10: max(2, -11) = 2.
+        assert_eq!(s.eval(1), Some(7));
+        assert_eq!(s.eval(4), Some(2));
+        assert_eq!(s.eval(10), Some(2));
+        assert_eq!(DistSet::empty().eval(3), None);
+    }
+
+    #[test]
+    fn distset_combine_sums() {
+        let a = DistSet::single(3, 1);
+        let b = DistSet::single(4, 0);
+        let c = a.combine(&b);
+        assert_eq!(c.entries(), &[(7, 1)]);
+    }
+
+    #[test]
+    fn cycle_bound_ceiling() {
+        let mut s = DistSet::empty();
+        s.insert(7, 2); // ceil(7/2) = 4
+        s.insert(3, 1); // ceil(3/1) = 3
+        assert_eq!(s.cycle_bound(), Some(4));
+    }
+
+    #[test]
+    fn cycle_bound_rejects_zero_omega_positive_delay() {
+        let mut s = DistSet::empty();
+        s.insert(1, 0);
+        assert_eq!(s.cycle_bound(), None);
+    }
+
+    #[test]
+    fn cycle_bound_negative_delays_ok() {
+        let mut s = DistSet::empty();
+        s.insert(-2, 0);
+        s.insert(-1, 1);
+        assert_eq!(s.cycle_bound(), Some(0));
+    }
+
+    fn cyclic_graph(edges: &[(u32, u32, u32, i64)], n: usize) -> DepGraph {
+        let mut g = DepGraph::new();
+        for _ in 0..n {
+            g.add_node(Node::op(
+                Op::new(Opcode::Const, Some(VReg(0)), vec![Imm::I(0).into()]),
+                ReservationTable::empty(),
+            ));
+        }
+        for &(a, b, omega, d) in edges {
+            g.add_edge(DepEdge {
+                from: NodeId(a),
+                to: NodeId(b),
+                omega,
+                delay: d,
+                kind: DepKind::True,
+            });
+        }
+        g
+    }
+
+    #[test]
+    fn closure_of_two_node_recurrence() {
+        // u -> v (d=7, omega=0), v -> u (d=1, omega=1): a 7-cycle FP add
+        // feeding itself through a move. RecMII = ceil(8/1) = 8.
+        let g = cyclic_graph(&[(0, 1, 0, 7), (1, 0, 1, 1)], 2);
+        let scc = tarjan(&g);
+        assert_eq!(scc.len(), 1);
+        let cl = SccClosure::compute(&g, &scc, 0);
+        assert_eq!(cl.recurrence_mii(), Some(8));
+        assert_eq!(cl.dist(NodeId(0), NodeId(1)).eval(8), Some(7));
+        // v -> u at s=8: 1 - 8 = -7.
+        assert_eq!(cl.dist(NodeId(1), NodeId(0)).eval(8), Some(-7));
+    }
+
+    #[test]
+    fn closure_self_edge_recurrence() {
+        // An accumulator: self edge d=2, omega=1 => RecMII 2.
+        let g = cyclic_graph(&[(0, 0, 1, 2)], 1);
+        let scc = tarjan(&g);
+        let cl = SccClosure::compute(&g, &scc, 0);
+        assert_eq!(cl.recurrence_mii(), Some(2));
+    }
+
+    #[test]
+    fn closure_longest_path_chooses_best_route() {
+        // Two routes 0 -> 1: direct (d=1) and through 2 (d=3+3). The
+        // component is closed by a back edge 1 -> 0 with omega=1.
+        let g = cyclic_graph(
+            &[
+                (0, 1, 0, 1),
+                (0, 2, 0, 3),
+                (2, 1, 0, 3),
+                (1, 0, 1, 0),
+            ],
+            3,
+        );
+        let scc = tarjan(&g);
+        assert_eq!(scc.len(), 1);
+        let cl = SccClosure::compute(&g, &scc, 0);
+        assert_eq!(cl.dist(NodeId(0), NodeId(1)).eval(100), Some(6));
+        assert_eq!(cl.recurrence_mii(), Some(6));
+    }
+
+    #[test]
+    fn closure_keeps_incomparable_paths() {
+        // 0 -> 1 directly (d=10, omega=1) or (d=2, omega=0): at small s the
+        // omega=1 path dominates; at large s the omega=0 path does.
+        let g = cyclic_graph(&[(0, 1, 1, 10), (0, 1, 0, 2), (1, 0, 1, 0)], 2);
+        let scc = tarjan(&g);
+        let cl = SccClosure::compute(&g, &scc, 0);
+        let d = cl.dist(NodeId(0), NodeId(1));
+        assert!(d.entries().contains(&(10, 1)), "{d}");
+        assert!(d.entries().contains(&(2, 0)), "{d}");
+        // Evaluate at feasible intervals (>= the recurrence bound of 5,
+        // from the cycle d=10, omega=2): the omega=1 entry dominates at
+        // the bound, the omega=0 entry at large intervals.
+        assert_eq!(cl.recurrence_mii(), Some(5));
+        assert_eq!(d.eval(5), Some(5)); // 10 - 5 > 2
+        assert_eq!(d.eval(9), Some(2)); // 10 - 9 < 2
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let g = cyclic_graph(&[(0, 1, 0, 1), (1, 0, 1, 1), (2, 2, 1, 1)], 3);
+        let scc = tarjan(&g);
+        // Find the component containing node 0.
+        let c0 = scc.component_of(NodeId(0));
+        let cl = SccClosure::compute(&g, &scc, c0);
+        assert!(cl.contains(NodeId(0)));
+        assert!(cl.contains(NodeId(1)));
+        assert!(!cl.contains(NodeId(2)));
+    }
+}

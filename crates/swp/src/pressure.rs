@@ -1,0 +1,217 @@
+//! Register-pressure analysis over emitted VLIW code.
+//!
+//! The paper's §2.3 position is to "use software pipelining aggressively,
+//! by assuming that there are enough registers", with the empirical
+//! observation that Warp's files (two 31-word float files, one 64-word
+//! integer file) "are large enough for almost all the user programs".
+//! This module supplies the evidence for our reproduction: a classic
+//! backward liveness analysis over the emitted control-flow graph,
+//! reporting the maximum number of simultaneously live virtual registers
+//! per register class — the lower bound on any register allocation.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use ir::VReg;
+use machine::{MachineDescription, RegClass};
+
+use crate::code::{Terminator, VliwProgram};
+
+/// The result of a pressure analysis.
+#[derive(Debug, Clone)]
+pub struct PressureReport {
+    /// Maximum simultaneously live registers, per class.
+    pub max_live: BTreeMap<RegClass, u32>,
+    /// Classes whose pressure exceeds the machine's file size, as
+    /// `(class, required, available)`.
+    pub violations: Vec<(RegClass, u32, u32)>,
+}
+
+impl PressureReport {
+    /// True if every class fits its register file.
+    pub fn fits(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Computes per-class MAXLIVE for a compiled program on a machine.
+pub fn register_pressure(p: &VliwProgram, mach: &MachineDescription) -> PressureReport {
+    let nblocks = p.blocks.len();
+    // Successor lists from terminators.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); nblocks];
+    for (i, b) in p.blocks.iter().enumerate() {
+        match &b.term {
+            Terminator::Fall(t) | Terminator::Jump(t) => succs[i].push(t.index()),
+            Terminator::CondJump { nonzero, zero, .. } => {
+                succs[i].push(nonzero.index());
+                succs[i].push(zero.index());
+            }
+            Terminator::CountedLoop { back, exit, .. } => {
+                succs[i].push(back.index());
+                succs[i].push(exit.index());
+            }
+            Terminator::Halt => {}
+        }
+    }
+
+    // Per-block gen/kill summary plus terminator uses, then iterate to a
+    // fixpoint on live-in/live-out.
+    let mut live_in: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); nblocks];
+    let mut live_out: Vec<BTreeSet<VReg>> = vec![BTreeSet::new(); nblocks];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..nblocks).rev() {
+            let mut out = BTreeSet::new();
+            for &s in &succs[i] {
+                out.extend(live_in[s].iter().copied());
+            }
+            let mut live = out.clone();
+            // Terminator reads (and the counted loop's write).
+            match &p.blocks[i].term {
+                Terminator::CondJump { cond, .. } => {
+                    live.insert(*cond);
+                }
+                Terminator::CountedLoop { counter, .. } => {
+                    // Decrement: read-modify-write.
+                    live.insert(*counter);
+                }
+                _ => {}
+            }
+            for w in p.blocks[i].words.iter().rev() {
+                // Within a word, all reads happen before any write retires.
+                for op in &w.ops {
+                    if let Some(d) = op.def() {
+                        live.remove(&d);
+                    }
+                }
+                for op in &w.ops {
+                    live.extend(op.uses());
+                }
+            }
+            if live_out[i] != out {
+                live_out[i] = out;
+                changed = true;
+            }
+            if live_in[i] != live {
+                live_in[i] = live;
+                changed = true;
+            }
+        }
+    }
+
+    // Second pass: per-word pressure using the converged live-outs.
+    let mut max_live: BTreeMap<RegClass, u32> = BTreeMap::new();
+    let mut bump = |live: &BTreeSet<VReg>, p: &VliwProgram| {
+        let mut counts: BTreeMap<RegClass, u32> = BTreeMap::new();
+        for &r in live {
+            *counts.entry(p.regs.class(r)).or_insert(0) += 1;
+        }
+        for (c, n) in counts {
+            let e = max_live.entry(c).or_insert(0);
+            *e = (*e).max(n);
+        }
+    };
+    for (i, b) in p.blocks.iter().enumerate() {
+        let mut live = live_out[i].clone();
+        match &b.term {
+            Terminator::CondJump { cond, .. } => {
+                live.insert(*cond);
+            }
+            Terminator::CountedLoop { counter, .. } => {
+                live.insert(*counter);
+            }
+            _ => {}
+        }
+        bump(&live, p);
+        for w in b.words.iter().rev() {
+            for op in &w.ops {
+                if let Some(d) = op.def() {
+                    live.remove(&d);
+                }
+            }
+            for op in &w.ops {
+                live.extend(op.uses());
+            }
+            bump(&live, p);
+        }
+    }
+
+    let mut violations = Vec::new();
+    for (&class, &required) in &max_live {
+        if let Some(available) = mach.reg_file_size(class) {
+            if required > available {
+                violations.push((class, required, available));
+            }
+        }
+    }
+    PressureReport {
+        max_live,
+        violations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{compile, CompileOptions};
+    use ir::{ProgramBuilder, TripCount};
+    use machine::presets::warp_cell;
+
+    fn vinc(n: u32) -> ir::Program {
+        let mut b = ProgramBuilder::new("vinc");
+        let a = b.array("a", n);
+        b.for_counted(TripCount::Const(n), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn simple_loop_fits_easily() {
+        let m = warp_cell();
+        let c = compile(&vinc(64), &m, &CompileOptions::default()).unwrap();
+        let r = register_pressure(&c.vliw, &m);
+        assert!(r.fits(), "{:?}", r.violations);
+        let float = r.max_live.get(&RegClass::Float).copied().unwrap_or(0);
+        assert!((1..=20).contains(&float), "float pressure {float}");
+    }
+
+    #[test]
+    fn pipelining_raises_pressure_over_baseline() {
+        let m = warp_cell();
+        let pipe = compile(&vinc(64), &m, &CompileOptions::default()).unwrap();
+        let flat = compile(
+            &vinc(64),
+            &m,
+            &CompileOptions {
+                pipeline: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let pp = register_pressure(&pipe.vliw, &m);
+        let pf = register_pressure(&flat.vliw, &m);
+        let get = |r: &PressureReport| r.max_live.get(&RegClass::Float).copied().unwrap_or(0);
+        assert!(
+            get(&pp) >= get(&pf),
+            "overlapped iterations keep more values alive: {} vs {}",
+            get(&pp),
+            get(&pf)
+        );
+    }
+
+    #[test]
+    fn dead_code_has_minimal_pressure() {
+        let m = warp_cell();
+        let mut b = ProgramBuilder::new("t");
+        let out = b.array("o", 1);
+        let x = b.fconst(1.0);
+        b.store_fixed(out, 0, x.into());
+        let c = compile(&b.finish(), &m, &CompileOptions::default()).unwrap();
+        let r = register_pressure(&c.vliw, &m);
+        assert!(r.max_live.get(&RegClass::Float).copied().unwrap_or(0) <= 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Strongly connected components (Tarjan's algorithm, the paper's
+//! preprocessing step, citing Tarjan 1972).
+//!
+//! Inter-iteration data dependences introduce cycles into the precedence
+//! graph; the scheduler finds the strongly connected components, schedules
+//! each individually, then reduces the graph to an acyclic condensation.
+
+use crate::graph::{DepGraph, NodeId};
+
+/// The strongly connected components of a dependence graph, in reverse
+/// topological order of the condensation (Tarjan's natural output order:
+/// every edge between components points from a later component to an
+/// earlier one in this list).
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// Component membership: `comp[node] = component index`.
+    pub comp: Vec<usize>,
+    /// Members of each component, in program order.
+    pub members: Vec<Vec<NodeId>>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if there are no components (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The component a node belongs to.
+    pub fn component_of(&self, n: NodeId) -> usize {
+        self.comp[n.index()]
+    }
+
+    /// True if any component has more than one node or a self edge — i.e.
+    /// the graph genuinely contains a dependence cycle.
+    pub fn has_nontrivial_component(&self, g: &DepGraph) -> bool {
+        if self.members.iter().any(|m| m.len() > 1) {
+            return true;
+        }
+        g.edges().iter().any(|e| e.from == e.to)
+    }
+}
+
+/// Runs Tarjan's algorithm. Iterative (explicit stack) so deep graphs do
+/// not overflow the call stack.
+pub fn tarjan(g: &DepGraph) -> SccDecomposition {
+    let n = g.num_nodes();
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![usize::MAX; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut comp = vec![usize::MAX; n];
+    let mut members: Vec<Vec<NodeId>> = Vec::new();
+    let mut next_index = 0usize;
+
+    // Explicit DFS state machine: (node, iterator position).
+    enum Frame {
+        Enter(usize),
+        Resume(usize, usize),
+    }
+
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut frames = vec![Frame::Enter(root)];
+        while let Some(frame) = frames.pop() {
+            match frame {
+                Frame::Enter(v) => {
+                    index[v] = next_index;
+                    lowlink[v] = next_index;
+                    next_index += 1;
+                    stack.push(v);
+                    on_stack[v] = true;
+                    frames.push(Frame::Resume(v, 0));
+                }
+                Frame::Resume(v, mut ei) => {
+                    let succs: Vec<usize> = g
+                        .succ_edges(NodeId(v as u32))
+                        .map(|e| e.to.index())
+                        .collect();
+                    let mut descended = false;
+                    while ei < succs.len() {
+                        let w = succs[ei];
+                        ei += 1;
+                        if index[w] == usize::MAX {
+                            frames.push(Frame::Resume(v, ei));
+                            frames.push(Frame::Enter(w));
+                            descended = true;
+                            break;
+                        } else if on_stack[w] {
+                            lowlink[v] = lowlink[v].min(index[w]);
+                        }
+                    }
+                    if descended {
+                        continue;
+                    }
+                    if lowlink[v] == index[v] {
+                        let c = members.len();
+                        let mut ms = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("scc stack underflow");
+                            on_stack[w] = false;
+                            comp[w] = c;
+                            ms.push(NodeId(w as u32));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        ms.sort();
+                        members.push(ms);
+                    }
+                    // Propagate lowlink to parent, if any.
+                    if let Some(Frame::Resume(p, _)) = frames.last() {
+                        let p = *p;
+                        lowlink[p] = lowlink[p].min(lowlink[v]);
+                    }
+                }
+            }
+        }
+    }
+    SccDecomposition { comp, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DepEdge, DepKind, Node};
+    use ir::{Imm, Op, Opcode, VReg};
+    use machine::ReservationTable;
+
+    fn graph_with(n: usize, edges: &[(u32, u32)]) -> DepGraph {
+        let mut g = DepGraph::new();
+        for _ in 0..n {
+            g.add_node(Node::op(
+                Op::new(Opcode::Const, Some(VReg(0)), vec![Imm::I(0).into()]),
+                ReservationTable::empty(),
+            ));
+        }
+        for &(a, b) in edges {
+            g.add_edge(DepEdge {
+                from: NodeId(a),
+                to: NodeId(b),
+                omega: 0,
+                delay: 0,
+                kind: DepKind::True,
+            });
+        }
+        g
+    }
+
+    #[test]
+    fn chain_is_all_singletons() {
+        let g = graph_with(3, &[(0, 1), (1, 2)]);
+        let scc = tarjan(&g);
+        assert_eq!(scc.len(), 3);
+        assert!(!scc.has_nontrivial_component(&g));
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = graph_with(3, &[(0, 1), (1, 2), (2, 0)]);
+        let scc = tarjan(&g);
+        assert_eq!(scc.len(), 1);
+        assert_eq!(scc.members[0].len(), 3);
+        assert!(scc.has_nontrivial_component(&g));
+    }
+
+    #[test]
+    fn mixed_graph() {
+        // 0 -> 1 <-> 2 -> 3, with 4 isolated.
+        let g = graph_with(5, &[(0, 1), (1, 2), (2, 1), (2, 3)]);
+        let scc = tarjan(&g);
+        assert_eq!(scc.len(), 4);
+        assert_eq!(scc.component_of(NodeId(1)), scc.component_of(NodeId(2)));
+        assert_ne!(scc.component_of(NodeId(0)), scc.component_of(NodeId(1)));
+    }
+
+    #[test]
+    fn condensation_order_is_reverse_topological() {
+        let g = graph_with(4, &[(0, 1), (1, 2), (2, 3)]);
+        let scc = tarjan(&g);
+        // Every edge goes from a component with a HIGHER index to a lower
+        // one in Tarjan's output order.
+        for e in g.edges() {
+            let cf = scc.component_of(e.from);
+            let ct = scc.component_of(e.to);
+            if cf != ct {
+                assert!(cf > ct, "edge {e:?} violates reverse topo order");
+            }
+        }
+    }
+
+    #[test]
+    fn self_edge_counts_as_nontrivial() {
+        let g = graph_with(2, &[(0, 0)]);
+        let scc = tarjan(&g);
+        assert_eq!(scc.len(), 2);
+        assert!(scc.has_nontrivial_component(&g));
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let g = graph_with(4, &[(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let scc = tarjan(&g);
+        assert_eq!(scc.len(), 2);
+        assert_eq!(scc.members[0].len(), 2);
+        assert_eq!(scc.members[1].len(), 2);
+    }
+
+    #[test]
+    fn large_chain_no_stack_overflow() {
+        let edges: Vec<(u32, u32)> = (0..9999).map(|i| (i, i + 1)).collect();
+        let g = graph_with(10_000, &edges);
+        let scc = tarjan(&g);
+        assert_eq!(scc.len(), 10_000);
+    }
+}

@@ -1,0 +1,226 @@
+//! Schedules and their validation.
+//!
+//! A modulo schedule assigns each node an issue cycle within the iteration;
+//! iteration `k` issues node `n` at absolute cycle `k * ii + time(n)`. The
+//! validator re-checks *every* dependence edge and the full modulo resource
+//! table from scratch — the scheduler's heuristics are never trusted.
+
+use std::fmt;
+
+use machine::MachineDescription;
+
+use crate::graph::{DepGraph, NodeId};
+use crate::mrt::ModuloTable;
+
+/// A modulo schedule for one loop body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    times: Vec<i64>,
+    ii: u32,
+}
+
+impl Schedule {
+    /// Wraps raw issue times. Times are normalized so the earliest is 0.
+    pub fn new(mut times: Vec<i64>, ii: u32) -> Self {
+        assert!(ii > 0, "initiation interval must be positive");
+        if let Some(&min) = times.iter().min() {
+            if min != 0 {
+                for t in &mut times {
+                    *t -= min;
+                }
+            }
+        }
+        Schedule { times, ii }
+    }
+
+    /// The initiation interval.
+    pub fn ii(&self) -> u32 {
+        self.ii
+    }
+
+    /// Issue cycle of a node within its iteration.
+    pub fn time(&self, n: NodeId) -> i64 {
+        self.times[n.index()]
+    }
+
+    /// All issue times, indexed by node.
+    pub fn times(&self) -> &[i64] {
+        &self.times
+    }
+
+    /// Schedule length: one iteration spans cycles `[0, len)`, counting
+    /// each node's occupancy.
+    pub fn len_with(&self, g: &DepGraph) -> u32 {
+        g.node_ids()
+            .map(|n| self.time(n) + g.node(n).len as i64)
+            .max()
+            .unwrap_or(0)
+            .max(self.ii as i64) as u32
+    }
+
+    /// Number of pipeline stages: `ceil(len / ii)`. The prolog starts
+    /// `stages - 1` iterations before the steady state is reached.
+    pub fn stages(&self, g: &DepGraph) -> u32 {
+        self.len_with(g).div_ceil(self.ii).max(1)
+    }
+
+    /// Checks every dependence edge and the modulo resource table.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first violation.
+    pub fn validate(&self, g: &DepGraph, mach: &MachineDescription) -> Result<(), String> {
+        if self.times.len() != g.num_nodes() {
+            return Err(format!(
+                "schedule covers {} nodes, graph has {}",
+                self.times.len(),
+                g.num_nodes()
+            ));
+        }
+        for e in g.edges() {
+            let lhs = self.time(e.to) - self.time(e.from);
+            let rhs = e.delay - (self.ii as i64) * (e.omega as i64);
+            if lhs < rhs {
+                return Err(format!(
+                    "edge {} -> {} ({}, omega={}, d={}) violated: {} - {} < {}",
+                    e.from,
+                    e.to,
+                    e.kind,
+                    e.omega,
+                    e.delay,
+                    self.time(e.to),
+                    self.time(e.from),
+                    rhs
+                ));
+            }
+        }
+        let mut table = ModuloTable::new(mach, self.ii);
+        for n in g.node_ids() {
+            let res = &g.node(n).reservation;
+            if !table.fits(res, self.time(n)) {
+                return Err(format!(
+                    "modulo resource conflict placing {n} at cycle {}",
+                    self.time(n)
+                ));
+            }
+            table.place(res, self.time(n));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "schedule (ii = {})", self.ii)?;
+        let mut order: Vec<usize> = (0..self.times.len()).collect();
+        order.sort_by_key(|&i| (self.times[i], i));
+        for i in order {
+            writeln!(f, "  t={:>4}: n{}", self.times[i], i)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DepEdge, DepKind, Node};
+    use ir::{Imm, Op, Opcode, VReg};
+    use machine::presets::test_machine;
+    use machine::OpClass;
+
+    fn two_adds() -> (DepGraph, MachineDescription) {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        let res = m.reservation(OpClass::FloatAdd).clone();
+        let mk = || {
+            Node::op(
+                Op::new(
+                    Opcode::FAdd,
+                    Some(VReg(0)),
+                    vec![Imm::F(0.0).into(), Imm::F(0.0).into()],
+                ),
+                res.clone(),
+            )
+        };
+        let a = g.add_node(mk());
+        let b = g.add_node(mk());
+        g.add_edge(DepEdge {
+            from: a,
+            to: b,
+            omega: 0,
+            delay: 2,
+            kind: DepKind::True,
+        });
+        (g, m)
+    }
+
+    #[test]
+    fn valid_schedule_passes() {
+        // Two adds on one adder: ii = 2 with issue cycles 0 and 3 keeps
+        // both the dependence (d = 2) and the modulo rows (0 and 1) happy.
+        let (g, m) = two_adds();
+        let s = Schedule::new(vec![0, 3], 2);
+        assert!(s.validate(&g, &m).is_ok());
+    }
+
+    #[test]
+    fn precedence_violation_caught() {
+        let (g, m) = two_adds();
+        let s = Schedule::new(vec![0, 1], 2);
+        let err = s.validate(&g, &m).unwrap_err();
+        assert!(err.contains("violated"), "{err}");
+    }
+
+    #[test]
+    fn resource_violation_caught() {
+        let (g, m) = two_adds();
+        // At ii=2, cycles 0 and 2 share a modulo row on the single adder.
+        let s = Schedule::new(vec![0, 2], 2);
+        let err = s.validate(&g, &m).unwrap_err();
+        assert!(err.contains("resource"), "{err}");
+    }
+
+    #[test]
+    fn carried_edge_relaxed_by_ii() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        let res = m.reservation(OpClass::FloatAdd).clone();
+        let a = g.add_node(Node::op(
+            Op::new(
+                Opcode::FAdd,
+                Some(VReg(0)),
+                vec![Imm::F(0.0).into(), Imm::F(0.0).into()],
+            ),
+            res,
+        ));
+        g.add_edge(DepEdge {
+            from: a,
+            to: a,
+            omega: 1,
+            delay: 2,
+            kind: DepKind::True,
+        });
+        // Self edge d=2 omega=1: needs ii >= 2.
+        assert!(Schedule::new(vec![0], 2).validate(&g, &m).is_ok());
+        assert!(Schedule::new(vec![0], 1).validate(&g, &m).is_err());
+    }
+
+    #[test]
+    fn normalization_shifts_to_zero() {
+        let s = Schedule::new(vec![5, 7], 3);
+        assert_eq!(s.time(NodeId(0)), 0);
+        assert_eq!(s.time(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn stages_and_len() {
+        let (g, _) = two_adds();
+        let s = Schedule::new(vec![0, 2], 1);
+        // Node at t=2, len 1 => len 3; 3 stages at ii=1.
+        assert_eq!(s.len_with(&g), 3);
+        assert_eq!(s.stages(&g), 3);
+        let s = Schedule::new(vec![0, 2], 3);
+        assert_eq!(s.stages(&g), 1);
+    }
+}

@@ -1,0 +1,186 @@
+//! Source-level loop unrolling — the §5.1 comparison baseline.
+//!
+//! Trace scheduling "relies primarily on source code unrolling" to expose
+//! parallelism: the loop body is replicated, the copies are compacted as
+//! one big block, and the pipelines fill and drain once per *unrolled*
+//! body instead of once per iteration. The paper's argument (§5.1) is
+//! that this can approach, but never reach, software pipelining's
+//! throughput — while the code grows linearly with the unroll degree and
+//! the right degree must be found by experimentation.
+//!
+//! This transform unrolls innermost simple loops with compile-time trip
+//! counts by a factor `f`: the body (which already ends with its counter
+//! increment) is replicated `f` times, memory metadata is rescaled to the
+//! new iteration length (`stride * f`, copy `c` offset `+ stride * c`),
+//! and a remainder loop covers `trip mod f`.
+
+use ir::{MemPattern, Op, Program, Stmt, TripCount};
+
+/// Unrolls every innermost simple loop (straight-line body, compile-time
+/// trip count) by `factor`. Other loops are left untouched. `factor <= 1`
+/// returns the program unchanged.
+pub fn unroll_innermost(p: &Program, factor: u32) -> Program {
+    let mut out = p.clone();
+    if factor > 1 {
+        unroll_stmts(&mut out.body, factor);
+    }
+    out
+}
+
+fn unroll_stmts(stmts: &mut [Stmt], factor: u32) {
+    for s in stmts.iter_mut() {
+        match s {
+            Stmt::Loop(l) => {
+                let simple = l.body.iter().all(|b| matches!(b, Stmt::Op(_)));
+                match (simple, l.trip) {
+                    (true, TripCount::Const(n)) if n >= factor => {
+                        let body: Vec<Op> = l
+                            .body
+                            .iter()
+                            .map(|b| match b {
+                                Stmt::Op(op) => op.clone(),
+                                _ => unreachable!("simple body"),
+                            })
+                            .collect();
+                        let mut unrolled = Vec::new();
+                        for c in 0..factor {
+                            for op in &body {
+                                unrolled.push(Stmt::Op(rescale(op, c as i64, factor as i64)));
+                            }
+                        }
+                        let main_trips = n / factor;
+                        let rem = n % factor;
+                        let mut replacement = Vec::new();
+                        replacement.push(Stmt::Loop(ir::Loop {
+                            trip: TripCount::Const(main_trips),
+                            body: unrolled,
+                        }));
+                        if rem > 0 {
+                            replacement.push(Stmt::Loop(ir::Loop {
+                                trip: TripCount::Const(rem),
+                                body: l.body.clone(),
+                            }));
+                        }
+                        // Splice: replace this loop with the pair. We mark
+                        // it by wrapping in a block-like loop of trip 1 to
+                        // keep the statement arity; simpler: mutate in
+                        // place below.
+                        *s = Stmt::Loop(ir::Loop {
+                            trip: TripCount::Const(1),
+                            body: replacement,
+                        });
+                    }
+                    _ => unroll_stmts(&mut l.body, factor),
+                }
+            }
+            Stmt::If(i) => {
+                unroll_stmts(&mut i.then_body, factor);
+                unroll_stmts(&mut i.else_body, factor);
+            }
+            Stmt::Op(_) => {}
+        }
+    }
+}
+
+/// Adjusts one body copy's memory metadata for the unrolled iteration
+/// space: the copy's subscripts are those of old iteration
+/// `f*it + c`, i.e. stride scales by `f` and the offset shifts by
+/// `stride * c`. (Register operands need no change: the counter update
+/// ops are replicated with the body, so copy `c` reads the counter after
+/// `c` increments, exactly as in the rolled loop.)
+fn rescale(op: &Op, copy: i64, factor: i64) -> Op {
+    let mut op = op.clone();
+    if let Some(m) = &mut op.mem {
+        if let MemPattern::Affine { stride, offset, .. } = &mut m.pattern {
+            *offset += *stride * copy;
+            *stride *= factor;
+        }
+    }
+    op
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{Interp, ProgramBuilder};
+
+    fn vinc(n: u32) -> Program {
+        let mut b = ProgramBuilder::new("vinc");
+        let a = b.array("a", n);
+        b.for_counted(TripCount::Const(n), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+        });
+        b.finish()
+    }
+
+    fn run(p: &Program, n: usize) -> Vec<f32> {
+        let mut it = Interp::new(p);
+        for (i, w) in it.mem.iter_mut().enumerate() {
+            *w = i as f32;
+        }
+        it.run(p).unwrap();
+        it.mem[..n].to_vec()
+    }
+
+    #[test]
+    fn unrolled_program_is_equivalent() {
+        let p = vinc(37);
+        let base = run(&p, 37);
+        for f in [2u32, 3, 4, 8] {
+            let u = unroll_innermost(&p, f);
+            u.validate().unwrap();
+            assert_eq!(run(&u, 37), base, "factor {f}");
+        }
+    }
+
+    #[test]
+    fn factor_one_is_identity() {
+        let p = vinc(16);
+        let u = unroll_innermost(&p, 1);
+        assert_eq!(u.num_ops(), p.num_ops());
+    }
+
+    #[test]
+    fn remainder_loop_created_when_needed() {
+        let p = vinc(10);
+        let u = unroll_innermost(&p, 4);
+        // 10 = 2*4 + 2: a main loop and a remainder loop.
+        let Stmt::Loop(outer) = &u.body[1] else {
+            panic!("wrapper loop expected");
+        };
+        assert_eq!(outer.trip, TripCount::Const(1));
+        assert_eq!(outer.body.len(), 2);
+    }
+
+    #[test]
+    fn metadata_rescaled() {
+        let p = vinc(18); // 18 = 4*4 + 2: leaves a stride-1 remainder loop
+        let u = unroll_innermost(&p, 4);
+        let mut strides = Vec::new();
+        u.for_each_op(|op| {
+            if let Some(m) = &op.mem {
+                if let MemPattern::Affine { stride, offset, .. } = m.pattern {
+                    strides.push((stride, offset));
+                }
+            }
+        });
+        // Main unrolled loop: strides 4 with offsets 0..3 (load+store per
+        // copy), then the remainder loop with the original stride 1.
+        assert!(strides.iter().filter(|&&(s, _)| s == 4).count() >= 8);
+        assert!(strides.iter().any(|&(s, o)| s == 4 && o == 3));
+        assert!(strides.iter().any(|&(s, _)| s == 1));
+    }
+
+    #[test]
+    fn unrolled_loop_still_compiles() {
+        use machine::presets::warp_cell;
+        let p = vinc(48);
+        let u = unroll_innermost(&p, 4);
+        let compiled =
+            crate::compile(&u, &warp_cell(), &crate::CompileOptions::default()).unwrap();
+        assert!(compiled.vliw.num_words() > 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property tests on the scheduler's core data structures.
+
+use machine::presets::test_machine;
+use machine::{OpClass, ReservationTable};
+use proptest::prelude::*;
+use swp::{DistSet, ModuloTable};
+
+proptest! {
+    /// Pareto pruning must never change the evaluated longest-path weight
+    /// at any initiation interval.
+    #[test]
+    fn distset_eval_matches_naive(
+        entries in proptest::collection::vec((-40i64..40, 0u32..6), 1..20),
+        s in 1u32..20,
+    ) {
+        let mut set = DistSet::empty();
+        for &(d, o) in &entries {
+            set.insert(d, o);
+        }
+        let naive = entries
+            .iter()
+            .map(|&(d, o)| d - s as i64 * o as i64)
+            .max();
+        prop_assert_eq!(set.eval(s), naive);
+    }
+
+    /// `combine` distributes over `eval` as path concatenation: the best
+    /// combined weight equals the best sum of parts at every interval.
+    #[test]
+    fn distset_combine_is_pathwise_sum(
+        xs in proptest::collection::vec((-20i64..20, 0u32..4), 1..8),
+        ys in proptest::collection::vec((-20i64..20, 0u32..4), 1..8),
+        s in 1u32..16,
+    ) {
+        let mut a = DistSet::empty();
+        for &(d, o) in &xs {
+            a.insert(d, o);
+        }
+        let mut b = DistSet::empty();
+        for &(d, o) in &ys {
+            b.insert(d, o);
+        }
+        let c = a.combine(&b);
+        let expect = xs
+            .iter()
+            .flat_map(|&(d1, o1)| {
+                ys.iter()
+                    .map(move |&(d2, o2)| (d1 + d2) - s as i64 * (o1 + o2) as i64)
+            })
+            .max();
+        prop_assert_eq!(c.eval(s), expect);
+    }
+
+    /// Modulo reservation: placing then removing restores feasibility
+    /// exactly; overlapping placements never exceed capacity.
+    #[test]
+    fn modulo_table_place_remove_roundtrip(
+        s in 1u32..12,
+        slots in proptest::collection::vec((0i64..48, 0usize..4), 1..24),
+    ) {
+        let m = test_machine();
+        let classes = [
+            OpClass::FloatAdd,
+            OpClass::FloatMul,
+            OpClass::MemLoad,
+            OpClass::Alu,
+        ];
+        let mut table = ModuloTable::new(&m, s);
+        let mut placed: Vec<(ReservationTable, i64)> = Vec::new();
+        for &(t, c) in &slots {
+            let res = m.reservation(classes[c]).clone();
+            if table.fits(&res, t) {
+                table.place(&res, t);
+                placed.push((res, t));
+            }
+        }
+        // Remove everything; the empty table accepts anything again.
+        for (res, t) in placed.into_iter().rev() {
+            table.remove(&res, t);
+        }
+        for c in classes {
+            prop_assert!(table.fits(m.reservation(c), 0));
+        }
+    }
+
+    /// The alias oracle is consistent: swapping the operands flips the
+    /// sign of a definite distance and preserves Never/Unknown.
+    #[test]
+    fn alias_antisymmetry(
+        s1 in -3i64..4, o1 in -6i64..6,
+        s2 in -3i64..4, o2 in -6i64..6,
+    ) {
+        use ir::{alias, Alias, ArrayId, MemRef};
+        let a = MemRef::affine(ArrayId(0), s1, o1);
+        let b = MemRef::affine(ArrayId(0), s2, o2);
+        match (alias(&a, &b), alias(&b, &a)) {
+            (Alias::Never, Alias::Never) => {}
+            (Alias::Unknown, Alias::Unknown) => {}
+            (Alias::At { distance: d1 }, Alias::At { distance: d2 }) => {
+                prop_assert_eq!(d1, -d2);
+            }
+            (x, y) => prop_assert!(false, "inconsistent: {:?} vs {:?}", x, y),
+        }
+    }
+}
+
+/// Schedules found for random acyclic chains always validate and meet the
+/// resource bound exactly when no recurrence binds.
+#[test]
+fn chain_schedules_hit_resource_bound() {
+    use ir::{Op, Opcode, RegTable, Type};
+    use swp::{build_graph, modulo_schedule, BuildOptions, SchedOptions};
+    let m = test_machine();
+    for chain_len in 1..10usize {
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let mut ops = Vec::new();
+        let mut cur = x;
+        for i in 0..chain_len {
+            let d = regs.alloc(Type::F32);
+            let opcode = if i % 2 == 0 { Opcode::FAdd } else { Opcode::FMul };
+            ops.push(Op::new(opcode, Some(d), vec![cur.into(), cur.into()]));
+            cur = d;
+        }
+        let g = build_graph(&ops, &m, BuildOptions::default());
+        let r = modulo_schedule(&g, &m, &SchedOptions::default()).unwrap();
+        r.schedule.validate(&g, &m).unwrap();
+        assert_eq!(
+            r.schedule.ii(),
+            r.mii.mii(),
+            "acyclic chains schedule at the bound (len {chain_len})"
+        );
+    }
+}

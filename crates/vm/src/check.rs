@@ -1,0 +1,208 @@
+//! End-to-end equivalence checking.
+//!
+//! Runs a source program through the sequential reference interpreter and
+//! its compiled VLIW code through the cycle-accurate simulator with the
+//! same initial memory and input queue, then compares final memory and
+//! output queues bit for bit. Floating-point operations are deterministic
+//! functions of their inputs and the compiler never reassociates, so
+//! agreement is exact — any mismatch is a compiler bug.
+
+use ir::{Interp, Program, Value, VReg};
+use machine::MachineDescription;
+use swp::{CompileOptions, CompiledProgram};
+
+use crate::exec::{Vm, VmError, VmStats};
+
+/// The outcome of one checked run.
+#[derive(Debug, Clone)]
+pub struct CheckedRun {
+    /// Simulator statistics (cycles, ops, flops).
+    pub vm_stats: VmStats,
+    /// Reference interpreter statistics.
+    pub ref_stats: ir::ExecStats,
+    /// Final memory (identical between the two by construction).
+    pub mem: Vec<f32>,
+    /// Output queue, channel X.
+    pub output: Vec<f32>,
+    /// Output queue, channel Y.
+    pub output_y: Vec<f32>,
+}
+
+/// Why a checked run failed.
+#[derive(Debug, Clone)]
+pub enum CheckError {
+    /// The reference interpreter faulted (bad test program).
+    Reference(ir::InterpError),
+    /// The simulator faulted (compiler or simulator bug).
+    Vm(VmError),
+    /// The compiler rejected the program.
+    Compile(swp::CompileError),
+    /// The two executions disagree (compiler bug).
+    Mismatch(String),
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckError::Reference(e) => write!(f, "reference interpreter fault: {e}"),
+            CheckError::Vm(e) => write!(f, "simulator fault: {e}"),
+            CheckError::Compile(e) => write!(f, "{e}"),
+            CheckError::Mismatch(m) => write!(f, "pipelined/reference mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Initial machine state for a run.
+#[derive(Debug, Clone, Default)]
+pub struct RunInput {
+    /// Initial data-memory contents (zero-extended to the program's size).
+    pub mem: Vec<f32>,
+    /// Input queue contents, channel X.
+    pub input: Vec<f32>,
+    /// Input queue contents, channel Y.
+    pub input_y: Vec<f32>,
+    /// Pre-set registers (e.g. runtime trip counts).
+    pub regs: Vec<(VReg, Value)>,
+}
+
+/// Compiles `program` with `opts`, runs both executions on `input`, and
+/// compares the results.
+///
+/// # Errors
+///
+/// Any fault in either execution, or any disagreement between them.
+pub fn run_checked(
+    program: &Program,
+    mach: &MachineDescription,
+    opts: &CompileOptions,
+    input: &RunInput,
+) -> Result<CheckedRun, CheckError> {
+    let compiled = swp::compile(program, mach, opts).map_err(CheckError::Compile)?;
+    run_checked_compiled(program, &compiled, mach, input)
+}
+
+/// As [`run_checked`], for an already compiled program.
+pub fn run_checked_compiled(
+    program: &Program,
+    compiled: &CompiledProgram,
+    mach: &MachineDescription,
+    input: &RunInput,
+) -> Result<CheckedRun, CheckError> {
+    // Reference execution.
+    let mut reference = Interp::new(program);
+    for (i, v) in input.mem.iter().enumerate() {
+        if i < reference.mem.len() {
+            reference.mem[i] = *v;
+        }
+    }
+    reference.input.extend(input.input.iter().copied());
+    reference.input_y.extend(input.input_y.iter().copied());
+    for &(r, v) in &input.regs {
+        reference.set_reg(r, v);
+    }
+    reference.run(program).map_err(CheckError::Reference)?;
+
+    // Simulated execution.
+    let mut vm = Vm::new(&compiled.vliw, mach);
+    for (i, v) in input.mem.iter().enumerate() {
+        if i < vm.mem.len() {
+            vm.mem[i] = *v;
+        }
+    }
+    vm.input.extend(input.input.iter().copied());
+    vm.input_y.extend(input.input_y.iter().copied());
+    for &(r, v) in &input.regs {
+        vm.set_reg(r, v);
+    }
+    vm.run().map_err(CheckError::Vm)?;
+
+    // Compare.
+    if reference.mem.len() != vm.mem.len() {
+        return Err(CheckError::Mismatch(format!(
+            "memory sizes differ: {} vs {}",
+            reference.mem.len(),
+            vm.mem.len()
+        )));
+    }
+    for (i, (a, b)) in reference.mem.iter().zip(&vm.mem).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Err(CheckError::Mismatch(format!(
+                "memory[{i}]: reference {a}, simulator {b}"
+            )));
+        }
+    }
+    if reference.output.len() != vm.output.len() {
+        return Err(CheckError::Mismatch(format!(
+            "output queue lengths differ: {} vs {}",
+            reference.output.len(),
+            vm.output.len()
+        )));
+    }
+    for (i, (a, b)) in reference.output.iter().zip(&vm.output).enumerate() {
+        if a.to_bits() != b.to_bits() {
+            return Err(CheckError::Mismatch(format!(
+                "output[{i}]: reference {a}, simulator {b}"
+            )));
+        }
+    }
+    if reference.output_y != vm.output_y {
+        return Err(CheckError::Mismatch(format!(
+            "Y output queues differ: {} vs {} values",
+            reference.output_y.len(),
+            vm.output_y.len()
+        )));
+    }
+    Ok(CheckedRun {
+        vm_stats: vm.stats,
+        ref_stats: reference.stats,
+        mem: vm.mem,
+        output: vm.output,
+        output_y: vm.output_y,
+    })
+}
+
+/// Runs only the simulator (no reference check) and returns its stats —
+/// used by the benchmark harness once correctness is established.
+///
+/// # Errors
+///
+/// Propagates simulator faults.
+pub fn run_vm(
+    compiled: &CompiledProgram,
+    mach: &MachineDescription,
+    input: &RunInput,
+) -> Result<(VmStats, Vec<f32>, Vec<f32>), CheckError> {
+    let (stats, mem, out, _) = run_vm_full(compiled, mach, input)?;
+    Ok((stats, mem, out))
+}
+
+/// Result of an unchecked run: statistics, final memory, X output, Y
+/// output.
+pub type VmRun = (VmStats, Vec<f32>, Vec<f32>, Vec<f32>);
+
+/// As [`run_vm`], also returning the Y output queue.
+///
+/// # Errors
+///
+/// Propagates simulator faults.
+pub fn run_vm_full(
+    compiled: &CompiledProgram,
+    mach: &MachineDescription,
+    input: &RunInput,
+) -> Result<VmRun, CheckError> {
+    let mut vm = Vm::new(&compiled.vliw, mach);
+    for (i, v) in input.mem.iter().enumerate() {
+        if i < vm.mem.len() {
+            vm.mem[i] = *v;
+        }
+    }
+    vm.input.extend(input.input.iter().copied());
+    vm.input_y.extend(input.input_y.iter().copied());
+    for &(r, v) in &input.regs {
+        vm.set_reg(r, v);
+    }
+    vm.run().map_err(CheckError::Vm)?;
+    Ok((vm.stats, vm.mem, vm.output, vm.output_y))
+}

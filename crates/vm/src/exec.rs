@@ -1,0 +1,747 @@
+//! Cycle-accurate execution of VLIW object code.
+//!
+//! The simulator honors the timing contract documented in `swp::code`:
+//!
+//! * one [`Word`](swp::Word) per cycle; control transfers add no bubble;
+//! * at each cycle boundary the machine first **retires** register writes
+//!   due this cycle, then the new word's operations **read** their
+//!   sources, then loads read memory, then stores commit, then freshly
+//!   issued writes are queued with their latency;
+//! * terminators are evaluated at the boundary after the block's last
+//!   word (so latency-1 results computed in that word are visible);
+//! * in-flight writes survive jumps — software pipelining depends on it.
+//!
+//! The simulator also *checks* the code: two same-cycle writes to one
+//! register, same-cycle conflicting memory accesses, or a register read
+//! that observes an uninitialized value are reported as errors rather
+//! than silently tolerated. Together with `ir::Interp` equivalence this
+//! is the end-to-end soundness oracle for the whole compiler.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use ir::{CmpPred, Imm, InterpError, Op, Opcode, Operand, Value, VReg};
+use machine::MachineDescription;
+use swp::{Terminator, VliwProgram};
+
+/// Execution statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VmStats {
+    /// Machine cycles elapsed (= instruction words executed).
+    pub cycles: u64,
+    /// Operations issued.
+    pub ops: u64,
+    /// Floating-point operations issued (MFLOPS numerator).
+    pub flops: u64,
+}
+
+impl VmStats {
+    /// MFLOPS at the given clock (flops per cycle × MHz).
+    pub fn mflops(&self, clock_mhz: f64) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.flops as f64 / self.cycles as f64 * clock_mhz
+        }
+    }
+}
+
+/// Simulator errors: either a dynamic error from the program itself or a
+/// timing/encoding violation introduced by the compiler (a bug).
+#[derive(Debug, Clone, PartialEq)]
+pub enum VmError {
+    /// An operation faulted (bad address, empty queue, type confusion).
+    Op(InterpError),
+    /// Two operations wrote the same register in the same cycle.
+    DoubleWrite {
+        /// The register.
+        reg: VReg,
+        /// The cycle.
+        cycle: u64,
+    },
+    /// Two same-cycle memory operations conflicted (two stores to one
+    /// address).
+    MemRace {
+        /// The address.
+        addr: u32,
+        /// The cycle.
+        cycle: u64,
+    },
+    /// Cycle budget exhausted.
+    OutOfFuel,
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VmError::Op(e) => write!(f, "operation fault: {e}"),
+            VmError::DoubleWrite { reg, cycle } => {
+                write!(f, "double write to {reg} in cycle {cycle}")
+            }
+            VmError::MemRace { addr, cycle } => {
+                write!(f, "conflicting memory writes to {addr} in cycle {cycle}")
+            }
+            VmError::OutOfFuel => f.write_str("cycle budget exhausted"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<InterpError> for VmError {
+    fn from(e: InterpError) -> Self {
+        VmError::Op(e)
+    }
+}
+
+/// The VLIW simulator.
+#[derive(Debug, Clone)]
+pub struct Vm<'p> {
+    program: &'p VliwProgram,
+    machine: &'p MachineDescription,
+    regs: Vec<Value>,
+    /// Pending register writes: (retire_cycle, reg, value), kept sorted by
+    /// retire cycle in a queue per small horizon.
+    pending: VecDeque<(u64, VReg, Value)>,
+    /// Data memory.
+    pub mem: Vec<f32>,
+    /// Input queue, channel X.
+    pub input: VecDeque<f32>,
+    /// Output queue, channel X.
+    pub output: Vec<f32>,
+    /// Input queue, channel Y.
+    pub input_y: VecDeque<f32>,
+    /// Output queue, channel Y.
+    pub output_y: Vec<f32>,
+    /// Statistics so far.
+    pub stats: VmStats,
+    cycle: u64,
+    fuel: u64,
+}
+
+/// Default cycle budget.
+pub const DEFAULT_FUEL: u64 = 500_000_000;
+
+impl<'p> Vm<'p> {
+    /// Creates a simulator for a compiled program.
+    pub fn new(program: &'p VliwProgram, machine: &'p MachineDescription) -> Self {
+        Vm {
+            program,
+            machine,
+            regs: vec![Value::Undef; program.regs.len()],
+            pending: VecDeque::new(),
+            mem: vec![0.0; program.mem_size as usize],
+            input: VecDeque::new(),
+            output: Vec::new(),
+            input_y: VecDeque::new(),
+            output_y: Vec::new(),
+            stats: VmStats::default(),
+            cycle: 0,
+            fuel: DEFAULT_FUEL,
+        }
+    }
+
+    /// Overrides the cycle budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Presets a register (runtime inputs such as trip counts).
+    pub fn set_reg(&mut self, r: VReg, v: Value) {
+        self.regs[r.index()] = v;
+    }
+
+    /// Reads a register (after execution; pending writes are retired at
+    /// halt).
+    pub fn reg(&self, r: VReg) -> Value {
+        self.regs[r.index()]
+    }
+
+    fn retire_due(&mut self) {
+        let now = self.cycle;
+        let mut i = 0;
+        while i < self.pending.len() {
+            if self.pending[i].0 <= now {
+                let (_, r, v) = self.pending.remove(i).expect("index in range");
+                self.regs[r.index()] = v;
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn read_operand(&self, o: Operand) -> Result<Value, VmError> {
+        match o {
+            Operand::Reg(r) => match self.regs[r.index()] {
+                Value::Undef => Err(VmError::Op(InterpError::UndefRead(r))),
+                v => Ok(v),
+            },
+            Operand::Imm(Imm::F(v)) => Ok(Value::F(v)),
+            Operand::Imm(Imm::I(v)) => Ok(Value::I(v)),
+        }
+    }
+
+    fn as_f(&self, v: Value) -> Result<f32, VmError> {
+        match v {
+            Value::F(x) => Ok(x),
+            other => Err(VmError::Op(InterpError::TypeMismatch(format!(
+                "expected float, got {other:?}"
+            )))),
+        }
+    }
+
+    fn as_i(&self, v: Value) -> Result<i32, VmError> {
+        match v {
+            Value::I(x) => Ok(x),
+            other => Err(VmError::Op(InterpError::TypeMismatch(format!(
+                "expected int, got {other:?}"
+            )))),
+        }
+    }
+
+    fn mem_addr(&self, v: Value) -> Result<usize, VmError> {
+        let a = self.as_i(v)? as i64;
+        if a < 0 || a as usize >= self.mem.len() {
+            return Err(VmError::Op(InterpError::MemOutOfBounds {
+                addr: a,
+                size: self.mem.len() as u32,
+            }));
+        }
+        Ok(a as usize)
+    }
+
+    /// Executes one word: reads, computes, queues writes, applies stores.
+    fn exec_word(&mut self, ops: &[Op]) -> Result<(), VmError> {
+        // Phase 1: all operations read their sources simultaneously.
+        type PendingWrite = Option<(VReg, Value, u32)>;
+        type PendingStore = Option<(usize, f32)>;
+        let mut results: Vec<(PendingWrite, PendingStore)> = Vec::new();
+        let mut loads: Vec<(usize, VReg, u32)> = Vec::new(); // (addr, dst, lat)
+        for op in ops {
+            self.stats.ops += 1;
+            if op.opcode.is_flop() {
+                self.stats.flops += 1;
+            }
+            let lat = self.machine.latency(op.opcode.class());
+            match op.opcode {
+                Opcode::Load => {
+                    let a = self.mem_addr(self.read_operand(op.srcs[0])?)?;
+                    loads.push((a, op.dst.expect("load has dst"), lat));
+                }
+                Opcode::Store => {
+                    let a = self.mem_addr(self.read_operand(op.srcs[0])?)?;
+                    let v = self.as_f(self.read_operand(op.srcs[1])?)?;
+                    results.push((None, Some((a, v))));
+                }
+                Opcode::QPop => {
+                    let q = if op.channel == 0 {
+                        &mut self.input
+                    } else {
+                        &mut self.input_y
+                    };
+                    let v = q.pop_front().ok_or(VmError::Op(InterpError::QueueEmpty))?;
+                    results.push((Some((op.dst.expect("qpop dst"), Value::F(v), lat)), None));
+                }
+                Opcode::QPush => {
+                    let v = self.as_f(self.read_operand(op.srcs[0])?)?;
+                    if op.channel == 0 {
+                        self.output.push(v);
+                    } else {
+                        self.output_y.push(v);
+                    }
+                    results.push((None, None));
+                }
+                _ => {
+                    let v = self.eval_pure(op)?;
+                    if let Some(dst) = op.dst {
+                        results.push((Some((dst, v, lat)), None));
+                    } else {
+                        results.push((None, None));
+                    }
+                }
+            }
+        }
+        // Phase 2: loads read memory (before this cycle's stores commit).
+        for (a, dst, lat) in loads {
+            let v = Value::F(self.mem[a]);
+            results.push((Some((dst, v, lat)), None));
+        }
+        // Phase 3: stores commit; detect same-cycle write races.
+        let mut stored: Vec<usize> = Vec::new();
+        for (_, st) in &results {
+            if let Some((a, v)) = st {
+                if stored.contains(a) {
+                    return Err(VmError::MemRace {
+                        addr: *a as u32,
+                        cycle: self.cycle,
+                    });
+                }
+                stored.push(*a);
+                self.mem[*a] = *v;
+            }
+        }
+        // Phase 4: queue register writes; detect same-cycle retire races.
+        for (wr, _) in results {
+            if let Some((dst, v, lat)) = wr {
+                let retire = self.cycle + lat.max(1) as u64;
+                if self
+                    .pending
+                    .iter()
+                    .any(|&(t, r, _)| r == dst && t == retire)
+                {
+                    return Err(VmError::DoubleWrite {
+                        reg: dst,
+                        cycle: retire,
+                    });
+                }
+                self.pending.push_back((retire, dst, v));
+            }
+        }
+        Ok(())
+    }
+
+    fn eval_pure(&self, op: &Op) -> Result<Value, VmError> {
+        use Opcode::*;
+        let s = |i: usize| self.read_operand(op.srcs[i]);
+        let f = |v: Value| self.as_f(v);
+        let ii = |v: Value| self.as_i(v);
+        Ok(match op.opcode {
+            FAdd => Value::F(f(s(0)?)? + f(s(1)?)?),
+            FSub => Value::F(f(s(0)?)? - f(s(1)?)?),
+            FMul => Value::F(f(s(0)?)? * f(s(1)?)?),
+            FDiv => Value::F(f(s(0)?)? / f(s(1)?)?),
+            FSqrt => Value::F(f(s(0)?)?.sqrt()),
+            FNeg => Value::F(-f(s(0)?)?),
+            FAbs => Value::F(f(s(0)?)?.abs()),
+            FMin => Value::F(f(s(0)?)?.min(f(s(1)?)?)),
+            FMax => Value::F(f(s(0)?)?.max(f(s(1)?)?)),
+            FCmp(p) => Value::I(cmp_eval(p, f(s(0)?)?, f(s(1)?)?)),
+            ItoF => Value::F(ii(s(0)?)? as f32),
+            FtoI => Value::I(f(s(0)?)? as i32),
+            Add => Value::I(ii(s(0)?)?.wrapping_add(ii(s(1)?)?)),
+            Sub => Value::I(ii(s(0)?)?.wrapping_sub(ii(s(1)?)?)),
+            Mul => Value::I(ii(s(0)?)?.wrapping_mul(ii(s(1)?)?)),
+            Div => {
+                let d = ii(s(1)?)?;
+                if d == 0 {
+                    return Err(VmError::Op(InterpError::TypeMismatch(
+                        "division by zero".into(),
+                    )));
+                }
+                Value::I(ii(s(0)?)?.wrapping_div(d))
+            }
+            Rem => {
+                let d = ii(s(1)?)?;
+                if d == 0 {
+                    return Err(VmError::Op(InterpError::TypeMismatch(
+                        "remainder by zero".into(),
+                    )));
+                }
+                Value::I(ii(s(0)?)?.wrapping_rem(d))
+            }
+            And => Value::I(ii(s(0)?)? & ii(s(1)?)?),
+            Or => Value::I(ii(s(0)?)? | ii(s(1)?)?),
+            Xor => Value::I(ii(s(0)?)? ^ ii(s(1)?)?),
+            Shl => Value::I(ii(s(0)?)?.wrapping_shl(ii(s(1)?)? as u32)),
+            Shr => Value::I(ii(s(0)?)?.wrapping_shr(ii(s(1)?)? as u32)),
+            ICmp(p) => Value::I(cmp_eval(p, ii(s(0)?)?, ii(s(1)?)?)),
+            Select => {
+                if ii(s(0)?)? != 0 {
+                    s(1)?
+                } else {
+                    s(2)?
+                }
+            }
+            Copy | Const => s(0)?,
+            Load | Store | QPop | QPush => unreachable!("handled in exec_word"),
+        })
+    }
+
+    /// Runs to `Halt`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first dynamic error or compiler-introduced timing
+    /// violation.
+    pub fn run(&mut self) -> Result<(), VmError> {
+        let mut block = self.program.entry;
+        loop {
+            let b = self.program.block(block);
+            for w in &b.words {
+                if self.fuel == 0 {
+                    return Err(VmError::OutOfFuel);
+                }
+                self.fuel -= 1;
+                self.retire_due();
+                self.exec_word(&w.ops)?;
+                self.cycle += 1;
+                self.stats.cycles += 1;
+            }
+            // Boundary after the last word: retire before the terminator
+            // reads its condition.
+            self.retire_due();
+            block = match &b.term {
+                Terminator::Fall(t) | Terminator::Jump(t) => *t,
+                Terminator::CondJump {
+                    cond,
+                    nonzero,
+                    zero,
+                } => {
+                    let c = self.as_i(self.read_operand(Operand::Reg(*cond))?)?;
+                    if c != 0 {
+                        *nonzero
+                    } else {
+                        *zero
+                    }
+                }
+                Terminator::CountedLoop {
+                    counter,
+                    dec,
+                    back,
+                    exit,
+                } => {
+                    let c = self.as_i(self.read_operand(Operand::Reg(*counter))?)? - dec;
+                    self.regs[counter.index()] = Value::I(c);
+                    if c > 0 {
+                        *back
+                    } else {
+                        *exit
+                    }
+                }
+                Terminator::Halt => {
+                    // Drain outstanding writes so final register state is
+                    // observable.
+                    while let Some(&(t, _, _)) = self.pending.front() {
+                        let _ = t;
+                        let (_, r, v) = self.pending.pop_front().expect("nonempty");
+                        self.regs[r.index()] = v;
+                    }
+                    return Ok(());
+                }
+            };
+        }
+    }
+
+    /// The current cycle count.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+}
+
+fn cmp_eval<T: PartialOrd>(p: CmpPred, a: T, b: T) -> i32 {
+    p.eval(a, b) as i32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{RegTable, Type};
+    use machine::presets::test_machine;
+    use swp::{Block, BlockId, Word};
+
+    fn one_block_program(regs: RegTable, words: Vec<Word>) -> VliwProgram {
+        let mut b = Block::new("entry");
+        b.words = words;
+        b.term = Terminator::Halt;
+        VliwProgram {
+            name: "t".into(),
+            regs,
+            arrays: vec![],
+            mem_size: 16,
+            blocks: vec![b],
+            entry: BlockId(0),
+        }
+    }
+
+    #[test]
+    fn latency_respected() {
+        // fadd at cycle 0 (lat 2), consumer at cycle 2 sees it.
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let a = regs.alloc(Type::F32);
+        let b = regs.alloc(Type::F32);
+        let words = vec![
+            Word {
+                ops: vec![Op::new(
+                    Opcode::FAdd,
+                    Some(a),
+                    vec![Imm::F(1.0).into(), Imm::F(2.0).into()],
+                )],
+            },
+            Word::empty(),
+            Word {
+                ops: vec![Op::new(
+                    Opcode::FAdd,
+                    Some(b),
+                    vec![a.into(), Imm::F(1.0).into()],
+                )],
+            },
+        ];
+        let p = one_block_program(regs, words);
+        let mut vm = Vm::new(&p, &m);
+        vm.run().unwrap();
+        assert_eq!(vm.reg(b), Value::F(4.0));
+        assert_eq!(vm.cycles(), 3);
+    }
+
+    #[test]
+    fn premature_read_sees_undef() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let a = regs.alloc(Type::F32);
+        let b = regs.alloc(Type::F32);
+        let words = vec![
+            Word {
+                ops: vec![Op::new(
+                    Opcode::FAdd,
+                    Some(a),
+                    vec![Imm::F(1.0).into(), Imm::F(2.0).into()],
+                )],
+            },
+            // Reads a one cycle too early (lat 2): undefined.
+            Word {
+                ops: vec![Op::new(
+                    Opcode::FAdd,
+                    Some(b),
+                    vec![a.into(), Imm::F(1.0).into()],
+                )],
+            },
+        ];
+        let p = one_block_program(regs, words);
+        let mut vm = Vm::new(&p, &m);
+        assert!(matches!(
+            vm.run(),
+            Err(VmError::Op(InterpError::UndefRead(_)))
+        ));
+    }
+
+    #[test]
+    fn same_cycle_read_write_reads_old() {
+        // Anti-dependence semantics: a read and a (later-retiring) write in
+        // the same cycle — the read sees the old value.
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let a = regs.alloc(Type::I32);
+        let b = regs.alloc(Type::I32);
+        let words = vec![
+            Word {
+                ops: vec![Op::new(Opcode::Const, Some(a), vec![Imm::I(10).into()])],
+            },
+            Word {
+                ops: vec![
+                    Op::new(Opcode::Copy, Some(b), vec![a.into()]),
+                    Op::new(Opcode::Const, Some(a), vec![Imm::I(99).into()]),
+                ],
+            },
+        ];
+        let p = one_block_program(regs, words);
+        let mut vm = Vm::new(&p, &m);
+        vm.run().unwrap();
+        assert_eq!(vm.reg(b), Value::I(10));
+        assert_eq!(vm.reg(a), Value::I(99));
+    }
+
+    #[test]
+    fn counted_loop_iterates() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let n = regs.alloc(Type::I32);
+        let acc = regs.alloc(Type::I32);
+        let mut init = Block::new("init");
+        init.words.push(Word {
+            ops: vec![
+                Op::new(Opcode::Const, Some(n), vec![Imm::I(5).into()]),
+                Op::new(Opcode::Const, Some(acc), vec![Imm::I(0).into()]),
+            ],
+        });
+        init.term = Terminator::Fall(BlockId(1));
+        let mut body = Block::new("body");
+        body.words.push(Word {
+            ops: vec![Op::new(
+                Opcode::Add,
+                Some(acc),
+                vec![acc.into(), Imm::I(3).into()],
+            )],
+        });
+        body.term = Terminator::CountedLoop {
+            counter: n,
+            dec: 1,
+            back: BlockId(1),
+            exit: BlockId(2),
+        };
+        let mut end = Block::new("end");
+        end.term = Terminator::Halt;
+        let p = VliwProgram {
+            name: "t".into(),
+            regs,
+            arrays: vec![],
+            mem_size: 0,
+            blocks: vec![init, body, end],
+            entry: BlockId(0),
+        };
+        let mut vm = Vm::new(&p, &m);
+        vm.run().unwrap();
+        assert_eq!(vm.reg(acc), Value::I(15));
+        assert_eq!(vm.cycles(), 6, "init + 5 body words, jumps are free");
+    }
+
+    #[test]
+    fn cond_jump_selects_path() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let c = regs.alloc(Type::I32);
+        let out = regs.alloc(Type::I32);
+        let mut entry = Block::new("entry");
+        entry.words.push(Word {
+            ops: vec![Op::new(Opcode::Const, Some(c), vec![Imm::I(0).into()])],
+        });
+        entry.term = Terminator::CondJump {
+            cond: c,
+            nonzero: BlockId(1),
+            zero: BlockId(2),
+        };
+        let mut t_blk = Block::new("then");
+        t_blk.words.push(Word {
+            ops: vec![Op::new(Opcode::Const, Some(out), vec![Imm::I(1).into()])],
+        });
+        t_blk.term = Terminator::Jump(BlockId(3));
+        let mut e_blk = Block::new("else");
+        e_blk.words.push(Word {
+            ops: vec![Op::new(Opcode::Const, Some(out), vec![Imm::I(2).into()])],
+        });
+        e_blk.term = Terminator::Fall(BlockId(3));
+        let mut end = Block::new("end");
+        end.term = Terminator::Halt;
+        let p = VliwProgram {
+            name: "t".into(),
+            regs,
+            arrays: vec![],
+            mem_size: 0,
+            blocks: vec![entry, t_blk, e_blk, end],
+            entry: BlockId(0),
+        };
+        let mut vm = Vm::new(&p, &m);
+        vm.run().unwrap();
+        assert_eq!(vm.reg(out), Value::I(2));
+    }
+
+    #[test]
+    fn store_load_ordering() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let words = vec![
+            Word {
+                ops: vec![Op::new(
+                    Opcode::Store,
+                    None,
+                    vec![Imm::I(3).into(), Imm::F(7.5).into()],
+                )],
+            },
+            Word {
+                ops: vec![Op::new(Opcode::Load, Some(x), vec![Imm::I(3).into()])],
+            },
+        ];
+        let p = one_block_program(regs, words);
+        let mut vm = Vm::new(&p, &m);
+        vm.run().unwrap();
+        assert_eq!(vm.reg(x), Value::F(7.5));
+    }
+
+    #[test]
+    fn same_cycle_load_store_reads_old() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let words = vec![Word {
+            ops: vec![
+                Op::new(Opcode::Load, Some(x), vec![Imm::I(0).into()]),
+                Op::new(Opcode::Store, None, vec![Imm::I(0).into(), Imm::F(9.0).into()]),
+            ],
+        }];
+        let p = one_block_program(regs, words);
+        let mut vm = Vm::new(&p, &m);
+        vm.mem[0] = 4.0;
+        vm.run().unwrap();
+        assert_eq!(vm.reg(x), Value::F(4.0), "load sees pre-store value");
+        assert_eq!(vm.mem[0], 9.0);
+    }
+
+    #[test]
+    fn double_write_detected() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let a = regs.alloc(Type::I32);
+        let words = vec![Word {
+            ops: vec![
+                Op::new(Opcode::Const, Some(a), vec![Imm::I(1).into()]),
+                Op::new(Opcode::Const, Some(a), vec![Imm::I(2).into()]),
+            ],
+        }];
+        let p = one_block_program(regs, words);
+        let mut vm = Vm::new(&p, &m);
+        assert!(matches!(vm.run(), Err(VmError::DoubleWrite { .. })));
+    }
+
+    #[test]
+    fn fuel_exhaustion() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let n = regs.alloc(Type::I32);
+        let mut init = Block::new("init");
+        init.words.push(Word {
+            ops: vec![Op::new(Opcode::Const, Some(n), vec![Imm::I(1000000).into()])],
+        });
+        init.term = Terminator::Fall(BlockId(1));
+        let mut body = Block::new("body");
+        body.words.push(Word::empty());
+        body.term = Terminator::CountedLoop {
+            counter: n,
+            dec: 1,
+            back: BlockId(1),
+            exit: BlockId(1),
+        };
+        let p = VliwProgram {
+            name: "t".into(),
+            regs,
+            arrays: vec![],
+            mem_size: 0,
+            blocks: vec![init, body],
+            entry: BlockId(0),
+        };
+        let mut vm = Vm::new(&p, &m).with_fuel(100);
+        assert_eq!(vm.run(), Err(VmError::OutOfFuel));
+    }
+
+    #[test]
+    fn queues_work() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let words = vec![
+            Word {
+                ops: vec![Op::new(Opcode::QPop, Some(x), vec![Imm::I(0).into()])],
+            },
+            Word {
+                ops: vec![Op::new(Opcode::QPush, None, vec![x.into()])],
+            },
+        ];
+        let p = one_block_program(regs, words);
+        let mut vm = Vm::new(&p, &m);
+        vm.input.push_back(6.25);
+        vm.run().unwrap();
+        assert_eq!(vm.output, vec![6.25]);
+    }
+
+    #[test]
+    fn mflops_computation() {
+        let s = VmStats {
+            cycles: 100,
+            ops: 150,
+            flops: 50,
+        };
+        // 0.5 flops/cycle at 10 MHz = 5 MFLOPS.
+        assert!((s.mflops(10.0) - 5.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,45 @@
+//! Cycle-accurate VLIW simulator and equivalence checker.
+//!
+//! [`Vm`] executes the object code produced by `swp::compile` under the
+//! exact timing model the scheduler assumed (per-class latencies, one word
+//! per cycle, in-flight writes surviving jumps). [`run_checked`] runs a
+//! program through both the sequential reference interpreter
+//! ([`ir::Interp`]) and the simulator and insists on bit-identical memory
+//! and output queues — the end-to-end soundness oracle for the compiler.
+//!
+//! # Examples
+//!
+//! ```
+//! use ir::{ProgramBuilder, TripCount};
+//! use machine::presets;
+//! use swp::CompileOptions;
+//! use vm::{run_checked, RunInput};
+//!
+//! let mut b = ProgramBuilder::new("scale");
+//! let a = b.array("a", 32);
+//! b.for_counted(TripCount::Const(32), |b, i| {
+//!     let x = b.load_elem(a, i.into(), 1, 0);
+//!     let y = b.fmul(x.into(), 3.0f32.into());
+//!     b.store_elem(a, i.into(), 1, 0, y.into());
+//! });
+//! let p = b.finish();
+//!
+//! let input = RunInput {
+//!     mem: (0..32).map(|i| i as f32).collect(),
+//!     ..Default::default()
+//! };
+//! let run = run_checked(&p, &presets::warp_cell(), &CompileOptions::default(), &input).unwrap();
+//! assert_eq!(run.mem[4], 12.0);
+//! assert!(run.vm_stats.cycles > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod array;
+mod check;
+mod exec;
+
+pub use array::{run_chain, run_chain2, run_homogeneous, CellSpec, ChainRun};
+pub use check::{run_checked, run_checked_compiled, run_vm, run_vm_full, CheckError, CheckedRun, RunInput};
+pub use exec::{Vm, VmError, VmStats, DEFAULT_FUEL};

@@ -1,0 +1,350 @@
+//! End-to-end equivalence for loops containing conditionals —
+//! hierarchical reduction (Part II of the paper) under the simulator.
+
+use ir::{CmpPred, Op, Opcode, Program, ProgramBuilder, TripCount, Type, Value};
+use machine::presets::{test_machine, toy_vector, warp_cell};
+use machine::MachineDescription;
+use swp::{CompileOptions, NotPipelined};
+use vm::{run_checked, RunInput};
+
+fn machines() -> Vec<MachineDescription> {
+    vec![warp_cell(), test_machine(), toy_vector()]
+}
+
+fn check_on_all(p: &Program, input: &RunInput) {
+    for m in machines() {
+        for pipeline in [true, false] {
+            for (hierarchical, fuse_epilog) in [(true, true), (true, false), (false, true)] {
+                let opts = CompileOptions {
+                    pipeline,
+                    hierarchical,
+                    fuse_epilog,
+                    ..Default::default()
+                };
+                if let Err(e) = run_checked(p, &m, &opts, input) {
+                    panic!(
+                        "program {} on {} (pipeline={pipeline}, hier={hierarchical}, \
+                         fuse={fuse_epilog}): {e}",
+                        p.name,
+                        m.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn ramp(n: usize) -> Vec<f32> {
+    (0..n).map(|i| (i as f32) * 0.75 - 3.0).collect()
+}
+
+/// Clip negative values to zero: the classic data-dependent branch.
+fn clip_program(n: u32) -> Program {
+    let mut b = ProgramBuilder::new(format!("clip{n}"));
+    let a = b.array("a", n.max(1));
+    b.for_counted(TripCount::Const(n), |b, i| {
+        let addr = b.elem_addr(a, i.into(), 1, 0);
+        let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+        let c = b.fcmp(CmpPred::Lt, x.into(), 0.0f32.into());
+        b.if_else(
+            c,
+            |b| {
+                b.store(addr.into(), 0.0f32.into(), ir::MemRef::affine(a, 1, 0));
+            },
+            |b| {
+                let y = b.fmul(x.into(), 2.0f32.into());
+                b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+            },
+        );
+    });
+    b.finish()
+}
+
+#[test]
+fn clip_loop_pipelines_and_matches() {
+    for n in [0u32, 1, 2, 3, 5, 8, 16, 33] {
+        let p = clip_program(n);
+        let input = RunInput {
+            mem: ramp(n.max(1) as usize),
+            ..Default::default()
+        };
+        check_on_all(&p, &input);
+    }
+}
+
+#[test]
+fn clip_loop_actually_pipelined() {
+    let p = clip_program(64);
+    let compiled = swp::compile(&p, &warp_cell(), &CompileOptions::default()).unwrap();
+    let r = &compiled.reports[0];
+    assert!(r.has_conditional);
+    assert!(
+        r.ii.is_some(),
+        "conditional loop should pipeline via hierarchical reduction: {:?}",
+        r.not_pipelined
+    );
+    // Without hierarchical reduction it must NOT pipeline.
+    let compiled = swp::compile(
+        &p,
+        &warp_cell(),
+        &CompileOptions {
+            hierarchical: false,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(
+        compiled.reports[0].not_pipelined,
+        Some(NotPipelined::ControlFlow)
+    );
+}
+
+#[test]
+fn one_armed_conditional() {
+    // Accumulate only positive values (THEN arm only).
+    let mut b = ProgramBuilder::new("possum");
+    let a = b.array("a", 24);
+    let out = b.array("out", 1);
+    let acc = b.fconst(0.0);
+    b.for_counted(TripCount::Const(24), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 0);
+        let c = b.fcmp(CmpPred::Gt, x.into(), 0.0f32.into());
+        b.if_then(c, |b| {
+            b.push_op(Op::new(Opcode::FAdd, Some(acc), vec![acc.into(), x.into()]));
+        });
+    });
+    b.store_fixed(out, 0, acc.into());
+    let p = b.finish();
+    let input = RunInput {
+        mem: ramp(25),
+        ..Default::default()
+    };
+    check_on_all(&p, &input);
+}
+
+#[test]
+fn both_arms_define_same_variable() {
+    // y defined in both arms, used after the conditional inside the loop.
+    let mut b = ProgramBuilder::new("absval");
+    let a = b.array("a", 20);
+    let o = b.array("o", 20);
+    b.for_counted(TripCount::Const(20), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 0);
+        let c = b.fcmp(CmpPred::Lt, x.into(), 0.0f32.into());
+        let y = b.named_reg(Type::F32, "y");
+        b.if_else(
+            c,
+            |b| {
+                let t = b.fneg(x.into());
+                b.copy_to(y, t.into());
+            },
+            |b| {
+                b.copy_to(y, x.into());
+            },
+        );
+        let z = b.fadd(y.into(), 1.0f32.into());
+        b.store_elem(o, i.into(), 1, 0, z.into());
+    });
+    let p = b.finish();
+    let input = RunInput {
+        mem: ramp(40),
+        ..Default::default()
+    };
+    check_on_all(&p, &input);
+}
+
+#[test]
+fn conditional_with_runtime_trip_count() {
+    let mut b = ProgramBuilder::new("clip_rt");
+    let a = b.array("a", 48);
+    let n = b.named_reg(Type::I32, "n");
+    b.for_counted(TripCount::Reg(n), |b, i| {
+        let addr = b.elem_addr(a, i.into(), 1, 0);
+        let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+        let c = b.fcmp(CmpPred::Lt, x.into(), 0.0f32.into());
+        b.if_else(
+            c,
+            |b| {
+                b.store(addr.into(), 0.0f32.into(), ir::MemRef::affine(a, 1, 0));
+            },
+            |b| {
+                let y = b.fadd(x.into(), 1.0f32.into());
+                b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+            },
+        );
+    });
+    let p = b.finish();
+    for trip in [0i32, 1, 2, 4, 7, 13, 48] {
+        let input = RunInput {
+            mem: ramp(48),
+            regs: vec![(n, Value::I(trip))],
+            ..Default::default()
+        };
+        check_on_all(&p, &input);
+    }
+}
+
+#[test]
+fn nested_conditionals_in_loop() {
+    // Three-way classification via nested ifs.
+    let mut b = ProgramBuilder::new("classify");
+    let a = b.array("a", 30);
+    let o = b.array("o", 30);
+    b.for_counted(TripCount::Const(30), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 0);
+        let neg = b.fcmp(CmpPred::Lt, x.into(), 0.0f32.into());
+        let y = b.named_reg(Type::F32, "y");
+        b.if_else(
+            neg,
+            |b| {
+                b.copy_to(y, (-1.0f32).into());
+            },
+            |b| {
+                let big = b.fcmp(CmpPred::Gt, x.into(), 10.0f32.into());
+                b.if_else(
+                    big,
+                    |b| {
+                        b.copy_to(y, 1.0f32.into());
+                    },
+                    |b| {
+                        b.copy_to(y, 0.0f32.into());
+                    },
+                );
+            },
+        );
+        b.store_elem(o, i.into(), 1, 0, y.into());
+    });
+    let p = b.finish();
+    let mut mem = ramp(60);
+    mem[7] = 25.0;
+    mem[13] = 11.5;
+    let input = RunInput {
+        mem,
+        ..Default::default()
+    };
+    check_on_all(&p, &input);
+}
+
+#[test]
+fn two_conditionals_in_one_body() {
+    let mut b = ProgramBuilder::new("twoifs");
+    let a = b.array("a", 26);
+    let o = b.array("o", 26);
+    b.for_counted(TripCount::Const(26), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 0);
+        let c1 = b.fcmp(CmpPred::Lt, x.into(), 0.0f32.into());
+        let y = b.named_reg(Type::F32, "y");
+        b.if_else(
+            c1,
+            |b| {
+                let t = b.fneg(x.into());
+                b.copy_to(y, t.into());
+            },
+            |b| {
+                b.copy_to(y, x.into());
+            },
+        );
+        let c2 = b.fcmp(CmpPred::Gt, y.into(), 2.0f32.into());
+        let z = b.named_reg(Type::F32, "z");
+        b.if_else(
+            c2,
+            |b| {
+                let t = b.fmul(y.into(), 0.5f32.into());
+                b.copy_to(z, t.into());
+            },
+            |b| {
+                b.copy_to(z, y.into());
+            },
+        );
+        b.store_elem(o, i.into(), 1, 0, z.into());
+    });
+    let p = b.finish();
+    let input = RunInput {
+        mem: ramp(52),
+        ..Default::default()
+    };
+    check_on_all(&p, &input);
+}
+
+#[test]
+fn conditional_accumulator_recurrence() {
+    // The recurrence flows through the conditional: pipelining is bounded
+    // but must stay correct.
+    let mut b = ProgramBuilder::new("condacc");
+    let a = b.array("a", 18);
+    let out = b.array("out", 1);
+    let acc = b.fconst(1.0);
+    b.for_counted(TripCount::Const(18), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 0);
+        let c = b.fcmp(CmpPred::Gt, x.into(), 0.0f32.into());
+        b.if_else(
+            c,
+            |b| {
+                b.push_op(Op::new(Opcode::FAdd, Some(acc), vec![acc.into(), x.into()]));
+            },
+            |b| {
+                b.push_op(Op::new(
+                    Opcode::FMul,
+                    Some(acc),
+                    vec![acc.into(), 0.5f32.into()],
+                ));
+            },
+        );
+    });
+    b.store_fixed(out, 0, acc.into());
+    let p = b.finish();
+    let input = RunInput {
+        mem: ramp(19),
+        ..Default::default()
+    };
+    check_on_all(&p, &input);
+}
+
+#[test]
+fn queue_ops_inside_conditional() {
+    // send() only for large values — conditional queue pushes stay ordered.
+    let mut b = ProgramBuilder::new("condsend");
+    let a = b.array("a", 22);
+    b.for_counted(TripCount::Const(22), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 0);
+        let c = b.fcmp(CmpPred::Gt, x.into(), 0.0f32.into());
+        b.if_then(c, |b| {
+            b.qpush(x.into());
+        });
+    });
+    let p = b.finish();
+    let input = RunInput {
+        mem: ramp(22),
+        ..Default::default()
+    };
+    check_on_all(&p, &input);
+}
+
+#[test]
+fn exclusive_cond_mode_matches_and_costs_more() {
+    // §3.1's fallback mode: all resources marked consumed. Still correct,
+    // never a smaller interval than the union mode.
+    use swp::CondMode;
+    let p = clip_program(40);
+    let input = RunInput {
+        mem: ramp(40),
+        ..Default::default()
+    };
+    let m = warp_cell();
+    let union = CompileOptions::default();
+    let excl = CompileOptions {
+        cond_mode: CondMode::Exclusive,
+        ..Default::default()
+    };
+    run_checked(&p, &m, &excl, &input).expect("exclusive mode is sound");
+    let cu = swp::compile(&p, &m, &union).unwrap();
+    let ce = swp::compile(&p, &m, &excl).unwrap();
+    let iiu = cu.reports[0].ii;
+    match (iiu, ce.reports[0].ii) {
+        (Some(a), Some(b)) => assert!(b >= a, "exclusive {b} vs union {a}"),
+        // Exclusive mode may refuse to pipeline outright; that is the
+        // documented cost of the conservative mode.
+        (Some(_), None) | (None, None) => {}
+        (None, Some(_)) => panic!("exclusive cannot pipeline when union cannot"),
+    }
+}

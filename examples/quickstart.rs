@@ -1,0 +1,95 @@
+//! Quickstart: the paper's §2 illustration, end to end.
+//!
+//! "Suppose we wish to add a constant to a vector of data" — on a machine
+//! with separate read/write ports and a one-stage-pipelined adder, the
+//! loop software-pipelines to **one iteration per cycle**, four times the
+//! speed of the locally compacted loop.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ir::{ProgramBuilder, TripCount};
+use machine::presets;
+use swp::{compile, CompileOptions};
+use vm::{run_checked, RunInput};
+
+fn build_program(n: u32) -> ir::Program {
+    let mut b = ProgramBuilder::new("vector_add");
+    let a = b.array("a", n);
+    b.for_counted(TripCount::Const(n), |b, i| {
+        let addr = b.elem_addr(a, i.into(), 1, 0);
+        let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+        let y = b.fadd(x.into(), 1.0f32.into());
+        b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+    });
+    b.finish()
+}
+
+fn main() {
+    let n = 256;
+    let program = build_program(n);
+    let machine = presets::toy_vector();
+
+    // Compile with software pipelining and show the schedule summary.
+    let compiled = compile(&program, &machine, &CompileOptions::default())
+        .expect("the quickstart program compiles");
+    let report = &compiled.reports[0];
+    println!("loop report:");
+    println!("  operations per iteration : {}", report.num_ops);
+    println!(
+        "  MII (resource, recurrence): ({}, {})",
+        report.mii_res, report.mii_rec
+    );
+    println!("  achieved interval         : {:?}", report.ii);
+    println!("  pipeline stages           : {}", report.stages);
+    println!("  unpipelined length        : {}", report.unpipelined_len);
+    assert_eq!(report.ii, Some(1), "the paper's example runs at 1 cycle/iter");
+
+    // Show the schedule the way the paper draws it (§2's code listing).
+    {
+        use swp::{build_graph, modulo_schedule, BuildOptions, SchedOptions};
+        let ir::Stmt::Loop(l) = &program.body[1] else {
+            unreachable!("counter init then loop");
+        };
+        let ops: Vec<ir::Op> = l
+            .body
+            .iter()
+            .map(|s| match s {
+                ir::Stmt::Op(op) => op.clone(),
+                _ => unreachable!("simple body"),
+            })
+            .collect();
+        let g = build_graph(&ops, &machine, BuildOptions::default());
+        let sched = modulo_schedule(&g, &machine, &SchedOptions::default())
+            .expect("schedulable")
+            .schedule;
+        println!("\n{}", swp::viz::render_schedule(&g, &sched));
+        println!("{}", swp::viz::render_modulo_table(&g, &sched, &machine));
+    }
+
+    // Execute both versions, checking against the reference interpreter.
+    let input = RunInput {
+        mem: (0..n).map(|i| i as f32).collect(),
+        ..Default::default()
+    };
+    let fast = run_checked(&program, &machine, &CompileOptions::default(), &input)
+        .expect("pipelined run matches the reference");
+    let slow = run_checked(
+        &program,
+        &machine,
+        &CompileOptions {
+            pipeline: false,
+            ..Default::default()
+        },
+        &input,
+    )
+    .expect("baseline run matches the reference");
+
+    println!("\nexecution (both verified against the sequential reference):");
+    println!("  pipelined   : {:>6} cycles", fast.vm_stats.cycles);
+    println!("  compacted   : {:>6} cycles", slow.vm_stats.cycles);
+    println!(
+        "  speedup     : {:.2}x (paper: ~4x for this example)",
+        slow.vm_stats.cycles as f64 / fast.vm_stats.cycles as f64
+    );
+    assert_eq!(fast.mem[5], 6.0);
+}

@@ -1,0 +1,82 @@
+//! The full machine: a ten-cell Warp array, each cell running the same
+//! software-pipelined program, chained through the inter-cell queues.
+//!
+//! Each cell applies one 1-2-1 smoothing pass to the sample stream and
+//! forwards it; ten cells deep, the array performs ten passes with the
+//! throughput of one (the aggregate MFLOPS the paper's Table 4-1 reports
+//! are exactly this effect).
+//!
+//! Run with: `cargo run --release --example warp_array`
+
+use machine::presets::{warp_cell, WARP_ARRAY_CELLS, WARP_CLOCK_MHZ};
+use swp::CompileOptions;
+use vm::run_homogeneous;
+
+fn main() {
+    let n = 512u32;
+    // Each cell: receive, smooth with its two predecessors, send.
+    let src = format!(
+        "program smooth_cell;
+         var i : int;
+         var a, b, c : float;
+         begin
+           a := receive();
+           b := receive();
+           send(a);
+           for i := 0 to {} do begin
+             c := receive();
+             send(0.25 * a + 0.5 * b + 0.25 * c);
+             a := b;
+             b := c;
+           end;
+           send(b);
+         end",
+        n - 3
+    );
+    let program = frontend::compile_source(&src).expect("cell program compiles");
+    let machine = warp_cell();
+    let compiled = swp::compile(&program, &machine, &CompileOptions::default())
+        .expect("cell program schedules");
+    for r in compiled.reports.iter().filter(|r| r.num_ops > 0) {
+        println!(
+            "cell loop: MII ({}, {}) -> II {:?}",
+            r.mii_res, r.mii_rec, r.ii
+        );
+    }
+
+    // First verify one cell against the reference interpreter.
+    let input_stream: Vec<f32> = (0..n).map(|i| (i as f32 * 0.1).sin() * 2.0).collect();
+    vm::run_checked_compiled(
+        &program,
+        &compiled,
+        &machine,
+        &vm::RunInput {
+            input: input_stream.clone(),
+            ..Default::default()
+        },
+    )
+    .expect("single cell verified");
+
+    // Then chain ten of them.
+    let mems = vec![Vec::new(); WARP_ARRAY_CELLS as usize];
+    let run = run_homogeneous(&compiled, &machine, &mems, input_stream)
+        .expect("array runs");
+    println!(
+        "\n{} cells, {} samples through the chain",
+        run.cell_stats.len(),
+        run.output.len()
+    );
+    println!(
+        "per-cell: {} cycles, {} flops ({:.2} MFLOPS)",
+        run.cell_stats[0].cycles,
+        run.cell_stats[0].flops,
+        run.cell_stats[0].mflops(WARP_CLOCK_MHZ)
+    );
+    println!(
+        "array    : {} flops in a {}-cycle makespan -> {:.1} MFLOPS aggregate",
+        run.total_flops(),
+        run.makespan_cycles(),
+        run.array_mflops(WARP_CLOCK_MHZ)
+    );
+    assert!(run.array_mflops(WARP_CLOCK_MHZ) > 8.0 * run.cell_stats[0].mflops(WARP_CLOCK_MHZ));
+}

@@ -1,0 +1,24 @@
+//! Umbrella crate for the Lam 1988 software-pipelining reproduction.
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use software_pipelining::...`. See the individual
+//! crates for the real documentation:
+//!
+//! * [`machine`] — the VLIW machine model;
+//! * [`ir`] — the mid-level IR and dependence information;
+//! * [`frontend`] — the W2-like source language;
+//! * [`swp`] — software pipelining, modulo variable expansion and
+//!   hierarchical reduction (the paper's contribution);
+//! * [`vm`] — the cycle-accurate VLIW simulator;
+//! * [`kernels`] — Livermore loops, application kernels and the synthetic
+//!   user-program population.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use frontend;
+pub use ir;
+pub use kernels;
+pub use machine;
+pub use swp;
+pub use vm;

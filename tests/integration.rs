@@ -1,0 +1,244 @@
+//! Cross-crate integration: W2 source through frontend, scheduler, code
+//! generator and simulator, with schedule-quality assertions from the
+//! paper.
+
+use machine::presets::{test_machine, toy_vector, warp_cell, WARP_CLOCK_MHZ};
+use swp::{CompileOptions, IiSearch, SchedOptions};
+use vm::{run_checked, RunInput};
+
+/// Compile W2 source and run checked on several machines.
+fn check_source(src: &str, mem: Vec<f32>, input: Vec<f32>) {
+    let program = frontend::compile_source(src).expect("source compiles");
+    let run_input = RunInput {
+        mem,
+        input,
+        ..Default::default()
+    };
+    for m in [warp_cell(), test_machine(), toy_vector()] {
+        for pipeline in [true, false] {
+            let opts = CompileOptions {
+                pipeline,
+                ..Default::default()
+            };
+            run_checked(&program, &m, &opts, &run_input).unwrap_or_else(|e| {
+                panic!("{} (pipeline={pipeline}): {e}", m.name());
+            });
+        }
+    }
+}
+
+#[test]
+fn w2_saxpy_end_to_end() {
+    check_source(
+        "program saxpy;
+         var i : int;
+         var x : array[64] of float;
+         var y : array[64] of float;
+         begin
+           for i := 0 to 63 do begin
+             y[i] := 2.5 * x[i] + y[i];
+           end;
+         end",
+        kernels::test_data(128, 1),
+        vec![],
+    );
+}
+
+#[test]
+fn w2_reduction_and_queue() {
+    check_source(
+        "program qsum;
+         var i : int;
+         var s : float;
+         begin
+           s := 0.0;
+           for i := 0 to 31 do begin
+             s := s + receive();
+           end;
+           send(s);
+         end",
+        vec![],
+        (0..32).map(|i| i as f32 * 0.5).collect(),
+    );
+}
+
+#[test]
+fn w2_conditional_loop_pipelines() {
+    let program = frontend::compile_source(
+        "program clip;
+         var i : int;
+         var v, w : float;
+         var x : array[96] of float;
+         begin
+           for i := 0 to 95 do begin
+             v := x[i];
+             w := v * 2.0;
+             if v > 1.0 then begin
+               x[i] := w;
+             end else begin
+               x[i] := 0.5;
+             end;
+           end;
+         end",
+    )
+    .expect("compiles");
+    let m = warp_cell();
+    let compiled = swp::compile(&program, &m, &CompileOptions::default()).unwrap();
+    let r = &compiled.reports[0];
+    assert!(r.has_conditional);
+    // Verified execution.
+    let input = RunInput {
+        mem: kernels::test_data(96, 9),
+        ..Default::default()
+    };
+    vm::run_checked_compiled(&program, &compiled, &m, &input).unwrap();
+}
+
+#[test]
+fn achieved_interval_never_below_bounds() {
+    for k in kernels::livermore::all() {
+        let compiled =
+            swp::compile(&k.program, &warp_cell(), &CompileOptions::default()).unwrap();
+        for r in &compiled.reports {
+            if let Some(ii) = r.ii {
+                assert!(ii >= r.mii(), "{}/{}: ii {ii} < mii {}", k.name, r.label, r.mii());
+                assert!(r.efficiency() <= 1.0 + 1e-9);
+            }
+        }
+    }
+}
+
+#[test]
+fn linear_search_never_worse_than_binary() {
+    // §2.2: the paper prefers linear search because the bound is usually
+    // achievable and schedulability is not monotonic — binary search may
+    // settle on a larger interval, never a smaller one.
+    for k in kernels::livermore::all() {
+        let mk = |search| CompileOptions {
+            sched: SchedOptions {
+                search,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        let lin = swp::compile(&k.program, &warp_cell(), &mk(IiSearch::Linear)).unwrap();
+        let bin = swp::compile(&k.program, &warp_cell(), &mk(IiSearch::Binary)).unwrap();
+        for (rl, rb) in lin.reports.iter().zip(&bin.reports) {
+            if let (Some(il), Some(ib)) = (rl.ii, rb.ii) {
+                assert!(il <= ib, "{}/{}: linear {il} > binary {ib}", k.name, rl.label);
+            }
+        }
+    }
+}
+
+#[test]
+fn steady_state_shorter_than_unpipelined_loop() {
+    // §2.4: "the steady state of a pipelined loop is typically much
+    // shorter than the length of an unpipelined loop" — the property that
+    // matters for instruction buffers.
+    let mut checked = 0;
+    for k in kernels::livermore::all() {
+        let compiled =
+            swp::compile(&k.program, &warp_cell(), &CompileOptions::default()).unwrap();
+        for r in &compiled.reports {
+            if let Some(ii) = r.ii {
+                assert!(
+                    ii <= r.unpipelined_len,
+                    "{}/{}: steady state {ii} vs unpipelined {}",
+                    k.name,
+                    r.label,
+                    r.unpipelined_len
+                );
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked >= 8, "most Livermore loops pipeline");
+}
+
+#[test]
+fn warp_speedup_headline() {
+    // §2: "In the case of the Warp cell, software pipelining speeds up
+    // this loop [vector add] by nine times" relative to the *drained*
+    // sequential iteration. We assert a substantial (>3x) gain for the
+    // streaming kernels against the locally compacted baseline.
+    let m = warp_cell();
+    let mut gains = Vec::new();
+    for k in [
+        kernels::livermore::ll1_hydro(),
+        kernels::livermore::ll7_eos(),
+        kernels::livermore::ll9_integrate(),
+    ] {
+        let fast = k
+            .measure(&m, &CompileOptions::default(), WARP_CLOCK_MHZ)
+            .unwrap();
+        let slow = k
+            .measure(
+                &m,
+                &CompileOptions {
+                    pipeline: false,
+                    ..Default::default()
+                },
+                WARP_CLOCK_MHZ,
+            )
+            .unwrap();
+        gains.push(slow.cycles as f64 / fast.cycles as f64);
+    }
+    let avg = gains.iter().sum::<f64>() / gains.len() as f64;
+    assert!(avg > 3.0, "average streaming speedup {avg:.2}");
+}
+
+#[test]
+fn umbrella_crate_reexports() {
+    // The root crate exposes every subsystem.
+    let _ = software_pipelining::machine::presets::warp_cell();
+    let p = software_pipelining::frontend::compile_source(
+        "program t; var x : float; begin x := 1.0; end",
+    )
+    .unwrap();
+    assert_eq!(p.name, "t");
+}
+
+#[test]
+fn epilog_fusion_saves_cycles_on_short_loops() {
+    use ir::{Op, Opcode, ProgramBuilder, TripCount};
+    let mut b = ProgramBuilder::new("fusion");
+    let a = b.array("a", 8);
+    let w = b.array("w", 4);
+    let out = b.array("out", 8);
+    for l in 0..3 {
+        let acc = b.fconst(0.0);
+        b.for_counted(TripCount::Const(8), |b, i| {
+            let x = b.load_elem(a, i.into(), 1, 0);
+            let y = b.fmul(x.into(), 1.01f32.into());
+            b.push_op(Op::new(Opcode::FAdd, Some(acc), vec![acc.into(), y.into()]));
+        });
+        let u = b.load_elem(w, l.into(), 1, 0);
+        let v = b.fmul(u.into(), 2.0f32.into());
+        b.store_elem(out, l.into(), 2, 1, v.into());
+        b.store_elem(out, l.into(), 2, 0, acc.into());
+    }
+    let p = b.finish();
+    let m = warp_cell();
+    let input = RunInput {
+        mem: kernels::test_data(20, 5),
+        ..Default::default()
+    };
+    let fused = run_checked(&p, &m, &CompileOptions::default(), &input).unwrap();
+    let unfused = run_checked(
+        &p,
+        &m,
+        &CompileOptions {
+            fuse_epilog: false,
+            ..Default::default()
+        },
+        &input,
+    )
+    .unwrap();
+    assert!(
+        fused.vm_stats.cycles < unfused.vm_stats.cycles,
+        "fusion must save cycles: {} vs {}",
+        fused.vm_stats.cycles,
+        unfused.vm_stats.cycles
+    );
+}

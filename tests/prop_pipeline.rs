@@ -1,0 +1,360 @@
+//! Property-based end-to-end testing: random loop programs must compile
+//! and produce bit-identical results to the sequential reference under
+//! every compiler configuration, on multiple machines.
+//!
+//! This is the strongest invariant in the repository: it covers the
+//! dependence builder, the modulo scheduler, modulo variable expansion,
+//! hierarchical reduction, code emission (including the unpipelined
+//! remainder scheme) and the simulator's timing model in one shot.
+
+use ir::{CmpPred, Op, Opcode, ProgramBuilder, TripCount, Type, VReg};
+use machine::presets::{test_machine, warp_cell};
+use proptest::prelude::*;
+use swp::CompileOptions;
+use vm::{run_checked, RunInput};
+
+/// One body-building step; indices select from the pool of live values.
+#[derive(Debug, Clone)]
+enum Step {
+    /// Load from an input array at `i + off`.
+    Load { second: bool, off: u8 },
+    /// Load from the output array at `i` (may read earlier stores — a
+    /// loop-carried memory dependence).
+    LoadOut,
+    /// Binary float arithmetic between pool values.
+    Bin { op: u8, a: u8, b: u8 },
+    /// Accumulate into the loop-carried register.
+    Acc { src: u8 },
+    /// Conditional select: compare a pool value, pick between two others.
+    Cond { c: u8, a: u8, b: u8 },
+    /// Store a pool value to the output array at `i + off`.
+    Store { src: u8, off: u8 },
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (any::<bool>(), 0u8..3).prop_map(|(second, off)| Step::Load { second, off }),
+        Just(Step::LoadOut),
+        (0u8..3, any::<u8>(), any::<u8>()).prop_map(|(op, a, b)| Step::Bin { op, a, b }),
+        any::<u8>().prop_map(|src| Step::Acc { src }),
+        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(c, a, b)| Step::Cond { c, a, b }),
+        (any::<u8>(), 0u8..2).prop_map(|(src, off)| Step::Store { src, off }),
+    ]
+}
+
+fn build_program(steps: &[Step], trip: u32) -> (ir::Program, RunInput) {
+    let mut b = ProgramBuilder::new("prop");
+    let n = 40u32;
+    let in0 = b.array("in0", n + 3);
+    let in1 = b.array("in1", n + 3);
+    let out = b.array("out", n + 2);
+    let accout = b.array("accout", 1);
+    let acc = b.fconst(0.0);
+    let seed = b.fconst(1.25);
+    b.for_counted(TripCount::Const(trip), |b, i| {
+        let mut pool: Vec<VReg> = vec![seed];
+        for s in steps {
+            match s {
+                Step::Load { second, off } => {
+                    let arr = if *second { in1 } else { in0 };
+                    pool.push(b.load_elem(arr, i.into(), 1, *off as i64));
+                }
+                Step::LoadOut => pool.push(b.load_elem(out, i.into(), 1, 0)),
+                Step::Bin { op, a, b: rhs } => {
+                    let x = pool[*a as usize % pool.len()];
+                    let y = pool[*rhs as usize % pool.len()];
+                    let v = match op % 3 {
+                        0 => b.fadd(x.into(), y.into()),
+                        1 => b.fsub(x.into(), y.into()),
+                        _ => b.fmul(x.into(), y.into()),
+                    };
+                    pool.push(v);
+                }
+                Step::Acc { src } => {
+                    let x = pool[*src as usize % pool.len()];
+                    b.push_op(Op::new(
+                        Opcode::FAdd,
+                        Some(acc),
+                        vec![acc.into(), x.into()],
+                    ));
+                }
+                Step::Cond { c, a, b: rhs } => {
+                    let cv = pool[*c as usize % pool.len()];
+                    let x = pool[*a as usize % pool.len()];
+                    let y = pool[*rhs as usize % pool.len()];
+                    let cond = b.fcmp(CmpPred::Gt, cv.into(), 1.0f32.into());
+                    let dst = b.named_reg(Type::F32, "sel");
+                    b.if_else(
+                        cond,
+                        |b| b.copy_to(dst, x.into()),
+                        |b| b.copy_to(dst, y.into()),
+                    );
+                    pool.push(dst);
+                }
+                Step::Store { src, off } => {
+                    let x = pool[*src as usize % pool.len()];
+                    b.store_elem(out, i.into(), 1, *off as i64, x.into());
+                }
+            }
+        }
+        // Guarantee at least one observable effect.
+        let last = *pool.last().expect("nonempty pool");
+        b.store_elem(out, i.into(), 1, 0, last.into());
+    });
+    b.store_fixed(accout, 0, acc.into());
+    let program = b.finish();
+    let mut mem = Vec::new();
+    mem.extend(kernels::test_data((n + 3) as usize, 11));
+    mem.extend(kernels::test_data((n + 3) as usize, 12));
+    mem.extend(vec![1.0; (n + 2) as usize]);
+    mem.push(0.0);
+    (
+        program,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+fn exercise(steps: &[Step], trip: u32) {
+    let (program, input) = build_program(steps, trip);
+    program.validate().expect("generated programs are valid");
+    for m in [test_machine(), warp_cell()] {
+        for opts in [
+            CompileOptions::default(),
+            CompileOptions {
+                pipeline: false,
+                ..Default::default()
+            },
+            CompileOptions {
+                hierarchical: false,
+                ..Default::default()
+            },
+        ] {
+            if let Err(e) = run_checked(&program, &m, &opts, &input) {
+                panic!(
+                    "mismatch on {} (pipeline={}, hier={}): {e}\nsteps: {steps:?}\ntrip {trip}",
+                    m.name(),
+                    opts.pipeline,
+                    opts.hierarchical
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        max_shrink_iters: 200,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_loops_match_reference(
+        steps in proptest::collection::vec(step_strategy(), 1..12),
+        trip in 0u32..34,
+    ) {
+        exercise(&steps, trip);
+    }
+
+    #[test]
+    fn random_runtime_trip_counts_match(
+        steps in proptest::collection::vec(step_strategy(), 1..8),
+        trip in 0i32..30,
+    ) {
+        // Same bodies, but with the trip count only known at run time:
+        // exercises the guarded remainder scheme end to end.
+        let (program, mut input) = build_program_runtime(&steps);
+        program.validate().expect("valid");
+        input.regs.push((runtime_trip_reg(&program), ir::Value::I(trip)));
+        for m in [test_machine(), warp_cell()] {
+            if let Err(e) = run_checked(&program, &m, &CompileOptions::default(), &input) {
+                panic!("runtime-trip mismatch on {}: {e}\nsteps: {steps:?} trip {trip}", m.name());
+            }
+        }
+    }
+}
+
+/// Builds the same shape with a register trip count. The trip register is
+/// always the first allocated register (see `runtime_trip_reg`).
+fn build_program_runtime(steps: &[Step]) -> (ir::Program, RunInput) {
+    let mut b = ProgramBuilder::new("prop_rt");
+    let ntrip = b.named_reg(Type::I32, "n");
+    let n = 40u32;
+    let in0 = b.array("in0", n + 3);
+    let in1 = b.array("in1", n + 3);
+    let out = b.array("out", n + 2);
+    let seed = b.fconst(1.25);
+    b.for_counted(TripCount::Reg(ntrip), |b, i| {
+        let mut pool: Vec<VReg> = vec![seed];
+        for s in steps {
+            match s {
+                Step::Load { second, off } => {
+                    let arr = if *second { in1 } else { in0 };
+                    pool.push(b.load_elem(arr, i.into(), 1, *off as i64));
+                }
+                Step::LoadOut => pool.push(b.load_elem(out, i.into(), 1, 0)),
+                Step::Bin { op, a, b: rhs } => {
+                    let x = pool[*a as usize % pool.len()];
+                    let y = pool[*rhs as usize % pool.len()];
+                    let v = match op % 3 {
+                        0 => b.fadd(x.into(), y.into()),
+                        1 => b.fsub(x.into(), y.into()),
+                        _ => b.fmul(x.into(), y.into()),
+                    };
+                    pool.push(v);
+                }
+                Step::Acc { src } | Step::Store { src, off: _ } => {
+                    let x = pool[*src as usize % pool.len()];
+                    b.store_elem(out, i.into(), 1, 1, x.into());
+                }
+                Step::Cond { c, a, b: rhs } => {
+                    let cv = pool[*c as usize % pool.len()];
+                    let x = pool[*a as usize % pool.len()];
+                    let y = pool[*rhs as usize % pool.len()];
+                    let cond = b.fcmp(CmpPred::Gt, cv.into(), 1.0f32.into());
+                    let dst = b.named_reg(Type::F32, "sel");
+                    b.if_else(
+                        cond,
+                        |b| b.copy_to(dst, x.into()),
+                        |b| b.copy_to(dst, y.into()),
+                    );
+                    pool.push(dst);
+                }
+            }
+        }
+        let last = *pool.last().expect("nonempty pool");
+        b.store_elem(out, i.into(), 1, 0, last.into());
+    });
+    let program = b.finish();
+    let mut mem = Vec::new();
+    mem.extend(kernels::test_data((n + 3) as usize, 21));
+    mem.extend(kernels::test_data((n + 3) as usize, 22));
+    mem.extend(vec![1.0; (n + 2) as usize]);
+    (
+        program,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+fn runtime_trip_reg(_p: &ir::Program) -> VReg {
+    VReg(0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        max_shrink_iters: 100,
+        ..ProptestConfig::default()
+    })]
+
+    /// Nested loops: an outer loop re-executes a random inner body; the
+    /// inner loop pipelines, the outer is structural, and loop-control
+    /// bookkeeping (counters, preambles, fused epilogs) must survive
+    /// repetition.
+    #[test]
+    fn nested_random_loops_match(
+        steps in proptest::collection::vec(step_strategy(), 1..8),
+        inner_trip in 1u32..12,
+        outer_trip in 1u32..5,
+    ) {
+        let (program, input) = build_nested(&steps, inner_trip, outer_trip);
+        program.validate().expect("valid");
+        for m in [test_machine(), warp_cell()] {
+            for opts in [
+                CompileOptions::default(),
+                CompileOptions {
+                    fuse_epilog: false,
+                    ..Default::default()
+                },
+            ] {
+                if let Err(e) = run_checked(&program, &m, &opts, &input) {
+                    panic!(
+                        "nested mismatch on {} (fuse={}): {e}\nsteps: {steps:?} \
+                         inner {inner_trip} outer {outer_trip}",
+                        m.name(),
+                        opts.fuse_epilog
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// An outer loop around a random inner body, with scalar work between the
+/// inner loop and the outer back edge (epilog-fusion candidates).
+fn build_nested(steps: &[Step], inner_trip: u32, outer_trip: u32) -> (ir::Program, RunInput) {
+    let mut b = ProgramBuilder::new("prop_nested");
+    let n = 16u32;
+    let in0 = b.array("in0", n + 3);
+    let in1 = b.array("in1", n + 3);
+    let out = b.array("out", n + 2);
+    let marks = b.array("marks", 8);
+    let seed = b.fconst(1.1);
+    b.for_counted(TripCount::Const(outer_trip), |b, o| {
+        b.for_counted(TripCount::Const(inner_trip), |b, i| {
+            let mut pool: Vec<VReg> = vec![seed];
+            for s in steps {
+                match s {
+                    Step::Load { second, off } => {
+                        let arr = if *second { in1 } else { in0 };
+                        pool.push(b.load_elem(arr, i.into(), 1, *off as i64));
+                    }
+                    Step::LoadOut => pool.push(b.load_elem(out, i.into(), 1, 0)),
+                    Step::Bin { op, a, b: rhs } => {
+                        let x = pool[*a as usize % pool.len()];
+                        let y = pool[*rhs as usize % pool.len()];
+                        let v = match op % 3 {
+                            0 => b.fadd(x.into(), y.into()),
+                            1 => b.fsub(x.into(), y.into()),
+                            _ => b.fmul(x.into(), y.into()),
+                        };
+                        pool.push(v);
+                    }
+                    Step::Cond { c, a, b: rhs } => {
+                        let cv = pool[*c as usize % pool.len()];
+                        let x = pool[*a as usize % pool.len()];
+                        let y = pool[*rhs as usize % pool.len()];
+                        let cond = b.fcmp(CmpPred::Gt, cv.into(), 1.0f32.into());
+                        let dst = b.named_reg(Type::F32, "sel");
+                        b.if_else(
+                            cond,
+                            |b| b.copy_to(dst, x.into()),
+                            |b| b.copy_to(dst, y.into()),
+                        );
+                        pool.push(dst);
+                    }
+                    Step::Acc { src } | Step::Store { src, .. } => {
+                        let x = pool[*src as usize % pool.len()];
+                        b.store_elem(out, i.into(), 1, 1, x.into());
+                    }
+                }
+            }
+            let last = *pool.last().expect("nonempty");
+            b.store_elem(out, i.into(), 1, 0, last.into());
+        });
+        // Scalar work between inner executions: reads a loop output,
+        // writes a per-outer-iteration mark.
+        let probe = b.load_elem(out, 0i32.into(), 1, 0);
+        let scaled = b.fmul(probe.into(), 0.5f32.into());
+        b.store_elem(marks, o.into(), 1, 0, scaled.into());
+    });
+    let program = b.finish();
+    let mut mem = Vec::new();
+    mem.extend(kernels::test_data((n + 3) as usize, 31));
+    mem.extend(kernels::test_data((n + 3) as usize, 32));
+    mem.extend(vec![1.0; (n + 2) as usize]);
+    mem.extend(vec![0.0; 8]);
+    (
+        program,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
