@@ -1,13 +1,16 @@
-//! Criterion benches for the design-choice ablations called out in
-//! DESIGN.md §4:
+//! Design-choice ablations called out in DESIGN.md §4, timed on the
+//! in-tree std-only harness (`bench::timing`):
 //!
 //! * **linear vs binary interval search** (§2.2: the paper argues linear
 //!   search wins because the lower bound is usually achievable and
 //!   schedulability is not monotonic);
 //! * **height-based vs source-order list-scheduling priority**;
 //! * **min-code-size vs min-registers unroll policy** (§2.3).
+//!
+//! Run with `cargo bench -p bench --bench ablations`; `BENCH_SAMPLES` and
+//! `BENCH_SAMPLE_MS` tune the sampling effort.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use bench::timing::{bench, report, BenchConfig};
 use machine::presets::warp_cell;
 use swp::{CompileOptions, IiSearch, Priority, SchedOptions, UnrollPolicy};
 
@@ -20,9 +23,11 @@ fn search_bodies() -> Vec<kernels::Kernel> {
     ]
 }
 
-fn bench_ii_search(c: &mut Criterion) {
+fn main() {
+    let cfg = BenchConfig::default();
     let m = warp_cell();
-    let mut g = c.benchmark_group("ii_search");
+
+    let mut ii_search = Vec::new();
     for k in search_bodies() {
         for (label, search) in [("linear", IiSearch::Linear), ("binary", IiSearch::Binary)] {
             let opts = CompileOptions {
@@ -32,40 +37,34 @@ fn bench_ii_search(c: &mut Criterion) {
                 },
                 ..Default::default()
             };
-            g.bench_with_input(BenchmarkId::new(label, &k.name), &k, |b, k| {
-                b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
-            });
+            ii_search.push(bench(&format!("{label}/{}", k.name), &cfg, || {
+                swp::compile(&k.program, &m, &opts).expect("compiles")
+            }));
         }
     }
-    g.finish();
-}
+    report("ii_search", &ii_search);
 
-fn bench_priority(c: &mut Criterion) {
-    let m = warp_cell();
-    let mut g = c.benchmark_group("priority");
+    let mut priority = Vec::new();
     for k in search_bodies() {
-        for (label, priority) in [
+        for (label, p) in [
             ("height", Priority::Height),
             ("source", Priority::SourceOrder),
         ] {
             let opts = CompileOptions {
                 sched: SchedOptions {
-                    priority,
+                    priority: p,
                     ..Default::default()
                 },
                 ..Default::default()
             };
-            g.bench_with_input(BenchmarkId::new(label, &k.name), &k, |b, k| {
-                b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
-            });
+            priority.push(bench(&format!("{label}/{}", k.name), &cfg, || {
+                swp::compile(&k.program, &m, &opts).expect("compiles")
+            }));
         }
     }
-    g.finish();
-}
+    report("priority", &priority);
 
-fn bench_unroll_policy(c: &mut Criterion) {
-    let m = warp_cell();
-    let mut g = c.benchmark_group("unroll_policy");
+    let mut unroll = Vec::new();
     for k in search_bodies() {
         for (label, policy) in [
             ("min_code", UnrollPolicy::MinCodeSize),
@@ -75,20 +74,10 @@ fn bench_unroll_policy(c: &mut Criterion) {
                 unroll_policy: policy,
                 ..Default::default()
             };
-            g.bench_with_input(BenchmarkId::new(label, &k.name), &k, |b, k| {
-                b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
-            });
+            unroll.push(bench(&format!("{label}/{}", k.name), &cfg, || {
+                swp::compile(&k.program, &m, &opts).expect("compiles")
+            }));
         }
     }
-    g.finish();
+    report("unroll_policy", &unroll);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(30)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_ii_search, bench_priority, bench_unroll_policy
-}
-criterion_main!(benches);

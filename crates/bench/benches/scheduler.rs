@@ -1,49 +1,41 @@
-//! Criterion benches: compilation (scheduling) throughput.
+//! Compilation (scheduling) throughput, on the in-tree std-only timing
+//! harness (`bench::timing`).
 //!
 //! The paper argues its approach keeps compilation cheap — the kernel is
 //! unrolled at code-emission time, so "the compilation time is
 //! unaffected". These benches measure the full compile path (dependence
 //! graph, SCC closure, interval search, expansion, emission) per kernel.
+//!
+//! Run with `cargo bench -p bench --bench scheduler`; `BENCH_SAMPLES` and
+//! `BENCH_SAMPLE_MS` tune the sampling effort.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::timing::{bench, report, BenchConfig};
 use machine::presets::warp_cell;
 use swp::CompileOptions;
 
-fn bench_compile_livermore(c: &mut Criterion) {
+fn main() {
+    let cfg = BenchConfig::default();
     let m = warp_cell();
     let opts = CompileOptions::default();
-    let mut g = c.benchmark_group("compile_livermore");
+
+    let mut livermore = Vec::new();
     for k in kernels::livermore::all() {
         // Skip the deliberately enormous kernel 22 analog in the timing
         // loop; its cost is dominated by sheer op count.
         if k.name == "ll22_planck" {
             continue;
         }
-        g.bench_function(&k.name, |b| {
-            b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
-        });
+        livermore.push(bench(&k.name, &cfg, || {
+            swp::compile(&k.program, &m, &opts).expect("compiles")
+        }));
     }
-    g.finish();
-}
+    report("compile_livermore", &livermore);
 
-fn bench_compile_apps(c: &mut Criterion) {
-    let m = warp_cell();
-    let opts = CompileOptions::default();
-    let mut g = c.benchmark_group("compile_apps");
+    let mut apps = Vec::new();
     for k in kernels::apps::all() {
-        g.bench_function(&k.name, |b| {
-            b.iter(|| swp::compile(&k.program, &m, &opts).expect("compiles"))
-        });
+        apps.push(bench(&k.name, &cfg, || {
+            swp::compile(&k.program, &m, &opts).expect("compiles")
+        }));
     }
-    g.finish();
+    report("compile_apps", &apps);
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default()
-        .sample_size(30)
-        .measurement_time(std::time::Duration::from_secs(2))
-        .warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_compile_livermore, bench_compile_apps
-}
-criterion_main!(benches);

@@ -124,6 +124,138 @@ pub fn mean(xs: &[f64]) -> f64 {
     }
 }
 
+/// A minimal std-only wall-clock benchmarking harness (the hermetic-build
+/// policy forbids registry dependencies, so `criterion` is out).
+///
+/// The `benches/*.rs` targets are plain `main` programs (`harness =
+/// false`) built on this module: each case is warmed up, calibrated to a
+/// target sample duration, sampled repeatedly, and reported as a
+/// min/median/mean table. Timer noise floor is handled by batching —
+/// a sample always runs enough iterations to span milliseconds.
+pub mod timing {
+    use std::time::{Duration, Instant};
+
+    /// Measured statistics for one benchmark case.
+    #[derive(Debug, Clone)]
+    pub struct Stats {
+        /// Case label.
+        pub name: String,
+        /// Iterations per sample (batch size after calibration).
+        pub iters_per_sample: u32,
+        /// Per-iteration time of the fastest sample.
+        pub min: Duration,
+        /// Per-iteration median over samples.
+        pub median: Duration,
+        /// Per-iteration mean over samples.
+        pub mean: Duration,
+    }
+
+    impl Stats {
+        /// Renders as a fixed-width table row body.
+        pub fn row(&self) -> Vec<String> {
+            vec![
+                self.name.clone(),
+                format_duration(self.min),
+                format_duration(self.median),
+                format_duration(self.mean),
+                self.iters_per_sample.to_string(),
+            ]
+        }
+    }
+
+    /// Human-readable duration with an adaptive unit.
+    pub fn format_duration(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 1_000 {
+            format!("{ns} ns")
+        } else if ns < 1_000_000 {
+            format!("{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 1_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.2} s", ns as f64 / 1e9)
+        }
+    }
+
+    /// Harness configuration. `BENCH_SAMPLES` and `BENCH_SAMPLE_MS`
+    /// override the defaults without recompiling.
+    #[derive(Debug, Clone, Copy)]
+    pub struct BenchConfig {
+        /// Samples collected per case.
+        pub samples: usize,
+        /// Target wall-clock duration of one sample.
+        pub sample_time: Duration,
+    }
+
+    impl Default for BenchConfig {
+        fn default() -> Self {
+            let samples = std::env::var("BENCH_SAMPLES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(12);
+            let ms = std::env::var("BENCH_SAMPLE_MS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(25u64);
+            BenchConfig {
+                samples,
+                sample_time: Duration::from_millis(ms),
+            }
+        }
+    }
+
+    /// Times `f`, returning per-iteration statistics. The closure's return
+    /// value is consumed with [`std::hint::black_box`], so the compiler
+    /// cannot elide the work.
+    pub fn bench<T>(name: &str, cfg: &BenchConfig, mut f: impl FnMut() -> T) -> Stats {
+        // Warm-up and calibration: run until the batch spans the target
+        // sample time, doubling the batch each try.
+        let mut iters: u32 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let took = start.elapsed();
+            if took >= cfg.sample_time || iters >= 1 << 20 {
+                break;
+            }
+            // Jump close to the target, at least doubling.
+            let scale = (cfg.sample_time.as_nanos() / took.as_nanos().max(1)) as u32;
+            iters = iters.saturating_mul(scale.clamp(2, 1024)).min(1 << 20);
+        }
+        let mut per_iter: Vec<Duration> = (0..cfg.samples.max(1))
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters {
+                    std::hint::black_box(f());
+                }
+                start.elapsed() / iters
+            })
+            .collect();
+        per_iter.sort();
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let sum: Duration = per_iter.iter().sum();
+        Stats {
+            name: name.to_string(),
+            iters_per_sample: iters,
+            min,
+            median,
+            mean: sum / per_iter.len() as u32,
+        }
+    }
+
+    /// Prints a group of results as one table.
+    pub fn report(group: &str, stats: &[Stats]) {
+        println!("\n== {group} ==");
+        super::print_table(
+            &["case", "min", "median", "mean", "iters/sample"],
+            &stats.iter().map(Stats::row).collect::<Vec<_>>(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -13,8 +13,7 @@
 //! programs containing conditionals, as in the paper.
 
 use ir::{CmpPred, Op, Opcode, Operand, ProgramBuilder, TripCount, VReg};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use swp::testkit::SplitMix64;
 use vm::RunInput;
 
 use crate::{test_data, Kernel, Suite};
@@ -47,7 +46,7 @@ pub struct Shape {
 
 /// Generates the deterministic 72-program population.
 pub fn population() -> Vec<Kernel> {
-    let mut rng = StdRng::seed_from_u64(1988);
+    let mut rng = SplitMix64::new(1988);
     let mut kernels = Vec::with_capacity(POPULATION);
     for idx in 0..POPULATION {
         // First WITH_CONDITIONALS programs get conditionals; interleave so
@@ -56,19 +55,23 @@ pub fn population() -> Vec<Kernel> {
         let mem_recurrence = idx % 4 == 3;
         let shape = Shape {
             trip: *[64u32, 96, 128, 192, 256]
-                .get(rng.gen_range(0..5))
+                .get(rng.below(5) as usize)
                 .expect("in range"),
             // Memory-recurrence programs are *dominated* by their serial
             // cycle (like Livermore 5/11): small bodies, so the
             // recurrence, not parallelism, sets the pace.
-            streams: if mem_recurrence { 1 } else { rng.gen_range(1..=3) },
-            chain: if mem_recurrence {
-                rng.gen_range(1..=2)
+            streams: if mem_recurrence {
+                1
             } else {
-                rng.gen_range(1..=6)
+                1 + rng.below(3) as u32
             },
-            width: if mem_recurrence { 0 } else { rng.gen_range(0..=4) },
-            recurrence: rng.gen_bool(0.5),
+            chain: if mem_recurrence {
+                1 + rng.below(2) as u32
+            } else {
+                1 + rng.below(6) as u32
+            },
+            width: if mem_recurrence { 0 } else { rng.below(5) as u32 },
+            recurrence: rng.chance(0.5),
             mem_recurrence,
             conditional,
         };
@@ -78,7 +81,7 @@ pub fn population() -> Vec<Kernel> {
 }
 
 /// Generates one program from a shape.
-pub fn generate(idx: usize, shape: &Shape, rng: &mut StdRng) -> Kernel {
+pub fn generate(idx: usize, shape: &Shape, rng: &mut SplitMix64) -> Kernel {
     let name = format!("user{idx:02}");
     let mut b = ProgramBuilder::new(name.clone());
     let t = shape.trip;

@@ -1,0 +1,97 @@
+//! Golden-schedule regression: the achieved initiation interval of every
+//! Livermore loop on every machine preset, pinned to exact values in
+//! `tests/golden_ii.txt`.
+//!
+//! Any change to the scheduler — priority function, interval search,
+//! closure computation — that shifts an II shows up here as a one-line
+//! diff, reviewed like any other code change. After an *intentional*
+//! scheduler change, regenerate the table with
+//!
+//! ```text
+//! GOLDEN_II_REGEN=1 cargo test -p kernels --test golden_ii
+//! ```
+//!
+//! and commit the new file alongside the change that caused it.
+
+use machine::presets::{test_machine, toy_vector, warp_cell};
+use machine::MachineDescription;
+use swp::CompileOptions;
+
+const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_ii.txt");
+
+fn presets() -> Vec<MachineDescription> {
+    vec![warp_cell(), test_machine(), toy_vector()]
+}
+
+/// One line per kernel x machine: `kernel machine loop=ii[,loop=ii...]`,
+/// with `-` for a loop that fell back to unpipelined code.
+fn snapshot() -> String {
+    let opts = CompileOptions::default();
+    let mut out = String::from(
+        "# Achieved initiation intervals: kernel machine loop=ii[,loop=ii...]\n\
+         # ('-' = loop not pipelined.) Regenerate after intentional scheduler\n\
+         # changes with: GOLDEN_II_REGEN=1 cargo test -p kernels --test golden_ii\n",
+    );
+    for m in presets() {
+        for k in kernels::livermore::all() {
+            let c = swp::compile(&k.program, &m, &opts)
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, m.name()));
+            let loops: Vec<String> = c
+                .reports
+                .iter()
+                .map(|r| {
+                    let ii = r.ii.map_or_else(|| "-".to_string(), |x| x.to_string());
+                    format!("{}={ii}", r.label)
+                })
+                .collect();
+            let loops = if loops.is_empty() {
+                "-".to_string()
+            } else {
+                loops.join(",")
+            };
+            out.push_str(&format!("{} {} {}\n", k.name, m.name(), loops));
+        }
+    }
+    out
+}
+
+#[test]
+fn achieved_ii_matches_golden() {
+    let actual = snapshot();
+    if std::env::var("GOLDEN_II_REGEN").is_ok_and(|v| v == "1") {
+        std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");
+        eprintln!("golden_ii: regenerated {GOLDEN_PATH}");
+        return;
+    }
+    let expected = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {GOLDEN_PATH} ({e}); \
+             run GOLDEN_II_REGEN=1 cargo test -p kernels --test golden_ii"
+        )
+    });
+    if actual == expected {
+        return;
+    }
+    // Report the exact rows that moved, not a wall of text.
+    let mut diffs = Vec::new();
+    let mut old = expected.lines();
+    let mut new = actual.lines();
+    loop {
+        match (old.next(), new.next()) {
+            (None, None) => break,
+            (o, n) if o == n => continue,
+            (o, n) => diffs.push(format!(
+                "  - {}\n  + {}",
+                o.unwrap_or("<missing>"),
+                n.unwrap_or("<missing>")
+            )),
+        }
+    }
+    panic!(
+        "achieved IIs diverge from tests/golden_ii.txt ({} row(s)):\n{}\n\
+         If the scheduler change is intentional, regenerate with \
+         GOLDEN_II_REGEN=1 and commit the new table.",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}

@@ -1,0 +1,80 @@
+//! Acceptance sweep for the static legality verifier: every Livermore
+//! kernel, on every machine preset, pipelined and not, must verify with
+//! zero violations — and a deliberately corrupted program must not.
+
+use machine::presets::{test_machine, toy_vector, warp_cell};
+use machine::MachineDescription;
+use swp::CompileOptions;
+use vm::CheckError;
+
+fn presets() -> Vec<MachineDescription> {
+    vec![warp_cell(), test_machine(), toy_vector()]
+}
+
+/// The positive half of the oracle: `swp::verify` stays silent on every
+/// schedule the compiler actually produces.
+#[test]
+fn livermore_schedules_verify_clean_everywhere() {
+    for m in presets() {
+        for pipeline in [true, false] {
+            let opts = CompileOptions {
+                pipeline,
+                ..Default::default()
+            };
+            for k in kernels::livermore::all() {
+                let c = swp::compile(&k.program, &m, &opts)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, m.name()));
+                let vs = swp::verify::verify_compiled(&c, &m);
+                assert!(
+                    vs.is_empty(),
+                    "{} on {} (pipeline={pipeline}): {} violation(s):\n{}",
+                    k.name,
+                    m.name(),
+                    vs.len(),
+                    vs.iter()
+                        .map(|v| format!("  {v}"))
+                        .collect::<Vec<_>>()
+                        .join("\n")
+                );
+            }
+        }
+    }
+}
+
+/// The negative half: corrupt real object code (duplicate a float op into
+/// its own word, doubling the demand on a single-unit resource) and the
+/// checked runner must refuse with `CheckError::Illegal` before ever
+/// executing a cycle.
+#[test]
+fn tampered_object_code_is_rejected_by_checked_run() {
+    let m = warp_cell();
+    let k = kernels::livermore::ll1_hydro();
+    let mut compiled =
+        swp::compile(&k.program, &m, &CompileOptions::default()).expect("compiles");
+    assert!(swp::verify::verify_compiled(&compiled, &m).is_empty());
+
+    'tamper: for block in &mut compiled.vliw.blocks {
+        for word in &mut block.words {
+            if let Some(op) = word
+                .ops
+                .iter()
+                .find(|o| matches!(o.opcode, ir::Opcode::FAdd | ir::Opcode::FMul))
+                .cloned()
+            {
+                word.ops.push(op);
+                break 'tamper;
+            }
+        }
+    }
+
+    match vm::run_checked_compiled(&k.program, &compiled, &m, &k.input) {
+        Err(CheckError::Illegal(vs)) => {
+            assert!(!vs.is_empty());
+            assert!(
+                vs.iter().any(|v| v.constraint == swp::verify::Constraint::Resource),
+                "{vs:?}"
+            );
+        }
+        other => panic!("tampered program must be rejected as illegal, got {other:?}"),
+    }
+}

@@ -208,6 +208,23 @@ impl LoopReport {
     }
 }
 
+/// Scheduling artifacts retained for one *pipelined* loop so that the
+/// static legality verifier ([`crate::verify`]) can independently re-check
+/// the schedule against the dependence graph it was produced for — the
+/// emitter's own bookkeeping is never trusted.
+#[derive(Debug, Clone)]
+pub struct LoopArtifacts {
+    /// The loop's label (matches [`LoopReport::label`] and the emitted
+    /// block labels `<label>.kernel`, `<label>.epilog`, …).
+    pub label: String,
+    /// The dependence graph the schedule was produced for.
+    pub graph: DepGraph,
+    /// The achieved modulo schedule.
+    pub schedule: Schedule,
+    /// The rotating-register assignment (modulo variable expansion).
+    pub expansion: Expansion,
+}
+
 /// A compiled program plus per-loop reports.
 #[derive(Debug, Clone)]
 pub struct CompiledProgram {
@@ -215,6 +232,10 @@ pub struct CompiledProgram {
     pub vliw: VliwProgram,
     /// One report per loop, innermost-first within each nest.
     pub reports: Vec<LoopReport>,
+    /// Scheduling artifacts, one entry per *pipelined* loop (loops that
+    /// fell back to unpipelined code leave no artifacts). Consumed by
+    /// [`crate::verify::verify_compiled`].
+    pub artifacts: Vec<LoopArtifacts>,
 }
 
 /// Compilation errors (malformed input).
@@ -246,6 +267,7 @@ pub fn compile(
         regs: p.regs.clone(),
         blocks: vec![Block::new("entry")],
         reports: Vec::new(),
+        artifacts: Vec::new(),
         next_loop: 0,
     };
     e.emit_stmts(&p.body, 0);
@@ -261,6 +283,7 @@ pub fn compile(
             entry: BlockId(0),
         },
         reports: e.reports,
+        artifacts: e.artifacts,
     })
 }
 
@@ -278,6 +301,7 @@ struct Emitter<'m> {
     regs: RegTable,
     blocks: Vec<Block>,
     reports: Vec<LoopReport>,
+    artifacts: Vec<LoopArtifacts>,
     next_loop: u32,
 }
 
@@ -465,7 +489,15 @@ impl<'m> Emitter<'m> {
         let plan = self.plan_pipeline(items, &l.trip, unpip_len, &mut report);
         let words_before = self.total_words();
         let consumed = match plan {
-            Some(plan) => self.emit_pipelined(l, &fallback, plan, &label, tail),
+            Some(plan) => {
+                self.artifacts.push(LoopArtifacts {
+                    label: label.clone(),
+                    graph: plan.g.clone(),
+                    schedule: plan.sched.clone(),
+                    expansion: plan.exp.clone(),
+                });
+                self.emit_pipelined(l, &fallback, plan, &label, tail)
+            }
             None => {
                 self.emit_fallback_loop(&l.body, l.trip, &fallback, depth, &label);
                 false

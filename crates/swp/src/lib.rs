@@ -65,14 +65,17 @@ mod pathalg;
 mod pressure;
 mod scc;
 mod schedule;
+pub mod testkit;
 mod unroll;
+pub mod verify;
 pub mod viz;
 
 pub use build::{build_graph, BuildOptions};
 pub use code::{Block, BlockId, Terminator, VliwProgram, Word};
 pub use compact::{compact_block, compact_graph, linear_place, sequentialize, CompactedRegion};
 pub use emit::{
-    compile, CompileError, CompileOptions, CompiledProgram, LoopReport, NotPipelined,
+    compile, CompileError, CompileOptions, CompiledProgram, LoopArtifacts, LoopReport,
+    NotPipelined,
 };
 pub use build::build_item_graph;
 pub use graph::{Access, DepEdge, DepGraph, DepKind, Node, NodeId, NodeKind, PlacedItem, ReducedCond};

@@ -79,13 +79,58 @@ pub fn rec_mii(closures: &[SccClosure]) -> Result<u32, IllegalCycle> {
 mod tests {
     use super::*;
     use crate::build::{build_graph, BuildOptions};
+    use crate::graph::{DepEdge, DepKind, Node};
     use crate::scc::tarjan;
-    use ir::{Op, Opcode, RegTable, Type, VReg};
+    use ir::{Imm, Op, Opcode, RegTable, Type, VReg};
     use machine::presets::test_machine;
+    use machine::OpClass;
 
     fn fadd(regs: &mut RegTable, a: VReg, b: VReg) -> (Op, VReg) {
         let d = regs.alloc(Type::F32);
         (Op::new(Opcode::FAdd, Some(d), vec![a.into(), b.into()]), d)
+    }
+
+    /// A standalone node for hand-built graphs (the edges carry all the
+    /// recurrence structure; operands are irrelevant to the bound).
+    fn leaf(m: &MachineDescription, class: OpClass, dst: u32) -> Node {
+        let opcode = match class {
+            OpClass::FloatDiv => Opcode::FDiv,
+            OpClass::FloatMul => Opcode::FMul,
+            _ => Opcode::FAdd,
+        };
+        Node::op(
+            Op::new(
+                opcode,
+                Some(VReg(dst)),
+                vec![Imm::F(1.0).into(), Imm::F(2.0).into()],
+            ),
+            m.reservation(class).clone(),
+        )
+    }
+
+    /// Closures for every non-trivial SCC (same filter the scheduler
+    /// applies: multi-node components, or single nodes with a self edge).
+    fn closures_of(g: &DepGraph) -> Vec<SccClosure> {
+        let scc = tarjan(g);
+        (0..scc.len())
+            .filter(|&c| {
+                scc.members[c].len() > 1 || {
+                    let n = scc.members[c][0];
+                    g.succ_edges(n).any(|e| e.to == n)
+                }
+            })
+            .map(|c| SccClosure::compute(g, &scc, c))
+            .collect()
+    }
+
+    fn edge(from: crate::graph::NodeId, to: crate::graph::NodeId, delay: i64, omega: u32) -> DepEdge {
+        DepEdge {
+            from,
+            to,
+            delay,
+            omega,
+            kind: DepKind::True,
+        }
     }
 
     #[test]
@@ -131,6 +176,86 @@ mod tests {
     #[test]
     fn acyclic_rec_mii_zero() {
         assert_eq!(rec_mii(&[]).unwrap(), 0);
+    }
+
+    /// Two-node cycle a -> b (d=3, omega=0), b -> a (d=2, omega=1): total
+    /// delay 5 over one iteration of slack, so RecMII = 5 exactly.
+    #[test]
+    fn rec_mii_two_node_cycle() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        let a = g.add_node(leaf(&m, OpClass::FloatAdd, 0));
+        let b = g.add_node(leaf(&m, OpClass::FloatAdd, 1));
+        g.add_edge(edge(a, b, 3, 0));
+        g.add_edge(edge(b, a, 2, 1));
+        assert_eq!(rec_mii(&closures_of(&g)).unwrap(), 5);
+    }
+
+    /// The bound is ceil(d/omega), not floor: delay 5 spread over two
+    /// iterations gives ceil(5/2) = 3.
+    #[test]
+    fn rec_mii_rounds_up() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        let a = g.add_node(leaf(&m, OpClass::FloatAdd, 0));
+        let b = g.add_node(leaf(&m, OpClass::FloatAdd, 1));
+        g.add_edge(edge(a, b, 3, 1));
+        g.add_edge(edge(b, a, 2, 1));
+        assert_eq!(rec_mii(&closures_of(&g)).unwrap(), 3);
+    }
+
+    /// With several independent recurrences the slowest one governs.
+    #[test]
+    fn rec_mii_takes_max_over_cycles() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        let a = g.add_node(leaf(&m, OpClass::FloatAdd, 0));
+        let b = g.add_node(leaf(&m, OpClass::FloatAdd, 1));
+        g.add_edge(edge(a, a, 2, 1)); // bound 2
+        g.add_edge(edge(b, b, 7, 2)); // bound ceil(7/2) = 4
+        assert_eq!(rec_mii(&closures_of(&g)).unwrap(), 4);
+    }
+
+    /// Composite cycles matter too: the closure must consider the tour
+    /// through both edges of the SCC, not just each edge alone.
+    #[test]
+    fn rec_mii_composite_cycle_dominates_self_edges() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        let a = g.add_node(leaf(&m, OpClass::FloatAdd, 0));
+        let b = g.add_node(leaf(&m, OpClass::FloatAdd, 1));
+        // Each edge alone is harmless (omega-weighted slack is ample);
+        // the combined cycle has d=10, omega=1 => bound 10.
+        g.add_edge(edge(a, b, 8, 0));
+        g.add_edge(edge(b, a, 2, 1));
+        g.add_edge(edge(a, a, 1, 1)); // bound 1 on its own
+        assert_eq!(rec_mii(&closures_of(&g)).unwrap(), 10);
+    }
+
+    /// A cycle with zero iteration difference and positive delay cannot be
+    /// executed at any interval: rec_mii must report it, not loop forever.
+    #[test]
+    fn rec_mii_rejects_zero_omega_cycle() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        let a = g.add_node(leaf(&m, OpClass::FloatAdd, 0));
+        let b = g.add_node(leaf(&m, OpClass::FloatAdd, 1));
+        g.add_edge(edge(a, b, 1, 0));
+        g.add_edge(edge(b, a, 1, 0));
+        assert_eq!(rec_mii(&closures_of(&g)), Err(IllegalCycle));
+    }
+
+    /// Multi-cycle reservations count every occupied row: each FDiv holds
+    /// the single fmul unit for 3 cycles on the test machine, so two
+    /// divides plus a multiply demand 7 fmul-cycles per iteration.
+    #[test]
+    fn res_mii_counts_multi_cycle_reservations() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        g.add_node(leaf(&m, OpClass::FloatDiv, 0));
+        g.add_node(leaf(&m, OpClass::FloatDiv, 1));
+        g.add_node(leaf(&m, OpClass::FloatMul, 2));
+        assert_eq!(res_mii(&g, &m), 7);
     }
 
     #[test]

@@ -140,6 +140,13 @@ impl LinearTable {
             }
         }
     }
+
+    /// Units of a resource in use at cycle `t` (0 beyond the grid).
+    pub fn used(&self, resource: machine::ResourceId, t: u32) -> u16 {
+        self.rows
+            .get(t as usize)
+            .map_or(0, |row| row[resource.index()])
+    }
 }
 
 #[cfg(test)]
@@ -208,6 +215,57 @@ mod tests {
         assert!(t.fits(&fmul, 0), "distinct units share a cycle");
         t.place(&fmul, 0);
         assert!(!t.fits(&fadd, 5), "same unit wraps onto itself at s=1");
+    }
+
+    /// A multi-cycle reservation issued in the last slot wraps across the
+    /// table boundary and claims the leading rows of the next initiation.
+    #[test]
+    fn modulo_boundary_slot_wraps_multi_cycle_reservation() {
+        let m = test_machine();
+        let fdiv = m.reservation(OpClass::FloatDiv).clone();
+        let fmul = m.reservation(OpClass::FloatMul).clone();
+        let mut t = ModuloTable::new(&m, 3);
+        // FDiv holds fmul for 3 cycles; issued at the boundary slot 2 it
+        // occupies rows 2, 0, 1 — the whole table.
+        t.place(&fdiv, 2);
+        for cycle in 0..3 {
+            assert!(!t.fits(&fmul, cycle), "row {cycle} must be blocked");
+        }
+        let rid = fdiv
+            .rows()
+            .next()
+            .unwrap()
+            .iter()
+            .next()
+            .map(|(rid, _)| rid)
+            .unwrap();
+        assert_eq!(t.used(rid, 0), 1);
+        assert_eq!(t.used(rid, 1), 1);
+        assert_eq!(t.used(rid, 2), 1);
+        t.remove(&fdiv, 2);
+        assert!(t.fits(&fmul, 0) && t.fits(&fmul, 1) && t.fits(&fmul, 2));
+    }
+
+    /// `used` accounts by wrapped row, so congruent cycles — including
+    /// negative prologue times — read the same counter.
+    #[test]
+    fn modulo_used_is_congruence_class_accounting() {
+        let m = test_machine();
+        let fadd = m.reservation(OpClass::FloatAdd).clone();
+        let rid = fadd
+            .rows()
+            .next()
+            .unwrap()
+            .iter()
+            .next()
+            .map(|(rid, _)| rid)
+            .unwrap();
+        let mut t = ModuloTable::new(&m, 4);
+        t.place(&fadd, 5); // row 1
+        for cycle in [1i64, 5, 9, -3, -7] {
+            assert_eq!(t.used(rid, cycle), 1, "cycle {cycle} is row 1");
+        }
+        assert_eq!(t.used(rid, 0), 0);
     }
 
     #[test]

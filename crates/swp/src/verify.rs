@@ -1,0 +1,667 @@
+//! Static schedule-legality verification.
+//!
+//! Lam's central claim is that modulo scheduling produces *legal*
+//! schedules: every kernel row respects the modulo resource reservation
+//! table and every dependence edge `u -> v` satisfies
+//! `sigma(v) - sigma(u) >= d - s * p` (§3 of the paper). The end-to-end
+//! bit-equivalence oracle in `vm::run_checked` catches miscompiles but
+//! cannot localize *which* scheduler invariant broke. This module is the
+//! second oracle layer: it independently re-derives each invariant from
+//! first principles — never reusing the scheduler's own bookkeeping — and
+//! reports every breach as a structured [`Violation`].
+//!
+//! Five constraint families are checked:
+//!
+//! 1. **Resource** — per-cycle unit usage of every emitted block against
+//!    the machine's availability ([`verify_object_code`]), including the
+//!    steady-state wraparound of self-looping blocks;
+//! 2. **Modulo** — the modulo reservation table of the schedule at the
+//!    chosen initiation interval ([`verify_schedule`]);
+//! 3. **Dependence** — every edge's delay/iteration-difference inequality
+//!    against the original dependence graph ([`verify_schedule`]);
+//! 4. **Lifetime** — non-overlap of rotating-register (MVE) copies across
+//!    the unrolled kernel ([`verify_expansion`]);
+//! 5. **Stage** — prolog/kernel/epilog consistency: the prolog must fill
+//!    exactly what the epilog drains and the kernel must carry one
+//!    instance of every node per unrolled copy ([`verify_regions`]).
+//!
+//! [`verify_compiled`] runs all five over a [`CompiledProgram`] (the
+//! emitter retains per-loop [`LoopArtifacts`] precisely for this) and is
+//! invoked by `vm::run_checked` on every checked run, and by the property
+//! harness on every generated case.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use machine::{MachineDescription, ReservationTable};
+
+use crate::code::{Terminator, VliwProgram};
+use crate::emit::{CompiledProgram, LoopArtifacts};
+use crate::graph::{Access, DepGraph, NodeId, NodeKind};
+use crate::mrt::{LinearTable, ModuloTable};
+use crate::mve::Expansion;
+use crate::schedule::Schedule;
+
+/// Which invariant a violation breaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Constraint {
+    /// Per-cycle resource usage exceeds a unit's availability.
+    Resource,
+    /// The modulo reservation table conflicts at the chosen interval.
+    Modulo,
+    /// A dependence edge's `sigma(v) - sigma(u) >= d - s*p` inequality.
+    Dependence,
+    /// Rotating-register lifetimes overlap (modulo variable expansion).
+    Lifetime,
+    /// Prolog/kernel/epilog structure disagrees with the schedule.
+    Stage,
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Constraint::Resource => "resource",
+            Constraint::Modulo => "modulo",
+            Constraint::Dependence => "dependence",
+            Constraint::Lifetime => "lifetime",
+            Constraint::Stage => "stage",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One legality breach, localized as precisely as the check allows.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// The constraint family that broke.
+    pub constraint: Constraint,
+    /// The loop (artifact label) or block label the breach sits in.
+    pub context: String,
+    /// Cycle of the breach: schedule-relative for schedule checks,
+    /// block-relative for object-code checks.
+    pub cycle: Option<i64>,
+    /// The scheduling node involved, for schedule-level checks.
+    pub node: Option<NodeId>,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.constraint, self.context)?;
+        if let Some(c) = self.cycle {
+            write!(f, " @cycle {c}")?;
+        }
+        if let Some(n) = self.node {
+            write!(f, " {n}")?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Names the first resource that `res` would overflow when issued at
+/// wrapped cycle `t` of `table`. The reservation's own demand is
+/// aggregated per wrapped row *before* comparing against the table, so a
+/// reservation longer than the table's period is caught conflicting with
+/// itself — a case the incremental `fits` check cannot see.
+fn modulo_overflow(
+    table: &ModuloTable,
+    res: &ReservationTable,
+    t: i64,
+    mach: &MachineDescription,
+) -> Option<String> {
+    let s = table.interval() as i64;
+    let mut demand: BTreeMap<(i64, u32), u16> = BTreeMap::new();
+    for (dt, row) in res.rows().enumerate() {
+        let r = (t + dt as i64).rem_euclid(s);
+        for (rid, units) in row.iter() {
+            *demand.entry((r, rid.0)).or_insert(0) += units;
+        }
+    }
+    for ((r, ri), units) in demand {
+        let rid = machine::ResourceId(ri);
+        let have = table.used(rid, r);
+        let cap = mach.resources()[rid.index()].count;
+        if have + units > cap {
+            return Some(format!(
+                "{} needs {units} more unit(s) atop {have}/{cap}",
+                mach.resources()[rid.index()].name
+            ));
+        }
+    }
+    None
+}
+
+/// Names the first resource that `res` would overflow when issued at
+/// cycle `t` of the linear grid `table`.
+fn linear_overflow(
+    table: &LinearTable,
+    res: &ReservationTable,
+    t: u32,
+    mach: &MachineDescription,
+) -> Option<String> {
+    for (dt, row) in res.rows().enumerate() {
+        for (rid, units) in row.iter() {
+            let have = table.used(rid, t + dt as u32);
+            let cap = mach.resources()[rid.index()].count;
+            if have + units > cap {
+                return Some(format!(
+                    "{} needs {units} more unit(s) atop {have}/{cap}",
+                    mach.resources()[rid.index()].name
+                ));
+            }
+        }
+    }
+    None
+}
+
+/// Checks every dependence edge and the modulo reservation table of a
+/// schedule (constraint families 2 and 3). The graph is walked from
+/// scratch; nothing the scheduler recorded is reused.
+pub fn verify_schedule(
+    g: &DepGraph,
+    sched: &Schedule,
+    mach: &MachineDescription,
+    context: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    if sched.times().len() != g.num_nodes() {
+        out.push(Violation {
+            constraint: Constraint::Stage,
+            context: context.to_string(),
+            cycle: None,
+            node: None,
+            detail: format!(
+                "schedule covers {} nodes, graph has {}",
+                sched.times().len(),
+                g.num_nodes()
+            ),
+        });
+        return out;
+    }
+    let s = sched.ii();
+    for e in g.edges() {
+        let lhs = sched.time(e.to) - sched.time(e.from);
+        let rhs = e.delay - (s as i64) * (e.omega as i64);
+        if lhs < rhs {
+            out.push(Violation {
+                constraint: Constraint::Dependence,
+                context: context.to_string(),
+                cycle: Some(sched.time(e.to)),
+                node: Some(e.to),
+                detail: format!(
+                    "edge {} -> {} ({}, d={}, omega={}): sigma({}) - sigma({}) = {} < {}",
+                    e.from, e.to, e.kind, e.delay, e.omega, e.to, e.from, lhs, rhs
+                ),
+            });
+        }
+    }
+    let mut table = ModuloTable::new(mach, s);
+    for n in g.node_ids() {
+        let res = &g.node(n).reservation;
+        let t = sched.time(n);
+        match modulo_overflow(&table, res, t, mach) {
+            Some(why) => out.push(Violation {
+                constraint: Constraint::Modulo,
+                context: context.to_string(),
+                cycle: Some(t),
+                node: Some(n),
+                detail: format!("modulo row {} at ii={s}: {why}", t.rem_euclid(s as i64)),
+            }),
+            None => table.place(res, t),
+        }
+    }
+    // Reduced constructs must not wrap across an interval boundary: the
+    // emitted branch code has to stay inside one s-aligned window.
+    for n in g.node_ids() {
+        let node = g.node(n);
+        if node.needs_no_wrap() {
+            let t = sched.time(n);
+            if (t % s as i64) + node.len as i64 > s as i64 {
+                out.push(Violation {
+                    constraint: Constraint::Modulo,
+                    context: context.to_string(),
+                    cycle: Some(t),
+                    node: Some(n),
+                    detail: format!(
+                        "reduced construct of len {} wraps the ii={s} boundary",
+                        node.len
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Per-variable lifetime facts, re-derived from the graph and schedule.
+struct Lifetime {
+    first_def: i64,
+    last_use: i64,
+    def_latency: i64,
+}
+
+fn lifetime_of(g: &DepGraph, sched: &Schedule, mach: &MachineDescription, v: ir::VReg) -> Option<Lifetime> {
+    let mut first_def: Option<i64> = None;
+    let mut last_use: Option<i64> = None;
+    let mut def_latency = i64::MAX;
+    for n in g.node_ids() {
+        let t = sched.time(n);
+        g.node(n).for_each_access(&mut |acc| match acc {
+            Access::Op { offset, op, .. } => {
+                let at = t + offset as i64;
+                if op.def() == Some(v) {
+                    first_def = Some(first_def.map_or(at, |f: i64| f.min(at)));
+                    def_latency = def_latency.min(mach.latency(op.opcode.class()) as i64);
+                }
+                if op.uses().any(|u| u == v) {
+                    last_use = Some(last_use.map_or(at, |l: i64| l.max(at)));
+                }
+            }
+            Access::CondUse { offset, reg } => {
+                if reg == v {
+                    let at = t + offset as i64;
+                    last_use = Some(last_use.map_or(at, |l: i64| l.max(at)));
+                }
+            }
+        });
+    }
+    first_def.map(|fd| Lifetime {
+        first_def: fd,
+        last_use: last_use.unwrap_or(fd),
+        def_latency: if def_latency == i64::MAX { 1 } else { def_latency },
+    })
+}
+
+/// Checks that the rotating-register allocation gives every expanded
+/// variable enough copies that no value is overwritten while still live
+/// (constraint family 4).
+///
+/// With `n_v` copies, iteration `j` and iteration `j + n_v` share a
+/// physical register; the later write *retires* `def_latency` cycles
+/// after issuing at `n_v * s` cycles past the earlier one, so the earlier
+/// value survives exactly when `n_v * s + def_latency > lifetime`.
+pub fn verify_expansion(
+    g: &DepGraph,
+    sched: &Schedule,
+    exp: &Expansion,
+    mach: &MachineDescription,
+    context: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let s = sched.ii() as i64;
+    for &v in &g.expandable {
+        let Some(life) = lifetime_of(g, sched, mach, v) else {
+            out.push(Violation {
+                constraint: Constraint::Lifetime,
+                context: context.to_string(),
+                cycle: None,
+                node: None,
+                detail: format!("expandable {v:?} is never defined in the body"),
+            });
+            continue;
+        };
+        let lifetime = (life.last_use - life.first_def).max(0);
+        let n_v = exp.locations(v) as i64;
+        if n_v * s + life.def_latency <= lifetime {
+            out.push(Violation {
+                constraint: Constraint::Lifetime,
+                context: context.to_string(),
+                cycle: Some(life.first_def),
+                node: None,
+                detail: format!(
+                    "{v:?}: lifetime {lifetime} needs more than {n_v} cop(ies) at ii={s} \
+                     (def latency {}): value overwritten {} cycle(s) before its last use",
+                    life.def_latency,
+                    lifetime - (n_v * s + life.def_latency) + 1
+                ),
+            });
+        }
+        if let Some(copies) = exp.copies.get(&v) {
+            if exp.unroll as usize % copies.len() != 0 {
+                out.push(Violation {
+                    constraint: Constraint::Lifetime,
+                    context: context.to_string(),
+                    cycle: None,
+                    node: None,
+                    detail: format!(
+                        "{v:?}: {} copies do not divide the kernel unroll {} — renaming \
+                         would be inconsistent across kernel passes",
+                        copies.len(),
+                        exp.unroll
+                    ),
+                });
+            }
+            if copies.first() != Some(&v) {
+                out.push(Violation {
+                    constraint: Constraint::Lifetime,
+                    context: context.to_string(),
+                    cycle: None,
+                    node: None,
+                    detail: format!("{v:?}: copy 0 must be the home register"),
+                });
+            }
+            let mut sorted = copies.clone();
+            sorted.sort();
+            sorted.dedup();
+            if sorted.len() != copies.len() {
+                out.push(Violation {
+                    constraint: Constraint::Lifetime,
+                    context: context.to_string(),
+                    cycle: None,
+                    node: None,
+                    detail: format!("{v:?}: duplicate physical registers among copies"),
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Checks prolog/kernel/epilog stage consistency (constraint family 5) by
+/// re-deriving the instance counts of every node per region with the
+/// paper's iteration bookkeeping (§2.4):
+///
+/// * the prolog (cycles `[0, k*s)`) issues node `n` once per iteration
+///   `it` with `it*s + sigma(n) < k*s`;
+/// * each kernel pass issues every node exactly `u` times (one per
+///   unrolled copy);
+/// * the epilog (cycles `[0, len - s)`) drains node `n` once per pending
+///   stage.
+///
+/// The conservation law tying them together: **prolog instances + epilog
+/// instances = stages - 1** for every node — the pipeline drains exactly
+/// what was filled.
+pub fn verify_regions(
+    g: &DepGraph,
+    sched: &Schedule,
+    exp: &Expansion,
+    context: &str,
+) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let s = sched.ii() as i64;
+    let len = sched.len_with(g) as i64;
+    let stages = sched.stages(g) as i64;
+    let k = stages - 1;
+    let u = exp.unroll as i64;
+    if len < s || stages < 1 {
+        out.push(Violation {
+            constraint: Constraint::Stage,
+            context: context.to_string(),
+            cycle: None,
+            node: None,
+            detail: format!("schedule length {len} below interval {s}"),
+        });
+        return out;
+    }
+    for n in g.node_ids() {
+        let sigma = sched.time(n);
+        if sigma < 0 || sigma >= len {
+            out.push(Violation {
+                constraint: Constraint::Stage,
+                context: context.to_string(),
+                cycle: Some(sigma),
+                node: Some(n),
+                detail: format!("issue time {sigma} outside [0, {len})"),
+            });
+            continue;
+        }
+        // Prolog instances: iterations whose copy of n lands before k*s.
+        let mut prolog = 0i64;
+        let mut it = 0i64;
+        while it * s + sigma < k * s {
+            prolog += 1;
+            it += 1;
+        }
+        // Epilog instances: offsets e in [0, len - s) of the form
+        // sigma mod s + g2*s with g2 below n's stage.
+        let off = sigma % s;
+        let st = sigma / s;
+        let mut epilog = 0i64;
+        for g2 in 0..st {
+            if off + g2 * s < len - s {
+                epilog += 1;
+            }
+        }
+        if prolog + epilog != k {
+            out.push(Violation {
+                constraint: Constraint::Stage,
+                context: context.to_string(),
+                cycle: Some(sigma),
+                node: Some(n),
+                detail: format!(
+                    "prolog fills {prolog} instance(s) but epilog drains {epilog}; \
+                     the pipeline has {k} in-flight stage(s)"
+                ),
+            });
+        }
+        // Kernel instances: one per unrolled copy, at offset a*s + off.
+        let kernel = (0..u).filter(|a| a * s + off < u * s).count() as i64;
+        if kernel != u {
+            out.push(Violation {
+                constraint: Constraint::Stage,
+                context: context.to_string(),
+                cycle: Some(sigma),
+                node: Some(n),
+                detail: format!("kernel carries {kernel} instance(s), expected {u}"),
+            });
+        }
+    }
+    out
+}
+
+/// Checks the emitted object code's per-cycle resource usage against unit
+/// availability (constraint family 1), block by block. Blocks that loop
+/// back onto themselves (pipelined kernels, unpipelined loop bodies) are
+/// additionally checked with a wrapped table of period `block length`,
+/// which models the steady state of the loop — reservations spilling past
+/// the block's last word land on the next pass's first words.
+pub fn verify_object_code(vliw: &VliwProgram, mach: &MachineDescription) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (bi, block) in vliw.blocks.iter().enumerate() {
+        let mut grid = LinearTable::new(mach);
+        let mut clean = true;
+        for (t, word) in block.words.iter().enumerate() {
+            for op in &word.ops {
+                let res = mach.reservation(op.opcode.class());
+                match linear_overflow(&grid, res, t as u32, mach) {
+                    Some(why) => {
+                        clean = false;
+                        out.push(Violation {
+                            constraint: Constraint::Resource,
+                            context: format!("b{bi} [{}]", block.label),
+                            cycle: Some(t as i64),
+                            node: None,
+                            detail: format!("{op}: {why}"),
+                        });
+                    }
+                    None => grid.place(res, t as u32),
+                }
+            }
+        }
+        let self_loop = matches!(
+            &block.term,
+            Terminator::CountedLoop { back, .. } if back.index() == bi
+        );
+        if self_loop && clean && !block.words.is_empty() {
+            let period = block.words.len() as u32;
+            let mut wrapped = ModuloTable::new(mach, period);
+            'wrap: for (t, word) in block.words.iter().enumerate() {
+                for op in &word.ops {
+                    let res = mach.reservation(op.opcode.class());
+                    match modulo_overflow(&wrapped, res, t as i64, mach) {
+                        Some(why) => {
+                            out.push(Violation {
+                                constraint: Constraint::Resource,
+                                context: format!("b{bi} [{}]", block.label),
+                                cycle: Some(t as i64),
+                                node: None,
+                                detail: format!(
+                                    "steady-state wrap at period {period}: {op}: {why}"
+                                ),
+                            });
+                            break 'wrap;
+                        }
+                        None => wrapped.place(res, t as i64),
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Runs every check over a compiled program: object-code resource usage,
+/// plus — for each pipelined loop, via its retained [`LoopArtifacts`] —
+/// schedule, expansion and stage-consistency checks, and the structural
+/// tie between the schedule and the emitted kernel block (`u*s` words).
+pub fn verify_compiled(compiled: &CompiledProgram, mach: &MachineDescription) -> Vec<Violation> {
+    let mut out = verify_object_code(&compiled.vliw, mach);
+    for art in &compiled.artifacts {
+        out.extend(verify_artifacts(art, &compiled.vliw, mach));
+    }
+    out
+}
+
+/// The per-loop checks of [`verify_compiled`].
+pub fn verify_artifacts(
+    art: &LoopArtifacts,
+    vliw: &VliwProgram,
+    mach: &MachineDescription,
+) -> Vec<Violation> {
+    let LoopArtifacts {
+        label,
+        graph: g,
+        schedule: sched,
+        expansion: exp,
+    } = art;
+    let mut out = verify_schedule(g, sched, mach, label);
+    out.extend(verify_expansion(g, sched, exp, mach, label));
+    out.extend(verify_regions(g, sched, exp, label));
+
+    // Structural tie to the emitted code, for all-ops bodies only: a
+    // reduced conditional splits the kernel into several blocks at its
+    // branch, so only a branch-free kernel lives in the single
+    // `<label>.kernel` block. There it must hold exactly u*s words with u
+    // instances of every operation — the §2.4 bookkeeping depends on the
+    // kernel being cycle-exact.
+    let all_ops = g.nodes().iter().all(|n| matches!(n.kind, NodeKind::Op(_)));
+    let kernel_label = format!("{label}.kernel");
+    if let Some(kernel) = vliw.blocks.iter().find(|b| b.label == kernel_label) {
+        if all_ops {
+            let expect = (exp.unroll * sched.ii()) as usize;
+            if kernel.words.len() != expect {
+                out.push(Violation {
+                    constraint: Constraint::Stage,
+                    context: label.clone(),
+                    cycle: None,
+                    node: None,
+                    detail: format!(
+                        "kernel block has {} words, schedule demands u*s = {expect}",
+                        kernel.words.len()
+                    ),
+                });
+            }
+            let ops_in_kernel: usize = kernel.words.iter().map(|w| w.ops.len()).sum();
+            let expect_ops = exp.unroll as usize * g.num_nodes();
+            if ops_in_kernel != expect_ops {
+                out.push(Violation {
+                    constraint: Constraint::Stage,
+                    context: label.clone(),
+                    cycle: None,
+                    node: None,
+                    detail: format!(
+                        "kernel block issues {ops_in_kernel} ops, schedule demands \
+                         u * nodes = {expect_ops}"
+                    ),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DepEdge, DepKind, Node};
+    use ir::{Imm, Op, Opcode, VReg};
+    use machine::presets::test_machine;
+    use machine::OpClass;
+
+    fn fadd_node(m: &MachineDescription) -> Node {
+        Node::op(
+            Op::new(
+                Opcode::FAdd,
+                Some(VReg(0)),
+                vec![Imm::F(0.0).into(), Imm::F(0.0).into()],
+            ),
+            m.reservation(OpClass::FloatAdd).clone(),
+        )
+    }
+
+    #[test]
+    fn legal_schedule_is_clean() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        let a = g.add_node(fadd_node(&m));
+        let b = g.add_node(fadd_node(&m));
+        g.add_edge(DepEdge {
+            from: a,
+            to: b,
+            omega: 0,
+            delay: 2,
+            kind: DepKind::True,
+        });
+        let s = Schedule::new(vec![0, 3], 2);
+        assert!(verify_schedule(&g, &s, &m, "t").is_empty());
+    }
+
+    #[test]
+    fn dependence_breach_is_localized() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        let a = g.add_node(fadd_node(&m));
+        let b = g.add_node(fadd_node(&m));
+        g.add_edge(DepEdge {
+            from: a,
+            to: b,
+            omega: 0,
+            delay: 2,
+            kind: DepKind::True,
+        });
+        let s = Schedule::new(vec![0, 1], 2);
+        let vs = verify_schedule(&g, &s, &m, "t");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].constraint, Constraint::Dependence);
+        assert_eq!(vs[0].node, Some(b));
+        assert_eq!(vs[0].cycle, Some(1));
+    }
+
+    #[test]
+    fn modulo_breach_names_the_resource() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        g.add_node(fadd_node(&m));
+        g.add_node(fadd_node(&m));
+        // Two fadds on one adder cannot share ii=2 rows 0 and 2.
+        let s = Schedule::new(vec![0, 2], 2);
+        let vs = verify_schedule(&g, &s, &m, "t");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert_eq!(vs[0].constraint, Constraint::Modulo);
+        assert!(vs[0].detail.contains("fadd"), "{}", vs[0].detail);
+    }
+
+    #[test]
+    fn violation_displays_compactly() {
+        let v = Violation {
+            constraint: Constraint::Modulo,
+            context: "loop0".into(),
+            cycle: Some(3),
+            node: Some(NodeId(2)),
+            detail: "boom".into(),
+        };
+        let s = v.to_string();
+        assert!(s.contains("[modulo] loop0 @cycle 3 n2: boom"), "{s}");
+    }
+}

@@ -1,107 +1,224 @@
-//! Property tests on the scheduler's core data structures.
+//! Property tests on the scheduler's core data structures, on the in-tree
+//! harness (`swp::testkit`). Case-spaces match the previous `proptest`
+//! formulation; schedule-producing properties additionally assert static
+//! legality through `swp::verify`.
 
 use machine::presets::test_machine;
 use machine::{OpClass, ReservationTable};
-use proptest::prelude::*;
+use swp::testkit::{check, shrink_i64, shrink_vec, Config, SplitMix64};
 use swp::{DistSet, ModuloTable};
 
-proptest! {
-    /// Pareto pruning must never change the evaluated longest-path weight
-    /// at any initiation interval.
-    #[test]
-    fn distset_eval_matches_naive(
-        entries in proptest::collection::vec((-40i64..40, 0u32..6), 1..20),
-        s in 1u32..20,
-    ) {
-        let mut set = DistSet::empty();
-        for &(d, o) in &entries {
-            set.insert(d, o);
-        }
-        let naive = entries
-            .iter()
-            .map(|&(d, o)| d - s as i64 * o as i64)
-            .max();
-        prop_assert_eq!(set.eval(s), naive);
-    }
-
-    /// `combine` distributes over `eval` as path concatenation: the best
-    /// combined weight equals the best sum of parts at every interval.
-    #[test]
-    fn distset_combine_is_pathwise_sum(
-        xs in proptest::collection::vec((-20i64..20, 0u32..4), 1..8),
-        ys in proptest::collection::vec((-20i64..20, 0u32..4), 1..8),
-        s in 1u32..16,
-    ) {
-        let mut a = DistSet::empty();
-        for &(d, o) in &xs {
-            a.insert(d, o);
-        }
-        let mut b = DistSet::empty();
-        for &(d, o) in &ys {
-            b.insert(d, o);
-        }
-        let c = a.combine(&b);
-        let expect = xs
-            .iter()
-            .flat_map(|&(d1, o1)| {
-                ys.iter()
-                    .map(move |&(d2, o2)| (d1 + d2) - s as i64 * (o1 + o2) as i64)
+/// Pareto pruning must never change the evaluated longest-path weight at
+/// any initiation interval.
+#[test]
+fn distset_eval_matches_naive() {
+    check(
+        "distset_eval_matches_naive",
+        Config::default(),
+        |r| {
+            (
+                r.vec_of(1, 20, |r| (r.range_i64(-40, 40), r.below(6) as u32)),
+                1 + r.below(19) as u32,
+            )
+        },
+        |(entries, s)| {
+            shrink_vec(entries, |&(d, o)| {
+                shrink_i64(d).into_iter().map(|d2| (d2, o)).collect()
             })
-            .max();
-        prop_assert_eq!(c.eval(s), expect);
-    }
-
-    /// Modulo reservation: placing then removing restores feasibility
-    /// exactly; overlapping placements never exceed capacity.
-    #[test]
-    fn modulo_table_place_remove_roundtrip(
-        s in 1u32..12,
-        slots in proptest::collection::vec((0i64..48, 0usize..4), 1..24),
-    ) {
-        let m = test_machine();
-        let classes = [
-            OpClass::FloatAdd,
-            OpClass::FloatMul,
-            OpClass::MemLoad,
-            OpClass::Alu,
-        ];
-        let mut table = ModuloTable::new(&m, s);
-        let mut placed: Vec<(ReservationTable, i64)> = Vec::new();
-        for &(t, c) in &slots {
-            let res = m.reservation(classes[c]).clone();
-            if table.fits(&res, t) {
-                table.place(&res, t);
-                placed.push((res, t));
+            .into_iter()
+            .map(|e| (e, *s))
+            .collect()
+        },
+        |(entries, s)| {
+            let mut set = DistSet::empty();
+            for &(d, o) in entries {
+                set.insert(d, o);
             }
-        }
-        // Remove everything; the empty table accepts anything again.
-        for (res, t) in placed.into_iter().rev() {
-            table.remove(&res, t);
-        }
-        for c in classes {
-            prop_assert!(table.fits(m.reservation(c), 0));
-        }
-    }
-
-    /// The alias oracle is consistent: swapping the operands flips the
-    /// sign of a definite distance and preserves Never/Unknown.
-    #[test]
-    fn alias_antisymmetry(
-        s1 in -3i64..4, o1 in -6i64..6,
-        s2 in -3i64..4, o2 in -6i64..6,
-    ) {
-        use ir::{alias, Alias, ArrayId, MemRef};
-        let a = MemRef::affine(ArrayId(0), s1, o1);
-        let b = MemRef::affine(ArrayId(0), s2, o2);
-        match (alias(&a, &b), alias(&b, &a)) {
-            (Alias::Never, Alias::Never) => {}
-            (Alias::Unknown, Alias::Unknown) => {}
-            (Alias::At { distance: d1 }, Alias::At { distance: d2 }) => {
-                prop_assert_eq!(d1, -d2);
+            let naive = entries
+                .iter()
+                .map(|&(d, o)| d - *s as i64 * o as i64)
+                .max();
+            if set.eval(*s) == naive {
+                Ok(())
+            } else {
+                Err(format!("eval {:?} != naive {naive:?}", set.eval(*s)))
             }
-            (x, y) => prop_assert!(false, "inconsistent: {:?} vs {:?}", x, y),
-        }
-    }
+        },
+    );
+}
+
+/// `combine` distributes over `eval` as path concatenation: the best
+/// combined weight equals the best sum of parts at every interval.
+#[test]
+fn distset_combine_is_pathwise_sum() {
+    let gen_entries = |r: &mut SplitMix64| {
+        r.vec_of(1, 8, |r| (r.range_i64(-20, 20), r.below(4) as u32))
+    };
+    check(
+        "distset_combine_is_pathwise_sum",
+        Config::default(),
+        |r| (gen_entries(r), gen_entries(r), 1 + r.below(15) as u32),
+        |(xs, ys, s)| {
+            let mut out: Vec<_> = shrink_vec(xs, |_| Vec::new())
+                .into_iter()
+                .map(|x| (x, ys.clone(), *s))
+                .collect();
+            out.extend(
+                shrink_vec(ys, |_| Vec::new())
+                    .into_iter()
+                    .map(|y| (xs.clone(), y, *s)),
+            );
+            out
+        },
+        |(xs, ys, s)| {
+            let mut a = DistSet::empty();
+            for &(d, o) in xs {
+                a.insert(d, o);
+            }
+            let mut b = DistSet::empty();
+            for &(d, o) in ys {
+                b.insert(d, o);
+            }
+            let c = a.combine(&b);
+            let expect = xs
+                .iter()
+                .flat_map(|&(d1, o1)| {
+                    ys.iter()
+                        .map(move |&(d2, o2)| (d1 + d2) - *s as i64 * (o1 + o2) as i64)
+                })
+                .max();
+            if c.eval(*s) == expect {
+                Ok(())
+            } else {
+                Err(format!("combine {:?} != pathwise {expect:?}", c.eval(*s)))
+            }
+        },
+    );
+}
+
+/// Modulo reservation: placing then removing restores feasibility exactly;
+/// overlapping placements never exceed capacity.
+#[test]
+fn modulo_table_place_remove_roundtrip() {
+    check(
+        "modulo_table_place_remove_roundtrip",
+        Config::default(),
+        |r| {
+            (
+                1 + r.below(11) as u32,
+                r.vec_of(1, 24, |r| (r.range_i64(0, 48), r.below(4) as usize)),
+            )
+        },
+        |(s, slots)| {
+            shrink_vec(slots, |_| Vec::new())
+                .into_iter()
+                .map(|sl| (*s, sl))
+                .collect()
+        },
+        |(s, slots)| {
+            let m = test_machine();
+            let classes = [
+                OpClass::FloatAdd,
+                OpClass::FloatMul,
+                OpClass::MemLoad,
+                OpClass::Alu,
+            ];
+            let mut table = ModuloTable::new(&m, *s);
+            let mut placed: Vec<(ReservationTable, i64)> = Vec::new();
+            for &(t, c) in slots {
+                let res = m.reservation(classes[c]).clone();
+                if table.fits(&res, t) {
+                    table.place(&res, t);
+                    placed.push((res, t));
+                }
+            }
+            // Remove everything; the empty table accepts anything again.
+            for (res, t) in placed.into_iter().rev() {
+                table.remove(&res, t);
+            }
+            for c in classes {
+                if !table.fits(m.reservation(c), 0) {
+                    return Err(format!("{c:?} does not fit an emptied table"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// The alias oracle is consistent: swapping the operands flips the sign of
+/// a definite distance and preserves Never/Unknown.
+#[test]
+fn alias_antisymmetry() {
+    check(
+        "alias_antisymmetry",
+        Config::default(),
+        |r| {
+            (
+                (r.range_i64(-3, 4), r.range_i64(-6, 6)),
+                (r.range_i64(-3, 4), r.range_i64(-6, 6)),
+            )
+        },
+        |_| Vec::new(),
+        |&((s1, o1), (s2, o2))| {
+            use ir::{alias, Alias, ArrayId, MemRef};
+            let a = MemRef::affine(ArrayId(0), s1, o1);
+            let b = MemRef::affine(ArrayId(0), s2, o2);
+            match (alias(&a, &b), alias(&b, &a)) {
+                (Alias::Never, Alias::Never) => Ok(()),
+                (Alias::Unknown, Alias::Unknown) => Ok(()),
+                (Alias::At { distance: d1 }, Alias::At { distance: d2 }) => {
+                    if d1 == -d2 {
+                        Ok(())
+                    } else {
+                        Err(format!("distances not antisymmetric: {d1} vs {d2}"))
+                    }
+                }
+                (x, y) => Err(format!("inconsistent: {x:?} vs {y:?}")),
+            }
+        },
+    );
+}
+
+/// Random acyclic op sequences always produce schedules the independent
+/// verifier accepts — the static half of the oracle, applied directly to
+/// the scheduler's output.
+#[test]
+fn random_chains_verify_clean() {
+    use ir::{Op, Opcode, RegTable, Type};
+    use swp::{build_graph, modulo_schedule, BuildOptions, SchedOptions};
+    check(
+        "random_chains_verify_clean",
+        Config::with_cases(32),
+        // A chain layout: op kinds (0 add, 1 mul) and whether each op
+        // chains on the previous result or restarts from the root.
+        |r| r.vec_of(1, 12, |r| (r.below(2) as u8, r.chance(0.6))),
+        |v| shrink_vec(v, |_| Vec::new()),
+        |layout| {
+            let m = test_machine();
+            let mut regs = RegTable::new();
+            let root = regs.alloc(Type::F32);
+            let mut ops = Vec::new();
+            let mut cur = root;
+            for &(kind, chained) in layout {
+                let d = regs.alloc(Type::F32);
+                let src = if chained { cur } else { root };
+                let opcode = if kind == 0 { Opcode::FAdd } else { Opcode::FMul };
+                ops.push(Op::new(opcode, Some(d), vec![src.into(), src.into()]));
+                cur = d;
+            }
+            let g = build_graph(&ops, &m, BuildOptions::default());
+            let r = modulo_schedule(&g, &m, &SchedOptions::default())
+                .map_err(|e| format!("no schedule: {e:?}"))?;
+            let vs = swp::verify::verify_schedule(&g, &r.schedule, &m, "chain");
+            if vs.is_empty() {
+                Ok(())
+            } else {
+                let lines: Vec<String> = vs.iter().map(|v| v.to_string()).collect();
+                Err(format!("verifier rejected the schedule:\n{}", lines.join("\n")))
+            }
+        },
+    );
 }
 
 /// Schedules found for random acyclic chains always validate and meet the
@@ -125,6 +242,10 @@ fn chain_schedules_hit_resource_bound() {
         let g = build_graph(&ops, &m, BuildOptions::default());
         let r = modulo_schedule(&g, &m, &SchedOptions::default()).unwrap();
         r.schedule.validate(&g, &m).unwrap();
+        assert!(
+            swp::verify::verify_schedule(&g, &r.schedule, &m, "chain").is_empty(),
+            "verifier agrees with validate (len {chain_len})"
+        );
         assert_eq!(
             r.schedule.ii(),
             r.mii.mii(),

@@ -1,0 +1,286 @@
+//! Negative tests for the static legality verifier: seed one illegal
+//! schedule per constraint category and check that `swp::verify` detects
+//! it, localizes it (cycle / node / constraint identifiers), and stays
+//! quiet on the corrected version of the same input.
+
+use ir::{Imm, Op, Opcode, RegTable, Type, VReg};
+use machine::presets::test_machine;
+use machine::{MachineDescription, OpClass};
+use swp::verify::{verify_expansion, verify_object_code, verify_schedule, Constraint};
+use swp::{
+    Block, BlockId, DepEdge, DepGraph, DepKind, Expansion, Node, NodeId, Schedule, Terminator,
+    VliwProgram, Word,
+};
+
+fn fadd(m: &MachineDescription, dst: u32) -> Node {
+    Node::op(
+        Op::new(
+            Opcode::FAdd,
+            Some(VReg(dst)),
+            vec![Imm::F(0.0).into(), Imm::F(0.0).into()],
+        ),
+        m.reservation(OpClass::FloatAdd).clone(),
+    )
+}
+
+/// Resource oversubscription: two ops on the one-adder test machine whose
+/// modulo rows collide at the chosen interval.
+#[test]
+fn detects_resource_oversubscription() {
+    let m = test_machine();
+    let mut g = DepGraph::new();
+    g.add_node(fadd(&m, 0));
+    g.add_node(fadd(&m, 1));
+    // ii = 2: cycles 0 and 4 share modulo row 0 on the single adder.
+    let bad = Schedule::new(vec![0, 4], 2);
+    let vs = verify_schedule(&g, &bad, &m, "loop");
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].constraint, Constraint::Modulo);
+    assert_eq!(vs[0].node, Some(NodeId(1)));
+    assert_eq!(vs[0].cycle, Some(4));
+    assert!(vs[0].detail.contains("fadd"), "{}", vs[0].detail);
+
+    // Moving the second op to an odd cycle fixes it.
+    let good = Schedule::new(vec![0, 3], 2);
+    assert!(verify_schedule(&g, &good, &m, "loop").is_empty());
+}
+
+/// A violated dependence edge: sigma(v) - sigma(u) < d - s*p.
+#[test]
+fn detects_violated_dependence_edge() {
+    let m = test_machine();
+    let mut g = DepGraph::new();
+    let a = g.add_node(fadd(&m, 0));
+    let b = g.add_node(fadd(&m, 1));
+    g.add_edge(DepEdge {
+        from: a,
+        to: b,
+        omega: 0,
+        delay: 2,
+        kind: DepKind::True,
+    });
+    let bad = Schedule::new(vec![0, 1], 2);
+    let vs = verify_schedule(&g, &bad, &m, "loop");
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].constraint, Constraint::Dependence);
+    assert_eq!(vs[0].node, Some(b));
+    assert!(vs[0].detail.contains("d=2"), "{}", vs[0].detail);
+
+    assert!(verify_schedule(&g, &Schedule::new(vec![0, 3], 2), &m, "loop").is_empty());
+}
+
+/// A loop-carried edge is relaxed by s*omega — and violated when the
+/// interval shrinks below the recurrence bound.
+#[test]
+fn detects_carried_dependence_violation() {
+    let m = test_machine();
+    let mut g = DepGraph::new();
+    let a = g.add_node(fadd(&m, 0));
+    g.add_edge(DepEdge {
+        from: a,
+        to: a,
+        omega: 1,
+        delay: 2,
+        kind: DepKind::True,
+    });
+    // Self-edge d=2 omega=1 needs ii >= 2; ii = 1 violates it.
+    let vs = verify_schedule(&g, &Schedule::new(vec![0], 1), &m, "loop");
+    assert!(
+        vs.iter().any(|v| v.constraint == Constraint::Dependence),
+        "{vs:?}"
+    );
+    assert!(verify_schedule(&g, &Schedule::new(vec![0], 2), &m, "loop").is_empty());
+}
+
+/// Overlapping MVE lifetimes: a value live for `lifetime` cycles gets too
+/// few rotating copies, so iteration j+n overwrites it before its last
+/// use.
+#[test]
+fn detects_overlapping_mve_lifetimes() {
+    let m = test_machine();
+    let mut regs = RegTable::new();
+    let v = regs.alloc(Type::F32);
+    let w = regs.alloc(Type::F32);
+    let mut g = DepGraph::new();
+    // def v at cycle 0 (fadd, latency 2), use v at cycle 9: lifetime 9.
+    let a = g.add_node(Node::op(
+        Op::new(
+            Opcode::FAdd,
+            Some(v),
+            vec![Imm::F(0.0).into(), Imm::F(0.0).into()],
+        ),
+        m.reservation(OpClass::FloatAdd).clone(),
+    ));
+    let b = g.add_node(Node::op(
+        Op::new(Opcode::FAdd, Some(w), vec![v.into(), v.into()]),
+        m.reservation(OpClass::FloatAdd).clone(),
+    ));
+    g.add_edge(DepEdge {
+        from: a,
+        to: b,
+        omega: 0,
+        delay: 2,
+        kind: DepKind::True,
+    });
+    g.expandable.push(v);
+    let sched = Schedule::new(vec![0, 9], 2);
+
+    // One location (unexpanded): 1*2 + 2 = 4 <= 9 — iteration j+1's write
+    // lands mid-lifetime. The verifier must object.
+    let too_few = Expansion {
+        unroll: 1,
+        copies: Default::default(),
+        lifetimes: Default::default(),
+    };
+    let vs = verify_expansion(&g, &sched, &too_few, &m, "loop");
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].constraint, Constraint::Lifetime);
+    assert!(vs[0].detail.contains("lifetime 9"), "{}", vs[0].detail);
+
+    // Four copies: 4*2 + 2 = 10 > 9 — legal.
+    let enough = Expansion {
+        unroll: 4,
+        copies: [(v, vec![v, VReg(10), VReg(11), VReg(12)])]
+            .into_iter()
+            .collect(),
+        lifetimes: Default::default(),
+    };
+    assert!(verify_expansion(&g, &sched, &enough, &m, "loop").is_empty());
+
+    // Three copies out of unroll 4: enough locations (3*2 + 2 = 8 <= 9 is
+    // still too few) — and 3 does not divide 4, which is flagged even
+    // when the count itself would suffice.
+    let indivisible = Expansion {
+        unroll: 4,
+        copies: [(v, vec![v, VReg(10), VReg(11)])].into_iter().collect(),
+        lifetimes: Default::default(),
+    };
+    let vs = verify_expansion(&g, &sched, &indivisible, &m, "loop");
+    assert!(
+        vs.iter().any(|x| x.detail.contains("divide")),
+        "{vs:?}"
+    );
+}
+
+/// Object-code resource oversubscription: a word issuing two adds on a
+/// one-adder machine.
+#[test]
+fn detects_object_code_oversubscription() {
+    let m = test_machine();
+    let mut regs = RegTable::new();
+    let a = regs.alloc(Type::F32);
+    let b = regs.alloc(Type::F32);
+    let mk = |dst: VReg| {
+        Op::new(
+            Opcode::FAdd,
+            Some(dst),
+            vec![Imm::F(0.0).into(), Imm::F(0.0).into()],
+        )
+    };
+    let mut block = Block::new("entry");
+    block.words.push(Word {
+        ops: vec![mk(a), mk(b)],
+    });
+    let p = VliwProgram {
+        name: "bad".into(),
+        regs,
+        arrays: vec![],
+        mem_size: 0,
+        blocks: vec![block],
+        entry: BlockId(0),
+    };
+    let vs = verify_object_code(&p, &m);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].constraint, Constraint::Resource);
+    assert_eq!(vs[0].cycle, Some(0));
+    assert!(vs[0].detail.contains("fadd"), "{}", vs[0].detail);
+}
+
+/// Steady-state wraparound: a self-looping block whose multi-cycle
+/// reservation spills past the block end onto its own next pass. The
+/// linear per-block check accepts it; only the wrapped check catches it.
+#[test]
+fn detects_steady_state_wrap_oversubscription() {
+    let m = test_machine();
+    let mut regs = RegTable::new();
+    let d = regs.alloc(Type::F32);
+    let c = regs.alloc(Type::I32);
+    // FDiv blocks the fmul unit for 3 cycles on the test machine; a
+    // 2-word self-loop re-enters while 1 cycle of blockage remains.
+    let mut block = Block::new("tight.kernel");
+    block.words.push(Word {
+        ops: vec![Op::new(
+            Opcode::FDiv,
+            Some(d),
+            vec![Imm::F(1.0).into(), Imm::F(2.0).into()],
+        )],
+    });
+    block.words.push(Word::empty());
+    block.term = Terminator::CountedLoop {
+        counter: c,
+        dec: 1,
+        back: BlockId(0),
+        exit: BlockId(1),
+    };
+    let done = Block::new("done");
+    let p = VliwProgram {
+        name: "wrap".into(),
+        regs,
+        arrays: vec![],
+        mem_size: 0,
+        blocks: vec![block, done],
+        entry: BlockId(0),
+    };
+    let vs = verify_object_code(&p, &m);
+    assert_eq!(vs.len(), 1, "{vs:?}");
+    assert_eq!(vs[0].constraint, Constraint::Resource);
+    assert!(
+        vs[0].detail.contains("steady-state wrap"),
+        "{}",
+        vs[0].detail
+    );
+
+    // The same block with a 3-word body (period = blockage) is legal.
+    let mut regs = RegTable::new();
+    let d = regs.alloc(Type::F32);
+    let c = regs.alloc(Type::I32);
+    let mut ok = Block::new("tight.kernel");
+    ok.words.push(Word {
+        ops: vec![Op::new(
+            Opcode::FDiv,
+            Some(d),
+            vec![Imm::F(1.0).into(), Imm::F(2.0).into()],
+        )],
+    });
+    ok.words.push(Word::empty());
+    ok.words.push(Word::empty());
+    ok.term = Terminator::CountedLoop {
+        counter: c,
+        dec: 1,
+        back: BlockId(0),
+        exit: BlockId(1),
+    };
+    let p = VliwProgram {
+        name: "wrap_ok".into(),
+        regs,
+        arrays: vec![],
+        mem_size: 0,
+        blocks: vec![ok, Block::new("done")],
+        entry: BlockId(0),
+    };
+    assert!(verify_object_code(&p, &m).is_empty());
+}
+
+/// A schedule that does not cover the graph is reported as a stage
+/// inconsistency, not a panic.
+#[test]
+fn detects_schedule_graph_mismatch() {
+    let m = test_machine();
+    let mut g = DepGraph::new();
+    g.add_node(fadd(&m, 0));
+    g.add_node(fadd(&m, 1));
+    let vs = verify_schedule(&g, &Schedule::new(vec![0], 2), &m, "loop");
+    assert_eq!(vs.len(), 1);
+    assert_eq!(vs[0].constraint, Constraint::Stage);
+    assert!(vs[0].detail.contains("covers 1"), "{}", vs[0].detail);
+}

@@ -6,6 +6,12 @@
 //! output queues bit for bit. Floating-point operations are deterministic
 //! functions of their inputs and the compiler never reassociates, so
 //! agreement is exact — any mismatch is a compiler bug.
+//!
+//! Every checked run first passes the compiled code through the *static*
+//! legality verifier ([`swp::verify`]): a schedule can be dynamically
+//! correct on one input yet structurally illegal (an oversubscribed unit,
+//! a dependence honored only by luck of the data). The two layers together
+//! form the oracle: static legality, then dynamic equivalence.
 
 use ir::{Interp, Program, Value, VReg};
 use machine::MachineDescription;
@@ -37,6 +43,9 @@ pub enum CheckError {
     Vm(VmError),
     /// The compiler rejected the program.
     Compile(swp::CompileError),
+    /// The static verifier found the compiled schedule illegal (compiler
+    /// bug), before either execution ran.
+    Illegal(Vec<swp::verify::Violation>),
     /// The two executions disagree (compiler bug).
     Mismatch(String),
 }
@@ -47,6 +56,13 @@ impl std::fmt::Display for CheckError {
             CheckError::Reference(e) => write!(f, "reference interpreter fault: {e}"),
             CheckError::Vm(e) => write!(f, "simulator fault: {e}"),
             CheckError::Compile(e) => write!(f, "{e}"),
+            CheckError::Illegal(vs) => {
+                write!(f, "illegal schedule ({} violation(s))", vs.len())?;
+                for v in vs {
+                    write!(f, "\n  {v}")?;
+                }
+                Ok(())
+            }
             CheckError::Mismatch(m) => write!(f, "pipelined/reference mismatch: {m}"),
         }
     }
@@ -90,6 +106,13 @@ pub fn run_checked_compiled(
     mach: &MachineDescription,
     input: &RunInput,
 ) -> Result<CheckedRun, CheckError> {
+    // Static legality first: a schedule must be provably legal before its
+    // dynamic behavior means anything.
+    let violations = swp::verify::verify_compiled(compiled, mach);
+    if !violations.is_empty() {
+        return Err(CheckError::Illegal(violations));
+    }
+
     // Reference execution.
     let mut reference = Interp::new(program);
     for (i, v) in input.mem.iter().enumerate() {

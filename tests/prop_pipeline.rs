@@ -5,13 +5,20 @@
 //! This is the strongest invariant in the repository: it covers the
 //! dependence builder, the modulo scheduler, modulo variable expansion,
 //! hierarchical reduction, code emission (including the unpipelined
-//! remainder scheme) and the simulator's timing model in one shot.
+//! remainder scheme) and the simulator's timing model in one shot. Each
+//! case is checked by the two-layer oracle: the static legality verifier
+//! (`swp::verify`, asserted explicitly below) and then the dynamic
+//! bit-equivalence check.
+//!
+//! Runs on the in-tree harness (`swp::testkit`); the case-spaces match the
+//! previous `proptest` formulation (step vectors of the same lengths, the
+//! same trip-count ranges, the same case counts).
 
 use ir::{CmpPred, Op, Opcode, ProgramBuilder, TripCount, Type, VReg};
 use machine::presets::{test_machine, warp_cell};
-use proptest::prelude::*;
+use swp::testkit::{check, shrink_u32, shrink_vec, Config, SplitMix64};
 use swp::CompileOptions;
-use vm::{run_checked, RunInput};
+use vm::{run_checked_compiled, RunInput};
 
 /// One body-building step; indices select from the pool of live values.
 #[derive(Debug, Clone)]
@@ -31,15 +38,31 @@ enum Step {
     Store { src: u8, off: u8 },
 }
 
-fn step_strategy() -> impl Strategy<Value = Step> {
-    prop_oneof![
-        (any::<bool>(), 0u8..3).prop_map(|(second, off)| Step::Load { second, off }),
-        Just(Step::LoadOut),
-        (0u8..3, any::<u8>(), any::<u8>()).prop_map(|(op, a, b)| Step::Bin { op, a, b }),
-        any::<u8>().prop_map(|src| Step::Acc { src }),
-        (any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(c, a, b)| Step::Cond { c, a, b }),
-        (any::<u8>(), 0u8..2).prop_map(|(src, off)| Step::Store { src, off }),
-    ]
+fn gen_step(r: &mut SplitMix64) -> Step {
+    match r.below(6) {
+        0 => Step::Load {
+            second: r.chance(0.5),
+            off: r.below(3) as u8,
+        },
+        1 => Step::LoadOut,
+        2 => Step::Bin {
+            op: r.below(3) as u8,
+            a: r.next_u64() as u8,
+            b: r.next_u64() as u8,
+        },
+        3 => Step::Acc {
+            src: r.next_u64() as u8,
+        },
+        4 => Step::Cond {
+            c: r.next_u64() as u8,
+            a: r.next_u64() as u8,
+            b: r.next_u64() as u8,
+        },
+        _ => Step::Store {
+            src: r.next_u64() as u8,
+            off: r.below(2) as u8,
+        },
+    }
 }
 
 fn build_program(steps: &[Step], trip: u32) -> (ir::Program, RunInput) {
@@ -117,7 +140,39 @@ fn build_program(steps: &[Step], trip: u32) -> (ir::Program, RunInput) {
     )
 }
 
-fn exercise(steps: &[Step], trip: u32) {
+/// Compiles under `opts`, asserts static legality, then checks dynamic
+/// equivalence — the two-layer oracle applied to one configuration.
+fn check_config(
+    program: &ir::Program,
+    m: &machine::MachineDescription,
+    opts: &CompileOptions,
+    input: &RunInput,
+) -> Result<(), String> {
+    let compiled = swp::compile(program, m, opts)
+        .map_err(|e| format!("compile failed on {}: {e}", m.name()))?;
+    let violations = swp::verify::verify_compiled(&compiled, m);
+    if !violations.is_empty() {
+        let lines: Vec<String> = violations.iter().map(|v| v.to_string()).collect();
+        return Err(format!(
+            "illegal schedule on {} (pipeline={}, hier={}):\n{}",
+            m.name(),
+            opts.pipeline,
+            opts.hierarchical,
+            lines.join("\n")
+        ));
+    }
+    run_checked_compiled(program, &compiled, m, input).map_err(|e| {
+        format!(
+            "mismatch on {} (pipeline={}, hier={}): {e}",
+            m.name(),
+            opts.pipeline,
+            opts.hierarchical
+        )
+    })?;
+    Ok(())
+}
+
+fn exercise(steps: &[Step], trip: u32) -> Result<(), String> {
     let (program, input) = build_program(steps, trip);
     program.validate().expect("generated programs are valid");
     for m in [test_machine(), warp_cell()] {
@@ -132,49 +187,67 @@ fn exercise(steps: &[Step], trip: u32) {
                 ..Default::default()
             },
         ] {
-            if let Err(e) = run_checked(&program, &m, &opts, &input) {
-                panic!(
-                    "mismatch on {} (pipeline={}, hier={}): {e}\nsteps: {steps:?}\ntrip {trip}",
-                    m.name(),
-                    opts.pipeline,
-                    opts.hierarchical
-                );
-            }
+            check_config(&program, &m, &opts, &input)?;
         }
     }
+    Ok(())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 48,
-        max_shrink_iters: 200,
-        ..ProptestConfig::default()
-    })]
+/// Shrink `(steps, trip)`: fewer steps, then a smaller trip count.
+fn shrink_case(case: &(Vec<Step>, u32)) -> Vec<(Vec<Step>, u32)> {
+    let (steps, trip) = case;
+    let mut out: Vec<(Vec<Step>, u32)> = shrink_vec(steps, |_| Vec::new())
+        .into_iter()
+        .map(|s| (s, *trip))
+        .collect();
+    out.extend(shrink_u32(*trip).into_iter().map(|t| (steps.clone(), t)));
+    out
+}
 
-    #[test]
-    fn random_loops_match_reference(
-        steps in proptest::collection::vec(step_strategy(), 1..12),
-        trip in 0u32..34,
-    ) {
-        exercise(&steps, trip);
-    }
+#[test]
+fn random_loops_match_reference() {
+    check(
+        "random_loops_match_reference",
+        Config::with_cases(48),
+        |r| (r.vec_of(1, 12, gen_step), r.below(34) as u32),
+        shrink_case,
+        |(steps, trip)| exercise(steps, *trip),
+    );
+}
 
-    #[test]
-    fn random_runtime_trip_counts_match(
-        steps in proptest::collection::vec(step_strategy(), 1..8),
-        trip in 0i32..30,
-    ) {
-        // Same bodies, but with the trip count only known at run time:
-        // exercises the guarded remainder scheme end to end.
-        let (program, mut input) = build_program_runtime(&steps);
-        program.validate().expect("valid");
-        input.regs.push((runtime_trip_reg(&program), ir::Value::I(trip)));
-        for m in [test_machine(), warp_cell()] {
-            if let Err(e) = run_checked(&program, &m, &CompileOptions::default(), &input) {
-                panic!("runtime-trip mismatch on {}: {e}\nsteps: {steps:?} trip {trip}", m.name());
+#[test]
+fn random_runtime_trip_counts_match() {
+    // Same bodies, but with the trip count only known at run time:
+    // exercises the guarded remainder scheme end to end.
+    check(
+        "random_runtime_trip_counts_match",
+        Config::with_cases(24),
+        |r| (r.vec_of(1, 8, gen_step), r.below(30) as i32),
+        |(steps, trip)| {
+            let mut out: Vec<(Vec<Step>, i32)> = shrink_vec(steps, |_| Vec::new())
+                .into_iter()
+                .map(|s| (s, *trip))
+                .collect();
+            out.extend(
+                shrink_u32(*trip as u32)
+                    .into_iter()
+                    .map(|t| (steps.clone(), t as i32)),
+            );
+            out
+        },
+        |(steps, trip)| {
+            let (program, mut input) = build_program_runtime(steps);
+            program.validate().expect("valid");
+            input
+                .regs
+                .push((runtime_trip_reg(&program), ir::Value::I(*trip)));
+            for m in [test_machine(), warp_cell()] {
+                check_config(&program, &m, &CompileOptions::default(), &input)
+                    .map_err(|e| format!("runtime-trip {e}"))?;
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 /// Builds the same shape with a register trip count. The trip register is
@@ -246,44 +319,60 @@ fn runtime_trip_reg(_p: &ir::Program) -> VReg {
     VReg(0)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24,
-        max_shrink_iters: 100,
-        ..ProptestConfig::default()
-    })]
-
-    /// Nested loops: an outer loop re-executes a random inner body; the
-    /// inner loop pipelines, the outer is structural, and loop-control
-    /// bookkeeping (counters, preambles, fused epilogs) must survive
-    /// repetition.
-    #[test]
-    fn nested_random_loops_match(
-        steps in proptest::collection::vec(step_strategy(), 1..8),
-        inner_trip in 1u32..12,
-        outer_trip in 1u32..5,
-    ) {
-        let (program, input) = build_nested(&steps, inner_trip, outer_trip);
-        program.validate().expect("valid");
-        for m in [test_machine(), warp_cell()] {
-            for opts in [
-                CompileOptions::default(),
-                CompileOptions {
-                    fuse_epilog: false,
-                    ..Default::default()
-                },
-            ] {
-                if let Err(e) = run_checked(&program, &m, &opts, &input) {
-                    panic!(
-                        "nested mismatch on {} (fuse={}): {e}\nsteps: {steps:?} \
-                         inner {inner_trip} outer {outer_trip}",
-                        m.name(),
-                        opts.fuse_epilog
-                    );
+/// Nested loops: an outer loop re-executes a random inner body; the inner
+/// loop pipelines, the outer is structural, and loop-control bookkeeping
+/// (counters, preambles, fused epilogs) must survive repetition.
+#[test]
+fn nested_random_loops_match() {
+    check(
+        "nested_random_loops_match",
+        Config::with_cases(24),
+        |r| {
+            (
+                r.vec_of(1, 8, gen_step),
+                1 + r.below(11) as u32,
+                1 + r.below(4) as u32,
+            )
+        },
+        |(steps, inner, outer)| {
+            let mut out: Vec<(Vec<Step>, u32, u32)> = shrink_vec(steps, |_| Vec::new())
+                .into_iter()
+                .map(|s| (s, *inner, *outer))
+                .collect();
+            // Trip counts shrink toward 1, the case-space minimum.
+            out.extend(
+                shrink_u32(*inner)
+                    .into_iter()
+                    .filter(|&t| t >= 1)
+                    .map(|t| (steps.clone(), t, *outer)),
+            );
+            out.extend(
+                shrink_u32(*outer)
+                    .into_iter()
+                    .filter(|&t| t >= 1)
+                    .map(|t| (steps.clone(), *inner, t)),
+            );
+            out
+        },
+        |(steps, inner_trip, outer_trip)| {
+            let (program, input) = build_nested(steps, *inner_trip, *outer_trip);
+            program.validate().expect("valid");
+            for m in [test_machine(), warp_cell()] {
+                for opts in [
+                    CompileOptions::default(),
+                    CompileOptions {
+                        fuse_epilog: false,
+                        ..Default::default()
+                    },
+                ] {
+                    check_config(&program, &m, &opts, &input).map_err(|e| {
+                        format!("nested (fuse={}) {e}", opts.fuse_epilog)
+                    })?;
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 /// An outer loop around a random inner body, with scalar work between the
