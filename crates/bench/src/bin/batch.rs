@@ -1,0 +1,266 @@
+//! Batch-compiles the full evaluation corpus through the parallel driver
+//! ([`swp::compile_batch`]), verifies that parallel compilation is
+//! byte-identical to serial compilation, and writes per-loop scheduler
+//! telemetry to `results/batch_report.txt`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin batch            # full corpus
+//! cargo run -p bench --bin batch -- --threads 4 --smoke
+//! ```
+//!
+//! Flags:
+//!
+//! * `--threads N` — worker threads for the parallel pass (default: the
+//!   machine's available parallelism);
+//! * `--smoke` — Livermore × Warp cell only, report to stdout instead of
+//!   a file (the tier-1 CI smoke);
+//! * `--out PATH` — report path (default `results/batch_report.txt`).
+//!
+//! The process exits nonzero if any parallel result differs from its
+//! serial counterpart — the driver's determinism invariant is checked on
+//! every run, not only in the test suite.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use machine::MachineDescription;
+use swp::{compile_batch, BatchJob, BatchResult, CompileOptions};
+
+struct Config {
+    threads: usize,
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        smoke: false,
+        out: "results/batch_report.txt".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                cfg.threads = v.parse().expect("--threads needs an integer");
+            }
+            "--smoke" => cfg.smoke = true,
+            "--out" => cfg.out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?} (try --threads N, --smoke, --out PATH)"),
+        }
+    }
+    cfg
+}
+
+/// The corpus: every kernel × machine preset × pipelining mode. The smoke
+/// subset keeps CI fast while still crossing the serial/parallel boundary.
+fn corpus(smoke: bool) -> (Vec<kernels::Kernel>, Vec<(String, MachineDescription)>) {
+    let mut ks = kernels::livermore::all();
+    let mut machines = vec![("warp_cell".to_string(), machine::presets::warp_cell())];
+    if !smoke {
+        ks.extend(kernels::apps::all());
+        ks.extend(kernels::synth::population());
+        machines.push(("test_machine".to_string(), machine::presets::test_machine()));
+        machines.push(("toy_vector".to_string(), machine::presets::toy_vector()));
+    }
+    (ks, machines)
+}
+
+fn jobs<'a>(
+    ks: &'a [kernels::Kernel],
+    machines: &'a [(String, MachineDescription)],
+) -> Vec<BatchJob<'a>> {
+    let mut out = Vec::new();
+    for (mname, m) in machines {
+        for k in ks {
+            for (mode, opts) in [
+                ("pipe", CompileOptions::default()),
+                (
+                    "base",
+                    CompileOptions {
+                        pipeline: false,
+                        ..Default::default()
+                    },
+                ),
+            ] {
+                out.push(BatchJob {
+                    name: format!("{}@{mname}+{mode}", k.name),
+                    program: &k.program,
+                    mach: m,
+                    opts,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Renders one result's deterministic content (program text + II table)
+/// for the serial-vs-parallel comparison. Timings are excluded on purpose.
+fn fingerprint(r: &BatchResult) -> String {
+    match &r.outcome {
+        Ok(c) => {
+            let iis: Vec<String> = c
+                .reports
+                .iter()
+                .map(|rep| format!("{}={:?}", rep.label, rep.ii))
+                .collect();
+            format!("{}\nII[{}]", c.vliw, iis.join(","))
+        }
+        Err(e) => format!("error: {e}"),
+    }
+}
+
+fn report_lines(results: &[BatchResult]) -> String {
+    let mut out = String::new();
+    out.push_str("# batch_report v1\n");
+    out.push_str("# job <name> <ok|err> wall_us=<n>\n");
+    out.push_str(
+        "# loop <job>/<label> ii=<n|-> mii=<res>/<rec> attempts=<iis> aborts=<kind:count,...> \
+         sccs=<nontrivial sizes|-> unroll=<u> stages=<m> hist=<per-stage nodes|-> \
+         mve_copies=<n> conds=<n> not_pipelined=<reason|-> \
+         phases_us=<reduce:build:bounds:search:expand:emit>\n",
+    );
+    for r in results {
+        match &r.outcome {
+            Ok(c) => {
+                let _ = writeln!(out, "job {} ok wall_us={}", r.name, r.wall.as_micros());
+                for rep in &c.reports {
+                    let sizes = if rep.stats.sched.scc_sizes.is_empty() {
+                        "-".to_string()
+                    } else {
+                        rep.stats
+                            .sched
+                            .scc_sizes
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    };
+                    let hist = if rep.stats.stage_histogram.is_empty() {
+                        "-".to_string()
+                    } else {
+                        rep.stats
+                            .stage_histogram
+                            .iter()
+                            .map(|s| s.to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    };
+                    let why = rep
+                        .not_pipelined
+                        .as_ref()
+                        .map_or("-".to_string(), |w| format!("{w:?}").replace(' ', "_"));
+                    let _ = writeln!(
+                        out,
+                        "loop {}/{} ii={} mii={}/{} attempts={} aborts={} sccs={} \
+                         unroll={} stages={} hist={} mve_copies={} conds={} \
+                         not_pipelined={} phases_us={}",
+                        r.name,
+                        rep.label,
+                        rep.ii.map_or("-".to_string(), |ii| ii.to_string()),
+                        rep.mii_res,
+                        rep.mii_rec,
+                        rep.stats.sched.attempt_range(),
+                        rep.stats.sched.abort_summary(),
+                        sizes,
+                        rep.unroll,
+                        rep.stages,
+                        hist,
+                        rep.stats.mve_copies,
+                        rep.stats.reduced_conds,
+                        why,
+                        rep.stats.phases.as_micros_row(),
+                    );
+                }
+            }
+            Err(e) => {
+                let _ = writeln!(out, "job {} err wall_us={} # {e}", r.name, r.wall.as_micros());
+            }
+        }
+    }
+    out
+}
+
+fn main() {
+    let cfg = parse_args();
+    let (ks, machines) = corpus(cfg.smoke);
+    let js = jobs(&ks, &machines);
+    eprintln!(
+        "batch: {} jobs ({} kernels x {} machines x 2 modes), {} threads",
+        js.len(),
+        ks.len(),
+        machines.len(),
+        cfg.threads
+    );
+
+    let t0 = Instant::now();
+    let serial = compile_batch(&js, 1);
+    let serial_wall = t0.elapsed();
+
+    let t1 = Instant::now();
+    let parallel = compile_batch(&js, cfg.threads);
+    let parallel_wall = t1.elapsed();
+
+    let mut mismatches = 0usize;
+    for (a, b) in serial.iter().zip(&parallel) {
+        if a.name != b.name || fingerprint(a) != fingerprint(b) {
+            eprintln!("MISMATCH: {} differs between serial and parallel", a.name);
+            mismatches += 1;
+        }
+    }
+    let speedup = serial_wall.as_secs_f64() / parallel_wall.as_secs_f64().max(1e-9);
+    let errors = serial.iter().filter(|r| r.outcome.is_err()).count();
+    eprintln!(
+        "batch: serial {:.2?}, parallel {:.2?} ({:.2}x on {} threads), \
+         {} job errors, {} mismatches",
+        serial_wall,
+        parallel_wall,
+        speedup,
+        cfg.threads,
+        errors,
+        mismatches
+    );
+
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    if speedup < 2.0 && cfg.threads >= 4 && cores < cfg.threads {
+        eprintln!(
+            "note: host exposes {cores} core(s); speedup with {} threads is \
+             bounded by the hardware, not the driver",
+            cfg.threads
+        );
+    }
+
+    let mut report = String::new();
+    let _ = writeln!(
+        report,
+        "# jobs={} threads={} host_cores={} serial_us={} parallel_us={} speedup={:.2} mismatches={}",
+        js.len(),
+        cfg.threads,
+        cores,
+        serial_wall.as_micros(),
+        parallel_wall.as_micros(),
+        speedup,
+        mismatches
+    );
+    report.push_str(&report_lines(&parallel));
+
+    if cfg.smoke {
+        println!("{report}");
+    } else {
+        std::fs::create_dir_all(
+            std::path::Path::new(&cfg.out)
+                .parent()
+                .unwrap_or(std::path::Path::new(".")),
+        )
+        .expect("create report directory");
+        std::fs::write(&cfg.out, &report).expect("write report");
+        println!("wrote {}", cfg.out);
+    }
+
+    if mismatches > 0 {
+        eprintln!("FAIL: parallel compilation is not identical to serial");
+        std::process::exit(1);
+    }
+}

@@ -15,7 +15,7 @@
 
 use machine::presets::{test_machine, toy_vector, warp_cell};
 use machine::MachineDescription;
-use swp::CompileOptions;
+use swp::{compile_batch, BatchJob, CompileOptions};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_ii.txt");
 
@@ -25,6 +25,11 @@ fn presets() -> Vec<MachineDescription> {
 
 /// One line per kernel x machine: `kernel machine loop=ii[,loop=ii...]`,
 /// with `-` for a loop that fell back to unpipelined code.
+///
+/// The sweep runs through the parallel batch driver: `compile_batch`
+/// returns results in job order regardless of thread count, so the
+/// snapshot is identical to the old serial loop — which is itself part of
+/// what this golden test pins down.
 fn snapshot() -> String {
     let opts = CompileOptions::default();
     let mut out = String::from(
@@ -32,25 +37,37 @@ fn snapshot() -> String {
          # ('-' = loop not pipelined.) Regenerate after intentional scheduler\n\
          # changes with: GOLDEN_II_REGEN=1 cargo test -p kernels --test golden_ii\n",
     );
-    for m in presets() {
-        for k in kernels::livermore::all() {
-            let c = swp::compile(&k.program, &m, &opts)
-                .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, m.name()));
-            let loops: Vec<String> = c
-                .reports
-                .iter()
-                .map(|r| {
-                    let ii = r.ii.map_or_else(|| "-".to_string(), |x| x.to_string());
-                    format!("{}={ii}", r.label)
-                })
-                .collect();
-            let loops = if loops.is_empty() {
-                "-".to_string()
-            } else {
-                loops.join(",")
-            };
-            out.push_str(&format!("{} {} {}\n", k.name, m.name(), loops));
+    let machines = presets();
+    let corpus = kernels::livermore::all();
+    let mut jobs = Vec::new();
+    for m in &machines {
+        for k in &corpus {
+            jobs.push(BatchJob {
+                name: format!("{} {}", k.name, m.name()),
+                program: &k.program,
+                mach: m,
+                opts,
+            });
         }
+    }
+    for r in compile_batch(&jobs, 4) {
+        let c = r
+            .outcome
+            .unwrap_or_else(|e| panic!("{}: {e}", r.name));
+        let loops: Vec<String> = c
+            .reports
+            .iter()
+            .map(|rep| {
+                let ii = rep.ii.map_or_else(|| "-".to_string(), |x| x.to_string());
+                format!("{}={ii}", rep.label)
+            })
+            .collect();
+        let loops = if loops.is_empty() {
+            "-".to_string()
+        } else {
+            loops.join(",")
+        };
+        out.push_str(&format!("{} {}\n", r.name, loops));
     }
     out
 }

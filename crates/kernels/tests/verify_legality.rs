@@ -4,7 +4,7 @@
 
 use machine::presets::{test_machine, toy_vector, warp_cell};
 use machine::MachineDescription;
-use swp::CompileOptions;
+use swp::{compile_batch, BatchJob, CompileOptions};
 use vm::CheckError;
 
 fn presets() -> Vec<MachineDescription> {
@@ -12,32 +12,43 @@ fn presets() -> Vec<MachineDescription> {
 }
 
 /// The positive half of the oracle: `swp::verify` stays silent on every
-/// schedule the compiler actually produces.
+/// schedule the compiler actually produces. The sweep compiles through
+/// the parallel batch driver, so the verifier also covers every program
+/// the driver hands back.
 #[test]
 fn livermore_schedules_verify_clean_everywhere() {
-    for m in presets() {
+    let machines = presets();
+    let corpus = kernels::livermore::all();
+    let mut jobs = Vec::new();
+    for m in &machines {
         for pipeline in [true, false] {
             let opts = CompileOptions {
                 pipeline,
                 ..Default::default()
             };
-            for k in kernels::livermore::all() {
-                let c = swp::compile(&k.program, &m, &opts)
-                    .unwrap_or_else(|e| panic!("{} on {}: {e}", k.name, m.name()));
-                let vs = swp::verify::verify_compiled(&c, &m);
-                assert!(
-                    vs.is_empty(),
-                    "{} on {} (pipeline={pipeline}): {} violation(s):\n{}",
-                    k.name,
-                    m.name(),
-                    vs.len(),
-                    vs.iter()
-                        .map(|v| format!("  {v}"))
-                        .collect::<Vec<_>>()
-                        .join("\n")
-                );
+            for k in &corpus {
+                jobs.push(BatchJob {
+                    name: format!("{} on {} (pipeline={pipeline})", k.name, m.name()),
+                    program: &k.program,
+                    mach: m,
+                    opts,
+                });
             }
         }
+    }
+    for (r, job) in compile_batch(&jobs, 4).into_iter().zip(&jobs) {
+        let c = r.outcome.unwrap_or_else(|e| panic!("{}: {e}", r.name));
+        let vs = swp::verify::verify_compiled(&c, job.mach);
+        assert!(
+            vs.is_empty(),
+            "{}: {} violation(s):\n{}",
+            r.name,
+            vs.len(),
+            vs.iter()
+                .map(|v| format!("  {v}"))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
     }
 }
 

@@ -50,14 +50,19 @@ pub struct Resource {
 impl Resource {
     /// Creates a resource with the given name and unit count.
     ///
-    /// # Panics
+    /// A count of zero models an *absent* unit — a machine variant that
+    /// keeps the resource declared (so ids and timings line up across
+    /// variants) but provides no hardware for it. [`MachineBuilder::build`]
+    /// rejects any operation timing that demands such a resource; the
+    /// scheduler reports a structured error if a hand-built graph node
+    /// does.
     ///
-    /// Panics if `count` is zero: a resource that can never be used is
-    /// always a specification error.
+    /// [`MachineBuilder::build`]: crate::MachineBuilder::build
     pub fn new(name: impl Into<String>, count: u16) -> Self {
-        let name = name.into();
-        assert!(count > 0, "resource {name:?} must have at least one unit");
-        Resource { name, count }
+        Resource {
+            name: name.into(),
+            count,
+        }
     }
 }
 
@@ -332,9 +337,11 @@ mod tests {
         assert_eq!(t.total_units(r(0)), 5);
     }
 
+    /// Zero units is a legal declaration (an absent unit in a machine
+    /// variant); demanding it is caught downstream, not here.
     #[test]
-    #[should_panic(expected = "at least one unit")]
-    fn zero_count_resource_rejected() {
-        let _ = Resource::new("bad", 0);
+    fn zero_count_resource_is_declarable() {
+        let r = Resource::new("absent", 0);
+        assert_eq!(r.count, 0);
     }
 }

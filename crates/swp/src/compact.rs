@@ -89,16 +89,16 @@ pub fn linear_place(g: &DepGraph, mach: &MachineDescription) -> Vec<u32> {
             .max_by_key(|&(_, &i)| (height[i], std::cmp::Reverse(i)))
             .expect("block graphs are acyclic");
         ready.swap_remove(pos);
-        let mut t = earliest[u].max(0) as u32;
+        let mut t = earliest[u].max(0);
         while !table.fits(&g.node(NodeId(u as u32)).reservation, t) {
             t += 1;
         }
         table.place(&g.node(NodeId(u as u32)).reservation, t);
-        time[u] = t;
+        time[u] = t as u32;
         scheduled += 1;
         for e in g.succ_edges(NodeId(u as u32)) {
             let v = e.to.index();
-            earliest[v] = earliest[v].max(t as i64 + e.delay);
+            earliest[v] = earliest[v].max(t + e.delay);
             indeg[v] -= 1;
             if indeg[v] == 0 {
                 ready.push(v);

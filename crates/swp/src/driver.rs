@@ -1,0 +1,230 @@
+//! Parallel batch-compilation driver.
+//!
+//! The evaluation compiles hundreds of (program, machine, options)
+//! combinations — the Livermore/app corpus plus the synthetic population,
+//! crossed with every machine preset and both pipelining modes. Each
+//! compilation is independent, so the driver fans the jobs out over a
+//! std-only worker pool (`std::thread::scope` + an atomic work index +
+//! `std::sync::mpsc` for result collection; no external crates).
+//!
+//! ## Determinism invariant
+//!
+//! Parallel compilation must be observationally identical to serial
+//! compilation: [`compile_batch`] returns results **in job order**
+//! regardless of thread count or completion order, and each job's
+//! compilation touches no shared mutable state — `compile` takes its
+//! program, machine, and options by reference and allocates everything
+//! per-call. Hence for any thread counts `a` and `b`, the emitted
+//! programs, reports, and achieved-II tables are equal element-wise; only
+//! wall-clock measurements ([`BatchResult::wall`], the phase timings
+//! inside [`crate::stats::LoopStats`]) differ between runs. The
+//! `driver_determinism` test in `crates/kernels` and the `batch` binary in
+//! `crates/bench` both verify byte-identical rendered programs across
+//! thread counts.
+//!
+//! Work distribution is dynamic (workers pull the next job index from an
+//! atomic counter), so a straggler — one loop with a long II search —
+//! does not serialize the pool behind it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+use ir::Program;
+use machine::MachineDescription;
+
+use crate::emit::{compile, CompileError, CompileOptions, CompiledProgram};
+
+/// One compilation job: a program on a machine under fixed options.
+#[derive(Debug, Clone)]
+pub struct BatchJob<'a> {
+    /// Caller-chosen identifier carried into the [`BatchResult`]
+    /// (e.g. `"livermore/k1@warp_cell+pipe"`).
+    pub name: String,
+    /// The program to compile.
+    pub program: &'a Program,
+    /// The target machine.
+    pub mach: &'a MachineDescription,
+    /// Compiler options for this job.
+    pub opts: CompileOptions,
+}
+
+/// The outcome of one [`BatchJob`].
+#[derive(Debug)]
+pub struct BatchResult {
+    /// The job's `name`, copied through.
+    pub name: String,
+    /// The compilation result (errors are per-job, never batch-fatal).
+    pub outcome: Result<CompiledProgram, CompileError>,
+    /// Wall-clock time this job spent compiling (measurement artifact —
+    /// not part of the deterministic output).
+    pub wall: Duration,
+}
+
+fn run_job(job: &BatchJob<'_>) -> BatchResult {
+    let start = Instant::now();
+    let outcome = compile(job.program, job.mach, &job.opts);
+    BatchResult {
+        name: job.name.clone(),
+        outcome,
+        wall: start.elapsed(),
+    }
+}
+
+/// Compiles every job, using up to `threads` worker threads, and returns
+/// the results **in job order** (see the module docs for the determinism
+/// invariant). `threads == 0` is treated as 1; `threads <= 1` compiles
+/// serially on the calling thread with no pool at all.
+pub fn compile_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<BatchResult> {
+    let threads = threads.max(1).min(jobs.len().max(1));
+    if threads <= 1 {
+        return jobs.iter().map(run_job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, BatchResult)>();
+    let mut slots: Vec<Option<BatchResult>> = Vec::with_capacity(jobs.len());
+    slots.resize_with(jobs.len(), || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let next = &next;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs.len() {
+                    break;
+                }
+                // A send fails only if the receiver is gone, which cannot
+                // happen while the scope holds it below.
+                let _ = tx.send((i, run_job(&jobs[i])));
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every job index was dispatched exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{ProgramBuilder, TripCount};
+    use machine::presets::{test_machine, warp_cell};
+
+    fn vscale(n: u32, c: f32) -> Program {
+        let mut b = ProgramBuilder::new("vscale");
+        let a = b.array("a", n.max(1));
+        b.for_counted(TripCount::Const(n), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+            let y = b.fmul(x.into(), c.into());
+            b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+        });
+        b.finish()
+    }
+
+    fn jobs<'a>(
+        progs: &'a [Program],
+        machs: &'a [MachineDescription],
+    ) -> Vec<BatchJob<'a>> {
+        let mut out = Vec::new();
+        for (pi, p) in progs.iter().enumerate() {
+            for (mi, m) in machs.iter().enumerate() {
+                out.push(BatchJob {
+                    name: format!("p{pi}@m{mi}"),
+                    program: p,
+                    mach: m,
+                    opts: CompileOptions::default(),
+                });
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn results_keep_job_order_across_thread_counts() {
+        let progs: Vec<Program> = (0..6).map(|i| vscale(16 + i, 1.5)).collect();
+        let machs = vec![test_machine(), warp_cell()];
+        let js = jobs(&progs, &machs);
+        let serial = compile_batch(&js, 1);
+        for threads in [2, 4, 8] {
+            let par = compile_batch(&js, threads);
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.name, b.name, "order must be job order");
+                let (pa, pb) = (
+                    a.outcome.as_ref().expect("serial compiles"),
+                    b.outcome.as_ref().expect("parallel compiles"),
+                );
+                assert_eq!(
+                    format!("{}", pa.vliw),
+                    format!("{}", pb.vliw),
+                    "programs must be byte-identical ({} threads)",
+                    threads
+                );
+                let iis_a: Vec<_> = pa.reports.iter().map(|r| r.ii).collect();
+                let iis_b: Vec<_> = pb.reports.iter().map(|r| r.ii).collect();
+                assert_eq!(iis_a, iis_b);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_batch_and_oversubscribed_pool() {
+        assert!(compile_batch(&[], 8).is_empty());
+        let progs = vec![vscale(8, 2.0)];
+        let machs = vec![test_machine()];
+        let js = jobs(&progs, &machs);
+        // More threads than jobs: pool is clamped, result still ordered.
+        let r = compile_batch(&js, 64);
+        assert_eq!(r.len(), 1);
+        assert!(r[0].outcome.is_ok());
+    }
+
+    #[test]
+    fn per_job_errors_do_not_poison_the_batch() {
+        // An ill-typed program: FAdd over integer immediates fails
+        // `Program::validate`, so its job reports a `CompileError`.
+        let good = vscale(8, 2.0);
+        let mut b = ProgramBuilder::new("bad");
+        let x = b.named_reg(ir::Type::F32, "x");
+        b.push_op(ir::Op::new(
+            ir::Opcode::FAdd,
+            Some(x),
+            vec![ir::Imm::I(1).into(), ir::Imm::I(2).into()],
+        ));
+        let bad = b.finish();
+        let machs = vec![test_machine()];
+        let js = vec![
+            BatchJob {
+                name: "good".into(),
+                program: &good,
+                mach: &machs[0],
+                opts: CompileOptions::default(),
+            },
+            BatchJob {
+                name: "bad".into(),
+                program: &bad,
+                mach: &machs[0],
+                opts: CompileOptions::default(),
+            },
+            BatchJob {
+                name: "good2".into(),
+                program: &good,
+                mach: &machs[0],
+                opts: CompileOptions::default(),
+            },
+        ];
+        let r = compile_batch(&js, 2);
+        assert!(r[0].outcome.is_ok());
+        assert!(r[1].outcome.is_err(), "invalid program reports its error");
+        assert!(r[2].outcome.is_ok(), "later jobs unaffected");
+    }
+}

@@ -46,11 +46,13 @@ use crate::compact::{compact_block, CompactedRegion};
 use crate::graph::{Access, DepGraph, Node, NodeKind, ReducedCond};
 use crate::hier::{reduce_stmts_with, stats, CondMode};
 use crate::mii::{rec_mii, res_mii, MiiReport};
-use crate::modsched::{modulo_schedule, SchedError, SchedOptions};
+use crate::modsched::{modulo_schedule_telemetry, SchedOptions};
 use crate::mve::{expand, Expansion, UnrollPolicy};
 use crate::pathalg::SccClosure;
 use crate::scc::tarjan;
 use crate::schedule::Schedule;
+use crate::stats::LoopStats;
+use std::time::Instant;
 
 /// Compiler options.
 #[derive(Debug, Clone, Copy)]
@@ -184,6 +186,8 @@ pub struct LoopReport {
     pub code_words: u32,
     /// Instruction words of the unpipelined loop alone.
     pub unpipelined_words: u32,
+    /// Scheduler telemetry and phase timings (see [`crate::stats`]).
+    pub stats: LoopStats,
 }
 
 impl LoopReport {
@@ -420,11 +424,13 @@ impl<'m> Emitter<'m> {
         }
 
         let all_ops = l.body.iter().all(|s| matches!(s, Stmt::Op(_)));
+        let reduce_start = Instant::now();
         let items = if all_ops || self.opts.hierarchical {
             reduce_stmts_with(&l.body, self.mach, self.opts.cond_mode)
         } else {
             None
         };
+        let reduce_time = reduce_start.elapsed();
         let Some(items) = items else {
             // Nested loops (or hierarchy disabled): structural emission.
             self.emit_structured_loop(l, depth, &label);
@@ -443,6 +449,7 @@ impl<'m> Emitter<'m> {
                 unpipelined_len: 0,
                 code_words: 0,
                 unpipelined_words: 0,
+                stats: LoopStats::default(),
             });
             return false;
         };
@@ -484,10 +491,14 @@ impl<'m> Emitter<'m> {
                 Fallback::Compact(r) => r.words.len() as u32 + r.tail,
                 Fallback::Structured => unpip_len,
             },
+            stats: LoopStats::default(),
         };
+        report.stats.phases.reduce = reduce_time;
+        report.stats.reduced_conds = stats::cond_count(&items);
 
         let plan = self.plan_pipeline(items, &l.trip, unpip_len, &mut report);
         let words_before = self.total_words();
+        let emit_start = Instant::now();
         let consumed = match plan {
             Some(plan) => {
                 self.artifacts.push(LoopArtifacts {
@@ -503,6 +514,7 @@ impl<'m> Emitter<'m> {
                 false
             }
         };
+        report.stats.phases.emit = emit_start.elapsed();
         report.code_words = (self.total_words() - words_before) as u32;
         self.reports.push(report);
         consumed
@@ -646,7 +658,10 @@ impl<'m> Emitter<'m> {
     ) -> Option<PipelinePlan> {
         // Compute the bounds even when pipelining is skipped, for the
         // statistics tables.
+        let build_start = Instant::now();
         let g = build_item_graph(items, self.mach, BuildOptions::default());
+        report.stats.phases.build = build_start.elapsed();
+        let bounds_start = Instant::now();
         let scc = tarjan(&g);
         let closures: Vec<SccClosure> = (0..scc.len())
             .filter(|&c| {
@@ -657,10 +672,18 @@ impl<'m> Emitter<'m> {
             })
             .map(|c| SccClosure::compute(&g, &scc, c))
             .collect();
-        report.mii_res = res_mii(&g, self.mach);
+        report.mii_res = match res_mii(&g, self.mach) {
+            Ok(r) => r,
+            Err(e) => {
+                report.stats.phases.bounds = bounds_start.elapsed();
+                report.not_pipelined = Some(NotPipelined::SearchFailed(e.to_string()));
+                return None;
+            }
+        };
         report.mii_rec = match rec_mii(&closures) {
             Ok(r) => r,
             Err(_) => {
+                report.stats.phases.bounds = bounds_start.elapsed();
                 report.not_pipelined = Some(NotPipelined::SearchFailed(
                     "illegal dependence cycle".into(),
                 ));
@@ -676,6 +699,7 @@ impl<'m> Emitter<'m> {
             rec_mii: report.mii_rec,
         }
         .mii();
+        report.stats.phases.bounds = bounds_start.elapsed();
 
         if !self.opts.pipeline {
             report.not_pipelined = Some(NotPipelined::Disabled);
@@ -695,9 +719,13 @@ impl<'m> Emitter<'m> {
             });
             return None;
         }
-        let result = match modulo_schedule(&g, self.mach, &self.opts.sched) {
+        let search_start = Instant::now();
+        let (sched_result, telemetry) = modulo_schedule_telemetry(&g, self.mach, &self.opts.sched);
+        report.stats.phases.search = search_start.elapsed();
+        report.stats.sched = telemetry;
+        let result = match sched_result {
             Ok(r) => r,
-            Err(e @ SchedError::IllegalCycle) | Err(e @ SchedError::NoSchedule { .. }) => {
+            Err(e) => {
                 report.not_pipelined = Some(NotPipelined::SearchFailed(e.to_string()));
                 return None;
             }
@@ -709,15 +737,20 @@ impl<'m> Emitter<'m> {
             });
             return None;
         }
+        let expand_start = Instant::now();
         let exp = expand(&g, &result.schedule, self.mach, &mut self.regs, self.opts.unroll_policy);
+        report.stats.phases.expand = expand_start.elapsed();
         report.ii = Some(result.schedule.ii());
         report.unroll = exp.unroll;
         report.stages = result.schedule.stages(&g);
+        report.stats.mve_copies = exp.total_copies();
+        report.stats.stage_histogram = result.schedule.stage_histogram(&g);
 
         if let TripCount::Const(n) = *trip {
             let k = result.schedule.stages(&g) - 1;
             if n < k {
                 report.ii = None;
+                report.stats.stage_histogram.clear();
                 report.not_pipelined = Some(NotPipelined::TripTooSmall { trip: n, needed: k });
                 return None;
             }
@@ -726,6 +759,7 @@ impl<'m> Emitter<'m> {
         if self.opts.respect_reg_files {
             if let Some((class, required, available)) = self.register_overflow(&g, &exp) {
                 report.ii = None;
+                report.stats.stage_histogram.clear();
                 report.not_pipelined = Some(NotPipelined::Registers {
                     class,
                     required,
@@ -904,7 +938,7 @@ impl<'m> Emitter<'m> {
         let mut table = crate::mrt::LinearTable::new(self.mach);
         let mut time: Vec<i64> = Vec::with_capacity(all.len());
         for (t, op) in &base {
-            table.place(self.mach.reservation(op.opcode.class()), *t);
+            table.place(self.mach.reservation(op.opcode.class()), *t as i64);
             time.push(*t as i64);
         }
         // Earliest start per scalar op from dependence edges.
@@ -919,13 +953,13 @@ impl<'m> Emitter<'m> {
                 }
             }
             earliest[i] = t0;
-            let mut t = t0.max(0) as u32;
+            let mut t = t0.max(0);
             let res = self.mach.reservation(op.opcode.class());
             while !table.fits(res, t) {
                 t += 1;
             }
             table.place(res, t);
-            time.push(t as i64);
+            time.push(t);
         }
 
         // Materialize words, padded so the region drains completely —

@@ -156,6 +156,24 @@ pub mod stats {
         items.iter().any(|n| matches!(n.kind, NodeKind::Cond(_)))
     }
 
+    /// Number of reduced conditional constructs across all items,
+    /// including conditionals nested inside an arm.
+    pub fn cond_count(items: &[Node]) -> usize {
+        fn count(node: &Node) -> usize {
+            match &node.kind {
+                NodeKind::Op(_) => 0,
+                NodeKind::Cond(rc) => {
+                    let mut n = 1;
+                    for item in rc.then_items.iter().chain(rc.else_items.iter()) {
+                        n += count(&item.node);
+                    }
+                    n
+                }
+            }
+        }
+        items.iter().map(count).sum()
+    }
+
     /// Number of operations across all items, including arm contents.
     pub fn num_ops(items: &[Node]) -> usize {
         let mut n = 0;

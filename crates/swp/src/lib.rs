@@ -54,6 +54,7 @@
 mod build;
 mod code;
 mod compact;
+pub mod driver;
 mod emit;
 mod graph;
 mod hier;
@@ -65,6 +66,7 @@ mod pathalg;
 mod pressure;
 mod scc;
 mod schedule;
+pub mod stats;
 pub mod testkit;
 mod unroll;
 pub mod verify;
@@ -73,6 +75,7 @@ pub mod viz;
 pub use build::{build_graph, BuildOptions};
 pub use code::{Block, BlockId, Terminator, VliwProgram, Word};
 pub use compact::{compact_block, compact_graph, linear_place, sequentialize, CompactedRegion};
+pub use driver::{compile_batch, BatchJob, BatchResult};
 pub use emit::{
     compile, CompileError, CompileOptions, CompiledProgram, LoopArtifacts, LoopReport,
     NotPipelined,
@@ -80,8 +83,12 @@ pub use emit::{
 pub use build::build_item_graph;
 pub use graph::{Access, DepEdge, DepGraph, DepKind, Node, NodeId, NodeKind, PlacedItem, ReducedCond};
 pub use hier::{reduce_stmts, reduce_stmts_with, stats as hier_stats, CondMode};
-pub use mii::{rec_mii, res_mii, IllegalCycle, MiiReport};
-pub use modsched::{modulo_schedule, IiSearch, Priority, SchedError, SchedOptions, ScheduleResult};
+pub use mii::{rec_mii, res_mii, IllegalCycle, MiiReport, ZeroCapacity};
+pub use modsched::{
+    modulo_schedule, modulo_schedule_telemetry, IiSearch, Priority, SchedError, SchedOptions,
+    ScheduleResult,
+};
+pub use stats::{AttemptFailure, IiAttempt, LoopStats, PhaseTimes, SchedTelemetry};
 pub use mrt::{LinearTable, ModuloTable};
 pub use mve::{expand, Expansion, UnrollPolicy};
 pub use pathalg::{DistSet, SccClosure};

@@ -31,6 +31,7 @@ use crate::mrt::ModuloTable;
 use crate::pathalg::SccClosure;
 use crate::scc::{tarjan, SccDecomposition};
 use crate::schedule::Schedule;
+use crate::stats::{AttemptFailure, IiAttempt, SchedTelemetry};
 
 /// How to search the initiation-interval space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -97,6 +98,12 @@ pub enum SchedError {
     /// The dependence graph contains a zero-iteration-difference cycle
     /// with positive delay — the program is illegal.
     IllegalCycle,
+    /// The body uses a resource the machine has zero units of: no
+    /// initiation interval can ever cover the demand.
+    ImpossibleResource {
+        /// Name of the zero-capacity resource.
+        resource: String,
+    },
     /// No interval up to the cap produced a schedule.
     NoSchedule {
         /// The lower bound that started the search.
@@ -112,6 +119,9 @@ impl fmt::Display for SchedError {
             SchedError::IllegalCycle => {
                 f.write_str("illegal dependence cycle (omega = 0, positive delay)")
             }
+            SchedError::ImpossibleResource { resource } => {
+                write!(f, "body uses zero-capacity resource '{resource}'")
+            }
             SchedError::NoSchedule { mii, max_ii } => {
                 write!(f, "no schedule found for any interval in [{mii}, {max_ii}]")
             }
@@ -125,69 +135,117 @@ impl std::error::Error for SchedError {}
 ///
 /// # Errors
 ///
-/// Returns [`SchedError::IllegalCycle`] for malformed graphs and
-/// [`SchedError::NoSchedule`] if the search space is exhausted (the caller
-/// then falls back to an unpipelined loop).
+/// Returns [`SchedError::IllegalCycle`] for malformed graphs,
+/// [`SchedError::ImpossibleResource`] when the body demands a resource the
+/// machine has zero units of, and [`SchedError::NoSchedule`] if the search
+/// space is exhausted (the caller then falls back to an unpipelined loop).
 pub fn modulo_schedule(
     g: &DepGraph,
     mach: &MachineDescription,
     opts: &SchedOptions,
 ) -> Result<ScheduleResult, SchedError> {
+    modulo_schedule_telemetry(g, mach, opts).0
+}
+
+/// [`modulo_schedule`], additionally returning the full attempt log and
+/// SCC structure (see [`crate::stats`]). The telemetry is populated on
+/// both success and failure paths.
+pub fn modulo_schedule_telemetry(
+    g: &DepGraph,
+    mach: &MachineDescription,
+    opts: &SchedOptions,
+) -> (Result<ScheduleResult, SchedError>, SchedTelemetry) {
+    let mut tel = SchedTelemetry::default();
     if g.num_nodes() == 0 {
-        return Ok(ScheduleResult {
+        let trivial = ScheduleResult {
             schedule: Schedule::new(Vec::new(), 1),
             mii: MiiReport {
                 res_mii: 1,
                 rec_mii: 0,
             },
             attempts: 0,
-        });
+        };
+        return (Ok(trivial), tel);
     }
     let scc = tarjan(g);
     let nontrivial: Vec<usize> = (0..scc.len())
         .filter(|&c| is_nontrivial(g, &scc, c))
         .collect();
+    tel.scc_count = scc.len();
+    tel.scc_sizes = nontrivial.iter().map(|&c| scc.members[c].len()).collect();
     let closures: Vec<SccClosure> = nontrivial
         .iter()
         .map(|&c| SccClosure::compute(g, &scc, c))
         .collect();
+    let res = match res_mii(g, mach) {
+        Ok(r) => r,
+        Err(z) => {
+            return (
+                Err(SchedError::ImpossibleResource {
+                    resource: z.resource,
+                }),
+                tel,
+            )
+        }
+    };
+    let rec = match rec_mii(&closures) {
+        Ok(r) => r,
+        Err(_) => return (Err(SchedError::IllegalCycle), tel),
+    };
     let mii = MiiReport {
-        res_mii: res_mii(g, mach),
-        rec_mii: rec_mii(&closures).map_err(|_| SchedError::IllegalCycle)?,
+        res_mii: res,
+        rec_mii: rec,
     };
     let lo = mii.mii();
     let hi = opts.max_ii.unwrap_or_else(|| default_max_ii(g, lo));
 
     let mut attempts = 0;
-    let try_s = |s: u32, attempts: &mut u32| -> Option<Schedule> {
+    let try_s = |s: u32, attempts: &mut u32, tel: &mut SchedTelemetry| -> Option<Schedule> {
         *attempts += 1;
-        let sched = schedule_at(g, mach, &scc, &nontrivial, &closures, s, opts)?;
-        // Belt and braces: never return an invalid schedule.
-        sched.validate(g, mach).ok().map(|()| sched)
+        let outcome = schedule_at(g, mach, &scc, &nontrivial, &closures, s, opts)
+            // Belt and braces: never return an invalid schedule.
+            .and_then(|sched| match sched.validate(g, mach) {
+                Ok(()) => Ok(sched),
+                Err(reason) => Err(AttemptFailure::Validation { reason }),
+            });
+        match outcome {
+            Ok(sched) => {
+                tel.attempts.push(IiAttempt { ii: s, failure: None });
+                Some(sched)
+            }
+            Err(failure) => {
+                tel.attempts.push(IiAttempt {
+                    ii: s,
+                    failure: Some(failure),
+                });
+                None
+            }
+        }
     };
 
     let schedule = match opts.search {
         IiSearch::Linear => {
             let mut found = None;
             for s in lo..=hi {
-                if let Some(sched) = try_s(s, &mut attempts) {
+                if let Some(sched) = try_s(s, &mut attempts, &mut tel) {
                     found = Some(sched);
                     break;
                 }
             }
             found
         }
-        IiSearch::Binary => binary_search(lo, hi, &mut attempts, try_s),
+        IiSearch::Binary => binary_search(lo, hi, &mut attempts, &mut tel, try_s),
     };
 
-    match schedule {
+    let result = match schedule {
         Some(schedule) => Ok(ScheduleResult {
             schedule,
             mii,
             attempts,
         }),
         None => Err(SchedError::NoSchedule { mii: lo, max_ii: hi }),
-    }
+    };
+    (result, tel)
 }
 
 /// FPS-style binary search: establish a feasible upper bound by doubling,
@@ -197,13 +255,14 @@ fn binary_search(
     lo: u32,
     hi: u32,
     attempts: &mut u32,
-    mut try_s: impl FnMut(u32, &mut u32) -> Option<Schedule>,
+    tel: &mut SchedTelemetry,
+    mut try_s: impl FnMut(u32, &mut u32, &mut SchedTelemetry) -> Option<Schedule>,
 ) -> Option<Schedule> {
     // Find some feasible interval by doubling from lo.
     let mut feasible: Option<(u32, Schedule)> = None;
     let mut probe = lo;
     loop {
-        if let Some(s) = try_s(probe, attempts) {
+        if let Some(s) = try_s(probe, attempts, tel) {
             feasible = Some((probe, s));
             break;
         }
@@ -219,7 +278,7 @@ fn binary_search(
         if mid == best_ii {
             break;
         }
-        match try_s(mid, attempts) {
+        match try_s(mid, attempts, tel) {
             Some(s) => {
                 best_ii = mid;
                 best = s;
@@ -241,7 +300,12 @@ fn is_nontrivial(g: &DepGraph, scc: &SccDecomposition, comp: usize) -> bool {
 /// A permissive default cap on the interval search: a fully serialized
 /// iteration (every node after the completion of everything before it)
 /// always admits a modulo schedule at its own length, so anything beyond
-/// that plus slack is hopeless.
+/// that plus slack is hopeless. The cap is never clamped below that
+/// serialized length — a dense body (or a single long reduced construct,
+/// whose no-wrap rule needs `s >= len`) may only become schedulable well
+/// past `mii`, and capping earlier would misreport a schedulable loop as
+/// `NoSchedule`. Callers wanting a tighter search set
+/// [`SchedOptions::max_ii`].
 fn default_max_ii(g: &DepGraph, mii: u32) -> u32 {
     let total_len: i64 = g.nodes().iter().map(|n| n.len as i64).sum();
     let total_delay: i64 = g
@@ -250,10 +314,11 @@ fn default_max_ii(g: &DepGraph, mii: u32) -> u32 {
         .filter(|e| e.omega == 0)
         .map(|e| e.delay.max(0))
         .sum();
-    (mii as i64 + total_len + total_delay + 8).min(mii as i64 + 1024) as u32
+    (mii as i64 + total_len + total_delay + 8).min(u32::MAX as i64) as u32
 }
 
-/// One attempt at a fixed initiation interval.
+/// One attempt at a fixed initiation interval. Failures carry the abort
+/// cause for the telemetry log.
 fn schedule_at(
     g: &DepGraph,
     mach: &MachineDescription,
@@ -262,11 +327,11 @@ fn schedule_at(
     closures: &[SccClosure],
     s: u32,
     opts: &SchedOptions,
-) -> Option<Schedule> {
+) -> Result<Schedule, AttemptFailure> {
     // 1. Schedule each nontrivial component individually.
     let mut comp_offsets: Vec<Option<Vec<(NodeId, i64)>>> = vec![None; scc.len()];
-    for (cl, &c) in closures.iter().zip(nontrivial) {
-        comp_offsets[c] = Some(schedule_component(g, mach, cl, s)?);
+    for (ci, (cl, &c)) in closures.iter().zip(nontrivial).enumerate() {
+        comp_offsets[c] = Some(schedule_component(g, mach, cl, s, ci)?);
     }
 
     // 2. Build the acyclic condensation.
@@ -282,26 +347,29 @@ fn schedule_at(
             times[n.index()] = ctimes[ci] + off;
         }
     }
-    Some(Schedule::new(times, s))
+    Ok(Schedule::new(times, s))
 }
 
 /// Schedules one strongly connected component at interval `s`, following
 /// §2.2.2: nodes in a topological order of the intra-iteration edges, each
 /// placed at the earliest resource-feasible slot within its
 /// precedence-constrained range. Returns normalized `(node, offset)`
-/// pairs, or `None` if some node has no feasible slot.
+/// pairs, or the abort cause if some node has no feasible slot. `ci` is
+/// the component's index in the nontrivial-component list (telemetry
+/// only).
 fn schedule_component(
     g: &DepGraph,
     mach: &MachineDescription,
     cl: &SccClosure,
     s: u32,
-) -> Option<Vec<(NodeId, i64)>> {
+    ci: usize,
+) -> Result<Vec<(NodeId, i64)>, AttemptFailure> {
     let members = &cl.members;
     // Feasibility of every self cycle at this interval.
     for &m in members {
         if let Some(w) = cl.dist(m, m).eval(s) {
             if w > 0 {
-                return None;
+                return Err(AttemptFailure::SelfCycleInfeasible { comp: ci });
             }
         }
     }
@@ -323,7 +391,7 @@ fn schedule_component(
             lo = 0;
         }
         if lo > hi {
-            return None;
+            return Err(AttemptFailure::ComponentPlacement { comp: ci, node: u.0 });
         }
         // Nodes whose only lower bounds arrive through loop-carried paths
         // get ranges reaching far below zero; placing them there piles
@@ -345,7 +413,9 @@ fn schedule_component(
             }
             t += 1;
         }
-        let t = slot?;
+        let Some(t) = slot else {
+            return Err(AttemptFailure::ComponentPlacement { comp: ci, node: u.0 });
+        };
         table.place(&g.node(u).reservation, t);
         placed.push((u, t));
     }
@@ -353,7 +423,7 @@ fn schedule_component(
     for p in &mut placed {
         p.1 -= min;
     }
-    Some(placed)
+    Ok(placed)
 }
 
 /// Topological order of `members` considering only intra-iteration
@@ -468,7 +538,7 @@ fn list_schedule_condensation(
     mach: &MachineDescription,
     s: u32,
     priority: Priority,
-) -> Option<Vec<i64>> {
+) -> Result<Vec<i64>, AttemptFailure> {
     let n = cond.nodes.len();
     let mut succs: Vec<Vec<(usize, i64, u32)>> = vec![Vec::new(); n];
     let mut indeg = vec![0usize; n];
@@ -494,11 +564,17 @@ fn list_schedule_condensation(
                 .iter()
                 .enumerate()
                 .max_by_key(|&(_, &i)| (heights[i], std::cmp::Reverse(i)))
-                .map(|(k, _)| k)?,
-            Priority::SourceOrder => {
-                let min = ready.iter().enumerate().min_by_key(|&(_, &i)| i)?;
-                min.0
-            }
+                .map(|(k, _)| k),
+            Priority::SourceOrder => ready
+                .iter()
+                .enumerate()
+                .min_by_key(|&(_, &i)| i)
+                .map(|(k, _)| k),
+        };
+        let Some(pick) = pick else {
+            // The condensation is acyclic, so the ready list can only
+            // drain with vertices outstanding if the graph is malformed.
+            return Err(AttemptFailure::NoReadyVertex);
         };
         let u = ready.swap_remove(pick);
         let start = earliest[u].max(0);
@@ -512,7 +588,9 @@ fn list_schedule_condensation(
                 break;
             }
         }
-        let t = placed_at?;
+        let Some(t) = placed_at else {
+            return Err(AttemptFailure::CondensationPlacement { vertex: u });
+        };
         table.place(&cond.nodes[u].reservation, t);
         times[u] = Some(t);
         remaining -= 1;
@@ -524,7 +602,7 @@ fn list_schedule_condensation(
             }
         }
     }
-    Some(times.into_iter().map(|t| t.expect("all scheduled")).collect())
+    Ok(times.into_iter().map(|t| t.expect("all scheduled")).collect())
 }
 
 fn compute_heights(cond: &Condensation, succs: &[Vec<(usize, i64, u32)>], s: u32) -> Vec<i64> {
@@ -737,5 +815,96 @@ mod tests {
         let r = modulo_schedule(&g, &m, &SchedOptions::default()).unwrap();
         r.schedule.validate(&g, &m).unwrap();
         assert!(r.schedule.ii() >= r.mii.mii());
+    }
+
+    /// A single reduced construct of length `len` with no resource
+    /// footprint: schedulable only at `s >= len` (the no-wrap rule), while
+    /// both MII bounds stay at 1.
+    fn long_cond_graph(len: u32) -> DepGraph {
+        use crate::graph::{Node, NodeKind, ReducedCond};
+        let mut g = DepGraph::new();
+        g.add_node(Node {
+            kind: NodeKind::Cond(Box::new(ReducedCond {
+                cond: ir::VReg(0),
+                then_items: Vec::new(),
+                else_items: Vec::new(),
+                len,
+            })),
+            reservation: ReservationTable::empty(),
+            len,
+        });
+        g
+    }
+
+    /// Regression: the old default cap clamped the linear search at
+    /// `mii + 1024`, below the only feasible interval for a body whose
+    /// reduced construct is longer than that — the scheduler reported
+    /// `NoSchedule` for a schedulable loop. The derived cap must now reach
+    /// the serialized body length.
+    #[test]
+    fn default_cap_reaches_long_construct_interval() {
+        let m = test_machine();
+        let g = long_cond_graph(1100);
+        // With the old cap (mii=1 + 1024) the search stops short.
+        let capped = modulo_schedule(
+            &g,
+            &m,
+            &SchedOptions {
+                max_ii: Some(1025),
+                ..Default::default()
+            },
+        );
+        assert!(
+            matches!(capped, Err(SchedError::NoSchedule { mii: 1, max_ii: 1025 })),
+            "{capped:?}"
+        );
+        // The derived default cap must clear 1100.
+        let r = modulo_schedule(&g, &m, &SchedOptions::default()).unwrap();
+        assert_eq!(r.schedule.ii(), 1100, "no-wrap needs s >= construct len");
+        assert_eq!(r.mii.mii(), 1);
+        assert_eq!(r.attempts, 1100, "linear search from 1");
+    }
+
+    /// The telemetry log records every attempted interval and its abort
+    /// cause, and the SCC structure of the graph.
+    #[test]
+    fn telemetry_records_attempts_and_sccs() {
+        let m = test_machine();
+        let g = long_cond_graph(5);
+        let (r, tel) = modulo_schedule_telemetry(&g, &m, &SchedOptions::default());
+        let r = r.unwrap();
+        assert_eq!(r.schedule.ii(), 5);
+        assert_eq!(tel.scc_count, 1, "one trivial component");
+        assert!(tel.scc_sizes.is_empty(), "no nontrivial components");
+        assert_eq!(tel.attempts.len(), 5);
+        for a in &tel.attempts[..4] {
+            assert!(
+                matches!(
+                    a.failure,
+                    Some(crate::stats::AttemptFailure::CondensationPlacement { vertex: 0 })
+                ),
+                "{a:?}"
+            );
+        }
+        assert_eq!(tel.attempts[4].ii, 5);
+        assert!(tel.attempts[4].failure.is_none());
+        assert_eq!(tel.abort_summary(), "condensation:4");
+        assert_eq!(tel.attempt_range(), "1-5");
+    }
+
+    /// Recurrence-bound loop: the telemetry's component sizes reflect the
+    /// nontrivial SCC and the first attempt succeeds at the bound.
+    #[test]
+    fn telemetry_scc_sizes_for_recurrence() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let s = regs.alloc(Type::F32);
+        let x = regs.alloc(Type::F32);
+        let op = Op::new(Opcode::FAdd, Some(s), vec![s.into(), x.into()]);
+        let g = build_graph(&[op], &m, BuildOptions::default());
+        let (r, tel) = modulo_schedule_telemetry(&g, &m, &SchedOptions::default());
+        assert_eq!(r.unwrap().schedule.ii(), 2);
+        assert_eq!(tel.scc_sizes, vec![1], "one self-cycle component");
+        assert_eq!(tel.attempts.len(), 1);
     }
 }

@@ -91,10 +91,18 @@ impl ModuloTable {
 
 /// A plain, growable reservation grid for basic-block (non-modulo)
 /// scheduling.
+///
+/// Cycles are signed: range scheduling and prolog placement legitimately
+/// probe negative times (an earlier revision took `u32` and a negative
+/// cycle cast through `as` either wrapped to a huge index or panicked).
+/// The grid keeps an `origin` — the cycle of its first row — and grows in
+/// both directions on demand.
 #[derive(Debug, Clone)]
 pub struct LinearTable {
     rows: Vec<Vec<u16>>,
     caps: Vec<u16>,
+    /// Cycle number of `rows[0]`; fixed by the first placement.
+    origin: i64,
 }
 
 impl LinearTable {
@@ -103,23 +111,27 @@ impl LinearTable {
         LinearTable {
             rows: Vec::new(),
             caps: mach.resources().iter().map(|r| r.count).collect(),
+            origin: 0,
         }
     }
 
-    fn ensure(&mut self, rows: usize) {
-        if self.rows.len() < rows {
-            self.rows.resize(rows, vec![0; self.caps.len()]);
+    /// Row index for cycle `t`, if the grid covers it.
+    fn idx(&self, t: i64) -> Option<usize> {
+        let d = t - self.origin;
+        if d >= 0 && (d as usize) < self.rows.len() {
+            Some(d as usize)
+        } else {
+            None
         }
     }
 
-    /// Would issuing at cycle `t` exceed any capacity? `t` must be >= 0.
-    pub fn fits(&self, res: &ReservationTable, t: u32) -> bool {
+    /// Would issuing at cycle `t` exceed any capacity? Cycles outside the
+    /// grid (before its origin or past its end) have nothing in use.
+    pub fn fits(&self, res: &ReservationTable, t: i64) -> bool {
         for (dt, row) in res.rows().enumerate() {
-            let r = t as usize + dt;
-            if r >= self.rows.len() {
-                // Beyond the grid: nothing in use yet.
+            let Some(r) = self.idx(t + dt as i64) else {
                 continue;
-            }
+            };
             for (rid, units) in row.iter() {
                 if self.rows[r][rid.index()] + units > self.caps[rid.index()] {
                     return false;
@@ -129,12 +141,28 @@ impl LinearTable {
         true
     }
 
-    /// Commits the reservation at cycle `t`.
-    pub fn place(&mut self, res: &ReservationTable, t: u32) {
+    /// Commits the reservation at cycle `t`, growing the grid leftward or
+    /// rightward as needed.
+    pub fn place(&mut self, res: &ReservationTable, t: i64) {
         debug_assert!(self.fits(res, t));
-        self.ensure(t as usize + res.len());
+        if res.len() == 0 {
+            return;
+        }
+        if self.rows.is_empty() {
+            self.origin = t;
+        } else if t < self.origin {
+            let grow = (self.origin - t) as usize;
+            let mut grown = vec![vec![0u16; self.caps.len()]; grow];
+            grown.append(&mut self.rows);
+            self.rows = grown;
+            self.origin = t;
+        }
+        let need = (t - self.origin) as usize + res.len();
+        if self.rows.len() < need {
+            self.rows.resize(need, vec![0; self.caps.len()]);
+        }
         for (dt, row) in res.rows().enumerate() {
-            let r = t as usize + dt;
+            let r = (t + dt as i64 - self.origin) as usize;
             for (rid, units) in row.iter() {
                 self.rows[r][rid.index()] += units;
             }
@@ -142,10 +170,8 @@ impl LinearTable {
     }
 
     /// Units of a resource in use at cycle `t` (0 beyond the grid).
-    pub fn used(&self, resource: machine::ResourceId, t: u32) -> u16 {
-        self.rows
-            .get(t as usize)
-            .map_or(0, |row| row[resource.index()])
+    pub fn used(&self, resource: machine::ResourceId, t: i64) -> u16 {
+        self.idx(t).map_or(0, |r| self.rows[r][resource.index()])
     }
 }
 
@@ -285,6 +311,53 @@ mod tests {
         assert!(t.fits(&fadd, 1), "linear grid never wraps");
         t.place(&fadd, 1);
         assert!(t.fits(&fadd, 100));
+    }
+
+    /// Regression: negative cycles used to be cast with `t as usize`,
+    /// wrapping to a huge index (or panicking on growth). They are legal
+    /// during range scheduling / prolog placement and must behave exactly
+    /// like any other cycle.
+    #[test]
+    fn linear_table_negative_times() {
+        let m = test_machine();
+        let fadd = m.reservation(OpClass::FloatAdd).clone();
+        let mut t = LinearTable::new(&m);
+        assert!(t.fits(&fadd, -5), "empty grid fits anywhere");
+        t.place(&fadd, -5);
+        assert!(!t.fits(&fadd, -5));
+        assert!(t.fits(&fadd, -4));
+        // Growing leftward past an existing placement keeps it intact.
+        t.place(&fadd, -9);
+        assert!(!t.fits(&fadd, -9));
+        assert!(!t.fits(&fadd, -5), "earlier placement survives regrowth");
+        let rid = fadd
+            .rows()
+            .next()
+            .unwrap()
+            .iter()
+            .next()
+            .map(|(rid, _)| rid)
+            .unwrap();
+        assert_eq!(t.used(rid, -5), 1);
+        assert_eq!(t.used(rid, -9), 1);
+        assert_eq!(t.used(rid, -7), 0);
+        assert_eq!(t.used(rid, 100), 0, "reads past the grid are empty");
+    }
+
+    /// Mixed-sign placements share one grid: a reservation spanning from a
+    /// negative cycle into the positives conflicts correctly on both sides.
+    #[test]
+    fn linear_table_spans_zero() {
+        let m = test_machine();
+        let fdiv = m.reservation(OpClass::FloatDiv).clone();
+        let fmul = m.reservation(OpClass::FloatMul).clone();
+        let mut t = LinearTable::new(&m);
+        // FDiv blocks fmul for 3 cycles; issued at -1 it covers -1, 0, 1.
+        t.place(&fdiv, -1);
+        assert!(!t.fits(&fmul, -1));
+        assert!(!t.fits(&fmul, 0));
+        assert!(!t.fits(&fmul, 1));
+        assert!(t.fits(&fmul, 2));
     }
 
     #[test]

@@ -62,6 +62,12 @@ impl Expansion {
         self.copies.get(&v).map_or(1, |c| c.len() as u32)
     }
 
+    /// Total rotating copies allocated across all expanded variables
+    /// (each variable's original register is not counted).
+    pub fn total_copies(&self) -> u32 {
+        self.copies.values().map(|c| c.len() as u32 - 1).sum()
+    }
+
     /// Total extra registers allocated, per class.
     pub fn extra_registers(&self, regs: &RegTable) -> BTreeMap<RegClass, u32> {
         let mut out = BTreeMap::new();

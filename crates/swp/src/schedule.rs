@@ -64,6 +64,17 @@ impl Schedule {
         self.len_with(g).div_ceil(self.ii).max(1)
     }
 
+    /// Nodes issued per pipeline stage (stage = issue cycle / ii). The
+    /// vector has [`stages`](Self::stages) entries; a back-loaded
+    /// histogram means most work drains in the epilog.
+    pub fn stage_histogram(&self, g: &DepGraph) -> Vec<u32> {
+        let mut hist = vec![0u32; self.stages(g) as usize];
+        for n in g.node_ids() {
+            hist[(self.time(n) / self.ii as i64) as usize] += 1;
+        }
+        hist
+    }
+
     /// Checks every dependence edge and the modulo resource table.
     ///
     /// # Errors

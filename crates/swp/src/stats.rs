@@ -1,0 +1,274 @@
+//! Scheduler telemetry: a per-loop record of what the modulo scheduler
+//! actually did — every initiation interval attempted, why each failed
+//! attempt aborted, the SCC structure that shaped the search, and
+//! wall-clock time per compilation phase.
+//!
+//! The telemetry exists for the evaluation pipeline (the `bench` crate's
+//! `batch` binary writes one line per loop into
+//! `results/batch_report.txt`) and for debugging II regressions: when a
+//! loop's achieved interval moves, the attempt log shows exactly which
+//! intervals were tried and where placement gave up. Collection is cheap
+//! (a few heap records per loop) and always on; [`LoopStats`] rides along
+//! on [`crate::LoopReport`].
+//!
+//! Timings are measurement artifacts: two runs of the same compilation
+//! produce identical schedules, attempt logs and abort causes, but *not*
+//! identical [`PhaseTimes`]. Consumers asserting determinism (the driver's
+//! serial-vs-parallel check) must compare emitted programs and II tables,
+//! never stats.
+
+use std::fmt;
+use std::time::Duration;
+
+/// Why one scheduling attempt at a fixed initiation interval aborted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttemptFailure {
+    /// A component's self cycle is infeasible at this interval (some
+    /// member has a positive-weight path to itself).
+    SelfCycleInfeasible {
+        /// Index of the failing component (per-attempt numbering, in
+        /// ascending order of the component's lowest node id).
+        comp: usize,
+    },
+    /// A node of a strongly connected component found no slot in its
+    /// precedence-constrained range.
+    ComponentPlacement {
+        /// Index of the failing component.
+        comp: usize,
+        /// Graph node id that could not be placed.
+        node: u32,
+    },
+    /// A condensation vertex failed `s` consecutive resource slots.
+    CondensationPlacement {
+        /// Index of the failing condensation vertex.
+        vertex: usize,
+    },
+    /// The condensation's ready list drained with vertices outstanding
+    /// (cannot happen for a well-formed acyclic condensation; recorded
+    /// rather than panicking).
+    NoReadyVertex,
+    /// A schedule was produced but failed post-hoc validation; the
+    /// interval is treated as infeasible.
+    Validation {
+        /// The validator's description of the first violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for AttemptFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttemptFailure::SelfCycleInfeasible { comp } => write!(f, "self-cycle(comp={comp})"),
+            AttemptFailure::ComponentPlacement { comp, node } => {
+                write!(f, "component(comp={comp},node={node})")
+            }
+            AttemptFailure::CondensationPlacement { vertex } => {
+                write!(f, "condensation(vertex={vertex})")
+            }
+            AttemptFailure::NoReadyVertex => f.write_str("no-ready-vertex"),
+            AttemptFailure::Validation { reason } => write!(f, "validation({reason})"),
+        }
+    }
+}
+
+impl AttemptFailure {
+    /// A short stable tag naming the failure kind (for aggregation).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AttemptFailure::SelfCycleInfeasible { .. } => "self-cycle",
+            AttemptFailure::ComponentPlacement { .. } => "component",
+            AttemptFailure::CondensationPlacement { .. } => "condensation",
+            AttemptFailure::NoReadyVertex => "no-ready-vertex",
+            AttemptFailure::Validation { .. } => "validation",
+        }
+    }
+}
+
+/// One scheduling attempt: the candidate interval and how it ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IiAttempt {
+    /// The initiation interval tried.
+    pub ii: u32,
+    /// `None` if the attempt produced a validated schedule.
+    pub failure: Option<AttemptFailure>,
+}
+
+/// The full telemetry of one [`crate::modulo_schedule`] run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchedTelemetry {
+    /// Total strongly connected components (including trivial single
+    /// nodes without self edges).
+    pub scc_count: usize,
+    /// Sizes of the *nontrivial* components — the ones that constrain the
+    /// recurrence bound and are scheduled as units.
+    pub scc_sizes: Vec<usize>,
+    /// Every attempt, in search order (linear search: ascending intervals;
+    /// binary search: probe order).
+    pub attempts: Vec<IiAttempt>,
+}
+
+impl SchedTelemetry {
+    /// Aggregates abort causes as `kind:count` pairs sorted by kind, e.g.
+    /// `component:3,validation:1`; `-` when every attempt succeeded or no
+    /// attempt was made.
+    pub fn abort_summary(&self) -> String {
+        let mut counts: std::collections::BTreeMap<&'static str, usize> = Default::default();
+        for a in &self.attempts {
+            if let Some(f) = &a.failure {
+                *counts.entry(f.kind()).or_insert(0) += 1;
+            }
+        }
+        if counts.is_empty() {
+            return "-".to_string();
+        }
+        counts
+            .iter()
+            .map(|(k, n)| format!("{k}:{n}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// The intervals attempted, e.g. `4-7` for a contiguous ascending run
+    /// or `4,8,6,5` otherwise; `-` when none.
+    pub fn attempt_range(&self) -> String {
+        match (self.attempts.first(), self.attempts.last()) {
+            (Some(a), Some(b)) => {
+                let contiguous = self
+                    .attempts
+                    .windows(2)
+                    .all(|w| w[1].ii == w[0].ii + 1);
+                if self.attempts.len() == 1 {
+                    a.ii.to_string()
+                } else if contiguous {
+                    format!("{}-{}", a.ii, b.ii)
+                } else {
+                    self.attempts
+                        .iter()
+                        .map(|a| a.ii.to_string())
+                        .collect::<Vec<_>>()
+                        .join(",")
+                }
+            }
+            _ => "-".to_string(),
+        }
+    }
+}
+
+/// Wall-clock time spent in each compilation phase of one loop.
+///
+/// Purely observational — see the module docs for the determinism caveat.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PhaseTimes {
+    /// Hierarchical reduction of the loop body.
+    pub reduce: Duration,
+    /// Dependence-graph construction.
+    pub build: Duration,
+    /// SCC decomposition, closures and MII bounds.
+    pub bounds: Duration,
+    /// The initiation-interval search (all attempts).
+    pub search: Duration,
+    /// Modulo variable expansion.
+    pub expand: Duration,
+    /// Object-code emission (regions, splits, fallback bodies).
+    pub emit: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of all recorded phases.
+    pub fn total(&self) -> Duration {
+        self.reduce + self.build + self.bounds + self.search + self.expand + self.emit
+    }
+
+    /// Compact `reduce:build:bounds:search:expand:emit` rendering in
+    /// microseconds.
+    pub fn as_micros_row(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}:{}",
+            self.reduce.as_micros(),
+            self.build.as_micros(),
+            self.bounds.as_micros(),
+            self.search.as_micros(),
+            self.expand.as_micros(),
+            self.emit.as_micros()
+        )
+    }
+}
+
+/// Everything the telemetry layer records about one loop; carried on
+/// [`crate::LoopReport::stats`].
+#[derive(Debug, Clone, Default)]
+pub struct LoopStats {
+    /// The scheduler's attempt log and SCC structure.
+    pub sched: SchedTelemetry,
+    /// Per-phase wall time.
+    pub phases: PhaseTimes,
+    /// Reduced conditional constructs in the body (including nested ones).
+    pub reduced_conds: usize,
+    /// Total rotating-register copies allocated by modulo variable
+    /// expansion (0 when unpipelined or no variable needed expansion).
+    pub mve_copies: u32,
+    /// Nodes per pipeline stage of the achieved schedule (empty when the
+    /// loop was not pipelined).
+    pub stage_histogram: Vec<u32>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn att(ii: u32, failure: Option<AttemptFailure>) -> IiAttempt {
+        IiAttempt { ii, failure }
+    }
+
+    #[test]
+    fn abort_summary_aggregates_by_kind() {
+        let t = SchedTelemetry {
+            scc_count: 1,
+            scc_sizes: vec![],
+            attempts: vec![
+                att(3, Some(AttemptFailure::ComponentPlacement { comp: 0, node: 2 })),
+                att(4, Some(AttemptFailure::ComponentPlacement { comp: 1, node: 7 })),
+                att(
+                    5,
+                    Some(AttemptFailure::Validation {
+                        reason: "x".into(),
+                    }),
+                ),
+                att(6, None),
+            ],
+        };
+        assert_eq!(t.abort_summary(), "component:2,validation:1");
+        assert_eq!(t.attempt_range(), "3-6");
+    }
+
+    #[test]
+    fn empty_telemetry_renders_dashes() {
+        let t = SchedTelemetry::default();
+        assert_eq!(t.abort_summary(), "-");
+        assert_eq!(t.attempt_range(), "-");
+    }
+
+    #[test]
+    fn non_contiguous_attempts_listed() {
+        let t = SchedTelemetry {
+            scc_count: 0,
+            scc_sizes: vec![],
+            attempts: vec![att(4, None), att(8, None), att(6, None)],
+        };
+        assert_eq!(t.attempt_range(), "4,8,6");
+    }
+
+    #[test]
+    fn phase_times_total_and_row() {
+        let p = PhaseTimes {
+            reduce: Duration::from_micros(1),
+            build: Duration::from_micros(2),
+            bounds: Duration::from_micros(3),
+            search: Duration::from_micros(4),
+            expand: Duration::from_micros(5),
+            emit: Duration::from_micros(6),
+        };
+        assert_eq!(p.total(), Duration::from_micros(21));
+        assert_eq!(p.as_micros_row(), "1:2:3:4:5:6");
+    }
+}

@@ -137,12 +137,12 @@ fn modulo_overflow(
 fn linear_overflow(
     table: &LinearTable,
     res: &ReservationTable,
-    t: u32,
+    t: i64,
     mach: &MachineDescription,
 ) -> Option<String> {
     for (dt, row) in res.rows().enumerate() {
         for (rid, units) in row.iter() {
-            let have = table.used(rid, t + dt as u32);
+            let have = table.used(rid, t + dt as i64);
             let cap = mach.resources()[rid.index()].count;
             if have + units > cap {
                 return Some(format!(
@@ -464,7 +464,7 @@ pub fn verify_object_code(vliw: &VliwProgram, mach: &MachineDescription) -> Vec<
         for (t, word) in block.words.iter().enumerate() {
             for op in &word.ops {
                 let res = mach.reservation(op.opcode.class());
-                match linear_overflow(&grid, res, t as u32, mach) {
+                match linear_overflow(&grid, res, t as i64, mach) {
                     Some(why) => {
                         clean = false;
                         out.push(Violation {
@@ -475,7 +475,7 @@ pub fn verify_object_code(vliw: &VliwProgram, mach: &MachineDescription) -> Vec<
                             detail: format!("{op}: {why}"),
                         });
                     }
-                    None => grid.place(res, t as u32),
+                    None => grid.place(res, t as i64),
                 }
             }
         }
