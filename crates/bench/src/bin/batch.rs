@@ -114,11 +114,12 @@ fn fingerprint(r: &BatchResult) -> String {
 
 fn report_lines(results: &[BatchResult]) -> String {
     let mut out = String::new();
-    out.push_str("# batch_report v1\n");
+    out.push_str("# batch_report v2\n");
     out.push_str("# job <name> <ok|err> wall_us=<n>\n");
     out.push_str(
         "# loop <job>/<label> ii=<n|-> mii=<res>/<rec> attempts=<iis> aborts=<kind:count,...> \
-         sccs=<nontrivial sizes|-> unroll=<u> stages=<m> hist=<per-stage nodes|-> \
+         sccs=<nontrivial sizes|-> relax=<closure Pareto inserts> reuse=<scratch reuses> \
+         unroll=<u> stages=<m> hist=<per-stage nodes|-> \
          mve_copies=<n> conds=<n> not_pipelined=<reason|-> \
          phases_us=<reduce:build:bounds:search:expand:emit>\n",
     );
@@ -155,6 +156,7 @@ fn report_lines(results: &[BatchResult]) -> String {
                     let _ = writeln!(
                         out,
                         "loop {}/{} ii={} mii={}/{} attempts={} aborts={} sccs={} \
+                         relax={} reuse={} \
                          unroll={} stages={} hist={} mve_copies={} conds={} \
                          not_pipelined={} phases_us={}",
                         r.name,
@@ -165,6 +167,8 @@ fn report_lines(results: &[BatchResult]) -> String {
                         rep.stats.sched.attempt_range(),
                         rep.stats.sched.abort_summary(),
                         sizes,
+                        rep.stats.sched.closure_relaxations,
+                        rep.stats.sched.scratch_reuses,
                         rep.unroll,
                         rep.stages,
                         hist,

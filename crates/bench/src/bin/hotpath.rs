@@ -1,0 +1,396 @@
+//! Scheduler hot-path microbenchmark: symbolic closure + II search.
+//!
+//! Times the two phases the flat-layout rework targets — the symbolic
+//! all-points closure (worklist relaxation over a row-major `DistSet`
+//! matrix) and the per-II search (reusable `SchedScratch` buffers) —
+//! against the naive reference path (rounds-to-fixpoint Bellman-Ford
+//! closure, fresh scratch per loop). The corpus is every innermost all-Op
+//! loop body of the deterministic 72-program synthetic population.
+//!
+//! Before any timing, every graph is compiled through *both* paths and the
+//! results are compared: the closures must be `same_closure`-identical per
+//! component and the achieved II (or failure) must match. A mismatch
+//! exits nonzero — this is the differential oracle the verify recipe's
+//! smoke run leans on (`--smoke` trims the corpus and skips file output).
+//!
+//! Full runs write `results/hotpath.txt` (human table) and
+//! `BENCH_hotpath.json` (machine-readable) at the workspace root:
+//! `cargo run --release -p bench --bin hotpath`.
+
+use std::fmt::Write as _;
+use std::process::ExitCode;
+
+use bench::timing::{bench, format_duration, BenchConfig, Stats};
+use ir::{Op, Opcode, ProgramBuilder, Stmt, TripCount, VReg};
+use machine::presets::warp_cell;
+use machine::MachineDescription;
+use swp::{
+    build_graph, modulo_schedule_analyzed, tarjan, BuildOptions, DepGraph, SccClosure,
+    SccDecomposition, SchedAnalysis, SchedOptions, SchedScratch,
+};
+
+/// Collects the op lists of innermost all-Op loop bodies, recursing into
+/// mixed bodies and conditional arms.
+fn collect_loop_bodies(stmts: &[Stmt], out: &mut Vec<Vec<Op>>) {
+    for s in stmts {
+        match s {
+            Stmt::Op(_) => {}
+            Stmt::Loop(l) => {
+                if !l.body.is_empty() && l.body.iter().all(|s| matches!(s, Stmt::Op(_))) {
+                    out.push(
+                        l.body
+                            .iter()
+                            .map(|s| match s {
+                                Stmt::Op(op) => op.clone(),
+                                _ => unreachable!("checked all-Op above"),
+                            })
+                            .collect(),
+                    );
+                } else {
+                    collect_loop_bodies(&l.body, out);
+                }
+            }
+            Stmt::If(c) => {
+                collect_loop_bodies(&c.then_body, out);
+                collect_loop_bodies(&c.else_body, out);
+            }
+        }
+    }
+}
+
+/// A chain-carried reduction loop (Horner-style): the accumulator flows
+/// through every chain op before being written back, so the whole chain is
+/// one recurrence SCC of `chain + 1` nodes. The population's recurrences
+/// are short cycles; these stress the closure on the large components
+/// where its cost actually lives.
+fn stress_body(chain: u32, streams: u32) -> Vec<Op> {
+    let mut b = ProgramBuilder::new(format!("stress_c{chain}_s{streams}"));
+    let ins: Vec<ir::ArrayId> = (0..streams)
+        .map(|s| b.array(format!("in{s}"), 128))
+        .collect();
+    let acc_out = b.array("accout", 1);
+    let acc = b.fconst(1.0);
+    b.for_counted(TripCount::Const(128), |b, i| {
+        let loaded: Vec<VReg> = ins
+            .iter()
+            .map(|&arr| b.load_elem(arr, i.into(), 1, 0))
+            .collect();
+        let mut cur = acc;
+        for c in 0..chain {
+            let x = loaded[c as usize % loaded.len()];
+            cur = if c % 2 == 0 {
+                b.fmul(cur.into(), x.into())
+            } else {
+                b.fadd(cur.into(), x.into())
+            };
+        }
+        // Write the accumulator back: closes the iteration-crossing cycle
+        // through the entire chain.
+        b.push_op(Op::new(
+            Opcode::FAdd,
+            Some(acc),
+            vec![cur.into(), 0.5f32.into()],
+        ));
+    });
+    b.store_fixed(acc_out, 0, acc.into());
+    let program = b.finish();
+    let mut bodies = Vec::new();
+    collect_loop_bodies(&program.body, &mut bodies);
+    assert_eq!(bodies.len(), 1, "stress program has one innermost loop");
+    bodies.pop().expect("checked above")
+}
+
+fn corpus(mach: &MachineDescription, smoke: bool) -> Vec<DepGraph> {
+    let mut bodies = Vec::new();
+    for k in kernels::synth::population() {
+        collect_loop_bodies(&k.program.body, &mut bodies);
+    }
+    if smoke {
+        // Every sixth body: spans the population's shape axes (the
+        // generator interleaves recurrence/conditional classes mod 12)
+        // while keeping the verify smoke run fast.
+        bodies = bodies.into_iter().step_by(6).collect();
+        bodies.push(stress_body(8, 1));
+    } else {
+        for (chain, streams) in [(8, 1), (12, 2), (16, 1), (20, 2), (24, 1), (32, 2)] {
+            bodies.push(stress_body(chain, streams));
+        }
+    }
+    bodies
+        .iter()
+        .map(|ops| build_graph(ops, mach, BuildOptions::default()))
+        .collect()
+}
+
+fn is_nontrivial(g: &DepGraph, scc: &SccDecomposition, comp: usize) -> bool {
+    scc.members[comp].len() > 1 || {
+        let n = scc.members[comp][0];
+        g.succ_edges(n).any(|e| e.to == n)
+    }
+}
+
+/// The reference preprocessing: same decomposition, closures from the
+/// rounds-to-fixpoint Bellman-Ford oracle.
+fn analyze_reference(g: &DepGraph) -> SchedAnalysis {
+    let scc = tarjan(g);
+    let nontrivial: Vec<usize> = (0..scc.len())
+        .filter(|&c| is_nontrivial(g, &scc, c))
+        .collect();
+    let closures: Vec<SccClosure> = nontrivial
+        .iter()
+        .map(|&c| SccClosure::compute_reference(g, &scc, c))
+        .collect();
+    SchedAnalysis {
+        scc,
+        nontrivial,
+        closures,
+        closure_relaxations: 0,
+    }
+}
+
+/// Differentially compiles one graph through both paths. Returns an error
+/// description on any divergence.
+fn verify_graph(g: &DepGraph, mach: &MachineDescription, idx: usize) -> Result<(), String> {
+    let opt = SchedAnalysis::analyze(g);
+    let oracle = analyze_reference(g);
+    if opt.nontrivial != oracle.nontrivial {
+        return Err(format!(
+            "graph {idx}: nontrivial component sets differ ({:?} vs {:?})",
+            opt.nontrivial, oracle.nontrivial
+        ));
+    }
+    for (i, (a, b)) in opt.closures.iter().zip(&oracle.closures).enumerate() {
+        if !a.same_closure(b) {
+            return Err(format!(
+                "graph {idx}: closure {i} diverges between worklist and oracle"
+            ));
+        }
+    }
+    let sched_opts = SchedOptions::default();
+    let mut scratch = SchedScratch::new();
+    let (ra, _) = modulo_schedule_analyzed(g, mach, &sched_opts, &opt, &mut scratch);
+    let mut fresh = SchedScratch::new();
+    let (rb, _) = modulo_schedule_analyzed(g, mach, &sched_opts, &oracle, &mut fresh);
+    let ii = |r: &Result<swp::ScheduleResult, swp::SchedError>| match r {
+        Ok(s) => Ok(s.schedule.ii()),
+        Err(e) => Err(format!("{e:?}")),
+    };
+    if ii(&ra) != ii(&rb) {
+        return Err(format!(
+            "graph {idx}: schedule outcome diverges ({:?} vs {:?})",
+            ii(&ra),
+            ii(&rb)
+        ));
+    }
+    Ok(())
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn main() -> ExitCode {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mach = warp_cell();
+    let graphs = corpus(&mach, smoke);
+    println!(
+        "hotpath: {} innermost loop graphs{}",
+        graphs.len(),
+        if smoke { " (smoke corpus)" } else { "" }
+    );
+
+    // Phase 1: differential oracle over the whole corpus, before timing.
+    let mut verified = 0usize;
+    for (idx, g) in graphs.iter().enumerate() {
+        if let Err(e) = verify_graph(g, &mach, idx) {
+            eprintln!("ORACLE MISMATCH: {e}");
+            return ExitCode::FAILURE;
+        }
+        verified += 1;
+    }
+    println!("oracle: {verified}/{} graphs verified identical", graphs.len());
+
+    // Phase 2: timing. Each case sweeps the full corpus once per
+    // iteration so per-graph constant overheads amortize identically.
+    let cfg = if smoke {
+        BenchConfig {
+            samples: 3,
+            sample_time: std::time::Duration::from_millis(5),
+        }
+    } else {
+        BenchConfig::default()
+    };
+    let sched_opts = SchedOptions::default();
+
+    let closure_opt = bench("closure/dirty-sweep", &cfg, || {
+        graphs
+            .iter()
+            .map(|g| SchedAnalysis::analyze(g).closures.len())
+            .sum::<usize>()
+    });
+    let closure_ref = bench("closure/oracle", &cfg, || {
+        graphs
+            .iter()
+            .map(|g| analyze_reference(g).closures.len())
+            .sum::<usize>()
+    });
+
+    // II search over precomputed analyses: optimized path shares one
+    // scratch arena across the corpus, reference path re-allocates per
+    // loop (the pre-rework behavior).
+    let analyses: Vec<SchedAnalysis> = graphs.iter().map(SchedAnalysis::analyze).collect();
+    let search_opt = bench("search/shared-scratch", &cfg, || {
+        let mut scratch = SchedScratch::new();
+        graphs
+            .iter()
+            .zip(&analyses)
+            .filter(|(g, a)| {
+                modulo_schedule_analyzed(g, &mach, &sched_opts, a, &mut scratch)
+                    .0
+                    .is_ok()
+            })
+            .count()
+    });
+    let search_ref = bench("search/fresh-scratch", &cfg, || {
+        graphs
+            .iter()
+            .zip(&analyses)
+            .filter(|(g, a)| {
+                let mut scratch = SchedScratch::new();
+                modulo_schedule_analyzed(g, &mach, &sched_opts, a, &mut scratch)
+                    .0
+                    .is_ok()
+            })
+            .count()
+    });
+
+    // End-to-end: closure + search, as the compile pipeline runs them.
+    // The optimized pipeline analyzes once and shares the analysis between
+    // the MII bounds report and the II search, reusing one scratch arena
+    // across loops. The reference pipeline reproduces the pre-rework
+    // `emit.rs` flow: closures computed for the bounds report and then
+    // *recomputed* by the scheduler (the seed's `modulo_schedule_telemetry`
+    // ran its own `tarjan` + `SccClosure::compute`), with fresh scheduler
+    // state per loop.
+    let total_opt = bench("total/optimized", &cfg, || {
+        let mut scratch = SchedScratch::new();
+        graphs
+            .iter()
+            .filter(|g| {
+                let a = SchedAnalysis::analyze(g);
+                modulo_schedule_analyzed(g, &mach, &sched_opts, &a, &mut scratch)
+                    .0
+                    .is_ok()
+            })
+            .count()
+    });
+    let total_ref = bench("total/reference", &cfg, || {
+        graphs
+            .iter()
+            .filter(|g| {
+                let bounds = analyze_reference(g);
+                std::hint::black_box(bounds.closures.len());
+                let a = analyze_reference(g);
+                let mut scratch = SchedScratch::new();
+                modulo_schedule_analyzed(g, &mach, &sched_opts, &a, &mut scratch)
+                    .0
+                    .is_ok()
+            })
+            .count()
+    });
+
+    let all = [
+        &closure_opt,
+        &closure_ref,
+        &search_opt,
+        &search_ref,
+        &total_opt,
+        &total_ref,
+    ];
+    let speedup = |opt: &Stats, rf: &Stats| {
+        rf.median.as_nanos() as f64 / opt.median.as_nanos().max(1) as f64
+    };
+    // Noise-floor variant: minima are robust to co-tenant interference.
+    let speedup_min =
+        |opt: &Stats, rf: &Stats| rf.min.as_nanos() as f64 / opt.min.as_nanos().max(1) as f64;
+    let sp_closure = speedup(&closure_opt, &closure_ref);
+    let sp_search = speedup(&search_opt, &search_ref);
+    let sp_total = speedup(&total_opt, &total_ref);
+    let sp_total_min = speedup_min(&total_opt, &total_ref);
+
+    let mut table = String::new();
+    let _ = writeln!(
+        table,
+        "{:<24} {:>12} {:>12} {:>12} {:>14}",
+        "case", "min", "median", "mean", "iters/sample"
+    );
+    for s in all {
+        let _ = writeln!(
+            table,
+            "{:<24} {:>12} {:>12} {:>12} {:>14}",
+            s.name,
+            format_duration(s.min),
+            format_duration(s.median),
+            format_duration(s.mean),
+            s.iters_per_sample
+        );
+    }
+    let _ = writeln!(table);
+    let _ = writeln!(table, "speedup (median, oracle/optimized):");
+    let _ = writeln!(table, "  closure      {sp_closure:.2}x");
+    let _ = writeln!(table, "  II search    {sp_search:.2}x");
+    let _ = writeln!(
+        table,
+        "  closure+search {sp_total:.2}x (min-based {sp_total_min:.2}x)"
+    );
+    print!("\n{table}");
+
+    if smoke {
+        println!("smoke run: skipping results/hotpath.txt and BENCH_hotpath.json");
+        return ExitCode::SUCCESS;
+    }
+
+    let header = format!(
+        "hotpath microbenchmark — closure + II search over {} synth innermost loops\n\
+         (oracle = rounds-to-fixpoint Bellman-Ford closure + fresh scratch per loop)\n\
+         differential oracle: {verified}/{} graphs identical\n\n",
+        graphs.len(),
+        graphs.len()
+    );
+    if let Err(e) = std::fs::create_dir_all("results")
+        .and_then(|()| std::fs::write("results/hotpath.txt", format!("{header}{table}")))
+    {
+        eprintln!("failed to write results/hotpath.txt: {e}");
+        return ExitCode::FAILURE;
+    }
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"bench\": \"hotpath\",");
+    let _ = writeln!(json, "  \"graphs\": {},", graphs.len());
+    let _ = writeln!(json, "  \"verified_graphs\": {verified},");
+    let _ = writeln!(json, "  \"cases\": [");
+    for (i, s) in all.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}, \"iters_per_sample\": {}}}{}",
+            json_escape(&s.name),
+            s.min.as_nanos(),
+            s.median.as_nanos(),
+            s.mean.as_nanos(),
+            s.iters_per_sample,
+            if i + 1 < all.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"speedup_closure\": {sp_closure:.3},");
+    let _ = writeln!(json, "  \"speedup_search\": {sp_search:.3},");
+    let _ = writeln!(json, "  \"speedup_total\": {sp_total:.3},");
+    let _ = writeln!(json, "  \"speedup_total_min\": {sp_total_min:.3}");
+    json.push_str("}\n");
+    if let Err(e) = std::fs::write("BENCH_hotpath.json", json) {
+        eprintln!("failed to write BENCH_hotpath.json: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote results/hotpath.txt and BENCH_hotpath.json");
+    ExitCode::SUCCESS
+}

@@ -15,7 +15,7 @@ use swp::testkit::SplitMix64;
 use swp::{compile_batch, BatchJob, CompileOptions};
 
 /// Default base seed; `TESTKIT_SEED` overrides it, as in `swp::testkit`.
-const DEFAULT_SEED: u64 = 0x1988_07_15;
+const DEFAULT_SEED: u64 = 0x1988_0715;
 /// A second fixed seed so determinism is never certified on one corpus.
 const SECOND_SEED: u64 = 0x4c61_6d38;
 

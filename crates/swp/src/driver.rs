@@ -33,7 +33,8 @@ use std::time::{Duration, Instant};
 use ir::Program;
 use machine::MachineDescription;
 
-use crate::emit::{compile, CompileError, CompileOptions, CompiledProgram};
+use crate::emit::{compile_with_scratch, CompileError, CompileOptions, CompiledProgram};
+use crate::modsched::SchedScratch;
 
 /// One compilation job: a program on a machine under fixed options.
 #[derive(Debug, Clone)]
@@ -61,9 +62,9 @@ pub struct BatchResult {
     pub wall: Duration,
 }
 
-fn run_job(job: &BatchJob<'_>) -> BatchResult {
+fn run_job(job: &BatchJob<'_>, scratch: &mut SchedScratch) -> BatchResult {
     let start = Instant::now();
-    let outcome = compile(job.program, job.mach, &job.opts);
+    let outcome = compile_with_scratch(job.program, job.mach, &job.opts, scratch);
     BatchResult {
         name: job.name.clone(),
         outcome,
@@ -78,7 +79,10 @@ fn run_job(job: &BatchJob<'_>) -> BatchResult {
 pub fn compile_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<BatchResult> {
     let threads = threads.max(1).min(jobs.len().max(1));
     if threads <= 1 {
-        return jobs.iter().map(run_job).collect();
+        // One scratch arena for the whole serial run: each job re-arms the
+        // previous job's buffers.
+        let mut scratch = SchedScratch::new();
+        return jobs.iter().map(|j| run_job(j, &mut scratch)).collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -90,14 +94,21 @@ pub fn compile_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<BatchResult> 
         for _ in 0..threads {
             let tx = tx.clone();
             let next = &next;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= jobs.len() {
-                    break;
+            scope.spawn(move || {
+                // Worker-local scratch, reused across every job this
+                // thread pulls. Per-run reuse telemetry stays independent
+                // of which thread compiled which job (see
+                // `SchedTelemetry::scratch_reuses`).
+                let mut scratch = SchedScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= jobs.len() {
+                        break;
+                    }
+                    // A send fails only if the receiver is gone, which
+                    // cannot happen while the scope holds it below.
+                    let _ = tx.send((i, run_job(&jobs[i], &mut scratch)));
                 }
-                // A send fails only if the receiver is gone, which cannot
-                // happen while the scope holds it below.
-                let _ = tx.send((i, run_job(&jobs[i])));
             });
         }
         drop(tx);
@@ -180,7 +191,7 @@ mod tests {
     fn empty_batch_and_oversubscribed_pool() {
         assert!(compile_batch(&[], 8).is_empty());
         let progs = vec![vscale(8, 2.0)];
-        let machs = vec![test_machine()];
+        let machs = [test_machine()];
         let js = jobs(&progs, &machs);
         // More threads than jobs: pool is clamped, result still ordered.
         let r = compile_batch(&js, 64);
@@ -201,7 +212,7 @@ mod tests {
             vec![ir::Imm::I(1).into(), ir::Imm::I(2).into()],
         ));
         let bad = b.finish();
-        let machs = vec![test_machine()];
+        let machs = [test_machine()];
         let js = vec![
             BatchJob {
                 name: "good".into(),

@@ -46,10 +46,8 @@ use crate::compact::{compact_block, CompactedRegion};
 use crate::graph::{Access, DepGraph, Node, NodeKind, ReducedCond};
 use crate::hier::{reduce_stmts_with, stats, CondMode};
 use crate::mii::{rec_mii, res_mii, MiiReport};
-use crate::modsched::{modulo_schedule_telemetry, SchedOptions};
+use crate::modsched::{modulo_schedule_analyzed, SchedAnalysis, SchedOptions, SchedScratch};
 use crate::mve::{expand, Expansion, UnrollPolicy};
-use crate::pathalg::SccClosure;
-use crate::scc::tarjan;
 use crate::schedule::Schedule;
 use crate::stats::LoopStats;
 use std::time::Instant;
@@ -264,6 +262,24 @@ pub fn compile(
     mach: &MachineDescription,
     opts: &CompileOptions,
 ) -> Result<CompiledProgram, CompileError> {
+    compile_with_scratch(p, mach, opts, &mut SchedScratch::new())
+}
+
+/// [`compile`] with a caller-owned scheduler scratch arena, so a sequence
+/// of compilations (one batch worker thread's job stream) reuses the
+/// scheduler's buffers instead of reallocating them per program. Results
+/// are identical to [`compile`] — the scratch never leaks state between
+/// runs.
+///
+/// # Errors
+///
+/// Returns [`CompileError`] if the program fails validation.
+pub fn compile_with_scratch(
+    p: &Program,
+    mach: &MachineDescription,
+    opts: &CompileOptions,
+    scratch: &mut SchedScratch,
+) -> Result<CompiledProgram, CompileError> {
     p.validate().map_err(|e| CompileError(e.to_string()))?;
     let mut e = Emitter {
         mach,
@@ -273,6 +289,7 @@ pub fn compile(
         reports: Vec::new(),
         artifacts: Vec::new(),
         next_loop: 0,
+        scratch,
     };
     e.emit_stmts(&p.body, 0);
     let last = e.blocks.len() - 1;
@@ -307,6 +324,8 @@ struct Emitter<'m> {
     reports: Vec<LoopReport>,
     artifacts: Vec<LoopArtifacts>,
     next_loop: u32,
+    /// Reusable scheduler buffers, threaded through every loop's II search.
+    scratch: &'m mut SchedScratch,
 }
 
 impl<'m> Emitter<'m> {
@@ -662,16 +681,9 @@ impl<'m> Emitter<'m> {
         let g = build_item_graph(items, self.mach, BuildOptions::default());
         report.stats.phases.build = build_start.elapsed();
         let bounds_start = Instant::now();
-        let scc = tarjan(&g);
-        let closures: Vec<SccClosure> = (0..scc.len())
-            .filter(|&c| {
-                scc.members[c].len() > 1 || {
-                    let n = scc.members[c][0];
-                    g.succ_edges(n).any(|e| e.to == n)
-                }
-            })
-            .map(|c| SccClosure::compute(&g, &scc, c))
-            .collect();
+        // SCC decomposition + symbolic closures, computed exactly once and
+        // shared between the bounds below and every II attempt.
+        let analysis = SchedAnalysis::analyze(&g);
         report.mii_res = match res_mii(&g, self.mach) {
             Ok(r) => r,
             Err(e) => {
@@ -680,7 +692,7 @@ impl<'m> Emitter<'m> {
                 return None;
             }
         };
-        report.mii_rec = match rec_mii(&closures) {
+        report.mii_rec = match rec_mii(&analysis.closures) {
             Ok(r) => r,
             Err(_) => {
                 report.stats.phases.bounds = bounds_start.elapsed();
@@ -720,7 +732,9 @@ impl<'m> Emitter<'m> {
             return None;
         }
         let search_start = Instant::now();
-        let (sched_result, telemetry) = modulo_schedule_telemetry(&g, self.mach, &self.opts.sched);
+        let sched_opts = self.opts.sched;
+        let (sched_result, telemetry) =
+            modulo_schedule_analyzed(&g, self.mach, &sched_opts, &analysis, self.scratch);
         report.stats.phases.search = search_start.elapsed();
         report.stats.sched = telemetry;
         let result = match sched_result {

@@ -14,6 +14,7 @@
 //! where `s` is the initiation interval.
 
 use std::fmt;
+use std::sync::OnceLock;
 
 use ir::{Op, VReg};
 use machine::ReservationTable;
@@ -218,14 +219,65 @@ impl Node {
     }
 }
 
+/// Compressed-sparse-row adjacency over the edge list: for each node, the
+/// indices of its outgoing (resp. incoming) edges as one contiguous slice
+/// of a single flat buffer. Built once per topology (lazily, on first
+/// adjacency query) and invalidated by mutation; the per-node slices
+/// preserve edge insertion order, so iteration is observationally
+/// identical to the former `Vec<Vec<usize>>` layout.
+#[derive(Debug, Clone, Default)]
+struct CsrTopology {
+    /// `succ_edges[succ_off[v]..succ_off[v + 1]]` = outgoing edge indices.
+    succ_off: Vec<u32>,
+    succ_edges: Vec<u32>,
+    /// `pred_edges[pred_off[v]..pred_off[v + 1]]` = incoming edge indices.
+    pred_off: Vec<u32>,
+    pred_edges: Vec<u32>,
+}
+
+impl CsrTopology {
+    fn build(num_nodes: usize, edges: &[DepEdge]) -> CsrTopology {
+        let mut succ_off = vec![0u32; num_nodes + 1];
+        let mut pred_off = vec![0u32; num_nodes + 1];
+        for e in edges {
+            succ_off[e.from.index() + 1] += 1;
+            pred_off[e.to.index() + 1] += 1;
+        }
+        for v in 0..num_nodes {
+            succ_off[v + 1] += succ_off[v];
+            pred_off[v + 1] += pred_off[v];
+        }
+        // Stable counting sort: a second pass in edge order fills each
+        // node's slice in insertion order.
+        let mut succ_edges = vec![0u32; edges.len()];
+        let mut pred_edges = vec![0u32; edges.len()];
+        let mut succ_next = succ_off.clone();
+        let mut pred_next = pred_off.clone();
+        for (i, e) in edges.iter().enumerate() {
+            let s = &mut succ_next[e.from.index()];
+            succ_edges[*s as usize] = i as u32;
+            *s += 1;
+            let p = &mut pred_next[e.to.index()];
+            pred_edges[*p as usize] = i as u32;
+            *p += 1;
+        }
+        CsrTopology {
+            succ_off,
+            succ_edges,
+            pred_off,
+            pred_edges,
+        }
+    }
+}
+
 /// A dependence graph over one loop body (or one basic block, when built
 /// without loop-carried edges).
 #[derive(Debug, Clone, Default)]
 pub struct DepGraph {
     nodes: Vec<Node>,
     edges: Vec<DepEdge>,
-    succs: Vec<Vec<usize>>,
-    preds: Vec<Vec<usize>>,
+    /// Lazily built CSR adjacency; cleared on mutation.
+    csr: OnceLock<CsrTopology>,
     /// Variables eligible for modulo variable expansion: they are redefined
     /// at the beginning of every iteration (no use precedes their first
     /// def), so their loop-carried anti/output dependences were omitted on
@@ -243,8 +295,7 @@ impl DepGraph {
     pub fn add_node(&mut self, node: Node) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(node);
-        self.succs.push(Vec::new());
-        self.preds.push(Vec::new());
+        self.csr.take();
         id
     }
 
@@ -256,10 +307,13 @@ impl DepGraph {
     pub fn add_edge(&mut self, edge: DepEdge) {
         assert!(edge.from.index() < self.nodes.len());
         assert!(edge.to.index() < self.nodes.len());
-        let idx = self.edges.len();
-        self.succs[edge.from.index()].push(idx);
-        self.preds[edge.to.index()].push(idx);
         self.edges.push(edge);
+        self.csr.take();
+    }
+
+    fn csr(&self) -> &CsrTopology {
+        self.csr
+            .get_or_init(|| CsrTopology::build(self.nodes.len(), &self.edges))
     }
 
     /// Number of nodes.
@@ -282,14 +336,30 @@ impl DepGraph {
         &self.edges
     }
 
+    /// Indices into [`edges`](Self::edges) of the outgoing edges of a
+    /// node, as one flat CSR slice in edge insertion order.
+    pub fn succ_edge_ids(&self, id: NodeId) -> &[u32] {
+        let csr = self.csr();
+        let v = id.index();
+        &csr.succ_edges[csr.succ_off[v] as usize..csr.succ_off[v + 1] as usize]
+    }
+
+    /// Indices into [`edges`](Self::edges) of the incoming edges of a
+    /// node, as one flat CSR slice in edge insertion order.
+    pub fn pred_edge_ids(&self, id: NodeId) -> &[u32] {
+        let csr = self.csr();
+        let v = id.index();
+        &csr.pred_edges[csr.pred_off[v] as usize..csr.pred_off[v + 1] as usize]
+    }
+
     /// Outgoing edges of a node.
     pub fn succ_edges(&self, id: NodeId) -> impl Iterator<Item = &DepEdge> {
-        self.succs[id.index()].iter().map(|&i| &self.edges[i])
+        self.succ_edge_ids(id).iter().map(|&i| &self.edges[i as usize])
     }
 
     /// Incoming edges of a node.
     pub fn pred_edges(&self, id: NodeId) -> impl Iterator<Item = &DepEdge> {
-        self.preds[id.index()].iter().map(|&i| &self.edges[i])
+        self.pred_edge_ids(id).iter().map(|&i| &self.edges[i as usize])
     }
 
     /// Node ids in insertion (program) order.
@@ -374,6 +444,37 @@ mod tests {
     fn node_len_defaults_to_reservation() {
         let n = dummy_node();
         assert_eq!(n.len, 1, "empty reservation still occupies one cycle");
+    }
+
+    /// The lazily built CSR adjacency must be invalidated by mutation:
+    /// edges (and nodes) added after an adjacency query are visible to the
+    /// next query, in insertion order.
+    #[test]
+    fn csr_rebuilds_after_mutation() {
+        let mut g = DepGraph::new();
+        let a = g.add_node(dummy_node());
+        let b = g.add_node(dummy_node());
+        g.add_edge(DepEdge {
+            from: a,
+            to: b,
+            omega: 0,
+            delay: 1,
+            kind: DepKind::True,
+        });
+        assert_eq!(g.succ_edge_ids(a), &[0]);
+        let c = g.add_node(dummy_node());
+        g.add_edge(DepEdge {
+            from: a,
+            to: c,
+            omega: 0,
+            delay: 2,
+            kind: DepKind::Memory,
+        });
+        assert_eq!(g.succ_edge_ids(a), &[0, 1], "insertion order preserved");
+        assert_eq!(g.pred_edge_ids(c), &[1]);
+        let delays: Vec<i64> = g.succ_edges(a).map(|e| e.delay).collect();
+        assert_eq!(delays, vec![1, 2]);
+        assert_eq!(g.succ_edge_ids(c), &[] as &[u32]);
     }
 
     #[test]

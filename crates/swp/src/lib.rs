@@ -77,16 +77,16 @@ pub use code::{Block, BlockId, Terminator, VliwProgram, Word};
 pub use compact::{compact_block, compact_graph, linear_place, sequentialize, CompactedRegion};
 pub use driver::{compile_batch, BatchJob, BatchResult};
 pub use emit::{
-    compile, CompileError, CompileOptions, CompiledProgram, LoopArtifacts, LoopReport,
-    NotPipelined,
+    compile, compile_with_scratch, CompileError, CompileOptions, CompiledProgram, LoopArtifacts,
+    LoopReport, NotPipelined,
 };
 pub use build::build_item_graph;
 pub use graph::{Access, DepEdge, DepGraph, DepKind, Node, NodeId, NodeKind, PlacedItem, ReducedCond};
 pub use hier::{reduce_stmts, reduce_stmts_with, stats as hier_stats, CondMode};
 pub use mii::{rec_mii, res_mii, IllegalCycle, MiiReport, ZeroCapacity};
 pub use modsched::{
-    modulo_schedule, modulo_schedule_telemetry, IiSearch, Priority, SchedError, SchedOptions,
-    ScheduleResult,
+    modulo_schedule, modulo_schedule_analyzed, modulo_schedule_telemetry, IiSearch, Priority,
+    SchedAnalysis, SchedError, SchedOptions, SchedScratch, ScheduleResult,
 };
 pub use stats::{AttemptFailure, IiAttempt, LoopStats, PhaseTimes, SchedTelemetry};
 pub use mrt::{LinearTable, ModuloTable};

@@ -147,6 +147,114 @@ pub fn modulo_schedule(
     modulo_schedule_telemetry(g, mach, opts).0
 }
 
+/// The interval-independent preprocessing of one loop: SCC decomposition,
+/// the nontrivial components, and their symbolic closures. Computed once
+/// per loop and shared between the MII bounds and every II attempt
+/// ([`modulo_schedule_analyzed`]); previously the emission pipeline
+/// computed the closures twice — once for bounds reporting and once inside
+/// the scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedAnalysis {
+    /// The SCC decomposition of the dependence graph.
+    pub scc: SccDecomposition,
+    /// Indices of nontrivial components (size > 1 or with a self edge),
+    /// ascending.
+    pub nontrivial: Vec<usize>,
+    /// One symbolic closure per nontrivial component, in
+    /// [`nontrivial`](Self::nontrivial) order.
+    pub closures: Vec<SccClosure>,
+    /// Total Pareto-insert attempts the closure sweeps performed.
+    pub closure_relaxations: u64,
+}
+
+impl SchedAnalysis {
+    /// Runs the preprocessing for `g`.
+    pub fn analyze(g: &DepGraph) -> SchedAnalysis {
+        let scc = tarjan(g);
+        let nontrivial: Vec<usize> = (0..scc.len())
+            .filter(|&c| is_nontrivial(g, &scc, c))
+            .collect();
+        let mut closure_relaxations = 0u64;
+        let closures: Vec<SccClosure> = nontrivial
+            .iter()
+            .map(|&c| {
+                let (cl, relax) = SccClosure::compute_counted(g, &scc, c);
+                closure_relaxations += relax;
+                cl
+            })
+            .collect();
+        SchedAnalysis {
+            scc,
+            nontrivial,
+            closures,
+            closure_relaxations,
+        }
+    }
+}
+
+/// Reusable buffers for the scheduler's per-II retry loop.
+///
+/// Every II attempt needs a modulo reservation table, a topological-order
+/// workspace per component, and adjacency/indegree/`earliest`/`times`
+/// buffers for the condensation list scheduler. A `SchedScratch` owns all
+/// of them so a retry (or the next loop compiled on the same worker
+/// thread) re-arms existing allocations instead of reallocating; buffers
+/// only ever grow.
+#[derive(Debug, Default)]
+pub struct SchedScratch {
+    /// The single modulo table, shared sequentially by component
+    /// scheduling and condensation scheduling within an attempt.
+    mrt: ModuloTable,
+    topo: TopoScratch,
+    cond: CondScratch,
+    /// Table acquisitions in the current run (reset by `begin_run`); the
+    /// run's first acquisition is an allocation on a fresh scratch, every
+    /// later one reuses it.
+    run_tables: u32,
+}
+
+#[derive(Debug, Default)]
+struct TopoScratch {
+    indeg: Vec<usize>,
+    /// Ready nodes sorted *descending*, so the smallest id pops from the
+    /// back in O(1).
+    ready: Vec<NodeId>,
+    order: Vec<NodeId>,
+}
+
+#[derive(Debug, Default)]
+struct CondScratch {
+    /// CSR successor view of the condensation edges.
+    succ_off: Vec<u32>,
+    succ: Vec<(u32, i64, u32)>,
+    cursor: Vec<u32>,
+    indeg: Vec<usize>,
+    heights: Vec<i64>,
+    earliest: Vec<i64>,
+    ready: Vec<usize>,
+    times: Vec<i64>,
+}
+
+impl SchedScratch {
+    /// Creates an empty scratch arena.
+    pub fn new() -> SchedScratch {
+        SchedScratch::default()
+    }
+
+    fn begin_run(&mut self) {
+        self.run_tables = 0;
+    }
+
+    /// Marks one table acquisition; must precede each `mrt.reset`.
+    fn note_table(&mut self) {
+        self.run_tables += 1;
+    }
+
+    fn reuses_this_run(&self) -> u32 {
+        self.run_tables.saturating_sub(1)
+    }
+}
+
 /// [`modulo_schedule`], additionally returning the full attempt log and
 /// SCC structure (see [`crate::stats`]). The telemetry is populated on
 /// both success and failure paths.
@@ -154,6 +262,19 @@ pub fn modulo_schedule_telemetry(
     g: &DepGraph,
     mach: &MachineDescription,
     opts: &SchedOptions,
+) -> (Result<ScheduleResult, SchedError>, SchedTelemetry) {
+    modulo_schedule_analyzed(g, mach, opts, &SchedAnalysis::analyze(g), &mut SchedScratch::new())
+}
+
+/// [`modulo_schedule_telemetry`] with the preprocessing and the scratch
+/// arena supplied by the caller — the driver's workers analyze once per
+/// loop and carry one scratch across all their jobs.
+pub fn modulo_schedule_analyzed(
+    g: &DepGraph,
+    mach: &MachineDescription,
+    opts: &SchedOptions,
+    analysis: &SchedAnalysis,
+    scratch: &mut SchedScratch,
 ) -> (Result<ScheduleResult, SchedError>, SchedTelemetry) {
     let mut tel = SchedTelemetry::default();
     if g.num_nodes() == 0 {
@@ -167,16 +288,16 @@ pub fn modulo_schedule_telemetry(
         };
         return (Ok(trivial), tel);
     }
-    let scc = tarjan(g);
-    let nontrivial: Vec<usize> = (0..scc.len())
-        .filter(|&c| is_nontrivial(g, &scc, c))
-        .collect();
+    scratch.begin_run();
+    let SchedAnalysis {
+        scc,
+        nontrivial,
+        closures,
+        closure_relaxations,
+    } = analysis;
     tel.scc_count = scc.len();
     tel.scc_sizes = nontrivial.iter().map(|&c| scc.members[c].len()).collect();
-    let closures: Vec<SccClosure> = nontrivial
-        .iter()
-        .map(|&c| SccClosure::compute(g, &scc, c))
-        .collect();
+    tel.closure_relaxations = *closure_relaxations;
     let res = match res_mii(g, mach) {
         Ok(r) => r,
         Err(z) => {
@@ -188,7 +309,7 @@ pub fn modulo_schedule_telemetry(
             )
         }
     };
-    let rec = match rec_mii(&closures) {
+    let rec = match rec_mii(closures) {
         Ok(r) => r,
         Err(_) => return (Err(SchedError::IllegalCycle), tel),
     };
@@ -200,42 +321,44 @@ pub fn modulo_schedule_telemetry(
     let hi = opts.max_ii.unwrap_or_else(|| default_max_ii(g, lo));
 
     let mut attempts = 0;
-    let try_s = |s: u32, attempts: &mut u32, tel: &mut SchedTelemetry| -> Option<Schedule> {
-        *attempts += 1;
-        let outcome = schedule_at(g, mach, &scc, &nontrivial, &closures, s, opts)
-            // Belt and braces: never return an invalid schedule.
-            .and_then(|sched| match sched.validate(g, mach) {
-                Ok(()) => Ok(sched),
-                Err(reason) => Err(AttemptFailure::Validation { reason }),
-            });
-        match outcome {
-            Ok(sched) => {
-                tel.attempts.push(IiAttempt { ii: s, failure: None });
-                Some(sched)
-            }
-            Err(failure) => {
-                tel.attempts.push(IiAttempt {
-                    ii: s,
-                    failure: Some(failure),
+    let schedule = {
+        let mut try_s = |s: u32, attempts: &mut u32, tel: &mut SchedTelemetry| -> Option<Schedule> {
+            *attempts += 1;
+            let outcome = schedule_at(g, mach, scc, nontrivial, closures, s, opts, scratch)
+                // Belt and braces: never return an invalid schedule.
+                .and_then(|sched| match sched.validate(g, mach) {
+                    Ok(()) => Ok(sched),
+                    Err(reason) => Err(AttemptFailure::Validation { reason }),
                 });
-                None
-            }
-        }
-    };
-
-    let schedule = match opts.search {
-        IiSearch::Linear => {
-            let mut found = None;
-            for s in lo..=hi {
-                if let Some(sched) = try_s(s, &mut attempts, &mut tel) {
-                    found = Some(sched);
-                    break;
+            match outcome {
+                Ok(sched) => {
+                    tel.attempts.push(IiAttempt { ii: s, failure: None });
+                    Some(sched)
+                }
+                Err(failure) => {
+                    tel.attempts.push(IiAttempt {
+                        ii: s,
+                        failure: Some(failure),
+                    });
+                    None
                 }
             }
-            found
+        };
+        match opts.search {
+            IiSearch::Linear => {
+                let mut found = None;
+                for s in lo..=hi {
+                    if let Some(sched) = try_s(s, &mut attempts, &mut tel) {
+                        found = Some(sched);
+                        break;
+                    }
+                }
+                found
+            }
+            IiSearch::Binary => binary_search(lo, hi, &mut attempts, &mut tel, &mut try_s),
         }
-        IiSearch::Binary => binary_search(lo, hi, &mut attempts, &mut tel, try_s),
     };
+    tel.scratch_reuses = scratch.reuses_this_run();
 
     let result = match schedule {
         Some(schedule) => Ok(ScheduleResult {
@@ -319,6 +442,7 @@ fn default_max_ii(g: &DepGraph, mii: u32) -> u32 {
 
 /// One attempt at a fixed initiation interval. Failures carry the abort
 /// cause for the telemetry log.
+#[allow(clippy::too_many_arguments)] // internal; bundled by modulo_schedule_analyzed
 fn schedule_at(
     g: &DepGraph,
     mach: &MachineDescription,
@@ -327,18 +451,19 @@ fn schedule_at(
     closures: &[SccClosure],
     s: u32,
     opts: &SchedOptions,
+    scratch: &mut SchedScratch,
 ) -> Result<Schedule, AttemptFailure> {
     // 1. Schedule each nontrivial component individually.
     let mut comp_offsets: Vec<Option<Vec<(NodeId, i64)>>> = vec![None; scc.len()];
     for (ci, (cl, &c)) in closures.iter().zip(nontrivial).enumerate() {
-        comp_offsets[c] = Some(schedule_component(g, mach, cl, s, ci)?);
+        comp_offsets[c] = Some(schedule_component(g, mach, cl, s, ci, scratch)?);
     }
 
     // 2. Build the acyclic condensation.
     let cond = condense(g, scc, &comp_offsets);
 
     // 3. List-schedule the condensation against a modulo table.
-    let ctimes = list_schedule_condensation(&cond, mach, s, opts.priority)?;
+    let ctimes = list_schedule_condensation(&cond, mach, s, opts.priority, scratch)?;
 
     // 4. Expand back to per-node times.
     let mut times = vec![0i64; g.num_nodes()];
@@ -363,6 +488,7 @@ fn schedule_component(
     cl: &SccClosure,
     s: u32,
     ci: usize,
+    scratch: &mut SchedScratch,
 ) -> Result<Vec<(NodeId, i64)>, AttemptFailure> {
     let members = &cl.members;
     // Feasibility of every self cycle at this interval.
@@ -373,11 +499,16 @@ fn schedule_component(
             }
         }
     }
-    let order = intra_topo_order(g, members);
-    let mut table = ModuloTable::new(mach, s);
+    scratch.note_table();
+    // Split borrow: the topo workspace holds the order while the table
+    // fills.
+    let SchedScratch { mrt, topo, .. } = scratch;
+    let order = intra_topo_order(g, members, topo);
+    let table = mrt;
+    table.reset(mach, s);
     let mut placed: Vec<(NodeId, i64)> = Vec::with_capacity(members.len());
 
-    for &u in &order {
+    for &u in order {
         let (mut lo, mut hi) = (i64::MIN, i64::MAX);
         for &(w, tw) in &placed {
             if let Some(d) = cl.dist(w, u).eval(s) {
@@ -428,41 +559,53 @@ fn schedule_component(
 
 /// Topological order of `members` considering only intra-iteration
 /// (omega = 0) edges, which are acyclic by construction; ties broken by
-/// program order.
-fn intra_topo_order(g: &DepGraph, members: &[NodeId]) -> Vec<NodeId> {
-    let in_comp = |n: NodeId| members.binary_search(&n).is_ok();
-    let mut indeg: std::collections::BTreeMap<NodeId, usize> =
-        members.iter().map(|&m| (m, 0)).collect();
+/// program order (smallest ready node id first, as before — the order is
+/// part of the deterministic output).
+///
+/// Indegrees live in a flat `Vec` indexed by the node's position in the
+/// sorted `members` slice; the ready list is kept sorted descending so
+/// the smallest id pops from the back without shifting.
+fn intra_topo_order<'a>(
+    g: &DepGraph,
+    members: &[NodeId],
+    topo: &'a mut TopoScratch,
+) -> &'a [NodeId] {
+    let k = members.len();
+    let local = |n: NodeId| members.binary_search(&n);
+    topo.indeg.clear();
+    topo.indeg.resize(k, 0);
     for &m in members {
         for e in g.succ_edges(m) {
-            if e.omega == 0 && e.to != m && in_comp(e.to) {
-                *indeg.get_mut(&e.to).expect("member") += 1;
-            }
-        }
-    }
-    let mut ready: Vec<NodeId> = indeg
-        .iter()
-        .filter(|&(_, &d)| d == 0)
-        .map(|(&n, _)| n)
-        .collect();
-    ready.sort();
-    let mut order = Vec::with_capacity(members.len());
-    while let Some(n) = ready.first().copied() {
-        ready.remove(0);
-        order.push(n);
-        for e in g.succ_edges(n) {
-            if e.omega == 0 && e.to != n && in_comp(e.to) {
-                let d = indeg.get_mut(&e.to).expect("member");
-                *d -= 1;
-                if *d == 0 {
-                    let pos = ready.binary_search(&e.to).unwrap_or_else(|p| p);
-                    ready.insert(pos, e.to);
+            if e.omega == 0 && e.to != m {
+                if let Ok(j) = local(e.to) {
+                    topo.indeg[j] += 1;
                 }
             }
         }
     }
-    debug_assert_eq!(order.len(), members.len(), "omega=0 edges must be acyclic");
-    order
+    topo.ready.clear();
+    for j in (0..k).rev() {
+        if topo.indeg[j] == 0 {
+            topo.ready.push(members[j]);
+        }
+    }
+    topo.order.clear();
+    while let Some(n) = topo.ready.pop() {
+        topo.order.push(n);
+        for e in g.succ_edges(n) {
+            if e.omega == 0 && e.to != n {
+                if let Ok(j) = local(e.to) {
+                    topo.indeg[j] -= 1;
+                    if topo.indeg[j] == 0 {
+                        let pos = topo.ready.partition_point(|&x| x > e.to);
+                        topo.ready.insert(pos, e.to);
+                    }
+                }
+            }
+        }
+    }
+    debug_assert_eq!(topo.order.len(), members.len(), "omega=0 edges must be acyclic");
+    &topo.order
 }
 
 /// A vertex of the condensation.
@@ -533,39 +676,66 @@ fn condense(
 /// ready nodes first), each placed at the earliest slot satisfying its
 /// predecessors; a node that fails `s` consecutive slots on resources can
 /// never be placed, so the attempt aborts.
-fn list_schedule_condensation(
+fn list_schedule_condensation<'a>(
     cond: &Condensation,
     mach: &MachineDescription,
     s: u32,
     priority: Priority,
-) -> Result<Vec<i64>, AttemptFailure> {
+    scratch: &'a mut SchedScratch,
+) -> Result<&'a [i64], AttemptFailure> {
     let n = cond.nodes.len();
-    let mut succs: Vec<Vec<(usize, i64, u32)>> = vec![Vec::new(); n];
-    let mut indeg = vec![0usize; n];
+    scratch.note_table();
+    let SchedScratch { mrt, cond: cs, .. } = scratch;
+
+    // CSR successor view of the condensation edges, built by stable
+    // counting sort into the reusable scratch (edge order preserved —
+    // `earliest` updates are max-folds, but determinism is cheap to keep).
+    cs.succ_off.clear();
+    cs.succ_off.resize(n + 1, 0);
+    for &(f, _, _, _) in &cond.edges {
+        cs.succ_off[f + 1] += 1;
+    }
+    for u in 0..n {
+        cs.succ_off[u + 1] += cs.succ_off[u];
+    }
+    cs.succ.clear();
+    cs.succ.resize(cond.edges.len(), (0, 0, 0));
+    cs.cursor.clear();
+    cs.cursor.extend_from_slice(&cs.succ_off[..n]);
+    cs.indeg.clear();
+    cs.indeg.resize(n, 0);
     for &(f, t, d, o) in &cond.edges {
-        succs[f].push((t, d, o));
-        indeg[t] += 1;
+        let i = cs.cursor[f] as usize;
+        cs.cursor[f] += 1;
+        cs.succ[i] = (t as u32, d, o);
+        cs.indeg[t] += 1;
     }
     // Height priority: longest path to any sink, using interval-adjusted
     // delays (negative contributions clamp at zero — a weaker successor
     // chain should not *reduce* urgency below the node's own length).
-    let heights = compute_heights(cond, &succs, s);
+    compute_heights(cond, &cs.succ_off, &cs.succ, s, &mut cs.heights);
 
-    let mut ready: Vec<usize> = (0..n).filter(|&i| indeg[i] == 0).collect();
-    let mut table = ModuloTable::new(mach, s);
-    let mut times: Vec<Option<i64>> = vec![None; n];
+    cs.ready.clear();
+    cs.ready.extend((0..n).filter(|&i| cs.indeg[i] == 0));
+    let table = mrt;
+    table.reset(mach, s);
+    cs.times.clear();
+    cs.times.resize(n, 0);
+    cs.earliest.clear();
+    cs.earliest.resize(n, 0);
     let mut remaining = n;
-    let mut earliest = vec![0i64; n];
 
     while remaining > 0 {
         // Pick the ready node to schedule next.
         let pick = match priority {
-            Priority::Height => ready
+            Priority::Height => cs
+                .ready
                 .iter()
                 .enumerate()
-                .max_by_key(|&(_, &i)| (heights[i], std::cmp::Reverse(i)))
+                .max_by_key(|&(_, &i)| (cs.heights[i], std::cmp::Reverse(i)))
                 .map(|(k, _)| k),
-            Priority::SourceOrder => ready
+            Priority::SourceOrder => cs
+                .ready
                 .iter()
                 .enumerate()
                 .min_by_key(|&(_, &i)| i)
@@ -576,8 +746,8 @@ fn list_schedule_condensation(
             // drain with vertices outstanding if the graph is malformed.
             return Err(AttemptFailure::NoReadyVertex);
         };
-        let u = ready.swap_remove(pick);
-        let start = earliest[u].max(0);
+        let u = cs.ready.swap_remove(pick);
+        let start = cs.earliest[u].max(0);
         let mut placed_at = None;
         for t in start..start + s as i64 {
             let wrap_ok = cond.nodes[u].no_wrap.iter().all(|&(off, len)| {
@@ -592,31 +762,41 @@ fn list_schedule_condensation(
             return Err(AttemptFailure::CondensationPlacement { vertex: u });
         };
         table.place(&cond.nodes[u].reservation, t);
-        times[u] = Some(t);
+        cs.times[u] = t;
         remaining -= 1;
-        for &(v, d, o) in &succs[u] {
-            earliest[v] = earliest[v].max(t + d - (s as i64) * (o as i64));
-            indeg[v] -= 1;
-            if indeg[v] == 0 {
-                ready.push(v);
+        for i in cs.succ_off[u] as usize..cs.succ_off[u + 1] as usize {
+            let (v, d, o) = cs.succ[i];
+            let v = v as usize;
+            cs.earliest[v] = cs.earliest[v].max(t + d - (s as i64) * (o as i64));
+            cs.indeg[v] -= 1;
+            if cs.indeg[v] == 0 {
+                cs.ready.push(v);
             }
         }
     }
-    Ok(times.into_iter().map(|t| t.expect("all scheduled")).collect())
+    Ok(&cs.times)
 }
 
-fn compute_heights(cond: &Condensation, succs: &[Vec<(usize, i64, u32)>], s: u32) -> Vec<i64> {
+fn compute_heights(
+    cond: &Condensation,
+    succ_off: &[u32],
+    succ: &[(u32, i64, u32)],
+    s: u32,
+    h: &mut Vec<i64>,
+) {
     // The condensation is acyclic; process in reverse topological order by
     // simple iteration to fixpoint (bounded by the DAG depth).
     let n = cond.nodes.len();
-    let mut h: Vec<i64> = cond.nodes.iter().map(|c| c.len as i64).collect();
+    h.clear();
+    h.extend(cond.nodes.iter().map(|c| c.len as i64));
     let mut changed = true;
     let mut rounds = 0;
     while changed && rounds <= n {
         changed = false;
         rounds += 1;
         for u in 0..n {
-            for &(v, d, o) in &succs[u] {
+            for &(v, d, o) in &succ[succ_off[u] as usize..succ_off[u + 1] as usize] {
+                let v = v as usize;
                 let cand = cond.nodes[u].len as i64 + (d - (s as i64) * (o as i64)).max(0) + h[v]
                     - cond.nodes[v].len as i64;
                 let cand = cand.max(cond.nodes[u].len as i64);
@@ -627,7 +807,6 @@ fn compute_heights(cond: &Condensation, succs: &[Vec<(usize, i64, u32)>], s: u32
             }
         }
     }
-    h
 }
 
 #[cfg(test)]

@@ -9,12 +9,30 @@
 use machine::{MachineDescription, ReservationTable};
 
 /// Modulo resource reservation table for a candidate initiation interval.
+///
+/// The grid is one flat row-major buffer (`s` rows × one column per
+/// resource) so the per-II retry loop touches a single contiguous
+/// allocation, and [`reset`](Self::reset) re-arms an existing table for the
+/// next candidate interval without reallocating.
 #[derive(Debug, Clone)]
 pub struct ModuloTable {
     s: u32,
-    /// `rows[t mod s][resource] = units in use`.
-    rows: Vec<Vec<u16>>,
+    /// Flat row-major grid: `rows[(t mod s) * caps.len() + resource]` is
+    /// the number of units in use.
+    rows: Vec<u16>,
     caps: Vec<u16>,
+}
+
+/// A placeholder table (no rows, interval 0) for scratch arenas; it must
+/// be [`reset`](ModuloTable::reset) before any other use.
+impl Default for ModuloTable {
+    fn default() -> Self {
+        ModuloTable {
+            s: 0,
+            rows: Vec::new(),
+            caps: Vec::new(),
+        }
+    }
 }
 
 impl ModuloTable {
@@ -24,13 +42,28 @@ impl ModuloTable {
     ///
     /// Panics if `s == 0`.
     pub fn new(mach: &MachineDescription, s: u32) -> Self {
+        let mut t = ModuloTable {
+            s: 0,
+            rows: Vec::new(),
+            caps: Vec::new(),
+        };
+        t.reset(mach, s);
+        t
+    }
+
+    /// Clears the table and re-arms it for interval `s` on `mach`, reusing
+    /// the existing buffers (they only grow across a sequence of resets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s == 0`.
+    pub fn reset(&mut self, mach: &MachineDescription, s: u32) {
         assert!(s > 0, "initiation interval must be positive");
-        let caps: Vec<u16> = mach.resources().iter().map(|r| r.count).collect();
-        ModuloTable {
-            s,
-            rows: vec![vec![0; caps.len()]; s as usize],
-            caps,
-        }
+        self.caps.clear();
+        self.caps.extend(mach.resources().iter().map(|r| r.count));
+        self.s = s;
+        self.rows.clear();
+        self.rows.resize(s as usize * self.caps.len(), 0);
     }
 
     /// The initiation interval this table wraps at.
@@ -39,7 +72,7 @@ impl ModuloTable {
     }
 
     fn row_of(&self, t: i64) -> usize {
-        t.rem_euclid(self.s as i64) as usize
+        t.rem_euclid(self.s as i64) as usize * self.caps.len()
     }
 
     /// Would issuing an operation with reservation `res` at cycle `t`
@@ -48,7 +81,7 @@ impl ModuloTable {
         for (dt, row) in res.rows().enumerate() {
             let r = self.row_of(t + dt as i64);
             for (rid, units) in row.iter() {
-                if self.rows[r][rid.index()] + units > self.caps[rid.index()] {
+                if self.rows[r + rid.index()] + units > self.caps[rid.index()] {
                     return false;
                 }
             }
@@ -67,7 +100,7 @@ impl ModuloTable {
         for (dt, row) in res.rows().enumerate() {
             let r = self.row_of(t + dt as i64);
             for (rid, units) in row.iter() {
-                self.rows[r][rid.index()] += units;
+                self.rows[r + rid.index()] += units;
             }
         }
     }
@@ -77,15 +110,15 @@ impl ModuloTable {
         for (dt, row) in res.rows().enumerate() {
             let r = self.row_of(t + dt as i64);
             for (rid, units) in row.iter() {
-                debug_assert!(self.rows[r][rid.index()] >= units);
-                self.rows[r][rid.index()] -= units;
+                debug_assert!(self.rows[r + rid.index()] >= units);
+                self.rows[r + rid.index()] -= units;
             }
         }
     }
 
     /// Units of a resource in use at wrapped cycle `t`.
     pub fn used(&self, resource: machine::ResourceId, t: i64) -> u16 {
-        self.rows[self.row_of(t)][resource.index()]
+        self.rows[self.row_of(t) + resource.index()]
     }
 }
 
@@ -145,7 +178,7 @@ impl LinearTable {
     /// rightward as needed.
     pub fn place(&mut self, res: &ReservationTable, t: i64) {
         debug_assert!(self.fits(res, t));
-        if res.len() == 0 {
+        if res.is_empty() {
             return;
         }
         if self.rows.is_empty() {
@@ -191,7 +224,7 @@ mod tests {
         // Cycle 2 wraps onto row 0: conflicts with the op at cycle 0.
         assert!(!t.fits(&fadd, 2));
         assert!(t.fits(&fadd, 1));
-        assert!(!t.fits(&fadd, 3) || true); // 3 wraps to row 1
+        assert!(t.fits(&fadd, 3)); // 3 wraps to row 1, still empty
         t.place(&fadd, 1);
         assert!(!t.fits(&fadd, 3));
     }
@@ -292,6 +325,26 @@ mod tests {
             assert_eq!(t.used(rid, cycle), 1, "cycle {cycle} is row 1");
         }
         assert_eq!(t.used(rid, 0), 0);
+    }
+
+    /// `reset` must leave the table indistinguishable from a fresh `new`,
+    /// whether the interval shrinks or grows.
+    #[test]
+    fn modulo_reset_reuses_cleanly() {
+        let m = test_machine();
+        let fadd = m.reservation(OpClass::FloatAdd).clone();
+        let mut t = ModuloTable::new(&m, 5);
+        t.place(&fadd, 3);
+        t.reset(&m, 2);
+        assert_eq!(t.interval(), 2);
+        assert!(t.fits(&fadd, 3), "old placements must not survive reset");
+        t.place(&fadd, 0);
+        assert!(!t.fits(&fadd, 2), "wraps at the new interval");
+        t.reset(&m, 7);
+        assert_eq!(t.interval(), 7);
+        for cycle in 0..7 {
+            assert!(t.fits(&fadd, cycle));
+        }
     }
 
     #[test]

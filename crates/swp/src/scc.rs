@@ -79,13 +79,12 @@ pub fn tarjan(g: &DepGraph) -> SccDecomposition {
                     frames.push(Frame::Resume(v, 0));
                 }
                 Frame::Resume(v, mut ei) => {
-                    let succs: Vec<usize> = g
-                        .succ_edges(NodeId(v as u32))
-                        .map(|e| e.to.index())
-                        .collect();
+                    // Flat CSR slice: no per-frame allocation.
+                    let succs = g.succ_edge_ids(NodeId(v as u32));
+                    let edges = g.edges();
                     let mut descended = false;
                     while ei < succs.len() {
-                        let w = succs[ei];
+                        let w = edges[succs[ei] as usize].to.index();
                         ei += 1;
                         if index[w] == usize::MAX {
                             frames.push(Frame::Resume(v, ei));

@@ -105,6 +105,16 @@ pub struct SchedTelemetry {
     /// Every attempt, in search order (linear search: ascending intervals;
     /// binary search: probe order).
     pub attempts: Vec<IiAttempt>,
+    /// Pareto-insert attempts performed by the closure sweeps across all
+    /// nontrivial components (the all-points longest-path preprocessing
+    /// step runs once per loop; this is its work metric).
+    pub closure_relaxations: u64,
+    /// Scheduling-buffer acquisitions served by re-arming an
+    /// already-allocated [`crate::SchedScratch`] table during this run
+    /// (every acquisition after the run's first). Deterministic: counted
+    /// per run, not per scratch lifetime, so batch results are identical
+    /// however worker threads share their scratch.
+    pub scratch_reuses: u32,
 }
 
 impl SchedTelemetry {
@@ -236,6 +246,7 @@ mod tests {
                 ),
                 att(6, None),
             ],
+            ..Default::default()
         };
         assert_eq!(t.abort_summary(), "component:2,validation:1");
         assert_eq!(t.attempt_range(), "3-6");
@@ -254,6 +265,7 @@ mod tests {
             scc_count: 0,
             scc_sizes: vec![],
             attempts: vec![att(4, None), att(8, None), att(6, None)],
+            ..Default::default()
         };
         assert_eq!(t.attempt_range(), "4,8,6");
     }

@@ -147,7 +147,7 @@ impl Default for Config {
     fn default() -> Self {
         Config {
             cases: 64,
-            seed: 0x1988_07_15, // the paper's year, PLDI '88
+            seed: 0x1988_0715, // the paper's year, PLDI '88
             max_shrink: 400,
         }
     }

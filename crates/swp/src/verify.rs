@@ -318,7 +318,7 @@ pub fn verify_expansion(
             });
         }
         if let Some(copies) = exp.copies.get(&v) {
-            if exp.unroll as usize % copies.len() != 0 {
+            if !(exp.unroll as usize).is_multiple_of(copies.len()) {
                 out.push(Violation {
                     constraint: Constraint::Lifetime,
                     context: context.to_string(),
