@@ -1,0 +1,315 @@
+//! The shared diagnostics infrastructure: lint codes, severities, and the
+//! [`Diagnostic`] record with human-readable and JSON rendering.
+//!
+//! Codes are **stable**: once published in `docs/LINTS.md` a code keeps
+//! its meaning forever (retired codes are never reused). Every diagnostic
+//! carries a machine-readable code, a severity, an optional source span
+//! (when the program came through the `frontend` and position information
+//! survived), a one-line message, and free-form notes.
+
+use std::fmt;
+
+use frontend::Span;
+
+/// How bad a finding is. Ordered: `Info < Warning < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Informational: attribution and explanation, not a problem.
+    Info,
+    /// Suspicious but legal; worth a look.
+    Warning,
+    /// A real defect: the program, machine or schedule is broken.
+    Error,
+}
+
+impl Severity {
+    /// Lowercase name, as rendered in diagnostics and JSON.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Stable lint codes. The `A` prefix marks the analysis crate; the
+/// hundreds digit groups codes by pass family (0xx IR, 1xx machine,
+/// 2xx dependence graph, 3xx schedule, 4xx driver).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// A register may be read before any definition reaches it (in
+    /// particular on the first loop iteration, when only a later
+    /// definition in the same body exists).
+    UninitializedRead,
+    /// A register is allocated but never referenced by any operation.
+    UnusedRegister,
+    /// An operation computes a value nothing ever reads.
+    DeadOp,
+    /// An operand or destination type does not match its opcode.
+    TypeError,
+    /// An operation class has no functional-unit reservation: infinitely
+    /// many such ops could issue per cycle.
+    FreeOpClass,
+    /// A declared resource is used by no operation class and is not the
+    /// branch resource.
+    UnreferencedResource,
+    /// A node's reservation demands a resource the machine has zero units
+    /// of: no initiation interval exists.
+    ZeroCapacityDemanded,
+    /// An unanalyzable memory reference forces worst-case loop-carried
+    /// dependence edges.
+    UnknownMemRef,
+    /// Dependence edges whose constraints are strictly implied by other
+    /// paths (prunable without changing the schedulable set).
+    DominatedEdges,
+    /// Names the critical recurrence cycle(s) binding RecMII.
+    RecMiiAttribution,
+    /// Register pressure exceeds a machine register file.
+    RegisterPressure,
+    /// Operations with zero slack: moving any of them breaks the schedule.
+    ZeroSlack,
+    /// The resource(s) saturated at the achieved initiation interval.
+    BottleneckResource,
+    /// The compiler rejected the program outright.
+    CompileFailure,
+}
+
+impl LintCode {
+    /// The stable code string, e.g. `"A001"`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::UninitializedRead => "A001",
+            LintCode::UnusedRegister => "A002",
+            LintCode::DeadOp => "A003",
+            LintCode::TypeError => "A004",
+            LintCode::FreeOpClass => "A101",
+            LintCode::UnreferencedResource => "A102",
+            LintCode::ZeroCapacityDemanded => "A103",
+            LintCode::UnknownMemRef => "A201",
+            LintCode::DominatedEdges => "A202",
+            LintCode::RecMiiAttribution => "A203",
+            LintCode::RegisterPressure => "A301",
+            LintCode::ZeroSlack => "A302",
+            LintCode::BottleneckResource => "A303",
+            LintCode::CompileFailure => "A401",
+        }
+    }
+
+    /// The code's default severity.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::TypeError
+            | LintCode::ZeroCapacityDemanded
+            | LintCode::RegisterPressure
+            | LintCode::CompileFailure => Severity::Error,
+            LintCode::UninitializedRead
+            | LintCode::UnusedRegister
+            | LintCode::DeadOp
+            | LintCode::FreeOpClass
+            | LintCode::UnknownMemRef => Severity::Warning,
+            LintCode::UnreferencedResource
+            | LintCode::DominatedEdges
+            | LintCode::RecMiiAttribution
+            | LintCode::ZeroSlack
+            | LintCode::BottleneckResource => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding of an analysis pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: LintCode,
+    /// Severity (defaults to [`LintCode::severity`]).
+    pub severity: Severity,
+    /// Source range, when known (programs lowered by the `frontend` may
+    /// carry positions; IR built programmatically has none).
+    pub span: Option<Span>,
+    /// One-line description.
+    pub message: String,
+    /// Supporting detail, one line each.
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic with the code's default severity.
+    pub fn new(code: LintCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            severity: code.severity(),
+            span: None,
+            message: message.into(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Attaches a source span (builder-style).
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = Some(span);
+        self
+    }
+
+    /// Appends a note (builder-style).
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// One diagnostic in JSON, e.g.
+    /// `{"code":"A001","severity":"warning","span":null,"message":"…","notes":[]}`.
+    pub fn to_json(&self) -> String {
+        let span = match self.span {
+            Some(s) => format!(
+                "{{\"lo\":{{\"line\":{},\"col\":{}}},\"hi\":{{\"line\":{},\"col\":{}}}}}",
+                s.lo.line, s.lo.col, s.hi.line, s.hi.col
+            ),
+            None => "null".to_string(),
+        };
+        let notes: Vec<String> = self.notes.iter().map(|n| json_string(n)).collect();
+        format!(
+            "{{\"code\":{},\"severity\":{},\"span\":{},\"message\":{},\"notes\":[{}]}}",
+            json_string(self.code.as_str()),
+            json_string(self.severity.as_str()),
+            span,
+            json_string(&self.message),
+            notes.join(",")
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]", self.severity, self.code)?;
+        if let Some(s) = self.span {
+            write!(f, " at {s}")?;
+        }
+        write!(f, ": {}", self.message)?;
+        for n in &self.notes {
+            write!(f, "\n  = note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Renders a batch of diagnostics, one per line (notes indented).
+pub fn render(diags: &[Diagnostic]) -> String {
+    let mut out = String::new();
+    for d in diags {
+        out.push_str(&d.to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a batch of diagnostics as a JSON array.
+pub fn render_json(diags: &[Diagnostic]) -> String {
+    let items: Vec<String> = diags.iter().map(Diagnostic::to_json).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// The highest severity present, or `None` for an empty batch.
+pub fn max_severity(diags: &[Diagnostic]) -> Option<Severity> {
+    diags.iter().map(|d| d.severity).max()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use frontend::Pos;
+
+    #[test]
+    fn codes_are_stable_strings() {
+        assert_eq!(LintCode::UninitializedRead.as_str(), "A001");
+        assert_eq!(LintCode::ZeroCapacityDemanded.as_str(), "A103");
+        assert_eq!(LintCode::RegisterPressure.as_str(), "A301");
+        assert_eq!(LintCode::CompileFailure.as_str(), "A401");
+    }
+
+    #[test]
+    fn severities_order() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(
+            max_severity(&[
+                Diagnostic::new(LintCode::DominatedEdges, "x"),
+                Diagnostic::new(LintCode::TypeError, "y"),
+            ]),
+            Some(Severity::Error)
+        );
+        assert_eq!(max_severity(&[]), None);
+    }
+
+    #[test]
+    fn human_rendering() {
+        let d = Diagnostic::new(LintCode::UnknownMemRef, "load has no MemRef")
+            .with_note("forces omega edges at all distances");
+        let s = d.to_string();
+        assert!(s.starts_with("warning[A201]: load has no MemRef"), "{s}");
+        assert!(s.contains("= note: forces"), "{s}");
+    }
+
+    #[test]
+    fn span_rendering() {
+        let d = Diagnostic::new(LintCode::TypeError, "bad").with_span(Span::point(Pos {
+            line: 3,
+            col: 7,
+        }));
+        assert!(d.to_string().contains("at 3:7:"), "{d}");
+    }
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let d = Diagnostic::new(LintCode::DeadOp, "dst \"v1\"\nnever read");
+        let j = d.to_json();
+        assert!(j.contains("\"code\":\"A003\""), "{j}");
+        assert!(j.contains("\\\"v1\\\""), "{j}");
+        assert!(j.contains("\\n"), "{j}");
+        assert!(j.contains("\"span\":null"), "{j}");
+        let arr = render_json(&[d.clone(), d]);
+        assert!(arr.starts_with('[') && arr.ends_with(']'), "{arr}");
+        assert_eq!(arr.matches("\"A003\"").count(), 2, "{arr}");
+    }
+
+    #[test]
+    fn json_span_is_structured() {
+        let d = Diagnostic::new(LintCode::TypeError, "bad").with_span(Span {
+            lo: Pos { line: 1, col: 2 },
+            hi: Pos { line: 1, col: 9 },
+        });
+        let j = d.to_json();
+        assert!(j.contains("\"span\":{\"lo\":{\"line\":1,\"col\":2}"), "{j}");
+    }
+}

@@ -1,0 +1,301 @@
+//! Dependence-graph analyses: transitively-dominated edges (A202), the
+//! zero-capacity resource check (A103, in [`crate::machine_lints`]), and
+//! RecMII attribution (A203) naming the critical recurrence cycle(s).
+
+use machine::MachineDescription;
+use swp::{DepGraph, NodeKind, SccClosure};
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// Cap on per-edge / per-node note lines attached to one diagnostic.
+const MAX_NOTES: usize = 8;
+
+/// Runs every graph lint: A103 (zero-capacity resources), A202
+/// (dominated edges), A203 (RecMII attribution).
+pub fn lint_graph(g: &DepGraph, mach: &MachineDescription) -> Vec<Diagnostic> {
+    let mut diags = crate::machine_lints::check_graph_resources(g, mach);
+    diags.extend(dominated_edge_lint(g));
+    diags.extend(recmii_attribution(g));
+    diags
+}
+
+fn node_label(g: &DepGraph, n: swp::NodeId) -> String {
+    match &g.node(n).kind {
+        NodeKind::Op(op) => format!("{n} '{op}'"),
+        NodeKind::Cond(c) => format!("{n} 'if {}'", c.cond),
+    }
+}
+
+/// A202: edges whose constraint is strictly implied by another path.
+/// Detection reuses [`swp::dominated_edges`] (the same analysis the
+/// `prune_dominated` build option applies); here it only *reports*.
+pub fn dominated_edge_lint(g: &DepGraph) -> Vec<Diagnostic> {
+    let analysis = swp::dominated_edges(g);
+    let ids: Vec<usize> = analysis.dominated_ids().collect();
+    if ids.is_empty() {
+        return Vec::new();
+    }
+    let mut d = Diagnostic::new(
+        LintCode::DominatedEdges,
+        format!(
+            "{} of {} dependence edge(s) are transitively dominated (removable \
+             without changing the schedulable set)",
+            ids.len(),
+            g.edges().len()
+        ),
+    )
+    .with_note(
+        "enable BuildOptions::prune_dominated (lint --prune) to delete them before \
+         scheduling",
+    );
+    for &i in ids.iter().take(MAX_NOTES) {
+        let e = &g.edges()[i];
+        d.notes.push(format!(
+            "edge {} -> {} ({}, omega={}, d={}) is dominated",
+            e.from, e.to, e.kind, e.omega, e.delay
+        ));
+    }
+    if ids.len() > MAX_NOTES {
+        d.notes.push(format!("… and {} more", ids.len() - MAX_NOTES));
+    }
+    vec![d]
+}
+
+/// A203: names the recurrence circuit(s) that bind the recurrence lower
+/// bound on the initiation interval — the paper's critical cycles (§2.2's
+/// precedence-constrained components; see also the empirical role they
+/// play in §5's evaluation). One diagnostic per critical component,
+/// listing the zero-margin nodes and the edges lying on a bound-achieving
+/// cycle.
+pub fn recmii_attribution(g: &DepGraph) -> Vec<Diagnostic> {
+    let scc = swp::tarjan(g);
+    let mut closures: Vec<SccClosure> = Vec::new();
+    for c in 0..scc.len() {
+        let nontrivial = scc.members[c].len() > 1 || {
+            let n = scc.members[c][0];
+            g.succ_edges(n).any(|e| e.to == n)
+        };
+        if nontrivial {
+            closures.push(SccClosure::compute(g, &scc, c));
+        }
+    }
+    let Ok(bound) = swp::rec_mii(&closures) else {
+        // An illegal zero-omega positive-delay cycle: the scheduler
+        // rejects such graphs with its own structured error; attribution
+        // has nothing meaningful to say.
+        return Vec::new();
+    };
+    if bound == 0 {
+        return Vec::new();
+    }
+    let bound = bound as i64;
+
+    let mut diags = Vec::new();
+    for cl in &closures {
+        if cl.recurrence_mii() != Some(bound) {
+            continue;
+        }
+        // Nodes on a bound-achieving cycle: their self-distance set
+        // contains an entry with ceil(d / omega) == bound.
+        let critical: Vec<_> = cl
+            .members
+            .iter()
+            .copied()
+            .filter(|&n| cl.dist(n, n).cycle_bound() == Some(bound))
+            .collect();
+        // Edges on a bound-achieving cycle: closing the edge with a path
+        // back from its head to its tail reaches the bound.
+        let mut binding: Vec<String> = Vec::new();
+        let mut n_binding = 0usize;
+        for e in g.edges() {
+            if !cl.contains(e.from) || !cl.contains(e.to) {
+                continue;
+            }
+            let closes = if e.from == e.to {
+                e.omega > 0 && div_ceil(e.delay, e.omega as i64) == bound
+            } else {
+                cl.dist(e.to, e.from).entries().iter().any(|&(d, o)| {
+                    let total_o = o as i64 + e.omega as i64;
+                    total_o > 0 && div_ceil(d + e.delay, total_o) == bound
+                })
+            };
+            if closes {
+                n_binding += 1;
+                if binding.len() < MAX_NOTES {
+                    binding.push(format!(
+                        "binding edge {} -> {} ({}, omega={}, d={})",
+                        e.from, e.to, e.kind, e.omega, e.delay
+                    ));
+                }
+            }
+        }
+        if n_binding > MAX_NOTES {
+            binding.push(format!("… and {} more", n_binding - MAX_NOTES));
+        }
+        let mut d = Diagnostic::new(
+            LintCode::RecMiiAttribution,
+            format!(
+                "RecMII = {bound}, bound by a recurrence through {} of the \
+                 component's {} node(s)",
+                critical.len(),
+                cl.members.len()
+            ),
+        );
+        for &n in critical.iter().take(MAX_NOTES) {
+            d.notes.push(format!("critical node {}", node_label(g, n)));
+        }
+        if critical.len() > MAX_NOTES {
+            d.notes
+                .push(format!("… and {} more", critical.len() - MAX_NOTES));
+        }
+        d.notes.extend(binding);
+        diags.push(d);
+    }
+    diags
+}
+
+fn div_ceil(a: i64, b: i64) -> i64 {
+    debug_assert!(b > 0);
+    if a > 0 {
+        (a + b - 1) / b
+    } else {
+        a / b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::presets::test_machine;
+    use machine::ReservationTable;
+    use swp::{DepEdge, DepKind, Node, NodeId};
+
+    fn leaf() -> Node {
+        Node::op(
+            ir::Op::new(
+                ir::Opcode::FAdd,
+                Some(ir::VReg(0)),
+                vec![ir::Imm::F(1.0).into(), ir::Imm::F(2.0).into()],
+            ),
+            ReservationTable::empty(),
+        )
+    }
+
+    fn edge(from: u32, to: u32, delay: i64, omega: u32) -> DepEdge {
+        DepEdge {
+            from: NodeId(from),
+            to: NodeId(to),
+            delay,
+            omega,
+            kind: DepKind::True,
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn a202_fires_on_transitive_edge() {
+        // 0 -> 1 -> 2 with delays 2 and 2, plus a direct 0 -> 2 with
+        // delay 1: the direct edge is dominated.
+        let mut g = DepGraph::new();
+        for _ in 0..3 {
+            g.add_node(leaf());
+        }
+        g.add_edge(edge(0, 1, 2, 0));
+        g.add_edge(edge(1, 2, 2, 0));
+        g.add_edge(edge(0, 2, 1, 0));
+        let diags = dominated_edge_lint(&g);
+        assert_eq!(codes(&diags), vec!["A202"]);
+        assert!(diags[0].message.starts_with("1 of 3"), "{diags:?}");
+        assert!(
+            diags[0].notes.iter().any(|n| n.contains("n0 -> n2")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn a202_silent_on_thin_graph() {
+        let mut g = DepGraph::new();
+        for _ in 0..2 {
+            g.add_node(leaf());
+        }
+        g.add_edge(edge(0, 1, 2, 0));
+        assert!(dominated_edge_lint(&g).is_empty());
+    }
+
+    #[test]
+    fn a203_names_the_critical_cycle() {
+        // Component {0,1}: cycle 0 -> 1 -> 0 with total delay 5 over one
+        // iteration (RecMII 5). Separate slack cycle at node 2 (RecMII 2)
+        // must not be attributed.
+        let mut g = DepGraph::new();
+        for _ in 0..3 {
+            g.add_node(leaf());
+        }
+        g.add_edge(edge(0, 1, 3, 0));
+        g.add_edge(edge(1, 0, 2, 1));
+        g.add_edge(edge(2, 2, 2, 1));
+        let diags = recmii_attribution(&g);
+        assert_eq!(codes(&diags), vec!["A203"]);
+        let d = &diags[0];
+        assert!(d.message.contains("RecMII = 5"), "{d}");
+        assert!(d.notes.iter().any(|n| n.contains("critical node n0")), "{d}");
+        assert!(d.notes.iter().any(|n| n.contains("critical node n1")), "{d}");
+        assert!(
+            !d.notes.iter().any(|n| n.contains("node n2")),
+            "slack cycle must not be attributed: {d}"
+        );
+        assert!(
+            d.notes.iter().any(|n| n.contains("binding edge n0 -> n1")),
+            "{d}"
+        );
+        assert!(
+            d.notes.iter().any(|n| n.contains("binding edge n1 -> n0")),
+            "{d}"
+        );
+    }
+
+    #[test]
+    fn a203_self_edge_accumulator() {
+        let mut g = DepGraph::new();
+        g.add_node(leaf());
+        g.add_edge(edge(0, 0, 2, 1));
+        let diags = recmii_attribution(&g);
+        assert_eq!(codes(&diags), vec!["A203"]);
+        assert!(diags[0].message.contains("RecMII = 2"), "{diags:?}");
+        assert!(
+            diags[0].notes.iter().any(|n| n.contains("binding edge n0 -> n0")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn a203_silent_on_acyclic_graph() {
+        let mut g = DepGraph::new();
+        for _ in 0..2 {
+            g.add_node(leaf());
+        }
+        g.add_edge(edge(0, 1, 4, 0));
+        assert!(recmii_attribution(&g).is_empty());
+    }
+
+    #[test]
+    fn lint_graph_composes_all_passes() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        for _ in 0..3 {
+            g.add_node(leaf());
+        }
+        g.add_edge(edge(0, 1, 2, 0));
+        g.add_edge(edge(1, 2, 2, 0));
+        g.add_edge(edge(0, 2, 1, 0));
+        g.add_edge(edge(2, 0, 1, 1));
+        let diags = lint_graph(&g, &m);
+        let cs = codes(&diags);
+        assert!(cs.contains(&"A202"), "{diags:?}");
+        assert!(cs.contains(&"A203"), "{diags:?}");
+        assert!(!cs.contains(&"A103"), "{diags:?}");
+    }
+}

@@ -1,0 +1,345 @@
+//! IR structural lints: initialization (A001), unused registers (A002),
+//! dead operations (A003), type consistency (A004), and conservative
+//! memory references (A201).
+
+use std::collections::BTreeSet;
+
+use ir::{MemPattern, Opcode, Program, Stmt, TripCount, VReg};
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// Runs every IR lint over a program.
+pub fn lint_program(p: &Program) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_types(p, &mut diags);
+    check_initialization(p, &mut diags);
+    check_register_usage(p, &mut diags);
+    check_mem_refs(p, &mut diags);
+    diags
+}
+
+fn reg_label(p: &Program, r: VReg) -> String {
+    match p.regs.name(r) {
+        Some(n) => format!("{r} ('{n}')"),
+        None => r.to_string(),
+    }
+}
+
+/// A004: every operation must type-check against the register table.
+fn check_types(p: &Program, diags: &mut Vec<Diagnostic>) {
+    p.for_each_op(|op| {
+        if let Err(e) = op.type_check(&p.regs) {
+            diags.push(Diagnostic::new(
+                LintCode::TypeError,
+                format!("in '{}': {e}", p.name),
+            ));
+        }
+    });
+}
+
+/// A001: def-before-use, including across iterations. A use inside a loop
+/// body is initialized if a definition reaches it from before the loop or
+/// from earlier in the body; a use whose only definitions come *later* in
+/// the body reads the previous iteration's value — which does not exist on
+/// the first iteration unless the register was also defined before the
+/// loop.
+fn check_initialization(p: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut defined: BTreeSet<VReg> = BTreeSet::new();
+    let mut reported: BTreeSet<VReg> = BTreeSet::new();
+    check_init_stmts(p, &p.body, &mut defined, &mut reported, diags);
+}
+
+fn check_init_stmts(
+    p: &Program,
+    stmts: &[Stmt],
+    defined: &mut BTreeSet<VReg>,
+    reported: &mut BTreeSet<VReg>,
+    diags: &mut Vec<Diagnostic>,
+) {
+    let check_use = |r: VReg, defined: &BTreeSet<VReg>,
+                         reported: &mut BTreeSet<VReg>,
+                         diags: &mut Vec<Diagnostic>,
+                         what: &str| {
+        if !defined.contains(&r) && reported.insert(r) {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::UninitializedRead,
+                    format!(
+                        "in '{}': {} reads {} before any definition reaches it",
+                        p.name,
+                        what,
+                        reg_label(p, r)
+                    ),
+                )
+                .with_note(
+                    "a loop-body use defined only later in the body reads the previous \
+                     iteration's value, which is undefined on the first iteration",
+                ),
+            );
+        }
+    };
+    for s in stmts {
+        match s {
+            Stmt::Op(op) => {
+                for r in op.uses() {
+                    check_use(r, defined, reported, diags, &format!("op '{op}'"));
+                }
+                if let Some(d) = op.def() {
+                    defined.insert(d);
+                }
+            }
+            Stmt::If(i) => {
+                check_use(i.cond, defined, reported, diags, "if condition");
+                let mut then_defs = defined.clone();
+                check_init_stmts(p, &i.then_body, &mut then_defs, reported, diags);
+                let mut else_defs = defined.clone();
+                check_init_stmts(p, &i.else_body, &mut else_defs, reported, diags);
+                // Only definitions on both arms definitely reach the join.
+                *defined = then_defs.intersection(&else_defs).copied().collect();
+            }
+            Stmt::Loop(l) => {
+                if let TripCount::Reg(r) = l.trip {
+                    check_use(r, defined, reported, diags, "loop trip count");
+                }
+                // First iteration: only pre-loop and earlier-in-body
+                // definitions reach a use.
+                check_init_stmts(p, &l.body, defined, reported, diags);
+                // After the loop the body's definitions are visible (the
+                // trip count may be zero, but flagging downstream uses
+                // would be noise, not a missed defect — this is a lint).
+            }
+        }
+    }
+}
+
+/// A002 (register never referenced at all) and A003 (operation whose
+/// result nothing reads). Opcodes with side effects besides their
+/// destination (`QPop` drains a queue) are never dead.
+fn check_register_usage(p: &Program, diags: &mut Vec<Diagnostic>) {
+    let mut read: BTreeSet<VReg> = BTreeSet::new();
+    let mut written: BTreeSet<VReg> = BTreeSet::new();
+    collect_reads(&p.body, &mut read);
+    p.for_each_op(|op| {
+        if let Some(d) = op.def() {
+            written.insert(d);
+        }
+    });
+    for r in p.regs.iter() {
+        if !read.contains(&r) && !written.contains(&r) {
+            diags.push(Diagnostic::new(
+                LintCode::UnusedRegister,
+                format!(
+                    "in '{}': register {} is allocated but never referenced",
+                    p.name,
+                    reg_label(p, r)
+                ),
+            ));
+        }
+    }
+    p.for_each_op(|op| {
+        if let Some(d) = op.def() {
+            if !read.contains(&d) && op.opcode != Opcode::QPop {
+                diags.push(Diagnostic::new(
+                    LintCode::DeadOp,
+                    format!(
+                        "in '{}': result of '{op}' is never read",
+                        p.name
+                    ),
+                ));
+            }
+        }
+    });
+}
+
+fn collect_reads(stmts: &[Stmt], read: &mut BTreeSet<VReg>) {
+    for s in stmts {
+        match s {
+            Stmt::Op(op) => read.extend(op.uses()),
+            Stmt::If(i) => {
+                read.insert(i.cond);
+                collect_reads(&i.then_body, read);
+                collect_reads(&i.else_body, read);
+            }
+            Stmt::Loop(l) => {
+                if let TripCount::Reg(r) = l.trip {
+                    read.insert(r);
+                }
+                collect_reads(&l.body, read);
+            }
+        }
+    }
+}
+
+/// A201: memory operations whose reference cannot be disambiguated.
+/// `mem: None` and `MemPattern::Unknown` both force the dependence
+/// builder to add worst-case edges (forward at distance 0 plus carried at
+/// distance 1 between every conflicting pair), which inflates RecMII.
+fn check_mem_refs(p: &Program, diags: &mut Vec<Diagnostic>) {
+    p.for_each_op(|op| {
+        if !op.touches_memory() {
+            return;
+        }
+        let why = match &op.mem {
+            None => Some("has no MemRef metadata"),
+            Some(m) if m.pattern == MemPattern::Unknown => {
+                Some("has an Unknown subscript pattern")
+            }
+            Some(_) => None,
+        };
+        if let Some(why) = why {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::UnknownMemRef,
+                    format!("in '{}': '{op}' {why}", p.name),
+                )
+                .with_note(
+                    "conservative aliasing adds loop-carried dependence edges at all \
+                     distances, raising RecMII and serializing memory traffic",
+                ),
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{ProgramBuilder, TripCount};
+
+    /// A minimal well-formed loop: every lint must stay silent.
+    fn clean_program() -> Program {
+        let mut b = ProgramBuilder::new("clean");
+        let a = b.array("a", 16);
+        b.for_counted(TripCount::Const(16), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+        });
+        b.finish()
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn clean_program_is_clean() {
+        assert_eq!(lint_program(&clean_program()), Vec::new());
+    }
+
+    #[test]
+    fn a001_fires_on_read_of_undefined_register() {
+        let mut p = clean_program();
+        let ghost = p.regs.alloc(ir::Type::F32);
+        let dst = p.regs.alloc(ir::Type::F32);
+        p.body.push(Stmt::Op(ir::Op::new(
+            Opcode::FNeg,
+            Some(dst),
+            vec![ghost.into()],
+        )));
+        let diags = lint_program(&p);
+        assert!(codes(&diags).contains(&"A001"), "{diags:?}");
+    }
+
+    #[test]
+    fn a001_fires_on_first_iteration_recurrence_without_init() {
+        // s = s + 1.0 inside a loop, with no definition of s before the
+        // loop: iteration 0 reads garbage.
+        let mut b = ProgramBuilder::new("t");
+        let _a = b.array("a", 4);
+        let p = b.finish();
+        let mut p = p;
+        let s = p.regs.alloc(ir::Type::F32);
+        p.body.push(Stmt::Loop(ir::Loop {
+            trip: TripCount::Const(4),
+            body: vec![Stmt::Op(ir::Op::new(
+                Opcode::FAdd,
+                Some(s),
+                vec![s.into(), 1.0f32.into()],
+            ))],
+        }));
+        let diags = lint_program(&p);
+        assert!(codes(&diags).contains(&"A001"), "{diags:?}");
+    }
+
+    #[test]
+    fn a001_silent_when_recurrence_initialized_before_loop() {
+        let mut b = ProgramBuilder::new("t");
+        let out = b.array("o", 1);
+        let s = b.fconst(0.0);
+        b.for_counted(TripCount::Const(4), |b, _i| {
+            b.push_op(ir::Op::new(Opcode::FAdd, Some(s), vec![s.into(), 1.0f32.into()]));
+        });
+        b.store_fixed(out, 0, s.into());
+        let diags = lint_program(&b.finish());
+        assert!(!codes(&diags).contains(&"A001"), "{diags:?}");
+    }
+
+    #[test]
+    fn a002_fires_on_never_referenced_register() {
+        let mut p = clean_program();
+        p.regs.alloc_named(ir::Type::F32, "ghost");
+        let diags = lint_program(&p);
+        assert!(codes(&diags).contains(&"A002"), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.message.contains("'ghost'")),
+            "{diags:?}"
+        );
+    }
+
+    #[test]
+    fn a003_fires_on_dead_computation() {
+        let mut p = clean_program();
+        let dead = p.regs.alloc(ir::Type::F32);
+        p.body.push(Stmt::Op(ir::Op::new(
+            Opcode::Const,
+            Some(dead),
+            vec![ir::Imm::F(3.0).into()],
+        )));
+        let diags = lint_program(&p);
+        assert!(codes(&diags).contains(&"A003"), "{diags:?}");
+    }
+
+    #[test]
+    fn a004_fires_on_type_mismatch() {
+        let mut p = clean_program();
+        let f = p.regs.alloc(ir::Type::F32);
+        let i = p.regs.alloc(ir::Type::I32);
+        let d = p.regs.alloc(ir::Type::F32);
+        p.body.push(Stmt::Op(ir::Op::new(
+            Opcode::Const,
+            Some(f),
+            vec![ir::Imm::F(0.0).into()],
+        )));
+        p.body.push(Stmt::Op(ir::Op::new(
+            Opcode::Const,
+            Some(i),
+            vec![ir::Imm::I(0).into()],
+        )));
+        p.body.push(Stmt::Op(ir::Op::new(
+            Opcode::FAdd,
+            Some(d),
+            vec![f.into(), i.into()],
+        )));
+        let diags = lint_program(&p);
+        assert!(codes(&diags).contains(&"A004"), "{diags:?}");
+        assert_eq!(
+            crate::diag::max_severity(&diags),
+            Some(crate::diag::Severity::Error)
+        );
+    }
+
+    #[test]
+    fn a201_fires_on_unknown_memref() {
+        let mut b = ProgramBuilder::new("t");
+        let a = b.array("a", 8);
+        b.for_counted(TripCount::Const(8), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::unknown(a));
+            b.store(addr.into(), x.into(), ir::MemRef::affine(a, 1, 0));
+        });
+        let diags = lint_program(&b.finish());
+        assert!(codes(&diags).contains(&"A201"), "{diags:?}");
+    }
+}

@@ -1,0 +1,100 @@
+//! Static analysis over the pipeliner's three artifact layers: the IR, the
+//! dependence graph, and the emitted schedule.
+//!
+//! Everything funnels into one shared diagnostics currency
+//! ([`Diagnostic`]: stable `Axxx` code, severity, optional source span,
+//! message, notes) with human-readable and JSON rendering, so the `lint`
+//! binary, the batch driver and the test suite all consume the same
+//! findings. The pass families (see `docs/LINTS.md` for the full table):
+//!
+//! * **IR lints** ([`lint_program`]) — initialization across iterations
+//!   (A001), unused registers (A002), dead ops (A003), type errors (A004),
+//!   and conservative memory references (A201).
+//! * **Machine lints** ([`lint_machine`]) — op classes with no functional
+//!   unit (A101) and unreferenced resources (A102).
+//! * **Graph analyses** ([`lint_graph`]) — zero-capacity resources
+//!   demanded by a graph (A103), transitively-dominated dependence edges
+//!   (A202, the reporting face of [`swp::prune_dominated`]), and RecMII
+//!   attribution (A203) naming the critical recurrence cycle(s).
+//! * **Schedule diagnostics** ([`lint_schedule`], [`pressure_lint`]) —
+//!   zero-slack ops (A302), saturated resources (A303), and register
+//!   pressure (A301).
+//!
+//! [`analyze_compiled`] runs the graph and schedule passes over every
+//! pipelined loop of a [`swp::CompiledProgram`] plus the whole-program
+//! pressure check — the one-call entry point used by the `lint` binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod graph_lints;
+pub mod ir_lints;
+pub mod machine_lints;
+pub mod sched_lints;
+
+pub use diag::{max_severity, render, render_json, Diagnostic, LintCode, Severity};
+pub use graph_lints::{dominated_edge_lint, lint_graph, recmii_attribution};
+pub use ir_lints::lint_program;
+pub use machine_lints::{check_graph_resources, lint_machine};
+pub use sched_lints::{bottleneck_lint, lint_schedule, pressure_lint, slack_lint};
+
+use machine::MachineDescription;
+
+/// Runs the graph and schedule passes over every pipelined loop of a
+/// compiled program, plus the whole-program register-pressure check.
+/// Diagnostics for a loop's artifacts are prefixed with its label.
+pub fn analyze_compiled(
+    c: &swp::CompiledProgram,
+    mach: &MachineDescription,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for a in &c.artifacts {
+        let mut loop_diags = lint_graph(&a.graph, mach);
+        loop_diags.extend(lint_schedule(&a.graph, &a.schedule, mach));
+        for mut d in loop_diags {
+            d.message = format!("loop '{}': {}", a.label, d.message);
+            diags.push(d);
+        }
+    }
+    diags.extend(pressure_lint(&c.pressure, mach));
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::presets::warp_cell;
+
+    /// End-to-end: compile a small kernel and analyze the result. The
+    /// pipelined loop must produce attribution-family diagnostics and no
+    /// errors.
+    #[test]
+    fn analyze_compiled_end_to_end() {
+        let mut b = ir::ProgramBuilder::new("vinc");
+        let a = b.array("a", 64);
+        b.for_counted(ir::TripCount::Const(64), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+        });
+        let p = b.finish();
+        let m = warp_cell();
+        let c = swp::compile(&p, &m, &swp::CompileOptions::default()).unwrap();
+        assert!(!c.artifacts.is_empty(), "vinc should pipeline");
+
+        let diags = analyze_compiled(&c, &m);
+        // A clean kernel on a sane machine: nothing above info/warning.
+        assert_ne!(max_severity(&diags), Some(Severity::Error), "{}", render(&diags));
+        // Every artifact diagnostic names its loop.
+        assert!(
+            diags
+                .iter()
+                .filter(|d| d.code != LintCode::RegisterPressure)
+                .all(|d| d.message.starts_with("loop '")),
+            "{}",
+            render(&diags)
+        );
+    }
+}

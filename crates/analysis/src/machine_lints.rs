@@ -1,0 +1,218 @@
+//! Machine-description lints: op classes with no functional unit (A101),
+//! unreferenced resources (A102), and zero-capacity resources demanded by
+//! an actual dependence graph (A103).
+
+use machine::{MachineDescription, OpClass};
+use swp::DepGraph;
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// Runs the program-independent machine lints.
+pub fn lint_machine(mach: &MachineDescription) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    check_free_classes(mach, &mut diags);
+    check_unreferenced_resources(mach, &mut diags);
+    diags
+}
+
+/// A101: a non-pseudo class whose reservation table demands no resource
+/// can issue unboundedly many ops per cycle. `uniform_default_timing`
+/// leaves classes in this state — a legal way to say "this machine does
+/// not implement queues" — so this is a warning, not an error; but a
+/// class the machine is *supposed* to implement showing up here is a
+/// modeling bug.
+fn check_free_classes(mach: &MachineDescription, diags: &mut Vec<Diagnostic>) {
+    for class in OpClass::ALL {
+        if class == OpClass::Pseudo {
+            continue;
+        }
+        let t = mach.timing(class);
+        let reserves_any = t
+            .reservation
+            .rows()
+            .any(|row| row.iter().any(|(_, units)| units > 0));
+        if !reserves_any {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::FreeOpClass,
+                    format!(
+                        "machine '{}': class {class} reserves no functional unit",
+                        mach.name()
+                    ),
+                )
+                .with_note(
+                    "unboundedly many such ops can issue per cycle; intended only for \
+                     classes the machine does not implement",
+                ),
+            );
+        }
+    }
+}
+
+/// A102: a resource no operation class ever reserves (and that is not the
+/// designated branch resource) is dead weight in the description.
+fn check_unreferenced_resources(mach: &MachineDescription, diags: &mut Vec<Diagnostic>) {
+    let mut referenced = vec![false; mach.num_resources()];
+    for class in OpClass::ALL {
+        for row in mach.timing(class).reservation.rows() {
+            for (rid, units) in row.iter() {
+                if units > 0 {
+                    referenced[rid.index()] = true;
+                }
+            }
+        }
+    }
+    if let Some(b) = mach.branch_resource() {
+        referenced[b.index()] = true;
+    }
+    for (i, r) in mach.resources().iter().enumerate() {
+        if !referenced[i] {
+            diags.push(Diagnostic::new(
+                LintCode::UnreferencedResource,
+                format!(
+                    "machine '{}': resource '{}' is reserved by no operation class",
+                    mach.name(),
+                    r.name
+                ),
+            ));
+        }
+    }
+}
+
+/// A103: nodes of a dependence graph demanding units of a resource the
+/// machine has zero of. No initiation interval exists for such a graph —
+/// this is the structured-diagnostic form of [`swp::ZeroCapacity`] /
+/// `SchedError::ImpossibleResource`, emitted *before* scheduling so the
+/// defect is attributed to the machine/graph pair rather than surfacing
+/// as a search failure.
+pub fn check_graph_resources(g: &DepGraph, mach: &MachineDescription) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let mut flagged = vec![false; mach.num_resources()];
+    for id in g.node_ids() {
+        for row in g.node(id).reservation.rows() {
+            for (rid, units) in row.iter() {
+                if units > 0 && mach.units(rid) == 0 && !flagged[rid.index()] {
+                    flagged[rid.index()] = true;
+                    diags.push(
+                        Diagnostic::new(
+                            LintCode::ZeroCapacityDemanded,
+                            format!(
+                                "node {id} demands resource '{}', of which machine '{}' \
+                                 has zero units",
+                                mach.resources()[rid.index()].name,
+                                mach.name()
+                            ),
+                        )
+                        .with_note(
+                            "the resource bound is infinite: no initiation interval can \
+                             schedule this body (the scheduler would fail with \
+                             ImpossibleResource)",
+                        ),
+                    );
+                }
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::presets::{test_machine, warp_cell};
+    use machine::{MachineBuilder, ReservationTable};
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn warp_cell_is_fully_modeled() {
+        // Every class warp implements reserves a unit; the description has
+        // no dead resources.
+        let diags = lint_machine(&warp_cell());
+        assert!(!codes(&diags).contains(&"A102"), "{diags:?}");
+    }
+
+    #[test]
+    fn a101_fires_on_free_class() {
+        // A machine that leaves every class on the free default timing
+        // except the one it actually implements: the rest are flagged.
+        let mut b = MachineBuilder::new("free-classes");
+        let alu = b.resource("alu", 1);
+        b.uniform_default_timing(1);
+        b.timing(machine::OpClass::Alu, 1, ReservationTable::single_cycle(alu, 1));
+        let m = b.build().unwrap();
+        let diags = lint_machine(&m);
+        assert!(codes(&diags).contains(&"A101"), "{diags:?}");
+        assert!(
+            diags.iter().any(|d| d.message.contains("qread")),
+            "{diags:?}"
+        );
+        // The fully-modeled presets are silent.
+        assert!(!codes(&lint_machine(&test_machine())).contains(&"A101"));
+    }
+
+    #[test]
+    fn a102_fires_on_dead_resource() {
+        let mut b = MachineBuilder::new("dead-res");
+        let alu = b.resource("alu", 1);
+        b.resource("ghost", 3);
+        b.uniform_default_timing(1);
+        b.timing(machine::OpClass::Alu, 1, ReservationTable::single_cycle(alu, 1));
+        let m = b.build().unwrap();
+        let diags = lint_machine(&m);
+        assert!(codes(&diags).contains(&"A102"), "{diags:?}");
+        assert!(diags.iter().any(|d| d.message.contains("'ghost'")), "{diags:?}");
+    }
+
+    /// The zero-capacity regression: a machine may legally *declare* an
+    /// absent (zero-unit) resource, and a hand-assembled graph node may
+    /// demand it. `res_mii` reports `ZeroCapacity`; the lint must produce
+    /// the structured A103 diagnostic naming the resource.
+    #[test]
+    fn a103_fires_when_graph_demands_phantom_resource() {
+        let mut b = MachineBuilder::new("phantom-test");
+        let fadd = b.resource("fadd", 1);
+        let phantom = b.resource("phantom", 0);
+        b.uniform_default_timing(1);
+        b.timing(
+            machine::OpClass::FloatAdd,
+            2,
+            ReservationTable::single_cycle(fadd, 1),
+        );
+        let m = b.build().unwrap();
+
+        let mut g = DepGraph::new();
+        g.add_node(swp::Node {
+            kind: swp::NodeKind::Op(ir::Op::new(
+                ir::Opcode::FAdd,
+                Some(ir::VReg(0)),
+                vec![ir::Imm::F(1.0).into(), ir::Imm::F(2.0).into()],
+            )),
+            reservation: ReservationTable::single_cycle(phantom, 1),
+            len: 1,
+        });
+
+        // The scheduler-side error exists…
+        assert!(swp::res_mii(&g, &m).is_err());
+        // …and the lint turns it into a structured diagnostic.
+        let diags = check_graph_resources(&g, &m);
+        assert_eq!(codes(&diags), vec!["A103"]);
+        assert_eq!(diags[0].severity, crate::diag::Severity::Error);
+        assert!(diags[0].message.contains("'phantom'"), "{diags:?}");
+
+        // A graph that leaves the phantom alone is clean.
+        let mut ok = DepGraph::new();
+        ok.add_node(swp::Node {
+            kind: swp::NodeKind::Op(ir::Op::new(
+                ir::Opcode::FAdd,
+                Some(ir::VReg(0)),
+                vec![ir::Imm::F(1.0).into(), ir::Imm::F(2.0).into()],
+            )),
+            reservation: ReservationTable::single_cycle(fadd, 1),
+            len: 1,
+        });
+        assert!(check_graph_resources(&ok, &m).is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Schedule diagnostics: register pressure (A301), per-op slack / critical
+//! path (A302), and resource-bottleneck attribution (A303).
+
+use machine::MachineDescription;
+use swp::{DepGraph, NodeKind, PressureReport, Schedule};
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// Cap on per-op note lines attached to one diagnostic.
+const MAX_NOTES: usize = 8;
+
+/// A resource is reported as the bottleneck when its steady-state
+/// utilization is at least this percentage of capacity
+/// ([`swp::viz::utilization`] reports percent).
+const BOTTLENECK_THRESHOLD: f64 = 99.9;
+
+/// Runs every schedule lint for a single pipelined loop.
+pub fn lint_schedule(g: &DepGraph, sched: &Schedule, mach: &MachineDescription) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    diags.extend(slack_lint(g, sched));
+    diags.extend(bottleneck_lint(g, sched, mach));
+    diags
+}
+
+/// A301: register pressure exceeding a machine register file. MAXLIVE is
+/// computed by [`swp::register_pressure`]; this converts violations into
+/// error diagnostics (a schedule that does not fit cannot be allocated
+/// without spills the paper's machine model has no way to express).
+pub fn pressure_lint(report: &PressureReport, mach: &MachineDescription) -> Vec<Diagnostic> {
+    report
+        .violations
+        .iter()
+        .map(|&(class, required, available)| {
+            Diagnostic::new(
+                LintCode::RegisterPressure,
+                format!(
+                    "register pressure: class {class:?} needs {required} registers, \
+                     machine '{}' has {available}",
+                    mach.name()
+                ),
+            )
+            .with_note(
+                "raise the file size, lower MVE unrolling, or relax the schedule; \
+                 the emitted code cannot be register-allocated as is",
+            )
+        })
+        .collect()
+}
+
+/// A302: operations with zero slack. The slack of a scheduled op is the
+/// smallest margin over its in- and out-edges `u -> v`:
+/// `(t(v) - t(u)) - (d - II·ω)`; an op with zero slack cannot move by one
+/// cycle in either direction without violating a dependence, i.e. it lies
+/// on the schedule's critical path.
+pub fn slack_lint(g: &DepGraph, sched: &Schedule) -> Vec<Diagnostic> {
+    let n = g.num_nodes();
+    if n == 0 || g.edges().is_empty() {
+        return Vec::new();
+    }
+    let ii = sched.ii() as i64;
+    let mut slack: Vec<Option<i64>> = vec![None; n];
+    for e in g.edges() {
+        let margin =
+            (sched.time(e.to) - sched.time(e.from)) - (e.delay - ii * e.omega as i64);
+        debug_assert!(margin >= 0, "schedule violates edge {e:?}");
+        for node in [e.from, e.to] {
+            let s = &mut slack[node.index()];
+            *s = Some(s.map_or(margin, |cur| cur.min(margin)));
+        }
+    }
+    let zero: Vec<_> = g
+        .node_ids()
+        .filter(|&id| slack[id.index()] == Some(0))
+        .collect();
+    if zero.is_empty() {
+        return Vec::new();
+    }
+    let mut d = Diagnostic::new(
+        LintCode::ZeroSlack,
+        format!(
+            "{} of {} op(s) have zero slack at II={}: the critical path is tight",
+            zero.len(),
+            n,
+            sched.ii()
+        ),
+    );
+    for &id in zero.iter().take(MAX_NOTES) {
+        let label = match &g.node(id).kind {
+            NodeKind::Op(op) => format!("'{op}'"),
+            NodeKind::Cond(c) => format!("'if {}'", c.cond),
+        };
+        d.notes
+            .push(format!("{id} {label} at cycle {}", sched.time(id)));
+    }
+    if zero.len() > MAX_NOTES {
+        d.notes.push(format!("… and {} more", zero.len() - MAX_NOTES));
+    }
+    vec![d]
+}
+
+/// A303: which resource(s) saturate at the achieved II. Reuses
+/// [`swp::viz::utilization`]; a resource at ~100% explains *why* the loop
+/// cannot run faster — lowering its utilization (fewer ops, more units)
+/// is the only way to shrink the interval further.
+pub fn bottleneck_lint(
+    g: &DepGraph,
+    sched: &Schedule,
+    mach: &MachineDescription,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for (name, u) in swp::viz::utilization(g, sched, mach) {
+        if u >= BOTTLENECK_THRESHOLD {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::BottleneckResource,
+                    format!(
+                        "resource '{name}' is saturated ({u:.0}% busy) at II={}: \
+                         it binds the initiation interval",
+                        sched.ii()
+                    ),
+                )
+                .with_note(
+                    "the schedule is resource-bound here; RecMII attribution (A203) \
+                     is moot unless it matches this II",
+                ),
+            );
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use machine::presets::test_machine;
+    use machine::OpClass;
+    use swp::{DepEdge, DepKind, Node, NodeId};
+
+    fn fadd_node(mach: &MachineDescription) -> Node {
+        Node::op(
+            ir::Op::new(
+                ir::Opcode::FAdd,
+                Some(ir::VReg(0)),
+                vec![ir::Imm::F(1.0).into(), ir::Imm::F(2.0).into()],
+            ),
+            mach.timing(OpClass::FloatAdd).reservation.clone(),
+        )
+    }
+
+    fn edge(from: u32, to: u32, delay: i64, omega: u32) -> DepEdge {
+        DepEdge {
+            from: NodeId(from),
+            to: NodeId(to),
+            delay,
+            omega,
+            kind: DepKind::True,
+        }
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    /// A 2-op chain scheduled with explicit times: op1 exactly at the
+    /// dependence distance (zero slack) in one schedule, with a gap in
+    /// another.
+    #[test]
+    fn a302_distinguishes_tight_from_slack_schedules() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        g.add_node(fadd_node(&m));
+        g.add_node(fadd_node(&m));
+        g.add_edge(edge(0, 1, 3, 0));
+
+        let tight = Schedule::new(vec![0, 3], 4);
+        let diags = slack_lint(&g, &tight);
+        assert_eq!(codes(&diags), vec!["A302"]);
+        assert!(diags[0].message.starts_with("2 of 2"), "{diags:?}");
+
+        let loose = Schedule::new(vec![0, 5], 4);
+        assert!(slack_lint(&g, &loose).is_empty());
+    }
+
+    #[test]
+    fn a303_fires_when_a_resource_saturates() {
+        // test_machine has one fadd unit with a single-cycle reservation:
+        // two adds at II=2 keep it 100% busy.
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        g.add_node(fadd_node(&m));
+        g.add_node(fadd_node(&m));
+        let sched = Schedule::new(vec![0, 1], 2);
+        let diags = bottleneck_lint(&g, &sched, &m);
+        assert_eq!(codes(&diags), vec!["A303"]);
+        assert!(diags[0].message.contains("saturated"), "{diags:?}");
+
+        // At II=4 the unit is half idle: silent.
+        let sched = Schedule::new(vec![0, 1], 4);
+        assert!(bottleneck_lint(&g, &sched, &m).is_empty());
+    }
+
+    #[test]
+    fn a301_converts_violations_to_errors() {
+        let m = test_machine();
+        let report = PressureReport {
+            max_live: [(machine::RegClass::Float, 40)].into_iter().collect(),
+            violations: vec![(machine::RegClass::Float, 40, 32)],
+        };
+        let diags = pressure_lint(&report, &m);
+        assert_eq!(codes(&diags), vec!["A301"]);
+        assert_eq!(diags[0].severity, crate::diag::Severity::Error);
+        assert!(diags[0].message.contains("40"), "{diags:?}");
+
+        let clean = PressureReport {
+            max_live: Default::default(),
+            violations: Vec::new(),
+        };
+        assert!(pressure_lint(&clean, &m).is_empty());
+    }
+}

@@ -1,7 +1,9 @@
 //! Batch-compiles the full evaluation corpus through the parallel driver
 //! ([`swp::compile_batch`]), verifies that parallel compilation is
 //! byte-identical to serial compilation, and writes per-loop scheduler
-//! telemetry to `results/batch_report.txt`.
+//! telemetry — plus per-job register pressure (MAXLIVE per class) and
+//! analysis-lint counts (see `docs/LINTS.md`) — to
+//! `results/batch_report.txt`.
 //!
 //! ```text
 //! cargo run --release -p bench --bin batch            # full corpus
@@ -112,10 +114,28 @@ fn fingerprint(r: &BatchResult) -> String {
     }
 }
 
-fn report_lines(results: &[BatchResult]) -> String {
+/// Renders one job's register-pressure summary: per-class MAXLIVE plus
+/// whether every class fits its register file.
+fn pressure_summary(c: &swp::CompiledProgram) -> String {
+    if c.pressure.max_live.is_empty() {
+        return "-".to_string();
+    }
+    let classes: Vec<String> = c
+        .pressure
+        .max_live
+        .iter()
+        .map(|(class, live)| format!("{class:?}:{live}"))
+        .collect();
+    classes.join(",")
+}
+
+fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
     let mut out = String::new();
-    out.push_str("# batch_report v2\n");
-    out.push_str("# job <name> <ok|err> wall_us=<n>\n");
+    out.push_str("# batch_report v3\n");
+    out.push_str(
+        "# job <name> <ok|err> wall_us=<n> pressure=<class:maxlive,...|-> fits=<y|n> \
+         lints=<errors>/<warnings>/<infos>\n",
+    );
     out.push_str(
         "# loop <job>/<label> ii=<n|-> mii=<res>/<rec> attempts=<iis> aborts=<kind:count,...> \
          sccs=<nontrivial sizes|-> relax=<closure Pareto inserts> reuse=<scratch reuses> \
@@ -123,10 +143,22 @@ fn report_lines(results: &[BatchResult]) -> String {
          mve_copies=<n> conds=<n> not_pipelined=<reason|-> \
          phases_us=<reduce:build:bounds:search:expand:emit>\n",
     );
-    for r in results {
+    for (job, r) in jobs.iter().zip(results) {
         match &r.outcome {
             Ok(c) => {
-                let _ = writeln!(out, "job {} ok wall_us={}", r.name, r.wall.as_micros());
+                let diags = analysis::analyze_compiled(c, job.mach);
+                let count = |s: analysis::Severity| diags.iter().filter(|d| d.severity == s).count();
+                let _ = writeln!(
+                    out,
+                    "job {} ok wall_us={} pressure={} fits={} lints={}/{}/{}",
+                    r.name,
+                    r.wall.as_micros(),
+                    pressure_summary(c),
+                    if c.pressure.fits() { "y" } else { "n" },
+                    count(analysis::Severity::Error),
+                    count(analysis::Severity::Warning),
+                    count(analysis::Severity::Info),
+                );
                 for rep in &c.reports {
                     let sizes = if rep.stats.sched.scc_sizes.is_empty() {
                         "-".to_string()
@@ -248,7 +280,7 @@ fn main() {
         speedup,
         mismatches
     );
-    report.push_str(&report_lines(&parallel));
+    report.push_str(&report_lines(&js, &parallel));
 
     if cfg.smoke {
         println!("{report}");

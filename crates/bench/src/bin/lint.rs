@@ -1,0 +1,164 @@
+//! Sweeps the kernel corpus through every analysis pass and reports
+//! diagnostics (see `docs/LINTS.md` for the code table).
+//!
+//! ```text
+//! cargo run --release -p bench --bin lint             # human output
+//! cargo run --release -p bench --bin lint -- --json   # machine output
+//! cargo run --release -p bench --bin lint -- --prune  # prune dominated edges
+//! ```
+//!
+//! Per machine preset the machine description is linted once; per kernel
+//! the IR is linted once; per kernel × preset the program is compiled
+//! (through the parallel batch driver) and the dependence graph, schedule
+//! and register pressure of every pipelined loop are analyzed. A compile
+//! failure becomes an `A401` diagnostic rather than an abort.
+//!
+//! Flags:
+//!
+//! * `--json` — one JSON array of all diagnostics on stdout;
+//! * `--prune` — compile with [`swp::BuildOptions::prune_dominated`];
+//! * `--verbose` — also print info-severity findings (attribution: A202,
+//!   A203, A302, A303); by default only warnings and errors print;
+//! * `--threads N` — worker threads for compilation.
+//!
+//! Exit status is nonzero iff any **error**-severity diagnostic fired
+//! (A004/A103/A301/A401) — that is the CI gate: the corpus must stay
+//! error-clean, register pressure included.
+
+use analysis::{max_severity, render_json, Diagnostic, LintCode, Severity};
+use machine::MachineDescription;
+use swp::{compile_batch, BatchJob, BuildOptions, CompileOptions};
+
+struct Config {
+    json: bool,
+    prune: bool,
+    verbose: bool,
+    threads: usize,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        json: false,
+        prune: false,
+        verbose: false,
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--json" => cfg.json = true,
+            "--prune" => cfg.prune = true,
+            "--verbose" => cfg.verbose = true,
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                cfg.threads = v.parse().expect("--threads needs an integer");
+            }
+            other => {
+                panic!("unknown flag {other:?} (try --json, --prune, --verbose, --threads N)")
+            }
+        }
+    }
+    cfg
+}
+
+fn corpus() -> (Vec<kernels::Kernel>, Vec<(&'static str, MachineDescription)>) {
+    let mut ks = kernels::livermore::all();
+    ks.extend(kernels::apps::all());
+    ks.extend(kernels::synth::population());
+    let machines = vec![
+        ("warp_cell", machine::presets::warp_cell()),
+        ("test_machine", machine::presets::test_machine()),
+        ("toy_vector", machine::presets::toy_vector()),
+    ];
+    (ks, machines)
+}
+
+/// Prefixes every diagnostic's message with its corpus context so the flat
+/// stream (human or JSON) stays attributable.
+fn contextualize(ctx: &str, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
+    diags
+        .into_iter()
+        .map(|mut d| {
+            d.message = format!("{ctx}: {}", d.message);
+            d
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = parse_args();
+    let (ks, machines) = corpus();
+    let mut all: Vec<Diagnostic> = Vec::new();
+
+    // Machine descriptions, once each.
+    for (name, m) in &machines {
+        all.extend(contextualize(name, analysis::lint_machine(m)));
+    }
+
+    // Kernel IR, once each (machine-independent).
+    for k in &ks {
+        all.extend(contextualize(&k.name, analysis::lint_program(&k.program)));
+    }
+
+    // Compile kernel × preset through the batch driver, then analyze
+    // graphs, schedules and register pressure.
+    let opts = CompileOptions {
+        build: BuildOptions {
+            prune_dominated: cfg.prune,
+            ..BuildOptions::default()
+        },
+        ..CompileOptions::default()
+    };
+    let jobs: Vec<BatchJob> = machines
+        .iter()
+        .flat_map(|(mname, m)| {
+            ks.iter().map(move |k| BatchJob {
+                name: format!("{}@{mname}", k.name),
+                program: &k.program,
+                mach: m,
+                opts,
+            })
+        })
+        .collect();
+    eprintln!(
+        "lint: {} kernels x {} machines ({} compile jobs), {} threads{}",
+        ks.len(),
+        machines.len(),
+        jobs.len(),
+        cfg.threads,
+        if cfg.prune { ", pruning dominated edges" } else { "" }
+    );
+    let results = compile_batch(&jobs, cfg.threads);
+    for (job, r) in jobs.iter().zip(&results) {
+        match &r.outcome {
+            Ok(c) => all.extend(contextualize(&job.name, analysis::analyze_compiled(c, job.mach))),
+            Err(e) => all.push(Diagnostic::new(
+                LintCode::CompileFailure,
+                format!("{}: compilation failed: {e}", job.name),
+            )),
+        }
+    }
+
+    let errors = all.iter().filter(|d| d.severity == Severity::Error).count();
+    let warnings = all.iter().filter(|d| d.severity == Severity::Warning).count();
+    let infos = all.iter().filter(|d| d.severity == Severity::Info).count();
+
+    if cfg.json {
+        println!("{}", render_json(&all));
+    } else {
+        for d in &all {
+            if cfg.verbose || d.severity > Severity::Info {
+                println!("{d}");
+            }
+        }
+        println!(
+            "lint: {errors} error(s), {warnings} warning(s), {infos} info finding(s){}",
+            if cfg.verbose { "" } else { " (info hidden; --verbose shows attribution)" }
+        );
+    }
+
+    if max_severity(&all) == Some(Severity::Error) {
+        eprintln!("FAIL: {errors} error-severity diagnostic(s)");
+        std::process::exit(1);
+    }
+}

@@ -39,4 +39,4 @@ pub use error::FrontendError;
 pub use lexer::lex;
 pub use lower::{compile_source, lower};
 pub use parser::parse;
-pub use token::{Pos, Spanned, Tok};
+pub use token::{Pos, Span, Spanned, Tok};

@@ -17,6 +17,32 @@ impl fmt::Display for Pos {
     }
 }
 
+/// A source range, for diagnostics that cover more than a single point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First position covered.
+    pub lo: Pos,
+    /// Last position covered (inclusive).
+    pub hi: Pos,
+}
+
+impl Span {
+    /// A span covering a single position.
+    pub fn point(p: Pos) -> Self {
+        Span { lo: p, hi: p }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.lo == self.hi {
+            write!(f, "{}", self.lo)
+        } else {
+            write!(f, "{}-{}", self.lo, self.hi)
+        }
+    }
+}
+
 /// A lexical token.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Tok {

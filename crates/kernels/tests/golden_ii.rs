@@ -1,42 +1,53 @@
 //! Golden-schedule regression: the achieved initiation interval of every
 //! Livermore loop on every machine preset, pinned to exact values in
-//! `tests/golden_ii.txt`.
+//! `tests/golden_ii.txt` — and, with dominated-edge pruning enabled
+//! (`BuildOptions::prune_dominated`), in `tests/golden_ii_pruned.txt`.
 //!
 //! Any change to the scheduler — priority function, interval search,
 //! closure computation — that shifts an II shows up here as a one-line
 //! diff, reviewed like any other code change. After an *intentional*
-//! scheduler change, regenerate the table with
+//! scheduler change, regenerate the tables with
 //!
 //! ```text
 //! GOLDEN_II_REGEN=1 cargo test -p kernels --test golden_ii
 //! ```
 //!
-//! and commit the new file alongside the change that caused it.
+//! and commit the new files alongside the change that caused it.
+//!
+//! Pruning deletes constraints that are strictly implied by others, so it
+//! can never shrink the schedulable set: `pruned_ii_never_worse` asserts
+//! II(pruned) ≤ II(unpruned) loop by loop, independent of the snapshots.
 
 use machine::presets::{test_machine, toy_vector, warp_cell};
 use machine::MachineDescription;
-use swp::{compile_batch, BatchJob, CompileOptions};
+use swp::{compile_batch, BatchJob, BuildOptions, CompileOptions};
 
 const GOLDEN_PATH: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_ii.txt");
+const GOLDEN_PRUNED_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden_ii_pruned.txt");
 
 fn presets() -> Vec<MachineDescription> {
     vec![warp_cell(), test_machine(), toy_vector()]
 }
 
-/// One line per kernel x machine: `kernel machine loop=ii[,loop=ii...]`,
-/// with `-` for a loop that fell back to unpipelined code.
+fn pruned_opts() -> CompileOptions {
+    CompileOptions {
+        build: BuildOptions {
+            prune_dominated: true,
+            ..BuildOptions::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+/// Per kernel × machine: the achieved II of each loop (`None` = the loop
+/// fell back to unpipelined code).
 ///
 /// The sweep runs through the parallel batch driver: `compile_batch`
 /// returns results in job order regardless of thread count, so the
 /// snapshot is identical to the old serial loop — which is itself part of
 /// what this golden test pins down.
-fn snapshot() -> String {
-    let opts = CompileOptions::default();
-    let mut out = String::from(
-        "# Achieved initiation intervals: kernel machine loop=ii[,loop=ii...]\n\
-         # ('-' = loop not pipelined.) Regenerate after intentional scheduler\n\
-         # changes with: GOLDEN_II_REGEN=1 cargo test -p kernels --test golden_ii\n",
-    );
+fn ii_rows(opts: CompileOptions) -> Vec<(String, Vec<(String, Option<u32>)>)> {
     let machines = presets();
     let corpus = kernels::livermore::all();
     let mut jobs = Vec::new();
@@ -50,16 +61,34 @@ fn snapshot() -> String {
             });
         }
     }
-    for r in compile_batch(&jobs, 4) {
-        let c = r
-            .outcome
-            .unwrap_or_else(|e| panic!("{}: {e}", r.name));
-        let loops: Vec<String> = c
-            .reports
+    compile_batch(&jobs, 4)
+        .into_iter()
+        .map(|r| {
+            let c = r.outcome.unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            let loops = c
+                .reports
+                .iter()
+                .map(|rep| (rep.label.clone(), rep.ii))
+                .collect();
+            (r.name, loops)
+        })
+        .collect()
+}
+
+/// One line per kernel x machine: `kernel machine loop=ii[,loop=ii...]`,
+/// with `-` for a loop that fell back to unpipelined code.
+fn render(rows: &[(String, Vec<(String, Option<u32>)>)], header_extra: &str) -> String {
+    let mut out = format!(
+        "# Achieved initiation intervals{header_extra}: kernel machine loop=ii[,loop=ii...]\n\
+         # ('-' = loop not pipelined.) Regenerate after intentional scheduler\n\
+         # changes with: GOLDEN_II_REGEN=1 cargo test -p kernels --test golden_ii\n",
+    );
+    for (name, loops) in rows {
+        let loops: Vec<String> = loops
             .iter()
-            .map(|rep| {
-                let ii = rep.ii.map_or_else(|| "-".to_string(), |x| x.to_string());
-                format!("{}={ii}", rep.label)
+            .map(|(label, ii)| {
+                let ii = ii.map_or_else(|| "-".to_string(), |x| x.to_string());
+                format!("{label}={ii}")
             })
             .collect();
         let loops = if loops.is_empty() {
@@ -67,22 +96,20 @@ fn snapshot() -> String {
         } else {
             loops.join(",")
         };
-        out.push_str(&format!("{} {}\n", r.name, loops));
+        out.push_str(&format!("{name} {loops}\n"));
     }
     out
 }
 
-#[test]
-fn achieved_ii_matches_golden() {
-    let actual = snapshot();
+fn check_against_golden(actual: &str, path: &str) {
     if std::env::var("GOLDEN_II_REGEN").is_ok_and(|v| v == "1") {
-        std::fs::write(GOLDEN_PATH, &actual).expect("write golden file");
-        eprintln!("golden_ii: regenerated {GOLDEN_PATH}");
+        std::fs::write(path, actual).expect("write golden file");
+        eprintln!("golden_ii: regenerated {path}");
         return;
     }
-    let expected = std::fs::read_to_string(GOLDEN_PATH).unwrap_or_else(|e| {
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
         panic!(
-            "missing golden file {GOLDEN_PATH} ({e}); \
+            "missing golden file {path} ({e}); \
              run GOLDEN_II_REGEN=1 cargo test -p kernels --test golden_ii"
         )
     });
@@ -105,10 +132,50 @@ fn achieved_ii_matches_golden() {
         }
     }
     panic!(
-        "achieved IIs diverge from tests/golden_ii.txt ({} row(s)):\n{}\n\
+        "achieved IIs diverge from {path} ({} row(s)):\n{}\n\
          If the scheduler change is intentional, regenerate with \
          GOLDEN_II_REGEN=1 and commit the new table.",
         diffs.len(),
         diffs.join("\n")
     );
+}
+
+#[test]
+fn achieved_ii_matches_golden() {
+    check_against_golden(&render(&ii_rows(CompileOptions::default()), ""), GOLDEN_PATH);
+}
+
+#[test]
+fn pruned_ii_matches_golden() {
+    check_against_golden(
+        &render(&ii_rows(pruned_opts()), " with prune_dominated"),
+        GOLDEN_PRUNED_PATH,
+    );
+}
+
+/// The direct acceptance criterion, snapshot-independent: deleting
+/// strictly-dominated edges may only preserve or improve the achieved II,
+/// and must never stop a loop from pipelining.
+#[test]
+fn pruned_ii_never_worse() {
+    let base = ii_rows(CompileOptions::default());
+    let pruned = ii_rows(pruned_opts());
+    assert_eq!(base.len(), pruned.len());
+    for ((name, b_loops), (p_name, p_loops)) in base.iter().zip(&pruned) {
+        assert_eq!(name, p_name);
+        assert_eq!(b_loops.len(), p_loops.len(), "{name}: loop count changed");
+        for ((label, b_ii), (p_label, p_ii)) in b_loops.iter().zip(p_loops) {
+            assert_eq!(label, p_label);
+            match (b_ii, p_ii) {
+                (Some(b), Some(p)) => {
+                    assert!(p <= b, "{name}/{label}: pruned II {p} > baseline II {b}")
+                }
+                (Some(b), None) => {
+                    panic!("{name}/{label}: pruning lost pipelining (baseline II {b})")
+                }
+                // Baseline didn't pipeline: pruning may only help.
+                (None, _) => {}
+            }
+        }
+    }
 }

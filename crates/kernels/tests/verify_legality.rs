@@ -4,7 +4,7 @@
 
 use machine::presets::{test_machine, toy_vector, warp_cell};
 use machine::MachineDescription;
-use swp::{compile_batch, BatchJob, CompileOptions};
+use swp::{compile_batch, BatchJob, BuildOptions, CompileOptions};
 use vm::CheckError;
 
 fn presets() -> Vec<MachineDescription> {
@@ -14,7 +14,10 @@ fn presets() -> Vec<MachineDescription> {
 /// The positive half of the oracle: `swp::verify` stays silent on every
 /// schedule the compiler actually produces. The sweep compiles through
 /// the parallel batch driver, so the verifier also covers every program
-/// the driver hands back.
+/// the driver hands back — with and without dominated-edge pruning, since
+/// a schedule produced for a pruned graph must still satisfy every pruned
+/// constraint (the verifier re-checks against the *emitted code*, not the
+/// thinned graph).
 #[test]
 fn livermore_schedules_verify_clean_everywhere() {
     let machines = presets();
@@ -22,17 +25,27 @@ fn livermore_schedules_verify_clean_everywhere() {
     let mut jobs = Vec::new();
     for m in &machines {
         for pipeline in [true, false] {
-            let opts = CompileOptions {
-                pipeline,
-                ..Default::default()
-            };
-            for k in &corpus {
-                jobs.push(BatchJob {
-                    name: format!("{} on {} (pipeline={pipeline})", k.name, m.name()),
-                    program: &k.program,
-                    mach: m,
-                    opts,
-                });
+            for prune_dominated in [false, true] {
+                let opts = CompileOptions {
+                    pipeline,
+                    build: BuildOptions {
+                        prune_dominated,
+                        ..BuildOptions::default()
+                    },
+                    ..Default::default()
+                };
+                for k in &corpus {
+                    jobs.push(BatchJob {
+                        name: format!(
+                            "{} on {} (pipeline={pipeline}, prune={prune_dominated})",
+                            k.name,
+                            m.name()
+                        ),
+                        program: &k.program,
+                        mach: m,
+                        opts,
+                    });
+                }
             }
         }
     }

@@ -42,6 +42,12 @@ pub struct BuildOptions {
     /// recording them in [`DepGraph::expandable`] (modulo variable
     /// expansion, §2.3).
     pub enable_mve: bool,
+    /// Delete transitively-dominated edges after construction
+    /// ([`crate::prune`]): edges whose constraint is strictly implied by
+    /// another path never change the schedulable set, but inflate the
+    /// closure working set. Off by default; semantics are covered by the
+    /// vm-equivalence and schedule-legality sweeps in `crates/kernels`.
+    pub prune_dominated: bool,
 }
 
 impl Default for BuildOptions {
@@ -49,6 +55,7 @@ impl Default for BuildOptions {
         BuildOptions {
             loop_carried: true,
             enable_mve: true,
+            prune_dominated: false,
         }
     }
 }
@@ -141,6 +148,9 @@ pub fn build_item_graph(
     for channel in 0..=1u8 {
         add_queue_edges(&mut g, &accs, opts, Opcode::QPop, channel);
         add_queue_edges(&mut g, &accs, opts, Opcode::QPush, channel);
+    }
+    if opts.prune_dominated {
+        crate::prune::prune_dominated(&mut g);
     }
     g
 }
@@ -509,6 +519,7 @@ mod tests {
             BuildOptions {
                 loop_carried: true,
                 enable_mve: false,
+                prune_dominated: false,
             },
         );
         assert!(g.expandable.is_empty());
@@ -651,6 +662,7 @@ mod tests {
             BuildOptions {
                 loop_carried: false,
                 enable_mve: false,
+                prune_dominated: false,
             },
         );
         assert!(g.edges().iter().all(|e| e.omega == 0), "{g}");

@@ -50,6 +50,7 @@ pub fn compact_block(ops: &[ir::Op], mach: &MachineDescription) -> CompactedRegi
         BuildOptions {
             loop_carried: false,
             enable_mve: false,
+            prune_dominated: false,
         },
     );
     compact_graph(&g, mach)

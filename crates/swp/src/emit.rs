@@ -58,6 +58,11 @@ pub struct CompileOptions {
     /// Attempt software pipelining at all (false = the Figure 4-2
     /// baseline: local compaction only).
     pub pipeline: bool,
+    /// Dependence-graph construction options for pipelined loop bodies
+    /// (most notably [`BuildOptions::prune_dominated`], which deletes
+    /// transitively-implied edges before scheduling). Basic-block
+    /// compaction always uses its own intra-iteration settings.
+    pub build: BuildOptions,
     /// Modulo-scheduler options.
     pub sched: SchedOptions,
     /// Kernel unroll policy for modulo variable expansion.
@@ -90,6 +95,7 @@ impl Default for CompileOptions {
     fn default() -> Self {
         CompileOptions {
             pipeline: true,
+            build: BuildOptions::default(),
             sched: SchedOptions::default(),
             unroll_policy: UnrollPolicy::default(),
             body_len_threshold: 331,
@@ -238,6 +244,14 @@ pub struct CompiledProgram {
     /// fell back to unpipelined code leave no artifacts). Consumed by
     /// [`crate::verify::verify_compiled`].
     pub artifacts: Vec<LoopArtifacts>,
+    /// Whole-program register pressure (maximum simultaneously-live
+    /// registers per class, checked against the machine's file sizes) —
+    /// [`crate::pressure::register_pressure`] over the emitted object
+    /// code. Surfaced per job in the batch report and failed on by the
+    /// `lint` binary when [`PressureReport::fits`] is false.
+    ///
+    /// [`PressureReport::fits`]: crate::pressure::PressureReport::fits
+    pub pressure: crate::pressure::PressureReport,
 }
 
 /// Compilation errors (malformed input).
@@ -294,17 +308,20 @@ pub fn compile_with_scratch(
     e.emit_stmts(&p.body, 0);
     let last = e.blocks.len() - 1;
     e.blocks[last].term = Terminator::Halt;
+    let vliw = VliwProgram {
+        name: p.name.clone(),
+        regs: e.regs,
+        arrays: p.arrays.clone(),
+        mem_size: p.mem_size,
+        blocks: e.blocks,
+        entry: BlockId(0),
+    };
+    let pressure = crate::pressure::register_pressure(&vliw, mach);
     Ok(CompiledProgram {
-        vliw: VliwProgram {
-            name: p.name.clone(),
-            regs: e.regs,
-            arrays: p.arrays.clone(),
-            mem_size: p.mem_size,
-            blocks: e.blocks,
-            entry: BlockId(0),
-        },
+        vliw,
         reports: e.reports,
         artifacts: e.artifacts,
+        pressure,
     })
 }
 
@@ -678,7 +695,9 @@ impl<'m> Emitter<'m> {
         // Compute the bounds even when pipelining is skipped, for the
         // statistics tables.
         let build_start = Instant::now();
-        let g = build_item_graph(items, self.mach, BuildOptions::default());
+        let mut build_opts = self.opts.build;
+        build_opts.loop_carried = true;
+        let g = build_item_graph(items, self.mach, build_opts);
         report.stats.phases.build = build_start.elapsed();
         let bounds_start = Instant::now();
         // SCC decomposition + symbolic closures, computed exactly once and
@@ -936,6 +955,7 @@ impl<'m> Emitter<'m> {
             BuildOptions {
                 loop_carried: false,
                 enable_mve: false,
+                prune_dominated: false,
             },
         );
         let nb = base.len();

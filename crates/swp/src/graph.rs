@@ -311,6 +311,26 @@ impl DepGraph {
         self.csr.take();
     }
 
+    /// Keeps only the edges for which `keep` returns true, preserving the
+    /// relative order of the survivors (so downstream tie-breaks that
+    /// depend on edge insertion order stay deterministic). Returns the
+    /// number of edges removed. Nodes and [`DepGraph::expandable`] are
+    /// untouched; the CSR view is invalidated.
+    pub fn retain_edges(&mut self, mut keep: impl FnMut(usize, &DepEdge) -> bool) -> usize {
+        let before = self.edges.len();
+        let mut i = 0usize;
+        self.edges.retain(|e| {
+            let k = keep(i, e);
+            i += 1;
+            k
+        });
+        let removed = before - self.edges.len();
+        if removed > 0 {
+            self.csr.take();
+        }
+        removed
+    }
+
     fn csr(&self) -> &CsrTopology {
         self.csr
             .get_or_init(|| CsrTopology::build(self.nodes.len(), &self.edges))

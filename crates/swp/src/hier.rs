@@ -131,6 +131,7 @@ fn schedule_arm(
         BuildOptions {
             loop_carried: false,
             enable_mve: false,
+            prune_dominated: false,
         },
     );
     let times = linear_place(&g, mach);
@@ -200,6 +201,7 @@ pub mod stats {
             BuildOptions {
                 loop_carried: false,
                 enable_mve: false,
+                prune_dominated: false,
             },
         );
         let times = linear_place(&g, mach);

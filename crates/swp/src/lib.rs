@@ -64,6 +64,7 @@ mod mrt;
 mod mve;
 mod pathalg;
 mod pressure;
+pub mod prune;
 mod scc;
 mod schedule;
 pub mod stats;
@@ -93,6 +94,7 @@ pub use mrt::{LinearTable, ModuloTable};
 pub use mve::{expand, Expansion, UnrollPolicy};
 pub use pathalg::{DistSet, SccClosure};
 pub use pressure::{register_pressure, PressureReport};
+pub use prune::{dominated_edges, prune_dominated, PruneAnalysis};
 pub use scc::{tarjan, SccDecomposition};
 pub use schedule::Schedule;
 pub use unroll::unroll_innermost;

@@ -1,0 +1,361 @@
+//! Detection and removal of transitively-dominated dependence edges.
+//!
+//! Every edge `e = (u, v, d, ω)` contributes the scheduling constraint
+//! `σ(v) − σ(u) ≥ d − s·ω` (§2.1). If some *other* path `P` from `u` to
+//! `v` has `d(P) ≥ d` and `ω(P) ≤ ω`, then `P`'s (path-composed)
+//! constraint implies `e`'s for every interval `s ≥ 0`, and `e` can be
+//! deleted without enlarging the set of legal schedules. Conservative
+//! memory edges and the all-pairs queue/output chains emitted by the
+//! graph builder produce many such edges; removing them shrinks the
+//! closure working set and never raises the achieved interval.
+//!
+//! ## Why simultaneous removal is sound
+//!
+//! We remove an edge only when it is **strictly** dominated: a witness
+//! path with `d(P) > d` (and `ω(P) ≤ ω`), or `ω(P) < ω` (and
+//! `d(P) ≥ d`), or an exact duplicate of an earlier edge. The subtlety is
+//! that a witness path may itself traverse edges that are being removed.
+//! Suppose the "witness-of" relation had a cycle `e₁ → e₂ → … → e₁`
+//! (each `eᵢ`'s witness uses `eᵢ₊₁`). For every `s ≥ 1` a strict witness
+//! is stronger by at least 1 in `d − s·ω`; summing the `k` inequalities
+//! and cancelling the `eᵢ` terms leaves two closed walks whose combined
+//! `d − s·ω` is `≥ k > 0` for **all** `s ≥ 1` — which forces a
+//! positive-delay walk with `ω = 0`, i.e. an unschedulable graph. Hence
+//! on graphs that pass the zero-omega positive-cycle pre-check (the same
+//! legality condition [`crate::pathalg`] enforces), the witness relation
+//! is acyclic and all strictly-dominated edges may be removed at once:
+//! induction over the relation rebuilds every removed constraint from
+//! kept edges. The pre-check failing means no pruning happens at all —
+//! the scheduler will reject the graph anyway.
+//!
+//! A second consequence of the same legality condition: any path that
+//! reaches `v` *through* `e` while keeping `ω ≤ ω(e)` must wrap its
+//! detours into zero-omega closed walks of non-positive delay, so it can
+//! never score `d > d(e)` or `ω < ω(e)`. Strict domination therefore
+//! never mistakes "the edge plus a detour" for an independent witness,
+//! and one Pareto longest-path sweep per source node — *including* the
+//! candidate edge — decides every out-edge of that source.
+//!
+//! Self edges get one extra (sound) rule for free: the empty path at `u`
+//! scores `(0, 0)`, so a self edge whose constraint `0 ≥ d − s·ω` holds
+//! vacuously for every `s ≥ 1` (e.g. the carried output edge a variable's
+//! single def pushes onto itself) is detected as dominated by `(0, 0)`.
+
+use crate::graph::{DepGraph, NodeId};
+use crate::pathalg::DistSet;
+
+/// Result of [`dominated_edges`].
+#[derive(Debug, Clone)]
+pub struct PruneAnalysis {
+    /// `dominated[i]` is true if edge `i` (by position in
+    /// [`DepGraph::edges`]) is provably redundant.
+    pub dominated: Vec<bool>,
+    /// False if the graph has a positive-delay zero-omega cycle (it
+    /// cannot be scheduled at any interval); no edges are marked then.
+    pub legal: bool,
+}
+
+impl PruneAnalysis {
+    /// Number of edges marked dominated.
+    pub fn num_dominated(&self) -> usize {
+        self.dominated.iter().filter(|&&d| d).count()
+    }
+
+    /// Iterates the dominated edge indices.
+    pub fn dominated_ids(&self) -> impl Iterator<Item = usize> + '_ {
+        self.dominated
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| if d { Some(i) } else { None })
+    }
+}
+
+/// Bellman–Ford on the zero-omega subgraph: true if some zero-omega cycle
+/// has positive total delay (the graph is unschedulable at any interval).
+fn has_positive_zero_omega_cycle(g: &DepGraph) -> bool {
+    let n = g.num_nodes();
+    if n == 0 {
+        return false;
+    }
+    // Longest-path relaxation from an implicit super-source (all zeros);
+    // a positive cycle keeps improving past n rounds.
+    let mut dist = vec![0i64; n];
+    for _ in 0..n {
+        let mut changed = false;
+        for e in g.edges() {
+            if e.omega != 0 {
+                continue;
+            }
+            let cand = dist[e.from.index()].saturating_add(e.delay);
+            if cand > dist[e.to.index()] {
+                dist[e.to.index()] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            return false;
+        }
+    }
+    true
+}
+
+/// Marks every dependence edge that is provably implied by the rest of
+/// the graph (see the module docs for the exact rules and why removing
+/// them together is sound). Detection only — use [`prune_dominated`] to
+/// also delete them.
+pub fn dominated_edges(g: &DepGraph) -> PruneAnalysis {
+    let ne = g.edges().len();
+    let mut dominated = vec![false; ne];
+    if has_positive_zero_omega_cycle(g) {
+        return PruneAnalysis {
+            dominated,
+            legal: false,
+        };
+    }
+
+    // Rule 1: exact duplicates — keep the first occurrence.
+    let mut seen = std::collections::BTreeSet::new();
+    for (i, e) in g.edges().iter().enumerate() {
+        if !seen.insert((e.from, e.to, e.delay, e.omega)) {
+            dominated[i] = true;
+        }
+    }
+
+    // Rule 2: strict domination by a Pareto-longest path, one sweep per
+    // source node. The omega budget per source is the largest omega among
+    // its out-edges — entries beyond it can never witness a domination.
+    let n = g.num_nodes();
+    let mut dist: Vec<DistSet> = vec![DistSet::empty(); n];
+    for u in 0..n {
+        let out = g.succ_edge_ids(NodeId(u as u32));
+        if out.is_empty() {
+            continue;
+        }
+        let cap = out
+            .iter()
+            .map(|&eid| g.edges()[eid as usize].omega)
+            .max()
+            .expect("out is non-empty");
+
+        for d in dist.iter_mut() {
+            *d = DistSet::empty();
+        }
+        dist[u] = DistSet::single(0, 0);
+
+        // Label-correcting rounds. Convergence: zero-omega cycles cannot
+        // improve (their delay is ≤ 0 by the pre-check), and cycles with
+        // omega ≥ 1 exhaust the `cap` budget. The round limit is a
+        // belt-and-braces guard; hitting it abandons pruning for this
+        // source only.
+        let max_rounds = 2 * n * (cap as usize + 1) + 2;
+        let mut converged = false;
+        for _ in 0..max_rounds {
+            let mut changed = false;
+            for e in g.edges() {
+                let (a, b) = (e.from.index(), e.to.index());
+                if dist[a].is_empty() {
+                    continue;
+                }
+                // `split_at_mut`-free: collect candidate entries first
+                // (sets are tiny — a handful of Pareto points).
+                let cands: Vec<(i64, u32)> = dist[a]
+                    .entries()
+                    .iter()
+                    .filter_map(|&(d, o)| {
+                        let no = o + e.omega;
+                        if no <= cap {
+                            Some((d + e.delay, no))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                for (d, o) in cands {
+                    if dist[b].insert(d, o) {
+                        changed = true;
+                    }
+                }
+            }
+            if !changed {
+                converged = true;
+                break;
+            }
+        }
+        if !converged {
+            continue;
+        }
+
+        for &eid in out {
+            let eid = eid as usize;
+            if dominated[eid] {
+                continue;
+            }
+            let e = &g.edges()[eid];
+            let strict = dist[e.to.index()].entries().iter().any(|&(d, o)| {
+                (o < e.omega && d >= e.delay) || (o <= e.omega && d > e.delay)
+            });
+            if strict {
+                dominated[eid] = true;
+            }
+        }
+    }
+
+    PruneAnalysis {
+        dominated,
+        legal: true,
+    }
+}
+
+/// Removes every dominated edge from the graph, returning how many were
+/// deleted. Node ids, node order, the surviving edges' relative order and
+/// [`DepGraph::expandable`] are all preserved, so downstream tie-breaks
+/// stay deterministic.
+pub fn prune_dominated(g: &mut DepGraph) -> usize {
+    let analysis = dominated_edges(g);
+    if !analysis.legal || analysis.num_dominated() == 0 {
+        return 0;
+    }
+    g.retain_edges(|i, _| !analysis.dominated[i])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DepEdge, DepKind, Node};
+    use ir::{Imm, Op, Opcode, VReg};
+    use machine::ReservationTable;
+
+    fn graph_with(n: usize, edges: &[(u32, u32, u32, i64)]) -> DepGraph {
+        let mut g = DepGraph::new();
+        for _ in 0..n {
+            g.add_node(Node::op(
+                Op::new(Opcode::Const, Some(VReg(0)), vec![Imm::I(0).into()]),
+                ReservationTable::empty(),
+            ));
+        }
+        for &(from, to, omega, delay) in edges {
+            g.add_edge(DepEdge {
+                from: NodeId(from),
+                to: NodeId(to),
+                omega,
+                delay,
+                kind: DepKind::True,
+            });
+        }
+        g
+    }
+
+    #[test]
+    fn transitive_chain_dominates_direct_edge() {
+        // 0 -> 1 -> 2 with delays 2 and 3; direct 0 -> 2 with delay 4 is
+        // dominated (path scores 5 > 4 at equal omega).
+        let mut g = graph_with(3, &[(0, 1, 0, 2), (1, 2, 0, 3), (0, 2, 0, 4)]);
+        let a = dominated_edges(&g);
+        assert!(a.legal);
+        assert_eq!(a.dominated, vec![false, false, true]);
+        assert_eq!(prune_dominated(&mut g), 1);
+        assert_eq!(g.edges().len(), 2);
+    }
+
+    #[test]
+    fn equal_weight_path_does_not_dominate() {
+        // Path scores exactly (4, 0): non-strict, must keep the edge
+        // (the witness could be the edge itself plus zero-weight walks).
+        let g = graph_with(3, &[(0, 1, 0, 2), (1, 2, 0, 2), (0, 2, 0, 4)]);
+        let a = dominated_edges(&g);
+        assert_eq!(a.num_dominated(), 0);
+    }
+
+    #[test]
+    fn lower_omega_path_dominates_carried_edge() {
+        // Direct carried edge (omega 1, delay 1) vs an intra-iteration
+        // path (omega 0, delay 1): strictly stronger.
+        let g = graph_with(2, &[(0, 1, 0, 1), (0, 1, 1, 1)]);
+        let a = dominated_edges(&g);
+        assert_eq!(a.dominated, vec![false, true]);
+    }
+
+    #[test]
+    fn duplicate_edges_keep_first() {
+        let g = graph_with(2, &[(0, 1, 0, 3), (0, 1, 0, 3), (0, 1, 0, 3)]);
+        let a = dominated_edges(&g);
+        assert_eq!(a.dominated, vec![false, true, true]);
+    }
+
+    #[test]
+    fn vacuous_self_edge_is_dominated() {
+        // 0 >= d - s*omega holds for every s >= 1 when d <= omega:
+        // the carried output self edge (omega 1, delay 1) is NOT vacuous
+        // (s = 1 gives 0 >= 0, binding RecMII to 1, which every schedule
+        // satisfies)... but (omega 1, delay 0) is implied by the empty
+        // path at any s >= 0.
+        let g = graph_with(1, &[(0, 0, 1, 0)]);
+        let a = dominated_edges(&g);
+        assert_eq!(a.dominated, vec![true]);
+        // A genuine recurrence self edge must survive.
+        let g = graph_with(1, &[(0, 0, 1, 2)]);
+        assert_eq!(dominated_edges(&g).num_dominated(), 0);
+    }
+
+    #[test]
+    fn recurrence_cycle_edges_survive() {
+        // 0 -> 1 (delay 2), 1 -> 0 (omega 1, delay 1): a binding cycle;
+        // neither edge is implied by the other.
+        let g = graph_with(2, &[(0, 1, 0, 2), (1, 0, 1, 1)]);
+        assert_eq!(dominated_edges(&g).num_dominated(), 0);
+    }
+
+    #[test]
+    fn illegal_graph_prunes_nothing() {
+        // Positive zero-omega cycle: unschedulable; prune must refuse.
+        let mut g = graph_with(2, &[(0, 1, 0, 1), (1, 0, 0, 1), (0, 1, 0, 0)]);
+        let a = dominated_edges(&g);
+        assert!(!a.legal);
+        assert_eq!(a.num_dominated(), 0);
+        assert_eq!(prune_dominated(&mut g), 0);
+    }
+
+    #[test]
+    fn conservative_memory_chain_is_thinned() {
+        // Three stores with unknown aliasing produce all-pairs omega-0
+        // forward edges (delay 1) and omega-1 backward edges; the direct
+        // 0 -> 2 edge (delay 1) is dominated by 0 -> 1 -> 2 (delay 2).
+        let g = graph_with(
+            3,
+            &[
+                (0, 1, 0, 1),
+                (0, 2, 0, 1),
+                (1, 2, 0, 1),
+                (1, 0, 1, 1),
+                (2, 0, 1, 1),
+                (2, 1, 1, 1),
+            ],
+        );
+        let a = dominated_edges(&g);
+        assert!(a.legal);
+        // 0->2 is dominated by the forward chain 0->1->2 (delay 2 > 1 at
+        // omega 0). The backward edges 1->0 and 2->1 are dominated by
+        // routing through the *surviving* backward edge 2->0: e.g.
+        // 1->2 (omega 0) + 2->0 (omega 1) scores (2, 1), strictly
+        // stronger than the direct 1->0 (1, 1). 2->0 itself survives —
+        // every detour for it would need two carried edges.
+        assert_eq!(
+            a.dominated,
+            vec![false, true, false, true, false, true],
+            "{a:?}"
+        );
+    }
+
+    #[test]
+    fn pruning_preserves_recurrence_mii() {
+        use crate::modsched::SchedAnalysis;
+        // A cycle bound by ceil(3/1) = 3 plus a dominated parallel edge.
+        let mut g = graph_with(2, &[(0, 1, 0, 2), (1, 0, 1, 1), (0, 1, 1, 1)]);
+        let before = SchedAnalysis::analyze(&g);
+        let rec_before = crate::mii::rec_mii(&before.closures).unwrap();
+        assert!(prune_dominated(&mut g) > 0);
+        let after = SchedAnalysis::analyze(&g);
+        let rec_after = crate::mii::rec_mii(&after.closures).unwrap();
+        assert_eq!(rec_before, rec_after);
+    }
+}
