@@ -1,0 +1,585 @@
+//! The memory-dependence soundness auditor (A402–A406).
+//!
+//! Two halves, sharing the edge provenance the graph builder records
+//! ([`swp::EdgeOrigin`]):
+//!
+//! * **Static** — classify every memory edge of a pipelined loop as
+//!   *proved-necessary* (exact alias verdict), *conservative/bounded*
+//!   (imprecise verdict), or *refutable* (a rebuild with the audit-time
+//!   trip count proves the edge corresponds to no real dependence). Report
+//!   the MII the loop would have if the conservative edges were dropped —
+//!   the dependence-limited II gap. Report-only: nothing here feeds back
+//!   into code generation.
+//! * **Dynamic** — run the source program under the reference semantics
+//!   with memory tracing ([`vm::trace_memory`]), derive the observed
+//!   dependence set with iteration distances, and check that every
+//!   observed dependence is covered by a static memory edge with
+//!   `omega <= observed distance`. An uncovered observation means the
+//!   dependence graph the scheduler trusted is **unsound** — an
+//!   error-severity A405. Static edges no run ever exercised are precision
+//!   telemetry (A406), not defects.
+//!
+//! The dynamic check is deliberately run against a freshly rebuilt,
+//! *unpruned* graph: dominated-edge pruning removes direct edges whose
+//! constraints are implied by paths, which is legal for scheduling but
+//! would produce false soundness alarms under the direct-edge coverage
+//! rule. [`coverage_check`] itself takes any graph, so tests can aim it at
+//! deliberately broken ones.
+
+use ir::{Loop, MemRef, Opcode, Program, Stmt, TripCount, Value};
+use machine::MachineDescription;
+use swp::{
+    build_item_graph, rec_mii, res_mii, tarjan, Access, BuildOptions, CompiledProgram, DepGraph,
+    DepKind, NodeId, SccClosure,
+};
+use vm::{observed_deps, trace_memory, ObservedDep, RunInput, SiteInfo};
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// Cap on per-edge note lines attached to one diagnostic.
+const MAX_NOTES: usize = 8;
+
+/// Map from a loop's memory-access sites (static program order, THEN arm
+/// before ELSE arm — the order both [`vm::trace_memory`] and the graph
+/// builder use) to graph nodes.
+#[derive(Debug, Clone, Default)]
+pub struct SiteTable {
+    /// Graph node containing each site.
+    pub nodes: Vec<NodeId>,
+    /// Opcode and memory-reference metadata of each site.
+    pub kinds: Vec<(Opcode, Option<MemRef>)>,
+}
+
+/// Extracts the access sites of a loop graph, in the builder's flattening
+/// order.
+pub fn site_table(g: &DepGraph) -> SiteTable {
+    let mut t = SiteTable::default();
+    for (i, n) in g.nodes().iter().enumerate() {
+        n.for_each_access(&mut |acc| {
+            if let Access::Op { op, .. } = acc {
+                if op.touches_memory() {
+                    t.nodes.push(NodeId(i as u32));
+                    t.kinds.push((op.opcode, op.mem));
+                }
+            }
+        });
+    }
+    t
+}
+
+/// True when the graph's site sequence matches a trace's: same length,
+/// same opcodes, same memory references, position by position.
+pub fn sites_match(table: &SiteTable, trace_sites: &[SiteInfo]) -> bool {
+    table.kinds.len() == trace_sites.len()
+        && table
+            .kinds
+            .iter()
+            .zip(trace_sites)
+            .all(|(&(oc, mr), s)| oc == s.opcode && mr == s.mem)
+}
+
+/// Checks every observed dependence against the graph: covered means a
+/// Memory edge `node(from) -> node(to)` with `omega <= observed distance`
+/// exists. Same-node pairs are auto-covered — a node issues once per
+/// initiation interval, so cross-iteration ordering between its own
+/// accesses is enforced by time (and the builder deliberately omits the
+/// zero-omega self edges). Returns one A405 per uncovered observation.
+pub fn coverage_check(
+    g: &DepGraph,
+    sites: &SiteTable,
+    observed: &[ObservedDep],
+    label: &str,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    for d in observed {
+        let from = sites.nodes[d.from_site as usize];
+        let to = sites.nodes[d.to_site as usize];
+        if from == to {
+            continue;
+        }
+        let covered = g.edges().iter().any(|e| {
+            e.kind == DepKind::Memory && e.from == from && e.to == to && e.omega as u64 <= d.distance
+        });
+        if !covered {
+            let (oc_f, _) = sites.kinds[d.from_site as usize];
+            let (oc_t, _) = sites.kinds[d.to_site as usize];
+            diags.push(
+                Diagnostic::new(
+                    LintCode::MemDepViolation,
+                    format!(
+                        "loop '{label}': observed {oc_f} (site {}) -> {oc_t} (site {}) at \
+                         iteration distance {} has no covering memory edge {from} -> {to}",
+                        d.from_site, d.to_site, d.distance
+                    ),
+                )
+                .with_note(
+                    "the dependence graph under-constrains the scheduler: a pipelined \
+                     schedule may reorder these accesses",
+                ),
+            );
+        }
+    }
+    diags
+}
+
+/// The audit result for one pipelined loop.
+#[derive(Debug, Clone)]
+pub struct LoopAudit {
+    /// The loop's emitter label (`loopN`).
+    pub label: String,
+    /// Memory edges from exact alias verdicts (proved necessary).
+    pub exact: u32,
+    /// Memory edges from trip-bounded distance ranges.
+    pub bounded: u32,
+    /// Memory edges from worst-case `Unknown` verdicts.
+    pub conservative: u32,
+    /// Bounded/conservative edges a rebuild with the audit-time trip count
+    /// removes or weakens: provably no real dependence at their omega.
+    pub refutable: u32,
+    /// MII of the graph as built (max of resource and recurrence bounds).
+    pub mii: Option<u32>,
+    /// MII with conservative memory edges dropped.
+    pub relaxed_mii: Option<u32>,
+    /// Observed dependences cross-checked (0 when the loop was not traced
+    /// or its sites did not align).
+    pub observed: usize,
+    /// Observed dependences with no covering static edge (A405 count).
+    pub violations: usize,
+    /// Static memory edges no observation exercised.
+    pub unobserved: u32,
+    /// Whether the dynamic trace aligned with the graph's sites.
+    pub aligned: bool,
+    /// The loop's diagnostics.
+    pub diags: Vec<Diagnostic>,
+}
+
+impl LoopAudit {
+    /// The II gap attributable to conservative edges.
+    pub fn ii_gap(&self) -> u32 {
+        match (self.mii, self.relaxed_mii) {
+            (Some(full), Some(relaxed)) => full.saturating_sub(relaxed),
+            _ => 0,
+        }
+    }
+
+    /// Total memory edges.
+    pub fn mem_edges(&self) -> u32 {
+        self.exact + self.bounded + self.conservative
+    }
+}
+
+/// The audit of one compiled program.
+#[derive(Debug, Clone, Default)]
+pub struct AuditReport {
+    /// One entry per pipelined loop.
+    pub loops: Vec<LoopAudit>,
+    /// The traced execution faulted (no dynamic cross-check happened).
+    pub trace_error: Option<String>,
+}
+
+impl AuditReport {
+    /// Total soundness violations across all loops.
+    pub fn violations(&self) -> usize {
+        self.loops.iter().map(|l| l.violations).sum()
+    }
+
+    /// All diagnostics, flattened.
+    pub fn diagnostics(&self) -> Vec<Diagnostic> {
+        self.loops.iter().flat_map(|l| l.diags.iter().cloned()).collect()
+    }
+}
+
+/// Audits every pipelined loop of `compiled`: static classification,
+/// refutability, II gap, and — when `input` drives the loop — the dynamic
+/// soundness cross-check.
+pub fn audit_compiled(
+    program: &Program,
+    compiled: &CompiledProgram,
+    mach: &MachineDescription,
+    input: &RunInput,
+) -> AuditReport {
+    let mut report = AuditReport::default();
+    let targets: Vec<(u32, &swp::LoopArtifacts)> = compiled
+        .artifacts
+        .iter()
+        .filter_map(|a| parse_label(&a.label).map(|i| (i, a)))
+        .collect();
+    let indices: Vec<u32> = targets.iter().map(|&(i, _)| i).collect();
+    let trace = match trace_memory(program, input, &indices) {
+        Ok(t) => Some(t),
+        Err(e) => {
+            report.trace_error = Some(e.to_string());
+            None
+        }
+    };
+
+    for (idx, art) in targets {
+        let g = &art.graph;
+        let mut audit = LoopAudit {
+            label: art.label.clone(),
+            exact: 0,
+            bounded: 0,
+            conservative: 0,
+            refutable: 0,
+            mii: None,
+            relaxed_mii: None,
+            observed: 0,
+            violations: 0,
+            unobserved: 0,
+            aligned: false,
+            diags: Vec::new(),
+        };
+
+        for e in g.edges() {
+            if e.kind != DepKind::Memory {
+                continue;
+            }
+            match e.origin {
+                swp::EdgeOrigin::MemBounded => audit.bounded += 1,
+                swp::EdgeOrigin::MemConservative => audit.conservative += 1,
+                _ => audit.exact += 1,
+            }
+        }
+
+        // Trip counts: the one the builder had, and the sharper one the
+        // audit can resolve (a register trip preset in the run input).
+        let loop_ref = find_loop(&program.body, idx);
+        let build_trip = loop_ref.and_then(|l| match l.trip {
+            TripCount::Const(n) => Some(n),
+            TripCount::Reg(_) => None,
+        });
+        let audit_trip = build_trip.or_else(|| {
+            let l = loop_ref?;
+            let TripCount::Reg(r) = l.trip else { return None };
+            input.regs.iter().find_map(|&(reg, v)| match v {
+                Value::I(n) if reg == r && n >= 0 => Some(n as u32),
+                _ => None,
+            })
+        });
+
+        // Refutability: rebuild the memory edges with the audit-time trip
+        // and see which imprecise edges survive. (Nothing here changes the
+        // schedule — the rebuilt graph is dropped after the diff.)
+        if audit.bounded + audit.conservative > 0 {
+            let rebuilt = build_item_graph(
+                g.nodes().to_vec(),
+                mach,
+                BuildOptions {
+                    trip: audit_trip,
+                    ..BuildOptions::default()
+                },
+            );
+            let mut refuted_notes = Vec::new();
+            for e in g.edges() {
+                if e.kind != DepKind::Memory
+                    || !matches!(
+                        e.origin,
+                        swp::EdgeOrigin::MemBounded | swp::EdgeOrigin::MemConservative
+                    )
+                {
+                    continue;
+                }
+                let survives = rebuilt.edges().iter().any(|r| {
+                    r.kind == DepKind::Memory && r.from == e.from && r.to == e.to && r.omega <= e.omega
+                });
+                if !survives {
+                    audit.refutable += 1;
+                    if refuted_notes.len() < MAX_NOTES {
+                        refuted_notes.push(format!(
+                            "edge {} -> {} (omega={}, origin={}) is refuted at trip {:?}",
+                            e.from, e.to, e.omega, e.origin, audit_trip
+                        ));
+                    }
+                }
+            }
+            if audit.refutable > 0 {
+                let mut d = Diagnostic::new(
+                    LintCode::RefutableMemEdge,
+                    format!(
+                        "loop '{}': {} of {} imprecise memory edge(s) are refutable given the \
+                         trip count — they constrain the schedule but correspond to no real \
+                         dependence",
+                        art.label,
+                        audit.refutable,
+                        audit.bounded + audit.conservative
+                    ),
+                );
+                d.notes = refuted_notes;
+                if audit.refutable as usize > MAX_NOTES {
+                    d.notes
+                        .push(format!("… and {} more", audit.refutable as usize - MAX_NOTES));
+                }
+                audit.diags.push(d);
+            }
+        }
+
+        // II gap: recompute the bound with conservative edges dropped.
+        audit.mii = graph_mii(g, mach);
+        if audit.conservative > 0 {
+            let mut relaxed = g.clone();
+            relaxed.retain_edges(|_, e| !e.is_conservative());
+            audit.relaxed_mii = graph_mii(&relaxed, mach);
+            if audit.ii_gap() > 0 {
+                audit.diags.push(Diagnostic::new(
+                    LintCode::ConservativeIiGap,
+                    format!(
+                        "loop '{}': dropping {} conservative memory edge(s) would lower MII \
+                         from {} to {} — the loop is dependence-limited by imprecision",
+                        art.label,
+                        audit.conservative,
+                        audit.mii.unwrap_or(0),
+                        audit.relaxed_mii.unwrap_or(0)
+                    ),
+                ));
+            }
+        } else {
+            audit.relaxed_mii = audit.mii;
+        }
+
+        // Dynamic cross-check, against the unpruned rebuild (dominated-edge
+        // pruning legally removes direct edges the coverage rule wants).
+        if let Some(trace) = trace.as_ref().and_then(|t| t.for_loop(idx)) {
+            let coverage_graph = build_item_graph(
+                g.nodes().to_vec(),
+                mach,
+                BuildOptions {
+                    trip: build_trip,
+                    ..BuildOptions::default()
+                },
+            );
+            let sites = site_table(&coverage_graph);
+            if sites_match(&sites, &trace.sites) {
+                audit.aligned = true;
+                let obs = observed_deps(trace);
+                audit.observed = obs.len();
+                let viol = coverage_check(&coverage_graph, &sites, &obs, &art.label);
+                audit.violations = viol.len();
+                audit.diags.extend(viol);
+
+                // Telemetry: memory edges never exercised by this input.
+                let exercised: Vec<(NodeId, NodeId)> = obs
+                    .iter()
+                    .map(|d| {
+                        (
+                            sites.nodes[d.from_site as usize],
+                            sites.nodes[d.to_site as usize],
+                        )
+                    })
+                    .collect();
+                audit.unobserved = coverage_graph
+                    .edges()
+                    .iter()
+                    .filter(|e| {
+                        e.kind == DepKind::Memory && !exercised.contains(&(e.from, e.to))
+                    })
+                    .count() as u32;
+                if audit.unobserved > 0 && !obs.is_empty() {
+                    audit.diags.push(Diagnostic::new(
+                        LintCode::UnobservedMemEdge,
+                        format!(
+                            "loop '{}': {} static memory edge(s) were never exercised by the \
+                             traced input (precision headroom, not a defect)",
+                            art.label, audit.unobserved
+                        ),
+                    ));
+                }
+            } else {
+                audit.diags.push(
+                    Diagnostic::new(
+                        LintCode::MemDepClassification,
+                        format!(
+                            "loop '{}': trace sites ({}) do not align with graph sites ({}); \
+                             dynamic cross-check skipped",
+                            art.label,
+                            trace.sites.len(),
+                            sites.kinds.len()
+                        ),
+                    )
+                    .with_note("the loop body was restructured between IR and scheduling"),
+                );
+            }
+        }
+
+        // The classification summary, last so its counts are final.
+        if audit.mem_edges() > 0 {
+            audit.diags.insert(
+                0,
+                Diagnostic::new(
+                    LintCode::MemDepClassification,
+                    format!(
+                        "loop '{}': {} memory edge(s): {} exact, {} bounded, {} conservative \
+                         ({} refutable); MII {} -> {} without conservative edges",
+                        art.label,
+                        audit.mem_edges(),
+                        audit.exact,
+                        audit.bounded,
+                        audit.conservative,
+                        audit.refutable,
+                        audit.mii.unwrap_or(0),
+                        audit.relaxed_mii.unwrap_or(0)
+                    ),
+                ),
+            );
+        }
+        report.loops.push(audit);
+    }
+    report
+}
+
+/// MII of a graph: max of the resource bound and the recurrence bound over
+/// its nontrivial components (`None` when either bound is undefined —
+/// zero-capacity resource or illegal cycle).
+pub fn graph_mii(g: &DepGraph, mach: &MachineDescription) -> Option<u32> {
+    let res = res_mii(g, mach).ok()?;
+    let scc = tarjan(g);
+    let mut closures: Vec<SccClosure> = Vec::new();
+    for c in 0..scc.len() {
+        let nontrivial = scc.members[c].len() > 1 || {
+            let n = scc.members[c][0];
+            g.succ_edges(n).any(|e| e.to == n)
+        };
+        if nontrivial {
+            closures.push(SccClosure::compute(g, &scc, c));
+        }
+    }
+    let rec = rec_mii(&closures).ok()?;
+    Some(res.max(rec).max(1))
+}
+
+/// Parses an emitter loop label (`loopN`) back to its pre-order index.
+fn parse_label(label: &str) -> Option<u32> {
+    label.strip_prefix("loop")?.parse().ok()
+}
+
+/// Finds the loop with the given pre-order index, replicating the
+/// emitter's numbering (every loop encountered takes a number, THEN arm
+/// before ELSE arm).
+fn find_loop(stmts: &[Stmt], target: u32) -> Option<&Loop> {
+    fn walk<'a>(stmts: &'a [Stmt], target: u32, next: &mut u32) -> Option<&'a Loop> {
+        for s in stmts {
+            match s {
+                Stmt::Op(_) => {}
+                Stmt::Loop(l) => {
+                    let id = *next;
+                    *next += 1;
+                    if id == target {
+                        return Some(l);
+                    }
+                    if let Some(f) = walk(&l.body, target, next) {
+                        return Some(f);
+                    }
+                }
+                Stmt::If(i) => {
+                    if let Some(f) = walk(&i.then_body, target, next) {
+                        return Some(f);
+                    }
+                    if let Some(f) = walk(&i.else_body, target, next) {
+                        return Some(f);
+                    }
+                }
+            }
+        }
+        None
+    }
+    let mut next = 0;
+    walk(stmts, target, &mut next)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::ProgramBuilder;
+    use machine::presets::warp_cell;
+    use swp::CompileOptions;
+
+    fn stencil() -> (Program, RunInput) {
+        // a[i] = a[i] + a[i-1]: an exact distance-1 flow dependence.
+        let mut b = ProgramBuilder::new("stencil");
+        let a = b.array("a", 64);
+        b.for_counted(TripCount::Const(32), |b, i| {
+            let x = b.load_elem(a, i.into(), 1, 4);
+            let y = b.load_elem(a, i.into(), 1, 3);
+            let z = b.fadd(x.into(), y.into());
+            b.store_elem(a, i.into(), 1, 4, z.into());
+        });
+        let p = b.finish();
+        let input = RunInput {
+            mem: (0..64).map(|i| i as f32 * 0.5).collect(),
+            ..Default::default()
+        };
+        (p, input)
+    }
+
+    #[test]
+    fn clean_kernel_audits_clean() {
+        let (p, input) = stencil();
+        let m = warp_cell();
+        let c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+        assert!(!c.artifacts.is_empty());
+        let rep = audit_compiled(&p, &c, &m, &input);
+        assert!(rep.trace_error.is_none(), "{rep:?}");
+        assert_eq!(rep.violations(), 0, "{:?}", rep.diagnostics());
+        let l = &rep.loops[0];
+        assert!(l.aligned, "{l:?}");
+        assert!(l.observed > 0, "{l:?}");
+        assert!(l.exact > 0, "{l:?}");
+        assert_eq!(l.conservative, 0, "{l:?}");
+        assert_eq!(l.ii_gap(), 0, "{l:?}");
+    }
+
+    #[test]
+    fn broken_graph_is_flagged_unsound() {
+        let (p, input) = stencil();
+        let m = warp_cell();
+        let c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+        let g = &c.artifacts[0].graph;
+        let sites = site_table(g);
+        let trace = trace_memory(&p, &input, &[0]).unwrap();
+        let obs = observed_deps(&trace.loops[0]);
+        // Intact graph: clean.
+        assert!(coverage_check(g, &sites, &obs, "loop0").is_empty());
+        // Drop every memory edge: the flow dependence is now uncovered.
+        let mut broken = g.clone();
+        broken.retain_edges(|_, e| e.kind != DepKind::Memory);
+        let viol = coverage_check(&broken, &sites, &obs, "loop0");
+        assert!(!viol.is_empty());
+        assert!(viol.iter().all(|d| d.code == LintCode::MemDepViolation));
+    }
+
+    #[test]
+    fn unknown_memref_counts_conservative_and_gaps() {
+        // A store through an unanalyzable address: conservative edges and
+        // (with the load) a dependence-limited II gap.
+        let mut b = ProgramBuilder::new("scatter");
+        let a = b.array("a", 64);
+        b.for_counted(TripCount::Const(16), |b, i| {
+            let x = b.load_elem(a, i.into(), 1, 0);
+            let t = b.ftoi(x.into());
+            let addr = b.elem_addr(a, t.into(), 1, 32);
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), MemRef::unknown(a));
+        });
+        let p = b.finish();
+        let m = warp_cell();
+        let c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+        assert!(!c.artifacts.is_empty(), "scatter should still pipeline");
+        let rep = audit_compiled(&p, &c, &m, &RunInput::default());
+        let l = &rep.loops[0];
+        assert!(l.conservative > 0, "{l:?}");
+        assert_eq!(rep.violations(), 0, "{:?}", rep.diagnostics());
+        assert!(
+            l.diags.iter().any(|d| d.code == LintCode::MemDepClassification),
+            "{l:?}"
+        );
+    }
+
+    #[test]
+    fn label_parsing_and_loop_lookup() {
+        assert_eq!(parse_label("loop0"), Some(0));
+        assert_eq!(parse_label("loop12"), Some(12));
+        assert_eq!(parse_label("kernel"), None);
+        let (p, _) = stencil();
+        assert!(find_loop(&p.body, 0).is_some());
+        assert!(find_loop(&p.body, 1).is_none());
+    }
+}

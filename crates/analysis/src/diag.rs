@@ -79,6 +79,24 @@ pub enum LintCode {
     BottleneckResource,
     /// The compiler rejected the program outright.
     CompileFailure,
+    /// Per-loop memory-dependence classification summary: how many memory
+    /// edges are exact, bounded, or conservative.
+    MemDepClassification,
+    /// A conservative memory edge the exact distance tests refute when
+    /// given the loop's trip count: it constrains the schedule but
+    /// provably corresponds to no real dependence.
+    RefutableMemEdge,
+    /// Conservative memory edges raise the II bound: reports the MII gap
+    /// between the graph as built and the graph with conservative edges
+    /// dropped (report-only; never fed back to codegen).
+    ConservativeIiGap,
+    /// A dependence observed in a dynamic memory trace is not covered by
+    /// any static edge with a small-enough iteration distance: the
+    /// dependence graph is unsound.
+    MemDepViolation,
+    /// A static memory edge no dynamic trace ever exercised — precision
+    /// telemetry, not a defect (the input may simply not reach it).
+    UnobservedMemEdge,
 }
 
 impl LintCode {
@@ -99,6 +117,11 @@ impl LintCode {
             LintCode::ZeroSlack => "A302",
             LintCode::BottleneckResource => "A303",
             LintCode::CompileFailure => "A401",
+            LintCode::MemDepClassification => "A402",
+            LintCode::RefutableMemEdge => "A403",
+            LintCode::ConservativeIiGap => "A404",
+            LintCode::MemDepViolation => "A405",
+            LintCode::UnobservedMemEdge => "A406",
         }
     }
 
@@ -108,17 +131,22 @@ impl LintCode {
             LintCode::TypeError
             | LintCode::ZeroCapacityDemanded
             | LintCode::RegisterPressure
-            | LintCode::CompileFailure => Severity::Error,
+            | LintCode::CompileFailure
+            | LintCode::MemDepViolation => Severity::Error,
             LintCode::UninitializedRead
             | LintCode::UnusedRegister
             | LintCode::DeadOp
             | LintCode::FreeOpClass
-            | LintCode::UnknownMemRef => Severity::Warning,
+            | LintCode::UnknownMemRef
+            | LintCode::RefutableMemEdge => Severity::Warning,
             LintCode::UnreferencedResource
             | LintCode::DominatedEdges
             | LintCode::RecMiiAttribution
             | LintCode::ZeroSlack
-            | LintCode::BottleneckResource => Severity::Info,
+            | LintCode::BottleneckResource
+            | LintCode::MemDepClassification
+            | LintCode::ConservativeIiGap
+            | LintCode::UnobservedMemEdge => Severity::Info,
         }
     }
 }

@@ -182,13 +182,7 @@ mod tests {
     }
 
     fn edge(from: u32, to: u32, delay: i64, omega: u32) -> DepEdge {
-        DepEdge {
-            from: NodeId(from),
-            to: NodeId(to),
-            delay,
-            omega,
-            kind: DepKind::True,
-        }
+        DepEdge::new(NodeId(from), NodeId(to), omega, delay, DepKind::True)
     }
 
     fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {

@@ -19,6 +19,10 @@
 //! * **Schedule diagnostics** ([`lint_schedule`], [`pressure_lint`]) —
 //!   zero-slack ops (A302), saturated resources (A303), and register
 //!   pressure (A301).
+//! * **Dependence audit** ([`audit_compiled`]) — memory-edge provenance
+//!   classification (A402), refutable edges (A403), conservative II gap
+//!   (A404), dynamic-trace soundness violations (A405), and unexercised
+//!   edges (A406).
 //!
 //! [`analyze_compiled`] runs the graph and schedule passes over every
 //! pipelined loop of a [`swp::CompiledProgram`] plus the whole-program
@@ -27,12 +31,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod dep_audit;
 pub mod diag;
 pub mod graph_lints;
 pub mod ir_lints;
 pub mod machine_lints;
 pub mod sched_lints;
 
+pub use dep_audit::{
+    audit_compiled, coverage_check, graph_mii, site_table, sites_match, AuditReport, LoopAudit,
+    SiteTable,
+};
 pub use diag::{max_severity, render, render_json, Diagnostic, LintCode, Severity};
 pub use graph_lints::{dominated_edge_lint, lint_graph, recmii_attribution};
 pub use ir_lints::lint_program;

@@ -1,0 +1,208 @@
+//! Memory-dependence soundness sweep: compiles the full kernel corpus,
+//! runs [`analysis::audit_compiled`] on every job (static provenance
+//! classification, refutability, conservative II gap, and the dynamic
+//! trace cross-check against each kernel's reference input), and writes
+//! the dependence-limited II gap table to `results/audit_report.txt`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin audit             # full corpus
+//! cargo run -p bench --bin audit -- --smoke            # CI smoke subset
+//! ```
+//!
+//! Flags:
+//!
+//! * `--smoke` — Livermore × Warp cell only, report to stdout;
+//! * `--threads N` — worker threads for compilation;
+//! * `--out PATH` — report path (default `results/audit_report.txt`).
+//!
+//! Exit status is nonzero iff any soundness violation (A405) fired: a
+//! dependence observed under the reference semantics that no static memory
+//! edge with a small-enough omega covers. That is the hard gate — the
+//! dependence graphs the scheduler trusts must over-approximate every
+//! execution the corpus inputs can produce.
+
+use std::fmt::Write as _;
+
+use machine::MachineDescription;
+use swp::{compile_batch, BatchJob, CompileOptions};
+
+struct Config {
+    threads: usize,
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        smoke: false,
+        out: "results/audit_report.txt".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                cfg.threads = v.parse().expect("--threads needs an integer");
+            }
+            "--smoke" => cfg.smoke = true,
+            "--out" => cfg.out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?} (try --threads N, --smoke, --out PATH)"),
+        }
+    }
+    cfg
+}
+
+fn corpus(smoke: bool) -> (Vec<kernels::Kernel>, Vec<(String, MachineDescription)>) {
+    let mut ks = kernels::livermore::all();
+    let mut machines = vec![("warp_cell".to_string(), machine::presets::warp_cell())];
+    if !smoke {
+        ks.extend(kernels::apps::all());
+        ks.extend(kernels::synth::population());
+        machines.push(("test_machine".to_string(), machine::presets::test_machine()));
+        machines.push(("toy_vector".to_string(), machine::presets::toy_vector()));
+    }
+    (ks, machines)
+}
+
+fn main() {
+    let cfg = parse_args();
+    let (ks, machines) = corpus(cfg.smoke);
+
+    // One job per kernel × machine; `pairs` remembers which kernel and
+    // machine each job came from so the audit can reach the kernel's
+    // reference input after compilation.
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (mi, (mname, m)) in machines.iter().enumerate() {
+        for (ki, k) in ks.iter().enumerate() {
+            jobs.push(BatchJob {
+                name: format!("{}@{mname}", k.name),
+                program: &k.program,
+                mach: m,
+                opts: CompileOptions::default(),
+            });
+            pairs.push((ki, mi));
+        }
+    }
+    eprintln!(
+        "audit: {} kernels x {} machines ({} jobs), {} threads",
+        ks.len(),
+        machines.len(),
+        jobs.len(),
+        cfg.threads
+    );
+    let results = compile_batch(&jobs, cfg.threads);
+
+    let mut out = String::new();
+    out.push_str("# audit_report v1\n");
+    out.push_str(
+        "# loop <job>/<label> mem=<edges> exact=<n> bounded=<n> conservative=<n> \
+         refutable=<n> mii=<n|-> relaxed_mii=<n|-> gap=<n> observed=<n> violations=<n> \
+         unobserved=<n> aligned=<y|n>\n",
+    );
+
+    let mut loops = 0usize;
+    let mut mem_loops = 0usize;
+    let mut violations = 0usize;
+    let mut refutable = 0u32;
+    let mut conservative = 0u32;
+    let mut trace_errors = 0usize;
+    let mut compile_errors = 0usize;
+    let mut gapped: Vec<(String, u32)> = Vec::new();
+
+    for ((job, r), &(ki, mi)) in jobs.iter().zip(&results).zip(&pairs) {
+        let c = match &r.outcome {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = writeln!(out, "# job {} failed to compile: {e}", job.name);
+                compile_errors += 1;
+                continue;
+            }
+        };
+        let rep = analysis::audit_compiled(&ks[ki].program, c, &machines[mi].1, &ks[ki].input);
+        if let Some(e) = &rep.trace_error {
+            let _ = writeln!(out, "# job {} trace faulted: {e}", job.name);
+            trace_errors += 1;
+        }
+        for l in &rep.loops {
+            loops += 1;
+            if l.mem_edges() > 0 {
+                mem_loops += 1;
+            }
+            violations += l.violations;
+            refutable += l.refutable;
+            conservative += l.conservative;
+            if l.ii_gap() > 0 {
+                gapped.push((format!("{}/{}", job.name, l.label), l.ii_gap()));
+            }
+            let _ = writeln!(
+                out,
+                "loop {}/{} mem={} exact={} bounded={} conservative={} refutable={} \
+                 mii={} relaxed_mii={} gap={} observed={} violations={} unobserved={} aligned={}",
+                job.name,
+                l.label,
+                l.mem_edges(),
+                l.exact,
+                l.bounded,
+                l.conservative,
+                l.refutable,
+                l.mii.map_or("-".to_string(), |n| n.to_string()),
+                l.relaxed_mii.map_or("-".to_string(), |n| n.to_string()),
+                l.ii_gap(),
+                l.observed,
+                l.violations,
+                l.unobserved,
+                if l.aligned { "y" } else { "n" },
+            );
+            for d in &l.diags {
+                if d.severity >= analysis::Severity::Warning {
+                    eprintln!("{}: {d}", job.name);
+                }
+            }
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "# summary loops={loops} with_mem_edges={mem_loops} violations={violations} \
+         refutable={refutable} conservative={conservative} trace_errors={trace_errors} \
+         compile_errors={compile_errors} gapped_loops={}",
+        gapped.len()
+    );
+    if gapped.is_empty() {
+        out.push_str(
+            "# finding: corpus is exact — no loop's MII drops when conservative \
+             memory edges are removed\n",
+        );
+    } else {
+        gapped.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        for (name, gap) in &gapped {
+            let _ = writeln!(out, "# dependence-limited: {name} gap={gap}");
+        }
+    }
+
+    eprintln!(
+        "audit: {loops} loop(s), {mem_loops} with memory edges, {violations} violation(s), \
+         {refutable} refutable edge(s), {} dependence-limited loop(s)",
+        gapped.len()
+    );
+
+    if cfg.smoke {
+        println!("{out}");
+    } else {
+        std::fs::create_dir_all(
+            std::path::Path::new(&cfg.out)
+                .parent()
+                .unwrap_or(std::path::Path::new(".")),
+        )
+        .expect("create report directory");
+        std::fs::write(&cfg.out, &out).expect("write report");
+        println!("wrote {}", cfg.out);
+    }
+
+    if violations > 0 {
+        eprintln!("FAIL: {violations} memory-dependence soundness violation(s) (A405)");
+        std::process::exit(1);
+    }
+}

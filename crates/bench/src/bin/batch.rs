@@ -131,16 +131,17 @@ fn pressure_summary(c: &swp::CompiledProgram) -> String {
 
 fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
     let mut out = String::new();
-    out.push_str("# batch_report v3\n");
+    out.push_str("# batch_report v4\n");
     out.push_str(
         "# job <name> <ok|err> wall_us=<n> pressure=<class:maxlive,...|-> fits=<y|n> \
-         lints=<errors>/<warnings>/<infos>\n",
+         lints=<errors>/<warnings>/<infos> memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|-\n",
     );
     out.push_str(
         "# loop <job>/<label> ii=<n|-> mii=<res>/<rec> attempts=<iis> aborts=<kind:count,...> \
          sccs=<nontrivial sizes|-> relax=<closure Pareto inserts> reuse=<scratch reuses> \
          unroll=<u> stages=<m> hist=<per-stage nodes|-> \
          mve_copies=<n> conds=<n> not_pipelined=<reason|-> \
+         memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|- \
          phases_us=<reduce:build:bounds:search:expand:emit>\n",
     );
     for (job, r) in jobs.iter().zip(results) {
@@ -148,9 +149,13 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
             Ok(c) => {
                 let diags = analysis::analyze_compiled(c, job.mach);
                 let count = |s: analysis::Severity| diags.iter().filter(|d| d.severity == s).count();
+                let mut memdeps = swp::DepEdgeSummary::default();
+                for rep in &c.reports {
+                    memdeps.add(&rep.stats.memdeps);
+                }
                 let _ = writeln!(
                     out,
-                    "job {} ok wall_us={} pressure={} fits={} lints={}/{}/{}",
+                    "job {} ok wall_us={} pressure={} fits={} lints={}/{}/{} memdeps={}",
                     r.name,
                     r.wall.as_micros(),
                     pressure_summary(c),
@@ -158,6 +163,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                     count(analysis::Severity::Error),
                     count(analysis::Severity::Warning),
                     count(analysis::Severity::Info),
+                    memdeps.memdeps_row(),
                 );
                 for rep in &c.reports {
                     let sizes = if rep.stats.sched.scc_sizes.is_empty() {
@@ -190,7 +196,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                         "loop {}/{} ii={} mii={}/{} attempts={} aborts={} sccs={} \
                          relax={} reuse={} \
                          unroll={} stages={} hist={} mve_copies={} conds={} \
-                         not_pipelined={} phases_us={}",
+                         not_pipelined={} memdeps={} phases_us={}",
                         r.name,
                         rep.label,
                         rep.ii.map_or("-".to_string(), |ii| ii.to_string()),
@@ -207,6 +213,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                         rep.stats.mve_copies,
                         rep.stats.reduced_conds,
                         why,
+                        rep.stats.memdeps.memdeps_row(),
                         rep.stats.phases.as_micros_row(),
                     );
                 }

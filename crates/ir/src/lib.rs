@@ -51,7 +51,7 @@ mod value;
 
 pub use builder::ProgramBuilder;
 pub use interp::{ExecStats, Interp, InterpError, Value, DEFAULT_FUEL};
-pub use mem::{alias, Alias, Array, ArrayId, MemPattern, MemRef};
+pub use mem::{alias, alias_with_trip, Alias, Array, ArrayId, MemPattern, MemRef};
 pub use op::{CmpPred, Op, Opcode};
 pub use program::{IfStmt, Loop, Program, Stmt, TripCount, ValidateError};
 pub use ty::{Imm, Type};

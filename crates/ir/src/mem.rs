@@ -144,27 +144,80 @@ impl fmt::Display for MemRef {
 
 /// Result of querying whether two references to the *same array* may
 /// touch the same word `delta` iterations apart.
+///
+/// # Distance sign convention
+///
+/// `alias(earlier, later)` answers: *does the address of `later` in
+/// iteration `i + distance` equal the address of `earlier` in iteration
+/// `i`?* A **positive** distance means the conflict is loop-carried in
+/// program order — `later` re-touches, `distance` iterations later, the
+/// word `earlier` touched. A **negative** distance means the conflict
+/// flows against program order: `later` touches the word *first* (in an
+/// earlier iteration), so the dependence runs `later → earlier` with
+/// iteration difference `-distance`. Distance `0` is an intra-iteration
+/// conflict between the program-ordered pair. `same_stride_distance` /
+/// `negative_distance_reported` in the test module pin both directions.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Alias {
-    /// They never conflict at any non-negative iteration distance.
+    /// They never conflict at any iteration distance.
     Never,
-    /// They conflict exactly when the later access runs `distance`
-    /// iterations after the earlier one (`distance >= 0`).
+    /// They conflict exactly at iteration distance `distance` (and at no
+    /// other distance).
     At {
-        /// Iteration distance of the conflict.
+        /// Iteration distance of the conflict (see the sign convention).
         distance: i64,
     },
+    /// Conflicts are possible only at iteration distances within
+    /// `[min, max]` (inclusive; not every distance in the range need
+    /// conflict). Produced by the trip-count-bounded tests.
+    Within {
+        /// Smallest possible conflict distance.
+        min: i64,
+        /// Largest possible conflict distance.
+        max: i64,
+    },
+    /// The references touch the same word **every** iteration: they
+    /// conflict at every distance. Unlike [`Alias::Unknown`] this is an
+    /// exact verdict, not a conservative one.
+    Always,
     /// Analysis cannot bound the conflict; assume all distances.
     Unknown,
 }
 
 /// Computes possible conflicts between two references in the same loop
 /// body: does the address of `later` in iteration `i + distance` equal the
-/// address of `earlier` in iteration `i`?
+/// address of `earlier` in iteration `i`? (See [`Alias`] for the sign
+/// convention.)
 ///
-/// Returns [`Alias::Never`] for references to different arrays.
+/// Equivalent to [`alias_with_trip`] without a trip count.
 pub fn alias(earlier: &MemRef, later: &MemRef) -> Alias {
+    alias_with_trip(earlier, later, None)
+}
+
+/// Enumerating conflict distances is linear in the trip count; beyond this
+/// bound fall back to the trip-count-free tests. Far above every kernel in
+/// the corpus.
+const MAX_ENUM_TRIP: u32 = 1 << 14;
+
+/// [`alias`], sharpened by the innermost loop's trip count when known.
+///
+/// The trip count turns several conservative verdicts into exact ones:
+///
+/// * equal strides whose single crossing distance `|d| >= trip` cannot
+///   conflict inside the iteration space → [`Alias::Never`];
+/// * differing (including opposite) strides pass a GCD feasibility test,
+///   then have their crossing points enumerated over the iteration space,
+///   yielding [`Alias::Never`], an exact [`Alias::At`], or a bounded
+///   [`Alias::Within`] range;
+/// * an affine reference against a loop-invariant one is at least bounded
+///   by the iteration space ([`Alias::Within`]) instead of
+///   [`Alias::Unknown`].
+pub fn alias_with_trip(earlier: &MemRef, later: &MemRef, trip: Option<u32>) -> Alias {
     if earlier.array != later.array {
+        return Alias::Never;
+    }
+    if trip == Some(0) {
+        // The loop body never runs; nothing can conflict.
         return Alias::Never;
     }
     use MemPattern::*;
@@ -178,34 +231,119 @@ pub fn alias(earlier: &MemRef, later: &MemRef) -> Alias {
                 // not comparable within the innermost loop.
                 return Alias::Unknown;
             }
-            if s1 != s2 {
-                // Different strides cross at data-dependent points; be
-                // conservative (rare in W2-style kernels).
-                return Alias::Unknown;
-            }
-            if s1 == 0 {
-                return if o1 == o2 { Alias::At { distance: 0 } } else { Alias::Never };
-            }
-            // s*(i+delta) + o2 == s*i + o1  =>  delta == (o1 - o2) / s
-            let num = o1 - o2;
-            if num % s1 != 0 {
-                Alias::Never
-            } else {
-                Alias::At { distance: num / s1 }
-            }
+            affine_pair(s1, o1, s2, o2, trip)
         }
-        (Invariant, Invariant) => Alias::At { distance: 0 },
-        (Affine { stride, .. }, Invariant) | (Invariant, Affine { stride, .. }) => {
-            if stride == 0 {
-                Alias::Unknown
-            } else {
-                // A moving reference hits a fixed element at most once; the
-                // distance is data dependent, so stay conservative.
-                Alias::Unknown
+        // Both sides reuse one word every iteration: they conflict at
+        // *every* distance. (Reporting a single distance here would hide
+        // the loop-carried reverse dependence — a soundness hole.)
+        (Invariant, Invariant) => Alias::Always,
+        (Affine { .. }, Invariant) | (Invariant, Affine { .. }) => {
+            // The invariant side's element is not identified, so the
+            // conflict cannot be refuted; with a trip count the distance
+            // is at least confined to the iteration space.
+            match trip {
+                Some(n) if n <= MAX_ENUM_TRIP => Alias::Within {
+                    min: -i64::from(n - 1),
+                    max: i64::from(n - 1),
+                },
+                _ => Alias::Unknown,
             }
         }
         _ => Alias::Unknown,
     }
+}
+
+/// Conflicts between `earlier = a[s1*i + o1]` and `later = a[s2*j + o2]`
+/// with comparable invariant parts: solutions of `s1*i + o1 == s2*j + o2`,
+/// reported as distances `j - i`.
+fn affine_pair(s1: i64, o1: i64, s2: i64, o2: i64, trip: Option<u32>) -> Alias {
+    if s1 == s2 {
+        if s1 == 0 {
+            // Two fixed words: identical (every distance) or disjoint.
+            return if o1 == o2 { Alias::Always } else { Alias::Never };
+        }
+        // s*(i+d) + o2 == s*i + o1  =>  d == (o1 - o2) / s
+        let num = o1 - o2;
+        if num % s1 != 0 {
+            return Alias::Never;
+        }
+        let distance = num / s1;
+        // Both endpoints must fall inside the iteration space: a crossing
+        // |d| >= trip never materializes.
+        if let Some(n) = trip {
+            if distance.unsigned_abs() >= u64::from(n) {
+                return Alias::Never;
+            }
+        }
+        return Alias::At { distance };
+    }
+    // Differing strides. Integer solutions to s1*i - s2*j = o2 - o1 exist
+    // only if gcd(s1, s2) divides the offset gap (covers one-sided zero
+    // strides too, since gcd(s, 0) = |s|).
+    let g = gcd(s1.unsigned_abs(), s2.unsigned_abs());
+    if g != 0 && (o2 - o1).rem_euclid(g as i64) != 0 {
+        return Alias::Never;
+    }
+    let Some(n) = trip.filter(|&n| n <= MAX_ENUM_TRIP) else {
+        // Feasible crossings at data-dependent points; without a trip
+        // count the distance range is unbounded.
+        return Alias::Unknown;
+    };
+    let n = i64::from(n);
+    // Enumerate crossings over the iteration space and collect the exact
+    // distance range (O(trip), bounded by MAX_ENUM_TRIP).
+    let (mut lo, mut hi) = (i64::MAX, i64::MIN);
+    let mut record = |d: i64| {
+        lo = lo.min(d);
+        hi = hi.max(d);
+    };
+    if s2 == 0 {
+        // `later` sits at a fixed word; `earlier` crosses it at most once,
+        // at i0, conflicting with every later-iteration j.
+        if (o2 - o1) % s1 == 0 {
+            let i0 = (o2 - o1) / s1;
+            if (0..n).contains(&i0) {
+                record(-i0);
+                record(n - 1 - i0);
+            }
+        }
+    } else if s1 == 0 {
+        // `earlier` sits at a fixed word; `later` crosses it once, at j0,
+        // conflicting with every earlier-iteration i.
+        if (o1 - o2) % s2 == 0 {
+            let j0 = (o1 - o2) / s2;
+            if (0..n).contains(&j0) {
+                record(j0 - (n - 1));
+                record(j0);
+            }
+        }
+    } else {
+        for i in 0..n {
+            let num = s1 * i + o1 - o2;
+            if num % s2 == 0 {
+                let j = num / s2;
+                if (0..n).contains(&j) {
+                    record(j - i);
+                }
+            }
+        }
+    }
+    if lo > hi {
+        Alias::Never
+    } else if lo == hi {
+        Alias::At { distance: lo }
+    } else {
+        Alias::Within { min: lo, max: hi }
+    }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 #[cfg(test)]
@@ -267,10 +405,23 @@ mod tests {
 
     #[test]
     fn invariant_pairs() {
+        // Two references to the same (unidentified) fixed word conflict at
+        // *every* distance: a single-distance verdict here would drop the
+        // loop-carried reverse dependence.
         let x = MemRef::invariant(a());
-        assert_eq!(alias(&x, &x), Alias::At { distance: 0 });
+        assert_eq!(alias(&x, &x), Alias::Always);
         let m = MemRef::affine(a(), 1, 0);
         assert_eq!(alias(&x, &m), Alias::Unknown);
+        // With a trip count the distance is at least confined to the
+        // iteration space.
+        assert_eq!(
+            alias_with_trip(&x, &m, Some(8)),
+            Alias::Within { min: -7, max: 7 }
+        );
+        assert_eq!(
+            alias_with_trip(&m, &x, Some(8)),
+            Alias::Within { min: -7, max: 7 }
+        );
     }
 
     #[test]
@@ -278,6 +429,7 @@ mod tests {
         let x = MemRef::unknown(a());
         let y = MemRef::affine(a(), 1, 0);
         assert_eq!(alias(&x, &y), Alias::Unknown);
+        assert_eq!(alias_with_trip(&x, &y, Some(10)), Alias::Unknown);
     }
 
     #[test]
@@ -285,8 +437,90 @@ mod tests {
         let x = MemRef::affine(a(), 0, 3);
         let y = MemRef::affine(a(), 0, 3);
         let z = MemRef::affine(a(), 0, 4);
-        assert_eq!(alias(&x, &y), Alias::At { distance: 0 });
+        assert_eq!(alias(&x, &y), Alias::Always);
         assert_eq!(alias(&x, &z), Alias::Never);
+    }
+
+    #[test]
+    fn equal_stride_distance_outside_trip_never_conflicts() {
+        // store a[i], load a[i-100] cross 100 iterations apart — a 10-trip
+        // loop never realizes the conflict.
+        let st = MemRef::affine(a(), 1, 0);
+        let ld = MemRef::affine(a(), 1, -100);
+        assert_eq!(alias(&st, &ld), Alias::At { distance: 100 });
+        assert_eq!(alias_with_trip(&st, &ld, Some(10)), Alias::Never);
+        assert_eq!(alias_with_trip(&st, &ld, Some(101)), Alias::At { distance: 100 });
+    }
+
+    #[test]
+    fn gcd_test_refutes_differing_strides() {
+        // a[2i] vs a[4j+1]: even vs odd words, no trip count needed.
+        let x = MemRef::affine(a(), 2, 0);
+        let y = MemRef::affine(a(), 4, 1);
+        assert_eq!(alias(&x, &y), Alias::Never);
+        // a[2i] vs a[4j+2] passes the GCD test; without a trip count the
+        // crossing points stay unbounded.
+        let z = MemRef::affine(a(), 4, 2);
+        assert_eq!(alias(&x, &z), Alias::Unknown);
+    }
+
+    #[test]
+    fn differing_strides_enumerated_with_trip() {
+        // a[2i] vs a[4j+2] over 4 iterations: conflicts at (i,j) = (1,0)
+        // and (3,1), distances -1 and -2.
+        let x = MemRef::affine(a(), 2, 0);
+        let y = MemRef::affine(a(), 4, 2);
+        assert_eq!(
+            alias_with_trip(&x, &y, Some(4)),
+            Alias::Within { min: -2, max: -1 }
+        );
+        // A single surviving crossing collapses to an exact distance:
+        // a[2i] vs a[4j+2] over 2 iterations only realizes (1,0).
+        assert_eq!(alias_with_trip(&x, &y, Some(2)), Alias::At { distance: -1 });
+    }
+
+    #[test]
+    fn opposite_strides_enumerated_with_trip() {
+        // a[i] vs a[4-j] over 5 iterations: conflicts where i + j == 4,
+        // distances j - i in {-4, -2, 0, 2, 4}.
+        let x = MemRef::affine(a(), 1, 0);
+        let y = MemRef::affine(a(), -1, 4);
+        assert_eq!(alias(&x, &y), Alias::Unknown);
+        assert_eq!(
+            alias_with_trip(&x, &y, Some(5)),
+            Alias::Within { min: -4, max: 4 }
+        );
+        // Shifted out of range: a[i] vs a[-j - 10] never meet in 5 trips.
+        let far = MemRef::affine(a(), -1, -10);
+        assert_eq!(alias_with_trip(&x, &far, Some(5)), Alias::Never);
+    }
+
+    #[test]
+    fn one_sided_zero_stride_with_trip() {
+        // store a[i], load a[3]: the store crosses word 3 at i=3 and the
+        // load touches it every iteration j — distances j-3 in [-3, n-4].
+        let st = MemRef::affine(a(), 1, 0);
+        let ld = MemRef::affine(a(), 0, 3);
+        assert_eq!(alias(&st, &ld), Alias::Unknown);
+        assert_eq!(
+            alias_with_trip(&st, &ld, Some(8)),
+            Alias::Within { min: -3, max: 4 }
+        );
+        // Fixed word outside the swept range: never.
+        let out = MemRef::affine(a(), 0, 100);
+        assert_eq!(alias_with_trip(&st, &out, Some(8)), Alias::Never);
+        // Reversed roles: load a[3] first, store a[i] later — conflicts at
+        // (i, j0=3): distances 3-i in [3-(n-1), 3].
+        assert_eq!(
+            alias_with_trip(&ld, &st, Some(8)),
+            Alias::Within { min: -4, max: 3 }
+        );
+    }
+
+    #[test]
+    fn zero_trip_loop_never_conflicts() {
+        let x = MemRef::invariant(a());
+        assert_eq!(alias_with_trip(&x, &x, Some(0)), Alias::Never);
     }
 
     #[test]

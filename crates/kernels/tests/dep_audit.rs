@@ -1,0 +1,259 @@
+//! The memory-dependence soundness auditor against the kernel corpus:
+//! a randomized property (trace-derived dependences are always covered by
+//! the static graph) plus one hand-built case per A4xx diagnostic,
+//! including an intentionally broken graph that must be flagged unsound.
+
+use analysis::{audit_compiled, coverage_check, site_table, LintCode};
+use ir::{MemRef, ProgramBuilder, TripCount, Type, Value};
+use kernels::synth::{self, Shape};
+use machine::presets::warp_cell;
+use swp::testkit::{self, SplitMix64};
+use swp::{CompileOptions, DepKind};
+use vm::{observed_deps, trace_memory, RunInput};
+
+/// The soundness property: for random synthetic programs, every dependence
+/// observed under the reference semantics is covered by a static memory
+/// edge with `omega <= observed distance` (zero A405 violations).
+#[test]
+fn observed_deps_always_covered_on_random_programs() {
+    let m = warp_cell();
+    testkit::check(
+        "observed_deps_always_covered",
+        testkit::Config::with_cases(256),
+        |rng: &mut SplitMix64| {
+            let idx = rng.below(72) as usize;
+            let shape = Shape {
+                trip: rng.range_u32(4, 48),
+                streams: rng.range_u32(1, 4),
+                chain: rng.range_u32(1, 7),
+                width: rng.range_u32(0, 5),
+                recurrence: rng.chance(0.5),
+                mem_recurrence: rng.chance(0.25),
+                conditional: rng.chance(0.5),
+            };
+            (idx, shape)
+        },
+        |&(idx, ref s)| {
+            // Shrink toward the smallest body that still fails.
+            let mut cands = Vec::new();
+            if s.trip > 4 {
+                cands.push((idx, Shape { trip: 4.max(s.trip / 2), ..s.clone() }));
+            }
+            if s.chain > 1 {
+                cands.push((idx, Shape { chain: s.chain / 2, ..s.clone() }));
+            }
+            if s.width > 0 {
+                cands.push((idx, Shape { width: s.width / 2, ..s.clone() }));
+            }
+            if s.streams > 1 {
+                cands.push((idx, Shape { streams: s.streams - 1, ..s.clone() }));
+            }
+            for flag in [s.recurrence, s.mem_recurrence, s.conditional] {
+                if flag {
+                    cands.push((
+                        idx,
+                        Shape {
+                            recurrence: false,
+                            mem_recurrence: false,
+                            conditional: false,
+                            ..s.clone()
+                        },
+                    ));
+                    break;
+                }
+            }
+            cands
+        },
+        |&(idx, ref shape)| {
+            let mut rng = SplitMix64::new(idx as u64);
+            let k = synth::generate(idx, shape, &mut rng);
+            let c = swp::compile(&k.program, &m, &CompileOptions::default())
+                .map_err(|e| format!("{}: compile failed: {e}", k.name))?;
+            let rep = audit_compiled(&k.program, &c, &m, &k.input);
+            if let Some(e) = &rep.trace_error {
+                return Err(format!("{}: trace faulted: {e}", k.name));
+            }
+            if rep.violations() > 0 {
+                return Err(format!(
+                    "{}: {} soundness violation(s):\n{}",
+                    k.name,
+                    rep.violations(),
+                    analysis::render(&rep.diagnostics())
+                ));
+            }
+            for l in &rep.loops {
+                if !l.aligned {
+                    return Err(format!("{}/{}: trace sites misaligned", k.name, l.label));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// A402: a kernel with memory edges gets a classification summary naming
+/// the exact/bounded/conservative split.
+#[test]
+fn a402_classification_summary_present() {
+    let mut b = ProgramBuilder::new("stencil");
+    let a = b.array("a", 64);
+    b.for_counted(TripCount::Const(32), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 4);
+        let y = b.load_elem(a, i.into(), 1, 3);
+        let z = b.fadd(x.into(), y.into());
+        b.store_elem(a, i.into(), 1, 4, z.into());
+    });
+    let p = b.finish();
+    let m = warp_cell();
+    let c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+    let input = RunInput {
+        mem: vec![0.5; 64],
+        ..Default::default()
+    };
+    let rep = audit_compiled(&p, &c, &m, &input);
+    let l = &rep.loops[0];
+    assert!(l.exact > 0, "{l:?}");
+    let summary = l
+        .diags
+        .iter()
+        .find(|d| d.code == LintCode::MemDepClassification)
+        .expect("A402 summary");
+    assert!(summary.message.contains("exact"), "{summary}");
+}
+
+/// A403: a runtime-trip loop pairs `store a[i]` with a fixed-word
+/// `load a[100]` — unanalyzable at build time (conservative edges), but
+/// the audit resolves the trip register from the run input and proves the
+/// store never sweeps word 100: the edges are refutable.
+#[test]
+fn a403_refutable_edge_at_resolved_trip() {
+    let mut b = ProgramBuilder::new("rt_far");
+    let a = b.array("a", 128);
+    let n = b.named_reg(Type::I32, "n");
+    b.for_counted(TripCount::Reg(n), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 0);
+        let addr = b.elem_addr(a, i.into(), 0, 100);
+        let f = b.load(addr.into(), MemRef::affine(a, 0, 100));
+        let y = b.fadd(x.into(), f.into());
+        b.store_elem(a, i.into(), 1, 0, y.into());
+    });
+    let p = b.finish();
+    let m = warp_cell();
+    let c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+    assert!(!c.artifacts.is_empty(), "rt_far should pipeline");
+    let input = RunInput {
+        mem: vec![1.0; 128],
+        regs: vec![(n, Value::I(8))],
+        ..Default::default()
+    };
+    let rep = audit_compiled(&p, &c, &m, &input);
+    let l = &rep.loops[0];
+    assert!(l.conservative > 0, "{l:?}");
+    assert!(l.refutable > 0, "{l:?}");
+    assert_eq!(rep.violations(), 0, "{:?}", rep.diagnostics());
+    assert!(
+        l.diags.iter().any(|d| d.code == LintCode::RefutableMemEdge),
+        "{:?}",
+        l.diags
+    );
+}
+
+/// A404: Livermore 13 (particle-in-cell) carries data-dependent scatter
+/// stores; its conservative edges must show a nonzero dependence-limited
+/// II gap — the acceptance row for the audit sweep.
+#[test]
+fn a404_ll13_pic_is_dependence_limited() {
+    let k = kernels::livermore::all()
+        .into_iter()
+        .find(|k| k.name == "ll13_pic")
+        .expect("ll13_pic in the Livermore suite");
+    let m = warp_cell();
+    let c = swp::compile(&k.program, &m, &CompileOptions::default()).unwrap();
+    let rep = audit_compiled(&k.program, &c, &m, &k.input);
+    assert_eq!(rep.violations(), 0, "{:?}", rep.diagnostics());
+    let l = rep
+        .loops
+        .iter()
+        .find(|l| l.conservative > 0)
+        .expect("ll13_pic has conservative edges");
+    assert!(l.ii_gap() > 0, "{l:?}");
+    assert!(
+        l.diags.iter().any(|d| d.code == LintCode::ConservativeIiGap),
+        "{:?}",
+        l.diags
+    );
+}
+
+/// A405: an intentionally broken graph — every memory edge removed — must
+/// be flagged unsound by the coverage check, and the intact graph must
+/// pass.
+#[test]
+fn a405_broken_graph_flagged_unsound() {
+    let mut b = ProgramBuilder::new("stencil");
+    let a = b.array("a", 64);
+    b.for_counted(TripCount::Const(32), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 4);
+        let y = b.load_elem(a, i.into(), 1, 3);
+        let z = b.fadd(x.into(), y.into());
+        b.store_elem(a, i.into(), 1, 4, z.into());
+    });
+    let p = b.finish();
+    let m = warp_cell();
+    let c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+    let input = RunInput {
+        mem: (0..64).map(|i| i as f32 * 0.25).collect(),
+        ..Default::default()
+    };
+    let g = &c.artifacts[0].graph;
+    let sites = site_table(g);
+    let trace = trace_memory(&p, &input, &[0]).unwrap();
+    let obs = observed_deps(&trace.loops[0]);
+    assert!(!obs.is_empty(), "the stencil has a loop-carried flow dep");
+    assert!(coverage_check(g, &sites, &obs, "loop0").is_empty());
+
+    let mut broken = g.clone();
+    broken.retain_edges(|_, e| e.kind != DepKind::Memory);
+    let viol = coverage_check(&broken, &sites, &obs, "loop0");
+    assert!(!viol.is_empty(), "dropping memory edges must be caught");
+    assert!(viol.iter().all(|d| d.code == LintCode::MemDepViolation));
+}
+
+/// A406: a scatter store whose data-dependent addresses never collide
+/// with the stencil it rides alongside leaves its conservative edges
+/// unexercised — telemetry, not a violation.
+#[test]
+fn a406_never_colliding_scatter_is_unobserved() {
+    let mut b = ProgramBuilder::new("cold_scatter");
+    let a = b.array("a", 64);
+    b.for_counted(TripCount::Const(16), |b, i| {
+        let x = b.load_elem(a, i.into(), 1, 4);
+        let y = b.load_elem(a, i.into(), 1, 3);
+        let z = b.fadd(x.into(), y.into());
+        b.store_elem(a, i.into(), 1, 4, z.into());
+        // The scatter lands in a[32..], disjoint from everything the
+        // stencil touches for the small inputs below — its conservative
+        // edges exist statically but no trace exercises them.
+        let t = b.ftoi(x.into());
+        let addr = b.elem_addr(a, t.into(), 1, 32);
+        b.store(addr.into(), z.into(), MemRef::unknown(a));
+    });
+    let p = b.finish();
+    let m = warp_cell();
+    let c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+    assert!(!c.artifacts.is_empty(), "cold_scatter should pipeline");
+    let input = RunInput {
+        mem: vec![0.125; 64],
+        ..Default::default()
+    };
+    let rep = audit_compiled(&p, &c, &m, &input);
+    assert_eq!(rep.violations(), 0, "{:?}", rep.diagnostics());
+    let l = &rep.loops[0];
+    assert!(l.aligned, "{l:?}");
+    assert!(l.observed > 0, "{l:?}");
+    assert!(l.unobserved > 0, "{l:?}");
+    assert!(
+        l.diags.iter().any(|d| d.code == LintCode::UnobservedMemEdge),
+        "{:?}",
+        l.diags
+    );
+}

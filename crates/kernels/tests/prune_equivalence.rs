@@ -47,13 +47,7 @@ fn build_graph(spec: &GraphSpec, mach: &MachineDescription) -> DepGraph {
         ));
     }
     for &(from, to, omega, delay) in edges {
-        g.add_edge(DepEdge {
-            from: NodeId(from),
-            to: NodeId(to),
-            omega,
-            delay,
-            kind: DepKind::True,
-        });
+        g.add_edge(DepEdge::new(NodeId(from), NodeId(to), omega, delay, DepKind::True));
     }
     g
 }

@@ -28,10 +28,10 @@
 
 use std::collections::BTreeMap;
 
-use ir::{alias, Alias, MemRef, Op, Opcode, VReg};
+use ir::{alias_with_trip, Alias, MemRef, Op, Opcode, VReg};
 use machine::MachineDescription;
 
-use crate::graph::{Access, DepEdge, DepGraph, DepKind, Node, NodeId};
+use crate::graph::{Access, DepEdge, DepGraph, DepKind, EdgeOrigin, Node, NodeId};
 
 /// Options for dependence construction.
 #[derive(Debug, Clone, Copy)]
@@ -48,6 +48,11 @@ pub struct BuildOptions {
     /// closure working set. Off by default; semantics are covered by the
     /// vm-equivalence and schedule-legality sweeps in `crates/kernels`.
     pub prune_dominated: bool,
+    /// Trip count of the loop being built, when statically known. Sharpens
+    /// memory disambiguation ([`ir::alias_with_trip`]): crossings outside
+    /// the iteration space are refuted, differing-stride pairs get exact
+    /// distance ranges.
+    pub trip: Option<u32>,
 }
 
 impl Default for BuildOptions {
@@ -56,6 +61,7 @@ impl Default for BuildOptions {
             loop_carried: true,
             enable_mve: true,
             prune_dominated: false,
+            trip: None,
         }
     }
 }
@@ -178,13 +184,7 @@ fn add_register_edges(g: &mut DepGraph, accs: &[FlatAcc], opts: BuildOptions) {
         if omega == 0 && fi == ti {
             return; // enforced by the construct's internal schedule
         }
-        g.add_edge(DepEdge {
-            from: NodeId(fi as u32),
-            to: NodeId(ti as u32),
-            omega,
-            delay,
-            kind,
-        });
+        g.add_edge(DepEdge::new(NodeId(fi as u32), NodeId(ti as u32), omega, delay, kind));
     };
 
     let mut expandable = Vec::new();
@@ -302,18 +302,18 @@ fn mem_delay(earlier: Opcode, later: Opcode) -> i64 {
 
 fn add_memory_edges(g: &mut DepGraph, accs: &[FlatAcc], opts: BuildOptions) {
     let mem: Vec<usize> = (0..accs.len()).filter(|&i| accs[i].mem.is_some()).collect();
-    let mut push = |from: usize, to: usize, omega: u32, delay: i64| {
+    let mut push = |from: usize, to: usize, omega: u32, origin: EdgeOrigin| {
         let (fi, ti) = (accs[from].item, accs[to].item);
         if omega == 0 && fi == ti {
             return;
         }
-        g.add_edge(DepEdge {
-            from: NodeId(fi as u32),
-            to: NodeId(ti as u32),
-            omega,
-            delay,
-            kind: DepKind::Memory,
-        });
+        let (oc_f, _) = accs[from].mem.expect("memory access");
+        let (oc_t, _) = accs[to].mem.expect("memory access");
+        let delay = mem_delay(oc_f, oc_t) + accs[from].offset - accs[to].offset;
+        g.add_edge(
+            DepEdge::new(NodeId(fi as u32), NodeId(ti as u32), omega, delay, DepKind::Memory)
+                .with_origin(origin),
+        );
     };
     for (xi, &i) in mem.iter().enumerate() {
         for &j in &mem[xi + 1..] {
@@ -323,7 +323,7 @@ fn add_memory_edges(g: &mut DepGraph, accs: &[FlatAcc], opts: BuildOptions) {
                 continue;
             }
             let verdict = match (mr_i, mr_j) {
-                (Some(a), Some(b)) => alias(&a, &b),
+                (Some(a), Some(b)) => alias_with_trip(&a, &b, opts.trip),
                 _ => Alias::Unknown,
             };
             match verdict {
@@ -331,36 +331,37 @@ fn add_memory_edges(g: &mut DepGraph, accs: &[FlatAcc], opts: BuildOptions) {
                 Alias::At { distance } => {
                     if distance >= 0 {
                         if distance == 0 || opts.loop_carried {
-                            push(
-                                i,
-                                j,
-                                distance as u32,
-                                mem_delay(oc_i, oc_j) + accs[i].offset - accs[j].offset,
-                            );
+                            push(i, j, distance as u32, EdgeOrigin::MemExact);
                         }
                     } else if opts.loop_carried {
-                        push(
-                            j,
-                            i,
-                            (-distance) as u32,
-                            mem_delay(oc_j, oc_i) + accs[j].offset - accs[i].offset,
-                        );
+                        push(j, i, (-distance) as u32, EdgeOrigin::MemExact);
+                    }
+                }
+                // Same word every iteration: constrain both directions at
+                // the minimum realizable distances (0 forward, 1 backward).
+                Alias::Always => {
+                    push(i, j, 0, EdgeOrigin::MemExact);
+                    if opts.loop_carried {
+                        push(j, i, 1, EdgeOrigin::MemExact);
+                    }
+                }
+                // Conflicts confined to distances in [min, max]: the
+                // forward edge uses the smallest non-negative distance the
+                // range admits, the backward edge the smallest positive
+                // reverse distance. (Distances bounded by the trip count,
+                // so the u32 casts cannot truncate.)
+                Alias::Within { min, max } => {
+                    if max >= 0 && (min <= 0 || opts.loop_carried) {
+                        push(i, j, min.max(0) as u32, EdgeOrigin::MemBounded);
+                    }
+                    if min < 0 && opts.loop_carried {
+                        push(j, i, (-max).max(1) as u32, EdgeOrigin::MemBounded);
                     }
                 }
                 Alias::Unknown => {
-                    push(
-                        i,
-                        j,
-                        0,
-                        mem_delay(oc_i, oc_j) + accs[i].offset - accs[j].offset,
-                    );
+                    push(i, j, 0, EdgeOrigin::MemConservative);
                     if opts.loop_carried {
-                        push(
-                            j,
-                            i,
-                            1,
-                            mem_delay(oc_j, oc_i) + accs[j].offset - accs[i].offset,
-                        );
+                        push(j, i, 1, EdgeOrigin::MemConservative);
                     }
                 }
             }
@@ -383,13 +384,7 @@ fn add_queue_edges(
         if omega == 0 && fi == ti {
             return;
         }
-        g.add_edge(DepEdge {
-            from: NodeId(fi as u32),
-            to: NodeId(ti as u32),
-            omega,
-            delay,
-            kind: DepKind::Queue,
-        });
+        g.add_edge(DepEdge::new(NodeId(fi as u32), NodeId(ti as u32), omega, delay, DepKind::Queue));
     };
     for w in qs.windows(2) {
         push(
@@ -520,6 +515,7 @@ mod tests {
                 loop_carried: true,
                 enable_mve: false,
                 prune_dominated: false,
+                trip: None,
             },
         );
         assert!(g.expandable.is_empty());
@@ -663,6 +659,7 @@ mod tests {
                 loop_carried: false,
                 enable_mve: false,
                 prune_dominated: false,
+                trip: None,
             },
         );
         assert!(g.edges().iter().all(|e| e.omega == 0), "{g}");

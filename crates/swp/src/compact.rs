@@ -51,6 +51,7 @@ pub fn compact_block(ops: &[ir::Op], mach: &MachineDescription) -> CompactedRegi
             loop_carried: false,
             enable_mve: false,
             prune_dominated: false,
+            trip: None,
         },
     );
     compact_graph(&g, mach)

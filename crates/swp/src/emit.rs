@@ -49,7 +49,7 @@ use crate::mii::{rec_mii, res_mii, MiiReport};
 use crate::modsched::{modulo_schedule_analyzed, SchedAnalysis, SchedOptions, SchedScratch};
 use crate::mve::{expand, Expansion, UnrollPolicy};
 use crate::schedule::Schedule;
-use crate::stats::LoopStats;
+use crate::stats::{DepEdgeSummary, LoopStats};
 use std::time::Instant;
 
 /// Compiler options.
@@ -697,8 +697,16 @@ impl<'m> Emitter<'m> {
         let build_start = Instant::now();
         let mut build_opts = self.opts.build;
         build_opts.loop_carried = true;
+        // A known trip count sharpens memory disambiguation: crossings
+        // outside the iteration space are refuted instead of constraining
+        // the schedule.
+        build_opts.trip = match *trip {
+            TripCount::Const(n) => Some(n),
+            TripCount::Reg(_) => None,
+        };
         let g = build_item_graph(items, self.mach, build_opts);
         report.stats.phases.build = build_start.elapsed();
+        report.stats.memdeps = DepEdgeSummary::collect(&g);
         let bounds_start = Instant::now();
         // SCC decomposition + symbolic closures, computed exactly once and
         // shared between the bounds below and every II attempt.
@@ -956,6 +964,7 @@ impl<'m> Emitter<'m> {
                 loop_carried: false,
                 enable_mve: false,
                 prune_dominated: false,
+                trip: None,
             },
         );
         let nb = base.len();

@@ -70,6 +70,41 @@ impl fmt::Display for DepKind {
     }
 }
 
+/// Provenance of a dependence edge: which analysis verdict created it.
+/// Structural (register/queue/control) edges are always necessary; memory
+/// edges record how precise the alias verdict behind them was, so the
+/// dependence auditor can classify them without re-deriving the graph.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum EdgeOrigin {
+    /// Implied by program structure (register dataflow, queue order,
+    /// control boundaries) — proved necessary by construction.
+    #[default]
+    Rule,
+    /// Memory edge from an exact alias verdict ([`ir::Alias::At`] /
+    /// [`ir::Alias::Always`]): the conflict provably occurs at this
+    /// distance.
+    MemExact,
+    /// Memory edge from a trip-count-bounded distance range
+    /// ([`ir::Alias::Within`]): sound, with the omega set to the sharpest
+    /// bound the range allows.
+    MemBounded,
+    /// Memory edge from [`ir::Alias::Unknown`] — worst-case assumption,
+    /// candidate for refutation by a sharper analysis.
+    MemConservative,
+}
+
+impl fmt::Display for EdgeOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EdgeOrigin::Rule => "rule",
+            EdgeOrigin::MemExact => "exact",
+            EdgeOrigin::MemBounded => "bounded",
+            EdgeOrigin::MemConservative => "conservative",
+        };
+        f.write_str(s)
+    }
+}
+
 /// A dependence edge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DepEdge {
@@ -85,6 +120,36 @@ pub struct DepEdge {
     pub delay: i64,
     /// Diagnostic classification.
     pub kind: DepKind,
+    /// Which analysis verdict created the edge.
+    pub origin: EdgeOrigin,
+}
+
+impl DepEdge {
+    /// A structural edge ([`EdgeOrigin::Rule`]); use
+    /// [`DepEdge::with_origin`] for memory edges carrying an alias
+    /// verdict.
+    pub fn new(from: NodeId, to: NodeId, omega: u32, delay: i64, kind: DepKind) -> Self {
+        DepEdge {
+            from,
+            to,
+            omega,
+            delay,
+            kind,
+            origin: EdgeOrigin::Rule,
+        }
+    }
+
+    /// The same edge with its provenance set.
+    pub fn with_origin(mut self, origin: EdgeOrigin) -> Self {
+        self.origin = origin;
+        self
+    }
+
+    /// True for edges that only exist because the alias analysis gave up
+    /// ([`EdgeOrigin::MemConservative`]).
+    pub fn is_conservative(&self) -> bool {
+        self.origin == EdgeOrigin::MemConservative
+    }
 }
 
 /// An item placed at a fixed offset inside a reduced construct's internal
@@ -432,13 +497,7 @@ mod tests {
         let mut g = DepGraph::new();
         let a = g.add_node(dummy_node());
         let b = g.add_node(dummy_node());
-        g.add_edge(DepEdge {
-            from: a,
-            to: b,
-            omega: 0,
-            delay: 2,
-            kind: DepKind::True,
-        });
+        g.add_edge(DepEdge::new(a, b, 0, 2, DepKind::True));
         assert_eq!(g.num_nodes(), 2);
         assert_eq!(g.succ_edges(a).count(), 1);
         assert_eq!(g.pred_edges(b).count(), 1);
@@ -451,13 +510,7 @@ mod tests {
     fn edge_bounds_checked() {
         let mut g = DepGraph::new();
         let a = g.add_node(dummy_node());
-        g.add_edge(DepEdge {
-            from: a,
-            to: NodeId(5),
-            omega: 0,
-            delay: 0,
-            kind: DepKind::True,
-        });
+        g.add_edge(DepEdge::new(a, NodeId(5), 0, 0, DepKind::True));
     }
 
     #[test]
@@ -474,22 +527,10 @@ mod tests {
         let mut g = DepGraph::new();
         let a = g.add_node(dummy_node());
         let b = g.add_node(dummy_node());
-        g.add_edge(DepEdge {
-            from: a,
-            to: b,
-            omega: 0,
-            delay: 1,
-            kind: DepKind::True,
-        });
+        g.add_edge(DepEdge::new(a, b, 0, 1, DepKind::True));
         assert_eq!(g.succ_edge_ids(a), &[0]);
         let c = g.add_node(dummy_node());
-        g.add_edge(DepEdge {
-            from: a,
-            to: c,
-            omega: 0,
-            delay: 2,
-            kind: DepKind::Memory,
-        });
+        g.add_edge(DepEdge::new(a, c, 0, 2, DepKind::Memory));
         assert_eq!(g.succ_edge_ids(a), &[0, 1], "insertion order preserved");
         assert_eq!(g.pred_edge_ids(c), &[1]);
         let delays: Vec<i64> = g.succ_edges(a).map(|e| e.delay).collect();
@@ -502,13 +543,7 @@ mod tests {
         let mut g = DepGraph::new();
         let a = g.add_node(dummy_node());
         let b = g.add_node(dummy_node());
-        g.add_edge(DepEdge {
-            from: a,
-            to: b,
-            omega: 1,
-            delay: 3,
-            kind: DepKind::Memory,
-        });
+        g.add_edge(DepEdge::new(a, b, 1, 3, DepKind::Memory));
         let s = g.to_string();
         assert!(s.contains("omega=1"), "{s}");
         assert!(s.contains("memory"), "{s}");

@@ -132,6 +132,7 @@ fn schedule_arm(
             loop_carried: false,
             enable_mve: false,
             prune_dominated: false,
+            trip: None,
         },
     );
     let times = linear_place(&g, mach);
@@ -202,6 +203,7 @@ pub mod stats {
                 loop_carried: false,
                 enable_mve: false,
                 prune_dominated: false,
+                trip: None,
             },
         );
         let times = linear_place(&g, mach);

@@ -82,14 +82,17 @@ pub use emit::{
     LoopReport, NotPipelined,
 };
 pub use build::build_item_graph;
-pub use graph::{Access, DepEdge, DepGraph, DepKind, Node, NodeId, NodeKind, PlacedItem, ReducedCond};
+pub use graph::{
+    Access, DepEdge, DepGraph, DepKind, EdgeOrigin, Node, NodeId, NodeKind, PlacedItem,
+    ReducedCond,
+};
 pub use hier::{reduce_stmts, reduce_stmts_with, stats as hier_stats, CondMode};
 pub use mii::{rec_mii, res_mii, IllegalCycle, MiiReport, ZeroCapacity};
 pub use modsched::{
     modulo_schedule, modulo_schedule_analyzed, modulo_schedule_telemetry, IiSearch, Priority,
     SchedAnalysis, SchedError, SchedOptions, SchedScratch, ScheduleResult,
 };
-pub use stats::{AttemptFailure, IiAttempt, LoopStats, PhaseTimes, SchedTelemetry};
+pub use stats::{AttemptFailure, DepEdgeSummary, IiAttempt, LoopStats, PhaseTimes, SchedTelemetry};
 pub use mrt::{LinearTable, ModuloTable};
 pub use mve::{expand, Expansion, UnrollPolicy};
 pub use pathalg::{DistSet, SccClosure};

@@ -157,13 +157,7 @@ mod tests {
     }
 
     fn edge(from: crate::graph::NodeId, to: crate::graph::NodeId, delay: i64, omega: u32) -> DepEdge {
-        DepEdge {
-            from,
-            to,
-            delay,
-            omega,
-            kind: DepKind::True,
-        }
+        DepEdge::new(from, to, omega, delay, DepKind::True)
     }
 
     #[test]

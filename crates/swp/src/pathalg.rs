@@ -729,13 +729,7 @@ mod tests {
             ));
         }
         for &(a, b, omega, d) in edges {
-            g.add_edge(DepEdge {
-                from: NodeId(a),
-                to: NodeId(b),
-                omega,
-                delay: d,
-                kind: DepKind::True,
-            });
+            g.add_edge(DepEdge::new(NodeId(a), NodeId(b), omega, d, DepKind::True));
         }
         g
     }

@@ -234,13 +234,7 @@ mod tests {
             ));
         }
         for &(from, to, omega, delay) in edges {
-            g.add_edge(DepEdge {
-                from: NodeId(from),
-                to: NodeId(to),
-                omega,
-                delay,
-                kind: DepKind::True,
-            });
+            g.add_edge(DepEdge::new(NodeId(from), NodeId(to), omega, delay, DepKind::True));
         }
         g
     }

@@ -141,13 +141,7 @@ mod tests {
             ));
         }
         for &(a, b) in edges {
-            g.add_edge(DepEdge {
-                from: NodeId(a),
-                to: NodeId(b),
-                omega: 0,
-                delay: 0,
-                kind: DepKind::True,
-            });
+            g.add_edge(DepEdge::new(NodeId(a), NodeId(b), 0, 0, DepKind::True));
         }
         g
     }

@@ -156,13 +156,7 @@ mod tests {
         };
         let a = g.add_node(mk());
         let b = g.add_node(mk());
-        g.add_edge(DepEdge {
-            from: a,
-            to: b,
-            omega: 0,
-            delay: 2,
-            kind: DepKind::True,
-        });
+        g.add_edge(DepEdge::new(a, b, 0, 2, DepKind::True));
         (g, m)
     }
 
@@ -205,13 +199,7 @@ mod tests {
             ),
             res,
         ));
-        g.add_edge(DepEdge {
-            from: a,
-            to: a,
-            omega: 1,
-            delay: 2,
-            kind: DepKind::True,
-        });
+        g.add_edge(DepEdge::new(a, a, 1, 2, DepKind::True));
         // Self edge d=2 omega=1: needs ii >= 2.
         assert!(Schedule::new(vec![0], 2).validate(&g, &m).is_ok());
         assert!(Schedule::new(vec![0], 1).validate(&g, &m).is_err());

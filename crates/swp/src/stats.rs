@@ -20,6 +20,9 @@
 use std::fmt;
 use std::time::Duration;
 
+use crate::graph::{DepGraph, DepKind, EdgeOrigin};
+use crate::scc::tarjan;
+
 /// Why one scheduling attempt at a fixed initiation interval aborted.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum AttemptFailure {
@@ -204,6 +207,96 @@ impl PhaseTimes {
     }
 }
 
+/// Per-kind dependence-edge counts with memory-edge provenance
+/// ([`EdgeOrigin`]), collected once per loop from the pre-expansion
+/// dependence graph. `mem_conservative` counts the edges that exist only
+/// because alias analysis gave up — the ones the dependence auditor tries
+/// to refute — and `conservative_in_scc` the subset sitting on a cycle,
+/// where they can inflate RecMII.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DepEdgeSummary {
+    /// Register flow (def → use) edges.
+    pub flow: u32,
+    /// Register anti (use → redefinition) edges.
+    pub anti: u32,
+    /// Register output (def → def) edges.
+    pub output: u32,
+    /// Memory edges from exact alias verdicts.
+    pub mem_exact: u32,
+    /// Memory edges from trip-count-bounded distance ranges.
+    pub mem_bounded: u32,
+    /// Memory edges from `Alias::Unknown` (worst-case assumption).
+    pub mem_conservative: u32,
+    /// Queue-ordering edges.
+    pub queue: u32,
+    /// Control-boundary edges.
+    pub control: u32,
+    /// Conservative memory edges whose endpoints share a strongly
+    /// connected component (self edges included): the ones that can bind
+    /// the recurrence-limited interval.
+    pub conservative_in_scc: u32,
+}
+
+impl DepEdgeSummary {
+    /// Tallies the edges of a dependence graph.
+    pub fn collect(g: &DepGraph) -> Self {
+        let mut s = DepEdgeSummary::default();
+        for e in g.edges() {
+            match e.kind {
+                DepKind::True => s.flow += 1,
+                DepKind::Anti => s.anti += 1,
+                DepKind::Output => s.output += 1,
+                DepKind::Memory => match e.origin {
+                    EdgeOrigin::MemConservative => s.mem_conservative += 1,
+                    EdgeOrigin::MemBounded => s.mem_bounded += 1,
+                    _ => s.mem_exact += 1,
+                },
+                DepKind::Queue => s.queue += 1,
+                DepKind::Control => s.control += 1,
+            }
+        }
+        if s.mem_conservative > 0 {
+            let scc = tarjan(g);
+            s.conservative_in_scc = g
+                .edges()
+                .iter()
+                .filter(|e| e.is_conservative() && scc.comp[e.from.index()] == scc.comp[e.to.index()])
+                .count() as u32;
+        }
+        s
+    }
+
+    /// Total memory edges of any provenance.
+    pub fn mem_total(&self) -> u32 {
+        self.mem_exact + self.mem_bounded + self.mem_conservative
+    }
+
+    /// Element-wise sum (for per-job aggregation over loops).
+    pub fn add(&mut self, other: &DepEdgeSummary) {
+        self.flow += other.flow;
+        self.anti += other.anti;
+        self.output += other.output;
+        self.mem_exact += other.mem_exact;
+        self.mem_bounded += other.mem_bounded;
+        self.mem_conservative += other.mem_conservative;
+        self.queue += other.queue;
+        self.control += other.control;
+        self.conservative_in_scc += other.conservative_in_scc;
+    }
+
+    /// Compact `exact/bounded/conservative(scc=N)` rendering of the
+    /// memory-edge provenance, `-` when the loop has no memory edges.
+    pub fn memdeps_row(&self) -> String {
+        if self.mem_total() == 0 {
+            return "-".to_string();
+        }
+        format!(
+            "{}/{}/{}(scc={})",
+            self.mem_exact, self.mem_bounded, self.mem_conservative, self.conservative_in_scc
+        )
+    }
+}
+
 /// Everything the telemetry layer records about one loop; carried on
 /// [`crate::LoopReport::stats`].
 #[derive(Debug, Clone, Default)]
@@ -220,6 +313,8 @@ pub struct LoopStats {
     /// Nodes per pipeline stage of the achieved schedule (empty when the
     /// loop was not pipelined).
     pub stage_histogram: Vec<u32>,
+    /// Dependence-edge counts by kind and provenance.
+    pub memdeps: DepEdgeSummary,
 }
 
 #[cfg(test)]

@@ -606,13 +606,7 @@ mod tests {
         let mut g = DepGraph::new();
         let a = g.add_node(fadd_node(&m));
         let b = g.add_node(fadd_node(&m));
-        g.add_edge(DepEdge {
-            from: a,
-            to: b,
-            omega: 0,
-            delay: 2,
-            kind: DepKind::True,
-        });
+        g.add_edge(DepEdge::new(a, b, 0, 2, DepKind::True));
         let s = Schedule::new(vec![0, 3], 2);
         assert!(verify_schedule(&g, &s, &m, "t").is_empty());
     }
@@ -623,13 +617,7 @@ mod tests {
         let mut g = DepGraph::new();
         let a = g.add_node(fadd_node(&m));
         let b = g.add_node(fadd_node(&m));
-        g.add_edge(DepEdge {
-            from: a,
-            to: b,
-            omega: 0,
-            delay: 2,
-            kind: DepKind::True,
-        });
+        g.add_edge(DepEdge::new(a, b, 0, 2, DepKind::True));
         let s = Schedule::new(vec![0, 1], 2);
         let vs = verify_schedule(&g, &s, &m, "t");
         assert_eq!(vs.len(), 1, "{vs:?}");

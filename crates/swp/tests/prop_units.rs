@@ -167,6 +167,7 @@ fn alias_antisymmetry() {
             match (alias(&a, &b), alias(&b, &a)) {
                 (Alias::Never, Alias::Never) => Ok(()),
                 (Alias::Unknown, Alias::Unknown) => Ok(()),
+                (Alias::Always, Alias::Always) => Ok(()),
                 (Alias::At { distance: d1 }, Alias::At { distance: d2 }) => {
                     if d1 == -d2 {
                         Ok(())

@@ -52,13 +52,7 @@ fn detects_violated_dependence_edge() {
     let mut g = DepGraph::new();
     let a = g.add_node(fadd(&m, 0));
     let b = g.add_node(fadd(&m, 1));
-    g.add_edge(DepEdge {
-        from: a,
-        to: b,
-        omega: 0,
-        delay: 2,
-        kind: DepKind::True,
-    });
+    g.add_edge(DepEdge::new(a, b, 0, 2, DepKind::True));
     let bad = Schedule::new(vec![0, 1], 2);
     let vs = verify_schedule(&g, &bad, &m, "loop");
     assert_eq!(vs.len(), 1, "{vs:?}");
@@ -76,13 +70,7 @@ fn detects_carried_dependence_violation() {
     let m = test_machine();
     let mut g = DepGraph::new();
     let a = g.add_node(fadd(&m, 0));
-    g.add_edge(DepEdge {
-        from: a,
-        to: a,
-        omega: 1,
-        delay: 2,
-        kind: DepKind::True,
-    });
+    g.add_edge(DepEdge::new(a, a, 1, 2, DepKind::True));
     // Self-edge d=2 omega=1 needs ii >= 2; ii = 1 violates it.
     let vs = verify_schedule(&g, &Schedule::new(vec![0], 1), &m, "loop");
     assert!(
@@ -115,13 +103,7 @@ fn detects_overlapping_mve_lifetimes() {
         Op::new(Opcode::FAdd, Some(w), vec![v.into(), v.into()]),
         m.reservation(OpClass::FloatAdd).clone(),
     ));
-    g.add_edge(DepEdge {
-        from: a,
-        to: b,
-        omega: 0,
-        delay: 2,
-        kind: DepKind::True,
-    });
+    g.add_edge(DepEdge::new(a, b, 0, 2, DepKind::True));
     g.expandable.push(v);
     let sched = Schedule::new(vec![0, 9], 2);
 

@@ -117,6 +117,21 @@ pub struct Vm<'p> {
     pub stats: VmStats,
     cycle: u64,
     fuel: u64,
+    /// Memory-access trace: `None` (the default) records nothing and costs
+    /// one branch per access; `Some` collects every load read and store
+    /// commit as [`VmMemEvent`]s.
+    mem_trace: Option<Vec<VmMemEvent>>,
+}
+
+/// One data-memory access recorded by the simulator's opt-in trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmMemEvent {
+    /// Cycle the access happened on.
+    pub cycle: u64,
+    /// Absolute data-memory word address.
+    pub addr: u32,
+    /// True for a store commit, false for a load read.
+    pub store: bool,
 }
 
 /// Default cycle budget.
@@ -138,7 +153,19 @@ impl<'p> Vm<'p> {
             stats: VmStats::default(),
             cycle: 0,
             fuel: DEFAULT_FUEL,
+            mem_trace: None,
         }
+    }
+
+    /// Turns on memory-access tracing (off by default; when off, the only
+    /// cost is one `Option` check per access).
+    pub fn enable_mem_trace(&mut self) {
+        self.mem_trace = Some(Vec::new());
+    }
+
+    /// The recorded memory accesses, if tracing was enabled.
+    pub fn mem_trace(&self) -> Option<&[VmMemEvent]> {
+        self.mem_trace.as_deref()
     }
 
     /// Overrides the cycle budget.
@@ -265,6 +292,13 @@ impl<'p> Vm<'p> {
         // Phase 2: loads read memory (before this cycle's stores commit).
         for (a, dst, lat) in loads {
             let v = Value::F(self.mem[a]);
+            if let Some(trace) = &mut self.mem_trace {
+                trace.push(VmMemEvent {
+                    cycle: self.cycle,
+                    addr: a as u32,
+                    store: false,
+                });
+            }
             results.push((Some((dst, v, lat)), None));
         }
         // Phase 3: stores commit; detect same-cycle write races.
@@ -278,6 +312,13 @@ impl<'p> Vm<'p> {
                     });
                 }
                 stored.push(*a);
+                if let Some(trace) = &mut self.mem_trace {
+                    trace.push(VmMemEvent {
+                        cycle: self.cycle,
+                        addr: *a as u32,
+                        store: true,
+                    });
+                }
                 self.mem[*a] = *v;
             }
         }
@@ -540,6 +581,51 @@ mod tests {
         vm.run().unwrap();
         assert_eq!(vm.reg(b), Value::I(10));
         assert_eq!(vm.reg(a), Value::I(99));
+    }
+
+    #[test]
+    fn mem_trace_off_by_default_and_records_when_enabled() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let x = regs.alloc(Type::F32);
+        let words = vec![
+            Word {
+                ops: vec![Op::new(Opcode::Load, Some(x), vec![Imm::I(3).into()])],
+            },
+            Word::empty(),
+            Word::empty(),
+            Word {
+                ops: vec![Op::new(Opcode::Store, None, vec![Imm::I(5).into(), x.into()])],
+            },
+        ];
+        let p = one_block_program(regs, words);
+        let mut plain = Vm::new(&p, &m);
+        plain.mem[3] = 7.0;
+        plain.run().unwrap();
+        assert!(plain.mem_trace().is_none());
+
+        let mut traced = Vm::new(&p, &m);
+        traced.mem[3] = 7.0;
+        traced.enable_mem_trace();
+        traced.run().unwrap();
+        // Identical architectural state, plus the two recorded accesses.
+        assert_eq!(plain.mem, traced.mem);
+        assert_eq!(plain.stats, traced.stats);
+        assert_eq!(
+            traced.mem_trace().unwrap(),
+            &[
+                VmMemEvent {
+                    cycle: 0,
+                    addr: 3,
+                    store: false
+                },
+                VmMemEvent {
+                    cycle: 3,
+                    addr: 5,
+                    store: true
+                },
+            ]
+        );
     }
 
     #[test]

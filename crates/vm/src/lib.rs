@@ -39,7 +39,9 @@
 mod array;
 mod check;
 mod exec;
+mod trace;
 
 pub use array::{run_chain, run_chain2, run_homogeneous, CellSpec, ChainRun};
 pub use check::{run_checked, run_checked_compiled, run_vm, run_vm_full, CheckError, CheckedRun, RunInput};
-pub use exec::{Vm, VmError, VmStats, DEFAULT_FUEL};
+pub use exec::{Vm, VmError, VmMemEvent, VmStats, DEFAULT_FUEL};
+pub use trace::{observed_deps, trace_memory, LoopTrace, MemEvent, ObservedDep, SiteInfo, TraceReport};

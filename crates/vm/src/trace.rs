@@ -1,0 +1,530 @@
+//! Opt-in memory-access tracing over the sequential reference semantics.
+//!
+//! The dependence auditor needs ground truth: which memory accesses
+//! *actually* conflicted at run time, and at what iteration distance. This
+//! module executes a source [`Program`] through the reference interpreter
+//! while recording, for each targeted loop, every data-memory access as
+//! `(site, iteration, address, read/write)`. Sites are numbered in static
+//! program order within the loop body (THEN arm before ELSE arm), which is
+//! exactly the order the dependence-graph builder visits accesses — so a
+//! trace event maps back to a graph node by position.
+//!
+//! Loops are numbered by a static pre-order walk of the program, matching
+//! the `loopN` labels the code generator assigns, so a [`LoopTrace`] lines
+//! up with the compiler's `LoopReport`/`LoopArtifacts` for the same loop.
+//!
+//! Nothing here runs unless explicitly asked for: tracing is a separate
+//! entry point ([`trace_memory`]), not a flag on the hot interpreter or
+//! simulator paths.
+
+use std::collections::HashMap;
+
+use ir::{Imm, Interp, InterpError, Loop, MemRef, Opcode, Operand, Program, Stmt, TripCount, Value};
+
+use crate::check::RunInput;
+
+/// One recorded data-memory access inside a traced loop activation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemEvent {
+    /// Static access site within the loop body (program order, THEN arm
+    /// before ELSE arm) — the same order the dependence-graph builder
+    /// enumerates accesses.
+    pub site: u32,
+    /// Iteration index within the activation, starting at 0.
+    pub iter: u64,
+    /// Absolute data-memory word address.
+    pub addr: u32,
+    /// True for `Store`, false for `Load`.
+    pub store: bool,
+}
+
+/// Static description of one access site in a traced loop body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SiteInfo {
+    /// `Load` or `Store`.
+    pub opcode: Opcode,
+    /// The access's compile-time memory-reference metadata, if any.
+    pub mem: Option<MemRef>,
+}
+
+/// The trace of one loop: its static sites plus one event stream per
+/// activation (a loop nested under an outer loop activates once per outer
+/// iteration; iteration distances are only meaningful within an
+/// activation).
+#[derive(Debug, Clone)]
+pub struct LoopTrace {
+    /// Pre-order loop number; matches the code generator's `loopN` label.
+    pub loop_index: u32,
+    /// Access sites in static program order.
+    pub sites: Vec<SiteInfo>,
+    /// One event stream per dynamic activation, in execution order.
+    pub activations: Vec<Vec<MemEvent>>,
+}
+
+/// All traced loops of one program run.
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Traces in ascending `loop_index` order.
+    pub loops: Vec<LoopTrace>,
+}
+
+impl TraceReport {
+    /// Finds the trace for a loop by its pre-order index.
+    pub fn for_loop(&self, loop_index: u32) -> Option<&LoopTrace> {
+        self.loops.iter().find(|t| t.loop_index == loop_index)
+    }
+}
+
+/// One dependence observed at run time: site `from_site` touched an
+/// address in some iteration `i`, and site `to_site` touched the same
+/// address in iteration `i + distance` (with at least one of the two a
+/// store). `distance >= 0` always: events are paired in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ObservedDep {
+    /// The earlier access site.
+    pub from_site: u32,
+    /// The later access site.
+    pub to_site: u32,
+    /// Minimum iteration distance at which the pair was observed.
+    pub distance: u64,
+}
+
+/// Runs `program` on `input` under the reference semantics, tracing the
+/// loops whose pre-order indices appear in `targets`. Loops containing
+/// nested loops are never traced (the pipeline scheduler does not touch
+/// them either); requesting one simply yields no trace.
+///
+/// # Errors
+///
+/// Propagates the first dynamic error, exactly as a plain reference run
+/// would.
+pub fn trace_memory(
+    program: &Program,
+    input: &RunInput,
+    targets: &[u32],
+) -> Result<TraceReport, InterpError> {
+    let mut interp = Interp::new(program);
+    for (i, v) in input.mem.iter().enumerate() {
+        if i < interp.mem.len() {
+            interp.mem[i] = *v;
+        }
+    }
+    interp.input.extend(input.input.iter().copied());
+    interp.input_y.extend(input.input_y.iter().copied());
+    for &(r, v) in &input.regs {
+        interp.set_reg(r, v);
+    }
+
+    let mut ids = HashMap::new();
+    let mut next = 0u32;
+    number_loops(&program.body, &mut next, &mut ids);
+
+    let mut tracer = Tracer {
+        interp,
+        ids,
+        targets,
+        traces: Vec::new(),
+    };
+    tracer.exec_stmts(&program.body)?;
+    tracer.traces.sort_by_key(|t| t.loop_index);
+    Ok(TraceReport {
+        loops: tracer.traces,
+    })
+}
+
+/// Derives the observed dependence set of one traced loop: for every
+/// ordered pair of sites that touched the same address with at least one
+/// store between them, the *minimum* iteration distance seen across all
+/// activations. Covering the minimum distance covers every larger one, so
+/// this is the complete obligation set for the static graph.
+pub fn observed_deps(trace: &LoopTrace) -> Vec<ObservedDep> {
+    use std::collections::BTreeMap;
+    // (from_site, to_site) -> min distance.
+    let mut mins: BTreeMap<(u32, u32), u64> = BTreeMap::new();
+    let mut record = |from: u32, to: u32, d: u64| {
+        mins.entry((from, to))
+            .and_modify(|m| *m = (*m).min(d))
+            .or_insert(d);
+    };
+    for events in &trace.activations {
+        // Per-address: the last store and every load since it.
+        let mut last_store: HashMap<u32, (u32, u64)> = HashMap::new();
+        let mut readers: HashMap<u32, Vec<(u32, u64)>> = HashMap::new();
+        for e in events {
+            if e.store {
+                if let Some(&(s, si)) = last_store.get(&e.addr) {
+                    record(s, e.site, e.iter - si); // output
+                }
+                for &(r, ri) in readers.get(&e.addr).map_or(&[][..], |v| v) {
+                    record(r, e.site, e.iter - ri); // anti
+                }
+                readers.remove(&e.addr);
+                last_store.insert(e.addr, (e.site, e.iter));
+            } else {
+                if let Some(&(s, si)) = last_store.get(&e.addr) {
+                    record(s, e.site, e.iter - si); // flow
+                }
+                readers.entry(e.addr).or_default().push((e.site, e.iter));
+            }
+        }
+    }
+    mins.into_iter()
+        .map(|((from_site, to_site), distance)| ObservedDep {
+            from_site,
+            to_site,
+            distance,
+        })
+        .collect()
+}
+
+/// Numbers every loop in pre-order (THEN arm before ELSE arm), keyed by
+/// node identity. This reproduces the code generator's label assignment:
+/// the emitter takes a number for every loop it *encounters*, before any
+/// early-out, and walks statements in program order.
+fn number_loops(stmts: &[Stmt], next: &mut u32, ids: &mut HashMap<usize, u32>) {
+    for s in stmts {
+        match s {
+            Stmt::Op(_) => {}
+            Stmt::Loop(l) => {
+                ids.insert(loop_key(l), *next);
+                *next += 1;
+                number_loops(&l.body, next, ids);
+            }
+            Stmt::If(i) => {
+                number_loops(&i.then_body, next, ids);
+                number_loops(&i.else_body, next, ids);
+            }
+        }
+    }
+}
+
+fn loop_key(l: &Loop) -> usize {
+    l as *const Loop as usize
+}
+
+/// Collects the access sites of a loop body in static program order.
+fn collect_sites(stmts: &[Stmt], out: &mut Vec<SiteInfo>) {
+    for s in stmts {
+        match s {
+            Stmt::Op(op) if op.touches_memory() => out.push(SiteInfo {
+                opcode: op.opcode,
+                mem: op.mem,
+            }),
+            Stmt::Op(_) | Stmt::Loop(_) => {}
+            Stmt::If(i) => {
+                collect_sites(&i.then_body, out);
+                collect_sites(&i.else_body, out);
+            }
+        }
+    }
+}
+
+/// Number of access sites in a statement subtree (for skipping the
+/// non-taken arm of a conditional).
+fn count_mem(stmts: &[Stmt]) -> u32 {
+    let mut n = 0;
+    for s in stmts {
+        match s {
+            Stmt::Op(op) if op.touches_memory() => n += 1,
+            Stmt::Op(_) | Stmt::Loop(_) => {}
+            Stmt::If(i) => n += count_mem(&i.then_body) + count_mem(&i.else_body),
+        }
+    }
+    n
+}
+
+fn contains_loop(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(|s| match s {
+        Stmt::Op(_) => false,
+        Stmt::Loop(_) => true,
+        Stmt::If(i) => contains_loop(&i.then_body) || contains_loop(&i.else_body),
+    })
+}
+
+struct Tracer<'a> {
+    interp: Interp,
+    ids: HashMap<usize, u32>,
+    targets: &'a [u32],
+    traces: Vec<LoopTrace>,
+}
+
+impl Tracer<'_> {
+    fn read_i(&self, r: ir::VReg) -> Result<i64, InterpError> {
+        match self.interp.reg(r) {
+            Value::Undef => Err(InterpError::UndefRead(r)),
+            Value::I(v) => Ok(v as i64),
+            other => Err(InterpError::TypeMismatch(format!(
+                "expected int, got {other:?}"
+            ))),
+        }
+    }
+
+    fn trip(&self, t: &TripCount) -> Result<i64, InterpError> {
+        match t {
+            TripCount::Const(n) => Ok(*n as i64),
+            TripCount::Reg(r) => self.read_i(*r),
+        }
+    }
+
+    /// Untraced execution: replicates `Interp::exec_stmts` exactly, except
+    /// that a targeted loop switches to traced execution.
+    fn exec_stmts(&mut self, stmts: &[Stmt]) -> Result<(), InterpError> {
+        for s in stmts {
+            match s {
+                Stmt::Op(op) => self.interp.exec_op(op)?,
+                Stmt::Loop(l) => self.exec_loop(l)?,
+                Stmt::If(i) => {
+                    if self.read_i(i.cond)? != 0 {
+                        self.exec_stmts(&i.then_body)?;
+                    } else {
+                        self.exec_stmts(&i.else_body)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_loop(&mut self, l: &Loop) -> Result<(), InterpError> {
+        let id = self.ids[&loop_key(l)];
+        let n = self.trip(&l.trip)?;
+        let traced = self.targets.contains(&id) && !contains_loop(&l.body);
+        if !traced {
+            for _ in 0..n.max(0) {
+                self.exec_stmts(&l.body)?;
+            }
+            return Ok(());
+        }
+        let slot = match self.traces.iter().position(|t| t.loop_index == id) {
+            Some(i) => i,
+            None => {
+                let mut sites = Vec::new();
+                collect_sites(&l.body, &mut sites);
+                self.traces.push(LoopTrace {
+                    loop_index: id,
+                    sites,
+                    activations: Vec::new(),
+                });
+                self.traces.len() - 1
+            }
+        };
+        let mut events = Vec::new();
+        for iter in 0..n.max(0) {
+            let mut cursor = 0u32;
+            self.exec_traced(&l.body, iter as u64, &mut cursor, &mut events)?;
+        }
+        self.traces[slot].activations.push(events);
+        Ok(())
+    }
+
+    /// Traced execution of one iteration of a targeted loop body: every
+    /// memory op records an event, and the site cursor is advanced over
+    /// the non-taken arm of each conditional so site numbering stays
+    /// static.
+    fn exec_traced(
+        &mut self,
+        stmts: &[Stmt],
+        iter: u64,
+        cursor: &mut u32,
+        events: &mut Vec<MemEvent>,
+    ) -> Result<(), InterpError> {
+        for s in stmts {
+            match s {
+                Stmt::Op(op) if op.touches_memory() => {
+                    let site = *cursor;
+                    *cursor += 1;
+                    // Resolve the address before executing: if it is not a
+                    // well-formed non-negative integer, execute anyway and
+                    // let the interpreter raise the real error.
+                    let addr = match op.srcs[0] {
+                        Operand::Reg(r) => match self.interp.reg(r) {
+                            Value::I(a) if a >= 0 => Some(a as u32),
+                            _ => None,
+                        },
+                        Operand::Imm(Imm::I(a)) if a >= 0 => Some(a as u32),
+                        Operand::Imm(_) => None,
+                    };
+                    self.interp.exec_op(op)?;
+                    if let Some(addr) = addr {
+                        events.push(MemEvent {
+                            site,
+                            iter,
+                            addr,
+                            store: op.opcode == Opcode::Store,
+                        });
+                    }
+                }
+                Stmt::Op(op) => self.interp.exec_op(op)?,
+                // Targeted loops are checked loop-free before tracing.
+                Stmt::Loop(l) => self.exec_loop(l)?,
+                Stmt::If(i) => {
+                    if self.read_i(i.cond)? != 0 {
+                        self.exec_traced(&i.then_body, iter, cursor, events)?;
+                        *cursor += count_mem(&i.else_body);
+                    } else {
+                        *cursor += count_mem(&i.then_body);
+                        self.exec_traced(&i.else_body, iter, cursor, events)?;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::ProgramBuilder;
+
+    /// a[i] = a[i-1] * 2 — a flow dependence at distance 1.
+    fn recurrence_program() -> Program {
+        let mut b = ProgramBuilder::new("rec");
+        let a = b.array("a", 16);
+        b.for_counted(TripCount::Const(8), |b, i| {
+            let x = b.load_elem(a, i.into(), 1, 0);
+            let y = b.fmul(x.into(), 2.0f32.into());
+            b.store_elem(a, i.into(), 1, 1, y.into());
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn trace_records_sites_and_events() {
+        let p = recurrence_program();
+        let input = RunInput {
+            mem: (0..16).map(|i| i as f32).collect(),
+            ..Default::default()
+        };
+        let rep = trace_memory(&p, &input, &[0]).unwrap();
+        assert_eq!(rep.loops.len(), 1);
+        let t = &rep.loops[0];
+        assert_eq!(t.loop_index, 0);
+        assert_eq!(t.sites.len(), 2);
+        assert_eq!(t.sites[0].opcode, Opcode::Load);
+        assert_eq!(t.sites[1].opcode, Opcode::Store);
+        assert_eq!(t.activations.len(), 1);
+        // 8 iterations x (1 load + 1 store).
+        assert_eq!(t.activations[0].len(), 16);
+        assert_eq!(
+            t.activations[0][0],
+            MemEvent {
+                site: 0,
+                iter: 0,
+                addr: 0,
+                store: false
+            }
+        );
+    }
+
+    #[test]
+    fn observed_deps_find_the_distance_one_flow() {
+        let p = recurrence_program();
+        let input = RunInput::default();
+        let rep = trace_memory(&p, &input, &[0]).unwrap();
+        let deps = observed_deps(&rep.loops[0]);
+        // store site 1 at a[i+1] feeds load site 0 at a[i] one iteration
+        // later: flow at distance 1. The load of a[i] precedes the store
+        // to a[i+1] of the previous iteration? No: load i reads a[i],
+        // store i writes a[i+1]; load i+1 reads a[i+1] — flow (1 -> 0)
+        // distance 1. And store i+1 writes a[i+2] after load... no other
+        // same-address pair repeats closer.
+        assert!(
+            deps.contains(&ObservedDep {
+                from_site: 1,
+                to_site: 0,
+                distance: 1
+            }),
+            "{deps:?}"
+        );
+        // No observed output dependence: each address is stored once.
+        assert!(deps.iter().all(|d| !(d.from_site == 1 && d.to_site == 1)));
+    }
+
+    #[test]
+    fn untargeted_loops_produce_no_trace_and_same_memory() {
+        let p = recurrence_program();
+        let input = RunInput {
+            mem: (0..16).map(|i| i as f32).collect(),
+            ..Default::default()
+        };
+        let rep = trace_memory(&p, &input, &[]).unwrap();
+        assert!(rep.loops.is_empty());
+        // Traced and untraced execution leave identical memory.
+        let traced = trace_memory(&p, &input, &[0]).unwrap();
+        assert_eq!(traced.loops.len(), 1);
+        let mut a = Interp::new(&p);
+        for (i, v) in input.mem.iter().enumerate() {
+            a.mem[i] = *v;
+        }
+        a.run(&p).unwrap();
+        // Cheap cross-check: same number of stores as the event stream.
+        let stores = traced.loops[0].activations[0]
+            .iter()
+            .filter(|e| e.store)
+            .count();
+        assert_eq!(stores, 8);
+    }
+
+    #[test]
+    fn conditional_arms_keep_static_site_numbering() {
+        // if (i % 2) store a[i] else store b[i]; then-arm sites come
+        // first even when the else arm executes.
+        let mut b = ProgramBuilder::new("cond");
+        let a = b.array("a", 8);
+        let bb = b.array("b", 8);
+        b.for_counted(TripCount::Const(4), |b, i| {
+            let two = b.iconst(2);
+            let r = b.rem(i.into(), two.into());
+            let x = b.fconst(1.0);
+            b.if_else(
+                r,
+                |b| b.store_elem(a, i.into(), 1, 0, x.into()),
+                |b| b.store_elem(bb, i.into(), 1, 0, x.into()),
+            );
+        });
+        let p = b.finish();
+        let rep = trace_memory(&p, &RunInput::default(), &[0]).unwrap();
+        let t = &rep.loops[0];
+        assert_eq!(t.sites.len(), 2);
+        let ev = &t.activations[0];
+        // Even iterations take the else arm (site 1), odd the then arm
+        // (site 0).
+        assert_eq!(ev[0].site, 1);
+        assert_eq!(ev[1].site, 0);
+        assert_eq!(ev[2].site, 1);
+        assert_eq!(ev[3].site, 0);
+    }
+
+    #[test]
+    fn nested_activations_are_separate() {
+        // Outer loop runs the inner loop twice; each activation gets its
+        // own event stream and distances never cross activations.
+        let mut b = ProgramBuilder::new("nest");
+        let a = b.array("a", 8);
+        b.for_counted(TripCount::Const(2), |b, _| {
+            b.for_counted(TripCount::Const(4), |b, i| {
+                let x = b.load_elem(a, i.into(), 1, 0);
+                let y = b.fadd(x.into(), 1.0f32.into());
+                b.store_elem(a, i.into(), 1, 0, y.into());
+            });
+        });
+        let p = b.finish();
+        let rep = trace_memory(&p, &RunInput::default(), &[1]).unwrap();
+        let t = &rep.loops[0];
+        assert_eq!(t.loop_index, 1);
+        assert_eq!(t.activations.len(), 2);
+        let deps = observed_deps(t);
+        // Within an activation every address is loaded then stored once:
+        // the only dependence is the same-iteration anti (0 -> 1) at
+        // distance 0.
+        assert_eq!(
+            deps,
+            vec![ObservedDep {
+                from_site: 0,
+                to_site: 1,
+                distance: 0
+            }]
+        );
+    }
+}
