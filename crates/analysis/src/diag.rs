@@ -71,6 +71,10 @@ pub enum LintCode {
     DominatedEdges,
     /// Names the critical recurrence cycle(s) binding RecMII.
     RecMiiAttribution,
+    /// The exact-II oracle certifies the heuristic's schedule is not
+    /// optimal: a smaller initiation interval is feasible for this
+    /// dependence graph on this machine.
+    OptimalityGap,
     /// Register pressure exceeds a machine register file.
     RegisterPressure,
     /// Operations with zero slack: moving any of them breaks the schedule.
@@ -113,6 +117,7 @@ impl LintCode {
             LintCode::UnknownMemRef => "A201",
             LintCode::DominatedEdges => "A202",
             LintCode::RecMiiAttribution => "A203",
+            LintCode::OptimalityGap => "A204",
             LintCode::RegisterPressure => "A301",
             LintCode::ZeroSlack => "A302",
             LintCode::BottleneckResource => "A303",
@@ -138,7 +143,8 @@ impl LintCode {
             | LintCode::DeadOp
             | LintCode::FreeOpClass
             | LintCode::UnknownMemRef
-            | LintCode::RefutableMemEdge => Severity::Warning,
+            | LintCode::RefutableMemEdge
+            | LintCode::OptimalityGap => Severity::Warning,
             LintCode::UnreferencedResource
             | LintCode::DominatedEdges
             | LintCode::RecMiiAttribution

@@ -46,7 +46,7 @@ pub use diag::{max_severity, render, render_json, Diagnostic, LintCode, Severity
 pub use graph_lints::{dominated_edge_lint, lint_graph, recmii_attribution};
 pub use ir_lints::lint_program;
 pub use machine_lints::{check_graph_resources, lint_machine};
-pub use sched_lints::{bottleneck_lint, lint_schedule, pressure_lint, slack_lint};
+pub use sched_lints::{bottleneck_lint, lint_schedule, optimality_lint, pressure_lint, slack_lint};
 
 use machine::MachineDescription;
 

@@ -1,7 +1,9 @@
 //! Schedule diagnostics: register pressure (A301), per-op slack / critical
-//! path (A302), and resource-bottleneck attribution (A303).
+//! path (A302), resource-bottleneck attribution (A303), and exact-II
+//! optimality-gap attribution (A204).
 
 use machine::MachineDescription;
+use swp::optimal::{certify, OracleOptions, OracleOutcome};
 use swp::{DepGraph, NodeKind, PressureReport, Schedule};
 
 use crate::diag::{Diagnostic, LintCode};
@@ -14,12 +16,58 @@ const MAX_NOTES: usize = 8;
 /// ([`swp::viz::utilization`] reports percent).
 const BOTTLENECK_THRESHOLD: f64 = 99.9;
 
+/// Branch-and-bound node budget for the A204 lint. Lint runs sit on the
+/// interactive path (`bench --bin lint`, batch reports), so this stays
+/// well below the dedicated sweep's default; corpus loops close within
+/// a few hundred nodes.
+const OPTIMALITY_BUDGET: u64 = 50_000;
+
 /// Runs every schedule lint for a single pipelined loop.
 pub fn lint_schedule(g: &DepGraph, sched: &Schedule, mach: &MachineDescription) -> Vec<Diagnostic> {
     let mut diags = Vec::new();
     diags.extend(slack_lint(g, sched));
     diags.extend(bottleneck_lint(g, sched, mach));
+    diags.extend(optimality_lint(g, sched, mach));
     diags
+}
+
+/// A204: the heuristic left cycles on the table. Runs the exact oracle
+/// ([`swp::optimal::certify`]) over `[MII, II−1]`; a witness below the
+/// achieved II certifies a nonzero optimality gap. Silent when the
+/// heuristic is proved optimal, when the budget runs out before an
+/// answer, and on oracle errors (those surface through A103/A203
+/// attribution instead) — the lint only reports *certain* gaps.
+pub fn optimality_lint(
+    g: &DepGraph,
+    sched: &Schedule,
+    mach: &MachineDescription,
+) -> Vec<Diagnostic> {
+    let ii = sched.ii();
+    let opts = OracleOptions {
+        max_ii: Some(ii.saturating_sub(1)),
+        node_budget: OPTIMALITY_BUDGET,
+    };
+    let Ok(r) = certify(g, mach, &opts) else {
+        return Vec::new();
+    };
+    let (found, certainty) = match r.outcome {
+        OracleOutcome::Proved { ii } => (ii, "exactly"),
+        OracleOutcome::Feasible { ii } => (ii, "at least"),
+        OracleOutcome::InfeasibleUpTo { .. } | OracleOutcome::Exhausted => return Vec::new(),
+    };
+    vec![Diagnostic::new(
+        LintCode::OptimalityGap,
+        format!(
+            "heuristic II={ii} is not optimal: II={found} is feasible \
+             (gap is {certainty} {})",
+            ii - found
+        ),
+    )
+    .with_note(format!(
+        "oracle explored {} branch-and-bound nodes (MII={})",
+        r.explored,
+        r.mii.mii()
+    ))]
 }
 
 /// A301: register pressure exceeding a machine register file. MAXLIVE is
@@ -191,6 +239,29 @@ mod tests {
         // At II=4 the unit is half idle: silent.
         let sched = Schedule::new(vec![0, 1], 4);
         assert!(bottleneck_lint(&g, &sched, &m).is_empty());
+    }
+
+    /// A lone fadd pipelines at II=1; handing the lint a schedule at
+    /// II=2 must certify the 1-cycle gap, and the optimal schedule must
+    /// stay silent.
+    #[test]
+    fn a204_fires_only_on_certified_gaps() {
+        let m = test_machine();
+        let mut g = DepGraph::new();
+        g.add_node(fadd_node(&m));
+
+        let slow = Schedule::new(vec![0], 2);
+        let diags = optimality_lint(&g, &slow, &m);
+        assert_eq!(codes(&diags), vec!["A204"]);
+        assert_eq!(diags[0].severity, crate::diag::Severity::Warning);
+        assert!(
+            diags[0].message.contains("II=1 is feasible"),
+            "{diags:?}"
+        );
+        assert!(diags[0].message.contains("exactly 1"), "{diags:?}");
+
+        let optimal = Schedule::new(vec![0], 1);
+        assert!(optimality_lint(&g, &optimal, &m).is_empty());
     }
 
     #[test]

@@ -129,9 +129,38 @@ fn pressure_summary(c: &swp::CompiledProgram) -> String {
     classes.join(",")
 }
 
+/// Budget for the per-loop optimality column: a fraction of the
+/// dedicated sweep's default — the column is a cheap annotation, the
+/// full-budget table lives in `results/optimal_report.txt`.
+const PROVED_OPTIMAL_BUDGET: u64 = 50_000;
+
+/// `proved_optimal=` token for one loop: `y` (heuristic II proved
+/// exact), `gap:k` (exact II is k below), `feas:k` (witness k below,
+/// lower bound open), `n` (budget exhausted), `-` (not pipelined).
+fn proved_optimal_token(
+    c: &swp::CompiledProgram,
+    rep: &swp::LoopReport,
+    mach: &MachineDescription,
+) -> String {
+    let Some(ii) = rep.ii else { return "-".to_string() };
+    let Some(a) = c.artifacts.iter().find(|a| a.label == rep.label) else {
+        return "-".to_string();
+    };
+    let opts = swp::OracleOptions {
+        max_ii: Some(ii.saturating_sub(1)),
+        node_budget: PROVED_OPTIMAL_BUDGET,
+    };
+    match swp::certify(&a.graph, mach, &opts).map(|r| r.outcome) {
+        Ok(swp::OracleOutcome::InfeasibleUpTo { .. }) => "y".to_string(),
+        Ok(swp::OracleOutcome::Proved { ii: exact }) => format!("gap:{}", ii - exact),
+        Ok(swp::OracleOutcome::Feasible { ii: found }) => format!("feas:{}", ii - found),
+        Ok(swp::OracleOutcome::Exhausted) | Err(_) => "n".to_string(),
+    }
+}
+
 fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
     let mut out = String::new();
-    out.push_str("# batch_report v4\n");
+    out.push_str("# batch_report v5\n");
     out.push_str(
         "# job <name> <ok|err> wall_us=<n> pressure=<class:maxlive,...|-> fits=<y|n> \
          lints=<errors>/<warnings>/<infos> memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|-\n",
@@ -142,6 +171,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
          unroll=<u> stages=<m> hist=<per-stage nodes|-> \
          mve_copies=<n> conds=<n> not_pipelined=<reason|-> \
          memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|- \
+         proved_optimal=<y|gap:k|feas:k|n|-> \
          phases_us=<reduce:build:bounds:search:expand:emit>\n",
     );
     for (job, r) in jobs.iter().zip(results) {
@@ -196,7 +226,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                         "loop {}/{} ii={} mii={}/{} attempts={} aborts={} sccs={} \
                          relax={} reuse={} \
                          unroll={} stages={} hist={} mve_copies={} conds={} \
-                         not_pipelined={} memdeps={} phases_us={}",
+                         not_pipelined={} memdeps={} proved_optimal={} phases_us={}",
                         r.name,
                         rep.label,
                         rep.ii.map_or("-".to_string(), |ii| ii.to_string()),
@@ -214,6 +244,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                         rep.stats.reduced_conds,
                         why,
                         rep.stats.memdeps.memdeps_row(),
+                        proved_optimal_token(c, rep, job.mach),
                         rep.stats.phases.as_micros_row(),
                     );
                 }

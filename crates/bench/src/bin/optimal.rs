@@ -1,0 +1,315 @@
+//! Exact-II certification sweep: compiles the corpus, then runs the
+//! branch-and-bound oracle ([`swp::optimal::certify`]) on every pipelined
+//! loop to measure `II_heuristic − II_exact`, writing the table to
+//! `results/optimal_report.txt`.
+//!
+//! For each loop the heuristic scheduled at `h`, the oracle searches
+//! `[MII, h − 1]` — `h` itself is already witnessed by the heuristic's
+//! schedule, so proving everything below it infeasible proves `h`
+//! optimal, and any witness found below `h` certifies a nonzero gap.
+//!
+//! ```text
+//! cargo run --release -p bench --bin optimal            # full corpus
+//! cargo run --release -p bench --bin optimal -- --smoke # CI smoke
+//! ```
+//!
+//! Flags:
+//!
+//! * `--smoke` — Livermore × Warp cell only with a tight budget, report
+//!   to stdout;
+//! * `--threads N` — worker threads (compilation and certification);
+//! * `--budget N` — per-interval branch-and-bound node budget;
+//! * `--out PATH` — report path (default `results/optimal_report.txt`).
+//!
+//! Exit status is nonzero iff any Livermore loop on the default preset
+//! (Warp cell) stays *open* — neither proved optimal nor certified to
+//! have a gap — within the budget. That is the acceptance gate: the
+//! oracle must close the paper's own benchmark suite.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use machine::MachineDescription;
+use swp::optimal::{certify, OracleOptions, OracleOutcome};
+use swp::{compile_batch, BatchJob, CompileOptions};
+
+struct Config {
+    threads: usize,
+    smoke: bool,
+    out: String,
+    budget: Option<u64>,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        smoke: false,
+        out: "results/optimal_report.txt".to_string(),
+        budget: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                cfg.threads = v.parse().expect("--threads needs an integer");
+            }
+            "--smoke" => cfg.smoke = true,
+            "--budget" => {
+                let v = args.next().expect("--budget needs a value");
+                cfg.budget = Some(v.parse().expect("--budget needs an integer"));
+            }
+            "--out" => cfg.out = args.next().expect("--out needs a path"),
+            other => {
+                panic!("unknown flag {other:?} (try --threads N, --smoke, --budget N, --out PATH)")
+            }
+        }
+    }
+    cfg
+}
+
+/// Tight smoke budget: small enough for CI, large enough to close the
+/// Livermore × Warp cell subset (see `results/optimal_report.txt`).
+const SMOKE_BUDGET: u64 = 20_000;
+
+fn corpus(smoke: bool) -> (Vec<kernels::Kernel>, Vec<(String, MachineDescription)>) {
+    let mut ks = kernels::livermore::all();
+    let mut machines = vec![("warp_cell".to_string(), machine::presets::warp_cell())];
+    if !smoke {
+        ks.extend(kernels::apps::all());
+        ks.extend(kernels::synth::population());
+        machines.push(("test_machine".to_string(), machine::presets::test_machine()));
+        machines.push(("toy_vector".to_string(), machine::presets::toy_vector()));
+    }
+    (ks, machines)
+}
+
+/// One certified loop.
+struct LoopCert {
+    job: String,
+    label: String,
+    /// True for a Livermore kernel on the default (Warp cell) preset —
+    /// the subset the exit gate covers.
+    gated: bool,
+    ii: u32,
+    mii: u32,
+    outcome: OracleOutcome,
+    explored: u64,
+}
+
+impl LoopCert {
+    /// `proved_optimal`, `proved_gap`, `feasible_gap` or `open`.
+    fn verdict(&self) -> &'static str {
+        match self.outcome {
+            OracleOutcome::InfeasibleUpTo { .. } => "proved_optimal",
+            OracleOutcome::Proved { .. } => "proved_gap",
+            OracleOutcome::Feasible { .. } => "feasible_gap",
+            OracleOutcome::Exhausted => "open",
+        }
+    }
+
+    /// `II_heuristic − II_exact` where certified; `>=k` when only a
+    /// witness (no lower-bound proof) exists; `?` when open.
+    fn gap(&self) -> String {
+        match self.outcome {
+            OracleOutcome::InfeasibleUpTo { .. } => "0".to_string(),
+            OracleOutcome::Proved { ii } => (self.ii - ii).to_string(),
+            OracleOutcome::Feasible { ii } => format!(">={}", self.ii - ii),
+            OracleOutcome::Exhausted => "?".to_string(),
+        }
+    }
+
+    fn exact(&self) -> String {
+        match self.outcome {
+            OracleOutcome::InfeasibleUpTo { .. } => self.ii.to_string(),
+            OracleOutcome::Proved { ii } => ii.to_string(),
+            OracleOutcome::Feasible { ii } => format!("<={ii}"),
+            OracleOutcome::Exhausted => "-".to_string(),
+        }
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let budget = cfg
+        .budget
+        .unwrap_or(if cfg.smoke { SMOKE_BUDGET } else { swp::optimal::DEFAULT_NODE_BUDGET });
+    let (ks, machines) = corpus(cfg.smoke);
+
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut gated: Vec<bool> = Vec::new();
+    for (mi, (mname, m)) in machines.iter().enumerate() {
+        for k in &ks {
+            jobs.push(BatchJob {
+                name: format!("{}@{mname}", k.name),
+                program: &k.program,
+                mach: m,
+                opts: CompileOptions::default(),
+            });
+            gated.push(mi == 0 && k.suite == kernels::Suite::Livermore);
+        }
+    }
+    eprintln!(
+        "optimal: {} kernels x {} machines ({} jobs), {} threads, budget {budget}",
+        ks.len(),
+        machines.len(),
+        jobs.len(),
+        cfg.threads
+    );
+    let results = compile_batch(&jobs, cfg.threads);
+
+    // One certification task per pipelined loop; the oracle runs are
+    // independent, so a scoped pool with an atomic work index (the
+    // driver's own idiom) fans them out deterministically.
+    struct Task<'a> {
+        job_idx: usize,
+        label: &'a str,
+        graph: &'a swp::DepGraph,
+        mach: &'a MachineDescription,
+        ii: u32,
+        mii: u32,
+    }
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut compile_errors = 0usize;
+    for (ji, (job, r)) in jobs.iter().zip(&results).enumerate() {
+        match &r.outcome {
+            Ok(c) => {
+                for a in &c.artifacts {
+                    let mii = c
+                        .reports
+                        .iter()
+                        .find(|rep| rep.label == a.label)
+                        .map_or(1, |rep| rep.mii());
+                    tasks.push(Task {
+                        job_idx: ji,
+                        label: &a.label,
+                        graph: &a.graph,
+                        mach: job.mach,
+                        ii: a.schedule.ii(),
+                        mii,
+                    });
+                }
+            }
+            Err(_) => compile_errors += 1,
+        }
+    }
+
+    let certs: Vec<OnceLock<(OracleOutcome, u64)>> = tasks.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = cfg.threads.clamp(1, tasks.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(t) = tasks.get(i) else { break };
+                let opts = OracleOptions {
+                    max_ii: Some(t.ii.saturating_sub(1)),
+                    node_budget: budget,
+                };
+                let r = certify(t.graph, t.mach, &opts)
+                    .unwrap_or_else(|e| panic!("{}/{}: oracle error {e}", jobs[t.job_idx].name, t.label));
+                certs[i].set((r.outcome, r.explored)).expect("unique index");
+            });
+        }
+    });
+
+    let loops: Vec<LoopCert> = tasks
+        .iter()
+        .zip(&certs)
+        .map(|(t, c)| {
+            let &(outcome, explored) = c.get().expect("worker filled every slot");
+            LoopCert {
+                job: jobs[t.job_idx].name.clone(),
+                label: t.label.to_string(),
+                gated: gated[t.job_idx],
+                ii: t.ii,
+                mii: t.mii,
+                outcome,
+                explored,
+            }
+        })
+        .collect();
+
+    let mut out = String::new();
+    out.push_str("# optimal_report v1\n");
+    let _ = writeln!(
+        out,
+        "# Exact-II certification: per pipelined loop, the branch-and-bound oracle\n\
+         # searches [mii, ii-1] with a per-interval node budget of {budget}.\n\
+         # loop <job>/<label> ii=<heuristic> mii=<n> exact=<n|<=n|-> gap=<n|>=n|?> \
+         verdict=<proved_optimal|proved_gap|feasible_gap|open> explored=<nodes>"
+    );
+    let count = |v: &str| loops.iter().filter(|l| l.verdict() == v).count();
+    let (proved_optimal, proved_gap, feasible_gap, open) = (
+        count("proved_optimal"),
+        count("proved_gap"),
+        count("feasible_gap"),
+        count("open"),
+    );
+    let _ = writeln!(
+        out,
+        "# summary loops={} proved_optimal={proved_optimal} proved_gap={proved_gap} \
+         feasible_gap={feasible_gap} open={open} compile_errors={compile_errors}",
+        loops.len()
+    );
+    for l in &loops {
+        let _ = writeln!(
+            out,
+            "loop {}/{} ii={} mii={} exact={} gap={} verdict={} explored={}",
+            l.job,
+            l.label,
+            l.ii,
+            l.mii,
+            l.exact(),
+            l.gap(),
+            l.verdict(),
+            l.explored
+        );
+    }
+    let gapped: Vec<&LoopCert> = loops
+        .iter()
+        .filter(|l| matches!(l.outcome, OracleOutcome::Proved { .. } | OracleOutcome::Feasible { .. }))
+        .collect();
+    if !gapped.is_empty() {
+        out.push_str("# certified nonzero gaps (heuristic slack):\n");
+        for l in &gapped {
+            let _ = writeln!(
+                out,
+                "#   {}/{} ii={} exact={} gap={}",
+                l.job,
+                l.label,
+                l.ii,
+                l.exact(),
+                l.gap()
+            );
+        }
+    }
+
+    if cfg.smoke {
+        print!("{out}");
+    } else {
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write(&cfg.out, &out).expect("write report");
+        eprintln!(
+            "optimal: {} loops ({proved_optimal} proved optimal, {proved_gap} proved gaps, \
+             {feasible_gap} witnessed gaps, {open} open) -> {}",
+            loops.len(),
+            cfg.out
+        );
+    }
+
+    let open_gated: Vec<&LoopCert> = loops
+        .iter()
+        .filter(|l| l.gated && l.verdict() == "open")
+        .collect();
+    if !open_gated.is_empty() {
+        for l in open_gated {
+            eprintln!(
+                "optimal: GATE {}/{} open at budget {budget} (ii={} mii={})",
+                l.job, l.label, l.ii, l.mii
+            );
+        }
+        std::process::exit(1);
+    }
+}

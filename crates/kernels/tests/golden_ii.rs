@@ -40,14 +40,15 @@ fn pruned_opts() -> CompileOptions {
     }
 }
 
-/// Per kernel × machine: the achieved II of each loop (`None` = the loop
-/// fell back to unpipelined code).
-///
+/// Per kernel × machine: the kernel+machine row name and each loop's
+/// achieved II (`None` = the loop fell back to unpipelined code).
+type IiRows = Vec<(String, Vec<(String, Option<u32>)>)>;
+
 /// The sweep runs through the parallel batch driver: `compile_batch`
 /// returns results in job order regardless of thread count, so the
 /// snapshot is identical to the old serial loop — which is itself part of
 /// what this golden test pins down.
-fn ii_rows(opts: CompileOptions) -> Vec<(String, Vec<(String, Option<u32>)>)> {
+fn ii_rows(opts: CompileOptions) -> IiRows {
     let machines = presets();
     let corpus = kernels::livermore::all();
     let mut jobs = Vec::new();
@@ -77,7 +78,7 @@ fn ii_rows(opts: CompileOptions) -> Vec<(String, Vec<(String, Option<u32>)>)> {
 
 /// One line per kernel x machine: `kernel machine loop=ii[,loop=ii...]`,
 /// with `-` for a loop that fell back to unpipelined code.
-fn render(rows: &[(String, Vec<(String, Option<u32>)>)], header_extra: &str) -> String {
+fn render(rows: &IiRows, header_extra: &str) -> String {
     let mut out = format!(
         "# Achieved initiation intervals{header_extra}: kernel machine loop=ii[,loop=ii...]\n\
          # ('-' = loop not pipelined.) Regenerate after intentional scheduler\n\

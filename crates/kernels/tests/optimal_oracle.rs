@@ -1,0 +1,156 @@
+//! Differential properties of the exact-II oracle
+//! ([`swp::optimal::certify`]) against the heuristic modulo scheduler.
+//!
+//! The oracle is complete: given enough budget it finds a schedule at
+//! every feasible interval and proves infeasibility at every infeasible
+//! one. The heuristic is neither, but it is sound — every II it achieves
+//! is witnessed by a verified schedule. Three relations follow and are
+//! checked here over randomized synthetic loops:
+//!
+//! * the oracle's II is never above the heuristic's (the heuristic's own
+//!   schedule witnesses its II, so the exact optimum is ≤ it);
+//! * every schedule the oracle emits passes the independent legality
+//!   checker [`swp::verify::verify_schedule`] — the oracle must not buy
+//!   smaller intervals with illegal placements;
+//! * a *proved* oracle II is never below the MII lower bound
+//!   (`max(ResMII, RecMII)`) — mutual corroboration of the bound
+//!   computation and the search's infeasibility proofs.
+
+use machine::presets::{test_machine, toy_vector, warp_cell};
+use machine::MachineDescription;
+use swp::optimal::{certify, OracleOptions, OracleOutcome};
+use swp::testkit::{check, Config, SplitMix64};
+use swp::{compile, CompileOptions};
+
+/// Node budget per candidate interval. Corpus-scale loops close within a
+/// few hundred nodes (see `results/optimal_report.txt`); this leaves two
+/// orders of magnitude of headroom while keeping debug-build runs fast.
+const BUDGET: u64 = 20_000;
+
+fn presets() -> Vec<MachineDescription> {
+    vec![warp_cell(), test_machine(), toy_vector()]
+}
+
+fn random_shape(rng: &mut SplitMix64) -> kernels::synth::Shape {
+    kernels::synth::Shape {
+        trip: *rng.choose(&[64u32, 96, 128]),
+        streams: rng.range_u32(1, 4),
+        chain: rng.range_u32(1, 7),
+        width: rng.range_u32(0, 5),
+        recurrence: rng.chance(0.5),
+        mem_recurrence: rng.chance(0.25),
+        conditional: rng.chance(0.5),
+    }
+}
+
+/// 256 random loops × random preset: compile with the heuristic, then ask
+/// the oracle for the exact II with the heuristic's II as the cap.
+#[test]
+fn oracle_matches_or_beats_heuristic_on_random_loops() {
+    check(
+        "oracle vs heuristic",
+        Config::with_cases(256),
+        |rng| {
+            let idx = rng.range_usize(0, 1000);
+            let shape = random_shape(rng);
+            let mach = rng.range_usize(0, 3);
+            (idx, shape, mach)
+        },
+        |_| Vec::new(),
+        |(idx, shape, mach_idx)| {
+            let mut krng = SplitMix64::new(*idx as u64);
+            let k = kernels::synth::generate(*idx, shape, &mut krng);
+            let mach = &presets()[*mach_idx];
+            let c = compile(&k.program, mach, &CompileOptions::default())
+                .map_err(|e| format!("compile failed: {e}"))?;
+            for a in &c.artifacts {
+                let heuristic_ii = a.schedule.ii();
+                let opts = OracleOptions {
+                    max_ii: Some(heuristic_ii),
+                    node_budget: BUDGET,
+                };
+                let r = certify(&a.graph, mach, &opts)
+                    .map_err(|e| format!("{}: oracle error {e}", a.label))?;
+                let oracle_ii = match r.outcome {
+                    OracleOutcome::Proved { ii } | OracleOutcome::Feasible { ii } => ii,
+                    other => {
+                        return Err(format!(
+                            "{}: oracle found no schedule up to the heuristic's II={} \
+                             ({other:?}) — but the heuristic's schedule witnesses it",
+                            a.label, heuristic_ii
+                        ))
+                    }
+                };
+                if oracle_ii > heuristic_ii {
+                    return Err(format!(
+                        "{}: oracle II {oracle_ii} above heuristic II {heuristic_ii}",
+                        a.label
+                    ));
+                }
+                if let OracleOutcome::Proved { ii } = r.outcome {
+                    if ii < r.mii.mii() {
+                        return Err(format!(
+                            "{}: proved II {ii} below MII {}",
+                            a.label,
+                            r.mii.mii()
+                        ));
+                    }
+                }
+                let sched = r
+                    .schedule
+                    .as_ref()
+                    .ok_or_else(|| format!("{}: feasible outcome without a witness", a.label))?;
+                let violations =
+                    swp::verify::verify_schedule(&a.graph, sched, mach, &a.label);
+                if !violations.is_empty() {
+                    return Err(format!(
+                        "{}: oracle schedule at II={oracle_ii} fails verification: {violations:?}",
+                        a.label
+                    ));
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Satellite agreement check over the fixed synthetic population: on
+/// every loop where the oracle *proves* an optimum, that optimum is at
+/// or above both MII components as the compiler reported them.
+#[test]
+fn mii_bounds_never_exceed_a_proved_oracle_ii() {
+    let mach = warp_cell();
+    let mut proved = 0usize;
+    for k in kernels::synth::population() {
+        let c = compile(&k.program, &mach, &CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{}: {e}", k.name));
+        for a in &c.artifacts {
+            let rep = c
+                .reports
+                .iter()
+                .find(|rep| rep.label == a.label)
+                .unwrap_or_else(|| panic!("{}/{}: no report", k.name, a.label));
+            let opts = OracleOptions {
+                max_ii: Some(a.schedule.ii()),
+                node_budget: BUDGET,
+            };
+            let r = certify(&a.graph, &mach, &opts)
+                .unwrap_or_else(|e| panic!("{}/{}: {e}", k.name, a.label));
+            if let OracleOutcome::Proved { ii } = r.outcome {
+                proved += 1;
+                let bound = rep.mii_res.max(rep.mii_rec);
+                assert!(
+                    bound <= ii,
+                    "{}/{}: MII bound {bound} (res {} / rec {}) exceeds proved optimal II {ii}",
+                    k.name,
+                    a.label,
+                    rep.mii_res,
+                    rep.mii_rec
+                );
+            }
+        }
+    }
+    // The population must actually exercise the property: with the
+    // budget above, the oracle closes the whole synthetic corpus.
+    assert!(proved >= 60, "only {proved} loops proved — budget too small?");
+}

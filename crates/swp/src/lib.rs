@@ -62,6 +62,7 @@ mod mii;
 mod modsched;
 mod mrt;
 mod mve;
+pub mod optimal;
 mod pathalg;
 mod pressure;
 pub mod prune;
@@ -94,6 +95,7 @@ pub use modsched::{
 };
 pub use stats::{AttemptFailure, DepEdgeSummary, IiAttempt, LoopStats, PhaseTimes, SchedTelemetry};
 pub use mrt::{LinearTable, ModuloTable};
+pub use optimal::{certify, IiVerdict, OracleOptions, OracleOutcome, OracleResult};
 pub use mve::{expand, Expansion, UnrollPolicy};
 pub use pathalg::{DistSet, SccClosure};
 pub use pressure::{register_pressure, PressureReport};

@@ -429,7 +429,7 @@ fn is_nontrivial(g: &DepGraph, scc: &SccDecomposition, comp: usize) -> bool {
 /// past `mii`, and capping earlier would misreport a schedulable loop as
 /// `NoSchedule`. Callers wanting a tighter search set
 /// [`SchedOptions::max_ii`].
-fn default_max_ii(g: &DepGraph, mii: u32) -> u32 {
+pub(crate) fn default_max_ii(g: &DepGraph, mii: u32) -> u32 {
     let total_len: i64 = g.nodes().iter().map(|n| n.len as i64).sum();
     let total_delay: i64 = g
         .edges()

@@ -105,6 +105,34 @@ impl ModuloTable {
         }
     }
 
+    /// Like [`fits`](Self::fits), but aggregates the reservation's own
+    /// demand per wrapped row *before* comparing against capacity, so a
+    /// reservation longer than the interval that wraps onto itself is
+    /// rejected. `fits` checks each relative row independently and cannot
+    /// see that self-conflict; exhaustive searches (the exact-II oracle)
+    /// need the aggregate form or they would accept placements the
+    /// verifier later rejects.
+    pub fn fits_aggregate(&self, res: &ReservationTable, t: i64) -> bool {
+        let width = self.caps.len();
+        // Aggregate into a scratch demand grid keyed by wrapped row. The
+        // reservation is short (a handful of rows), so a linear scan over
+        // an on-stack-ish Vec beats a hash map.
+        let mut demand: Vec<(usize, u16)> = Vec::new();
+        for (dt, row) in res.rows().enumerate() {
+            let r = self.row_of(t + dt as i64);
+            for (rid, units) in row.iter() {
+                let key = r + rid.index();
+                match demand.iter_mut().find(|(k, _)| *k == key) {
+                    Some((_, u)) => *u += units,
+                    None => demand.push((key, units)),
+                }
+            }
+        }
+        demand
+            .iter()
+            .all(|&(key, units)| self.rows[key] + units <= self.caps[key % width])
+    }
+
     /// Reverses a [`place`](Self::place) at the same cycle.
     pub fn remove(&mut self, res: &ReservationTable, t: i64) {
         for (dt, row) in res.rows().enumerate() {

@@ -565,6 +565,21 @@ impl SccClosure {
         &self.dist[i * self.k + j]
     }
 
+    /// Iterates the flat closure matrix: every ordered member pair
+    /// `(a, b)` with a non-empty path-weight set, including `a == b`
+    /// (cycles through `a`). This is the propagator feed of the exact-II
+    /// oracle (`crate::optimal`): instantiating each set at a candidate
+    /// interval seeds the concrete longest-path matrix with every bound
+    /// the symbolic closure already knows.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId, &DistSet)> + '_ {
+        self.members.iter().enumerate().flat_map(move |(i, &a)| {
+            self.members.iter().enumerate().filter_map(move |(j, &b)| {
+                let ds = &self.dist[i * self.k + j];
+                (!ds.is_empty()).then_some((a, b, ds))
+            })
+        })
+    }
+
     /// True if `n` belongs to this component.
     pub fn contains(&self, n: NodeId) -> bool {
         n.index() < self.max_node && self.index_of[n.index()] != usize::MAX
