@@ -101,6 +101,13 @@ pub enum LintCode {
     /// A static memory edge no dynamic trace ever exercised — precision
     /// telemetry, not a defect (the input may simply not reach it).
     UnobservedMemEdge,
+    /// The schedule cache served bytes that differ from a fresh compile
+    /// of the same request: the daemon's standing byte-identity
+    /// invariant (cached ≡ freshly compiled) is violated.
+    CacheRevalidationFailure,
+    /// Schedule-cache behaviour summary: hit rate, near-misses from
+    /// isomorphic relabelings, occupancy, and eviction pressure.
+    CacheSummary,
 }
 
 impl LintCode {
@@ -127,6 +134,8 @@ impl LintCode {
             LintCode::ConservativeIiGap => "A404",
             LintCode::MemDepViolation => "A405",
             LintCode::UnobservedMemEdge => "A406",
+            LintCode::CacheRevalidationFailure => "A501",
+            LintCode::CacheSummary => "A502",
         }
     }
 
@@ -137,7 +146,8 @@ impl LintCode {
             | LintCode::ZeroCapacityDemanded
             | LintCode::RegisterPressure
             | LintCode::CompileFailure
-            | LintCode::MemDepViolation => Severity::Error,
+            | LintCode::MemDepViolation
+            | LintCode::CacheRevalidationFailure => Severity::Error,
             LintCode::UninitializedRead
             | LintCode::UnusedRegister
             | LintCode::DeadOp
@@ -152,7 +162,8 @@ impl LintCode {
             | LintCode::BottleneckResource
             | LintCode::MemDepClassification
             | LintCode::ConservativeIiGap
-            | LintCode::UnobservedMemEdge => Severity::Info,
+            | LintCode::UnobservedMemEdge
+            | LintCode::CacheSummary => Severity::Info,
         }
     }
 }

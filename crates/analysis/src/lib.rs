@@ -37,6 +37,7 @@ pub mod graph_lints;
 pub mod ir_lints;
 pub mod machine_lints;
 pub mod sched_lints;
+pub mod service_lints;
 
 pub use dep_audit::{
     audit_compiled, coverage_check, graph_mii, site_table, sites_match, AuditReport, LoopAudit,
@@ -47,6 +48,7 @@ pub use graph_lints::{dominated_edge_lint, lint_graph, recmii_attribution};
 pub use ir_lints::lint_program;
 pub use machine_lints::{check_graph_resources, lint_machine};
 pub use sched_lints::{bottleneck_lint, lint_schedule, optimality_lint, pressure_lint, slack_lint};
+pub use service_lints::cache_lint;
 
 use machine::MachineDescription;
 

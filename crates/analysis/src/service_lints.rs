@@ -1,0 +1,104 @@
+//! Lints over the scheduling daemon's cache counters (A5xx).
+//!
+//! The daemon (`swp::service`) carries a standing invariant: a cache hit
+//! is byte-identical to a fresh compile of the same request, enforced by
+//! a sampling revalidator. [`cache_lint`] turns the daemon's
+//! [`CacheStats`] snapshot into diagnostics so the same reporting path
+//! that surfaces scheduler findings (`bench --bin lint`, JSON output,
+//! severity gating) also surfaces service health.
+
+use swp::cache::CacheStats;
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// Lints a cache-statistics snapshot.
+///
+/// * **A501** (error) — the revalidator observed at least one hit whose
+///   cached bytes differ from a fresh compile. This is a determinism
+///   bug, never an acceptable steady state.
+/// * **A502** (info) — behaviour summary: hit rate, isomorphic
+///   near-misses, insert/evict traffic, revalidation coverage. Emitted
+///   whenever the cache has seen at least one lookup.
+pub fn cache_lint(stats: &CacheStats) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    if stats.revalidation_failures > 0 {
+        out.push(
+            Diagnostic::new(
+                LintCode::CacheRevalidationFailure,
+                format!(
+                    "{} of {} revalidated cache hits differed from a fresh compile",
+                    stats.revalidation_failures, stats.revalidations
+                ),
+            )
+            .with_note(
+                "the cache key under-identifies requests or compilation is \
+                 nondeterministic; every hit must be byte-identical to a fresh compile",
+            ),
+        );
+    }
+    let lookups = stats.hits + stats.misses;
+    if lookups > 0 {
+        out.push(
+            Diagnostic::new(
+                LintCode::CacheSummary,
+                format!(
+                    "schedule cache: {:.1}% hit rate over {} lookups",
+                    100.0 * stats.hit_rate(),
+                    lookups
+                ),
+            )
+            .with_note(format!(
+                "hits={} misses={} canon_near_misses={} insertions={} evictions={} \
+                 revalidations={}",
+                stats.hits,
+                stats.misses,
+                stats.canon_near_misses,
+                stats.insertions,
+                stats.evictions,
+                stats.revalidations,
+            )),
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    #[test]
+    fn clean_stats_yield_only_the_summary() {
+        let stats = CacheStats {
+            hits: 90,
+            misses: 10,
+            revalidations: 5,
+            ..Default::default()
+        };
+        let diags = cache_lint(&stats);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::CacheSummary);
+        assert_eq!(diags[0].severity, Severity::Info);
+        assert!(diags[0].message.contains("90.0% hit rate"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn revalidation_failure_is_an_error() {
+        let stats = CacheStats {
+            hits: 4,
+            misses: 1,
+            revalidations: 4,
+            revalidation_failures: 1,
+            ..Default::default()
+        };
+        let diags = cache_lint(&stats);
+        assert_eq!(diags[0].code, LintCode::CacheRevalidationFailure);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert!(diags[0].message.contains("1 of 4"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn untouched_cache_is_silent() {
+        assert!(cache_lint(&CacheStats::default()).is_empty());
+    }
+}

@@ -21,6 +21,15 @@
 //! The process exits nonzero if any parallel result differs from its
 //! serial counterpart — the driver's determinism invariant is checked on
 //! every run, not only in the test suite.
+//!
+//! The report body (v6) is itself deterministic: wall-clock columns are
+//! gone, host-dependent facts live only on the `# volatile:` header line
+//! (excluded from golden comparisons), and the serial and parallel
+//! bodies must render byte-identically or the run fails. A `# dedup:`
+//! line summarizes corpus redundancy over the canonical
+//! dependence-graph hashes (`swp::canon`) — the telemetry motivating
+//! the schedule cache (DESIGN.md §14) — and each loop line carries its
+//! `canon=` content address.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -158,11 +167,15 @@ fn proved_optimal_token(
     }
 }
 
+/// Renders the report's deterministic body: identical between serial and
+/// parallel runs and between hosts. Wall-clock measurements (`wall_us`,
+/// `phases_us` of v5) are deliberately absent — they rewrote thousands of
+/// lines between otherwise-identical runs; host-dependent facts live only
+/// on the `# volatile:` header line, which golden comparisons exclude.
 fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
     let mut out = String::new();
-    out.push_str("# batch_report v5\n");
     out.push_str(
-        "# job <name> <ok|err> wall_us=<n> pressure=<class:maxlive,...|-> fits=<y|n> \
+        "# job <name> <ok|err> pressure=<class:maxlive,...|-> fits=<y|n> \
          lints=<errors>/<warnings>/<infos> memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|-\n",
     );
     out.push_str(
@@ -172,7 +185,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
          mve_copies=<n> conds=<n> not_pipelined=<reason|-> \
          memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|- \
          proved_optimal=<y|gap:k|feas:k|n|-> \
-         phases_us=<reduce:build:bounds:search:expand:emit>\n",
+         canon=<dependence-graph content address|->\n",
     );
     for (job, r) in jobs.iter().zip(results) {
         match &r.outcome {
@@ -185,9 +198,8 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                 }
                 let _ = writeln!(
                     out,
-                    "job {} ok wall_us={} pressure={} fits={} lints={}/{}/{} memdeps={}",
+                    "job {} ok pressure={} fits={} lints={}/{}/{} memdeps={}",
                     r.name,
-                    r.wall.as_micros(),
                     pressure_summary(c),
                     if c.pressure.fits() { "y" } else { "n" },
                     count(analysis::Severity::Error),
@@ -221,12 +233,19 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                         .not_pipelined
                         .as_ref()
                         .map_or("-".to_string(), |w| format!("{w:?}").replace(' ', "_"));
+                    let canon = c
+                        .artifacts
+                        .iter()
+                        .find(|a| a.label == rep.label)
+                        .map_or("-".to_string(), |a| {
+                            format!("{:016x}", swp::canon::graph_hash(&a.graph))
+                        });
                     let _ = writeln!(
                         out,
                         "loop {}/{} ii={} mii={}/{} attempts={} aborts={} sccs={} \
                          relax={} reuse={} \
                          unroll={} stages={} hist={} mve_copies={} conds={} \
-                         not_pipelined={} memdeps={} proved_optimal={} phases_us={}",
+                         not_pipelined={} memdeps={} proved_optimal={} canon={}",
                         r.name,
                         rep.label,
                         rep.ii.map_or("-".to_string(), |ii| ii.to_string()),
@@ -245,16 +264,42 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                         why,
                         rep.stats.memdeps.memdeps_row(),
                         proved_optimal_token(c, rep, job.mach),
-                        rep.stats.phases.as_micros_row(),
+                        canon,
                     );
                 }
             }
             Err(e) => {
-                let _ = writeln!(out, "job {} err wall_us={} # {e}", r.name, r.wall.as_micros());
+                let _ = writeln!(out, "job {} err # {e}", r.name);
             }
         }
     }
     out
+}
+
+/// Corpus-redundancy summary over the canonical dependence-graph hashes:
+/// how many compiled loops share a content address with another loop.
+/// This is the dedup telemetry motivating the schedule cache (see
+/// DESIGN.md §14): duplicated graphs are exactly the requests `swpd`
+/// serves for free.
+fn dedup_line(results: &[BatchResult]) -> String {
+    let mut seen = std::collections::BTreeMap::<u64, usize>::new();
+    let mut loops = 0usize;
+    for r in results {
+        if let Ok(c) = &r.outcome {
+            for a in &c.artifacts {
+                *seen.entry(swp::canon::graph_hash(&a.graph)).or_insert(0) += 1;
+                loops += 1;
+            }
+        }
+    }
+    let unique = seen.len();
+    let dup = loops - unique;
+    let pct = if loops == 0 {
+        0.0
+    } else {
+        100.0 * dup as f64 / loops as f64
+    };
+    format!("# dedup: loops={loops} unique_canon={unique} duplicates={dup} ({pct:.1}% redundant)\n")
 }
 
 fn main() {
@@ -306,19 +351,32 @@ fn main() {
         );
     }
 
+    // The diffable body must itself be deterministic: serial and parallel
+    // runs render byte-identically (v5's wall_us/phases_us columns made
+    // that impossible and churned thousands of lines between runs).
+    let body_parallel = report_lines(&js, &parallel);
+    let body_serial = report_lines(&js, &serial);
+    if body_serial != body_parallel {
+        eprintln!("FAIL: report body differs between serial and parallel runs");
+        std::process::exit(1);
+    }
+
     let mut report = String::new();
+    report.push_str("# batch_report v6\n");
+    let _ = writeln!(report, "# jobs={} mismatches={}", js.len(), mismatches);
+    // Host-dependent measurements live only on this line; golden
+    // comparisons and run-to-run diffs must exclude `# volatile:` lines.
     let _ = writeln!(
         report,
-        "# jobs={} threads={} host_cores={} serial_us={} parallel_us={} speedup={:.2} mismatches={}",
-        js.len(),
+        "# volatile: threads={} host_cores={} serial_us={} parallel_us={} speedup={:.2}",
         cfg.threads,
         cores,
         serial_wall.as_micros(),
         parallel_wall.as_micros(),
         speedup,
-        mismatches
     );
-    report.push_str(&report_lines(&js, &parallel));
+    report.push_str(&dedup_line(&parallel));
+    report.push_str(&body_parallel);
 
     if cfg.smoke {
         println!("{report}");

@@ -1,0 +1,386 @@
+//! Replays the evaluation corpus against the `swpd` scheduling daemon
+//! over its unix-socket wire protocol and reports cache behaviour:
+//! hit rate, throughput, and p50/p99 request latency.
+//!
+//! ```text
+//! cargo run --release -p bench --bin serve              # full corpus
+//! cargo run -p bench --bin serve -- --smoke             # CI gate
+//! cargo run -p bench --bin serve -- --socket /tmp/s.sock
+//! ```
+//!
+//! Two phases:
+//!
+//! 1. **cold** — every corpus job is sent once (in `CompileBatch` chunks,
+//!    so misses shard across the daemon's worker pool) to populate the
+//!    cache and record each job's reply body;
+//! 2. **zipfian** — single `Compile` requests drawn from a zipf(s=1.0)
+//!    popularity distribution over the jobs, timing each round trip.
+//!
+//! Every phase-2 reply is compared byte-for-byte against the body
+//! recorded in phase 1 (client-side identity check), on top of the
+//! daemon's own sampling revalidator (cached ≡ freshly compiled). The
+//! process exits nonzero if the phase-2 hit rate is below 90%, any reply
+//! body diverges, or the daemon reports a revalidation failure.
+//!
+//! `--smoke` shrinks the corpus to Livermore × Warp cell and prints the
+//! report to stdout instead of `results/serve_report.txt`.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+use machine::MachineDescription;
+use swp::service::{serve_unix_with, Client, ServeConfig};
+use swp::testkit::SplitMix64;
+use swp::wire::{JobRequest, Request, Response, Source};
+use swp::CompileOptions;
+
+struct Config {
+    threads: usize,
+    smoke: bool,
+    out: String,
+    socket: Option<std::path::PathBuf>,
+    requests: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        smoke: false,
+        out: "results/serve_report.txt".to_string(),
+        socket: None,
+        requests: 2000,
+        seed: 1988,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                cfg.threads = args
+                    .next()
+                    .expect("--threads needs a value")
+                    .parse()
+                    .expect("--threads needs an integer");
+            }
+            "--smoke" => cfg.smoke = true,
+            "--out" => cfg.out = args.next().expect("--out needs a path"),
+            "--socket" => {
+                cfg.socket = Some(args.next().expect("--socket needs a path").into());
+            }
+            "--requests" => {
+                cfg.requests = args
+                    .next()
+                    .expect("--requests needs a value")
+                    .parse()
+                    .expect("--requests needs an integer");
+            }
+            "--seed" => {
+                cfg.seed = args
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed needs an integer");
+            }
+            other => panic!(
+                "unknown flag {other:?} (try --threads N, --smoke, --out PATH, \
+                 --socket PATH, --requests N, --seed N)"
+            ),
+        }
+    }
+    cfg
+}
+
+/// The service corpus: the same kernels × presets the batch sweep
+/// compiles, as individual pipelined jobs. The smoke subset keeps the CI
+/// gate fast while still crossing the socket and the cache.
+fn corpus(smoke: bool) -> Vec<(String, ir::Program, MachineDescription)> {
+    let mut ks = kernels::livermore::all();
+    let mut machines = vec![("warp_cell".to_string(), machine::presets::warp_cell())];
+    if !smoke {
+        ks.extend(kernels::apps::all());
+        ks.extend(kernels::synth::population());
+        machines.push(("test_machine".to_string(), machine::presets::test_machine()));
+        machines.push(("toy_vector".to_string(), machine::presets::toy_vector()));
+    }
+    let mut out = Vec::new();
+    for (mname, m) in &machines {
+        for k in &ks {
+            out.push((format!("{}@{mname}", k.name), k.program.clone(), m.clone()));
+        }
+    }
+    out
+}
+
+fn job(name: &str, program: &ir::Program, mach: &MachineDescription) -> JobRequest {
+    JobRequest {
+        name: name.to_string(),
+        program: program.clone(),
+        mach: mach.clone(),
+        opts: CompileOptions::default(),
+    }
+}
+
+/// Cumulative zipf(s=1.0) weights over `n` ranks.
+fn zipf_cumulative(n: usize) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n);
+    let mut total = 0.0;
+    for i in 0..n {
+        total += 1.0 / (i as f64 + 1.0);
+        cum.push(total);
+    }
+    cum
+}
+
+fn zipf_draw(cum: &[f64], rng: &mut SplitMix64) -> usize {
+    let total = *cum.last().expect("nonempty corpus");
+    let u = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64 * total;
+    cum.partition_point(|&c| c < u).min(cum.len() - 1)
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Pulls `key=<u64>` out of the daemon's stats text.
+fn stat(stats: &str, key: &str) -> u64 {
+    stats
+        .lines()
+        .find_map(|l| l.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("stats text missing {key}: {stats}"))
+}
+
+fn fetch_stats(client: &mut Client) -> String {
+    match client.roundtrip(&Request::Stats).expect("stats roundtrip") {
+        Response::Stats(s) => s,
+        other => panic!("unexpected stats response: {other:?}"),
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let corpus = corpus(cfg.smoke);
+    let requests = if cfg.smoke {
+        cfg.requests.min(corpus.len() * 4)
+    } else {
+        cfg.requests
+    };
+
+    // Spawn an in-process daemon unless pointed at an external socket.
+    let (path, daemon) = match &cfg.socket {
+        Some(p) => (p.clone(), None),
+        None => {
+            let path = std::env::temp_dir().join(format!("swpd-serve-{}.sock", std::process::id()));
+            let _ = std::fs::remove_file(&path);
+            let listener =
+                std::os::unix::net::UnixListener::bind(&path).expect("bind daemon socket");
+            let serve_cfg = ServeConfig {
+                threads: cfg.threads,
+                cache_bytes: 64 << 20,
+                revalidate_every: 8,
+            };
+            let handle = std::thread::spawn(move || serve_unix_with(&listener, serve_cfg));
+            (path, Some(handle))
+        }
+    };
+    let mut client =
+        Client::connect_retry(&path, Duration::from_secs(10)).expect("connect to daemon");
+    eprintln!(
+        "serve: {} corpus jobs, {} zipfian requests, daemon at {}",
+        corpus.len(),
+        requests,
+        path.display()
+    );
+
+    // Phase 1 (cold): populate the cache, record every reply body.
+    let t0 = Instant::now();
+    let mut bodies: Vec<String> = Vec::with_capacity(corpus.len());
+    let mut loops = 0usize;
+    let mut cold_errors = 0usize;
+    for chunk in corpus.chunks(16) {
+        let batch: Vec<JobRequest> =
+            chunk.iter().map(|(n, p, m)| job(n, p, m)).collect();
+        match client
+            .roundtrip(&Request::CompileBatch(batch))
+            .expect("cold batch roundtrip")
+        {
+            Response::Jobs(replies) => {
+                for r in replies {
+                    match r.outcome {
+                        Ok((_, body)) => {
+                            loops += body.lines().filter(|l| l.starts_with("loop ")).count();
+                            bodies.push(body);
+                        }
+                        Err(e) => {
+                            eprintln!("serve: cold compile error for {}: {e}", r.name);
+                            cold_errors += 1;
+                            bodies.push(format!("error: {e}"));
+                        }
+                    }
+                }
+            }
+            other => panic!("unexpected cold response: {other:?}"),
+        }
+    }
+    let cold_wall = t0.elapsed();
+    let stats_after_cold = fetch_stats(&mut client);
+
+    // Phase 2 (zipfian singles): timed round trips, byte-compared replies.
+    let cum = zipf_cumulative(corpus.len());
+    let mut rng = SplitMix64::new(cfg.seed);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(requests);
+    let mut hits = 0usize;
+    let mut divergent = 0usize;
+    let mut revalidated_hits = 0usize;
+    let t1 = Instant::now();
+    for _ in 0..requests {
+        let i = zipf_draw(&cum, &mut rng);
+        let (name, program, mach) = &corpus[i];
+        let req = Request::Compile(Box::new(job(name, program, mach)));
+        let s = Instant::now();
+        let resp = client.roundtrip(&req).expect("zipfian roundtrip");
+        latencies.push(s.elapsed());
+        match resp {
+            Response::Jobs(replies) => match &replies[0].outcome {
+                Ok((prov, body)) => {
+                    if prov.source == Source::Hit {
+                        hits += 1;
+                        if prov.revalidated {
+                            revalidated_hits += 1;
+                        }
+                    }
+                    if *body != bodies[i] {
+                        eprintln!("serve: BYTE DIVERGENCE on {name}");
+                        divergent += 1;
+                    }
+                }
+                Err(e) => {
+                    if bodies[i] != format!("error: {e}") {
+                        eprintln!("serve: error divergence on {name}: {e}");
+                        divergent += 1;
+                    }
+                }
+            },
+            other => panic!("unexpected zipfian response: {other:?}"),
+        }
+    }
+    let zipf_wall = t1.elapsed();
+    let stats_after_zipf = fetch_stats(&mut client);
+
+    if daemon.is_some() {
+        match client.roundtrip(&Request::Shutdown).expect("shutdown") {
+            Response::Bye => {}
+            other => panic!("unexpected shutdown response: {other:?}"),
+        }
+    }
+    if let Some(handle) = daemon {
+        handle.join().expect("daemon thread").expect("daemon io");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // Second-pass (zipfian) hit accounting from the daemon's counters.
+    let d_hits = stat(&stats_after_zipf, "hits") - stat(&stats_after_cold, "hits");
+    let d_misses = stat(&stats_after_zipf, "misses") - stat(&stats_after_cold, "misses");
+    let hit_rate = if d_hits + d_misses == 0 {
+        0.0
+    } else {
+        d_hits as f64 / (d_hits + d_misses) as f64
+    };
+    let revalidations = stat(&stats_after_zipf, "revalidations");
+    let reval_failures = stat(&stats_after_zipf, "revalidation_failures");
+
+    latencies.sort();
+    let p50 = percentile(&latencies, 0.50);
+    let p99 = percentile(&latencies, 0.99);
+    let throughput = requests as f64 / zipf_wall.as_secs_f64().max(1e-9);
+
+    let mut report = String::new();
+    report.push_str("# serve_report v1\n");
+    let _ = writeln!(
+        report,
+        "# corpus: jobs={} loops={} cold_errors={}",
+        corpus.len(),
+        loops,
+        cold_errors
+    );
+    let _ = writeln!(
+        report,
+        "cold: requests={} hits={} misses={}",
+        corpus.len(),
+        stat(&stats_after_cold, "hits"),
+        stat(&stats_after_cold, "misses"),
+    );
+    let _ = writeln!(
+        report,
+        "zipfian: s=1.0 seed={} requests={} hits={} misses={} hit_rate={:.1}% \
+         client_hits={} divergent_bodies={}",
+        cfg.seed,
+        requests,
+        d_hits,
+        d_misses,
+        100.0 * hit_rate,
+        hits,
+        divergent,
+    );
+    let _ = writeln!(
+        report,
+        "revalidator: revalidations={revalidations} failures={reval_failures} \
+         sampled_zipfian_hits={revalidated_hits}",
+    );
+    let _ = writeln!(
+        report,
+        "cache: entries={} bytes={} evictions={}",
+        stat(&stats_after_zipf, "entries"),
+        stat(&stats_after_zipf, "bytes"),
+        stat(&stats_after_zipf, "evictions"),
+    );
+    // Wall-clock measurements: excluded from any golden comparison.
+    let _ = writeln!(
+        report,
+        "# volatile: cold_us={} zipf_us={} throughput_rps={:.0} p50_us={} p99_us={}",
+        cold_wall.as_micros(),
+        zipf_wall.as_micros(),
+        throughput,
+        p50.as_micros(),
+        p99.as_micros(),
+    );
+
+    if cfg.smoke {
+        println!("{report}");
+    } else {
+        std::fs::create_dir_all(
+            std::path::Path::new(&cfg.out)
+                .parent()
+                .unwrap_or(std::path::Path::new(".")),
+        )
+        .expect("create report directory");
+        std::fs::write(&cfg.out, &report).expect("write report");
+        println!("wrote {}", cfg.out);
+    }
+    eprintln!(
+        "serve: zipfian hit rate {:.1}%, throughput {throughput:.0} req/s, \
+         p50 {p50:?}, p99 {p99:?}, {revalidations} revalidations ({reval_failures} failures)",
+        100.0 * hit_rate
+    );
+
+    let mut failed = false;
+    if hit_rate < 0.90 {
+        eprintln!("FAIL: zipfian pass hit rate {:.1}% < 90%", 100.0 * hit_rate);
+        failed = true;
+    }
+    if divergent > 0 {
+        eprintln!("FAIL: {divergent} replies diverged from the recorded cold bodies");
+        failed = true;
+    }
+    if reval_failures > 0 {
+        eprintln!("FAIL: {reval_failures} revalidation failures (cached != fresh)");
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

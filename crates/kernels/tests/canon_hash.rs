@@ -1,0 +1,224 @@
+//! Properties of the canonical dependence-graph hash (`swp::canon`) over
+//! the real corpus, plus the cache byte-identity invariant the daemon's
+//! sampling revalidator enforces.
+//!
+//! * **Relabeling collision** (256 cases): rebuilding a compiled loop's
+//!   dependence graph under a random node permutation — with the edge
+//!   list shuffled too — must produce the same canonical bytes and hash.
+//!   The cache key must be node-order-independent.
+//! * **Separation**: perturbing any structural attribute (delay, omega,
+//!   dropped edge, expandable set) must change the hash; and across the
+//!   whole harvested population, equal hashes only ever occur between
+//!   graphs with equal canonical bytes (no observed collisions).
+//! * **Cache byte-identity across all 3 presets**: a cache hit served by
+//!   `swp::service::Server` is byte-identical to a fresh compile, with
+//!   the revalidator sampling every hit and reporting zero failures.
+
+use swp::canon::{graph_canonical_bytes, graph_hash};
+use swp::service::{decode_inline, ServeConfig, Server};
+use swp::testkit::SplitMix64;
+use swp::wire::{JobRequest, Source};
+use swp::{compile, CompileOptions, DepEdge, DepGraph, NodeId};
+
+/// Harvests dependence graphs from compiled corpus loops: Livermore +
+/// synth population on the Warp cell, pipelined options.
+fn harvest_graphs() -> Vec<DepGraph> {
+    let mach = machine::presets::warp_cell();
+    let opts = CompileOptions::default();
+    let mut ks = kernels::livermore::all();
+    ks.extend(kernels::apps::all());
+    ks.extend(kernels::synth::population());
+    let mut graphs = Vec::new();
+    for k in &ks {
+        if let Ok(c) = compile(&k.program, &mach, &opts) {
+            for a in c.artifacts {
+                if a.graph.num_nodes() > 0 {
+                    graphs.push(a.graph);
+                }
+            }
+        }
+    }
+    assert!(graphs.len() >= 100, "harvest too small: {}", graphs.len());
+    graphs
+}
+
+/// Fisher–Yates permutation of `0..n` from the deterministic generator.
+fn permutation(n: usize, rng: &mut SplitMix64) -> Vec<usize> {
+    let mut p: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+        p.swap(i, j);
+    }
+    p
+}
+
+/// Rebuilds `g` with node ids relabeled by `perm` (new id of old node
+/// `v` is `perm[v]`) and the edge list visited in a shuffled order. The
+/// result is isomorphic to `g` by construction.
+fn relabel(g: &DepGraph, perm: &[usize], rng: &mut SplitMix64) -> DepGraph {
+    let n = g.num_nodes();
+    // inverse[new] = old: insert nodes in new-id order.
+    let mut inverse = vec![0usize; n];
+    for (old, &new) in perm.iter().enumerate() {
+        inverse[new] = old;
+    }
+    let mut h = DepGraph::new();
+    for &old in &inverse {
+        h.add_node(g.nodes()[old].clone());
+    }
+    let edge_order = permutation(g.edges().len(), rng);
+    for &ei in &edge_order {
+        let e = &g.edges()[ei];
+        h.add_edge(DepEdge {
+            from: NodeId(perm[e.from.index()] as u32),
+            to: NodeId(perm[e.to.index()] as u32),
+            ..*e
+        });
+    }
+    h.expandable = g.expandable.clone();
+    // Expandable is a set; present it in a different order too.
+    h.expandable.reverse();
+    h
+}
+
+#[test]
+fn isomorphic_relabelings_collide_256_cases() {
+    let graphs = harvest_graphs();
+    let mut rng = SplitMix64::new(0xCA10_0001);
+    let mut cases = 0;
+    'outer: loop {
+        for g in &graphs {
+            let perm = permutation(g.num_nodes(), &mut rng);
+            let h = relabel(g, &perm, &mut rng);
+            assert_eq!(
+                graph_hash(g),
+                graph_hash(&h),
+                "relabeled graph must share the canonical hash (case {cases})"
+            );
+            assert_eq!(
+                graph_canonical_bytes(g),
+                graph_canonical_bytes(&h),
+                "canonical serializations must be identical (case {cases})"
+            );
+            cases += 1;
+            if cases >= 256 {
+                break 'outer;
+            }
+        }
+    }
+}
+
+#[test]
+fn structural_perturbations_separate() {
+    let graphs = harvest_graphs();
+    let mut rng = SplitMix64::new(0xCA10_0002);
+    let mut cases = 0;
+    for g in &graphs {
+        if g.edges().is_empty() {
+            continue;
+        }
+        let base = graph_hash(g);
+        let target = (rng.next_u64() % g.edges().len() as u64) as usize;
+
+        // Bump one edge's delay.
+        let mut d = g.clone();
+        let e = d.edges()[target];
+        d.retain_edges(|i, _| i != target);
+        d.add_edge(DepEdge { delay: e.delay + 1, ..e });
+        assert_ne!(base, graph_hash(&d), "delay change must separate");
+
+        // Bump one edge's omega.
+        let mut o = g.clone();
+        o.retain_edges(|i, _| i != target);
+        o.add_edge(DepEdge { omega: e.omega + 1, ..e });
+        assert_ne!(base, graph_hash(&o), "omega change must separate");
+
+        // Drop the edge entirely.
+        let mut x = g.clone();
+        x.retain_edges(|i, _| i != target);
+        assert_ne!(base, graph_hash(&x), "edge removal must separate");
+
+        cases += 3;
+        if cases >= 256 {
+            break;
+        }
+    }
+    assert!(cases >= 256, "population too small for separation sweep");
+}
+
+#[test]
+fn no_hash_collisions_across_population() {
+    // Equal hash ⇒ equal canonical bytes, over every harvested graph and
+    // a relabeled twin of each. True duplicates (the synth population
+    // repeats shapes) collide legitimately; the assertion catches a
+    // *hash* collision between structurally distinct graphs.
+    let graphs = harvest_graphs();
+    let mut rng = SplitMix64::new(0xCA10_0003);
+    let mut by_hash: std::collections::HashMap<u64, Vec<u8>> = std::collections::HashMap::new();
+    let mut checked = 0usize;
+    for g in &graphs {
+        let perm = permutation(g.num_nodes(), &mut rng);
+        for variant in [g.clone(), relabel(g, &perm, &mut rng)] {
+            let h = graph_hash(&variant);
+            let bytes = graph_canonical_bytes(&variant);
+            match by_hash.get(&h) {
+                Some(prev) => assert_eq!(
+                    prev, &bytes,
+                    "hash collision between structurally distinct graphs"
+                ),
+                None => {
+                    by_hash.insert(h, bytes);
+                }
+            }
+            checked += 1;
+        }
+    }
+    assert!(checked >= 200, "too few graphs checked: {checked}");
+}
+
+#[test]
+fn cache_hits_byte_identical_to_fresh_compiles_on_all_presets() {
+    let presets = [
+        ("warp_cell", machine::presets::warp_cell()),
+        ("test_machine", machine::presets::test_machine()),
+        ("toy_vector", machine::presets::toy_vector()),
+    ];
+    let kernels: Vec<kernels::Kernel> = kernels::livermore::all().into_iter().take(6).collect();
+    for (mname, mach) in &presets {
+        // revalidate_every=1: the daemon recompiles EVERY hit from
+        // scratch and byte-compares — the sampling revalidator at its
+        // most aggressive setting.
+        let mut server = Server::new(ServeConfig {
+            threads: 2,
+            cache_bytes: 16 << 20,
+            revalidate_every: 1,
+        });
+        let jobs: Vec<_> = kernels
+            .iter()
+            .map(|k| {
+                decode_inline(JobRequest {
+                    name: format!("{}@{mname}", k.name),
+                    program: k.program.clone(),
+                    mach: mach.clone(),
+                    opts: CompileOptions::default(),
+                })
+            })
+            .collect();
+        let cold = server.handle_jobs(&jobs);
+        let warm = server.handle_jobs(&jobs);
+        for (c, w) in cold.iter().zip(&warm) {
+            let (cp, cb) = c.outcome.as_ref().expect("cold compiles");
+            let (wp, wb) = w.outcome.as_ref().expect("warm compiles");
+            assert_eq!(cp.source, Source::Miss);
+            assert_eq!(wp.source, Source::Hit, "{}: second pass must hit", w.name);
+            assert!(wp.revalidated, "{}: every hit sampled", w.name);
+            assert_eq!(cb, wb, "{}: hit bytes == miss bytes", w.name);
+        }
+        let s = server.cache_stats();
+        assert_eq!(s.revalidations, jobs.len() as u64, "{mname}");
+        assert_eq!(
+            s.revalidation_failures, 0,
+            "{mname}: cached ≡ freshly compiled, byte-identical"
+        );
+    }
+}

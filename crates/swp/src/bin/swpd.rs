@@ -1,0 +1,101 @@
+//! `swpd` — the scheduling daemon.
+//!
+//! Binds a unix socket and serves framed compile requests from the
+//! content-addressed schedule cache, compiling misses on the batch
+//! worker pool. See `swp::service` and DESIGN.md §14.
+//!
+//! ```text
+//! swpd --socket /tmp/swpd.sock [--threads N] [--cache-bytes N] [--revalidate-every N]
+//! ```
+//!
+//! The daemon runs until a client sends a `Shutdown` request. A stale
+//! socket file from a previous run is removed at startup.
+
+use std::process::ExitCode;
+
+use swp::service::{serve_unix_with, ServeConfig};
+
+struct Args {
+    socket: std::path::PathBuf,
+    cfg: ServeConfig,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: swpd --socket PATH [--threads N] [--cache-bytes N] [--revalidate-every N]\n\
+         \n\
+         --socket PATH         unix socket to bind (required)\n\
+         --threads N           worker threads for cache misses (default: host cores)\n\
+         --cache-bytes N       cache byte budget, 0 disables (default: 67108864)\n\
+         --revalidate-every N  revalidate every Nth hit, 0 disables (default: 16)"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut socket = None;
+    let mut cfg = ServeConfig::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| {
+            eprintln!("swpd: {flag} needs a value");
+            usage()
+        });
+        match flag.as_str() {
+            "--socket" => socket = Some(std::path::PathBuf::from(value("--socket"))),
+            "--threads" => {
+                cfg.threads = value("--threads").parse().unwrap_or_else(|_| usage())
+            }
+            "--cache-bytes" => {
+                cfg.cache_bytes = value("--cache-bytes").parse().unwrap_or_else(|_| usage())
+            }
+            "--revalidate-every" => {
+                cfg.revalidate_every = value("--revalidate-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("swpd: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+    let socket = socket.unwrap_or_else(|| {
+        eprintln!("swpd: --socket is required");
+        usage();
+    });
+    Args { socket, cfg }
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    // A previous daemon's socket file would make bind fail with
+    // AddrInUse; connecting clients would have failed anyway if that
+    // daemon were still alive, so removal is safe for the single-daemon
+    // deployments this serves.
+    let _ = std::fs::remove_file(&args.socket);
+    let listener = match std::os::unix::net::UnixListener::bind(&args.socket) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("swpd: cannot bind {}: {e}", args.socket.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "swpd: listening on {} (threads={}, cache-bytes={}, revalidate-every={})",
+        args.socket.display(),
+        args.cfg.threads,
+        args.cfg.cache_bytes,
+        args.cfg.revalidate_every
+    );
+    let result = serve_unix_with(&listener, args.cfg);
+    let _ = std::fs::remove_file(&args.socket);
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("swpd: accept loop failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

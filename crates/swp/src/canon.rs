@@ -1,0 +1,628 @@
+//! Canonical serialization and content hashing of dependence graphs.
+//!
+//! The schedule cache ([`crate::cache`]) addresses compiled artifacts by
+//! *content*: two requests that carry the same dependence structure, the
+//! same machine and the same options should land on the same cache line
+//! even if the rest of the request differs cosmetically. The centerpiece
+//! is [`graph_hash`], a **node-order-independent** hash of a [`DepGraph`]:
+//! isomorphic relabelings of the same loop (the same nodes and edges,
+//! presented in a different order under permuted [`NodeId`]s) collide by
+//! construction, while distinct graphs separate.
+//!
+//! ## How the canonical form is computed
+//!
+//! 1. Every node gets an initial *color*: an FNV-1a hash of its content
+//!    (opcode, operands, memory-reference metadata, reservation table,
+//!    reduced-conditional structure — everything except its [`NodeId`]).
+//! 2. Colors are refined Weisfeiler–Leman style: each round replaces a
+//!    node's color with a hash of its previous color plus the **sorted**
+//!    multisets of `(edge attributes, neighbor color)` pairs over its
+//!    outgoing and incoming edges. Sorting makes the round insensitive to
+//!    edge order; refinement stops when the number of distinct colors
+//!    stabilizes (an isomorphism-invariant stopping rule), after at most
+//!    `n` rounds.
+//! 3. The canonical serialization lists per-node records sorted by final
+//!    color; [`graph_hash`] is the FNV-1a hash of those bytes mixed with a
+//!    SplitMix64 finalizer.
+//!
+//! WL refinement is a sound canonizer for relabelings (isomorphic inputs
+//! always collide) and separates all non-isomorphic graphs that differ in
+//! any WL-visible invariant — in particular any difference in node
+//! contents, edge attributes, degrees, or neighborhood structure. The
+//! `canon_hash` property suite in `crates/kernels` checks both directions
+//! over the synthetic population.
+//!
+//! The module also fingerprints the other two key components — the machine
+//! description and the compile options — and combines all three into the
+//! content address used by the daemon ([`program_canon_hash`]).
+
+use std::hash::{Hash, Hasher};
+
+use ir::{Imm, MemPattern, Op, Operand, Program, Stmt, TripCount};
+use machine::{MachineDescription, OpClass, RegClass};
+
+use crate::build::build_item_graph;
+use crate::emit::CompileOptions;
+use crate::graph::{DepGraph, Node, NodeKind};
+use crate::hier::reduce_stmts_with;
+use crate::modsched::{IiSearch, Priority};
+use crate::mve::UnrollPolicy;
+
+/// FNV-1a, 64-bit: the dirt-simple, dependency-free byte-stream hash used
+/// for every fingerprint in this module. Implements [`Hasher`] so types
+/// with a derived [`Hash`] (e.g. [`machine::ReservationTable`]) can feed
+/// it directly.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64 { state: FNV_OFFSET }
+    }
+}
+
+impl Fnv64 {
+    /// A fresh hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64::default()
+    }
+
+    /// Final value, passed through a SplitMix64 round so that short inputs
+    /// still diffuse into all 64 bits.
+    pub fn finish_mixed(&self) -> u64 {
+        splitmix(self.state)
+    }
+}
+
+impl Hasher for Fnv64 {
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+/// One round of SplitMix64 output mixing (Steele et al.); used as a
+/// finalizer and to combine already-hashed words.
+pub fn splitmix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Order-sensitive combination of two hashed words.
+pub fn mix(a: u64, b: u64) -> u64 {
+    splitmix(a ^ splitmix(b))
+}
+
+fn write_u64(h: &mut Fnv64, v: u64) {
+    h.write(&v.to_le_bytes());
+}
+
+fn write_str(h: &mut Fnv64, s: &str) {
+    write_u64(h, s.len() as u64);
+    h.write(s.as_bytes());
+}
+
+fn hash_imm(h: &mut Fnv64, imm: Imm) {
+    match imm {
+        Imm::F(v) => {
+            h.write(b"F");
+            h.write(&v.to_bits().to_le_bytes());
+        }
+        Imm::I(v) => {
+            h.write(b"I");
+            h.write(&v.to_le_bytes());
+        }
+    }
+}
+
+fn hash_operand(h: &mut Fnv64, o: &Operand) {
+    match o {
+        Operand::Reg(r) => {
+            h.write(b"r");
+            write_u64(h, r.0 as u64);
+        }
+        Operand::Imm(i) => {
+            h.write(b"i");
+            hash_imm(h, *i);
+        }
+    }
+}
+
+fn hash_op(h: &mut Fnv64, op: &Op) {
+    write_str(h, &op.opcode.mnemonic());
+    match op.dst {
+        Some(d) => {
+            h.write(b"d");
+            write_u64(h, d.0 as u64);
+        }
+        None => h.write(b"-"),
+    }
+    write_u64(h, op.srcs.len() as u64);
+    for s in &op.srcs {
+        hash_operand(h, s);
+    }
+    match &op.mem {
+        Some(m) => {
+            h.write(b"m");
+            write_u64(h, m.array.0 as u64);
+            match m.pattern {
+                MemPattern::Affine { stride, offset, inv } => {
+                    h.write(b"A");
+                    h.write(&stride.to_le_bytes());
+                    h.write(&offset.to_le_bytes());
+                    write_u64(h, inv.map_or(u64::MAX, |t| t as u64));
+                }
+                MemPattern::Invariant => h.write(b"V"),
+                MemPattern::Unknown => h.write(b"U"),
+            }
+        }
+        None => h.write(b"-"),
+    }
+    h.write(&[op.channel]);
+}
+
+fn hash_node_content(h: &mut Fnv64, n: &Node) {
+    write_u64(h, n.len as u64);
+    n.reservation.hash(h);
+    match &n.kind {
+        NodeKind::Op(op) => {
+            h.write(b"O");
+            hash_op(h, op);
+        }
+        NodeKind::Cond(c) => {
+            h.write(b"C");
+            write_u64(h, c.cond.0 as u64);
+            write_u64(h, c.len as u64);
+            for (tag, items) in [(b"T", &c.then_items), (b"E", &c.else_items)] {
+                h.write(tag);
+                write_u64(h, items.len() as u64);
+                for it in items.iter() {
+                    write_u64(h, it.offset as u64);
+                    hash_node_content(h, &it.node);
+                }
+            }
+        }
+    }
+}
+
+/// Content hash of one node, independent of its [`crate::NodeId`].
+pub fn node_hash(n: &Node) -> u64 {
+    let mut h = Fnv64::new();
+    hash_node_content(&mut h, n);
+    h.finish_mixed()
+}
+
+/// Hash of an edge's attributes (everything except its endpoints).
+fn edge_attr_hash(e: &crate::graph::DepEdge) -> u64 {
+    let mut h = Fnv64::new();
+    write_u64(&mut h, e.omega as u64);
+    h.write(&e.delay.to_le_bytes());
+    write_str(&mut h, &e.kind.to_string());
+    write_str(&mut h, &e.origin.to_string());
+    h.finish_mixed()
+}
+
+/// Final WL colors of every node: isomorphic relabelings produce the same
+/// multiset of colors (and the same per-node color up to the relabeling).
+fn wl_colors(g: &DepGraph) -> Vec<u64> {
+    let n = g.num_nodes();
+    let mut colors: Vec<u64> = g.nodes().iter().map(node_hash).collect();
+    if n == 0 {
+        return colors;
+    }
+    let edge_attrs: Vec<u64> = g.edges().iter().map(edge_attr_hash).collect();
+    let distinct = |cs: &[u64]| {
+        let mut s = cs.to_vec();
+        s.sort_unstable();
+        s.dedup();
+        s.len()
+    };
+    let mut prev_distinct = distinct(&colors);
+    // A round is insensitive to node and edge order (sorted multisets), so
+    // the refined colors — and the stopping round, which depends only on
+    // the distinct-color count — are isomorphism invariants.
+    for _ in 0..n {
+        let mut next = vec![0u64; n];
+        let mut out: Vec<u64> = Vec::new();
+        let mut inc: Vec<u64> = Vec::new();
+        for v in g.node_ids() {
+            out.clear();
+            inc.clear();
+            for &ei in g.succ_edge_ids(v) {
+                let e = &g.edges()[ei as usize];
+                out.push(mix(edge_attrs[ei as usize], colors[e.to.index()]));
+            }
+            for &ei in g.pred_edge_ids(v) {
+                let e = &g.edges()[ei as usize];
+                inc.push(mix(edge_attrs[ei as usize], colors[e.from.index()]));
+            }
+            out.sort_unstable();
+            inc.sort_unstable();
+            let mut h = Fnv64::new();
+            write_u64(&mut h, colors[v.index()]);
+            h.write(b"s");
+            for &x in &out {
+                write_u64(&mut h, x);
+            }
+            h.write(b"p");
+            for &x in &inc {
+                write_u64(&mut h, x);
+            }
+            next[v.index()] = h.finish_mixed();
+        }
+        colors = next;
+        let d = distinct(&colors);
+        if d == prev_distinct {
+            break;
+        }
+        prev_distinct = d;
+    }
+    colors
+}
+
+/// Canonical serialization of a dependence graph: per-node records sorted
+/// by final WL color. Two isomorphic relabelings of the same graph
+/// serialize to identical bytes; the cache key ([`graph_hash`]) is the
+/// hash of these bytes.
+pub fn graph_canonical_bytes(g: &DepGraph) -> Vec<u8> {
+    let colors = wl_colors(g);
+    let mut records: Vec<(u64, u64, Vec<u64>, Vec<u64>)> = g
+        .node_ids()
+        .map(|v| {
+            let mut out: Vec<u64> = g
+                .succ_edge_ids(v)
+                .iter()
+                .map(|&ei| {
+                    let e = &g.edges()[ei as usize];
+                    mix(edge_attr_hash(e), colors[e.to.index()])
+                })
+                .collect();
+            let mut inc: Vec<u64> = g
+                .pred_edge_ids(v)
+                .iter()
+                .map(|&ei| {
+                    let e = &g.edges()[ei as usize];
+                    mix(edge_attr_hash(e), colors[e.from.index()])
+                })
+                .collect();
+            out.sort_unstable();
+            inc.sort_unstable();
+            (colors[v.index()], node_hash(g.node(v)), out, inc)
+        })
+        .collect();
+    records.sort_unstable();
+
+    let mut bytes = Vec::new();
+    bytes.extend_from_slice(b"depgraph-canon-v1");
+    bytes.extend_from_slice(&(g.num_nodes() as u64).to_le_bytes());
+    bytes.extend_from_slice(&(g.edges().len() as u64).to_le_bytes());
+    let mut expandable: Vec<u32> = g.expandable.iter().map(|r| r.0).collect();
+    expandable.sort_unstable();
+    bytes.extend_from_slice(&(expandable.len() as u64).to_le_bytes());
+    for r in expandable {
+        bytes.extend_from_slice(&r.to_le_bytes());
+    }
+    for (color, content, out, inc) in records {
+        bytes.extend_from_slice(&color.to_le_bytes());
+        bytes.extend_from_slice(&content.to_le_bytes());
+        for (tag, list) in [(b'>', out), (b'<', inc)] {
+            bytes.push(tag);
+            bytes.extend_from_slice(&(list.len() as u64).to_le_bytes());
+            for x in list {
+                bytes.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+    }
+    bytes
+}
+
+/// Node-order-independent content hash of a dependence graph (see the
+/// module docs). Isomorphic relabelings collide; graphs differing in any
+/// WL-visible invariant separate.
+pub fn graph_hash(g: &DepGraph) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&graph_canonical_bytes(g));
+    h.finish_mixed()
+}
+
+/// Fingerprint of a machine description: name, resources, per-class
+/// timings, register files, branch resource.
+pub fn machine_fingerprint(m: &MachineDescription) -> u64 {
+    let mut h = Fnv64::new();
+    write_str(&mut h, m.name());
+    write_u64(&mut h, m.num_resources() as u64);
+    for r in m.resources() {
+        write_str(&mut h, &r.name);
+        write_u64(&mut h, r.count as u64);
+    }
+    for class in OpClass::ALL {
+        let t = m.timing(class);
+        write_str(&mut h, class.mnemonic());
+        write_u64(&mut h, t.latency as u64);
+        t.reservation.hash(&mut h);
+    }
+    for class in [RegClass::Float, RegClass::Int] {
+        write_u64(&mut h, m.reg_file_size(class).map_or(u64::MAX, |s| s as u64));
+    }
+    write_u64(
+        &mut h,
+        m.branch_resource().map_or(u64::MAX, |r| r.0 as u64),
+    );
+    h.finish_mixed()
+}
+
+/// Fingerprint of the compile options (every field that can change the
+/// emitted object code).
+pub fn options_fingerprint(o: &CompileOptions) -> u64 {
+    let mut h = Fnv64::new();
+    h.write(&[
+        o.pipeline as u8,
+        o.build.loop_carried as u8,
+        o.build.enable_mve as u8,
+        o.build.prune_dominated as u8,
+        o.respect_reg_files as u8,
+        o.hierarchical as u8,
+        o.fuse_epilog as u8,
+    ]);
+    write_u64(&mut h, o.build.trip.map_or(u64::MAX, |t| t as u64));
+    h.write(&[
+        match o.sched.search {
+            IiSearch::Linear => 0,
+            IiSearch::Binary => 1,
+        },
+        match o.sched.priority {
+            Priority::Height => 0,
+            Priority::SourceOrder => 1,
+        },
+        match o.unroll_policy {
+            UnrollPolicy::MinRegisters => 0,
+            UnrollPolicy::MinCodeSize => 1,
+        },
+        match o.cond_mode {
+            crate::hier::CondMode::Union => 0,
+            crate::hier::CondMode::Exclusive => 1,
+        },
+    ]);
+    write_u64(&mut h, o.sched.max_ii.map_or(u64::MAX, |m| m as u64));
+    write_u64(&mut h, o.body_len_threshold as u64);
+    h.write(&o.near_bound_fraction.to_bits().to_le_bytes());
+    h.finish_mixed()
+}
+
+/// The content half of the daemon's cache address: the canonical hashes of
+/// every pipelinable innermost loop's dependence graph (built through the
+/// same reduce + build path as the emitter), folded in program order and
+/// combined with the machine and options fingerprints.
+///
+/// This is intentionally *coarser* than the exact request fingerprint —
+/// isomorphic relabelings of the same loop body land on the same content
+/// address — so the cache pairs it with an exact guard (see
+/// [`crate::cache::CacheKey`]) before serving bytes.
+pub fn program_canon_hash(p: &Program, mach: &MachineDescription, opts: &CompileOptions) -> u64 {
+    let mut acc = splitmix(0x5357_5044); // "SWPD"
+    canon_stmts(&p.body, mach, opts, &mut acc);
+    acc = mix(acc, machine_fingerprint(mach));
+    mix(acc, options_fingerprint(opts))
+}
+
+fn canon_stmts(stmts: &[Stmt], mach: &MachineDescription, opts: &CompileOptions, acc: &mut u64) {
+    for s in stmts {
+        match s {
+            Stmt::Op(_) => {}
+            Stmt::If(i) => {
+                canon_stmts(&i.then_body, mach, opts, acc);
+                canon_stmts(&i.else_body, mach, opts, acc);
+            }
+            Stmt::Loop(l) => {
+                let all_ops = l.body.iter().all(|s| matches!(s, Stmt::Op(_)));
+                let items = if all_ops || opts.hierarchical {
+                    reduce_stmts_with(&l.body, mach, opts.cond_mode)
+                } else {
+                    None
+                };
+                match items {
+                    Some(items) => {
+                        // Mirror the emitter's graph construction exactly
+                        // (`Emitter::plan_pipeline`): loop-carried edges
+                        // on, trip threaded through for disambiguation.
+                        let mut build_opts = opts.build;
+                        build_opts.loop_carried = true;
+                        build_opts.trip = match l.trip {
+                            TripCount::Const(n) => Some(n),
+                            TripCount::Reg(_) => None,
+                        };
+                        let g = build_item_graph(items, mach, build_opts);
+                        *acc = mix(*acc, graph_hash(&g));
+                    }
+                    None => canon_stmts(&l.body, mach, opts, acc),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{DepEdge, DepKind};
+    use ir::{Opcode, VReg};
+    use machine::ReservationTable;
+
+    fn op_node(dst: u32, src: u32) -> Node {
+        Node::op(
+            Op::new(
+                Opcode::FAdd,
+                Some(VReg(dst)),
+                vec![VReg(src).into(), Imm::F(1.0).into()],
+            ),
+            ReservationTable::empty(),
+        )
+    }
+
+    fn chain(delays: &[i64]) -> DepGraph {
+        let mut g = DepGraph::new();
+        let ids: Vec<_> = (0..=delays.len() as u32)
+            .map(|i| g.add_node(op_node(i, i.wrapping_sub(1))))
+            .collect();
+        for (i, &d) in delays.iter().enumerate() {
+            g.add_edge(DepEdge::new(ids[i], ids[i + 1], 0, d, DepKind::True));
+        }
+        g
+    }
+
+    /// Builds the same graph with nodes inserted in a permuted order and
+    /// the edge list shuffled.
+    fn permuted(g: &DepGraph, perm: &[usize]) -> DepGraph {
+        use crate::graph::NodeId;
+        let mut out = DepGraph::new();
+        // perm[new_pos] = old index; inv maps old -> new.
+        let mut inv = vec![0usize; perm.len()];
+        for (new, &old) in perm.iter().enumerate() {
+            inv[old] = new;
+        }
+        for &old in perm {
+            out.add_node(g.nodes()[old].clone());
+        }
+        let mut edges: Vec<_> = g.edges().to_vec();
+        edges.reverse();
+        for e in edges {
+            out.add_edge(DepEdge {
+                from: NodeId(inv[e.from.index()] as u32),
+                to: NodeId(inv[e.to.index()] as u32),
+                ..e
+            });
+        }
+        out.expandable = g.expandable.clone();
+        out
+    }
+
+    #[test]
+    fn relabeling_collides() {
+        let g = chain(&[1, 2, 3]);
+        let p = permuted(&g, &[2, 0, 3, 1]);
+        assert_eq!(graph_hash(&g), graph_hash(&p));
+        assert_eq!(graph_canonical_bytes(&g), graph_canonical_bytes(&p));
+    }
+
+    #[test]
+    fn edge_attribute_changes_separate() {
+        let a = chain(&[1, 2, 3]);
+        let mut b = chain(&[1, 2, 3]);
+        // Same topology, one delay bumped: provably non-isomorphic (the
+        // edge-attribute multiset differs).
+        b.retain_edges(|i, _| i != 1);
+        let ids: Vec<_> = b.node_ids().collect();
+        b.add_edge(DepEdge::new(ids[1], ids[2], 0, 99, DepKind::True));
+        assert_ne!(graph_hash(&a), graph_hash(&b));
+    }
+
+    #[test]
+    fn omega_and_kind_participate() {
+        let mut a = chain(&[1]);
+        let mut b = chain(&[1]);
+        let ids: Vec<_> = a.node_ids().collect();
+        a.add_edge(DepEdge::new(ids[1], ids[0], 1, 0, DepKind::Anti));
+        b.add_edge(DepEdge::new(ids[1], ids[0], 2, 0, DepKind::Anti));
+        assert_ne!(graph_hash(&a), graph_hash(&b));
+        let mut c = chain(&[1]);
+        c.add_edge(DepEdge::new(ids[1], ids[0], 1, 0, DepKind::Output));
+        assert_ne!(graph_hash(&a), graph_hash(&c));
+    }
+
+    #[test]
+    fn automorphic_twins_still_collide() {
+        // Two structurally identical, disconnected pairs: WL cannot tell
+        // the twins apart (same final colors), and must not need to — any
+        // presentation order hashes identically.
+        let mut g = DepGraph::new();
+        let a0 = g.add_node(op_node(0, 9));
+        let a1 = g.add_node(op_node(0, 9));
+        let b0 = g.add_node(op_node(1, 0));
+        let b1 = g.add_node(op_node(1, 0));
+        g.add_edge(DepEdge::new(a0, b0, 0, 2, DepKind::True));
+        g.add_edge(DepEdge::new(a1, b1, 0, 2, DepKind::True));
+        let p = permuted(&g, &[1, 3, 0, 2]);
+        assert_eq!(graph_hash(&g), graph_hash(&p));
+    }
+
+    #[test]
+    fn machine_fingerprint_distinguishes_presets() {
+        use machine::presets::{test_machine, toy_vector, warp_cell};
+        let fps = [
+            machine_fingerprint(&warp_cell()),
+            machine_fingerprint(&test_machine()),
+            machine_fingerprint(&toy_vector()),
+        ];
+        assert_ne!(fps[0], fps[1]);
+        assert_ne!(fps[1], fps[2]);
+        assert_ne!(fps[0], fps[2]);
+        assert_eq!(machine_fingerprint(&warp_cell()), fps[0], "stable");
+    }
+
+    #[test]
+    fn options_fingerprint_sees_every_knob() {
+        let base = CompileOptions::default();
+        let fp = options_fingerprint(&base);
+        let variants = [
+            CompileOptions { pipeline: false, ..base },
+            CompileOptions {
+                build: crate::BuildOptions { prune_dominated: true, ..base.build },
+                ..base
+            },
+            CompileOptions { unroll_policy: UnrollPolicy::MinRegisters, ..base },
+            CompileOptions { body_len_threshold: 100, ..base },
+            CompileOptions { near_bound_fraction: 0.5, ..base },
+            CompileOptions { hierarchical: false, ..base },
+            CompileOptions { fuse_epilog: false, ..base },
+            CompileOptions { cond_mode: crate::CondMode::Exclusive, ..base },
+        ];
+        for v in &variants {
+            assert_ne!(options_fingerprint(v), fp, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn program_canon_hash_ignores_machine_irrelevant_noise() {
+        use ir::{ProgramBuilder, TripCount};
+        let mk = |name: &str| {
+            let mut b = ProgramBuilder::new(name);
+            let a = b.array("a", 32);
+            b.for_counted(TripCount::Const(32), |b, i| {
+                let addr = b.elem_addr(a, i.into(), 1, 0);
+                let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+                let y = b.fmul(x.into(), 2.0f32.into());
+                b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+            });
+            b.finish()
+        };
+        let m = machine::presets::warp_cell();
+        let o = CompileOptions::default();
+        // The program *name* does not enter the dependence graph; the
+        // content address is shared (the exact guard separates them).
+        assert_eq!(
+            program_canon_hash(&mk("x"), &m, &o),
+            program_canon_hash(&mk("y"), &m, &o)
+        );
+        assert_ne!(
+            program_canon_hash(&mk("x"), &m, &o),
+            program_canon_hash(&mk("x"), &machine::presets::test_machine(), &o)
+        );
+        assert_ne!(
+            program_canon_hash(&mk("x"), &m, &o),
+            program_canon_hash(&mk("x"), &m, &CompileOptions { pipeline: false, ..o })
+        );
+    }
+}

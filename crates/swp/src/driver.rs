@@ -62,9 +62,39 @@ pub struct BatchResult {
     pub wall: Duration,
 }
 
-fn run_job(job: &BatchJob<'_>, scratch: &mut SchedScratch) -> BatchResult {
+/// Renders a caught panic payload into the structured error message used
+/// by [`compile_batch`]. Only `&str` and `String` payloads carry text;
+/// anything else (a panic with a non-string payload) is opaque.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}
+
+/// Runs one job through `compile_fn`, converting a panic into a
+/// structured [`CompileError`] instead of unwinding into the pool. A
+/// panic may leave the scratch arena half-armed, so it is rebuilt before
+/// the next job touches it.
+fn run_job_with<F>(job: &BatchJob<'_>, scratch: &mut SchedScratch, compile_fn: &F) -> BatchResult
+where
+    F: Fn(&BatchJob<'_>, &mut SchedScratch) -> Result<CompiledProgram, CompileError>,
+{
     let start = Instant::now();
-    let outcome = compile_with_scratch(job.program, job.mach, &job.opts, scratch);
+    let outcome =
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| compile_fn(job, scratch))) {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                *scratch = SchedScratch::new();
+                Err(CompileError(format!(
+                    "compilation panicked: {}",
+                    panic_message(payload.as_ref())
+                )))
+            }
+        };
     BatchResult {
         name: job.name.clone(),
         outcome,
@@ -76,13 +106,33 @@ fn run_job(job: &BatchJob<'_>, scratch: &mut SchedScratch) -> BatchResult {
 /// the results **in job order** (see the module docs for the determinism
 /// invariant). `threads == 0` is treated as 1; `threads <= 1` compiles
 /// serially on the calling thread with no pool at all.
+///
+/// A panic inside any single compilation is caught and returned as that
+/// job's [`CompileError`] — it never kills a worker, so the mpsc
+/// collection loop always receives one result per job and the batch (and
+/// the daemon built on it) always terminates with results in job order.
 pub fn compile_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<BatchResult> {
+    compile_batch_with(jobs, threads, &|job, scratch| {
+        compile_with_scratch(job.program, job.mach, &job.opts, scratch)
+    })
+}
+
+/// The generic pool under [`compile_batch`]. `compile_fn` is a hook so
+/// tests can inject panics and verify the pool's panic containment
+/// without depending on any real compilation path being panic-prone.
+fn compile_batch_with<F>(jobs: &[BatchJob<'_>], threads: usize, compile_fn: &F) -> Vec<BatchResult>
+where
+    F: Fn(&BatchJob<'_>, &mut SchedScratch) -> Result<CompiledProgram, CompileError> + Sync,
+{
     let threads = threads.max(1).min(jobs.len().max(1));
     if threads <= 1 {
         // One scratch arena for the whole serial run: each job re-arms the
         // previous job's buffers.
         let mut scratch = SchedScratch::new();
-        return jobs.iter().map(|j| run_job(j, &mut scratch)).collect();
+        return jobs
+            .iter()
+            .map(|j| run_job_with(j, &mut scratch, compile_fn))
+            .collect();
     }
 
     let next = AtomicUsize::new(0);
@@ -107,7 +157,7 @@ pub fn compile_batch(jobs: &[BatchJob<'_>], threads: usize) -> Vec<BatchResult> 
                     }
                     // A send fails only if the receiver is gone, which
                     // cannot happen while the scope holds it below.
-                    let _ = tx.send((i, run_job(&jobs[i], &mut scratch)));
+                    let _ = tx.send((i, run_job_with(&jobs[i], &mut scratch, compile_fn)));
                 }
             });
         }
@@ -237,5 +287,56 @@ mod tests {
         assert!(r[0].outcome.is_ok());
         assert!(r[1].outcome.is_err(), "invalid program reports its error");
         assert!(r[2].outcome.is_ok(), "later jobs unaffected");
+    }
+
+    #[test]
+    fn worker_panic_becomes_structured_error_and_batch_terminates() {
+        // Regression: a panicking worker used to unwind out of the pool
+        // and wedge/abort the mpsc collection loop. The injected hook
+        // panics on the marked jobs; the batch must still return one
+        // result per job, in job order, with the panics converted into
+        // structured `CompileError`s.
+        let progs: Vec<Program> = (0..8).map(|i| vscale(8 + i, 1.5)).collect();
+        let machs = [test_machine()];
+        let mut js = jobs(&progs, &machs);
+        js[2].name = "boom/2".into();
+        js[5].name = "boom/5".into();
+        let expected: Vec<String> = js.iter().map(|j| j.name.clone()).collect();
+        let compile_fn = |job: &BatchJob<'_>, scratch: &mut SchedScratch| {
+            if job.name.starts_with("boom/") {
+                panic!("injected panic in {}", job.name);
+            }
+            compile_with_scratch(job.program, job.mach, &job.opts, scratch)
+        };
+        for threads in [1, 2, 4] {
+            let r = compile_batch_with(&js, threads, &compile_fn);
+            assert_eq!(r.len(), js.len(), "one result per job ({threads} threads)");
+            let names: Vec<String> = r.iter().map(|x| x.name.clone()).collect();
+            assert_eq!(names, expected, "job order preserved ({threads} threads)");
+            for (i, res) in r.iter().enumerate() {
+                if res.name.starts_with("boom/") {
+                    let e = res.outcome.as_ref().expect_err("panic surfaces as error");
+                    assert!(
+                        e.to_string().contains("compilation panicked")
+                            && e.to_string().contains(&res.name),
+                        "structured message names the panic: {e}"
+                    );
+                } else {
+                    assert!(res.outcome.is_ok(), "job {i} unaffected by panics");
+                }
+            }
+        }
+        // A panic must not poison the worker's scratch arena for the jobs
+        // that follow it on the same worker: serial run (1 thread) above
+        // already forced panic→compile sequences through one scratch, and
+        // its outputs must match an all-fresh compile.
+        let clean = compile_batch(&js, 1);
+        let mixed = compile_batch_with(&js, 1, &compile_fn);
+        for (a, b) in clean.iter().zip(&mixed) {
+            if !a.name.starts_with("boom/") {
+                let (pa, pb) = (a.outcome.as_ref().unwrap(), b.outcome.as_ref().unwrap());
+                assert_eq!(format!("{}", pa.vliw), format!("{}", pb.vliw));
+            }
+        }
     }
 }

@@ -548,4 +548,107 @@ mod tests {
         assert!(s.contains("omega=1"), "{s}");
         assert!(s.contains("memory"), "{s}");
     }
+
+    /// Recomputes what the CSR slices must contain straight from the edge
+    /// list — the oracle every staleness test compares against.
+    fn fresh_adjacency(g: &DepGraph) -> (Vec<Vec<u32>>, Vec<Vec<u32>>) {
+        let mut succ = vec![Vec::new(); g.num_nodes()];
+        let mut pred = vec![Vec::new(); g.num_nodes()];
+        for (i, e) in g.edges().iter().enumerate() {
+            succ[e.from.index()].push(i as u32);
+            pred[e.to.index()].push(i as u32);
+        }
+        (succ, pred)
+    }
+
+    fn assert_csr_fresh(g: &DepGraph, context: &str) {
+        let (succ, pred) = fresh_adjacency(g);
+        for id in g.node_ids() {
+            assert_eq!(g.succ_edge_ids(id), &succ[id.index()][..], "{context}: succ of {id}");
+            assert_eq!(g.pred_edge_ids(id), &pred[id.index()][..], "{context}: pred of {id}");
+        }
+    }
+
+    /// Regression (load-bearing for the daemon, which holds graphs across
+    /// requests): `retain_edges` after the CSR is built must never serve
+    /// the stale view — surviving edge *indices* shift when earlier edges
+    /// are removed, so a stale CSR would alias the wrong edges.
+    #[test]
+    fn csr_never_stale_after_retain_edges() {
+        let mut g = DepGraph::new();
+        let ids: Vec<NodeId> = (0..4).map(|_| g.add_node(dummy_node())).collect();
+        for (i, &(f, t)) in [(0, 1), (1, 2), (0, 2), (2, 3), (1, 3)].iter().enumerate() {
+            g.add_edge(DepEdge::new(ids[f], ids[t], 0, i as i64, DepKind::True));
+        }
+        // Force the CSR to exist, then drop edges 0 and 2.
+        assert_csr_fresh(&g, "before retain");
+        let removed = g.retain_edges(|i, _| i != 0 && i != 2);
+        assert_eq!(removed, 2);
+        assert_csr_fresh(&g, "after retain");
+        let delays: Vec<i64> = g.succ_edges(ids[1]).map(|e| e.delay).collect();
+        assert_eq!(delays, vec![1, 4], "survivor order preserved, indices remapped");
+        // A retain that removes nothing may keep the view — but it must
+        // still be the correct one.
+        let removed = g.retain_edges(|_, _| true);
+        assert_eq!(removed, 0);
+        assert_csr_fresh(&g, "after no-op retain");
+    }
+
+    /// Regression: a cloned graph carries the already-built CSR value;
+    /// mutating the clone must invalidate the copy, not share staleness
+    /// with (or corrupt) the original.
+    #[test]
+    fn csr_never_stale_after_clone_then_mutate() {
+        let mut g = DepGraph::new();
+        let a = g.add_node(dummy_node());
+        let b = g.add_node(dummy_node());
+        g.add_edge(DepEdge::new(a, b, 0, 1, DepKind::True));
+        // Build the CSR before cloning so the clone starts with one.
+        assert_eq!(g.succ_edge_ids(a), &[0]);
+        let mut h = g.clone();
+        let c = h.add_node(dummy_node());
+        h.add_edge(DepEdge::new(b, c, 1, 2, DepKind::Memory));
+        h.add_edge(DepEdge::new(a, c, 0, 3, DepKind::Anti));
+        assert_csr_fresh(&h, "mutated clone");
+        assert_csr_fresh(&g, "untouched original");
+        assert_eq!(g.num_nodes(), 2, "original unchanged by clone mutation");
+        assert_eq!(h.succ_edge_ids(a), &[0, 2]);
+    }
+
+    /// Randomized mutation sequences: after every add-node / add-edge /
+    /// retain-edges step (interleaved with queries that force the lazy
+    /// build), the CSR must equal the adjacency recomputed from scratch.
+    #[test]
+    fn csr_never_stale_under_randomized_mutation() {
+        let mut rng = crate::testkit::SplitMix64::new(0xC5_);
+        for round in 0..32 {
+            let mut g = DepGraph::new();
+            g.add_node(dummy_node());
+            for step in 0..40 {
+                match rng.next_u64() % 4 {
+                    0 => {
+                        g.add_node(dummy_node());
+                    }
+                    1 | 2 => {
+                        let n = g.num_nodes() as u64;
+                        let from = NodeId((rng.next_u64() % n) as u32);
+                        let to = NodeId((rng.next_u64() % n) as u32);
+                        let omega = (rng.next_u64() % 3) as u32;
+                        let delay = (rng.next_u64() % 5) as i64;
+                        g.add_edge(DepEdge::new(from, to, omega, delay, DepKind::True));
+                    }
+                    _ => {
+                        let drop_mask = rng.next_u64();
+                        g.retain_edges(|i, _| drop_mask & (1 << (i % 64)) == 0);
+                    }
+                }
+                // Query (building the view), then verify against scratch.
+                if g.num_nodes() > 0 {
+                    let probe = NodeId((rng.next_u64() % g.num_nodes() as u64) as u32);
+                    let _ = g.succ_edge_ids(probe);
+                }
+                assert_csr_fresh(&g, &format!("round {round} step {step}"));
+            }
+        }
+    }
 }

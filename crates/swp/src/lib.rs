@@ -52,6 +52,8 @@
 #![forbid(unsafe_code)]
 
 mod build;
+pub mod cache;
+pub mod canon;
 mod code;
 mod compact;
 pub mod driver;
@@ -68,11 +70,13 @@ mod pressure;
 pub mod prune;
 mod scc;
 mod schedule;
+pub mod service;
 pub mod stats;
 pub mod testkit;
 mod unroll;
 pub mod verify;
 pub mod viz;
+pub mod wire;
 
 pub use build::{build_graph, BuildOptions};
 pub use code::{Block, BlockId, Terminator, VliwProgram, Word};

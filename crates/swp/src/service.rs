@@ -1,0 +1,587 @@
+//! `swpd` — the scheduling daemon: a long-running compile service over a
+//! unix socket, answering from the content-addressed schedule cache
+//! before touching the scheduler.
+//!
+//! Layering:
+//!
+//! * [`Server`] is the transport-free core: it owns the
+//!   [`ScheduleCache`], computes cache keys with [`crate::canon`], shards
+//!   misses across the existing [`compile_batch`] worker pool, and runs
+//!   the sampling revalidator. Tests and in-process callers drive it
+//!   directly.
+//! * [`serve_unix`] wraps a `UnixListener` around a [`Server`]: one frame
+//!   in ([`crate::wire::decode_request`]), one frame out
+//!   ([`crate::wire::Response::encode`]), connections handled
+//!   sequentially so cache behaviour is deterministic under replay.
+//! * [`Client`] is the matching blocking client used by `bench --bin
+//!   serve` and the CI smoke test.
+//!
+//! ## The revalidation invariant
+//!
+//! The repo's standing determinism contract extends to the cache: a hit
+//! must be **byte-identical** to what a fresh compile of the same request
+//! would produce. Every `revalidate_every`-th hit is recompiled from
+//! scratch and compared byte-for-byte; a mismatch is counted in
+//! [`CacheStats::revalidation_failures`] (which must stay 0 — the serve
+//! bench and CI smoke fail otherwise) and the fresh bytes are served and
+//! re-inserted so a corrupt entry can never be served twice.
+
+use std::io::{self, Read, Write};
+
+use crate::cache::{CacheKey, CacheStats, ScheduleCache};
+use crate::canon::program_canon_hash;
+use crate::driver::{compile_batch, BatchJob};
+use crate::emit::{compile, CompiledProgram};
+use crate::wire::{
+    decode_request, read_frame, write_frame, DecodedJob, DecodedRequest, JobReply, JobRequest,
+    Provenance, Request, Response, Source,
+};
+
+/// Daemon configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads for compiling cache misses (0 → 1; misses within
+    /// one request frame are sharded across this pool).
+    pub threads: usize,
+    /// Cache byte budget (0 disables caching; every request compiles).
+    pub cache_bytes: usize,
+    /// Revalidate every Nth cache hit against a fresh compile (0
+    /// disables sampling; the invariant is then only checked by tests).
+    pub revalidate_every: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache_bytes: 64 << 20,
+            revalidate_every: 16,
+        }
+    }
+}
+
+/// Renders a compiled program into the deterministic reply body cached
+/// and served by the daemon.
+///
+/// The rendering contains only deterministic fields — labels, op counts,
+/// MII bounds, achieved IIs, unroll/stage shape, code sizes, and the full
+/// VLIW program listing. Wall-clock phase timings (`LoopStats`) are
+/// deliberately excluded: they would break the byte-identity contract
+/// between cached and fresh replies.
+pub fn render_reply_body(c: &CompiledProgram) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    for r in &c.reports {
+        let ii = r
+            .ii
+            .map_or_else(|| "-".to_string(), |ii| ii.to_string());
+        let _ = writeln!(
+            out,
+            "loop {} depth={} ops={} mii={}/{} ii={} unroll={} stages={} words={} unpipelined={}",
+            r.label,
+            r.depth,
+            r.num_ops,
+            r.mii_res,
+            r.mii_rec,
+            ii,
+            r.unroll,
+            r.stages,
+            r.code_words,
+            r.unpipelined_words,
+        );
+    }
+    let _ = writeln!(out, "code:");
+    let _ = write!(out, "{}", c.vliw);
+    out
+}
+
+/// The transport-free daemon core: cache + compile pool + revalidator.
+pub struct Server {
+    cfg: ServeConfig,
+    cache: ScheduleCache,
+    hits_seen: u64,
+}
+
+enum Plan {
+    Hit {
+        key: CacheKey,
+        body: String,
+        revalidated: bool,
+    },
+    Miss {
+        key: CacheKey,
+        miss_index: usize,
+    },
+}
+
+impl Server {
+    /// Creates a server with an empty cache.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Server {
+            cache: ScheduleCache::new(cfg.cache_bytes),
+            cfg,
+            hits_seen: 0,
+        }
+    }
+
+    /// Snapshot of the cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// The cache key for a job: `canon` from the canonical dependence
+    /// graph hash, `exact` from the job's wire bytes.
+    pub fn cache_key(job: &DecodedJob) -> CacheKey {
+        CacheKey {
+            canon: program_canon_hash(&job.job.program, &job.job.mach, &job.job.opts),
+            exact: job.exact,
+        }
+    }
+
+    /// Answers a slice of jobs: cache lookups first, then one
+    /// `compile_batch` over the misses (sharded across
+    /// [`ServeConfig::threads`] workers), replies in job order.
+    pub fn handle_jobs(&mut self, jobs: &[DecodedJob]) -> Vec<JobReply> {
+        let mut plans = Vec::with_capacity(jobs.len());
+        let mut misses: Vec<usize> = Vec::new();
+        for (i, dj) in jobs.iter().enumerate() {
+            let key = Self::cache_key(dj);
+            match self.cache.get(key) {
+                Some(bytes) => {
+                    // Cached bytes were produced by `render_reply_body`,
+                    // which only emits UTF-8.
+                    let mut body = String::from_utf8(bytes)
+                        .expect("cache holds rendered UTF-8 reply bodies");
+                    self.hits_seen += 1;
+                    let sample = self.cfg.revalidate_every > 0
+                        && self.hits_seen.is_multiple_of(self.cfg.revalidate_every);
+                    let mut revalidated = false;
+                    if sample {
+                        revalidated = true;
+                        let fresh = match compile(&dj.job.program, &dj.job.mach, &dj.job.opts) {
+                            Ok(c) => render_reply_body(&c),
+                            Err(e) => format!("compile error: {e}"),
+                        };
+                        let ok = fresh == body;
+                        self.cache.note_revalidation(ok);
+                        if !ok {
+                            // Never serve a corrupt entry: replace it and
+                            // answer with the fresh bytes.
+                            self.cache.insert(key, fresh.clone().into_bytes());
+                            body = fresh;
+                        }
+                    }
+                    plans.push(Plan::Hit {
+                        key,
+                        body,
+                        revalidated,
+                    });
+                }
+                None => {
+                    plans.push(Plan::Miss {
+                        key,
+                        miss_index: misses.len(),
+                    });
+                    misses.push(i);
+                }
+            }
+        }
+
+        // Shard the misses across the worker pool in one batch.
+        let batch: Vec<BatchJob<'_>> = misses
+            .iter()
+            .map(|&i| BatchJob {
+                name: jobs[i].job.name.clone(),
+                program: &jobs[i].job.program,
+                mach: &jobs[i].job.mach,
+                opts: jobs[i].job.opts,
+            })
+            .collect();
+        let compiled = compile_batch(&batch, self.cfg.threads);
+
+        plans
+            .into_iter()
+            .zip(jobs)
+            .map(|(plan, dj)| {
+                let name = dj.job.name.clone();
+                match plan {
+                    Plan::Hit {
+                        key,
+                        body,
+                        revalidated,
+                    } => JobReply {
+                        name,
+                        outcome: Ok((
+                            Provenance {
+                                source: Source::Hit,
+                                canon: key.canon,
+                                exact: key.exact,
+                                revalidated,
+                            },
+                            body,
+                        )),
+                    },
+                    Plan::Miss { key, miss_index } => {
+                        let outcome = match &compiled[miss_index].outcome {
+                            Ok(c) => {
+                                let body = render_reply_body(c);
+                                self.cache.insert(key, body.clone().into_bytes());
+                                Ok((
+                                    Provenance {
+                                        source: Source::Miss,
+                                        canon: key.canon,
+                                        exact: key.exact,
+                                        revalidated: false,
+                                    },
+                                    body,
+                                ))
+                            }
+                            // Compile errors are not cached: they are
+                            // cheap to reproduce and must not occupy
+                            // budget.
+                            Err(e) => Err(e.to_string()),
+                        };
+                        JobReply { name, outcome }
+                    }
+                }
+            })
+            .collect()
+    }
+
+    /// Stable line-oriented statistics rendering served by
+    /// [`Request::Stats`].
+    pub fn stats_text(&self) -> String {
+        let s = self.cache.stats();
+        format!(
+            "hits={}\nmisses={}\ncanon_near_misses={}\ninsertions={}\nevictions={}\n\
+             entries={}\nbytes={}\nbudget={}\nrevalidations={}\nrevalidation_failures={}\n",
+            s.hits,
+            s.misses,
+            s.canon_near_misses,
+            s.insertions,
+            s.evictions,
+            self.cache.len(),
+            self.cache.bytes(),
+            self.cache.budget(),
+            s.revalidations,
+            s.revalidation_failures,
+        )
+    }
+
+    /// Dispatches one decoded request. The boolean is true when the
+    /// daemon should shut down after sending the response.
+    pub fn handle(&mut self, req: DecodedRequest) -> (Response, bool) {
+        match req {
+            DecodedRequest::Compile(job) => {
+                (Response::Jobs(self.handle_jobs(std::slice::from_ref(&job))), false)
+            }
+            DecodedRequest::CompileBatch(jobs) => {
+                (Response::Jobs(self.handle_jobs(&jobs)), false)
+            }
+            DecodedRequest::Stats => (Response::Stats(self.stats_text()), false),
+            DecodedRequest::Shutdown => (Response::Bye, true),
+        }
+    }
+
+    /// Handles one framed connection until EOF or shutdown. Returns true
+    /// when a shutdown request was served.
+    pub fn serve_stream<S: Read + Write>(&mut self, stream: &mut S) -> io::Result<bool> {
+        while let Some(payload) = read_frame(stream)? {
+            let (resp, shutdown) = match decode_request(&payload) {
+                Ok(req) => self.handle(req),
+                Err(e) => (Response::Error(e.to_string()), false),
+            };
+            write_frame(stream, &resp.encode())?;
+            if shutdown {
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+}
+
+/// Runs the daemon accept loop on an already-bound listener until a
+/// client sends [`Request::Shutdown`]. Connections are served
+/// sequentially — the parallelism is inside each request's miss batch —
+/// so replaying the same request stream yields the same cache trajectory.
+///
+/// Per-connection I/O errors drop that connection and keep the daemon
+/// alive; only accept-loop errors are fatal.
+#[cfg(unix)]
+pub fn serve_unix(listener: &std::os::unix::net::UnixListener) -> io::Result<()> {
+    serve_unix_with(listener, ServeConfig::default())
+}
+
+/// [`serve_unix`] with explicit configuration.
+#[cfg(unix)]
+pub fn serve_unix_with(
+    listener: &std::os::unix::net::UnixListener,
+    cfg: ServeConfig,
+) -> io::Result<()> {
+    let mut server = Server::new(cfg);
+    for conn in listener.incoming() {
+        let mut stream = conn?;
+        match server.serve_stream(&mut stream) {
+            Ok(true) => return Ok(()),
+            Ok(false) => {}
+            Err(e) => eprintln!("swpd: connection error: {e}"),
+        }
+    }
+    Ok(())
+}
+
+/// Blocking client for the daemon's framed protocol.
+#[cfg(unix)]
+pub struct Client {
+    stream: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl Client {
+    /// Connects to a daemon socket.
+    pub fn connect(path: &std::path::Path) -> io::Result<Client> {
+        Ok(Client {
+            stream: std::os::unix::net::UnixStream::connect(path)?,
+        })
+    }
+
+    /// Connects, retrying until `timeout` elapses — covers the startup
+    /// race between spawning the daemon and its first `bind`.
+    pub fn connect_retry(path: &std::path::Path, timeout: std::time::Duration) -> io::Result<Client> {
+        let start = std::time::Instant::now();
+        loop {
+            match Client::connect(path) {
+                Ok(c) => return Ok(c),
+                Err(e) => {
+                    if start.elapsed() >= timeout {
+                        return Err(e);
+                    }
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+            }
+        }
+    }
+
+    /// Sends one request frame and reads the matching response frame.
+    pub fn roundtrip(&mut self, req: &Request) -> io::Result<Response> {
+        write_frame(&mut self.stream, &req.encode())?;
+        match read_frame(&mut self.stream)? {
+            Some(payload) => Response::decode(&payload)
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string())),
+            None => Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection mid-request",
+            )),
+        }
+    }
+}
+
+/// Wraps a [`JobRequest`] into the decoded form the [`Server`] consumes,
+/// computing the exact fingerprint the way the wire decoder would — for
+/// in-process callers (tests, benches) that skip the socket.
+pub fn decode_inline(job: JobRequest) -> DecodedJob {
+    let exact = crate::wire::job_exact_fingerprint(&job);
+    DecodedJob { job, exact }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{ProgramBuilder, TripCount};
+    use machine::presets;
+
+    fn saxpyish(n: u32, c: f32, name: &str) -> ir::Program {
+        let mut b = ProgramBuilder::new(name);
+        let a = b.array("a", n.max(1));
+        b.for_counted(TripCount::Const(n), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+            let y = b.fmul(x.into(), c.into());
+            b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+        });
+        b.finish()
+    }
+
+    fn job(name: &str, p: &ir::Program) -> DecodedJob {
+        decode_inline(JobRequest {
+            name: name.into(),
+            program: p.clone(),
+            mach: presets::test_machine(),
+            opts: crate::CompileOptions::default(),
+        })
+    }
+
+    #[test]
+    fn second_request_hits_and_is_byte_identical() {
+        let cfg = ServeConfig {
+            threads: 2,
+            cache_bytes: 1 << 20,
+            revalidate_every: 1, // revalidate every hit
+        };
+        let mut server = Server::new(cfg);
+        let p = saxpyish(32, 1.5, "s");
+        let jobs = vec![job("a", &p)];
+        let first = server.handle_jobs(&jobs);
+        let second = server.handle_jobs(&jobs);
+        let (p1, b1) = first[0].outcome.as_ref().unwrap();
+        let (p2, b2) = second[0].outcome.as_ref().unwrap();
+        assert_eq!(p1.source, Source::Miss);
+        assert_eq!(p2.source, Source::Hit);
+        assert!(p2.revalidated, "revalidate_every=1 samples every hit");
+        assert_eq!(b1, b2, "hit is byte-identical to the miss that filled it");
+        let s = server.cache_stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!(s.revalidations, 1);
+        assert_eq!(s.revalidation_failures, 0);
+    }
+
+    #[test]
+    fn batch_mixes_hits_and_misses_in_job_order() {
+        let mut server = Server::new(ServeConfig {
+            threads: 2,
+            cache_bytes: 1 << 20,
+            revalidate_every: 0,
+        });
+        let p1 = saxpyish(16, 1.0, "p1");
+        let p2 = saxpyish(24, 2.0, "p2");
+        let p3 = saxpyish(40, 3.0, "p3");
+        server.handle_jobs(&[job("warm", &p2)]);
+        let replies = server.handle_jobs(&[job("x", &p1), job("y", &p2), job("z", &p3)]);
+        let names: Vec<&str> = replies.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["x", "y", "z"]);
+        let sources: Vec<Source> = replies
+            .iter()
+            .map(|r| r.outcome.as_ref().unwrap().0.source)
+            .collect();
+        assert_eq!(sources, [Source::Miss, Source::Hit, Source::Miss]);
+    }
+
+    #[test]
+    fn renamed_job_still_hits_name_is_not_part_of_the_key() {
+        let mut server = Server::new(ServeConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            revalidate_every: 0,
+        });
+        let p = saxpyish(32, 1.5, "s");
+        server.handle_jobs(&[job("original", &p)]);
+        let r = server.handle_jobs(&[job("renamed", &p)]);
+        assert_eq!(r[0].outcome.as_ref().unwrap().0.source, Source::Hit);
+        assert_eq!(r[0].name, "renamed", "reply echoes the caller's name");
+    }
+
+    #[test]
+    fn different_options_do_not_collide() {
+        let mut server = Server::new(ServeConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            revalidate_every: 0,
+        });
+        let p = saxpyish(32, 1.5, "s");
+        server.handle_jobs(&[job("a", &p)]);
+        let mut other = job("b", &p);
+        other.job.opts.pipeline = false;
+        let other = decode_inline(other.job);
+        let r = server.handle_jobs(&[other]);
+        assert_eq!(r[0].outcome.as_ref().unwrap().0.source, Source::Miss);
+    }
+
+    #[test]
+    fn compile_errors_are_replied_but_not_cached() {
+        let mut server = Server::new(ServeConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            revalidate_every: 0,
+        });
+        let mut b = ProgramBuilder::new("bad");
+        let x = b.named_reg(ir::Type::F32, "x");
+        b.push_op(ir::Op::new(
+            ir::Opcode::FAdd,
+            Some(x),
+            vec![ir::Imm::I(1).into(), ir::Imm::I(2).into()],
+        ));
+        let bad = b.finish();
+        for _ in 0..2 {
+            let r = server.handle_jobs(&[job("bad", &bad)]);
+            assert!(r[0].outcome.is_err());
+        }
+        let s = server.cache_stats();
+        assert_eq!(s.insertions, 0, "errors never occupy cache budget");
+        assert_eq!(s.hits, 0);
+    }
+
+    #[test]
+    fn stats_text_is_stable_key_value_lines() {
+        let server = Server::new(ServeConfig {
+            threads: 1,
+            cache_bytes: 4096,
+            revalidate_every: 0,
+        });
+        let text = server.stats_text();
+        for key in [
+            "hits=",
+            "misses=",
+            "canon_near_misses=",
+            "insertions=",
+            "evictions=",
+            "entries=",
+            "bytes=",
+            "budget=4096",
+            "revalidations=",
+            "revalidation_failures=",
+        ] {
+            assert!(text.lines().any(|l| l.starts_with(key)), "missing {key}");
+        }
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_roundtrip_end_to_end() {
+        use std::os::unix::net::UnixListener;
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("swpd-test-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind test socket");
+        let cfg = ServeConfig {
+            threads: 2,
+            cache_bytes: 1 << 20,
+            revalidate_every: 1,
+        };
+        let daemon = std::thread::spawn(move || serve_unix_with(&listener, cfg));
+
+        let p = saxpyish(32, 1.5, "s");
+        let req = Request::Compile(Box::new(JobRequest {
+            name: "net".into(),
+            program: p,
+            mach: presets::test_machine(),
+            opts: crate::CompileOptions::default(),
+        }));
+        let mut client =
+            Client::connect_retry(&path, std::time::Duration::from_secs(5)).expect("connect");
+        let mut bodies = Vec::new();
+        for expect_hit in [false, true] {
+            match client.roundtrip(&req).expect("roundtrip") {
+                Response::Jobs(replies) => {
+                    let (prov, body) = replies[0].outcome.as_ref().unwrap().clone();
+                    assert_eq!(prov.source == Source::Hit, expect_hit);
+                    bodies.push(body);
+                }
+                other => panic!("unexpected response: {other:?}"),
+            }
+        }
+        assert_eq!(bodies[0], bodies[1], "hit ≡ miss bytes over the wire");
+        match client.roundtrip(&Request::Stats).expect("stats") {
+            Response::Stats(s) => {
+                assert!(s.contains("hits=1"), "stats after one hit: {s}");
+                assert!(s.contains("revalidation_failures=0"));
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match client.roundtrip(&Request::Shutdown).expect("shutdown") {
+            Response::Bye => {}
+            other => panic!("unexpected response: {other:?}"),
+        }
+        daemon.join().expect("daemon thread").expect("daemon io");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,1198 @@
+//! The daemon's wire format: length-prefixed binary frames carrying
+//! `(program, machine description, compile options)` jobs in and rendered
+//! artifacts plus provenance out.
+//!
+//! Everything here is std-only and versioned: a frame's payload starts
+//! with a one-byte request/response tag, and the job encoding is preceded
+//! by [`WIRE_VERSION`]. Integers are little-endian; strings are
+//! `u32`-length-prefixed UTF-8. See DESIGN.md §14 for the frame grammar.
+//!
+//! The encoding is *exact*: it round-trips every field of the three job
+//! components, and the byte region covering `(program, machine, options)`
+//! — everything except the caller-chosen job name — doubles as the input
+//! to the cache's exact fingerprint ([`crate::cache::CacheKey::exact`]).
+
+use std::io::{self, Read, Write};
+
+use ir::{
+    Array, CmpPred, IfStmt, Imm, Loop, MemPattern, MemRef, Op, Opcode, Operand, Program, RegTable,
+    Stmt, TripCount, Type, VReg,
+};
+use machine::{MachineBuilder, MachineDescription, OpClass, RegClass, ReservationTable, ResourceId, ResourceUse};
+
+use crate::canon::Fnv64;
+use crate::emit::CompileOptions;
+use crate::hier::CondMode;
+use crate::modsched::{IiSearch, Priority, SchedOptions};
+use crate::mve::UnrollPolicy;
+use crate::BuildOptions;
+
+/// Version byte of the job encoding; bump on any layout change.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Upper bound on one frame's payload (defensive: a corrupt length prefix
+/// must not drive a giant allocation).
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// A malformed payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+type Result<T> = std::result::Result<T, WireError>;
+
+fn err<T>(msg: impl Into<String>) -> Result<T> {
+    Err(WireError(msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+
+/// Writes one `u32`-length-prefixed frame.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the underlying stream.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Reads one frame; `Ok(None)` on clean EOF before a length prefix.
+///
+/// # Errors
+///
+/// Propagates I/O errors; a length prefix above [`MAX_FRAME`] is reported
+/// as [`io::ErrorKind::InvalidData`].
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    match r.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive encoding
+
+pub(crate) struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return err(format!(
+                "truncated payload: wanted {n} bytes at offset {}, have {}",
+                self.pos,
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Result<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            b => err(format!("invalid bool byte {b}")),
+        }
+    }
+
+    fn u16(&mut self) -> Result<u16> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self) -> Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn len(&mut self, what: &str) -> Result<usize> {
+        let n = self.u32()? as usize;
+        // Every element encodes to at least one byte; a count beyond the
+        // remaining buffer is corrupt and must not drive the allocation.
+        if n > self.buf.len() - self.pos {
+            return err(format!("{what} count {n} exceeds remaining payload"));
+        }
+        Ok(n)
+    }
+
+    fn string(&mut self) -> Result<String> {
+        let n = self.len("string byte")?;
+        match std::str::from_utf8(self.take(n)?) {
+            Ok(s) => Ok(s.to_string()),
+            Err(_) => err("invalid UTF-8 in string"),
+        }
+    }
+
+    fn opt_u32(&mut self) -> Result<Option<u32>> {
+        Ok(if self.bool()? { Some(self.u32()?) } else { None })
+    }
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_string(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_u32(out: &mut Vec<u8>, v: Option<u32>) {
+    match v {
+        Some(x) => {
+            out.push(1);
+            put_u32(out, x);
+        }
+        None => out.push(0),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IR encoding
+
+fn put_pred(out: &mut Vec<u8>, p: CmpPred) {
+    out.push(match p {
+        CmpPred::Eq => 0,
+        CmpPred::Ne => 1,
+        CmpPred::Lt => 2,
+        CmpPred::Le => 3,
+        CmpPred::Gt => 4,
+        CmpPred::Ge => 5,
+    });
+}
+
+fn get_pred(c: &mut Cursor) -> Result<CmpPred> {
+    Ok(match c.u8()? {
+        0 => CmpPred::Eq,
+        1 => CmpPred::Ne,
+        2 => CmpPred::Lt,
+        3 => CmpPred::Le,
+        4 => CmpPred::Gt,
+        5 => CmpPred::Ge,
+        b => return err(format!("invalid compare predicate {b}")),
+    })
+}
+
+fn put_opcode(out: &mut Vec<u8>, op: Opcode) {
+    use Opcode::*;
+    let tag: u8 = match op {
+        FAdd => 0,
+        FSub => 1,
+        FMul => 2,
+        FDiv => 3,
+        FSqrt => 4,
+        FNeg => 5,
+        FAbs => 6,
+        FMin => 7,
+        FMax => 8,
+        FCmp(_) => 9,
+        ItoF => 10,
+        FtoI => 11,
+        Add => 12,
+        Sub => 13,
+        Mul => 14,
+        Div => 15,
+        Rem => 16,
+        And => 17,
+        Or => 18,
+        Xor => 19,
+        Shl => 20,
+        Shr => 21,
+        ICmp(_) => 22,
+        Select => 23,
+        Copy => 24,
+        Const => 25,
+        Load => 26,
+        Store => 27,
+        QPop => 28,
+        QPush => 29,
+    };
+    out.push(tag);
+    match op {
+        FCmp(p) | ICmp(p) => put_pred(out, p),
+        _ => {}
+    }
+}
+
+fn get_opcode(c: &mut Cursor) -> Result<Opcode> {
+    use Opcode::*;
+    Ok(match c.u8()? {
+        0 => FAdd,
+        1 => FSub,
+        2 => FMul,
+        3 => FDiv,
+        4 => FSqrt,
+        5 => FNeg,
+        6 => FAbs,
+        7 => FMin,
+        8 => FMax,
+        9 => FCmp(get_pred(c)?),
+        10 => ItoF,
+        11 => FtoI,
+        12 => Add,
+        13 => Sub,
+        14 => Mul,
+        15 => Div,
+        16 => Rem,
+        17 => And,
+        18 => Or,
+        19 => Xor,
+        20 => Shl,
+        21 => Shr,
+        22 => ICmp(get_pred(c)?),
+        23 => Select,
+        24 => Copy,
+        25 => Const,
+        26 => Load,
+        27 => Store,
+        28 => QPop,
+        29 => QPush,
+        b => return err(format!("invalid opcode tag {b}")),
+    })
+}
+
+fn put_operand(out: &mut Vec<u8>, o: &Operand) {
+    match o {
+        Operand::Reg(r) => {
+            out.push(0);
+            put_u32(out, r.0);
+        }
+        Operand::Imm(Imm::F(v)) => {
+            out.push(1);
+            put_u32(out, v.to_bits());
+        }
+        Operand::Imm(Imm::I(v)) => {
+            out.push(2);
+            put_u32(out, *v as u32);
+        }
+    }
+}
+
+fn get_operand(c: &mut Cursor) -> Result<Operand> {
+    Ok(match c.u8()? {
+        0 => Operand::Reg(VReg(c.u32()?)),
+        1 => Operand::Imm(Imm::F(f32::from_bits(c.u32()?))),
+        2 => Operand::Imm(Imm::I(c.u32()? as i32)),
+        b => return err(format!("invalid operand tag {b}")),
+    })
+}
+
+fn put_mem(out: &mut Vec<u8>, m: &MemRef) {
+    put_u32(out, m.array.0);
+    match m.pattern {
+        MemPattern::Affine { stride, offset, inv } => {
+            out.push(0);
+            out.extend_from_slice(&stride.to_le_bytes());
+            out.extend_from_slice(&offset.to_le_bytes());
+            put_opt_u32(out, inv);
+        }
+        MemPattern::Invariant => out.push(1),
+        MemPattern::Unknown => out.push(2),
+    }
+}
+
+fn get_mem(c: &mut Cursor) -> Result<MemRef> {
+    let array = ir::ArrayId(c.u32()?);
+    let pattern = match c.u8()? {
+        0 => MemPattern::Affine {
+            stride: c.i64()?,
+            offset: c.i64()?,
+            inv: c.opt_u32()?,
+        },
+        1 => MemPattern::Invariant,
+        2 => MemPattern::Unknown,
+        b => return err(format!("invalid memory pattern tag {b}")),
+    };
+    Ok(MemRef { array, pattern })
+}
+
+fn put_op(out: &mut Vec<u8>, op: &Op) {
+    put_opcode(out, op.opcode);
+    put_opt_u32(out, op.dst.map(|r| r.0));
+    put_u32(out, op.srcs.len() as u32);
+    for s in &op.srcs {
+        put_operand(out, s);
+    }
+    match &op.mem {
+        Some(m) => {
+            out.push(1);
+            put_mem(out, m);
+        }
+        None => out.push(0),
+    }
+    out.push(op.channel);
+}
+
+fn get_op(c: &mut Cursor) -> Result<Op> {
+    let opcode = get_opcode(c)?;
+    let dst = c.opt_u32()?.map(VReg);
+    let n = c.len("operand")?;
+    let mut srcs = Vec::with_capacity(n);
+    for _ in 0..n {
+        srcs.push(get_operand(c)?);
+    }
+    let mem = if c.bool()? { Some(get_mem(c)?) } else { None };
+    let channel = c.u8()?;
+    if srcs.len() != opcode.arity() {
+        return err(format!(
+            "opcode {opcode} expects {} sources, frame carries {}",
+            opcode.arity(),
+            srcs.len()
+        ));
+    }
+    if dst.is_some() != opcode.has_dst() {
+        return err(format!("opcode {opcode} destination presence mismatch"));
+    }
+    Ok(Op {
+        opcode,
+        dst,
+        srcs,
+        mem,
+        channel,
+    })
+}
+
+fn put_stmts(out: &mut Vec<u8>, stmts: &[Stmt]) {
+    put_u32(out, stmts.len() as u32);
+    for s in stmts {
+        match s {
+            Stmt::Op(op) => {
+                out.push(0);
+                put_op(out, op);
+            }
+            Stmt::Loop(l) => {
+                out.push(1);
+                match l.trip {
+                    TripCount::Const(n) => {
+                        out.push(0);
+                        put_u32(out, n);
+                    }
+                    TripCount::Reg(r) => {
+                        out.push(1);
+                        put_u32(out, r.0);
+                    }
+                }
+                put_stmts(out, &l.body);
+            }
+            Stmt::If(i) => {
+                out.push(2);
+                put_u32(out, i.cond.0);
+                put_stmts(out, &i.then_body);
+                put_stmts(out, &i.else_body);
+            }
+        }
+    }
+}
+
+fn get_stmts(c: &mut Cursor, depth: u32) -> Result<Vec<Stmt>> {
+    if depth > 64 {
+        return err("statement nesting deeper than 64");
+    }
+    let n = c.len("statement")?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(match c.u8()? {
+            0 => Stmt::Op(get_op(c)?),
+            1 => {
+                let trip = match c.u8()? {
+                    0 => TripCount::Const(c.u32()?),
+                    1 => TripCount::Reg(VReg(c.u32()?)),
+                    b => return err(format!("invalid trip tag {b}")),
+                };
+                Stmt::Loop(Loop {
+                    trip,
+                    body: get_stmts(c, depth + 1)?,
+                })
+            }
+            2 => Stmt::If(IfStmt {
+                cond: VReg(c.u32()?),
+                then_body: get_stmts(c, depth + 1)?,
+                else_body: get_stmts(c, depth + 1)?,
+            }),
+            b => return err(format!("invalid statement tag {b}")),
+        });
+    }
+    Ok(out)
+}
+
+/// Serializes a program.
+pub(crate) fn put_program(out: &mut Vec<u8>, p: &Program) {
+    put_string(out, &p.name);
+    put_u32(out, p.regs.len() as u32);
+    for r in p.regs.iter() {
+        out.push(match p.regs.ty(r) {
+            Type::F32 => 0,
+            Type::I32 => 1,
+        });
+        match p.regs.name(r) {
+            Some(n) => {
+                out.push(1);
+                put_string(out, n);
+            }
+            None => out.push(0),
+        }
+    }
+    put_u32(out, p.arrays.len() as u32);
+    for a in &p.arrays {
+        put_string(out, &a.name);
+        put_u32(out, a.base);
+        put_u32(out, a.len);
+    }
+    put_u32(out, p.mem_size);
+    put_stmts(out, &p.body);
+}
+
+/// Deserializes a program (structurally; semantic validation is the
+/// compiler's job).
+///
+/// # Errors
+///
+/// Returns [`WireError`] on any malformed or truncated field.
+pub(crate) fn get_program(c: &mut Cursor) -> Result<Program> {
+    let name = c.string()?;
+    let nregs = c.len("register")?;
+    let mut regs = RegTable::new();
+    for _ in 0..nregs {
+        let ty = match c.u8()? {
+            0 => Type::F32,
+            1 => Type::I32,
+            b => return err(format!("invalid type tag {b}")),
+        };
+        if c.bool()? {
+            let n = c.string()?;
+            regs.alloc_named(ty, n);
+        } else {
+            regs.alloc(ty);
+        }
+    }
+    let narrays = c.len("array")?;
+    let mut arrays = Vec::with_capacity(narrays);
+    for _ in 0..narrays {
+        arrays.push(Array {
+            name: c.string()?,
+            base: c.u32()?,
+            len: c.u32()?,
+        });
+    }
+    let mem_size = c.u32()?;
+    let body = get_stmts(c, 0)?;
+    Ok(Program {
+        name,
+        regs,
+        arrays,
+        mem_size,
+        body,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Machine encoding
+
+fn put_reservation(out: &mut Vec<u8>, t: &ReservationTable) {
+    put_u32(out, t.len() as u32);
+    for row in t.rows() {
+        let pairs: Vec<(ResourceId, u16)> = row.iter().collect();
+        put_u32(out, pairs.len() as u32);
+        for (rid, units) in pairs {
+            put_u32(out, rid.0);
+            out.extend_from_slice(&units.to_le_bytes());
+        }
+    }
+}
+
+fn get_reservation(c: &mut Cursor) -> Result<ReservationTable> {
+    let rows = c.len("reservation row")?;
+    let mut out = Vec::with_capacity(rows);
+    for _ in 0..rows {
+        let pairs = c.len("reservation pair")?;
+        let mut row = ResourceUse::none();
+        for _ in 0..pairs {
+            let rid = ResourceId(c.u32()?);
+            row.add(rid, c.u16()?);
+        }
+        out.push(row);
+    }
+    Ok(ReservationTable::from_rows(out))
+}
+
+/// Serializes a machine description.
+pub(crate) fn put_machine(out: &mut Vec<u8>, m: &MachineDescription) {
+    put_string(out, m.name());
+    put_u32(out, m.num_resources() as u32);
+    for r in m.resources() {
+        put_string(out, &r.name);
+        out.extend_from_slice(&r.count.to_le_bytes());
+    }
+    for class in OpClass::ALL {
+        let t = m.timing(class);
+        put_u32(out, t.latency);
+        put_reservation(out, &t.reservation);
+    }
+    for class in [RegClass::Float, RegClass::Int] {
+        put_opt_u32(out, m.reg_file_size(class));
+    }
+    put_opt_u32(out, m.branch_resource().map(|r| r.0));
+}
+
+/// Deserializes a machine description, revalidating it through
+/// [`MachineBuilder::build`] (oversubscribed reservation tables, duplicate
+/// resources and missing timings are rejected exactly as for a
+/// hand-assembled machine).
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed bytes or a description that fails
+/// builder validation.
+pub(crate) fn get_machine(c: &mut Cursor) -> Result<MachineDescription> {
+    let name = c.string()?;
+    let mut b = MachineBuilder::new(name);
+    let nres = c.len("resource")?;
+    for _ in 0..nres {
+        let rname = c.string()?;
+        let count = c.u16()?;
+        b.resource(rname, count);
+    }
+    for class in OpClass::ALL {
+        let latency = c.u32()?;
+        let reservation = get_reservation(c)?;
+        b.timing(class, latency, reservation);
+    }
+    for class in [RegClass::Float, RegClass::Int] {
+        if let Some(size) = c.opt_u32()? {
+            b.reg_file(class, size);
+        }
+    }
+    if let Some(r) = c.opt_u32()? {
+        b.branch_resource(ResourceId(r));
+    }
+    b.build().map_err(|e| WireError(e.to_string()))
+}
+
+// ---------------------------------------------------------------------------
+// Options encoding
+
+/// Serializes compile options.
+pub(crate) fn put_options(out: &mut Vec<u8>, o: &CompileOptions) {
+    out.push(o.pipeline as u8);
+    out.push(o.build.loop_carried as u8);
+    out.push(o.build.enable_mve as u8);
+    out.push(o.build.prune_dominated as u8);
+    put_opt_u32(out, o.build.trip);
+    out.push(match o.sched.search {
+        IiSearch::Linear => 0,
+        IiSearch::Binary => 1,
+    });
+    out.push(match o.sched.priority {
+        Priority::Height => 0,
+        Priority::SourceOrder => 1,
+    });
+    put_opt_u32(out, o.sched.max_ii);
+    out.push(match o.unroll_policy {
+        UnrollPolicy::MinRegisters => 0,
+        UnrollPolicy::MinCodeSize => 1,
+    });
+    put_u32(out, o.body_len_threshold);
+    out.extend_from_slice(&o.near_bound_fraction.to_bits().to_le_bytes());
+    out.push(o.respect_reg_files as u8);
+    out.push(o.hierarchical as u8);
+    out.push(match o.cond_mode {
+        CondMode::Union => 0,
+        CondMode::Exclusive => 1,
+    });
+    out.push(o.fuse_epilog as u8);
+}
+
+/// Deserializes compile options.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on malformed bytes.
+pub(crate) fn get_options(c: &mut Cursor) -> Result<CompileOptions> {
+    Ok(CompileOptions {
+        pipeline: c.bool()?,
+        build: BuildOptions {
+            loop_carried: c.bool()?,
+            enable_mve: c.bool()?,
+            prune_dominated: c.bool()?,
+            trip: c.opt_u32()?,
+        },
+        sched: SchedOptions {
+            search: match c.u8()? {
+                0 => IiSearch::Linear,
+                1 => IiSearch::Binary,
+                b => return err(format!("invalid search tag {b}")),
+            },
+            priority: match c.u8()? {
+                0 => Priority::Height,
+                1 => Priority::SourceOrder,
+                b => return err(format!("invalid priority tag {b}")),
+            },
+            max_ii: c.opt_u32()?,
+        },
+        unroll_policy: match c.u8()? {
+            0 => UnrollPolicy::MinRegisters,
+            1 => UnrollPolicy::MinCodeSize,
+            b => return err(format!("invalid unroll policy tag {b}")),
+        },
+        body_len_threshold: c.u32()?,
+        near_bound_fraction: f64::from_bits(c.u64()?),
+        respect_reg_files: c.bool()?,
+        hierarchical: c.bool()?,
+        cond_mode: match c.u8()? {
+            0 => CondMode::Union,
+            1 => CondMode::Exclusive,
+            b => return err(format!("invalid cond mode tag {b}")),
+        },
+        fuse_epilog: c.bool()?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Requests and responses
+
+/// One compile job as it travels over the wire.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Caller-chosen identifier, echoed in the reply. Not part of any
+    /// cache key.
+    pub name: String,
+    /// The program to compile.
+    pub program: Program,
+    /// The target machine.
+    pub mach: MachineDescription,
+    /// Compiler options.
+    pub opts: CompileOptions,
+}
+
+/// A job plus the FNV fingerprint of its `(program, machine, options)`
+/// byte region — the exact half of the cache key, computed over the very
+/// bytes that came off the wire.
+#[derive(Debug, Clone)]
+pub struct DecodedJob {
+    /// The decoded job.
+    pub job: JobRequest,
+    /// FNV-1a over the job's content bytes (name excluded).
+    pub exact: u64,
+}
+
+fn put_job(out: &mut Vec<u8>, job: &JobRequest) {
+    put_string(out, &job.name);
+    let mut body = Vec::new();
+    put_program(&mut body, &job.program);
+    put_machine(&mut body, &job.mach);
+    put_options(&mut body, &job.opts);
+    put_u32(out, body.len() as u32);
+    out.extend_from_slice(&body);
+}
+
+fn get_job(c: &mut Cursor) -> Result<DecodedJob> {
+    let name = c.string()?;
+    let body_len = c.len("job body byte")?;
+    let body = c.take(body_len)?;
+    let mut exact_h = Fnv64::new();
+    std::hash::Hasher::write(&mut exact_h, body);
+    let exact = exact_h.finish_mixed();
+    let mut bc = Cursor::new(body);
+    let program = get_program(&mut bc)?;
+    let mach = get_machine(&mut bc)?;
+    let opts = get_options(&mut bc)?;
+    if bc.pos != body.len() {
+        return err(format!(
+            "job body has {} trailing bytes",
+            body.len() - bc.pos
+        ));
+    }
+    Ok(DecodedJob {
+        job: JobRequest {
+            name,
+            program,
+            mach,
+            opts,
+        },
+        exact,
+    })
+}
+
+/// A request frame.
+#[derive(Debug, Clone)]
+pub enum Request {
+    /// Compile one job.
+    Compile(Box<JobRequest>),
+    /// Compile a batch; the reply carries one [`JobReply`] per job, in job
+    /// order, and misses are sharded across the daemon's worker pool.
+    CompileBatch(Vec<JobRequest>),
+    /// Ask for a cache/throughput statistics snapshot.
+    Stats,
+    /// Ask the daemon to exit after replying.
+    Shutdown,
+}
+
+const REQ_COMPILE: u8 = 1;
+const REQ_BATCH: u8 = 2;
+const REQ_STATS: u8 = 3;
+const REQ_SHUTDOWN: u8 = 4;
+
+impl Request {
+    /// Encodes the request into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![WIRE_VERSION];
+        match self {
+            Request::Compile(job) => {
+                out.push(REQ_COMPILE);
+                put_job(&mut out, job);
+            }
+            Request::CompileBatch(jobs) => {
+                out.push(REQ_BATCH);
+                put_u32(&mut out, jobs.len() as u32);
+                for j in jobs {
+                    put_job(&mut out, j);
+                }
+            }
+            Request::Stats => out.push(REQ_STATS),
+            Request::Shutdown => out.push(REQ_SHUTDOWN),
+        }
+        out
+    }
+}
+
+/// A decoded request: jobs carry their exact fingerprints along.
+#[derive(Debug)]
+pub enum DecodedRequest {
+    /// Compile one job.
+    Compile(Box<DecodedJob>),
+    /// Compile a batch.
+    CompileBatch(Vec<DecodedJob>),
+    /// Statistics snapshot.
+    Stats,
+    /// Shut down.
+    Shutdown,
+}
+
+/// Decodes a request frame payload.
+///
+/// # Errors
+///
+/// Returns [`WireError`] on version mismatch or malformed bytes.
+pub fn decode_request(payload: &[u8]) -> Result<DecodedRequest> {
+    let mut c = Cursor::new(payload);
+    let version = c.u8()?;
+    if version != WIRE_VERSION {
+        return err(format!(
+            "wire version {version} unsupported (daemon speaks {WIRE_VERSION})"
+        ));
+    }
+    Ok(match c.u8()? {
+        REQ_COMPILE => DecodedRequest::Compile(Box::new(get_job(&mut c)?)),
+        REQ_BATCH => {
+            let n = c.len("job")?;
+            let mut jobs = Vec::with_capacity(n);
+            for _ in 0..n {
+                jobs.push(get_job(&mut c)?);
+            }
+            DecodedRequest::CompileBatch(jobs)
+        }
+        REQ_STATS => DecodedRequest::Stats,
+        REQ_SHUTDOWN => DecodedRequest::Shutdown,
+        b => return err(format!("invalid request tag {b}")),
+    })
+}
+
+/// Where a reply's artifact came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Served from the schedule cache.
+    Hit,
+    /// Compiled fresh (and inserted).
+    Miss,
+}
+
+/// Provenance attached to every compiled reply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Provenance {
+    /// Cache hit or fresh compile.
+    pub source: Source,
+    /// Canonical (node-order-independent) content address.
+    pub canon: u64,
+    /// Exact fingerprint of the request's content bytes.
+    pub exact: u64,
+    /// True when this hit was re-verified against a fresh compile by the
+    /// sampling revalidator (always false for misses).
+    pub revalidated: bool,
+}
+
+/// One job's reply: the rendered artifacts plus provenance, or a
+/// compile-time error.
+#[derive(Debug, Clone)]
+pub struct JobReply {
+    /// The job's name, echoed.
+    pub name: String,
+    /// Rendered artifacts + provenance, or the compile error.
+    pub outcome: std::result::Result<(Provenance, String), String>,
+}
+
+/// A response frame.
+#[derive(Debug, Clone)]
+pub enum Response {
+    /// Per-job replies, in job order.
+    Jobs(Vec<JobReply>),
+    /// Statistics snapshot (human-readable, stable line format).
+    Stats(String),
+    /// The daemon acknowledges shutdown.
+    Bye,
+    /// The request itself was malformed.
+    Error(String),
+}
+
+const RESP_JOBS: u8 = 1;
+const RESP_STATS: u8 = 2;
+const RESP_BYE: u8 = 3;
+const RESP_ERROR: u8 = 0;
+
+impl Response {
+    /// Encodes the response into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = vec![WIRE_VERSION];
+        match self {
+            Response::Jobs(replies) => {
+                out.push(RESP_JOBS);
+                put_u32(&mut out, replies.len() as u32);
+                for r in replies {
+                    put_string(&mut out, &r.name);
+                    match &r.outcome {
+                        Ok((prov, body)) => {
+                            out.push(1);
+                            out.push(match prov.source {
+                                Source::Hit => 1,
+                                Source::Miss => 0,
+                            });
+                            out.push(prov.revalidated as u8);
+                            out.extend_from_slice(&prov.canon.to_le_bytes());
+                            out.extend_from_slice(&prov.exact.to_le_bytes());
+                            put_string(&mut out, body);
+                        }
+                        Err(e) => {
+                            out.push(0);
+                            put_string(&mut out, e);
+                        }
+                    }
+                }
+            }
+            Response::Stats(s) => {
+                out.push(RESP_STATS);
+                put_string(&mut out, s);
+            }
+            Response::Bye => out.push(RESP_BYE),
+            Response::Error(e) => {
+                out.push(RESP_ERROR);
+                put_string(&mut out, e);
+            }
+        }
+        out
+    }
+
+    /// Decodes a response frame payload.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on version mismatch or malformed bytes.
+    pub fn decode(payload: &[u8]) -> Result<Response> {
+        let mut c = Cursor::new(payload);
+        let version = c.u8()?;
+        if version != WIRE_VERSION {
+            return err(format!("response wire version {version} unsupported"));
+        }
+        Ok(match c.u8()? {
+            RESP_JOBS => {
+                let n = c.len("reply")?;
+                let mut replies = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let name = c.string()?;
+                    let outcome = match c.u8()? {
+                        1 => {
+                            let source = match c.u8()? {
+                                1 => Source::Hit,
+                                0 => Source::Miss,
+                                b => return err(format!("invalid source tag {b}")),
+                            };
+                            let revalidated = c.bool()?;
+                            let canon = c.u64()?;
+                            let exact = c.u64()?;
+                            let body = c.string()?;
+                            Ok((
+                                Provenance {
+                                    source,
+                                    canon,
+                                    exact,
+                                    revalidated,
+                                },
+                                body,
+                            ))
+                        }
+                        0 => Err(c.string()?),
+                        b => return err(format!("invalid outcome tag {b}")),
+                    };
+                    replies.push(JobReply { name, outcome });
+                }
+                Response::Jobs(replies)
+            }
+            RESP_STATS => Response::Stats(c.string()?),
+            RESP_BYE => Response::Bye,
+            RESP_ERROR => Response::Error(c.string()?),
+            b => return err(format!("invalid response tag {b}")),
+        })
+    }
+}
+
+/// Encodes a job and computes its exact fingerprint the same way the
+/// daemon will (over the content byte region, name excluded) — lets
+/// clients and tests predict cache addresses.
+pub fn job_exact_fingerprint(job: &JobRequest) -> u64 {
+    let mut body = Vec::new();
+    put_program(&mut body, &job.program);
+    put_machine(&mut body, &job.mach);
+    put_options(&mut body, &job.opts);
+    let mut h = Fnv64::new();
+    std::hash::Hasher::write(&mut h, &body);
+    h.finish_mixed()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{ProgramBuilder, TripCount};
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new("wiretest");
+        let a = b.array("a", 64);
+        b.for_counted(TripCount::Const(64), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+            let c = b.icmp(CmpPred::Gt, x.into(), ir::Imm::I(0).into());
+            b.if_else(
+                c,
+                |b| {
+                    let y = b.fadd(x.into(), 1.0f32.into());
+                    b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+                },
+                |b| {
+                    b.store(addr.into(), 0.0f32.into(), ir::MemRef::affine(a, 1, 0));
+                },
+            );
+        });
+        b.finish()
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let p = sample_program();
+        let mut bytes = Vec::new();
+        put_program(&mut bytes, &p);
+        let q = get_program(&mut Cursor::new(&bytes)).unwrap();
+        assert_eq!(p.name, q.name);
+        assert_eq!(p.body, q.body);
+        assert_eq!(p.arrays, q.arrays);
+        assert_eq!(p.mem_size, q.mem_size);
+        assert_eq!(p.regs.len(), q.regs.len());
+        for r in p.regs.iter() {
+            assert_eq!(p.regs.ty(r), q.regs.ty(r));
+            assert_eq!(p.regs.name(r), q.regs.name(r));
+        }
+        assert_eq!(p.to_string(), q.to_string());
+    }
+
+    #[test]
+    fn machine_roundtrip() {
+        for m in [
+            machine::presets::warp_cell(),
+            machine::presets::test_machine(),
+            machine::presets::toy_vector(),
+            machine::presets::sequential(),
+        ] {
+            let mut bytes = Vec::new();
+            put_machine(&mut bytes, &m);
+            let q = get_machine(&mut Cursor::new(&bytes)).unwrap();
+            assert_eq!(
+                crate::canon::machine_fingerprint(&m),
+                crate::canon::machine_fingerprint(&q),
+                "{} round-trips",
+                m.name()
+            );
+        }
+    }
+
+    #[test]
+    fn options_roundtrip() {
+        let variants = [
+            CompileOptions::default(),
+            CompileOptions {
+                pipeline: false,
+                body_len_threshold: 7,
+                near_bound_fraction: 0.25,
+                unroll_policy: UnrollPolicy::MinRegisters,
+                cond_mode: CondMode::Exclusive,
+                ..Default::default()
+            },
+            CompileOptions {
+                sched: SchedOptions {
+                    search: IiSearch::Binary,
+                    priority: Priority::SourceOrder,
+                    max_ii: Some(12),
+                },
+                build: BuildOptions {
+                    prune_dominated: true,
+                    trip: Some(5),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+        ];
+        for o in &variants {
+            let mut bytes = Vec::new();
+            put_options(&mut bytes, o);
+            let q = get_options(&mut Cursor::new(&bytes)).unwrap();
+            assert_eq!(
+                crate::canon::options_fingerprint(o),
+                crate::canon::options_fingerprint(&q)
+            );
+        }
+    }
+
+    #[test]
+    fn request_roundtrip_and_exact_fingerprint() {
+        let job = JobRequest {
+            name: "k1@warp+pipe".into(),
+            program: sample_program(),
+            mach: machine::presets::warp_cell(),
+            opts: CompileOptions::default(),
+        };
+        let payload = Request::Compile(Box::new(job.clone())).encode();
+        let decoded = match decode_request(&payload).unwrap() {
+            DecodedRequest::Compile(d) => d,
+            other => panic!("wrong variant {other:?}"),
+        };
+        assert_eq!(decoded.job.name, job.name);
+        assert_eq!(decoded.job.program.to_string(), job.program.to_string());
+        assert_eq!(decoded.exact, job_exact_fingerprint(&job));
+
+        // The name is excluded from the exact fingerprint.
+        let renamed = JobRequest {
+            name: "other-name".into(),
+            ..job.clone()
+        };
+        assert_eq!(job_exact_fingerprint(&renamed), decoded.exact);
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = Response::Jobs(vec![
+            JobReply {
+                name: "a".into(),
+                outcome: Ok((
+                    Provenance {
+                        source: Source::Hit,
+                        canon: 7,
+                        exact: 9,
+                        revalidated: true,
+                    },
+                    "body text".into(),
+                )),
+            },
+            JobReply {
+                name: "b".into(),
+                outcome: Err("compile error: nope".into()),
+            },
+        ]);
+        let decoded = Response::decode(&r.encode()).unwrap();
+        match decoded {
+            Response::Jobs(replies) => {
+                assert_eq!(replies.len(), 2);
+                let (prov, body) = replies[0].outcome.as_ref().unwrap();
+                assert_eq!(prov.source, Source::Hit);
+                assert!(prov.revalidated);
+                assert_eq!((prov.canon, prov.exact), (7, 9));
+                assert_eq!(body, "body text");
+                assert!(replies[1].outcome.is_err());
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncated_and_corrupt_payloads_are_rejected() {
+        let job = JobRequest {
+            name: "x".into(),
+            program: sample_program(),
+            mach: machine::presets::test_machine(),
+            opts: CompileOptions::default(),
+        };
+        let payload = Request::Compile(Box::new(job)).encode();
+        for cut in [0, 1, 2, payload.len() / 2, payload.len() - 1] {
+            assert!(
+                decode_request(&payload[..cut]).is_err(),
+                "truncation at {cut} must fail cleanly"
+            );
+        }
+        let mut bad_version = payload.clone();
+        bad_version[0] = 99;
+        assert!(decode_request(&bad_version).is_err());
+        let mut bad_tag = payload;
+        bad_tag[1] = 200;
+        assert!(decode_request(&bad_tag).is_err());
+    }
+
+    #[test]
+    fn frame_io_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        write_frame(&mut buf, b"").unwrap();
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"hello");
+        assert_eq!(read_frame(&mut r).unwrap().unwrap(), b"");
+        assert!(read_frame(&mut r).unwrap().is_none(), "clean EOF");
+        // Oversized length prefix is rejected without allocating.
+        let huge = (MAX_FRAME as u32 + 1).to_le_bytes();
+        assert!(read_frame(&mut &huge[..]).is_err());
+    }
+}
