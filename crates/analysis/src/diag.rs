@@ -75,6 +75,10 @@ pub enum LintCode {
     /// optimal: a smaller initiation interval is feasible for this
     /// dependence graph on this machine.
     OptimalityGap,
+    /// The feedback-guided refiner recovered cycles the one-shot
+    /// heuristic left on the table: attributes the closed gap to the
+    /// winning perturbation (or witness replay).
+    RefineAttribution,
     /// Register pressure exceeds a machine register file.
     RegisterPressure,
     /// Operations with zero slack: moving any of them breaks the schedule.
@@ -125,6 +129,7 @@ impl LintCode {
             LintCode::DominatedEdges => "A202",
             LintCode::RecMiiAttribution => "A203",
             LintCode::OptimalityGap => "A204",
+            LintCode::RefineAttribution => "A205",
             LintCode::RegisterPressure => "A301",
             LintCode::ZeroSlack => "A302",
             LintCode::BottleneckResource => "A303",
@@ -158,6 +163,7 @@ impl LintCode {
             LintCode::UnreferencedResource
             | LintCode::DominatedEdges
             | LintCode::RecMiiAttribution
+            | LintCode::RefineAttribution
             | LintCode::ZeroSlack
             | LintCode::BottleneckResource
             | LintCode::MemDepClassification

@@ -16,9 +16,10 @@
 //!   demanded by a graph (A103), transitively-dominated dependence edges
 //!   (A202, the reporting face of [`swp::prune_dominated`]), and RecMII
 //!   attribution (A203) naming the critical recurrence cycle(s).
-//! * **Schedule diagnostics** ([`lint_schedule`], [`pressure_lint`]) —
-//!   zero-slack ops (A302), saturated resources (A303), and register
-//!   pressure (A301).
+//! * **Schedule diagnostics** ([`lint_schedule`], [`pressure_lint`],
+//!   [`refine_lint`]) — zero-slack ops (A302), saturated resources
+//!   (A303), register pressure (A301), and feedback-guided refinement
+//!   attribution (A205).
 //! * **Dependence audit** ([`audit_compiled`]) — memory-edge provenance
 //!   classification (A402), refutable edges (A403), conservative II gap
 //!   (A404), dynamic-trace soundness violations (A405), and unexercised
@@ -47,7 +48,9 @@ pub use diag::{max_severity, render, render_json, Diagnostic, LintCode, Severity
 pub use graph_lints::{dominated_edge_lint, lint_graph, recmii_attribution};
 pub use ir_lints::lint_program;
 pub use machine_lints::{check_graph_resources, lint_machine};
-pub use sched_lints::{bottleneck_lint, lint_schedule, optimality_lint, pressure_lint, slack_lint};
+pub use sched_lints::{
+    bottleneck_lint, lint_schedule, optimality_lint, pressure_lint, refine_lint, slack_lint,
+};
 pub use service_lints::cache_lint;
 
 use machine::MachineDescription;
@@ -65,6 +68,12 @@ pub fn analyze_compiled(
         loop_diags.extend(lint_schedule(&a.graph, &a.schedule, mach));
         for mut d in loop_diags {
             d.message = format!("loop '{}': {}", a.label, d.message);
+            diags.push(d);
+        }
+    }
+    for rep in &c.reports {
+        for mut d in refine_lint(rep) {
+            d.message = format!("loop '{}': {}", rep.label, d.message);
             diags.push(d);
         }
     }

@@ -1,6 +1,7 @@
 //! Schedule diagnostics: register pressure (A301), per-op slack / critical
-//! path (A302), resource-bottleneck attribution (A303), and exact-II
-//! optimality-gap attribution (A204).
+//! path (A302), resource-bottleneck attribution (A303), exact-II
+//! optimality-gap attribution (A204), and feedback-guided refinement
+//! attribution (A205).
 
 use machine::MachineDescription;
 use swp::optimal::{certify, OracleOptions, OracleOutcome};
@@ -68,6 +69,42 @@ pub fn optimality_lint(
         r.explored,
         r.mii.mii()
     ))]
+}
+
+/// A205: what the feedback-guided refiner ([`swp::refine`]) did to a
+/// loop compiled under [`swp::CompileOptions::refine`]. Fires only when
+/// the refiner actually closed cycles — attributing the recovered
+/// interval to the winning perturbation — so unrefined compiles and
+/// loops where no perturbation helped stay silent. A remaining gap to
+/// the MII is noted (it may or may not be closable; A204 certifies).
+pub fn refine_lint(rep: &swp::LoopReport) -> Vec<Diagnostic> {
+    let Some(rs) = &rep.stats.refine else {
+        return Vec::new();
+    };
+    if rs.closed() == 0 {
+        return Vec::new();
+    }
+    let winner = rs.winner.as_deref().unwrap_or("?");
+    let mut d = Diagnostic::new(
+        LintCode::RefineAttribution,
+        format!(
+            "refinement closed {} cycle(s): II {} -> {} via '{winner}' \
+             ({} perturbed attempt(s))",
+            rs.closed(),
+            rs.baseline_ii,
+            rs.refined_ii,
+            rs.attempts
+        ),
+    );
+    let mii = rep.mii();
+    if rs.refined_ii > mii {
+        d = d.with_note(format!(
+            "still {} cycle(s) above MII={mii}; the residue may be a real \
+             gap (see A204) or the MII bound may be unachievable",
+            rs.refined_ii - mii
+        ));
+    }
+    vec![d]
 }
 
 /// A301: register pressure exceeding a machine register file. MAXLIVE is
@@ -262,6 +299,43 @@ mod tests {
 
         let optimal = Schedule::new(vec![0], 1);
         assert!(optimality_lint(&g, &optimal, &m).is_empty());
+    }
+
+    /// A205 fires only when refinement stats exist AND cycles were
+    /// closed; the message names the winning move and the counts.
+    #[test]
+    fn a205_fires_only_on_closed_gaps() {
+        use swp::RefineStats;
+        let mut rep = swp::LoopReport {
+            label: "loop0".into(),
+            ..Default::default()
+        };
+        // No refine stats at all: unrefined compile, silent.
+        assert!(refine_lint(&rep).is_empty());
+
+        // Refiner ran but nothing improved: silent.
+        rep.stats.refine = Some(RefineStats {
+            baseline_ii: 9,
+            refined_ii: 9,
+            attempts: 64,
+            winner: None,
+        });
+        assert!(refine_lint(&rep).is_empty());
+
+        // Refiner closed 2 cycles via a rotation seed.
+        rep.stats.refine = Some(RefineStats {
+            baseline_ii: 9,
+            refined_ii: 7,
+            attempts: 17,
+            winner: Some("rot#2".into()),
+        });
+        let diags = refine_lint(&rep);
+        assert_eq!(codes(&diags), vec!["A205"]);
+        assert_eq!(diags[0].severity, crate::diag::Severity::Info);
+        assert!(
+            diags[0].message.contains("closed 2 cycle(s): II 9 -> 7 via 'rot#2'"),
+            "{diags:?}"
+        );
     }
 
     #[test]

@@ -167,6 +167,49 @@ fn proved_optimal_token(
     }
 }
 
+/// `refined=` token for one loop: `-` (not pipelined), `opt` (already
+/// at MII, nothing to refine), `closed:<k>:<move>` (the budgeted
+/// perturbation search shaved `k` cycles via the named move), `open`
+/// (no perturbation improved it within budget).
+fn refined_token(
+    c: &swp::CompiledProgram,
+    rep: &swp::LoopReport,
+    job: &BatchJob,
+) -> String {
+    let Some(ii) = rep.ii else { return "-".to_string() };
+    let mii = rep.mii();
+    if ii <= mii {
+        return "opt".to_string();
+    }
+    let Some(a) = c.artifacts.iter().find(|a| a.label == rep.label) else {
+        return "-".to_string();
+    };
+    let analysis = swp::SchedAnalysis::analyze(&a.graph);
+    let limiting = rep
+        .stats
+        .sched
+        .attempts
+        .iter()
+        .find(|t| t.failure.is_none())
+        .and_then(|t| t.limiting);
+    let mut scratch = swp::SchedScratch::new();
+    let out = swp::refine(
+        &a.graph,
+        job.mach,
+        &job.opts.sched,
+        &analysis,
+        ii,
+        mii,
+        limiting,
+        &swp::RefineConfig::default(),
+        &mut scratch,
+    );
+    match &out.improved {
+        Some(imp) => format!("closed:{}:{}", ii - imp.schedule.ii(), imp.mv.tag()),
+        None => "open".to_string(),
+    }
+}
+
 /// Renders the report's deterministic body: identical between serial and
 /// parallel runs and between hosts. Wall-clock measurements (`wall_us`,
 /// `phases_us` of v5) are deliberately absent — they rewrote thousands of
@@ -184,7 +227,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
          unroll=<u> stages=<m> hist=<per-stage nodes|-> \
          mve_copies=<n> conds=<n> not_pipelined=<reason|-> \
          memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|- \
-         proved_optimal=<y|gap:k|feas:k|n|-> \
+         proved_optimal=<y|gap:k|feas:k|n|-> refined=<-|opt|closed:k:move|open> \
          canon=<dependence-graph content address|->\n",
     );
     for (job, r) in jobs.iter().zip(results) {
@@ -245,7 +288,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                         "loop {}/{} ii={} mii={}/{} attempts={} aborts={} sccs={} \
                          relax={} reuse={} \
                          unroll={} stages={} hist={} mve_copies={} conds={} \
-                         not_pipelined={} memdeps={} proved_optimal={} canon={}",
+                         not_pipelined={} memdeps={} proved_optimal={} refined={} canon={}",
                         r.name,
                         rep.label,
                         rep.ii.map_or("-".to_string(), |ii| ii.to_string()),
@@ -264,6 +307,7 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                         why,
                         rep.stats.memdeps.memdeps_row(),
                         proved_optimal_token(c, rep, job.mach),
+                        refined_token(c, rep, job),
                         canon,
                     );
                 }
@@ -362,7 +406,7 @@ fn main() {
     }
 
     let mut report = String::new();
-    report.push_str("# batch_report v6\n");
+    report.push_str("# batch_report v7\n");
     let _ = writeln!(report, "# jobs={} mismatches={}", js.len(), mismatches);
     // Host-dependent measurements live only on this line; golden
     // comparisons and run-to-run diffs must exclude `# volatile:` lines.

@@ -1,0 +1,460 @@
+//! Feedback-guided rescheduling ablation: compiles the corpus twice —
+//! baseline and with [`swp::CompileOptions::refine`] — then runs the
+//! exact-II oracle on every loop that still schedules above its MII and
+//! replays any witness it finds through the refiner's witness mode
+//! ([`swp::refine_with_witness`]). The per-loop table goes to
+//! `results/refine_report.txt`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin refine            # full corpus
+//! cargo run --release -p bench --bin refine -- --smoke # CI smoke
+//! ```
+//!
+//! Flags:
+//!
+//! * `--smoke` — Livermore × Warp cell plus the application kernels on
+//!   the paper presets, report to stdout;
+//! * `--threads N` — worker threads (compilation and certification);
+//! * `--budget N` — per-interval oracle node budget;
+//! * `--out PATH` — report path (default `results/refine_report.txt`).
+//!
+//! Exit status is nonzero if any refined loop regresses past its
+//! baseline II, any refined or witness-derived schedule fails
+//! [`swp::verify::verify_schedule`], any *proved* gap stays open in
+//! witness mode, or (under `--smoke`) the `hough@test_machine` inner
+//! loop fails to reach its exact II of 6.
+
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use machine::MachineDescription;
+use swp::optimal::{certify, OracleOptions, OracleOutcome};
+use swp::{
+    compile_batch, refine_with_witness, BatchJob, CompileOptions, SchedAnalysis, SchedScratch,
+};
+
+struct Config {
+    threads: usize,
+    smoke: bool,
+    out: String,
+    budget: Option<u64>,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        smoke: false,
+        out: "results/refine_report.txt".to_string(),
+        budget: None,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                cfg.threads = v.parse().expect("--threads needs an integer");
+            }
+            "--smoke" => cfg.smoke = true,
+            "--budget" => {
+                let v = args.next().expect("--budget needs a value");
+                cfg.budget = Some(v.parse().expect("--budget needs an integer"));
+            }
+            "--out" => cfg.out = args.next().expect("--out needs a path"),
+            other => {
+                panic!("unknown flag {other:?} (try --threads N, --smoke, --budget N, --out PATH)")
+            }
+        }
+    }
+    cfg
+}
+
+/// Matches the oracle sweep's smoke budget: enough to certify every
+/// smoke-corpus loop (the largest explored count on record is ~144k
+/// nodes for the full corpus, far lower on the smoke subset).
+const SMOKE_BUDGET: u64 = 20_000;
+/// Full-corpus default, matching the batch sweep's `proved_optimal`
+/// column budget.
+const FULL_BUDGET: u64 = 50_000;
+
+/// The jobs to ablate. The smoke subset keeps the regression slice
+/// (Livermore × Warp cell) and the loops with known proved gaps on the
+/// paper presets (`hough@test_machine`, `local_avg@test_machine`,
+/// `local_avg@toy_vector`) so the gate exercises a real closure.
+fn jobs_spec(smoke: bool) -> Vec<(String, ir::Program, MachineDescription)> {
+    let mut out = Vec::new();
+    let mut add = |ks: &[kernels::Kernel], mname: &str, m: &MachineDescription| {
+        for k in ks {
+            out.push((format!("{}@{mname}", k.name), k.program.clone(), m.clone()));
+        }
+    };
+    let livermore = kernels::livermore::all();
+    let apps = kernels::apps::all();
+    let warp = machine::presets::warp_cell();
+    let test = machine::presets::test_machine();
+    let toy = machine::presets::toy_vector();
+    if smoke {
+        add(&livermore, "warp_cell", &warp);
+        add(&apps, "test_machine", &test);
+        add(&apps, "toy_vector", &toy);
+    } else {
+        let mut ks = livermore;
+        ks.extend(apps);
+        ks.extend(kernels::synth::population());
+        add(&ks, "warp_cell", &warp);
+        add(&ks, "test_machine", &test);
+        add(&ks, "toy_vector", &toy);
+    }
+    out
+}
+
+/// Per-loop ablation row, assembled from the two compiles plus the
+/// oracle/witness pass.
+struct LoopRow {
+    job: String,
+    label: String,
+    mii: u32,
+    baseline: u32,
+    refined: u32,
+    /// Winning perturbation tag from the integrated refiner, `-` if the
+    /// baseline survived.
+    winner: String,
+    outcome: Option<OracleOutcome>,
+    /// II the witness replay reached, where one ran.
+    witness: Option<u32>,
+    verify_failures: usize,
+}
+
+impl LoopRow {
+    fn exact(&self) -> String {
+        match self.outcome {
+            None => "-".to_string(),
+            Some(OracleOutcome::InfeasibleUpTo { .. }) => self.refined.to_string(),
+            Some(OracleOutcome::Proved { ii }) => ii.to_string(),
+            Some(OracleOutcome::Feasible { ii }) => format!("<={ii}"),
+            Some(OracleOutcome::Exhausted) => "?".to_string(),
+        }
+    }
+
+    /// Best II any mode reached.
+    fn final_ii(&self) -> u32 {
+        self.witness.map_or(self.refined, |w| w.min(self.refined))
+    }
+
+    fn closed(&self) -> u32 {
+        self.baseline - self.final_ii()
+    }
+}
+
+fn main() {
+    let cfg = parse_args();
+    let budget = cfg
+        .budget
+        .unwrap_or(if cfg.smoke { SMOKE_BUDGET } else { FULL_BUDGET });
+    let spec = jobs_spec(cfg.smoke);
+
+    let base_jobs: Vec<BatchJob> = spec
+        .iter()
+        .map(|(name, p, m)| BatchJob {
+            name: name.clone(),
+            program: p,
+            mach: m,
+            opts: CompileOptions::default(),
+        })
+        .collect();
+    let refine_opts = CompileOptions {
+        refine: true,
+        ..CompileOptions::default()
+    };
+    let ref_jobs: Vec<BatchJob> = spec
+        .iter()
+        .map(|(name, p, m)| BatchJob {
+            name: name.clone(),
+            program: p,
+            mach: m,
+            opts: refine_opts,
+        })
+        .collect();
+    eprintln!(
+        "refine: {} jobs x 2 compiles, {} threads, oracle budget {budget}",
+        spec.len(),
+        cfg.threads
+    );
+    let base_results = compile_batch(&base_jobs, cfg.threads);
+    let ref_results = compile_batch(&ref_jobs, cfg.threads);
+
+    // One task per pipelined loop: pair baseline/refined artifacts by
+    // label, verify the refined schedule, then (above MII) certify and
+    // replay any witness.
+    struct Task<'a> {
+        job: &'a str,
+        label: &'a str,
+        mach: &'a MachineDescription,
+        graph: &'a swp::DepGraph,
+        base_sched: &'a swp::Schedule,
+        ref_sched: &'a swp::Schedule,
+        mii: u32,
+        winner: String,
+    }
+    let mut tasks: Vec<Task> = Vec::new();
+    let mut compile_errors = 0usize;
+    for ((job, base), refined) in base_jobs.iter().zip(&base_results).zip(&ref_results) {
+        let (bc, rc) = match (&base.outcome, &refined.outcome) {
+            (Ok(b), Ok(r)) => (b, r),
+            _ => {
+                compile_errors += 1;
+                continue;
+            }
+        };
+        for ba in &bc.artifacts {
+            let Some(ra) = rc.artifacts.iter().find(|a| a.label == ba.label) else {
+                // Refinement never unpipelines a loop; a missing refined
+                // artifact is a regression the gate must see.
+                eprintln!("refine: {}/{} lost its pipeline under refine=true", job.name, ba.label);
+                std::process::exit(1);
+            };
+            let rep = rc.reports.iter().find(|r| r.label == ba.label);
+            tasks.push(Task {
+                job: &job.name,
+                label: &ba.label,
+                mach: job.mach,
+                graph: &ba.graph,
+                base_sched: &ba.schedule,
+                ref_sched: &ra.schedule,
+                mii: rep.map_or(1, |r| r.mii()),
+                winner: rep
+                    .and_then(|r| r.stats.refine.as_ref())
+                    .and_then(|rs| rs.winner.clone())
+                    .unwrap_or_else(|| "-".to_string()),
+            });
+        }
+    }
+
+    type Cert = (Option<OracleOutcome>, Option<u32>, usize);
+    let certs: Vec<OnceLock<Cert>> = tasks.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let workers = cfg.threads.clamp(1, tasks.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut scratch = SchedScratch::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(t) = tasks.get(i) else { break };
+                    let ctx = format!("{}/{}", t.job, t.label);
+                    let mut verify_failures =
+                        swp::verify::verify_schedule(t.graph, t.ref_sched, t.mach, &ctx).len();
+                    let refined_ii = t.ref_sched.ii();
+                    let mut outcome = None;
+                    let mut witness_ii = None;
+                    if refined_ii > t.mii {
+                        let r = certify(
+                            t.graph,
+                            t.mach,
+                            &OracleOptions {
+                                max_ii: Some(refined_ii - 1),
+                                node_budget: budget,
+                            },
+                        )
+                        .unwrap_or_else(|e| panic!("{ctx}: oracle error {e}"));
+                        if let Some(w) = &r.schedule {
+                            let analysis = SchedAnalysis::analyze(t.graph);
+                            if let Some(imp) = refine_with_witness(
+                                t.graph,
+                                t.mach,
+                                &CompileOptions::default().sched,
+                                &analysis,
+                                t.base_sched.ii(),
+                                w,
+                                &mut scratch,
+                            ) {
+                                verify_failures += swp::verify::verify_schedule(
+                                    t.graph,
+                                    &imp.schedule,
+                                    t.mach,
+                                    &format!("{ctx} (witness)"),
+                                )
+                                .len();
+                                witness_ii = Some(imp.schedule.ii());
+                            }
+                        }
+                        outcome = Some(r.outcome);
+                    }
+                    certs[i]
+                        .set((outcome, witness_ii, verify_failures))
+                        .expect("unique index");
+                }
+            });
+        }
+    });
+
+    let rows: Vec<LoopRow> = tasks
+        .iter()
+        .zip(&certs)
+        .map(|(t, c)| {
+            let (outcome, witness, verify_failures) =
+                c.get().cloned().expect("worker filled every slot");
+            LoopRow {
+                job: t.job.to_string(),
+                label: t.label.to_string(),
+                mii: t.mii,
+                baseline: t.base_sched.ii(),
+                refined: t.ref_sched.ii(),
+                winner: t.winner.clone(),
+                outcome,
+                witness,
+                verify_failures,
+            }
+        })
+        .collect();
+
+    let regressions: Vec<&LoopRow> = rows.iter().filter(|r| r.refined > r.baseline).collect();
+    let verify_failures: usize = rows.iter().map(|r| r.verify_failures).sum();
+    let gapped: Vec<&LoopRow> = rows
+        .iter()
+        .filter(|r| {
+            matches!(
+                r.outcome,
+                Some(OracleOutcome::Proved { .. } | OracleOutcome::Feasible { .. })
+            ) || r.refined < r.baseline
+        })
+        .collect();
+    // A loop counts as closed by the heuristic when the integrated
+    // refiner alone reached an II the oracle could not beat.
+    let closed_heuristic = rows
+        .iter()
+        .filter(|r| {
+            r.refined < r.baseline
+                && !matches!(
+                    r.outcome,
+                    Some(OracleOutcome::Proved { .. } | OracleOutcome::Feasible { .. })
+                )
+        })
+        .count();
+    let closed_witness = rows
+        .iter()
+        .filter(|r| r.witness.is_some_and(|w| w < r.refined))
+        .count();
+    let open_proved: Vec<&LoopRow> = rows
+        .iter()
+        .filter(|r| {
+            matches!(r.outcome, Some(OracleOutcome::Proved { ii }) if r.final_ii() > ii)
+        })
+        .collect();
+    let closed_cycles: u32 = rows.iter().map(|r| r.closed()).sum();
+
+    let mut out = String::new();
+    out.push_str("# refine_report v1\n");
+    let _ = writeln!(
+        out,
+        "# Feedback-guided rescheduling: baseline vs refine=true compiles, then the\n\
+         # exact-II oracle (budget {budget}) on every loop still above MII, with any\n\
+         # witness replayed through refine_with_witness.\n\
+         # loop <job>/<label> mii=<n> baseline=<ii> refined=<ii> move=<tag|-> \
+         exact=<n|<=n|?|-> witness=<ii|-> closed=<n>"
+    );
+    let _ = writeln!(
+        out,
+        "# summary loops={} gapped={} closed_heuristic={closed_heuristic} \
+         closed_witness={closed_witness} open_proved={} closed_cycles={closed_cycles} \
+         regressions={} verify_failures={verify_failures} compile_errors={compile_errors}",
+        rows.len(),
+        gapped.len(),
+        open_proved.len(),
+        regressions.len(),
+    );
+    for r in &rows {
+        let _ = writeln!(
+            out,
+            "loop {}/{} mii={} baseline={} refined={} move={} exact={} witness={} closed={}",
+            r.job,
+            r.label,
+            r.mii,
+            r.baseline,
+            r.refined,
+            r.winner,
+            r.exact(),
+            r.witness.map_or_else(|| "-".to_string(), |w| w.to_string()),
+            r.closed()
+        );
+    }
+    let closed: Vec<&LoopRow> = rows.iter().filter(|r| r.closed() > 0).collect();
+    if !closed.is_empty() {
+        out.push_str("# closed gaps (attribution):\n");
+        for r in &closed {
+            let via = if r.refined < r.baseline {
+                format!("heuristic:{}", r.winner)
+            } else {
+                "witness".to_string()
+            };
+            let _ = writeln!(
+                out,
+                "#   {}/{} {} -> {} via {via}",
+                r.job,
+                r.label,
+                r.baseline,
+                r.final_ii()
+            );
+        }
+    }
+
+    if cfg.smoke {
+        print!("{out}");
+    } else {
+        std::fs::create_dir_all("results").expect("create results dir");
+        std::fs::write(&cfg.out, &out).expect("write report");
+        eprintln!(
+            "refine: {} loops, {} gapped, {closed_heuristic} closed by the heuristic, \
+             {closed_witness} by witness replay, {closed_cycles} cycles total -> {}",
+            rows.len(),
+            gapped.len(),
+            cfg.out
+        );
+    }
+
+    let mut failed = false;
+    for r in &regressions {
+        eprintln!(
+            "refine: FAIL {}/{} regressed {} -> {}",
+            r.job, r.label, r.baseline, r.refined
+        );
+        failed = true;
+    }
+    if verify_failures > 0 {
+        eprintln!("refine: FAIL {verify_failures} schedule verification failures");
+        failed = true;
+    }
+    for r in &open_proved {
+        eprintln!(
+            "refine: FAIL {}/{} has a proved gap (exact {}) left open at II {}",
+            r.job,
+            r.label,
+            r.exact(),
+            r.final_ii()
+        );
+        failed = true;
+    }
+    if cfg.smoke {
+        let hough = rows
+            .iter()
+            .filter(|r| r.job == "hough@test_machine")
+            .min_by_key(|r| r.final_ii());
+        match hough {
+            Some(r) if r.final_ii() == 6 => {}
+            Some(r) => {
+                eprintln!(
+                    "refine: FAIL hough@test_machine best II {} != 6 (exact)",
+                    r.final_ii()
+                );
+                failed = true;
+            }
+            None => {
+                eprintln!("refine: FAIL hough@test_machine missing from the smoke corpus");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -8,19 +8,24 @@
 //! cargo run -p bench --bin serve -- --socket /tmp/s.sock
 //! ```
 //!
-//! Two phases:
+//! Phases:
 //!
 //! 1. **cold** — every corpus job is sent once (in `CompileBatch` chunks,
 //!    so misses shard across the daemon's worker pool) to populate the
 //!    cache and record each job's reply body;
 //! 2. **zipfian** — single `Compile` requests drawn from a zipf(s=1.0)
-//!    popularity distribution over the jobs, timing each round trip.
+//!    popularity distribution over the jobs, timing each round trip;
+//! 3. **concurrent** (`--clients N`, N > 1) — the zipfian workload again,
+//!    split across N client threads each holding its own connection, to
+//!    exercise the daemon's bounded thread-per-connection accept loop.
 //!
-//! Every phase-2 reply is compared byte-for-byte against the body
-//! recorded in phase 1 (client-side identity check), on top of the
-//! daemon's own sampling revalidator (cached ≡ freshly compiled). The
-//! process exits nonzero if the phase-2 hit rate is below 90%, any reply
-//! body diverges, or the daemon reports a revalidation failure.
+//! Every timed reply is compared byte-for-byte against the body recorded
+//! in phase 1 (client-side identity check), on top of the daemon's own
+//! sampling revalidator (cached ≡ freshly compiled). The process exits
+//! nonzero if the phase-2 hit rate is below 90%, any reply body
+//! diverges, the daemon reports a revalidation failure, or the
+//! concurrent p99 exceeds 5× the sequential p99 (with a 1 ms floor to
+//! keep the ratio meaningful at microsecond latencies).
 //!
 //! `--smoke` shrinks the corpus to Livermore × Warp cell and prints the
 //! report to stdout instead of `results/serve_report.txt`.
@@ -41,6 +46,7 @@ struct Config {
     socket: Option<std::path::PathBuf>,
     requests: usize,
     seed: u64,
+    clients: usize,
 }
 
 fn parse_args() -> Config {
@@ -51,6 +57,7 @@ fn parse_args() -> Config {
         socket: None,
         requests: 2000,
         seed: 1988,
+        clients: 1,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -81,9 +88,17 @@ fn parse_args() -> Config {
                     .parse()
                     .expect("--seed needs an integer");
             }
+            "--clients" => {
+                cfg.clients = args
+                    .next()
+                    .expect("--clients needs a value")
+                    .parse()
+                    .expect("--clients needs an integer");
+                assert!(cfg.clients >= 1, "--clients needs at least 1");
+            }
             other => panic!(
                 "unknown flag {other:?} (try --threads N, --smoke, --out PATH, \
-                 --socket PATH, --requests N, --seed N)"
+                 --socket PATH, --requests N, --seed N, --clients N)"
             ),
         }
     }
@@ -182,6 +197,7 @@ fn main() {
                 threads: cfg.threads,
                 cache_bytes: 64 << 20,
                 revalidate_every: 8,
+                max_connections: cfg.clients.max(2) + 1,
             };
             let handle = std::thread::spawn(move || serve_unix_with(&listener, serve_cfg));
             (path, Some(handle))
@@ -271,6 +287,71 @@ fn main() {
     let zipf_wall = t1.elapsed();
     let stats_after_zipf = fetch_stats(&mut client);
 
+    // Phase 3 (concurrent): the zipfian workload split across N client
+    // threads, each on its own connection with its own seed stream.
+    let mut conc_latencies: Vec<Duration> = Vec::new();
+    let mut conc_divergent = 0usize;
+    let mut conc_wall = Duration::ZERO;
+    if cfg.clients > 1 {
+        let per_client = (requests / cfg.clients).max(1);
+        let t2 = Instant::now();
+        let outcomes: Vec<(Vec<Duration>, usize)> = std::thread::scope(|scope| {
+            let workers: Vec<_> = (0..cfg.clients)
+                .map(|c| {
+                    let path = &path;
+                    let corpus = &corpus;
+                    let bodies = &bodies;
+                    let cum = &cum;
+                    scope.spawn(move || {
+                        let mut client = Client::connect_retry(path, Duration::from_secs(10))
+                            .expect("concurrent client connect");
+                        let mut rng = SplitMix64::new(cfg.seed ^ (c as u64 + 1));
+                        let mut lat = Vec::with_capacity(per_client);
+                        let mut divergent = 0usize;
+                        for _ in 0..per_client {
+                            let i = zipf_draw(cum, &mut rng);
+                            let (name, program, mach) = &corpus[i];
+                            let req = Request::Compile(Box::new(job(name, program, mach)));
+                            let s = Instant::now();
+                            let resp = client.roundtrip(&req).expect("concurrent roundtrip");
+                            lat.push(s.elapsed());
+                            match resp {
+                                Response::Jobs(replies) => match &replies[0].outcome {
+                                    Ok((_, body)) if *body != bodies[i] => {
+                                        eprintln!("serve: concurrent BYTE DIVERGENCE on {name}");
+                                        divergent += 1;
+                                    }
+                                    Ok(_) => {}
+                                    Err(e) => {
+                                        if bodies[i] != format!("error: {e}") {
+                                            eprintln!(
+                                                "serve: concurrent error divergence on {name}: {e}"
+                                            );
+                                            divergent += 1;
+                                        }
+                                    }
+                                },
+                                other => panic!("unexpected concurrent response: {other:?}"),
+                            }
+                        }
+                        (lat, divergent)
+                    })
+                })
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("concurrent client thread"))
+                .collect()
+        });
+        conc_wall = t2.elapsed();
+        for (lat, divergent) in outcomes {
+            conc_latencies.extend(lat);
+            conc_divergent += divergent;
+        }
+        conc_latencies.sort();
+    }
+    let stats_after_conc = fetch_stats(&mut client);
+
     if daemon.is_some() {
         match client.roundtrip(&Request::Shutdown).expect("shutdown") {
             Response::Bye => {}
@@ -290,16 +371,18 @@ fn main() {
     } else {
         d_hits as f64 / (d_hits + d_misses) as f64
     };
-    let revalidations = stat(&stats_after_zipf, "revalidations");
-    let reval_failures = stat(&stats_after_zipf, "revalidation_failures");
+    let revalidations = stat(&stats_after_conc, "revalidations");
+    let reval_failures = stat(&stats_after_conc, "revalidation_failures");
 
     latencies.sort();
     let p50 = percentile(&latencies, 0.50);
     let p99 = percentile(&latencies, 0.99);
+    let conc_p50 = percentile(&conc_latencies, 0.50);
+    let conc_p99 = percentile(&conc_latencies, 0.99);
     let throughput = requests as f64 / zipf_wall.as_secs_f64().max(1e-9);
 
     let mut report = String::new();
-    report.push_str("# serve_report v1\n");
+    report.push_str("# serve_report v2\n");
     let _ = writeln!(
         report,
         "# corpus: jobs={} loops={} cold_errors={}",
@@ -331,12 +414,21 @@ fn main() {
         "revalidator: revalidations={revalidations} failures={reval_failures} \
          sampled_zipfian_hits={revalidated_hits}",
     );
+    if cfg.clients > 1 {
+        let _ = writeln!(
+            report,
+            "concurrent: clients={} requests={} divergent_bodies={}",
+            cfg.clients,
+            conc_latencies.len(),
+            conc_divergent,
+        );
+    }
     let _ = writeln!(
         report,
         "cache: entries={} bytes={} evictions={}",
-        stat(&stats_after_zipf, "entries"),
-        stat(&stats_after_zipf, "bytes"),
-        stat(&stats_after_zipf, "evictions"),
+        stat(&stats_after_conc, "entries"),
+        stat(&stats_after_conc, "bytes"),
+        stat(&stats_after_conc, "evictions"),
     );
     // Wall-clock measurements: excluded from any golden comparison.
     let _ = writeln!(
@@ -348,6 +440,15 @@ fn main() {
         p50.as_micros(),
         p99.as_micros(),
     );
+    if cfg.clients > 1 {
+        let _ = writeln!(
+            report,
+            "# volatile: conc_us={} conc_p50_us={} conc_p99_us={}",
+            conc_wall.as_micros(),
+            conc_p50.as_micros(),
+            conc_p99.as_micros(),
+        );
+    }
 
     if cfg.smoke {
         println!("{report}");
@@ -379,6 +480,23 @@ fn main() {
     if reval_failures > 0 {
         eprintln!("FAIL: {reval_failures} revalidation failures (cached != fresh)");
         failed = true;
+    }
+    if cfg.clients > 1 {
+        if conc_divergent > 0 {
+            eprintln!("FAIL: {conc_divergent} concurrent replies diverged");
+            failed = true;
+        }
+        // The 1 ms floor keeps the ratio meaningful when the sequential
+        // p99 is a handful of microseconds.
+        let bound = p99.max(Duration::from_millis(1)) * 5;
+        eprintln!(
+            "serve: concurrent p99 {conc_p99:?} across {} clients (sequential {p99:?}, bound {bound:?})",
+            cfg.clients
+        );
+        if conc_p99 > bound {
+            eprintln!("FAIL: concurrent p99 {conc_p99:?} exceeds 5x sequential bound {bound:?}");
+            failed = true;
+        }
     }
     if failed {
         std::process::exit(1);

@@ -192,6 +192,7 @@ fn cache_hits_byte_identical_to_fresh_compiles_on_all_presets() {
             threads: 2,
             cache_bytes: 16 << 20,
             revalidate_every: 1,
+            max_connections: 1,
         });
         let jobs: Vec<_> = kernels
             .iter()

@@ -1,0 +1,326 @@
+//! Properties and golden regression for feedback-guided refinement
+//! ([`swp::refine`], surfaced through [`swp::CompileOptions::refine`]).
+//!
+//! * **Never worse, always legal** (256 cases): compiling a random
+//!   synthetic loop with refinement on yields, per loop, an initiation
+//!   interval no larger than the baseline compile's, and every refined
+//!   schedule passes the independent legality checker
+//!   [`swp::verify::verify_schedule`]. Refinement is a pure win or a
+//!   no-op — it can never regress a loop.
+//! * **Determinism**: the refined corpus compile is byte-identical
+//!   across thread counts {1, 2, 8} and across reruns — perturbation
+//!   order and seeds are fixed, so the driver's serial ≡ parallel
+//!   contract survives refinement.
+//! * **Golden refinement table**: per Livermore/Warp-app loop on every
+//!   machine preset, the baseline → refined interval and the winning
+//!   move, pinned in `results/golden_refine.txt`. Regenerate after an
+//!   intentional scheduler or refiner change with
+//!
+//!   ```text
+//!   GOLDEN_REFINE_REGEN=1 cargo test -p kernels --test refine
+//!   ```
+//!
+//!   One fact is additionally pinned as a hard assertion, independent of
+//!   the snapshot: `hough` on the test machine — the proved 1-cycle gap
+//!   the exact oracle exposed (see `golden_optimal.rs`) — reaches the
+//!   exact floor II=6 under refinement.
+
+use machine::presets::{test_machine, toy_vector, warp_cell};
+use machine::MachineDescription;
+use swp::testkit::{check, Config, SplitMix64};
+use swp::verify::verify_schedule;
+use swp::{compile, compile_batch, BatchJob, CompileOptions};
+
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/golden_refine.txt");
+
+fn presets() -> Vec<MachineDescription> {
+    vec![warp_cell(), test_machine(), toy_vector()]
+}
+
+fn refined_opts() -> CompileOptions {
+    CompileOptions {
+        refine: true,
+        ..CompileOptions::default()
+    }
+}
+
+fn random_shape(rng: &mut SplitMix64) -> kernels::synth::Shape {
+    kernels::synth::Shape {
+        trip: *rng.choose(&[64u32, 96, 128]),
+        streams: rng.range_u32(1, 4),
+        chain: rng.range_u32(1, 7),
+        width: rng.range_u32(0, 5),
+        recurrence: rng.chance(0.5),
+        mem_recurrence: rng.chance(0.25),
+        conditional: rng.chance(0.5),
+    }
+}
+
+/// 256 random loops × random preset: the refined compile never loses to
+/// the baseline, every refined schedule verifies, and the telemetry is
+/// consistent (stats agree with the achieved intervals).
+#[test]
+fn refined_never_regresses_and_always_verifies() {
+    check(
+        "refine vs baseline",
+        Config::with_cases(256),
+        |rng| {
+            let idx = rng.range_usize(0, 1000);
+            let shape = random_shape(rng);
+            let mach = rng.range_usize(0, 3);
+            (idx, shape, mach)
+        },
+        |_| Vec::new(),
+        |(idx, shape, mach_idx)| {
+            let mut krng = SplitMix64::new(*idx as u64);
+            let k = kernels::synth::generate(*idx, shape, &mut krng);
+            let mach = &presets()[*mach_idx];
+            let base = compile(&k.program, mach, &CompileOptions::default())
+                .map_err(|e| format!("baseline compile failed: {e}"))?;
+            let refd = compile(&k.program, mach, &refined_opts())
+                .map_err(|e| format!("refined compile failed: {e}"))?;
+            for a in &refd.artifacts {
+                let b = base
+                    .artifacts
+                    .iter()
+                    .find(|b| b.label == a.label)
+                    .ok_or_else(|| {
+                        format!("{}: refined compile pipelined a loop the baseline lost", a.label)
+                    })?;
+                if a.schedule.ii() > b.schedule.ii() {
+                    return Err(format!(
+                        "{}: refined II {} above baseline II {}",
+                        a.label,
+                        a.schedule.ii(),
+                        b.schedule.ii()
+                    ));
+                }
+                let violations = verify_schedule(&a.graph, &a.schedule, mach, &a.label);
+                if !violations.is_empty() {
+                    return Err(format!(
+                        "{}: refined schedule at II={} fails verification: {violations:?}",
+                        a.label,
+                        a.schedule.ii()
+                    ));
+                }
+                let rep = refd
+                    .reports
+                    .iter()
+                    .find(|r| r.label == a.label)
+                    .ok_or_else(|| format!("{}: no report", a.label))?;
+                if let Some(rs) = &rep.stats.refine {
+                    if rs.refined_ii != a.schedule.ii() {
+                        return Err(format!(
+                            "{}: refine stats say II {} but the schedule has {}",
+                            a.label,
+                            rs.refined_ii,
+                            a.schedule.ii()
+                        ));
+                    }
+                    if rs.refined_ii > rs.baseline_ii {
+                        return Err(format!(
+                            "{}: refine stats regressed ({} -> {})",
+                            a.label, rs.baseline_ii, rs.refined_ii
+                        ));
+                    }
+                }
+            }
+            Ok(())
+        },
+    );
+}
+
+/// One deterministic snapshot of the refined corpus compile: per job,
+/// per loop, the achieved interval, the refine telemetry and the full
+/// issue-time vector.
+fn refined_corpus_snapshot(threads: usize) -> String {
+    let machines = presets();
+    let mut corpus = kernels::livermore::all();
+    corpus.extend(kernels::apps::all());
+    let mut jobs = Vec::new();
+    for m in &machines {
+        for k in &corpus {
+            jobs.push(BatchJob {
+                name: format!("{} {}", k.name, m.name()),
+                program: &k.program,
+                mach: m,
+                opts: refined_opts(),
+            });
+        }
+    }
+    let results = compile_batch(&jobs, threads);
+    let mut out = String::new();
+    for r in &results {
+        let c = r.outcome.as_ref().unwrap_or_else(|e| panic!("{}: {e}", r.name));
+        out.push_str(&r.name);
+        out.push('\n');
+        for rep in &c.reports {
+            let refine = match &rep.stats.refine {
+                None => "-".to_string(),
+                Some(rs) => format!(
+                    "{}>{}@{}:{}",
+                    rs.baseline_ii,
+                    rs.refined_ii,
+                    rs.attempts,
+                    rs.winner.as_deref().unwrap_or("-")
+                ),
+            };
+            let times = match c.artifacts.iter().find(|a| a.label == rep.label) {
+                None => "-".to_string(),
+                Some(a) => format!("{:?}", a.schedule.times()),
+            };
+            out.push_str(&format!(
+                "  {} ii={:?} refine={refine} times={times}\n",
+                rep.label, rep.ii
+            ));
+        }
+    }
+    out
+}
+
+/// Byte-identical across thread counts and reruns: refinement keeps the
+/// batch driver's determinism contract.
+#[test]
+fn refined_compile_is_deterministic_across_threads_and_reruns() {
+    let baseline = refined_corpus_snapshot(1);
+    for threads in [2, 8] {
+        assert_eq!(
+            baseline,
+            refined_corpus_snapshot(threads),
+            "refined corpus compile diverges at {threads} threads"
+        );
+    }
+    assert_eq!(
+        baseline,
+        refined_corpus_snapshot(1),
+        "refined corpus compile diverges between reruns"
+    );
+}
+
+/// Per kernel × machine: each loop's refinement entry. `-` — loop not
+/// pipelined; `ii` — nothing to refine (or nothing improved); or
+/// `baseline>refined:move` — the refiner closed cycles.
+fn refine_rows() -> Vec<(String, Vec<(String, String)>)> {
+    let machines = presets();
+    let mut corpus = kernels::livermore::all();
+    corpus.extend(kernels::apps::all());
+    let mut jobs = Vec::new();
+    for m in &machines {
+        for k in &corpus {
+            jobs.push(BatchJob {
+                name: format!("{} {}", k.name, m.name()),
+                program: &k.program,
+                mach: m,
+                opts: refined_opts(),
+            });
+        }
+    }
+    let results = compile_batch(&jobs, 4);
+    results
+        .iter()
+        .map(|r| {
+            let c = r.outcome.as_ref().unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            let loops = c
+                .reports
+                .iter()
+                .map(|rep| {
+                    let entry = match (rep.ii, &rep.stats.refine) {
+                        (None, _) => "-".to_string(),
+                        (Some(ii), None) => ii.to_string(),
+                        (Some(ii), Some(rs)) if rs.closed() == 0 => ii.to_string(),
+                        (Some(_), Some(rs)) => format!(
+                            "{}>{}:{}",
+                            rs.baseline_ii,
+                            rs.refined_ii,
+                            rs.winner.as_deref().unwrap_or("?")
+                        ),
+                    };
+                    (rep.label.clone(), entry)
+                })
+                .collect();
+            (r.name.clone(), loops)
+        })
+        .collect()
+}
+
+fn render(rows: &[(String, Vec<(String, String)>)]) -> String {
+    let mut out = String::from(
+        "# Feedback-guided refinement over the Livermore + Warp-app corpus on\n\
+         # every machine preset: kernel machine loop=entry[,loop=entry...]\n\
+         # (`-` = not pipelined, `ii` = unrefined interval, `b>r:move` = the\n\
+         # refiner closed b-r cycle(s) via the named perturbation.)\n\
+         # Regenerate with: GOLDEN_REFINE_REGEN=1 cargo test -p kernels --test refine\n",
+    );
+    for (name, loops) in rows {
+        let loops: Vec<String> = loops
+            .iter()
+            .map(|(label, entry)| format!("{label}={entry}"))
+            .collect();
+        let loops = if loops.is_empty() {
+            "-".to_string()
+        } else {
+            loops.join(",")
+        };
+        out.push_str(&format!("{name} {loops}\n"));
+    }
+    out
+}
+
+fn check_against_golden(actual: &str, path: &str) {
+    if std::env::var("GOLDEN_REFINE_REGEN").is_ok_and(|v| v == "1") {
+        std::fs::write(path, actual).expect("write golden file");
+        eprintln!("golden_refine: regenerated {path}");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {path} ({e}); \
+             run GOLDEN_REFINE_REGEN=1 cargo test -p kernels --test refine"
+        )
+    });
+    if actual == expected {
+        return;
+    }
+    let mut diffs = Vec::new();
+    let mut old = expected.lines();
+    let mut new = actual.lines();
+    loop {
+        match (old.next(), new.next()) {
+            (None, None) => break,
+            (o, n) if o == n => continue,
+            (o, n) => diffs.push(format!(
+                "  - {}\n  + {}",
+                o.unwrap_or("<missing>"),
+                n.unwrap_or("<missing>")
+            )),
+        }
+    }
+    panic!(
+        "refinement table diverges from {path} ({} row(s)):\n{}\n\
+         If the scheduler or refiner change is intentional, regenerate with \
+         GOLDEN_REFINE_REGEN=1 and commit the new table.",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn refinement_table_matches_golden() {
+    let rows = refine_rows();
+    check_against_golden(&render(&rows), GOLDEN_PATH);
+
+    // Snapshot-independent pin: the proved 1-cycle gap on `hough`
+    // (test machine, loop2; see golden_optimal.rs) closes to the exact
+    // floor II=6 — the headline the refiner exists for.
+    let entry = rows
+        .iter()
+        .find(|(n, _)| n == "hough test")
+        .and_then(|(_, ls)| ls.iter().find(|(l, _)| l == "loop2"))
+        .map(|(_, e)| e.as_str())
+        .unwrap_or_else(|| panic!("row 'hough test'/loop2 missing"));
+    assert!(
+        entry.starts_with("7>6:"),
+        "hough test/loop2: expected the proved gap to close 7>6, got '{entry}'"
+    );
+}

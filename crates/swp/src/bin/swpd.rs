@@ -6,6 +6,7 @@
 //!
 //! ```text
 //! swpd --socket /tmp/swpd.sock [--threads N] [--cache-bytes N] [--revalidate-every N]
+//!      [--max-connections N]
 //! ```
 //!
 //! The daemon runs until a client sends a `Shutdown` request. A stale
@@ -23,11 +24,13 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: swpd --socket PATH [--threads N] [--cache-bytes N] [--revalidate-every N]\n\
+         \x20           [--max-connections N]\n\
          \n\
          --socket PATH         unix socket to bind (required)\n\
          --threads N           worker threads for cache misses (default: host cores)\n\
          --cache-bytes N       cache byte budget, 0 disables (default: 67108864)\n\
-         --revalidate-every N  revalidate every Nth hit, 0 disables (default: 16)"
+         --revalidate-every N  revalidate every Nth hit, 0 disables (default: 16)\n\
+         --max-connections N   concurrently served connections (default: 8)"
     );
     std::process::exit(2);
 }
@@ -51,6 +54,11 @@ fn parse_args() -> Args {
             }
             "--revalidate-every" => {
                 cfg.revalidate_every = value("--revalidate-every")
+                    .parse()
+                    .unwrap_or_else(|_| usage())
+            }
+            "--max-connections" => {
+                cfg.max_connections = value("--max-connections")
                     .parse()
                     .unwrap_or_else(|_| usage())
             }
@@ -83,11 +91,12 @@ fn main() -> ExitCode {
         }
     };
     eprintln!(
-        "swpd: listening on {} (threads={}, cache-bytes={}, revalidate-every={})",
+        "swpd: listening on {} (threads={}, cache-bytes={}, revalidate-every={}, max-connections={})",
         args.socket.display(),
         args.cfg.threads,
         args.cfg.cache_bytes,
-        args.cfg.revalidate_every
+        args.cfg.revalidate_every,
+        args.cfg.max_connections
     );
     let result = serve_unix_with(&listener, args.cfg);
     let _ = std::fs::remove_file(&args.socket);

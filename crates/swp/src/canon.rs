@@ -376,6 +376,7 @@ pub fn options_fingerprint(o: &CompileOptions) -> u64 {
         o.respect_reg_files as u8,
         o.hierarchical as u8,
         o.fuse_epilog as u8,
+        o.refine as u8,
     ]);
     write_u64(&mut h, o.build.trip.map_or(u64::MAX, |t| t as u64));
     h.write(&[
@@ -588,6 +589,7 @@ mod tests {
             CompileOptions { hierarchical: false, ..base },
             CompileOptions { fuse_epilog: false, ..base },
             CompileOptions { cond_mode: crate::CondMode::Exclusive, ..base },
+            CompileOptions { refine: true, ..base },
         ];
         for v in &variants {
             assert_ne!(options_fingerprint(v), fp, "{v:?}");

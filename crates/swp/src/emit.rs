@@ -89,6 +89,14 @@ pub struct CompileOptions {
     /// epilog of a loop can be overlapped with other operations outside
     /// the loop", diminishing the penalty of short loops).
     pub fuse_epilog: bool,
+    /// Feedback-guided iterative rescheduling ([`crate::refine`]): when
+    /// the achieved interval exceeds the MII, retry with a deterministic,
+    /// budgeted menu of perturbations keyed off the loop's own scheduler
+    /// diagnostics, keeping the best verified schedule. Never regresses:
+    /// an improvement is accepted only when strictly below the baseline
+    /// interval and valid, and the baseline ships when the improved
+    /// schedule fails a downstream (trip-count or register-file) check.
+    pub refine: bool,
 }
 
 impl Default for CompileOptions {
@@ -104,6 +112,7 @@ impl Default for CompileOptions {
             hierarchical: true,
             cond_mode: CondMode::default(),
             fuse_epilog: true,
+            refine: false,
         }
     }
 }
@@ -160,7 +169,7 @@ pub enum NotPipelined {
 }
 
 /// Per-loop compilation report (feeds every table in the evaluation).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct LoopReport {
     /// Emitter-assigned label, e.g. `"loop2"`.
     pub label: String,
@@ -771,49 +780,124 @@ impl<'m> Emitter<'m> {
                 return None;
             }
         };
-        if result.schedule.ii() >= unpip_len.max(1) {
+        // Feedback-guided refinement: spend a bounded perturbation budget
+        // trying to close the gap to the MII. The baseline schedule is
+        // kept as a fallback — an improvement that later fails the
+        // trip-count or register-file checks must not cost the loop its
+        // pipeline.
+        let mut schedule = result.schedule;
+        let mut fallback: Option<Schedule> = None;
+        if self.opts.refine {
+            let refine_start = Instant::now();
+            let limiting = report
+                .stats
+                .sched
+                .attempts
+                .iter()
+                .find(|a| a.failure.is_none())
+                .and_then(|a| a.limiting);
+            let out = crate::refine::refine(
+                &g,
+                self.mach,
+                &sched_opts,
+                &analysis,
+                schedule.ii(),
+                mii,
+                limiting,
+                &crate::refine::RefineConfig::default(),
+                self.scratch,
+            );
+            report.stats.refine = Some(out.stats());
+            if let Some(imp) = out.improved {
+                fallback = Some(schedule);
+                schedule = imp.schedule;
+            }
+            report.stats.phases.search += refine_start.elapsed();
+        }
+
+        if schedule.ii() >= unpip_len.max(1) {
             report.not_pipelined = Some(NotPipelined::NotProfitable {
-                ii: result.schedule.ii(),
+                ii: schedule.ii(),
                 unpipelined: unpip_len,
             });
             return None;
         }
-        let expand_start = Instant::now();
-        let exp = expand(&g, &result.schedule, self.mach, &mut self.regs, self.opts.unroll_policy);
-        report.stats.phases.expand = expand_start.elapsed();
-        report.ii = Some(result.schedule.ii());
-        report.unroll = exp.unroll;
-        report.stages = result.schedule.stages(&g);
-        report.stats.mve_copies = exp.total_copies();
-        report.stats.stage_histogram = result.schedule.stage_histogram(&g);
+        let mut candidate = Some(schedule);
+        while let Some(sched) = candidate.take() {
+            let expand_start = Instant::now();
+            let mut exp = expand(&g, &sched, self.mach, &mut self.regs, self.opts.unroll_policy);
+            report.stats.phases.expand += expand_start.elapsed();
 
-        if let TripCount::Const(n) = *trip {
-            let k = result.schedule.stages(&g) - 1;
-            if n < k {
-                report.ii = None;
-                report.stats.stage_histogram.clear();
-                report.not_pipelined = Some(NotPipelined::TripTooSmall { trip: n, needed: k });
-                return None;
+            if let TripCount::Const(n) = *trip {
+                let k = sched.stages(&g) - 1;
+                if n < k {
+                    if let Some(base) = fallback.take() {
+                        // The refined schedule stretched the pipeline past
+                        // the trip count; the baseline still fits.
+                        Self::revert_refine(report);
+                        candidate = Some(base);
+                        continue;
+                    }
+                    report.not_pipelined =
+                        Some(NotPipelined::TripTooSmall { trip: n, needed: k });
+                    return None;
+                }
             }
-        }
 
-        if self.opts.respect_reg_files {
-            if let Some((class, required, available)) = self.register_overflow(&g, &exp) {
-                report.ii = None;
-                report.stats.stage_histogram.clear();
-                report.not_pipelined = Some(NotPipelined::Registers {
-                    class,
-                    required,
-                    available,
-                });
-                return None;
+            if self.opts.respect_reg_files {
+                if let Some((class, required, available)) = self.register_overflow(&g, &exp) {
+                    // A refined schedule whose rotating footprint overflows
+                    // may still fit under the other unroll policy.
+                    let mut rescued = false;
+                    if fallback.is_some() {
+                        let flipped = match self.opts.unroll_policy {
+                            UnrollPolicy::MinRegisters => UnrollPolicy::MinCodeSize,
+                            UnrollPolicy::MinCodeSize => UnrollPolicy::MinRegisters,
+                        };
+                        let exp2 = expand(&g, &sched, self.mach, &mut self.regs, flipped);
+                        if self.register_overflow(&g, &exp2).is_none() {
+                            exp = exp2;
+                            rescued = true;
+                            if let Some(rs) = report.stats.refine.as_mut() {
+                                if let Some(w) = rs.winner.as_mut() {
+                                    w.push_str("+mve-flip");
+                                }
+                            }
+                        }
+                    }
+                    if !rescued {
+                        if let Some(base) = fallback.take() {
+                            Self::revert_refine(report);
+                            candidate = Some(base);
+                            continue;
+                        }
+                        report.not_pipelined = Some(NotPipelined::Registers {
+                            class,
+                            required,
+                            available,
+                        });
+                        return None;
+                    }
+                }
             }
+
+            report.ii = Some(sched.ii());
+            report.unroll = exp.unroll;
+            report.stages = sched.stages(&g);
+            report.stats.mve_copies = exp.total_copies();
+            report.stats.stage_histogram = sched.stage_histogram(&g);
+            return Some(PipelinePlan { g, sched, exp });
         }
-        Some(PipelinePlan {
-            g,
-            sched: result.schedule,
-            exp,
-        })
+        None
+    }
+
+    /// Resets the refinement telemetry after the improved schedule was
+    /// rejected by a downstream check and the baseline restored.
+    fn revert_refine(report: &mut LoopReport) {
+        if let Some(rs) = report.stats.refine.as_mut() {
+            rs.refined_ii = rs.baseline_ii;
+            rs.winner = None;
+        }
     }
 
     /// Checks the loop's register footprint (variables referenced in the

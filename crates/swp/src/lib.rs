@@ -68,6 +68,7 @@ pub mod optimal;
 mod pathalg;
 mod pressure;
 pub mod prune;
+pub mod refine;
 mod scc;
 mod schedule;
 pub mod service;
@@ -94,10 +95,16 @@ pub use graph::{
 pub use hier::{reduce_stmts, reduce_stmts_with, stats as hier_stats, CondMode};
 pub use mii::{rec_mii, res_mii, IllegalCycle, MiiReport, ZeroCapacity};
 pub use modsched::{
-    modulo_schedule, modulo_schedule_analyzed, modulo_schedule_telemetry, IiSearch, Priority,
-    SchedAnalysis, SchedError, SchedOptions, SchedScratch, ScheduleResult,
+    attempt_at, modulo_schedule, modulo_schedule_analyzed, modulo_schedule_telemetry, IiSearch,
+    Priority, SchedAnalysis, SchedError, SchedOptions, SchedScratch, SchedTuning, ScheduleResult,
 };
-pub use stats::{AttemptFailure, DepEdgeSummary, IiAttempt, LoopStats, PhaseTimes, SchedTelemetry};
+pub use refine::{
+    refine, refine_with_witness, Improvement, RefineConfig, RefineMove, RefineOutcome,
+};
+pub use stats::{
+    AttemptFailure, DepEdgeSummary, IiAttempt, LimitingConstraint, LoopStats, PhaseTimes,
+    RefineStats, SchedTelemetry,
+};
 pub use mrt::{LinearTable, ModuloTable};
 pub use optimal::{certify, IiVerdict, OracleOptions, OracleOutcome, OracleResult};
 pub use mve::{expand, Expansion, UnrollPolicy};

@@ -31,7 +31,7 @@ use crate::mrt::ModuloTable;
 use crate::pathalg::SccClosure;
 use crate::scc::{tarjan, SccDecomposition};
 use crate::schedule::Schedule;
-use crate::stats::{AttemptFailure, IiAttempt, SchedTelemetry};
+use crate::stats::{AttemptFailure, IiAttempt, LimitingConstraint, SchedTelemetry};
 
 /// How to search the initiation-interval space.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -66,6 +66,43 @@ pub struct SchedOptions {
     /// Hard cap on the interval search; `None` derives a bound from the
     /// body (the length of a fully serialized iteration plus slack).
     pub max_ii: Option<u32>,
+}
+
+/// Targeted perturbations for a single scheduling attempt — the knobs the
+/// feedback-guided refinement driver ([`crate::refine`]) turns. The
+/// default value leaves every placement decision byte-identical to the
+/// unperturbed scheduler, so the baseline search never pays for the
+/// machinery.
+///
+/// Deliberately *not* part of [`SchedOptions`]: tunings are transient
+/// search state, never serialized, fingerprinted, or cached.
+#[derive(Debug, Clone, Default)]
+pub struct SchedTuning {
+    /// Boost this condensation vertex (its index equals the SCC component
+    /// id) to top list-scheduling priority — "schedule the critical
+    /// recurrence first".
+    pub favor_component: Option<usize>,
+    /// Replace the smallest-index tie-break of the list scheduler with a
+    /// SplitMix64 hash keyed by this seed (deterministic for a fixed
+    /// seed; different seeds explore different tie resolutions).
+    pub tie_seed: Option<u64>,
+    /// Rotate the slot-scan order inside each placement window by this
+    /// many positions: the scan still covers exactly the same window, but
+    /// starts elsewhere, shifting which modulo rows fill up first.
+    pub slot_rotation: u32,
+    /// Witness row hint: per-node absolute times of a schedule known to
+    /// be valid at the attempted interval (an exact-oracle witness).
+    /// Components adopt the witness's internal offsets and the
+    /// condensation scan prefers witness-congruent modulo rows, so the
+    /// list scheduler provably re-derives a schedule at the witness's
+    /// interval.
+    pub rows_hint: Option<Vec<i64>>,
+}
+
+/// Deterministic tie-break hash for [`SchedTuning::tie_seed`].
+fn tie_hash(seed: u64, i: usize) -> u64 {
+    crate::testkit::SplitMix64::new(seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .next_u64()
 }
 
 /// Result of a successful scheduling run.
@@ -322,23 +359,29 @@ pub fn modulo_schedule_analyzed(
 
     let mut attempts = 0;
     let schedule = {
+        let tuning = SchedTuning::default();
         let mut try_s = |s: u32, attempts: &mut u32, tel: &mut SchedTelemetry| -> Option<Schedule> {
             *attempts += 1;
-            let outcome = schedule_at(g, mach, scc, nontrivial, closures, s, opts, scratch)
+            let outcome = schedule_at(g, mach, scc, nontrivial, closures, s, opts, &tuning, scratch)
                 // Belt and braces: never return an invalid schedule.
-                .and_then(|sched| match sched.validate(g, mach) {
-                    Ok(()) => Ok(sched),
+                .and_then(|(sched, limiting)| match sched.validate(g, mach) {
+                    Ok(()) => Ok((sched, limiting)),
                     Err(reason) => Err(AttemptFailure::Validation { reason }),
                 });
             match outcome {
-                Ok(sched) => {
-                    tel.attempts.push(IiAttempt { ii: s, failure: None });
+                Ok((sched, limiting)) => {
+                    tel.attempts.push(IiAttempt {
+                        ii: s,
+                        failure: None,
+                        limiting: Some(limiting),
+                    });
                     Some(sched)
                 }
                 Err(failure) => {
                     tel.attempts.push(IiAttempt {
                         ii: s,
                         failure: Some(failure),
+                        limiting: None,
                     });
                     None
                 }
@@ -440,6 +483,45 @@ pub(crate) fn default_max_ii(g: &DepGraph, mii: u32) -> u32 {
     (mii as i64 + total_len + total_delay + 8).min(u32::MAX as i64) as u32
 }
 
+/// A single scheduling attempt at a fixed interval with explicit
+/// perturbations, validated before returning — the refinement driver's
+/// entry point. On success the schedule passed [`Schedule::validate`]
+/// against `g`, and the [`LimitingConstraint`] names whichever of
+/// resources/recurrence bound the final placement.
+///
+/// # Errors
+///
+/// Returns the abort cause ([`AttemptFailure`]) when no valid schedule
+/// exists at `s` under this tuning.
+pub fn attempt_at(
+    g: &DepGraph,
+    mach: &MachineDescription,
+    analysis: &SchedAnalysis,
+    s: u32,
+    opts: &SchedOptions,
+    tuning: &SchedTuning,
+    scratch: &mut SchedScratch,
+) -> Result<(Schedule, LimitingConstraint), AttemptFailure> {
+    if g.num_nodes() == 0 {
+        return Ok((Schedule::new(Vec::new(), s), LimitingConstraint::Recurrence));
+    }
+    let (sched, limiting) = schedule_at(
+        g,
+        mach,
+        &analysis.scc,
+        &analysis.nontrivial,
+        &analysis.closures,
+        s,
+        opts,
+        tuning,
+        scratch,
+    )?;
+    match sched.validate(g, mach) {
+        Ok(()) => Ok((sched, limiting)),
+        Err(reason) => Err(AttemptFailure::Validation { reason }),
+    }
+}
+
 /// One attempt at a fixed initiation interval. Failures carry the abort
 /// cause for the telemetry log.
 #[allow(clippy::too_many_arguments)] // internal; bundled by modulo_schedule_analyzed
@@ -451,19 +533,25 @@ fn schedule_at(
     closures: &[SccClosure],
     s: u32,
     opts: &SchedOptions,
+    tuning: &SchedTuning,
     scratch: &mut SchedScratch,
-) -> Result<Schedule, AttemptFailure> {
+) -> Result<(Schedule, LimitingConstraint), AttemptFailure> {
+    let mut resource_delayed = false;
     // 1. Schedule each nontrivial component individually.
     let mut comp_offsets: Vec<Option<Vec<(NodeId, i64)>>> = vec![None; scc.len()];
     for (ci, (cl, &c)) in closures.iter().zip(nontrivial).enumerate() {
-        comp_offsets[c] = Some(schedule_component(g, mach, cl, s, ci, scratch)?);
+        let (offsets, delayed) = schedule_component(g, mach, cl, s, ci, tuning, scratch)?;
+        resource_delayed |= delayed;
+        comp_offsets[c] = Some(offsets);
     }
 
     // 2. Build the acyclic condensation.
     let cond = condense(g, scc, &comp_offsets);
 
     // 3. List-schedule the condensation against a modulo table.
-    let ctimes = list_schedule_condensation(&cond, mach, s, opts.priority, scratch)?;
+    let (ctimes, delayed) =
+        list_schedule_condensation(&cond, mach, s, opts.priority, tuning, scratch)?;
+    resource_delayed |= delayed;
 
     // 4. Expand back to per-node times.
     let mut times = vec![0i64; g.num_nodes()];
@@ -472,14 +560,20 @@ fn schedule_at(
             times[n.index()] = ctimes[ci] + off;
         }
     }
-    Ok(Schedule::new(times, s))
+    let limiting = if resource_delayed {
+        LimitingConstraint::Resources
+    } else {
+        LimitingConstraint::Recurrence
+    };
+    Ok((Schedule::new(times, s), limiting))
 }
 
 /// Schedules one strongly connected component at interval `s`, following
 /// §2.2.2: nodes in a topological order of the intra-iteration edges, each
 /// placed at the earliest resource-feasible slot within its
 /// precedence-constrained range. Returns normalized `(node, offset)`
-/// pairs, or the abort cause if some node has no feasible slot. `ci` is
+/// pairs plus whether any member was pushed past its precedence-earliest
+/// slot, or the abort cause if some node has no feasible slot. `ci` is
 /// the component's index in the nontrivial-component list (telemetry
 /// only).
 fn schedule_component(
@@ -488,8 +582,9 @@ fn schedule_component(
     cl: &SccClosure,
     s: u32,
     ci: usize,
+    tuning: &SchedTuning,
     scratch: &mut SchedScratch,
-) -> Result<Vec<(NodeId, i64)>, AttemptFailure> {
+) -> Result<(Vec<(NodeId, i64)>, bool), AttemptFailure> {
     let members = &cl.members;
     // Feasibility of every self cycle at this interval.
     for &m in members {
@@ -499,6 +594,20 @@ fn schedule_component(
             }
         }
     }
+    // Witness mode: the hint's times satisfy every pairwise constraint of
+    // the component at this interval (the witness schedule validated), so
+    // adopt them directly as internal offsets. Resource feasibility of
+    // the aggregate is re-checked by the condensation scheduler and the
+    // post-hoc validator.
+    if let Some(hint) = &tuning.rows_hint {
+        let mut placed: Vec<(NodeId, i64)> =
+            members.iter().map(|&n| (n, hint[n.index()])).collect();
+        let min = placed.iter().map(|&(_, t)| t).min().unwrap_or(0);
+        for p in &mut placed {
+            p.1 -= min;
+        }
+        return Ok((placed, false));
+    }
     scratch.note_table();
     // Split borrow: the topo workspace holds the order while the table
     // fills.
@@ -507,6 +616,7 @@ fn schedule_component(
     let table = mrt;
     table.reset(mach, s);
     let mut placed: Vec<(NodeId, i64)> = Vec::with_capacity(members.len());
+    let mut delayed = false;
 
     for &u in order {
         let (mut lo, mut hi) = (i64::MIN, i64::MAX);
@@ -532,21 +642,28 @@ fn schedule_component(
         // the range allows it.
         let lo = if hi >= 0 { lo.max(0) } else { lo };
         let scan_end = hi.min(lo + s as i64 - 1);
+        let width = scan_end - lo + 1;
+        let rot = tuning.slot_rotation as i64 % width.max(1);
         let mut slot = None;
-        let mut t = lo;
         let node = g.node(u);
-        while t <= scan_end {
+        // The scan covers exactly [lo, scan_end]; a nonzero rotation
+        // starts elsewhere in the window (perturbation only — never
+        // changes which windows are considered).
+        for k in 0..width {
+            let t = lo + (k + rot) % width;
             let wrap_ok = !node.needs_no_wrap()
                 || t.rem_euclid(s as i64) + node.len as i64 <= s as i64;
             if wrap_ok && table.fits(&node.reservation, t) {
                 slot = Some(t);
                 break;
             }
-            t += 1;
         }
         let Some(t) = slot else {
             return Err(AttemptFailure::ComponentPlacement { comp: ci, node: u.0 });
         };
+        if t > lo {
+            delayed = true;
+        }
         table.place(&g.node(u).reservation, t);
         placed.push((u, t));
     }
@@ -554,7 +671,7 @@ fn schedule_component(
     for p in &mut placed {
         p.1 -= min;
     }
-    Ok(placed)
+    Ok((placed, delayed))
 }
 
 /// Topological order of `members` considering only intra-iteration
@@ -681,9 +798,25 @@ fn list_schedule_condensation<'a>(
     mach: &MachineDescription,
     s: u32,
     priority: Priority,
+    tuning: &SchedTuning,
     scratch: &'a mut SchedScratch,
-) -> Result<&'a [i64], AttemptFailure> {
+) -> Result<(&'a [i64], bool), AttemptFailure> {
     let n = cond.nodes.len();
+    // Witness mode: each vertex's preferred absolute time, derived from
+    // the hint (`hint[member] - internal offset` is the same for every
+    // member of a vertex whose offsets came from the hint). Placing every
+    // vertex at a slot congruent to its preference reproduces the
+    // witness's modulo rows, so the witness's resource feasibility
+    // transfers and the scan below provably lands at `t <= preference`.
+    let prefer: Option<Vec<i64>> = tuning.rows_hint.as_ref().map(|hint| {
+        cond.nodes
+            .iter()
+            .map(|c| {
+                let (m0, off0) = c.members[0];
+                hint[m0.index()] - off0
+            })
+            .collect()
+    });
     scratch.note_table();
     let SchedScratch { mrt, cond: cs, .. } = scratch;
 
@@ -724,21 +857,32 @@ fn list_schedule_condensation<'a>(
     cs.earliest.clear();
     cs.earliest.resize(n, 0);
     let mut remaining = n;
+    let mut delayed = false;
+    let fav = tuning.favor_component;
 
     while remaining > 0 {
-        // Pick the ready node to schedule next.
+        // Pick the ready node to schedule next. The favored vertex (the
+        // critical SCC, when set) preempts the priority; the seeded tie
+        // hash replaces the default smallest-index tie-break. With the
+        // default tuning both reduce to the original orders.
         let pick = match priority {
             Priority::Height => cs
                 .ready
                 .iter()
                 .enumerate()
-                .max_by_key(|&(_, &i)| (cs.heights[i], std::cmp::Reverse(i)))
+                .max_by_key(|&(_, &i)| {
+                    let tie = match tuning.tie_seed {
+                        Some(seed) => tie_hash(seed, i),
+                        None => u64::MAX - i as u64,
+                    };
+                    (Some(i) == fav, cs.heights[i], tie, std::cmp::Reverse(i))
+                })
                 .map(|(k, _)| k),
             Priority::SourceOrder => cs
                 .ready
                 .iter()
                 .enumerate()
-                .min_by_key(|&(_, &i)| i)
+                .min_by_key(|&(_, &i)| (Some(i) != fav, i))
                 .map(|(k, _)| k),
         };
         let Some(pick) = pick else {
@@ -748,19 +892,37 @@ fn list_schedule_condensation<'a>(
         };
         let u = cs.ready.swap_remove(pick);
         let start = cs.earliest[u].max(0);
-        let mut placed_at = None;
-        for t in start..start + s as i64 {
+        let fits_at = |table: &ModuloTable, t: i64| {
             let wrap_ok = cond.nodes[u].no_wrap.iter().all(|&(off, len)| {
                 (t + off).rem_euclid(s as i64) + len as i64 <= s as i64
             });
-            if wrap_ok && table.fits(&cond.nodes[u].reservation, t) {
+            wrap_ok && table.fits(&cond.nodes[u].reservation, t)
+        };
+        let mut placed_at = None;
+        // Witness-congruent slot first: the unique t in [start, start+s)
+        // on the witness's modulo row.
+        if let Some(prefer) = &prefer {
+            let t = start + (prefer[u] - start).rem_euclid(s as i64);
+            if fits_at(table, t) {
                 placed_at = Some(t);
-                break;
+            }
+        }
+        if placed_at.is_none() {
+            let rot = tuning.slot_rotation as i64 % (s as i64);
+            for k in 0..s as i64 {
+                let t = start + (k + rot) % s as i64;
+                if fits_at(table, t) {
+                    placed_at = Some(t);
+                    break;
+                }
             }
         }
         let Some(t) = placed_at else {
             return Err(AttemptFailure::CondensationPlacement { vertex: u });
         };
+        if t > start {
+            delayed = true;
+        }
         table.place(&cond.nodes[u].reservation, t);
         cs.times[u] = t;
         remaining -= 1;
@@ -774,7 +936,7 @@ fn list_schedule_condensation<'a>(
             }
         }
     }
-    Ok(&cs.times)
+    Ok((&cs.times, delayed))
 }
 
 fn compute_heights(
@@ -1069,6 +1231,60 @@ mod tests {
         assert!(tel.attempts[4].failure.is_none());
         assert_eq!(tel.abort_summary(), "condensation:4");
         assert_eq!(tel.attempt_range(), "1-5");
+    }
+
+    /// Regression (refine groundwork): the *successful* attempt's record
+    /// names the limiting constraint. A loop whose placements are pushed
+    /// by the reservation table reports `Resources`.
+    #[test]
+    fn successful_attempt_records_resource_limit() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let a = regs.alloc(Type::I32);
+        let xs: Vec<_> = (0..3).map(|_| regs.alloc(Type::F32)).collect();
+        let ops: Vec<Op> = xs
+            .iter()
+            .enumerate()
+            .map(|(k, &x)| {
+                Op::new(Opcode::Load, Some(x), vec![a.into()])
+                    .with_mem(ir::MemRef::affine(ir::ArrayId(k as u32), 1, 0))
+            })
+            .collect();
+        let g = build_graph(&ops, &m, BuildOptions::default());
+        let (r, tel) = modulo_schedule_telemetry(&g, &m, &SchedOptions::default());
+        assert_eq!(r.unwrap().schedule.ii(), 3, "one memory port, three loads");
+        let ok = tel
+            .attempts
+            .iter()
+            .find(|a| a.failure.is_none())
+            .expect("a successful attempt");
+        assert_eq!(
+            ok.limiting,
+            Some(crate::stats::LimitingConstraint::Resources),
+            "loads serialize on the memory port"
+        );
+        for failed in tel.attempts.iter().filter(|a| a.failure.is_some()) {
+            assert_eq!(failed.limiting, None, "failures carry no limit: {failed:?}");
+        }
+    }
+
+    /// Regression counterpart: a recurrence-bound loop whose every node
+    /// lands at its precedence-earliest slot reports `Recurrence`.
+    #[test]
+    fn successful_attempt_records_recurrence_limit() {
+        let m = test_machine();
+        let mut regs = RegTable::new();
+        let s = regs.alloc(Type::F32);
+        let x = regs.alloc(Type::F32);
+        let op = Op::new(Opcode::FAdd, Some(s), vec![s.into(), x.into()]);
+        let g = build_graph(&[op], &m, BuildOptions::default());
+        let (r, tel) = modulo_schedule_telemetry(&g, &m, &SchedOptions::default());
+        assert_eq!(r.unwrap().schedule.ii(), 2, "bound by the fadd recurrence");
+        let ok = tel.attempts.iter().find(|a| a.failure.is_none()).unwrap();
+        assert_eq!(
+            ok.limiting,
+            Some(crate::stats::LimitingConstraint::Recurrence)
+        );
     }
 
     /// Recurrence-bound loop: the telemetry's component sizes reflect the

@@ -20,13 +20,19 @@ pub struct Schedule {
 }
 
 impl Schedule {
-    /// Wraps raw issue times. Times are normalized so the earliest is 0.
+    /// Wraps raw issue times. Times are normalized by a multiple of `ii`
+    /// so the earliest lands in `[0, ii)` — shifting by whole intervals
+    /// keeps every node on its modulo row, so placement-time row
+    /// decisions (resource rows, the reduced-construct no-wrap rule)
+    /// survive normalization. Schedules whose raw minimum is 0 — every
+    /// unperturbed scheduler run — come through byte-identical.
     pub fn new(mut times: Vec<i64>, ii: u32) -> Self {
         assert!(ii > 0, "initiation interval must be positive");
         if let Some(&min) = times.iter().min() {
-            if min != 0 {
+            let shift = min.div_euclid(ii as i64) * ii as i64;
+            if shift != 0 {
                 for t in &mut times {
-                    *t -= min;
+                    *t -= shift;
                 }
             }
         }
@@ -115,6 +121,23 @@ impl Schedule {
                 ));
             }
             table.place(res, self.time(n));
+        }
+        // Reduced constructs must not straddle the II boundary (the
+        // emitter splits the word stream at their rows). Times are
+        // normalized to min 0 by `new`, which shifts every modulo row
+        // when the raw minimum was not a multiple of the II — so this is
+        // checked on the final rows, not trusted from placement.
+        for n in g.node_ids() {
+            let node = g.node(n);
+            if node.needs_no_wrap()
+                && self.time(n).rem_euclid(self.ii as i64) + node.len as i64 > self.ii as i64
+            {
+                return Err(format!(
+                    "reduced construct {n} (len {}) wraps the II boundary at cycle {}",
+                    node.len,
+                    self.time(n)
+                ));
+            }
         }
         Ok(())
     }
@@ -206,10 +229,21 @@ mod tests {
     }
 
     #[test]
-    fn normalization_shifts_to_zero() {
+    fn normalization_preserves_modulo_rows() {
+        // Shift is a whole number of intervals: the earliest time lands
+        // in [0, ii) on its original row (5 mod 3 = 2), and relative
+        // spacing is untouched.
         let s = Schedule::new(vec![5, 7], 3);
+        assert_eq!(s.time(NodeId(0)), 2);
+        assert_eq!(s.time(NodeId(1)), 4);
+        // Multiples of the interval normalize all the way to zero.
+        let s = Schedule::new(vec![6, 7], 3);
         assert_eq!(s.time(NodeId(0)), 0);
-        assert_eq!(s.time(NodeId(1)), 2);
+        assert_eq!(s.time(NodeId(1)), 1);
+        // Negative minima round toward -inf so times stay nonnegative.
+        let s = Schedule::new(vec![-2, 0], 3);
+        assert_eq!(s.time(NodeId(0)), 1);
+        assert_eq!(s.time(NodeId(1)), 3);
     }
 
     #[test]

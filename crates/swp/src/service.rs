@@ -11,8 +11,13 @@
 //!   directly.
 //! * [`serve_unix`] wraps a `UnixListener` around a [`Server`]: one frame
 //!   in ([`crate::wire::decode_request`]), one frame out
-//!   ([`crate::wire::Response::encode`]), connections handled
-//!   sequentially so cache behaviour is deterministic under replay.
+//!   ([`crate::wire::Response::encode`]). Connections are served by a
+//!   bounded pool of per-connection threads (at most
+//!   [`ServeConfig::max_connections`] live at once) sharing one cache
+//!   behind a mutex; the core is locked once per frame, so a slow client
+//!   holding its connection open no longer starves the others, while
+//!   frames themselves still execute one at a time — replaying the same
+//!   *frame order* yields the same cache trajectory.
 //! * [`Client`] is the matching blocking client used by `bench --bin
 //!   serve` and the CI smoke test.
 //!
@@ -48,6 +53,9 @@ pub struct ServeConfig {
     /// Revalidate every Nth cache hit against a fresh compile (0
     /// disables sampling; the invariant is then only checked by tests).
     pub revalidate_every: u64,
+    /// Maximum concurrently served connections (0 → 1). Accepts beyond
+    /// the bound block until a live connection finishes.
+    pub max_connections: usize,
 }
 
 impl Default for ServeConfig {
@@ -56,6 +64,7 @@ impl Default for ServeConfig {
             threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             cache_bytes: 64 << 20,
             revalidate_every: 16,
+            max_connections: 8,
         }
     }
 }
@@ -300,10 +309,35 @@ impl Server {
     }
 }
 
+/// Handles one framed connection against a shared server, locking the
+/// core once per frame so concurrent connections interleave at frame
+/// granularity. Returns true when a shutdown request was served.
+pub fn serve_stream_shared<S: Read + Write>(
+    server: &std::sync::Mutex<Server>,
+    stream: &mut S,
+) -> io::Result<bool> {
+    while let Some(payload) = read_frame(stream)? {
+        let (resp, shutdown) = match decode_request(&payload) {
+            Ok(req) => server
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .handle(req),
+            Err(e) => (Response::Error(e.to_string()), false),
+        };
+        write_frame(stream, &resp.encode())?;
+        if shutdown {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
 /// Runs the daemon accept loop on an already-bound listener until a
-/// client sends [`Request::Shutdown`]. Connections are served
-/// sequentially — the parallelism is inside each request's miss batch —
-/// so replaying the same request stream yields the same cache trajectory.
+/// client sends [`Request::Shutdown`]. Connections are served by a
+/// bounded pool of per-connection threads — at most
+/// [`ServeConfig::max_connections`] live at once — all sharing one
+/// [`Server`] (and thus one cache) behind a mutex locked per frame. The
+/// parallelism inside each request's miss batch is unchanged.
 ///
 /// Per-connection I/O errors drop that connection and keep the daemon
 /// alive; only accept-loop errors are fatal.
@@ -318,14 +352,57 @@ pub fn serve_unix_with(
     listener: &std::os::unix::net::UnixListener,
     cfg: ServeConfig,
 ) -> io::Result<()> {
-    let mut server = Server::new(cfg);
-    for conn in listener.incoming() {
-        let mut stream = conn?;
-        match server.serve_stream(&mut stream) {
-            Ok(true) => return Ok(()),
-            Ok(false) => {}
-            Err(e) => eprintln!("swpd: connection error: {e}"),
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::{Arc, Condvar, Mutex};
+
+    let server = Arc::new(Mutex::new(Server::new(cfg)));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    // (live connection count, "a connection finished" signal).
+    let gate = Arc::new((Mutex::new(0usize), Condvar::new()));
+    let max = cfg.max_connections.max(1);
+
+    // Nonblocking accept lets the loop notice a shutdown served on a
+    // worker thread without waiting for one more connection.
+    listener.set_nonblocking(true)?;
+    let mut handles: Vec<std::thread::JoinHandle<()>> = Vec::new();
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                {
+                    let (live, finished) = &*gate;
+                    let mut live = live.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+                    while *live >= max {
+                        live = finished
+                            .wait(live)
+                            .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    }
+                    *live += 1;
+                }
+                stream.set_nonblocking(false)?;
+                let server = Arc::clone(&server);
+                let shutdown = Arc::clone(&shutdown);
+                let gate = Arc::clone(&gate);
+                handles.push(std::thread::spawn(move || {
+                    let mut stream = stream;
+                    match serve_stream_shared(&server, &mut stream) {
+                        Ok(true) => shutdown.store(true, Ordering::SeqCst),
+                        Ok(false) => {}
+                        Err(e) => eprintln!("swpd: connection error: {e}"),
+                    }
+                    let (live, finished) = &*gate;
+                    *live.lock().unwrap_or_else(std::sync::PoisonError::into_inner) -= 1;
+                    finished.notify_one();
+                }));
+                handles.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+            Err(e) => return Err(e),
         }
+    }
+    for h in handles {
+        let _ = h.join();
     }
     Ok(())
 }
@@ -417,6 +494,7 @@ mod tests {
             threads: 2,
             cache_bytes: 1 << 20,
             revalidate_every: 1, // revalidate every hit
+            max_connections: 1,
         };
         let mut server = Server::new(cfg);
         let p = saxpyish(32, 1.5, "s");
@@ -441,6 +519,7 @@ mod tests {
             threads: 2,
             cache_bytes: 1 << 20,
             revalidate_every: 0,
+            max_connections: 1,
         });
         let p1 = saxpyish(16, 1.0, "p1");
         let p2 = saxpyish(24, 2.0, "p2");
@@ -462,6 +541,7 @@ mod tests {
             threads: 1,
             cache_bytes: 1 << 20,
             revalidate_every: 0,
+            max_connections: 1,
         });
         let p = saxpyish(32, 1.5, "s");
         server.handle_jobs(&[job("original", &p)]);
@@ -476,6 +556,7 @@ mod tests {
             threads: 1,
             cache_bytes: 1 << 20,
             revalidate_every: 0,
+            max_connections: 1,
         });
         let p = saxpyish(32, 1.5, "s");
         server.handle_jobs(&[job("a", &p)]);
@@ -492,6 +573,7 @@ mod tests {
             threads: 1,
             cache_bytes: 1 << 20,
             revalidate_every: 0,
+            max_connections: 1,
         });
         let mut b = ProgramBuilder::new("bad");
         let x = b.named_reg(ir::Type::F32, "x");
@@ -516,6 +598,7 @@ mod tests {
             threads: 1,
             cache_bytes: 4096,
             revalidate_every: 0,
+            max_connections: 1,
         });
         let text = server.stats_text();
         for key in [
@@ -546,6 +629,7 @@ mod tests {
             threads: 2,
             cache_bytes: 1 << 20,
             revalidate_every: 1,
+            max_connections: 4,
         };
         let daemon = std::thread::spawn(move || serve_unix_with(&listener, cfg));
 
@@ -578,6 +662,103 @@ mod tests {
             other => panic!("unexpected response: {other:?}"),
         }
         match client.roundtrip(&Request::Shutdown).expect("shutdown") {
+            Response::Bye => {}
+            other => panic!("unexpected response: {other:?}"),
+        }
+        daemon.join().expect("daemon thread").expect("daemon io");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    /// The refine knob is part of the cache key: the same program with
+    /// `refine` flipped must not hit the other setting's entry.
+    #[test]
+    fn refine_option_separates_cache_entries() {
+        let mut server = Server::new(ServeConfig {
+            threads: 1,
+            cache_bytes: 1 << 20,
+            revalidate_every: 0,
+            max_connections: 1,
+        });
+        let p = saxpyish(32, 1.5, "s");
+        server.handle_jobs(&[job("plain", &p)]);
+        let mut refined = job("refined", &p);
+        refined.job.opts.refine = true;
+        let refined = decode_inline(refined.job);
+        let r = server.handle_jobs(&[refined]);
+        assert_eq!(
+            r[0].outcome.as_ref().unwrap().0.source,
+            Source::Miss,
+            "refine=true must not hit the refine=false entry"
+        );
+    }
+
+    /// Four concurrent clients hammer one daemon: every frame is served,
+    /// all replies for the same job are byte-identical, and the shared
+    /// cache sees exactly one miss (frames serialize on the core mutex,
+    /// so the first compile fills the cache for everyone).
+    #[cfg(unix)]
+    #[test]
+    fn concurrent_clients_share_one_cache() {
+        use std::os::unix::net::UnixListener;
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("swpd-conc-{}.sock", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path).expect("bind test socket");
+        let cfg = ServeConfig {
+            threads: 2,
+            cache_bytes: 1 << 20,
+            revalidate_every: 0,
+            max_connections: 4,
+        };
+        let daemon = std::thread::spawn(move || serve_unix_with(&listener, cfg));
+
+        let p = saxpyish(32, 1.5, "s");
+        let req = Request::Compile(Box::new(JobRequest {
+            name: "net".into(),
+            program: p,
+            mach: presets::test_machine(),
+            opts: crate::CompileOptions::default(),
+        }));
+        let clients: Vec<_> = (0..4)
+            .map(|_| {
+                let path = path.clone();
+                let req = req.clone();
+                std::thread::spawn(move || {
+                    let mut c = Client::connect_retry(&path, std::time::Duration::from_secs(5))
+                        .expect("connect");
+                    let mut bodies = Vec::new();
+                    for _ in 0..2 {
+                        match c.roundtrip(&req).expect("roundtrip") {
+                            Response::Jobs(replies) => {
+                                bodies.push(replies[0].outcome.as_ref().unwrap().1.clone());
+                            }
+                            other => panic!("unexpected response: {other:?}"),
+                        }
+                    }
+                    bodies
+                })
+            })
+            .collect();
+        let mut bodies: Vec<String> = Vec::new();
+        for c in clients {
+            bodies.extend(c.join().expect("client thread"));
+        }
+        assert_eq!(bodies.len(), 8);
+        assert!(
+            bodies.iter().all(|b| b == &bodies[0]),
+            "all replies byte-identical regardless of which connection served them"
+        );
+
+        let mut c =
+            Client::connect_retry(&path, std::time::Duration::from_secs(5)).expect("connect");
+        match c.roundtrip(&Request::Stats).expect("stats") {
+            Response::Stats(s) => {
+                assert!(s.contains("misses=1\n"), "one shared miss, got:\n{s}");
+                assert!(s.contains("hits=7\n"), "seven shared hits, got:\n{s}");
+            }
+            other => panic!("unexpected response: {other:?}"),
+        }
+        match c.roundtrip(&Request::Shutdown).expect("shutdown") {
             Response::Bye => {}
             other => panic!("unexpected response: {other:?}"),
         }

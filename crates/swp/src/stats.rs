@@ -87,6 +87,34 @@ impl AttemptFailure {
     }
 }
 
+/// Which constraint class bound the final placement of a *successful*
+/// attempt: did any node land later than its precedence-earliest slot
+/// because the modulo reservation table (or a no-wrap rule) was busy, or
+/// was every node placed exactly where its dependences allowed?
+///
+/// The refinement driver ([`crate::refine`]) keys its perturbation order
+/// off this field: resource-bound placements respond to tie-break and
+/// slot perturbations, recurrence-bound ones to critical-SCC priority
+/// boosts and edge pruning.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitingConstraint {
+    /// At least one placement was pushed past its precedence-earliest
+    /// slot by the reservation table (or a no-wrap constraint).
+    Resources,
+    /// Every node was placed at its precedence-earliest slot; the
+    /// dependence structure alone shaped the schedule.
+    Recurrence,
+}
+
+impl fmt::Display for LimitingConstraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LimitingConstraint::Resources => "resources",
+            LimitingConstraint::Recurrence => "recurrence",
+        })
+    }
+}
+
 /// One scheduling attempt: the candidate interval and how it ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct IiAttempt {
@@ -94,6 +122,9 @@ pub struct IiAttempt {
     pub ii: u32,
     /// `None` if the attempt produced a validated schedule.
     pub failure: Option<AttemptFailure>,
+    /// For successful attempts, whichever of resources/recurrence bound
+    /// the final placement; `None` on failures.
+    pub limiting: Option<LimitingConstraint>,
 }
 
 /// The full telemetry of one [`crate::modulo_schedule`] run.
@@ -297,6 +328,31 @@ impl DepEdgeSummary {
     }
 }
 
+/// What the feedback-guided refinement pass ([`crate::refine`]) did to
+/// one loop: the heuristic baseline interval, the interval after
+/// refinement (equal when no perturbation helped), the number of
+/// perturbed attempts spent, and the move that won.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// The interval the unperturbed search achieved.
+    pub baseline_ii: u32,
+    /// The interval after refinement; never exceeds `baseline_ii`.
+    pub refined_ii: u32,
+    /// Perturbed scheduling attempts spent (0 when the baseline already
+    /// met the MII and refinement had nothing to do).
+    pub attempts: u32,
+    /// Stable tag of the perturbation that produced the improvement
+    /// (e.g. `seed#2`, `critical-scc`); `None` when nothing improved.
+    pub winner: Option<String>,
+}
+
+impl RefineStats {
+    /// Cycles of II the refinement recovered.
+    pub fn closed(&self) -> u32 {
+        self.baseline_ii.saturating_sub(self.refined_ii)
+    }
+}
+
 /// Everything the telemetry layer records about one loop; carried on
 /// [`crate::LoopReport::stats`].
 #[derive(Debug, Clone, Default)]
@@ -315,6 +371,9 @@ pub struct LoopStats {
     pub stage_histogram: Vec<u32>,
     /// Dependence-edge counts by kind and provenance.
     pub memdeps: DepEdgeSummary,
+    /// Refinement telemetry; `Some` only when the loop was pipelined
+    /// under [`crate::CompileOptions::refine`].
+    pub refine: Option<RefineStats>,
 }
 
 #[cfg(test)]
@@ -322,7 +381,10 @@ mod tests {
     use super::*;
 
     fn att(ii: u32, failure: Option<AttemptFailure>) -> IiAttempt {
-        IiAttempt { ii, failure }
+        let limiting = failure
+            .is_none()
+            .then_some(LimitingConstraint::Recurrence);
+        IiAttempt { ii, failure, limiting }
     }
 
     #[test]

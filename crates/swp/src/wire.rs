@@ -28,7 +28,8 @@ use crate::mve::UnrollPolicy;
 use crate::BuildOptions;
 
 /// Version byte of the job encoding; bump on any layout change.
-pub const WIRE_VERSION: u8 = 1;
+/// v2 appended [`CompileOptions::refine`] to the options encoding.
+pub const WIRE_VERSION: u8 = 2;
 
 /// Upper bound on one frame's payload (defensive: a corrupt length prefix
 /// must not drive a giant allocation).
@@ -642,6 +643,7 @@ pub(crate) fn put_options(out: &mut Vec<u8>, o: &CompileOptions) {
         CondMode::Exclusive => 1,
     });
     out.push(o.fuse_epilog as u8);
+    out.push(o.refine as u8);
 }
 
 /// Deserializes compile options.
@@ -686,6 +688,7 @@ pub(crate) fn get_options(c: &mut Cursor) -> Result<CompileOptions> {
             b => return err(format!("invalid cond mode tag {b}")),
         },
         fuse_epilog: c.bool()?,
+        refine: c.bool()?,
     })
 }
 
