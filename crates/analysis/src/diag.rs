@@ -41,7 +41,8 @@ impl fmt::Display for Severity {
 
 /// Stable lint codes. The `A` prefix marks the analysis crate; the
 /// hundreds digit groups codes by pass family (0xx IR, 1xx machine,
-/// 2xx dependence graph, 3xx schedule, 4xx driver).
+/// 2xx dependence graph, 3xx schedule, 4xx driver and memory audit,
+/// 5xx schedule-cache service, 6xx translation validation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// A register may be read before any definition reaches it (in
@@ -112,6 +113,17 @@ pub enum LintCode {
     /// Schedule-cache behaviour summary: hit rate, near-misses from
     /// isomorphic relabelings, occupancy, and eviction pressure.
     CacheSummary,
+    /// The translation validator proved the emitted pipelined code
+    /// equivalent to the source loop (for all data, and — for runtime
+    /// trip counts — for all trips, by induction).
+    TvProved,
+    /// The translation validator could not discharge an obligation and
+    /// abstained; the diagnostic names the obligation and the reason.
+    TvAbstained,
+    /// The translation validator refuted equivalence with a concrete
+    /// counterexample trip count, confirmed by replay under the
+    /// reference interpreter and the cycle-accurate simulator.
+    TvRefuted,
 }
 
 impl LintCode {
@@ -141,8 +153,45 @@ impl LintCode {
             LintCode::UnobservedMemEdge => "A406",
             LintCode::CacheRevalidationFailure => "A501",
             LintCode::CacheSummary => "A502",
+            LintCode::TvProved => "A601",
+            LintCode::TvAbstained => "A602",
+            LintCode::TvRefuted => "A603",
         }
     }
+
+    /// Every published code, in code order — the docs drift test walks
+    /// this to keep `docs/LINTS.md` and the registry in lockstep. Keep
+    /// in sync with [`LintCode::as_str`] (the compiler's exhaustiveness
+    /// check on that match is the real registry; this is its iterable
+    /// projection).
+    pub const ALL: &'static [LintCode] = &[
+        LintCode::UninitializedRead,
+        LintCode::UnusedRegister,
+        LintCode::DeadOp,
+        LintCode::TypeError,
+        LintCode::FreeOpClass,
+        LintCode::UnreferencedResource,
+        LintCode::ZeroCapacityDemanded,
+        LintCode::UnknownMemRef,
+        LintCode::DominatedEdges,
+        LintCode::RecMiiAttribution,
+        LintCode::OptimalityGap,
+        LintCode::RefineAttribution,
+        LintCode::RegisterPressure,
+        LintCode::ZeroSlack,
+        LintCode::BottleneckResource,
+        LintCode::CompileFailure,
+        LintCode::MemDepClassification,
+        LintCode::RefutableMemEdge,
+        LintCode::ConservativeIiGap,
+        LintCode::MemDepViolation,
+        LintCode::UnobservedMemEdge,
+        LintCode::CacheRevalidationFailure,
+        LintCode::CacheSummary,
+        LintCode::TvProved,
+        LintCode::TvAbstained,
+        LintCode::TvRefuted,
+    ];
 
     /// The code's default severity.
     pub fn severity(self) -> Severity {
@@ -152,14 +201,16 @@ impl LintCode {
             | LintCode::RegisterPressure
             | LintCode::CompileFailure
             | LintCode::MemDepViolation
-            | LintCode::CacheRevalidationFailure => Severity::Error,
+            | LintCode::CacheRevalidationFailure
+            | LintCode::TvRefuted => Severity::Error,
             LintCode::UninitializedRead
             | LintCode::UnusedRegister
             | LintCode::DeadOp
             | LintCode::FreeOpClass
             | LintCode::UnknownMemRef
             | LintCode::RefutableMemEdge
-            | LintCode::OptimalityGap => Severity::Warning,
+            | LintCode::OptimalityGap
+            | LintCode::TvAbstained => Severity::Warning,
             LintCode::UnreferencedResource
             | LintCode::DominatedEdges
             | LintCode::RecMiiAttribution
@@ -169,7 +220,8 @@ impl LintCode {
             | LintCode::MemDepClassification
             | LintCode::ConservativeIiGap
             | LintCode::UnobservedMemEdge
-            | LintCode::CacheSummary => Severity::Info,
+            | LintCode::CacheSummary
+            | LintCode::TvProved => Severity::Info,
         }
     }
 }

@@ -24,6 +24,11 @@
 //!   classification (A402), refutable edges (A403), conservative II gap
 //!   (A404), dynamic-trace soundness violations (A405), and unexercised
 //!   edges (A406).
+//! * **Translation validation** ([`validate_compiled`], `tv` module) —
+//!   symbolic equivalence of the emitted pipelined code against the
+//!   source program: proved (A601), abstained with a structured
+//!   obligation (A602), or refuted with a concrete, replay-confirmed
+//!   counterexample trip count (A603).
 //!
 //! [`analyze_compiled`] runs the graph and schedule passes over every
 //! pipelined loop of a [`swp::CompiledProgram`] plus the whole-program
@@ -39,6 +44,7 @@ pub mod ir_lints;
 pub mod machine_lints;
 pub mod sched_lints;
 pub mod service_lints;
+pub mod tv;
 
 pub use dep_audit::{
     audit_compiled, coverage_check, graph_mii, site_table, sites_match, AuditReport, LoopAudit,
@@ -52,6 +58,7 @@ pub use sched_lints::{
     bottleneck_lint, lint_schedule, optimality_lint, pressure_lint, refine_lint, slack_lint,
 };
 pub use service_lints::cache_lint;
+pub use tv::{validate_compiled, TvOptions, TvOutcome, TvVerdict};
 
 use machine::MachineDescription;
 

@@ -1,0 +1,1015 @@
+//! Translation validation: a symbolic equivalence checker over
+//! (source program, emitted pipelined code) pairs — the A6xx pass
+//! family. See DESIGN.md §16 for the full scheme.
+//!
+//! The validator runs both sides through the shared symbolic engines in
+//! [`swp::symex`] — the sequential reference semantics for the
+//! [`ir::Program`], the cycle-accurate VLIW timing contract for the
+//! emitted code — over **symbolic data**: every initial memory cell,
+//! input element and preset float register is an opaque leaf term, so
+//! one run proves equivalence for *all* data values. Integer state
+//! (addresses, trip counts) stays concrete so control flow resolves.
+//!
+//! * **Constant-trip programs** (the whole built-in corpus): the trip
+//!   count is part of the program, so a single symbolic run *is* a
+//!   complete proof → [`TvVerdict::Proved`] / A601.
+//! * **Runtime-trip programs** (one top-level `TripCount::Reg` loop):
+//!   equivalence is discharged by induction — a base battery of
+//!   concrete trips covering every prologue/epilogue-only shape, every
+//!   remainder residue mod the unroll degree, and P+1 kernel passes;
+//!   plus uniformity obligations over the kernel-entry snapshots (a
+//!   synthesized *stage invariant* mapping each kernel register to a
+//!   fixed source site at an iteration index advancing by a constant
+//!   shift per pass, affine store-address progression under
+//!   `ir::alias_with_trip`'s sign convention, constant per-pass cycle
+//!   counts) → A601 with `inducted`.
+//! * Anything the engines or the normalizer cannot decide returns a
+//!   structured [`TvVerdict::Abstained`] (A602) — never a false alarm.
+//! * A symbolic disagreement is only reported as refuted (A603) after
+//!   **concrete replay** confirms it: the refuting trip count is run
+//!   through `vm::run_checked_compiled` with injective filler data and
+//!   the first diverging memory cell / output value is attached to the
+//!   diagnostic. A replay that *agrees* demotes the finding to an
+//!   abstention (the normalizer was incomplete, not the compiler
+//!   wrong).
+
+use ir::{Interp, Program, Stmt, TripCount, Value, VReg};
+use machine::MachineDescription;
+use swp::symex::{
+    affine_fit, run_source, run_vliw, EntrySnapshot, SVal, SourceRun, SymEnv, SymStop, Term,
+    TermId, TermPool, VliwRun, VliwStore,
+};
+use swp::CompiledProgram;
+use vm::{run_checked_compiled, CheckError, RunInput, Vm};
+
+use crate::diag::{Diagnostic, LintCode};
+
+/// Knobs for the validator.
+#[derive(Debug, Clone)]
+pub struct TvOptions {
+    /// Symbolic fuel per execution (ops/words).
+    pub fuel: u64,
+    /// Cap on the induction window P (passes examined beyond base).
+    pub max_window: u32,
+}
+
+impl Default for TvOptions {
+    fn default() -> Self {
+        TvOptions {
+            fuel: 1 << 24,
+            max_window: 4,
+        }
+    }
+}
+
+/// The validator's verdict for one (program, compiled) pair.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TvVerdict {
+    /// Equivalence proved for all data (and, when `inducted`, for all
+    /// trip counts of the runtime-trip loop).
+    Proved {
+        /// Concrete trip counts symbolically checked (1 for const-trip
+        /// programs — the trip is part of the program).
+        trips_checked: usize,
+        /// True when the inductive step (stage invariant + uniformity)
+        /// was discharged for a runtime trip count.
+        inducted: bool,
+        /// True when the proof needed the reference input's concrete
+        /// data (data-dependent addressing): the term-level equivalence
+        /// then holds for that data, not all data.
+        specialized: bool,
+    },
+    /// An obligation could not be discharged; nothing is claimed.
+    Abstained {
+        /// The obligation that failed (stable, machine-matchable).
+        obligation: String,
+        /// Why, in one sentence.
+        reason: String,
+    },
+    /// Equivalence refuted, confirmed by concrete replay.
+    Refuted {
+        /// The counterexample trip count (for const-trip programs, the
+        /// program's own trip).
+        trip: i64,
+        /// Replay evidence: first diverging memory cell / output value
+        /// or the simulator fault, with both sides' concrete values.
+        evidence: Vec<String>,
+    },
+}
+
+impl TvVerdict {
+    /// Stable one-word token (`proved` / `abstained` / `refuted`) for
+    /// report columns.
+    pub fn token(&self) -> &'static str {
+        match self {
+            TvVerdict::Proved { .. } => "proved",
+            TvVerdict::Abstained { .. } => "abstained",
+            TvVerdict::Refuted { .. } => "refuted",
+        }
+    }
+}
+
+/// A verdict plus its rendered diagnostic.
+#[derive(Debug, Clone)]
+pub struct TvOutcome {
+    /// The structured verdict.
+    pub verdict: TvVerdict,
+    /// The A601/A602/A603 diagnostic carrying the same information.
+    pub diagnostic: Diagnostic,
+}
+
+/// Validates that `compiled` computes `program` — the public entry
+/// point. `input` supplies concrete integer presets (runtime trip
+/// counts and other integer scalars); float presets are generalized to
+/// symbolic leaves, so the proof covers all data regardless of the
+/// input's contents.
+pub fn validate_compiled(
+    program: &Program,
+    compiled: &CompiledProgram,
+    mach: &MachineDescription,
+    input: Option<&RunInput>,
+    opts: &TvOptions,
+) -> TvOutcome {
+    let v = Validator {
+        program,
+        compiled,
+        mach,
+        input,
+        opts,
+    };
+    let verdict = v.run();
+    let diagnostic = diagnostic_for(&program.name, &verdict);
+    TvOutcome { verdict, diagnostic }
+}
+
+/// Renders a verdict as its A6xx diagnostic.
+pub fn diagnostic_for(name: &str, verdict: &TvVerdict) -> Diagnostic {
+    match verdict {
+        TvVerdict::Proved {
+            trips_checked,
+            inducted,
+            specialized,
+        } => {
+            let mut d = Diagnostic::new(
+                LintCode::TvProved,
+                format!("'{name}': emitted pipelined code proved equivalent to the source program"),
+            );
+            d = if *specialized {
+                d.with_note(format!(
+                    "data-dependent addressing: proof specialized to the reference input's \
+                     concrete data at {trips_checked} trip count(s), term-level (stronger than \
+                     a bitwise run, weaker than all-data)"
+                ))
+            } else {
+                d.with_note(format!(
+                    "symbolic execution over fully symbolic data at {trips_checked} trip count(s)"
+                ))
+            };
+            if *inducted {
+                d = d.with_note(
+                    "runtime trip count generalized by induction (stage invariant + affine \
+                     store progression + constant pass length)",
+                );
+            }
+            d
+        }
+        TvVerdict::Abstained { obligation, reason } => Diagnostic::new(
+            LintCode::TvAbstained,
+            format!("'{name}': validation abstained on obligation `{obligation}`"),
+        )
+        .with_note(reason.clone()),
+        TvVerdict::Refuted { trip, evidence } => {
+            let mut d = Diagnostic::new(
+                LintCode::TvRefuted,
+                format!("'{name}': emitted code REFUTED against the source at trip count {trip}"),
+            );
+            for e in evidence {
+                d = d.with_note(e.clone());
+            }
+            d
+        }
+    }
+}
+
+/// Where the runtime trip registers sit in the program.
+enum TripShape {
+    /// No `TripCount::Reg` anywhere: the program is its own trip.
+    AllConst,
+    /// Exactly one runtime-trip loop, at top level, and it is the only
+    /// loop in the program: induction applies.
+    SingleTop(VReg),
+    /// Anything else: validated only at supplied presets.
+    Other(Vec<VReg>),
+}
+
+fn trip_shape(program: &Program) -> TripShape {
+    fn walk(stmts: &[Stmt], top: bool, loops: &mut u32, regs: &mut Vec<(VReg, bool)>) {
+        for s in stmts {
+            match s {
+                Stmt::Op(_) => {}
+                Stmt::Loop(l) => {
+                    *loops += 1;
+                    if let TripCount::Reg(r) = l.trip {
+                        regs.push((r, top));
+                    }
+                    walk(&l.body, false, loops, regs);
+                }
+                Stmt::If(i) => {
+                    walk(&i.then_body, false, loops, regs);
+                    walk(&i.else_body, false, loops, regs);
+                }
+            }
+        }
+    }
+    let mut loops = 0;
+    let mut regs = Vec::new();
+    walk(&program.body, true, &mut loops, &mut regs);
+    match regs.as_slice() {
+        [] => TripShape::AllConst,
+        [(r, true)] if loops == 1 => TripShape::SingleTop(*r),
+        _ => TripShape::Other(regs.iter().map(|&(r, _)| r).collect()),
+    }
+}
+
+/// First top-level const trip, for refutation reporting on const-trip
+/// programs.
+fn first_const_trip(program: &Program) -> i64 {
+    for s in &program.body {
+        if let Stmt::Loop(l) = s {
+            if let TripCount::Const(n) = l.trip {
+                return n as i64;
+            }
+        }
+    }
+    0
+}
+
+enum Compare {
+    Agree(Box<(SourceRun, VliwRun, TermPool)>),
+    Disagree { what: String, src: String, emit: String },
+    SourceStop(SymStop),
+    EmitStop(SymStop),
+}
+
+struct Validator<'a> {
+    program: &'a Program,
+    compiled: &'a CompiledProgram,
+    mach: &'a MachineDescription,
+    input: Option<&'a RunInput>,
+    opts: &'a TvOptions,
+}
+
+impl Validator<'_> {
+    fn run(&self) -> TvVerdict {
+        match trip_shape(self.program) {
+            TripShape::AllConst => self.check_fixed_control(),
+            TripShape::SingleTop(trip_reg) => self.induct(trip_reg),
+            TripShape::Other(regs) => self.check_other(&regs),
+        }
+    }
+
+    /// Complete-proof path for programs whose control flow is fixed by
+    /// the program itself: const trips, or trip registers the program
+    /// computes from concrete integer state. One symbolic run proves
+    /// equivalence for all data. When symbolic addressing is out of
+    /// reach (data-dependent gather/scatter), falls back to the
+    /// reference input's concrete data — the proof is then specialized
+    /// and the verdict says so.
+    fn check_fixed_control(&self) -> TvVerdict {
+        let report_trip = first_const_trip(self.program);
+        let first = match self.check_at(None, &SymEnv::symbolic()) {
+            Compare::Agree(_) => {
+                return TvVerdict::Proved {
+                    trips_checked: 1,
+                    inducted: false,
+                    specialized: false,
+                }
+            }
+            other => other,
+        };
+        if wants_concrete(&first) {
+            if let Some(env) = self.concrete_env() {
+                return match self.check_at(None, &env) {
+                    Compare::Agree(_) => TvVerdict::Proved {
+                        trips_checked: 1,
+                        inducted: false,
+                        specialized: true,
+                    },
+                    other => self.settle(other, None, report_trip),
+                };
+            }
+        }
+        self.settle(first, None, report_trip)
+    }
+
+    /// Concrete data environment from the supplied reference input,
+    /// memory zero-extended to the program's data size.
+    fn concrete_env(&self) -> Option<SymEnv> {
+        let input = self.input?;
+        let mut mem = input.mem.clone();
+        mem.resize(self.program.mem_size as usize, 0.0);
+        Some(SymEnv {
+            mem: Some(mem),
+            input: [Some(input.input.clone()), Some(input.input_y.clone())],
+        })
+    }
+
+    /// Presets for a symbolic run: concrete integers stay concrete
+    /// (control flow needs them), floats generalize to symbolic leaves.
+    /// `trip` overrides the runtime trip register.
+    fn presets(&self, pool: &mut TermPool, trip: Option<(VReg, i32)>) -> Vec<(VReg, SVal)> {
+        let mut out = Vec::new();
+        if let Some(input) = self.input {
+            for &(r, v) in &input.regs {
+                if matches!(trip, Some((tr, _)) if tr == r) {
+                    continue;
+                }
+                match v {
+                    Value::I(i) => out.push((r, SVal::T(pool.iconst(i)))),
+                    Value::F(_) => out.push((r, SVal::T(pool.intern(Term::RegInit(r))))),
+                    Value::Undef => {}
+                }
+            }
+        }
+        if let Some((r, t)) = trip {
+            out.push((r, SVal::T(pool.iconst(t))));
+        }
+        out
+    }
+
+    /// One symbolic run of both sides at the given trip, compared on
+    /// observable effects (memory, output queues, input consumption —
+    /// exactly the state `vm::run_checked*` compares).
+    fn check_at(&self, trip: Option<(VReg, i32)>, env: &SymEnv) -> Compare {
+        let mut pool = TermPool::new();
+        let presets = self.presets(&mut pool, trip);
+        let src = match run_source(self.program, &presets, env, &mut pool, self.opts.fuel) {
+            Ok(r) => r,
+            Err(e) => return Compare::SourceStop(e),
+        };
+        let emit = match run_vliw(
+            &self.compiled.vliw,
+            self.mach,
+            &presets,
+            env,
+            &mut pool,
+            self.opts.fuel,
+        ) {
+            Ok(r) => r,
+            Err(e) => return Compare::EmitStop(e),
+        };
+        if src.effects.popped != emit.effects.popped {
+            return Compare::Disagree {
+                what: "input consumption".into(),
+                src: format!("{:?}", src.effects.popped),
+                emit: format!("{:?}", emit.effects.popped),
+            };
+        }
+        for ch in 0..2 {
+            let (a, b) = (&src.effects.out[ch], &emit.effects.out[ch]);
+            if a.len() != b.len() {
+                return Compare::Disagree {
+                    what: format!("output[{ch}] length"),
+                    src: a.len().to_string(),
+                    emit: b.len().to_string(),
+                };
+            }
+            for i in 0..a.len() {
+                if a[i] != b[i] {
+                    return Compare::Disagree {
+                        what: format!("output[{ch}][{i}]"),
+                        src: pool.render(a[i]),
+                        emit: pool.render(b[i]),
+                    };
+                }
+            }
+        }
+        let keys: Vec<u32> = src
+            .effects
+            .mem
+            .keys()
+            .chain(emit.effects.mem.keys())
+            .copied()
+            .collect();
+        for addr in keys {
+            let init = env.mem_leaf(&mut pool, addr);
+            let a = src.effects.mem.get(&addr).copied().unwrap_or(init);
+            let b = emit.effects.mem.get(&addr).copied().unwrap_or(init);
+            if a != b {
+                return Compare::Disagree {
+                    what: format!("mem[{addr}]"),
+                    src: pool.render(a),
+                    emit: pool.render(b),
+                };
+            }
+        }
+        Compare::Agree(Box::new((src, emit, pool)))
+    }
+
+    /// Resolves a non-agreeing comparison: emitted-side faults and
+    /// disagreements go to concrete replay; source faults and engine
+    /// limitations abstain.
+    fn settle(&self, cmp: Compare, trip: Option<(VReg, i32)>, report_trip: i64) -> TvVerdict {
+        match cmp {
+            Compare::Agree(_) => unreachable!("settle called on agreement"),
+            Compare::SourceStop(s) => TvVerdict::Abstained {
+                obligation: format!("source execution: {}", s.obligation),
+                reason: s.reason,
+            },
+            Compare::EmitStop(s) if !s.fault => TvVerdict::Abstained {
+                obligation: format!("emitted execution: {}", s.obligation),
+                reason: s.reason,
+            },
+            Compare::EmitStop(s) => {
+                // The emitted code would fault dynamically — refutation
+                // material, pending concrete confirmation.
+                self.replay(trip, report_trip, format!("symbolic fault: {}", s.reason))
+            }
+            Compare::Disagree { what, src, emit } => self.replay(
+                trip,
+                report_trip,
+                format!("symbolic divergence at {what}: source {src}, emitted {emit}"),
+            ),
+        }
+    }
+
+    /// Concrete replay of a candidate refutation through the repo's
+    /// end-to-end oracle. Injective filler data maximizes the chance a
+    /// genuine divergence shows concretely; if the oracle still agrees,
+    /// the symbolic finding was normalizer incompleteness → abstain.
+    fn replay(&self, trip: Option<(VReg, i32)>, report_trip: i64, symbolic: String) -> TvVerdict {
+        let ri = self.replay_input(trip);
+        match run_checked_compiled(self.program, self.compiled, self.mach, &ri) {
+            Ok(_) => TvVerdict::Abstained {
+                obligation: "refutation replay".into(),
+                reason: format!(
+                    "{symbolic}; concrete replay at trip {report_trip} agrees — normalizer \
+                     incomplete, not a compiler bug"
+                ),
+            },
+            Err(CheckError::Mismatch(m)) => TvVerdict::Refuted {
+                trip: report_trip,
+                evidence: vec![symbolic, format!("replay divergence: {m}")],
+            },
+            Err(CheckError::Vm(e)) => TvVerdict::Refuted {
+                trip: report_trip,
+                evidence: vec![symbolic, format!("replay simulator fault: {e}")],
+            },
+            Err(CheckError::Illegal(vs)) => {
+                // The static verifier rejected the schedule before the
+                // dynamic comparison ran. Bypass it: a mutant caught
+                // statically must still show its dynamic divergence.
+                match self.dyn_diverge(&ri) {
+                    Some(ev) => TvVerdict::Refuted {
+                        trip: report_trip,
+                        evidence: vec![symbolic, ev],
+                    },
+                    None => TvVerdict::Abstained {
+                        obligation: "refutation replay".into(),
+                        reason: format!(
+                            "{symbolic}; schedule statically illegal ({} violation(s)) but \
+                             dynamically agreeing at trip {report_trip}",
+                            vs.len()
+                        ),
+                    },
+                }
+            }
+            Err(CheckError::Reference(e)) => TvVerdict::Abstained {
+                obligation: "refutation replay".into(),
+                reason: format!("source program faults concretely: {e}"),
+            },
+            Err(CheckError::Compile(e)) => TvVerdict::Abstained {
+                obligation: "refutation replay".into(),
+                reason: format!("unexpected compile error during replay: {e}"),
+            },
+        }
+    }
+
+    /// Concrete run input with injective filler: every memory cell and
+    /// input element gets a distinct value, so any misrouted address or
+    /// dropped element shows as a bitwise difference.
+    fn replay_input(&self, trip: Option<(VReg, i32)>) -> RunInput {
+        let mem_size = self.program.mem_size as usize;
+        let mem: Vec<f32> = (0..mem_size).map(|i| 1.0 + i as f32 * 0.001953125).collect();
+        // Generous input queues (the symbolic run tells us consumption
+        // only on agreement; refutations may consume more).
+        let need = 4 * mem_size.max(64) + 1024;
+        let input: Vec<f32> = (0..need).map(|i| 2.0 + i as f32 * 0.0009765625).collect();
+        let input_y: Vec<f32> = (0..need).map(|i| 3.0 + i as f32 * 0.0009765625).collect();
+        let mut regs: Vec<(VReg, Value)> = Vec::new();
+        if let Some(orig) = self.input {
+            for &(r, v) in &orig.regs {
+                if matches!(trip, Some((tr, _)) if tr == r) {
+                    continue;
+                }
+                regs.push((r, v));
+            }
+        }
+        if let Some((r, t)) = trip {
+            regs.push((r, Value::I(t)));
+        }
+        RunInput {
+            mem,
+            input,
+            input_y,
+            regs,
+        }
+    }
+
+    /// Direct interpreter-vs-simulator comparison, bypassing the static
+    /// verifier. Returns the first divergence, or `None` on agreement.
+    fn dyn_diverge(&self, ri: &RunInput) -> Option<String> {
+        let mut interp = Interp::new(self.program);
+        for (i, v) in ri.mem.iter().enumerate() {
+            if i < interp.mem.len() {
+                interp.mem[i] = *v;
+            }
+        }
+        interp.input.extend(ri.input.iter().copied());
+        interp.input_y.extend(ri.input_y.iter().copied());
+        for &(r, v) in &ri.regs {
+            interp.set_reg(r, v);
+        }
+        if interp.run(self.program).is_err() {
+            return None; // source faults: cannot indict the emitted code
+        }
+        let mut vm = Vm::new(&self.compiled.vliw, self.mach);
+        for (i, v) in ri.mem.iter().enumerate() {
+            if i < vm.mem.len() {
+                vm.mem[i] = *v;
+            }
+        }
+        vm.input.extend(ri.input.iter().copied());
+        vm.input_y.extend(ri.input_y.iter().copied());
+        for &(r, v) in &ri.regs {
+            vm.set_reg(r, v);
+        }
+        if let Err(e) = vm.run() {
+            return Some(format!("replay simulator fault (verifier bypassed): {e}"));
+        }
+        for (i, (a, b)) in interp.mem.iter().zip(&vm.mem).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Some(format!(
+                    "replay divergence (verifier bypassed): memory[{i}]: reference {a}, \
+                     simulator {b}"
+                ));
+            }
+        }
+        if interp.output.len() != vm.output.len() {
+            return Some(format!(
+                "replay divergence (verifier bypassed): output lengths {} vs {}",
+                interp.output.len(),
+                vm.output.len()
+            ));
+        }
+        for (i, (a, b)) in interp.output.iter().zip(&vm.output).enumerate() {
+            if a.to_bits() != b.to_bits() {
+                return Some(format!(
+                    "replay divergence (verifier bypassed): output[{i}]: reference {a}, \
+                     simulator {b}"
+                ));
+            }
+        }
+        if interp.output_y != vm.output_y {
+            return Some("replay divergence (verifier bypassed): Y output queues differ".into());
+        }
+        None
+    }
+
+    /// Induction for a single top-level runtime-trip loop: base battery
+    /// plus uniformity obligations over the largest run's loop-header
+    /// snapshots.
+    fn induct(&self, trip_reg: VReg) -> TvVerdict {
+        // Pipeline shape: k dead iterations in flight, unroll u.
+        let (k, u) = self
+            .compiled
+            .reports
+            .first()
+            .map(|r| {
+                if r.ii.is_some() {
+                    (r.stages.saturating_sub(1), r.unroll.max(1))
+                } else {
+                    (0, 1)
+                }
+            })
+            .unwrap_or((0, 1));
+        // Dependence window: deepest loop-carried memory distance.
+        let d = self
+            .compiled
+            .artifacts
+            .first()
+            .map(|a| {
+                a.graph
+                    .edges()
+                    .iter()
+                    .filter(|e| matches!(e.kind, swp::DepKind::Memory))
+                    .map(|e| e.omega)
+                    .max()
+                    .unwrap_or(1)
+            })
+            .unwrap_or(1);
+        let p = (d + 1).clamp(3, self.opts.max_window.max(3));
+        // Base battery: every trip from 0 (no iteration at all) through
+        // k + u*(p+1) + (u-1) — covers all prologue/epilogue-only
+        // shapes, every remainder residue mod u, and p+1 kernel passes.
+        let t_max = (k + u * (p + 1) + (u - 1)) as i32;
+        let t_prev = t_max - u as i32; // same residue, one pass fewer
+        let mut last: Option<Box<(SourceRun, VliwRun, TermPool)>> = None;
+        let mut prev: Option<Box<(SourceRun, VliwRun, TermPool)>> = None;
+        let mut trips_checked = 0usize;
+        let env = SymEnv::symbolic();
+        for t in 0..=t_max {
+            match self.check_at(Some((trip_reg, t)), &env) {
+                Compare::Agree(data) => {
+                    trips_checked += 1;
+                    if t == t_max {
+                        last = Some(data);
+                    } else if t == t_prev {
+                        prev = Some(data);
+                    }
+                }
+                other => return self.settle(other, Some((trip_reg, t)), t as i64),
+            }
+        }
+        let (src, emit, pool) = *last.expect("t_max ran");
+        let prev_entries = prev.map(|b| b.1.entries).unwrap_or_default();
+        if src.forked || emit.forked {
+            return TvVerdict::Abstained {
+                obligation: "induction".into(),
+                reason: "data-dependent control flow breaks per-pass snapshots; only the base \
+                         battery was checked"
+                    .into(),
+            };
+        }
+        // Uniformity obligations, but only for loop headers whose entry
+        // count grows with the trip: bounded loops (the < u-iteration
+        // remainder) execute identically for every trip with the same
+        // residue, which the battery covers exhaustively.
+        for (label, snaps) in &emit.entries {
+            let prev_count = prev_entries.get(label).map(|s| s.len()).unwrap_or(0);
+            if snaps.len() == prev_count {
+                continue;
+            }
+            if snaps.len() < 3 {
+                return TvVerdict::Abstained {
+                    obligation: format!("induction at `{label}`"),
+                    reason: format!(
+                        "trip-dependent loop header entered only {} time(s) at the largest \
+                         base trip — not enough passes to witness an invariant",
+                        snaps.len()
+                    ),
+                };
+            }
+            if let Err((obligation, reason)) = uniform_group(&pool, snaps, &emit.stores, &src) {
+                return TvVerdict::Abstained {
+                    obligation: format!("induction at `{label}`: {obligation}"),
+                    reason,
+                };
+            }
+        }
+        TvVerdict::Proved {
+            trips_checked,
+            inducted: true,
+            specialized: false,
+        }
+    }
+
+    /// Trip shapes outside the induction scheme. The deciding question
+    /// is where the runtime trip registers come from:
+    ///
+    /// * **None preset from outside** — the program computes every trip
+    ///   register itself, from concrete integer state (only integer ops
+    ///   fold, so the values cannot depend on symbolic data). Control
+    ///   flow is therefore fixed and one symbolic run is a complete
+    ///   proof — the triangular-nest case (Livermore 6).
+    /// * **Some preset** — the trips parameterize the program from
+    ///   outside: validate at the supplied presets, then abstain on
+    ///   generalization.
+    fn check_other(&self, regs: &[VReg]) -> TvVerdict {
+        let preset = |r: &VReg| {
+            self.input
+                .map(|i| i.regs.iter().any(|&(pr, v)| pr == *r && matches!(v, Value::I(_))))
+                .unwrap_or(false)
+        };
+        if !regs.iter().any(preset) {
+            // If a trip register were in fact read before the program
+            // writes it, the symbolic run reads Undef and abstains.
+            return self.check_fixed_control();
+        }
+        match self.check_at(None, &SymEnv::symbolic()) {
+            Compare::Agree(_) => TvVerdict::Abstained {
+                obligation: "trip-count generalization".into(),
+                reason: "equivalence holds at the supplied trip presets, but the loop shape \
+                         (nested or multiple runtime-trip loops) is outside the induction \
+                         scheme"
+                    .into(),
+            },
+            other => self.settle(other, None, 0),
+        }
+    }
+}
+
+/// Abstentions that concrete data could resolve: a symbolic address
+/// that did not fold (data-dependent gather/scatter).
+fn wants_concrete(c: &Compare) -> bool {
+    match c {
+        Compare::SourceStop(s) | Compare::EmitStop(s) => {
+            !s.fault && s.reason.contains("not concrete")
+        }
+        _ => false,
+    }
+}
+
+/// Checks one loop-header group's uniformity obligations: constant
+/// per-entry cycle count, equal-length store segments with per-position
+/// affine address progression, and a stage invariant for the entry
+/// registers (loop-invariant, affine integer, or a fixed source site at
+/// an iteration index advancing by one common shift per entry).
+fn uniform_group(
+    pool: &TermPool,
+    snaps: &[EntrySnapshot],
+    stores: &[VliwStore],
+    src: &SourceRun,
+) -> Result<(), (String, String)> {
+    // Constant cycle delta.
+    let deltas: Vec<u64> = snaps.windows(2).map(|w| w[1].cycle - w[0].cycle).collect();
+    if deltas.windows(2).any(|w| w[0] != w[1]) {
+        return Err((
+            "pass length".into(),
+            format!("entry-to-entry cycle counts vary: {deltas:?}"),
+        ));
+    }
+    // Store segments between consecutive entries: equal length, affine
+    // addresses per position (`alias_with_trip` sign convention:
+    // positive stride = later pass, higher address).
+    let segs: Vec<&[VliwStore]> = snaps
+        .windows(2)
+        .map(|w| &stores[w[0].store_base..w[1].store_base])
+        .collect();
+    if segs.windows(2).any(|w| w[0].len() != w[1].len()) {
+        return Err((
+            "store count".into(),
+            "passes commit different numbers of stores".into(),
+        ));
+    }
+    if let Some(len) = segs.first().map(|s| s.len()) {
+        for pos in 0..len {
+            let addrs: Vec<i64> = segs.iter().map(|s| s[pos].addr as i64).collect();
+            if affine_fit(&addrs).is_none() {
+                return Err((
+                    "store address affinity".into(),
+                    format!("store #{pos} addresses are not affine across passes: {addrs:?}"),
+                ));
+            }
+        }
+    }
+    // Stage invariant over entry registers.
+    let nregs = snaps[0].regs.len();
+    // Feasible shifts δ per varying symbolic register; all registers
+    // must admit one common δ.
+    let mut common: Option<Vec<u32>> = None;
+    for i in 0..nregs {
+        let vals: Vec<SVal> = snaps.iter().map(|s| s.regs[i]).collect();
+        // A register may legitimately be undefined at the first
+        // entries only (an MVE copy the prologue never reached): the
+        // invariant is checked over the defined suffix. Defined →
+        // undefined is never legitimate.
+        let first_def = vals
+            .iter()
+            .position(|v| matches!(v, SVal::T(_)))
+            .unwrap_or(vals.len());
+        let suffix = &vals[first_def..];
+        if suffix.is_empty() {
+            continue; // never defined at any entry
+        }
+        if suffix.iter().any(|v| matches!(v, SVal::Undef)) {
+            return Err((
+                "stage invariant".into(),
+                format!("register #{i} becomes undefined again after being defined"),
+            ));
+        }
+        if suffix.len() < 2 {
+            continue; // defined only at the last entry: no pattern to check
+        }
+        let terms: Vec<TermId> = suffix
+            .iter()
+            .map(|v| match v {
+                SVal::T(t) => *t,
+                SVal::Undef => unreachable!(),
+            })
+            .collect();
+        if terms.windows(2).all(|w| w[0] == w[1]) {
+            continue; // loop-invariant
+        }
+        if let Some(ints) = terms
+            .iter()
+            .map(|&t| pool.as_int(t).map(|v| v as i64))
+            .collect::<Option<Vec<i64>>>()
+        {
+            if affine_fit(&ints).is_some() {
+                continue; // affine integer (addresses, counters)
+            }
+            return Err((
+                "stage invariant".into(),
+                format!("integer register #{i} is not affine across passes: {ints:?}"),
+            ));
+        }
+        // Varying symbolic value: must match a fixed source site with a
+        // constant occurrence shift.
+        let feasible = feasible_shifts(&terms, src);
+        if feasible.is_empty() {
+            return Err((
+                "stage invariant".into(),
+                format!(
+                    "no source site explains register #{i} across passes (first pass value: {})",
+                    pool.render(terms[0])
+                ),
+            ));
+        }
+        common = Some(match common {
+            None => feasible,
+            Some(c) => {
+                let inter: Vec<u32> = c.into_iter().filter(|d| feasible.contains(d)).collect();
+                if inter.is_empty() {
+                    return Err((
+                        "stage invariant".into(),
+                        "registers disagree on the per-pass iteration shift".into(),
+                    ));
+                }
+                inter
+            }
+        });
+    }
+    Ok(())
+}
+
+/// Shifts δ > 0 such that some source site s and base occurrence o
+/// satisfy: the j-th entry's term was computed by s at occurrence
+/// o + j·δ, for every entry j.
+fn feasible_shifts(terms: &[TermId], src: &SourceRun) -> Vec<u32> {
+    let empty: Vec<(u32, u32)> = Vec::new();
+    let cands: Vec<&Vec<(u32, u32)>> = terms
+        .iter()
+        .map(|t| src.values.get(t).unwrap_or(&empty))
+        .collect();
+    let mut shifts = Vec::new();
+    for &(site, o0) in cands[0] {
+        for &(s1, o1) in cands[1] {
+            if s1 != site || o1 <= o0 {
+                continue;
+            }
+            let d = o1 - o0;
+            let ok = (2..terms.len()).all(|j| {
+                cands[j]
+                    .iter()
+                    .any(|&(sj, oj)| sj == site && oj == o0 + j as u32 * d)
+            });
+            if ok && !shifts.contains(&d) {
+                shifts.push(d);
+            }
+        }
+    }
+    shifts
+}
+
+/// Program-level verdicts for a whole compiled corpus entry, keyed for
+/// report columns — convenience wrapper used by the `tv` binary and
+/// batch report.
+pub fn tv_token(
+    program: &Program,
+    compiled: &CompiledProgram,
+    mach: &MachineDescription,
+    input: Option<&RunInput>,
+) -> (&'static str, TvOutcome) {
+    let out = validate_compiled(program, compiled, mach, input, &TvOptions::default());
+    (out.verdict.token(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{MemRef, ProgramBuilder, Type};
+    use machine::presets::{toy_vector, warp_cell};
+    use swp::CompileOptions;
+
+    fn vinc_const(n: u32) -> Program {
+        let mut b = ProgramBuilder::new("vinc");
+        let a = b.array("a", 64.max(n));
+        b.for_counted(TripCount::Const(n), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), MemRef::affine(a, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), MemRef::affine(a, 1, 0));
+        });
+        b.finish()
+    }
+
+    fn vinc_reg() -> (Program, VReg) {
+        let mut b = ProgramBuilder::new("vinc_rt");
+        let a = b.array("a", 256);
+        let n = b.reg(Type::I32);
+        b.for_counted(TripCount::Reg(n), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), MemRef::affine(a, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), MemRef::affine(a, 1, 0));
+        });
+        (b.finish(), n)
+    }
+
+    #[test]
+    fn const_trip_proves() {
+        let p = vinc_const(64);
+        let m = warp_cell();
+        let c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+        let out = validate_compiled(&p, &c, &m, None, &TvOptions::default());
+        assert_eq!(
+            out.verdict,
+            TvVerdict::Proved {
+                trips_checked: 1,
+                inducted: false,
+                specialized: false
+            },
+            "{}",
+            out.diagnostic
+        );
+        assert_eq!(out.diagnostic.code, LintCode::TvProved);
+    }
+
+    #[test]
+    fn runtime_trip_proves_by_induction() {
+        let (p, _) = vinc_reg();
+        for m in [warp_cell(), toy_vector()] {
+            let c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+            let out = validate_compiled(&p, &c, &m, None, &TvOptions::default());
+            match out.verdict {
+                TvVerdict::Proved {
+                    inducted,
+                    trips_checked,
+                    specialized,
+                } => {
+                    assert!(inducted && !specialized);
+                    assert!(trips_checked >= 4);
+                }
+                ref v => panic!("expected induction proof, got {v:?}\n{}", out.diagnostic),
+            }
+        }
+    }
+
+    #[test]
+    fn mutated_kernel_is_refuted_with_replay_evidence() {
+        let p = vinc_const(64);
+        let m = warp_cell();
+        let mut c = swp::compile(&p, &m, &CompileOptions::default()).unwrap();
+        // Seed a wrong-modulo-row bug: rotate the kernel's words.
+        let kb = c
+            .vliw
+            .blocks
+            .iter_mut()
+            .find(|b| b.label.ends_with(".kernel"))
+            .expect("kernel block");
+        assert!(kb.words.len() > 1, "need a multi-word kernel to rotate");
+        kb.words.rotate_left(1);
+        let out = validate_compiled(&p, &c, &m, None, &TvOptions::default());
+        match out.verdict {
+            TvVerdict::Refuted { trip, ref evidence } => {
+                assert_eq!(trip, 64);
+                assert!(
+                    evidence.iter().any(|e| e.contains("replay")),
+                    "refutation must carry replay evidence: {evidence:?}"
+                );
+            }
+            ref v => panic!("mutant must be refuted, got {v:?}"),
+        }
+        assert_eq!(out.diagnostic.code, LintCode::TvRefuted);
+    }
+
+    #[test]
+    fn verdict_tokens_are_stable() {
+        assert_eq!(
+            TvVerdict::Proved {
+                trips_checked: 1,
+                inducted: false,
+                specialized: false
+            }
+            .token(),
+            "proved"
+        );
+        assert_eq!(
+            TvVerdict::Abstained {
+                obligation: "x".into(),
+                reason: "y".into()
+            }
+            .token(),
+            "abstained"
+        );
+        assert_eq!(
+            TvVerdict::Refuted {
+                trip: 3,
+                evidence: vec![]
+            }
+            .token(),
+            "refuted"
+        );
+    }
+}

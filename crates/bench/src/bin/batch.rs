@@ -22,14 +22,20 @@
 //! serial counterpart — the driver's determinism invariant is checked on
 //! every run, not only in the test suite.
 //!
-//! The report body (v6) is itself deterministic: wall-clock columns are
+//! The report body (v6+) is itself deterministic: wall-clock columns are
 //! gone, host-dependent facts live only on the `# volatile:` header line
 //! (excluded from golden comparisons), and the serial and parallel
 //! bodies must render byte-identically or the run fails. A `# dedup:`
 //! line summarizes corpus redundancy over the canonical
 //! dependence-graph hashes (`swp::canon`) — the telemetry motivating
 //! the schedule cache (DESIGN.md §14) — and each loop line carries its
-//! `canon=` content address.
+//! `canon=` content address. v8 adds a per-job
+//! `tv=<proved|abstained|refuted>` column: the translation validator's
+//! verdict (DESIGN.md §16, `docs/LINTS.md` A6xx) for the emitted code
+//! against its source program. The column lives in the deterministic
+//! body — the validator is pure, so rendering it for both the serial
+//! and parallel results doubles as a determinism check of the
+//! validator itself.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -215,11 +221,16 @@ fn refined_token(
 /// `phases_us` of v5) are deliberately absent — they rewrote thousands of
 /// lines between otherwise-identical runs; host-dependent facts live only
 /// on the `# volatile:` header line, which golden comparisons exclude.
-fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
+fn report_lines(
+    jobs: &[BatchJob],
+    results: &[BatchResult],
+    inputs: &std::collections::BTreeMap<&str, &vm::RunInput>,
+) -> String {
     let mut out = String::new();
     out.push_str(
         "# job <name> <ok|err> pressure=<class:maxlive,...|-> fits=<y|n> \
-         lints=<errors>/<warnings>/<infos> memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|-\n",
+         lints=<errors>/<warnings>/<infos> memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|- \
+         tv=<proved|abstained|refuted>\n",
     );
     out.push_str(
         "# loop <job>/<label> ii=<n|-> mii=<res>/<rec> attempts=<iis> aborts=<kind:count,...> \
@@ -239,9 +250,19 @@ fn report_lines(jobs: &[BatchJob], results: &[BatchResult]) -> String {
                 for rep in &c.reports {
                     memdeps.add(&rep.stats.memdeps);
                 }
+                let kernel_name = r.name.split('@').next().unwrap_or(&r.name);
+                let tv = analysis::validate_compiled(
+                    job.program,
+                    c,
+                    job.mach,
+                    inputs.get(kernel_name).copied(),
+                    &analysis::TvOptions::default(),
+                )
+                .verdict
+                .token();
                 let _ = writeln!(
                     out,
-                    "job {} ok pressure={} fits={} lints={}/{}/{} memdeps={}",
+                    "job {} ok pressure={} fits={} lints={}/{}/{} memdeps={} tv={tv}",
                     r.name,
                     pressure_summary(c),
                     if c.pressure.fits() { "y" } else { "n" },
@@ -398,15 +419,17 @@ fn main() {
     // The diffable body must itself be deterministic: serial and parallel
     // runs render byte-identically (v5's wall_us/phases_us columns made
     // that impossible and churned thousands of lines between runs).
-    let body_parallel = report_lines(&js, &parallel);
-    let body_serial = report_lines(&js, &serial);
+    let inputs: std::collections::BTreeMap<&str, &vm::RunInput> =
+        ks.iter().map(|k| (k.name.as_str(), &k.input)).collect();
+    let body_parallel = report_lines(&js, &parallel, &inputs);
+    let body_serial = report_lines(&js, &serial, &inputs);
     if body_serial != body_parallel {
         eprintln!("FAIL: report body differs between serial and parallel runs");
         std::process::exit(1);
     }
 
     let mut report = String::new();
-    report.push_str("# batch_report v7\n");
+    report.push_str("# batch_report v8\n");
     let _ = writeln!(report, "# jobs={} mismatches={}", js.len(), mismatches);
     // Host-dependent measurements live only on this line; golden
     // comparisons and run-to-run diffs must exclude `# volatile:` lines.

@@ -1,0 +1,211 @@
+//! Translation-validation sweep: compiles the kernel corpus on every
+//! machine preset, runs [`analysis::validate_compiled`] (the A6xx pass
+//! family, DESIGN.md §16) on each job, and writes the per-job verdict
+//! table to `results/tv_report.txt`.
+//!
+//! ```text
+//! cargo run --release -p bench --bin tv             # full corpus
+//! cargo run --release -p bench --bin tv -- --smoke  # CI gate
+//! ```
+//!
+//! Flags:
+//!
+//! * `--smoke` — Livermore loops only (still on all three presets),
+//!   report to stdout, and the gate tightens: every job must be A601
+//!   (proved), not merely un-refuted;
+//! * `--threads N` — worker threads for compilation;
+//! * `--out PATH` — report path (default `results/tv_report.txt`).
+//!
+//! Exit status is nonzero iff any job is refuted (A603) — a
+//! replay-confirmed divergence between emitted code and source program
+//! is a compiler bug, full stop — or, under `--smoke`, iff any
+//! Livermore job fails to prove.
+
+use std::fmt::Write as _;
+
+use machine::MachineDescription;
+use swp::{compile_batch, BatchJob, CompileOptions};
+
+struct Config {
+    threads: usize,
+    smoke: bool,
+    out: String,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        smoke: false,
+        out: "results/tv_report.txt".to_string(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--threads" => {
+                let v = args.next().expect("--threads needs a value");
+                cfg.threads = v.parse().expect("--threads needs an integer");
+            }
+            "--smoke" => cfg.smoke = true,
+            "--out" => cfg.out = args.next().expect("--out needs a path"),
+            other => panic!("unknown flag {other:?} (try --threads N, --smoke, --out PATH)"),
+        }
+    }
+    cfg
+}
+
+fn corpus(smoke: bool) -> (Vec<kernels::Kernel>, Vec<(String, MachineDescription)>) {
+    let mut ks = kernels::livermore::all();
+    if !smoke {
+        ks.extend(kernels::apps::all());
+        ks.extend(kernels::synth::population());
+    }
+    // Every preset in both modes: the smoke gate is "all Livermore
+    // loops proved on every preset".
+    let machines = vec![
+        ("warp_cell".to_string(), machine::presets::warp_cell()),
+        ("test_machine".to_string(), machine::presets::test_machine()),
+        ("toy_vector".to_string(), machine::presets::toy_vector()),
+    ];
+    (ks, machines)
+}
+
+fn main() {
+    let cfg = parse_args();
+    let (ks, machines) = corpus(cfg.smoke);
+
+    let mut jobs: Vec<BatchJob> = Vec::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (mi, (mname, m)) in machines.iter().enumerate() {
+        for (ki, k) in ks.iter().enumerate() {
+            jobs.push(BatchJob {
+                name: format!("{}@{mname}", k.name),
+                program: &k.program,
+                mach: m,
+                opts: CompileOptions::default(),
+            });
+            pairs.push((ki, mi));
+        }
+    }
+    eprintln!(
+        "tv: {} kernels x {} machines ({} jobs), {} threads",
+        ks.len(),
+        machines.len(),
+        jobs.len(),
+        cfg.threads
+    );
+    let results = compile_batch(&jobs, cfg.threads);
+
+    let mut out = String::new();
+    out.push_str("# tv_report v1\n");
+    out.push_str("# job <kernel>@<machine> tv=<proved|abstained|refuted> <detail>\n");
+
+    let mut proved = 0usize;
+    let mut inducted = 0usize;
+    let mut abstained = 0usize;
+    let mut refuted = 0usize;
+    let mut compile_errors = 0usize;
+    let mut unproved_smoke: Vec<String> = Vec::new();
+    let mut refutations: Vec<String> = Vec::new();
+
+    for ((job, r), &(ki, mi)) in jobs.iter().zip(&results).zip(&pairs) {
+        let c = match &r.outcome {
+            Ok(c) => c,
+            Err(e) => {
+                let _ = writeln!(out, "# job {} failed to compile: {e}", job.name);
+                compile_errors += 1;
+                continue;
+            }
+        };
+        let outcome = analysis::validate_compiled(
+            &ks[ki].program,
+            c,
+            &machines[mi].1,
+            Some(&ks[ki].input),
+            &analysis::TvOptions::default(),
+        );
+        match &outcome.verdict {
+            analysis::TvVerdict::Proved {
+                trips_checked,
+                inducted: ind,
+                specialized,
+            } => {
+                proved += 1;
+                if *ind {
+                    inducted += 1;
+                }
+                let _ = writeln!(
+                    out,
+                    "job {} tv=proved trips={trips_checked} inducted={} specialized={}",
+                    job.name,
+                    if *ind { "y" } else { "n" },
+                    if *specialized { "y" } else { "n" }
+                );
+            }
+            analysis::TvVerdict::Abstained { obligation, reason } => {
+                abstained += 1;
+                let _ = writeln!(
+                    out,
+                    "job {} tv=abstained obligation=`{obligation}` reason=`{reason}`",
+                    job.name
+                );
+            }
+            analysis::TvVerdict::Refuted { trip, evidence } => {
+                refuted += 1;
+                refutations.push(job.name.clone());
+                let _ = writeln!(out, "job {} tv=refuted trip={trip}", job.name);
+                for e in evidence {
+                    let _ = writeln!(out, "#   evidence: {e}");
+                }
+                eprintln!("{}: {}", job.name, outcome.diagnostic);
+            }
+        }
+        if cfg.smoke && !matches!(outcome.verdict, analysis::TvVerdict::Proved { .. }) {
+            unproved_smoke.push(format!("{}: {}", job.name, outcome.diagnostic));
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "# summary jobs={} proved={proved} inducted={inducted} abstained={abstained} \
+         refuted={refuted} compile_errors={compile_errors}",
+        results.len()
+    );
+
+    eprintln!(
+        "tv: {} job(s): {proved} proved ({inducted} by induction), {abstained} abstained, \
+         {refuted} refuted",
+        results.len()
+    );
+
+    if cfg.smoke {
+        println!("{out}");
+    } else {
+        std::fs::create_dir_all(
+            std::path::Path::new(&cfg.out)
+                .parent()
+                .unwrap_or(std::path::Path::new(".")),
+        )
+        .expect("create report directory");
+        std::fs::write(&cfg.out, &out).expect("write report");
+        println!("wrote {}", cfg.out);
+    }
+
+    if refuted > 0 {
+        eprintln!("FAIL: {refuted} translation refutation(s) (A603):");
+        for r in &refutations {
+            eprintln!("  {r}");
+        }
+        std::process::exit(1);
+    }
+    if cfg.smoke && !unproved_smoke.is_empty() {
+        eprintln!(
+            "FAIL: smoke gate requires every Livermore loop proved (A601) on every preset; \
+             {} job(s) fell short:",
+            unproved_smoke.len()
+        );
+        for u in &unproved_smoke {
+            eprintln!("  {u}");
+        }
+        std::process::exit(1);
+    }
+}

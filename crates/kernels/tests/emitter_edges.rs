@@ -1,0 +1,128 @@
+//! Emitter edge cases around the pipeline's seams, driven through the
+//! end-to-end checked simulator (`vm::run_checked_compiled`: static
+//! legality + bitwise reference comparison) on every machine preset.
+//! The §2.4 remainder scheme (`r = (n-k) mod u`, `passes = (n-k) div u`)
+//! has its corners exactly where the trip count grazes the pipeline
+//! depth: fewer iterations than stages (prolog/epilog only, kernel
+//! skipped), exactly the stage count, and — with modulo variable
+//! expansion — every remainder residue around a multiple of the unroll
+//! degree.
+
+use ir::{MemRef, Program, ProgramBuilder, TripCount, Type, Value, VReg};
+use machine::MachineDescription;
+use vm::{run_checked_compiled, RunInput};
+
+fn presets() -> Vec<(&'static str, MachineDescription)> {
+    vec![
+        ("warp_cell", machine::presets::warp_cell()),
+        ("test_machine", machine::presets::test_machine()),
+        ("toy_vector", machine::presets::toy_vector()),
+    ]
+}
+
+/// Independent-iteration loop (typically unrolled for MVE on wide
+/// machines): `a[i] += 1`.
+fn vinc_rt() -> (Program, VReg) {
+    let mut b = ProgramBuilder::new("vinc_rt");
+    let a = b.array("a", 256);
+    let n = b.reg(Type::I32);
+    b.for_counted(TripCount::Reg(n), |b, i| {
+        let addr = b.elem_addr(a, i.into(), 1, 0);
+        let x = b.load(addr.into(), MemRef::affine(a, 1, 0));
+        let y = b.fadd(x.into(), 1.0f32.into());
+        b.store(addr.into(), y.into(), MemRef::affine(a, 1, 0));
+    });
+    (b.finish(), n)
+}
+
+/// First-order recurrence (deeper stage count, unroll forced to 1 by
+/// the dependence cycle on most presets): `s += a[i]; b[i] = s`.
+fn prefix_rt() -> (Program, VReg) {
+    let mut b = ProgramBuilder::new("prefix_rt");
+    let a = b.array("a", 256);
+    let o = b.array("o", 256);
+    let n = b.reg(Type::I32);
+    let s = b.fconst(0.0);
+    b.for_counted(TripCount::Reg(n), |b, i| {
+        let addr = b.elem_addr(a, i.into(), 1, 0);
+        let x = b.load(addr.into(), MemRef::affine(a, 1, 0));
+        b.push_op(ir::Op::new(ir::Opcode::FAdd, Some(s), vec![s.into(), x.into()]));
+        let oaddr = b.elem_addr(o, i.into(), 1, 0);
+        b.store(oaddr.into(), s.into(), MemRef::affine(o, 1, 0));
+    });
+    (b.finish(), n)
+}
+
+fn input_at(p: &Program, n: VReg, trip: i32) -> RunInput {
+    let mem: Vec<f32> = (0..p.mem_size as usize)
+        .map(|i| 1.0 + i as f32 * 0.001953125)
+        .collect();
+    RunInput {
+        mem,
+        regs: vec![(n, Value::I(trip))],
+        ..Default::default()
+    }
+}
+
+/// The edge trips for a compiled loop, read off its own report: all
+/// trips below the in-flight depth k (prolog/epilog only), the stage
+/// count itself, and one whole unroll span around it covering every
+/// remainder residue.
+fn edge_trips(stages: u32, unroll: u32) -> Vec<i32> {
+    let k = stages.saturating_sub(1);
+    let u = unroll.max(1);
+    let mut trips: Vec<i32> = (0..=k as i32).collect(); // 0..k: kernel may never run
+    trips.push(stages as i32); // trip == stages
+    for r in 0..=u as i32 {
+        trips.push((k + u) as i32 + r); // every residue mod u, plus one
+        trips.push((k + 3 * u) as i32 + r); // and again with more passes
+    }
+    trips.sort_unstable();
+    trips.dedup();
+    trips
+}
+
+fn check_all_edges(p: &Program, n: VReg, what: &str) {
+    let mut pipelined_somewhere = false;
+    let mut unrolled_somewhere = false;
+    for (mname, m) in presets() {
+        let c = swp::compile(p, &m, &swp::CompileOptions::default())
+            .unwrap_or_else(|e| panic!("{what}@{mname}: compile: {e}"));
+        let rep = c.reports.first().expect("one loop report");
+        let (stages, unroll) = if rep.ii.is_some() {
+            pipelined_somewhere = true;
+            unrolled_somewhere |= rep.unroll > 1;
+            (rep.stages, rep.unroll)
+        } else {
+            (1, 1)
+        };
+        for trip in edge_trips(stages, unroll) {
+            run_checked_compiled(p, &c, &m, &input_at(p, n, trip)).unwrap_or_else(|e| {
+                panic!(
+                    "{what}@{mname}: trip {trip} (stages {stages}, unroll {unroll}): {e:?}"
+                )
+            });
+        }
+    }
+    assert!(pipelined_somewhere, "{what}: no preset pipelined the loop");
+    let _ = unrolled_somewhere;
+}
+
+#[test]
+fn vinc_edges_on_all_presets() {
+    let (p, n) = vinc_rt();
+    check_all_edges(&p, n, "vinc_rt");
+    // The point of this program is the MVE path: at least one preset
+    // must unroll it, or the residue loop above tests nothing extra.
+    let unrolled = presets().iter().any(|(_, m)| {
+        let c = swp::compile(&p, m, &swp::CompileOptions::default()).unwrap();
+        c.reports.first().is_some_and(|r| r.ii.is_some() && r.unroll > 1)
+    });
+    assert!(unrolled, "vinc_rt must exercise unroll > 1 on some preset");
+}
+
+#[test]
+fn prefix_edges_on_all_presets() {
+    let (p, n) = prefix_rt();
+    check_all_edges(&p, n, "prefix_rt");
+}

@@ -1,0 +1,74 @@
+//! Keeps `docs/LINTS.md` and `analysis::LintCode` in lock-step: every
+//! code the crate defines must appear in exactly one table row of the
+//! document with the matching severity, and every `| Axxx |` row in the
+//! document must name a live code. A new lint lands with its doc row or
+//! this test fails; a doc edit that typos a code or severity fails the
+//! same way.
+
+use std::collections::BTreeMap;
+
+use analysis::LintCode;
+
+fn doc_rows() -> BTreeMap<String, String> {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/LINTS.md");
+    let text = std::fs::read_to_string(path).expect("read docs/LINTS.md");
+    let mut rows = BTreeMap::new();
+    for (ln, line) in text.lines().enumerate() {
+        let mut fields = line.split('|').map(str::trim);
+        let Some("") = fields.next() else { continue };
+        let Some(code) = fields.next() else { continue };
+        if code.len() != 4 || !code.starts_with('A') || !code[1..].bytes().all(|b| b.is_ascii_digit())
+        {
+            continue;
+        }
+        let severity = fields
+            .next()
+            .unwrap_or_else(|| panic!("LINTS.md:{}: row for {code} has no severity", ln + 1));
+        let prev = rows.insert(code.to_string(), severity.to_string());
+        assert!(prev.is_none(), "LINTS.md:{}: duplicate row for {code}", ln + 1);
+    }
+    rows
+}
+
+#[test]
+fn every_code_is_documented_with_its_severity() {
+    let rows = doc_rows();
+    for &c in LintCode::ALL {
+        let sev = rows
+            .get(c.as_str())
+            .unwrap_or_else(|| panic!("{} ({c:?}) has no table row in docs/LINTS.md", c.as_str()));
+        assert_eq!(
+            sev,
+            c.severity().as_str(),
+            "{} ({c:?}): docs/LINTS.md says severity `{sev}`, code says `{}`",
+            c.as_str(),
+            c.severity().as_str()
+        );
+    }
+}
+
+#[test]
+fn every_documented_code_is_live() {
+    let live: Vec<&str> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
+    for code in doc_rows().keys() {
+        assert!(
+            live.contains(&code.as_str()),
+            "docs/LINTS.md documents {code}, which analysis::LintCode does not define"
+        );
+    }
+}
+
+#[test]
+fn all_is_complete() {
+    // `LintCode::ALL` is the drift test's projection of the enum; a
+    // variant missing from it would silently escape the checks above.
+    // Codes are unique and in code order, so a gap shows as a count or
+    // ordering break against the documented rows.
+    let mut codes: Vec<&str> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
+    let n = codes.len();
+    codes.dedup();
+    assert_eq!(codes.len(), n, "duplicate entries in LintCode::ALL");
+    let mut sorted = codes.clone();
+    sorted.sort_unstable();
+    assert_eq!(codes, sorted, "LintCode::ALL is not in code order");
+}

@@ -73,6 +73,7 @@ mod scc;
 mod schedule;
 pub mod service;
 pub mod stats;
+pub mod symex;
 pub mod testkit;
 mod unroll;
 pub mod verify;

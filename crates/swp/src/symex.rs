@@ -1,0 +1,1547 @@
+//! Symbolic execution machinery for translation validation.
+//!
+//! Two engines over one shared, hash-consed term language:
+//!
+//! * [`run_source`] executes an [`ir::Program`] under the *sequential*
+//!   reference semantics (mirroring `ir::Interp` operation for
+//!   operation), but over **symbolic data**: every initial memory cell,
+//!   every input-queue element and every preset float register is an
+//!   opaque leaf term, so one run covers *all* data values at once.
+//! * [`run_vliw`] executes emitted VLIW object code under the
+//!   *cycle-accurate* timing contract of `swp::code` (mirroring
+//!   `vm::Vm`: one word per cycle, latency-delayed register retirement,
+//!   stores visible to later loads, in-flight writes surviving jumps,
+//!   terminators evaluated after a block's last word), again over
+//!   symbolic data.
+//!
+//! Integer computation — addresses, trip counts, branch guards — stays
+//! *concrete*: trip registers are preset to concrete values by the
+//! caller, so control flow resolves deterministically while the f32
+//! dataflow stays fully symbolic. The one exception is a branch on a
+//! data-dependent comparison (hierarchically-reduced conditionals):
+//! [`run_vliw`] forks both arms and merges them at the immediate
+//! postdominator with `Select(cond, …)` terms, provided the arms agree
+//! on cycle count (or are fully drained) and on their in-flight write
+//! sets; [`run_source`] merges `Stmt::If` arms the same way.
+//!
+//! Obligations are discharged by the in-tree normalizer in
+//! [`TermPool::apply`]: exact constant folding of the integer opcodes
+//! (same wrapping semantics as the interpreter and simulator), `Select`
+//! simplification, and — for the validator's induction checks —
+//! affine-sequence canonicalization ([`affine_fit`]) using the same
+//! "later iteration touches a higher address ⇔ positive stride" sign
+//! convention as `ir::alias_with_trip`. There is **no external
+//! solver**: anything the normalizer cannot decide surfaces as a
+//! structured [`SymStop`] and becomes an *abstention*, never a false
+//! alarm. See `analysis::tv` and DESIGN.md §16 for the proof scheme
+//! built on top.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use ir::{Imm, Op, Opcode, Operand, Program, Stmt, TripCount, VReg};
+use machine::MachineDescription;
+
+use crate::code::{BlockId, Terminator, VliwProgram};
+
+/// Interned term handle (index into a [`TermPool`]).
+pub type TermId = u32;
+
+/// A symbolic value term. Interned: structural equality is `TermId`
+/// equality within one pool.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// Concrete 32-bit integer (addresses, counters, folded arithmetic).
+    IConst(i32),
+    /// Concrete f32, stored as bits so the term is `Eq + Hash`.
+    FConst(u32),
+    /// The initial (pre-execution) value of data-memory cell `addr`.
+    MemInit(u32),
+    /// The `index`-th element ever popped from input channel 0/1.
+    Input {
+        /// Queue channel (0 = X, 1 = Y).
+        channel: u8,
+        /// Position in the input stream.
+        index: u32,
+    },
+    /// The initial value of a preset register left symbolic.
+    RegInit(VReg),
+    /// An uninterpreted application of an opcode to argument terms.
+    App(Opcode, Vec<TermId>),
+}
+
+/// Why a symbolic execution stopped without producing effects.
+///
+/// `fault = true` means the *executed program itself* would fault
+/// dynamically (undefined read, out-of-bounds address, empty queue,
+/// division by zero, a same-cycle double write) — on the emitted side
+/// that is refutation material, on the source side it indicts the test
+/// program. `fault = false` means the symbolic engine hit one of its
+/// own boundaries (a symbolic value where control needs a concrete one,
+/// an unmergeable fork); the validator must abstain.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymStop {
+    /// What the engine was trying to establish (structured obligation).
+    pub obligation: String,
+    /// Why it could not.
+    pub reason: String,
+    /// True when the executed program would fault at runtime.
+    pub fault: bool,
+}
+
+impl SymStop {
+    /// A dynamic fault of the executed program.
+    pub fn fault(obligation: impl Into<String>, reason: impl Into<String>) -> Self {
+        SymStop {
+            obligation: obligation.into(),
+            reason: reason.into(),
+            fault: true,
+        }
+    }
+
+    /// A limitation of the symbolic engine (validator must abstain).
+    pub fn unsupported(obligation: impl Into<String>, reason: impl Into<String>) -> Self {
+        SymStop {
+            obligation: obligation.into(),
+            reason: reason.into(),
+            fault: false,
+        }
+    }
+}
+
+/// A register's symbolic content.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SVal {
+    /// Never written (reads fault, as in both concrete semantics).
+    Undef,
+    /// A term.
+    T(TermId),
+}
+
+/// The data environment of a symbolic run. Fully symbolic by default:
+/// memory cells and input elements are opaque leaf terms, so one run
+/// covers all data. Components can instead be pinned to concrete values
+/// — the validator's fallback for data-dependent addressing (e.g. a
+/// scatter/gather kernel computing addresses from loaded floats), where
+/// a fully symbolic run cannot resolve control or addresses. A run
+/// under a concrete component proves equivalence *specialized to* that
+/// data, and the validator says so.
+#[derive(Debug, Clone, Default)]
+pub struct SymEnv {
+    /// Concrete initial memory (zero-extended to the program's size),
+    /// or `None` for symbolic `MemInit` leaves.
+    pub mem: Option<Vec<f32>>,
+    /// Concrete input queues (popping past the end faults, as in both
+    /// concrete semantics), or `None` for unbounded symbolic `Input`
+    /// leaves.
+    pub input: [Option<Vec<f32>>; 2],
+}
+
+impl SymEnv {
+    /// The fully symbolic environment.
+    pub fn symbolic() -> Self {
+        Self::default()
+    }
+
+    /// True when every component is symbolic (the run is a proof over
+    /// all data).
+    pub fn is_fully_symbolic(&self) -> bool {
+        self.mem.is_none() && self.input.iter().all(Option::is_none)
+    }
+
+    /// The leaf term for an initial (never-written) memory cell.
+    pub fn mem_leaf(&self, pool: &mut TermPool, addr: u32) -> TermId {
+        match &self.mem {
+            Some(m) => {
+                let v = m.get(addr as usize).copied().unwrap_or(0.0);
+                pool.fconst(v)
+            }
+            None => pool.intern(Term::MemInit(addr)),
+        }
+    }
+
+    fn input_leaf(&self, pool: &mut TermPool, ch: usize, idx: u32) -> Result<TermId, SymStop> {
+        match &self.input[ch] {
+            Some(q) => match q.get(idx as usize) {
+                Some(v) => Ok(pool.fconst(*v)),
+                None => Err(SymStop::fault(
+                    "input queue",
+                    format!("pop from empty input channel {ch}"),
+                )),
+            },
+            None => Ok(pool.intern(Term::Input {
+                channel: ch as u8,
+                index: idx,
+            })),
+        }
+    }
+}
+
+/// Hash-consing pool: structurally equal terms share one id, so term
+/// comparison — the validator's whole equivalence check — is `u32`
+/// equality.
+#[derive(Debug, Default)]
+pub struct TermPool {
+    terms: Vec<Term>,
+    index: HashMap<Term, TermId>,
+}
+
+impl TermPool {
+    /// An empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Interns `t`, returning its id.
+    pub fn intern(&mut self, t: Term) -> TermId {
+        if let Some(&id) = self.index.get(&t) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.terms.push(t.clone());
+        self.index.insert(t, id);
+        id
+    }
+
+    /// The term behind an id.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// Interns a concrete integer.
+    pub fn iconst(&mut self, v: i32) -> TermId {
+        self.intern(Term::IConst(v))
+    }
+
+    /// Interns a concrete float.
+    pub fn fconst(&mut self, v: f32) -> TermId {
+        self.intern(Term::FConst(v.to_bits()))
+    }
+
+    /// The concrete integer value of a term, if it has one.
+    pub fn as_int(&self, id: TermId) -> Option<i32> {
+        match self.term(id) {
+            Term::IConst(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The concrete f32 value of a term, if it has one.
+    pub fn as_float(&self, id: TermId) -> Option<f32> {
+        match self.term(id) {
+            Term::FConst(b) => Some(f32::from_bits(*b)),
+            _ => None,
+        }
+    }
+
+    /// Applies `opcode` to argument terms, normalizing: integer opcodes
+    /// fold exactly (the interpreter's wrapping semantics), comparisons
+    /// and conversions fold when their inputs are concrete, `Select`
+    /// resolves concrete conditions and collapses equal arms. Float
+    /// arithmetic folds only when *every* operand is a concrete
+    /// constant, using the exact `f32` operations the interpreter and
+    /// simulator execute — with any symbolic operand it stays
+    /// uninterpreted, so both sides of a validation build the same
+    /// application tree.
+    ///
+    /// # Errors
+    ///
+    /// A concrete division/remainder by zero stops with a fault, exactly
+    /// where the interpreter and simulator would.
+    pub fn apply(&mut self, opcode: Opcode, args: Vec<TermId>) -> Result<TermId, SymStop> {
+        use Opcode::*;
+        let int = |p: &Self, i: usize| p.as_int(args[i]);
+        match opcode {
+            Copy | Const => return Ok(args[0]),
+            Select => {
+                if let Some(c) = int(self, 0) {
+                    return Ok(if c != 0 { args[1] } else { args[2] });
+                }
+                if args[1] == args[2] {
+                    return Ok(args[1]);
+                }
+            }
+            Add | Sub | Mul | And | Or | Xor | Shl | Shr => {
+                if let (Some(a), Some(b)) = (int(self, 0), int(self, 1)) {
+                    let v = match opcode {
+                        Add => a.wrapping_add(b),
+                        Sub => a.wrapping_sub(b),
+                        Mul => a.wrapping_mul(b),
+                        And => a & b,
+                        Or => a | b,
+                        Xor => a ^ b,
+                        Shl => a.wrapping_shl(b as u32),
+                        Shr => a.wrapping_shr(b as u32),
+                        _ => unreachable!(),
+                    };
+                    return Ok(self.iconst(v));
+                }
+            }
+            Div | Rem => {
+                if let (Some(a), Some(b)) = (int(self, 0), int(self, 1)) {
+                    if b == 0 {
+                        return Err(SymStop::fault(
+                            "integer arithmetic",
+                            format!("{opcode:?} by zero"),
+                        ));
+                    }
+                    let v = if opcode == Div {
+                        a.wrapping_div(b)
+                    } else {
+                        a.wrapping_rem(b)
+                    };
+                    return Ok(self.iconst(v));
+                }
+            }
+            ICmp(p) => {
+                if let (Some(a), Some(b)) = (int(self, 0), int(self, 1)) {
+                    return Ok(self.iconst(p.eval(a, b) as i32));
+                }
+            }
+            FCmp(p) => {
+                if let (Some(a), Some(b)) = (self.as_float(args[0]), self.as_float(args[1])) {
+                    return Ok(self.iconst(p.eval(a, b) as i32));
+                }
+            }
+            FAdd | FSub | FMul | FDiv | FMin | FMax => {
+                if let (Some(a), Some(b)) = (self.as_float(args[0]), self.as_float(args[1])) {
+                    let v = match opcode {
+                        FAdd => a + b,
+                        FSub => a - b,
+                        FMul => a * b,
+                        FDiv => a / b,
+                        FMin => a.min(b),
+                        FMax => a.max(b),
+                        _ => unreachable!(),
+                    };
+                    return Ok(self.fconst(v));
+                }
+            }
+            FSqrt | FNeg | FAbs => {
+                if let Some(a) = self.as_float(args[0]) {
+                    let v = match opcode {
+                        FSqrt => a.sqrt(),
+                        FNeg => -a,
+                        FAbs => a.abs(),
+                        _ => unreachable!(),
+                    };
+                    return Ok(self.fconst(v));
+                }
+            }
+            ItoF => {
+                if let Some(a) = int(self, 0) {
+                    return Ok(self.fconst(a as f32));
+                }
+            }
+            FtoI => {
+                if let Some(a) = self.as_float(args[0]) {
+                    return Ok(self.iconst(a as i32));
+                }
+            }
+            _ => {}
+        }
+        Ok(self.intern(Term::App(opcode, args)))
+    }
+
+    /// Debug rendering of a term (depth-limited).
+    pub fn render(&self, id: TermId) -> String {
+        self.render_depth(id, 4)
+    }
+
+    fn render_depth(&self, id: TermId, depth: u32) -> String {
+        match self.term(id) {
+            Term::IConst(v) => format!("{v}"),
+            Term::FConst(b) => format!("{}", f32::from_bits(*b)),
+            Term::MemInit(a) => format!("mem0[{a}]"),
+            Term::Input { channel, index } => format!("in{channel}[{index}]"),
+            Term::RegInit(r) => format!("init({r})"),
+            Term::App(op, args) => {
+                if depth == 0 {
+                    return format!("#{id}");
+                }
+                let parts: Vec<String> = args
+                    .iter()
+                    .map(|&a| self.render_depth(a, depth - 1))
+                    .collect();
+                format!("{op:?}({})", parts.join(", "))
+            }
+        }
+    }
+}
+
+/// Fits an affine progression to an integer sequence: returns
+/// `(base, stride)` with `seq[j] = base + j*stride` when the sequence is
+/// affine, `None` otherwise. Stride follows `ir::alias_with_trip`'s
+/// sign convention: a *positive* stride means a later iteration (pass)
+/// touches a higher address. Needs at least two points.
+pub fn affine_fit(seq: &[i64]) -> Option<(i64, i64)> {
+    if seq.len() < 2 {
+        return None;
+    }
+    let base = seq[0];
+    let stride = seq[1] - seq[0];
+    for (j, &v) in seq.iter().enumerate() {
+        if v != base + j as i64 * stride {
+            return None;
+        }
+    }
+    Some((base, stride))
+}
+
+/// The observable effects of one symbolic execution: exactly the state
+/// `vm::run_checked*` compares, plus final registers for the liveout
+/// obligation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SymEffects {
+    /// Final value of every *written* data-memory cell. Untouched cells
+    /// implicitly hold their `MemInit` leaf.
+    pub mem: BTreeMap<u32, TermId>,
+    /// Output queues, channels X and Y, in push order.
+    pub out: [Vec<TermId>; 2],
+    /// Elements consumed from each input channel.
+    pub popped: [u32; 2],
+    /// Final register state (indexed by register number).
+    pub regs: Vec<SVal>,
+}
+
+/// One store executed by the *source* program, in sequential order.
+#[derive(Debug, Clone, Copy)]
+pub struct SourceStore {
+    /// Static op site (pre-order index over the program's ops).
+    pub site: u32,
+    /// Dynamic occurrence of that site (= iteration count for a
+    /// top-level loop body op).
+    pub occ: u32,
+    /// Concrete cell address.
+    pub addr: u32,
+    /// Stored term.
+    pub value: TermId,
+}
+
+/// Result of a symbolic source-program run.
+#[derive(Debug)]
+pub struct SourceRun {
+    /// Observable effects.
+    pub effects: SymEffects,
+    /// Every store, in sequential program order.
+    pub stores: Vec<SourceStore>,
+    /// For each produced term: the `(site, occurrence)` pairs that
+    /// computed it — the value table the stage-invariant synthesis
+    /// matches kernel registers against. Capped per term; concrete
+    /// constants are not recorded.
+    pub values: HashMap<TermId, Vec<(u32, u32)>>,
+    /// True when execution forked on a data-dependent conditional
+    /// (effects remain exact; per-iteration traces lose their shape).
+    pub forked: bool,
+}
+
+const VALUE_SITES_CAP: usize = 8;
+
+struct SourceState {
+    regs: Vec<SVal>,
+    mem: BTreeMap<u32, TermId>,
+    out: [Vec<TermId>; 2],
+    popped: [u32; 2],
+}
+
+/// Symbolically executes `program` under the sequential reference
+/// semantics. `presets` seed registers before execution (concrete trip
+/// counts, symbolic float scalars); all other registers start `Undef`.
+///
+/// # Errors
+///
+/// Stops where the interpreter would fault, or where the engine needs a
+/// concrete value (memory address, trip count, queue channel) and only
+/// has a symbolic one.
+pub fn run_source(
+    program: &Program,
+    presets: &[(VReg, SVal)],
+    env: &SymEnv,
+    pool: &mut TermPool,
+    fuel: u64,
+) -> Result<SourceRun, SymStop> {
+    let mut st = SourceState {
+        regs: vec![SVal::Undef; program.regs.len()],
+        mem: BTreeMap::new(),
+        out: [Vec::new(), Vec::new()],
+        popped: [0, 0],
+    };
+    for &(r, v) in presets {
+        st.regs[r.index()] = v;
+    }
+    let mut interp = SourceInterp {
+        mem_size: program.mem_size,
+        env,
+        pool,
+        fuel,
+        site_occ: HashMap::new(),
+        stores: Vec::new(),
+        values: HashMap::new(),
+        forked: false,
+    };
+    interp.exec_stmts(&program.body, 0, &mut st)?;
+    Ok(SourceRun {
+        effects: SymEffects {
+            mem: st.mem,
+            out: st.out,
+            popped: st.popped,
+            regs: st.regs,
+        },
+        stores: interp.stores,
+        values: interp.values,
+        forked: interp.forked,
+    })
+}
+
+struct SourceInterp<'a> {
+    mem_size: u32,
+    env: &'a SymEnv,
+    pool: &'a mut TermPool,
+    fuel: u64,
+    site_occ: HashMap<u32, u32>,
+    stores: Vec<SourceStore>,
+    values: HashMap<TermId, Vec<(u32, u32)>>,
+    forked: bool,
+}
+
+/// Number of op sites inside a statement (pre-order, arms included).
+fn sites_in(stmts: &[Stmt]) -> u32 {
+    let mut n = 0;
+    for s in stmts {
+        n += match s {
+            Stmt::Op(_) => 1,
+            Stmt::Loop(l) => sites_in(&l.body),
+            Stmt::If(i) => sites_in(&i.then_body) + sites_in(&i.else_body),
+        };
+    }
+    n
+}
+
+impl SourceInterp<'_> {
+    fn read(&self, st: &SourceState, r: VReg) -> Result<TermId, SymStop> {
+        match st.regs[r.index()] {
+            SVal::T(t) => Ok(t),
+            SVal::Undef => Err(SymStop::fault(
+                "register read",
+                format!("source reads undefined register {r}"),
+            )),
+        }
+    }
+
+    fn operand(&mut self, st: &SourceState, o: Operand) -> Result<TermId, SymStop> {
+        match o {
+            Operand::Reg(r) => self.read(st, r),
+            Operand::Imm(Imm::F(v)) => Ok(self.pool.fconst(v)),
+            Operand::Imm(Imm::I(v)) => Ok(self.pool.iconst(v)),
+        }
+    }
+
+    fn addr_of(&self, t: TermId) -> Result<u32, SymStop> {
+        match self.pool.as_int(t) {
+            Some(a) if a >= 0 && (a as u32) < self.mem_size => Ok(a as u32),
+            Some(a) => Err(SymStop::fault(
+                "memory address",
+                format!("source address {a} outside data memory of {} words", self.mem_size),
+            )),
+            None => Err(SymStop::unsupported(
+                "memory address",
+                "source address term is not concrete".to_string(),
+            )),
+        }
+    }
+
+    fn mem_read(&mut self, st: &SourceState, addr: u32) -> TermId {
+        match st.mem.get(&addr) {
+            Some(&t) => t,
+            None => self.env.mem_leaf(self.pool, addr),
+        }
+    }
+
+    fn record_value(&mut self, t: TermId, site: u32, occ: u32) {
+        if matches!(self.pool.term(t), Term::IConst(_) | Term::FConst(_)) {
+            return;
+        }
+        let v = self.values.entry(t).or_default();
+        if v.len() < VALUE_SITES_CAP {
+            v.push((site, occ));
+        }
+    }
+
+    fn exec_stmts(
+        &mut self,
+        stmts: &[Stmt],
+        base_site: u32,
+        st: &mut SourceState,
+    ) -> Result<(), SymStop> {
+        let mut site = base_site;
+        for s in stmts {
+            match s {
+                Stmt::Op(op) => {
+                    self.exec_op(op, site, st)?;
+                    site += 1;
+                }
+                Stmt::Loop(l) => {
+                    let n = match l.trip {
+                        TripCount::Const(n) => n as i64,
+                        TripCount::Reg(r) => {
+                            let t = self.read(st, r)?;
+                            self.pool.as_int(t).ok_or_else(|| {
+                                SymStop::unsupported(
+                                    "trip count",
+                                    format!("trip register {r} is not concrete"),
+                                )
+                            })? as i64
+                        }
+                    };
+                    for _ in 0..n.max(0) {
+                        self.exec_stmts(&l.body, site, st)?;
+                    }
+                    site += sites_in(&l.body);
+                }
+                Stmt::If(i) => {
+                    let then_sites = sites_in(&i.then_body);
+                    let c = self.read(st, i.cond)?;
+                    match self.pool.as_int(c) {
+                        Some(v) => {
+                            if v != 0 {
+                                self.exec_stmts(&i.then_body, site, st)?;
+                            } else {
+                                self.exec_stmts(&i.else_body, site + then_sites, st)?;
+                            }
+                        }
+                        None => {
+                            self.forked = true;
+                            let mut then_st = clone_source_state(st);
+                            self.exec_stmts(&i.then_body, site, &mut then_st)?;
+                            self.exec_stmts(&i.else_body, site + then_sites, st)?;
+                            merge_source_states(self.env, self.pool, c, then_st, st)?;
+                        }
+                    }
+                    site += then_sites + sites_in(&i.else_body);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_op(&mut self, op: &Op, site: u32, st: &mut SourceState) -> Result<(), SymStop> {
+        if self.fuel == 0 {
+            return Err(SymStop::unsupported("fuel", "symbolic fuel exhausted"));
+        }
+        self.fuel -= 1;
+        let occ = {
+            let c = self.site_occ.entry(site).or_insert(0);
+            let o = *c;
+            *c += 1;
+            o
+        };
+        match op.opcode {
+            Opcode::Load => {
+                let a = self.operand(st, op.srcs[0])?;
+                let addr = self.addr_of(a)?;
+                let v = self.mem_read(st, addr);
+                let dst = op.dst.expect("load has dst");
+                st.regs[dst.index()] = SVal::T(v);
+                self.record_value(v, site, occ);
+            }
+            Opcode::Store => {
+                let a = self.operand(st, op.srcs[0])?;
+                let v = self.operand(st, op.srcs[1])?;
+                let addr = self.addr_of(a)?;
+                st.mem.insert(addr, v);
+                self.stores.push(SourceStore {
+                    site,
+                    occ,
+                    addr,
+                    value: v,
+                });
+            }
+            Opcode::QPop => {
+                let ch = (op.channel != 0) as usize;
+                let idx = st.popped[ch];
+                st.popped[ch] += 1;
+                let v = self.env.input_leaf(self.pool, ch, idx)?;
+                let dst = op.dst.expect("qpop has dst");
+                st.regs[dst.index()] = SVal::T(v);
+                self.record_value(v, site, occ);
+            }
+            Opcode::QPush => {
+                let v = self.operand(st, op.srcs[0])?;
+                let ch = (op.channel != 0) as usize;
+                st.out[ch].push(v);
+            }
+            _ => {
+                let mut args = Vec::with_capacity(op.srcs.len());
+                for &s in &op.srcs {
+                    args.push(self.operand(st, s)?);
+                }
+                let v = self.pool.apply(op.opcode, args)?;
+                if let Some(dst) = op.dst {
+                    st.regs[dst.index()] = SVal::T(v);
+                    self.record_value(v, site, occ);
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn clone_source_state(st: &SourceState) -> SourceState {
+    SourceState {
+        regs: st.regs.clone(),
+        mem: st.mem.clone(),
+        out: st.out.clone(),
+        popped: st.popped,
+    }
+}
+
+/// Merges the then-state into `st` (which holds the else-state) under
+/// condition `c`.
+fn merge_source_states(
+    env: &SymEnv,
+    pool: &mut TermPool,
+    c: TermId,
+    then_st: SourceState,
+    st: &mut SourceState,
+) -> Result<(), SymStop> {
+    if then_st.popped != st.popped {
+        return Err(SymStop::unsupported(
+            "input queue",
+            "conditional arms pop different input counts",
+        ));
+    }
+    for ch in 0..2 {
+        if then_st.out[ch].len() != st.out[ch].len() {
+            return Err(SymStop::unsupported(
+                "output queue",
+                format!("conditional arms push different counts on channel {ch}"),
+            ));
+        }
+        for i in 0..st.out[ch].len() {
+            let (a, b) = (then_st.out[ch][i], st.out[ch][i]);
+            if a != b {
+                st.out[ch][i] = pool.apply(Opcode::Select, vec![c, a, b])?;
+            }
+        }
+    }
+    for i in 0..st.regs.len() {
+        match (then_st.regs[i], st.regs[i]) {
+            (SVal::T(a), SVal::T(b)) if a != b => {
+                st.regs[i] = SVal::T(pool.apply(Opcode::Select, vec![c, a, b])?);
+            }
+            (SVal::T(_), SVal::Undef) | (SVal::Undef, SVal::T(_)) => {
+                // Defined on one path only: any later read is
+                // conditionally undefined; poison it so such a read
+                // faults (mirroring the stricter of the two concrete
+                // runs).
+                st.regs[i] = SVal::Undef;
+            }
+            _ => {}
+        }
+    }
+    let keys: Vec<u32> = then_st
+        .mem
+        .keys()
+        .chain(st.mem.keys())
+        .copied()
+        .collect();
+    for a in keys {
+        let va = match then_st.mem.get(&a) {
+            Some(&v) => v,
+            None => env.mem_leaf(pool, a),
+        };
+        let vb = match st.mem.get(&a) {
+            Some(&v) => v,
+            None => env.mem_leaf(pool, a),
+        };
+        let v = if va == vb {
+            va
+        } else {
+            pool.apply(Opcode::Select, vec![c, va, vb])?
+        };
+        st.mem.insert(a, v);
+    }
+    Ok(())
+}
+
+/// State snapshot taken whenever control (re-)enters a loop-header
+/// block — for the pipelined kernel these are the per-pass kernel-entry
+/// states the stage-invariant synthesis consumes.
+#[derive(Debug, Clone)]
+pub struct EntrySnapshot {
+    /// Cycle at entry.
+    pub cycle: u64,
+    /// Committed register state at entry (pending writes excluded).
+    pub regs: Vec<SVal>,
+    /// Index into [`VliwRun::stores`] at entry — slices the store trace
+    /// into per-pass segments.
+    pub store_base: usize,
+}
+
+/// One store committed by the emitted code, in commit order.
+#[derive(Debug, Clone, Copy)]
+pub struct VliwStore {
+    /// Commit cycle.
+    pub cycle: u64,
+    /// Concrete cell address.
+    pub addr: u32,
+    /// Stored term.
+    pub value: TermId,
+}
+
+/// Result of a symbolic VLIW run.
+#[derive(Debug)]
+pub struct VliwRun {
+    /// Observable effects.
+    pub effects: SymEffects,
+    /// Every store commit, in cycle order.
+    pub stores: Vec<VliwStore>,
+    /// Per back-edge-target block label: entry snapshots, one per
+    /// dynamic entry (kernel passes, remainder-loop iterations).
+    pub entries: BTreeMap<String, Vec<EntrySnapshot>>,
+    /// True when execution forked on a data-dependent branch (effects
+    /// remain exact; snapshots/traces lose their per-pass shape).
+    pub forked: bool,
+    /// Cycles executed.
+    pub cycles: u64,
+}
+
+/// Symbolically executes VLIW object code under the cycle-accurate
+/// timing contract. `presets` seed registers (concrete trip counts,
+/// symbolic floats); everything else starts `Undef`.
+///
+/// # Errors
+///
+/// Stops on a dynamic fault of the code (refutation material for the
+/// validator) or an engine limitation (abstention) — distinguished by
+/// [`SymStop::fault`].
+pub fn run_vliw(
+    program: &VliwProgram,
+    mach: &MachineDescription,
+    presets: &[(VReg, SVal)],
+    env: &SymEnv,
+    pool: &mut TermPool,
+    fuel: u64,
+) -> Result<VliwRun, SymStop> {
+    let mut regs = vec![SVal::Undef; program.regs.len()];
+    for &(r, v) in presets {
+        regs[r.index()] = v;
+    }
+    let back_targets = back_edge_targets(program);
+    let mut ex = VliwExec {
+        program,
+        mach,
+        pool,
+        env,
+        mem_size: program.mem_size,
+        fuel,
+        ipdom: ipdoms(program),
+        back_targets,
+        stores: Vec::new(),
+        entries: BTreeMap::new(),
+        forked: false,
+    };
+    let mut st = VliwState {
+        regs,
+        pending: VecDeque::new(),
+        mem: BTreeMap::new(),
+        out: [Vec::new(), Vec::new()],
+        popped: [0, 0],
+        cycle: 0,
+    };
+    ex.run_blocks(&mut st, program.entry, None)?;
+    // Halt drains outstanding writes (the simulator's rule).
+    while let Some((_, r, v)) = st.pending.pop_front() {
+        st.regs[r.index()] = SVal::T(v);
+    }
+    Ok(VliwRun {
+        effects: SymEffects {
+            mem: st.mem,
+            out: st.out,
+            popped: st.popped,
+            regs: st.regs,
+        },
+        stores: ex.stores,
+        entries: ex.entries,
+        forked: ex.forked,
+        cycles: st.cycle,
+    })
+}
+
+#[derive(Debug, Clone)]
+struct VliwState {
+    regs: Vec<SVal>,
+    /// Pending register writes `(retire_cycle, reg, value)`.
+    pending: VecDeque<(u64, VReg, TermId)>,
+    mem: BTreeMap<u32, TermId>,
+    out: [Vec<TermId>; 2],
+    popped: [u32; 2],
+    cycle: u64,
+}
+
+/// Sentinel for "control left the program" in postdominator space.
+const EXIT: u32 = u32::MAX;
+
+struct VliwExec<'a> {
+    program: &'a VliwProgram,
+    mach: &'a MachineDescription,
+    pool: &'a mut TermPool,
+    env: &'a SymEnv,
+    mem_size: u32,
+    fuel: u64,
+    ipdom: Vec<u32>,
+    back_targets: Vec<bool>,
+    stores: Vec<VliwStore>,
+    entries: BTreeMap<String, Vec<EntrySnapshot>>,
+    forked: bool,
+}
+
+/// Successor block ids of a terminator (`EXIT` for Halt).
+fn successors(t: &Terminator) -> Vec<u32> {
+    match t {
+        Terminator::Fall(b) | Terminator::Jump(b) => vec![b.0],
+        Terminator::CondJump { nonzero, zero, .. } => vec![nonzero.0, zero.0],
+        Terminator::CountedLoop { back, exit, .. } => vec![back.0, exit.0],
+        Terminator::Halt => vec![EXIT],
+    }
+}
+
+/// Blocks that are the target of a `CountedLoop` back edge — loop
+/// headers whose re-entries the validator wants snapshotted.
+fn back_edge_targets(p: &VliwProgram) -> Vec<bool> {
+    let mut t = vec![false; p.blocks.len()];
+    for b in &p.blocks {
+        if let Terminator::CountedLoop { back, .. } = &b.term {
+            t[back.0 as usize] = true;
+        }
+    }
+    t
+}
+
+/// Immediate postdominators over the block graph (virtual exit = `EXIT`),
+/// by iterative set intersection — block counts are small.
+fn ipdoms(p: &VliwProgram) -> Vec<u32> {
+    let n = p.blocks.len();
+    // pdom[b] = set of blocks (plus EXIT) postdominating b, as a sorted vec.
+    let all: Vec<u32> = (0..n as u32).chain([EXIT]).collect();
+    let mut pdom: Vec<Vec<u32>> = vec![all.clone(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in (0..n).rev() {
+            let succs = successors(&p.blocks[b].term);
+            let mut inter: Option<Vec<u32>> = None;
+            for &s in &succs {
+                let sd: Vec<u32> = if s == EXIT {
+                    vec![EXIT]
+                } else {
+                    pdom[s as usize].clone()
+                };
+                inter = Some(match inter {
+                    None => sd,
+                    Some(cur) => cur.into_iter().filter(|x| sd.contains(x)).collect(),
+                });
+            }
+            let mut next = inter.unwrap_or_default();
+            if !next.contains(&(b as u32)) {
+                next.push(b as u32);
+                next.sort_unstable();
+            }
+            if next != pdom[b] {
+                pdom[b] = next;
+                changed = true;
+            }
+        }
+    }
+    // Immediate postdominator: the strict postdominator postdominated by
+    // all other strict postdominators (fewest remaining dominatees —
+    // pick the one whose pdom set is largest, i.e. the "closest").
+    (0..n)
+        .map(|b| {
+            let strict: Vec<u32> = pdom[b].iter().copied().filter(|&x| x != b as u32).collect();
+            let mut best = EXIT;
+            let mut best_len = 0usize;
+            for &c in &strict {
+                if c == EXIT {
+                    continue;
+                }
+                let l = pdom[c as usize].len();
+                if l >= best_len {
+                    best_len = l;
+                    best = c;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+impl VliwExec<'_> {
+    /// Executes from `start` until control reaches `stop` (exclusive) or
+    /// the program halts (`stop = None` runs to halt; reaching halt under
+    /// a `stop` is a stop at `EXIT`). Returns the block id where control
+    /// stopped (`EXIT` for halt).
+    fn run_blocks(
+        &mut self,
+        st: &mut VliwState,
+        start: BlockId,
+        stop: Option<u32>,
+    ) -> Result<u32, SymStop> {
+        let mut block = start.0;
+        loop {
+            if Some(block) == stop {
+                return Ok(block);
+            }
+            if block == EXIT {
+                return Ok(EXIT);
+            }
+            let b = &self.program.blocks[block as usize];
+            if self.back_targets[block as usize] && !self.forked {
+                let snap = EntrySnapshot {
+                    cycle: st.cycle,
+                    regs: st.regs.clone(),
+                    store_base: self.stores.len(),
+                };
+                self.entries.entry(b.label.clone()).or_default().push(snap);
+            }
+            for w in &b.words {
+                if self.fuel == 0 {
+                    return Err(SymStop::unsupported("fuel", "symbolic fuel exhausted"));
+                }
+                self.fuel -= 1;
+                retire_due(st);
+                self.exec_word(st, &w.ops)?;
+                st.cycle += 1;
+            }
+            retire_due(st);
+            block = match &b.term {
+                Terminator::Fall(t) | Terminator::Jump(t) => t.0,
+                Terminator::CondJump {
+                    cond,
+                    nonzero,
+                    zero,
+                } => {
+                    let c = self.read(st, *cond)?;
+                    match self.pool.as_int(c) {
+                        Some(v) => {
+                            if v != 0 {
+                                nonzero.0
+                            } else {
+                                zero.0
+                            }
+                        }
+                        None => {
+                            self.forked = true;
+                            let join = self.ipdom[block as usize];
+                            let join = match stop {
+                                // Never run past the enclosing join.
+                                Some(s) if join == EXIT => s,
+                                _ => join,
+                            };
+                            let mut then_st = st.clone();
+                            let a = self.run_blocks(&mut then_st, *nonzero, Some(join))?;
+                            let b2 = self.run_blocks(st, *zero, Some(join))?;
+                            if a != b2 {
+                                return Err(SymStop::unsupported(
+                                    "conditional merge",
+                                    "arms of a data-dependent branch exit to different blocks",
+                                ));
+                            }
+                            merge_vliw_states(self.env, self.pool, c, then_st, st)?;
+                            join
+                        }
+                    }
+                }
+                Terminator::CountedLoop {
+                    counter,
+                    dec,
+                    back,
+                    exit,
+                } => {
+                    let c = self.read(st, *counter)?;
+                    let c = self.pool.as_int(c).ok_or_else(|| {
+                        SymStop::unsupported(
+                            "loop counter",
+                            format!("counted-loop counter {counter} is not concrete"),
+                        )
+                    })?;
+                    let c = c - dec;
+                    st.regs[counter.index()] = SVal::T(self.pool.iconst(c));
+                    if c > 0 {
+                        back.0
+                    } else {
+                        exit.0
+                    }
+                }
+                Terminator::Halt => EXIT,
+            };
+        }
+    }
+
+    fn read(&self, st: &VliwState, r: VReg) -> Result<TermId, SymStop> {
+        match st.regs[r.index()] {
+            SVal::T(t) => Ok(t),
+            SVal::Undef => Err(SymStop::fault(
+                "register read",
+                format!("emitted code reads undefined register {r} at cycle {}", st.cycle),
+            )),
+        }
+    }
+
+    fn operand(&mut self, st: &VliwState, o: Operand) -> Result<TermId, SymStop> {
+        match o {
+            Operand::Reg(r) => self.read(st, r),
+            Operand::Imm(Imm::F(v)) => Ok(self.pool.fconst(v)),
+            Operand::Imm(Imm::I(v)) => Ok(self.pool.iconst(v)),
+        }
+    }
+
+    fn addr_of(&self, t: TermId, cycle: u64) -> Result<u32, SymStop> {
+        match self.pool.as_int(t) {
+            Some(a) if a >= 0 && (a as u32) < self.mem_size => Ok(a as u32),
+            Some(a) => Err(SymStop::fault(
+                "memory address",
+                format!("emitted code addresses {a} outside data memory at cycle {cycle}"),
+            )),
+            None => Err(SymStop::unsupported(
+                "memory address",
+                "emitted address term is not concrete".to_string(),
+            )),
+        }
+    }
+
+    /// One word, mirroring `vm::Vm::exec_word`: all reads first, then
+    /// loads (pre-store memory), then store commits (race-checked), then
+    /// latency-queued register writes (double-write-checked).
+    fn exec_word(&mut self, st: &mut VliwState, ops: &[Op]) -> Result<(), SymStop> {
+        let mut writes: Vec<(VReg, TermId, u32)> = Vec::new();
+        let mut loads: Vec<(u32, VReg, u32)> = Vec::new();
+        let mut stored: Vec<(u32, TermId)> = Vec::new();
+        for op in ops {
+            let lat = self.mach.latency(op.opcode.class());
+            match op.opcode {
+                Opcode::Load => {
+                    let a = self.operand(st, op.srcs[0])?;
+                    let addr = self.addr_of(a, st.cycle)?;
+                    loads.push((addr, op.dst.expect("load has dst"), lat));
+                }
+                Opcode::Store => {
+                    let a = self.operand(st, op.srcs[0])?;
+                    let v = self.operand(st, op.srcs[1])?;
+                    let addr = self.addr_of(a, st.cycle)?;
+                    stored.push((addr, v));
+                }
+                Opcode::QPop => {
+                    let ch = (op.channel != 0) as usize;
+                    let idx = st.popped[ch];
+                    st.popped[ch] += 1;
+                    let v = self.env.input_leaf(self.pool, ch, idx)?;
+                    writes.push((op.dst.expect("qpop has dst"), v, lat));
+                }
+                Opcode::QPush => {
+                    let v = self.operand(st, op.srcs[0])?;
+                    let ch = (op.channel != 0) as usize;
+                    st.out[ch].push(v);
+                }
+                _ => {
+                    let mut args = Vec::with_capacity(op.srcs.len());
+                    for &s in &op.srcs {
+                        args.push(self.operand(st, s)?);
+                    }
+                    let v = self.pool.apply(op.opcode, args)?;
+                    if let Some(dst) = op.dst {
+                        writes.push((dst, v, lat));
+                    }
+                }
+            }
+        }
+        for (addr, dst, lat) in loads {
+            let v = match st.mem.get(&addr) {
+                Some(&v) => v,
+                None => self.env.mem_leaf(self.pool, addr),
+            };
+            writes.push((dst, v, lat));
+        }
+        let mut seen: Vec<u32> = Vec::new();
+        for (addr, v) in stored {
+            if seen.contains(&addr) {
+                return Err(SymStop::fault(
+                    "memory commit",
+                    format!("two stores to cell {addr} in cycle {}", st.cycle),
+                ));
+            }
+            seen.push(addr);
+            st.mem.insert(addr, v);
+            self.stores.push(VliwStore {
+                cycle: st.cycle,
+                addr,
+                value: v,
+            });
+        }
+        for (dst, v, lat) in writes {
+            let retire = st.cycle + lat.max(1) as u64;
+            if st.pending.iter().any(|&(t, r, _)| r == dst && t == retire) {
+                return Err(SymStop::fault(
+                    "register writeback",
+                    format!("double write to {dst} retiring at cycle {retire}"),
+                ));
+            }
+            st.pending.push_back((retire, dst, v));
+        }
+        Ok(())
+    }
+}
+
+fn retire_due(st: &mut VliwState) {
+    let now = st.cycle;
+    let mut i = 0;
+    while i < st.pending.len() {
+        if st.pending[i].0 <= now {
+            let (_, r, v) = st.pending.remove(i).expect("index in range");
+            st.regs[r.index()] = SVal::T(v);
+        } else {
+            i += 1;
+        }
+    }
+}
+
+/// Merges the then-state into `st` (holding the else-state) under
+/// condition `c`. Equal arm cycle counts: in-flight writes merge per
+/// register over the union of the two arms' retire times — at each
+/// time the merged retire installs `Select(c, then-side value,
+/// else-side value)`, where a side with no retire at that time
+/// contributes its latest earlier retire (or its committed value), so
+/// under that condition the retire rewrites what the register already
+/// holds, a no-op. Unequal cycle counts: both arms must be fully
+/// drained.
+fn merge_vliw_states(
+    env: &SymEnv,
+    pool: &mut TermPool,
+    c: TermId,
+    a: VliwState,
+    st: &mut VliwState,
+) -> Result<(), SymStop> {
+    if a.cycle == st.cycle {
+        let mut in_flight: Vec<VReg> = a
+            .pending
+            .iter()
+            .chain(st.pending.iter())
+            .map(|&(_, r, _)| r)
+            .collect();
+        in_flight.sort_unstable();
+        in_flight.dedup();
+        let mut merged: Vec<(u64, VReg, TermId)> = Vec::new();
+        for r in in_flight {
+            let mut pa: Vec<(u64, TermId)> = a
+                .pending
+                .iter()
+                .filter(|&&(_, pr, _)| pr == r)
+                .map(|&(t, _, v)| (t, v))
+                .collect();
+            let mut pb: Vec<(u64, TermId)> = st
+                .pending
+                .iter()
+                .filter(|&&(_, pr, _)| pr == r)
+                .map(|&(t, _, v)| (t, v))
+                .collect();
+            pa.sort_unstable_by_key(|&(t, _)| t);
+            pb.sort_unstable_by_key(|&(t, _)| t);
+            // Union of retire times; at each, the register's value on a
+            // side is its latest retire at or before that time, falling
+            // back to the side's committed value (which must then be
+            // defined, since the merged retire rewrites it).
+            let mut times: Vec<u64> = pa.iter().chain(pb.iter()).map(|&(t, _)| t).collect();
+            times.sort_unstable();
+            times.dedup();
+            let side_at = |p: &[(u64, TermId)],
+                           committed: SVal,
+                           t: u64|
+             -> Result<TermId, SymStop> {
+                match p.iter().rev().find(|&&(pt, _)| pt <= t) {
+                    Some(&(_, v)) => Ok(v),
+                    None => match committed {
+                        SVal::T(v) => Ok(v),
+                        SVal::Undef => Err(SymStop::unsupported(
+                            "conditional merge",
+                            format!(
+                                "in-flight write to {r} on one arm joins an undefined \
+                                 register on the other"
+                            ),
+                        )),
+                    },
+                }
+            };
+            for &t in &times {
+                let va = side_at(&pa, a.regs[r.index()], t)?;
+                let vb = side_at(&pb, st.regs[r.index()], t)?;
+                let v = if va == vb {
+                    va
+                } else {
+                    pool.apply(Opcode::Select, vec![c, va, vb])?
+                };
+                merged.push((t, r, v));
+            }
+        }
+        merged.sort_unstable_by_key(|&(t, r, _)| (t, r));
+        st.pending = merged.into_iter().collect();
+    } else {
+        if !a.pending.is_empty() || !st.pending.is_empty() {
+            return Err(SymStop::unsupported(
+                "conditional merge",
+                "arms of different length leave in-flight writes",
+            ));
+        }
+        st.cycle = st.cycle.max(a.cycle);
+    }
+    if a.popped != st.popped {
+        return Err(SymStop::unsupported(
+            "input queue",
+            "conditional arms pop different input counts",
+        ));
+    }
+    for ch in 0..2 {
+        if a.out[ch].len() != st.out[ch].len() {
+            return Err(SymStop::unsupported(
+                "output queue",
+                format!("conditional arms push different counts on channel {ch}"),
+            ));
+        }
+        for i in 0..st.out[ch].len() {
+            let (x, y) = (a.out[ch][i], st.out[ch][i]);
+            if x != y {
+                st.out[ch][i] = pool.apply(Opcode::Select, vec![c, x, y])?;
+            }
+        }
+    }
+    for i in 0..st.regs.len() {
+        match (a.regs[i], st.regs[i]) {
+            (SVal::T(x), SVal::T(y)) if x != y => {
+                st.regs[i] = SVal::T(pool.apply(Opcode::Select, vec![c, x, y])?);
+            }
+            (SVal::T(_), SVal::Undef) | (SVal::Undef, SVal::T(_)) => {
+                st.regs[i] = SVal::Undef;
+            }
+            _ => {}
+        }
+    }
+    let keys: Vec<u32> = a.mem.keys().chain(st.mem.keys()).copied().collect();
+    for addr in keys {
+        let va = match a.mem.get(&addr) {
+            Some(&v) => v,
+            None => env.mem_leaf(pool, addr),
+        };
+        let vb = match st.mem.get(&addr) {
+            Some(&v) => v,
+            None => env.mem_leaf(pool, addr),
+        };
+        let v = if va == vb {
+            va
+        } else {
+            pool.apply(Opcode::Select, vec![c, va, vb])?
+        };
+        st.mem.insert(addr, v);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ir::{MemRef, ProgramBuilder, Type};
+    use machine::presets::{test_machine, warp_cell};
+
+    fn vinc(n: TripCount) -> (Program, Option<VReg>) {
+        let mut b = ProgramBuilder::new("vinc");
+        let arr = b.array("a", 64);
+        let trip_reg = match n {
+            TripCount::Reg(r) => Some(r),
+            TripCount::Const(_) => None,
+        };
+        b.for_counted(n, |b, i| {
+            let addr = b.elem_addr(arr, i.into(), 1, 0);
+            let x = b.load(addr.into(), MemRef::affine(arr, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), MemRef::affine(arr, 1, 0));
+        });
+        (b.finish(), trip_reg)
+    }
+
+    #[test]
+    fn pool_folds_ints_and_interns() {
+        let mut p = TermPool::new();
+        let a = p.iconst(3);
+        let b = p.iconst(4);
+        let s = p.apply(Opcode::Add, vec![a, b]).unwrap();
+        assert_eq!(p.as_int(s), Some(7));
+        // Interning: same structure, same id.
+        let x = p.intern(Term::MemInit(5));
+        let y = p.intern(Term::MemInit(5));
+        assert_eq!(x, y);
+        // Select folds on concrete conditions and equal arms.
+        let one = p.iconst(1);
+        let m = p.intern(Term::MemInit(9));
+        let sel = p.apply(Opcode::Select, vec![one, m, a]).unwrap();
+        assert_eq!(sel, m);
+        let c = p.intern(Term::RegInit(VReg(0)));
+        let sel2 = p.apply(Opcode::Select, vec![c, m, m]).unwrap();
+        assert_eq!(sel2, m);
+    }
+
+    #[test]
+    fn division_by_zero_faults() {
+        let mut p = TermPool::new();
+        let a = p.iconst(3);
+        let z = p.iconst(0);
+        let e = p.apply(Opcode::Div, vec![a, z]).unwrap_err();
+        assert!(e.fault);
+    }
+
+    #[test]
+    fn affine_fit_works() {
+        assert_eq!(affine_fit(&[3, 5, 7, 9]), Some((3, 2)));
+        assert_eq!(affine_fit(&[10, 7, 4]), Some((10, -3)));
+        assert_eq!(affine_fit(&[1, 2, 4]), None);
+        assert_eq!(affine_fit(&[1]), None);
+    }
+
+    #[test]
+    fn source_and_vliw_agree_on_vinc() {
+        let (p, _) = vinc(TripCount::Const(17));
+        let m = warp_cell();
+        let c = crate::compile(&p, &m, &crate::CompileOptions::default()).unwrap();
+        let mut pool = TermPool::new();
+        let env = SymEnv::symbolic();
+        let src = run_source(&p, &[], &env, &mut pool, 1 << 20).unwrap();
+        let emit = run_vliw(&c.vliw, &m, &[], &env, &mut pool, 1 << 20).unwrap();
+        assert!(!src.forked && !emit.forked);
+        // Same cells written, same terms per cell.
+        assert_eq!(src.effects.mem, emit.effects.mem);
+        assert_eq!(src.effects.mem.len(), 17);
+        // Symbolic leaves flowed through: a[0] final = FAdd(mem0[0], 1.0).
+        let t = src.effects.mem[&0];
+        match pool.term(t) {
+            Term::App(Opcode::FAdd, args) => {
+                assert_eq!(pool.term(args[0]), &Term::MemInit(0));
+            }
+            other => panic!("unexpected term {other:?}"),
+        }
+    }
+
+    #[test]
+    fn vliw_timing_respects_latency() {
+        // A hand-built program reading a result one cycle early sees
+        // Undef and faults — the engine honors retirement timing.
+        use crate::code::{Block, Word};
+        let mut regs = ir::RegTable::new();
+        let a = regs.alloc(Type::F32);
+        let b2 = regs.alloc(Type::F32);
+        let mut blk = Block::new("entry");
+        blk.words.push(Word {
+            ops: vec![Op::new(
+                Opcode::FAdd,
+                Some(a),
+                vec![Imm::F(1.0).into(), Imm::F(2.0).into()],
+            )],
+        });
+        blk.words.push(Word {
+            ops: vec![Op::new(Opcode::Copy, Some(b2), vec![a.into()])],
+        });
+        blk.term = Terminator::Halt;
+        let p = VliwProgram {
+            name: "t".into(),
+            regs,
+            arrays: vec![],
+            mem_size: 4,
+            blocks: vec![blk],
+            entry: BlockId(0),
+        };
+        let m = test_machine();
+        let mut pool = TermPool::new();
+        let e = run_vliw(&p, &m, &[], &SymEnv::symbolic(), &mut pool, 1000).unwrap_err();
+        assert!(e.fault, "{e:?}");
+        assert!(e.reason.contains("undefined register"), "{}", e.reason);
+    }
+
+    #[test]
+    fn runtime_trip_presets_drive_control() {
+        let (p, nr) = vinc(TripCount::Reg({
+            let mut b = ProgramBuilder::new("probe");
+            b.reg(Type::I32)
+        }));
+        // vinc() above built its own trip register; re-derive it.
+        let _ = p;
+        let _ = nr;
+        // Build properly: a Reg-trip vinc.
+        let mut b = ProgramBuilder::new("vinc_rt");
+        let arr = b.array("a", 64);
+        let n = b.reg(Type::I32);
+        b.for_counted(TripCount::Reg(n), |b, i| {
+            let addr = b.elem_addr(arr, i.into(), 1, 0);
+            let x = b.load(addr.into(), MemRef::affine(arr, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), MemRef::affine(arr, 1, 0));
+        });
+        let p = b.finish();
+        let m = warp_cell();
+        let c = crate::compile(&p, &m, &crate::CompileOptions::default()).unwrap();
+        for trip in [0i32, 1, 2, 7, 13] {
+            let mut pool = TermPool::new();
+            let t = pool.iconst(trip);
+            let presets = vec![(n, SVal::T(t))];
+            let env = SymEnv::symbolic();
+            let src = run_source(&p, &presets, &env, &mut pool, 1 << 20).unwrap();
+            let emit = run_vliw(&c.vliw, &m, &presets, &env, &mut pool, 1 << 20).unwrap();
+            assert_eq!(
+                src.effects.mem, emit.effects.mem,
+                "trip {trip}: memory effects diverge"
+            );
+            assert_eq!(src.effects.mem.len(), trip.max(0) as usize);
+        }
+    }
+
+    #[test]
+    fn kernel_entries_are_snapshotted() {
+        let mut b = ProgramBuilder::new("vinc_rt");
+        let arr = b.array("a", 256);
+        let n = b.reg(Type::I32);
+        b.for_counted(TripCount::Reg(n), |b, i| {
+            let addr = b.elem_addr(arr, i.into(), 1, 0);
+            let x = b.load(addr.into(), MemRef::affine(arr, 1, 0));
+            let y = b.fadd(x.into(), 1.0f32.into());
+            b.store(addr.into(), y.into(), MemRef::affine(arr, 1, 0));
+        });
+        let p = b.finish();
+        let m = warp_cell();
+        let c = crate::compile(&p, &m, &crate::CompileOptions::default()).unwrap();
+        let rep = c.reports.iter().find(|r| r.ii.is_some()).expect("pipelines");
+        let (k, u) = (rep.stages - 1, rep.unroll);
+        let trip = (k + 4 * u) as i32;
+        let mut pool = TermPool::new();
+        let t = pool.iconst(trip);
+        let run = run_vliw(
+            &c.vliw,
+            &m,
+            &[(n, SVal::T(t))],
+            &SymEnv::symbolic(),
+            &mut pool,
+            1 << 20,
+        )
+        .unwrap();
+        let kernel_entries: Vec<_> = run
+            .entries
+            .iter()
+            .filter(|(l, _)| l.ends_with(".kernel"))
+            .collect();
+        assert_eq!(kernel_entries.len(), 1, "{:?}", run.entries.keys());
+        assert_eq!(kernel_entries[0].1.len(), 4, "one snapshot per pass");
+    }
+}
