@@ -198,6 +198,27 @@ pub fn audit_compiled(
     mach: &MachineDescription,
     input: &RunInput,
 ) -> AuditReport {
+    audit_compiled_with(program, compiled, mach, input, &swp::CompileOptions::default())
+}
+
+/// [`audit_compiled`], aware of the compile options the artifact was built
+/// under. This matters under [`swp::BuildOptions::absint_refute`]: both
+/// rebuilds (refutability and dynamic coverage) apply the same certified
+/// refutations and resolved trip counts the emitter did, so the coverage
+/// rule checks the graph the scheduler *actually trusted* — an unsound
+/// refutation surfaces as an A405, not as a silently-passing audit of the
+/// unrefuted graph.
+pub fn audit_compiled_with(
+    program: &Program,
+    compiled: &CompiledProgram,
+    mach: &MachineDescription,
+    input: &RunInput,
+    opts: &swp::CompileOptions,
+) -> AuditReport {
+    let facts = opts
+        .build
+        .absint_refute
+        .then(|| swp::absint::resolve_facts(program));
     let mut report = AuditReport::default();
     let targets: Vec<(u32, &swp::LoopArtifacts)> = compiled
         .artifacts
@@ -215,6 +236,7 @@ pub fn audit_compiled(
 
     for (idx, art) in targets {
         let g = &art.graph;
+        let lf = facts.as_ref().and_then(|f| f.for_loop(idx));
         let mut audit = LoopAudit {
             label: art.label.clone(),
             exact: 0,
@@ -261,14 +283,18 @@ pub fn audit_compiled(
         // and see which imprecise edges survive. (Nothing here changes the
         // schedule — the rebuilt graph is dropped after the diff.)
         if audit.bounded + audit.conservative > 0 {
-            let rebuilt = build_item_graph(
+            let refute_trip = audit_trip.or_else(|| lf.and_then(|f| f.trip));
+            let mut rebuilt = build_item_graph(
                 g.nodes().to_vec(),
                 mach,
                 BuildOptions {
-                    trip: audit_trip,
+                    trip: refute_trip,
                     ..BuildOptions::default()
                 },
             );
+            if let Some(lf) = lf {
+                swp::absint::refute_graph(&mut rebuilt, lf);
+            }
             let mut refuted_notes = Vec::new();
             for e in g.edges() {
                 if e.kind != DepKind::Memory
@@ -339,14 +365,19 @@ pub fn audit_compiled(
         // Dynamic cross-check, against the unpruned rebuild (dominated-edge
         // pruning legally removes direct edges the coverage rule wants).
         if let Some(trace) = trace.as_ref().and_then(|t| t.for_loop(idx)) {
-            let coverage_graph = build_item_graph(
+            let coverage_trip = build_trip.or_else(|| lf.and_then(|f| f.trip));
+            let mut coverage_graph = build_item_graph(
                 g.nodes().to_vec(),
                 mach,
                 BuildOptions {
-                    trip: build_trip,
+                    trip: coverage_trip,
                     ..BuildOptions::default()
                 },
             );
+            if let Some(lf) = lf {
+                swp::absint::refute_graph(&mut coverage_graph, lf);
+            }
+            let coverage_graph = coverage_graph;
             let sites = site_table(&coverage_graph);
             if sites_match(&sites, &trace.sites) {
                 audit.aligned = true;

@@ -42,7 +42,8 @@ impl fmt::Display for Severity {
 /// Stable lint codes. The `A` prefix marks the analysis crate; the
 /// hundreds digit groups codes by pass family (0xx IR, 1xx machine,
 /// 2xx dependence graph, 3xx schedule, 4xx driver and memory audit,
-/// 5xx schedule-cache service, 6xx translation validation).
+/// 5xx schedule-cache service, 6xx translation validation, 7xx abstract
+/// interpretation and certified refutation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum LintCode {
     /// A register may be read before any definition reaches it (in
@@ -124,6 +125,18 @@ pub enum LintCode {
     /// counterexample trip count, confirmed by replay under the
     /// reference interpreter and the cycle-accurate simulator.
     TvRefuted,
+    /// What the abstract interpreter derived for a loop compiled under
+    /// `absint_refute`: recovered affine address forms, recognized
+    /// induction variables, and how many imprecise memory edges its
+    /// certificates closed.
+    AbsintAttribution,
+    /// Certified refutation lowered the loop's recurrence bound: reports
+    /// the RecMII before and after the certified edges were dropped.
+    AbsintIiImprovement,
+    /// The independent certificate checker rejected a certificate the
+    /// analysis proposed: the edge was conservatively kept, but the
+    /// analysis and the checker disagree — one of them is wrong.
+    AbsintCertFailure,
 }
 
 impl LintCode {
@@ -156,6 +169,9 @@ impl LintCode {
             LintCode::TvProved => "A601",
             LintCode::TvAbstained => "A602",
             LintCode::TvRefuted => "A603",
+            LintCode::AbsintAttribution => "A701",
+            LintCode::AbsintIiImprovement => "A702",
+            LintCode::AbsintCertFailure => "A703",
         }
     }
 
@@ -191,6 +207,9 @@ impl LintCode {
         LintCode::TvProved,
         LintCode::TvAbstained,
         LintCode::TvRefuted,
+        LintCode::AbsintAttribution,
+        LintCode::AbsintIiImprovement,
+        LintCode::AbsintCertFailure,
     ];
 
     /// The code's default severity.
@@ -202,7 +221,8 @@ impl LintCode {
             | LintCode::CompileFailure
             | LintCode::MemDepViolation
             | LintCode::CacheRevalidationFailure
-            | LintCode::TvRefuted => Severity::Error,
+            | LintCode::TvRefuted
+            | LintCode::AbsintCertFailure => Severity::Error,
             LintCode::UninitializedRead
             | LintCode::UnusedRegister
             | LintCode::DeadOp
@@ -221,7 +241,9 @@ impl LintCode {
             | LintCode::ConservativeIiGap
             | LintCode::UnobservedMemEdge
             | LintCode::CacheSummary
-            | LintCode::TvProved => Severity::Info,
+            | LintCode::TvProved
+            | LintCode::AbsintAttribution
+            | LintCode::AbsintIiImprovement => Severity::Info,
         }
     }
 }

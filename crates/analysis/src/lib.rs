@@ -29,6 +29,10 @@
 //!   source program: proved (A601), abstained with a structured
 //!   obligation (A602), or refuted with a concrete, replay-confirmed
 //!   counterexample trip count (A603).
+//! * **Abstract interpretation** ([`absint_lint`], over
+//!   [`swp::absint`]'s per-loop stats) — derived address forms and
+//!   certified refutations (A701), realized RecMII improvement (A702),
+//!   and certificate-checker rejections (A703).
 //!
 //! [`analyze_compiled`] runs the graph and schedule passes over every
 //! pipelined loop of a [`swp::CompiledProgram`] plus the whole-program
@@ -47,15 +51,16 @@ pub mod service_lints;
 pub mod tv;
 
 pub use dep_audit::{
-    audit_compiled, coverage_check, graph_mii, site_table, sites_match, AuditReport, LoopAudit,
-    SiteTable,
+    audit_compiled, audit_compiled_with, coverage_check, graph_mii, site_table, sites_match,
+    AuditReport, LoopAudit, SiteTable,
 };
 pub use diag::{max_severity, render, render_json, Diagnostic, LintCode, Severity};
 pub use graph_lints::{dominated_edge_lint, lint_graph, recmii_attribution};
 pub use ir_lints::lint_program;
 pub use machine_lints::{check_graph_resources, lint_machine};
 pub use sched_lints::{
-    bottleneck_lint, lint_schedule, optimality_lint, pressure_lint, refine_lint, slack_lint,
+    absint_lint, bottleneck_lint, lint_schedule, optimality_lint, pressure_lint, refine_lint,
+    slack_lint,
 };
 pub use service_lints::cache_lint;
 pub use tv::{validate_compiled, TvOptions, TvOutcome, TvVerdict};
@@ -79,7 +84,7 @@ pub fn analyze_compiled(
         }
     }
     for rep in &c.reports {
-        for mut d in refine_lint(rep) {
+        for mut d in refine_lint(rep).into_iter().chain(absint_lint(rep)) {
             d.message = format!("loop '{}': {}", rep.label, d.message);
             diags.push(d);
         }

@@ -1,7 +1,8 @@
 //! Schedule diagnostics: register pressure (A301), per-op slack / critical
 //! path (A302), resource-bottleneck attribution (A303), exact-II
-//! optimality-gap attribution (A204), and feedback-guided refinement
-//! attribution (A205).
+//! optimality-gap attribution (A204), feedback-guided refinement
+//! attribution (A205), and abstract-interpretation refutation attribution
+//! (A701–A703).
 
 use machine::MachineDescription;
 use swp::optimal::{certify, OracleOptions, OracleOutcome};
@@ -105,6 +106,73 @@ pub fn refine_lint(rep: &swp::LoopReport) -> Vec<Diagnostic> {
         ));
     }
     vec![d]
+}
+
+/// A701–A703: what the abstract interpreter ([`swp::absint`]) did to a
+/// loop compiled under [`swp::BuildOptions::absint_refute`]. Silent when
+/// the knob was off (no stats recorded). Otherwise:
+///
+/// * **A701** (info) — attribution: recovered affine address forms,
+///   recognized induction variables, and certified refutations, whenever
+///   the analysis had any imprecise edge to look at;
+/// * **A702** (info) — realized improvement: the recurrence bound dropped
+///   because certified-refuted edges were pruned;
+/// * **A703** (error) — the *independent* certificate checker rejected a
+///   certificate the analysis proposed. The edge was conservatively kept
+///   (soundness is unaffected), but analysis and checker disagree, and
+///   exactly one of them is right.
+pub fn absint_lint(rep: &swp::LoopReport) -> Vec<Diagnostic> {
+    let Some(st) = &rep.stats.absint else {
+        return Vec::new();
+    };
+    let mut diags = Vec::new();
+    if st.cert_failures > 0 {
+        diags.push(
+            Diagnostic::new(
+                LintCode::AbsintCertFailure,
+                format!(
+                    "certificate checker rejected {} of {} refutation \
+                     certificate(s); the edges were kept",
+                    st.cert_failures,
+                    st.cert_failures + st.refuted
+                ),
+            )
+            .with_note(
+                "the analysis proposed a certificate its own replay logic \
+                 cannot validate — a bug in one of the two",
+            ),
+        );
+    }
+    if st.considered > 0 {
+        diags.push(Diagnostic::new(
+            LintCode::AbsintAttribution,
+            format!(
+                "absint: {} of {} memory access(es) have affine address forms \
+                 ({} induction variable(s)); {} of {} imprecise edge(s) \
+                 certified-refuted",
+                st.lin_addrs, st.mem_accs, st.ivs, st.refuted, st.considered
+            ),
+        ));
+    }
+    if let (Some(before), Some(after)) = (st.rec_mii_before, st.rec_mii_after) {
+        if after < before {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::AbsintIiImprovement,
+                    format!(
+                        "certified refutation lowered RecMII {before} -> {after} \
+                         ({} edge(s) dropped)",
+                        st.refuted
+                    ),
+                )
+                .with_note(
+                    "every dropped edge carries a machine-checked certificate; \
+                     the A405 dynamic trace and analysis::tv re-prove the result",
+                ),
+            );
+        }
+    }
+    diags
 }
 
 /// A301: register pressure exceeding a machine register file. MAXLIVE is
@@ -336,6 +404,72 @@ mod tests {
             diags[0].message.contains("closed 2 cycle(s): II 9 -> 7 via 'rot#2'"),
             "{diags:?}"
         );
+    }
+
+    /// A701/A702/A703: silent without stats; each fires only on its own
+    /// trigger (considered edges, a dropped RecMII, a rejected cert).
+    #[test]
+    fn a7xx_fire_only_on_their_triggers() {
+        use swp::AbsintStats;
+        let mut rep = swp::LoopReport {
+            label: "loop0".into(),
+            ..Default::default()
+        };
+        // Knob off: no stats, all three silent.
+        assert!(absint_lint(&rep).is_empty());
+
+        // Analysis ran but found no imprecise edges and nothing to refute:
+        // still silent (negative case for A701).
+        rep.stats.absint = Some(AbsintStats {
+            mem_accs: 3,
+            lin_addrs: 3,
+            ivs: 1,
+            ..Default::default()
+        });
+        assert!(absint_lint(&rep).is_empty());
+
+        // Candidates considered, none refuted, bound unchanged:
+        // attribution only (negative case for A702 and A703).
+        rep.stats.absint = Some(AbsintStats {
+            mem_accs: 3,
+            lin_addrs: 2,
+            ivs: 1,
+            considered: 2,
+            rec_mii_before: Some(5),
+            rec_mii_after: Some(5),
+            ..Default::default()
+        });
+        let diags = absint_lint(&rep);
+        assert_eq!(codes(&diags), vec!["A701"]);
+        assert_eq!(diags[0].severity, crate::diag::Severity::Info);
+
+        // Refutation dropped the recurrence bound: A701 + A702.
+        rep.stats.absint = Some(AbsintStats {
+            mem_accs: 3,
+            lin_addrs: 3,
+            ivs: 1,
+            considered: 2,
+            refuted: 2,
+            rec_mii_before: Some(5),
+            rec_mii_after: Some(2),
+            ..Default::default()
+        });
+        let diags = absint_lint(&rep);
+        assert_eq!(codes(&diags), vec!["A701", "A702"]);
+        assert!(diags[1].message.contains("RecMII 5 -> 2"), "{diags:?}");
+
+        // A rejected certificate is an error even when others closed.
+        rep.stats.absint = Some(AbsintStats {
+            mem_accs: 3,
+            lin_addrs: 3,
+            considered: 2,
+            refuted: 1,
+            cert_failures: 1,
+            ..Default::default()
+        });
+        let diags = absint_lint(&rep);
+        assert_eq!(codes(&diags), vec!["A703", "A701"]);
+        assert_eq!(diags[0].severity, crate::diag::Severity::Error);
     }
 
     #[test]

@@ -1,0 +1,257 @@
+//! Abstract-interpretation sweep: compiles every kernel × machine twice
+//! — baseline and with [`swp::BuildOptions::absint_refute`] — and
+//! reports, per loop, what the certified refutation pass (DESIGN.md
+//! §17, `docs/LINTS.md` A7xx) recovered and what it bought: address
+//! forms, induction variables, refuted edges, and the II movement.
+//!
+//! ```text
+//! cargo run --release -p bench --bin absint            # full corpus
+//! cargo run -p bench --bin absint -- --smoke           # CI gate
+//! ```
+//!
+//! Flags (the shared [`bench::cli`] dialect):
+//!
+//! * `--smoke` — (Livermore + apps) × Warp cell, report to stdout;
+//! * `--threads N` — worker threads for compilation;
+//! * `--out PATH` — report path (default `results/absint_report.txt`).
+//!
+//! Every refuted compile is re-proved end to end: the dependence audit
+//! ([`analysis::audit_compiled_with`]) replays the refutation inside
+//! its A405 dynamic soundness net, and the translation validator
+//! ([`analysis::validate_compiled`]) re-proves the emitted code against
+//! the source program. Exit status is nonzero on any certificate-check
+//! failure (A703), any dynamic soundness violation (A405), any
+//! translation-validation refutation (A603), or — in `--smoke` mode —
+//! if the pinned dependence-limited loops (the `even_odd` /
+//! `shift_copy` / `mirror_sum` app trio, A404-flagged without the
+//! pass) fail to close their conservative II gap and land on a
+//! strictly lower II. That is the CI gate: the refutation pass must
+//! keep paying for itself, soundly.
+
+use std::fmt::Write as _;
+
+use swp::{compile_batch, BatchJob, BuildOptions, CompileOptions};
+
+/// Kernel × machine rows the smoke gate pins: each must hold an
+/// A404-flagged loop whose II strictly drops under `absint_refute`,
+/// with the conservative gap fully closed (certify-and-close).
+const PINNED_IMPROVED: &[&str] = &[
+    "even_odd@warp_cell",
+    "shift_copy@warp_cell",
+    "mirror_sum@warp_cell",
+];
+
+fn on_opts() -> CompileOptions {
+    CompileOptions {
+        build: BuildOptions {
+            absint_refute: true,
+            ..BuildOptions::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+fn main() {
+    let cfg = bench::cli::parse("results/absint_report.txt");
+    let (mut ks, machines) = bench::cli::corpus(cfg.smoke);
+    if cfg.smoke {
+        // The pinned dependence-limited trio lives in the app suite;
+        // the gate needs it alongside the Livermore smoke set.
+        ks.extend(kernels::apps::all());
+    }
+
+    let mut jobs_off: Vec<BatchJob> = Vec::new();
+    let mut jobs_on: Vec<BatchJob> = Vec::new();
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for (mi, (mname, m)) in machines.iter().enumerate() {
+        for (ki, k) in ks.iter().enumerate() {
+            let name = format!("{}@{mname}", k.name);
+            jobs_off.push(BatchJob {
+                name: name.clone(),
+                program: &k.program,
+                mach: m,
+                opts: CompileOptions::default(),
+            });
+            jobs_on.push(BatchJob {
+                name,
+                program: &k.program,
+                mach: m,
+                opts: on_opts(),
+            });
+            pairs.push((ki, mi));
+        }
+    }
+    eprintln!(
+        "absint: {} kernels x {} machines ({} jobs, compiled twice), {} threads",
+        ks.len(),
+        machines.len(),
+        jobs_off.len(),
+        cfg.threads
+    );
+    let off = compile_batch(&jobs_off, cfg.threads);
+    let on = compile_batch(&jobs_on, cfg.threads);
+
+    let mut out = String::new();
+    out.push_str("# absint_report v1\n");
+    out.push_str(
+        "# loop <job>/<label> ii=<off>-><on> rec_mii=<off>-><on> mem=<accs> lin=<forms> \
+         ivs=<n> considered=<n> refuted=<n> cert_fail=<n> demoted=<n> gap=<post-refute \
+         conservative II gap|-> tv=<verdict>\n",
+    );
+
+    let mut loops = 0usize;
+    let mut refuted_total = 0u32;
+    let mut cert_failures = 0u32;
+    let mut violations = 0usize;
+    let mut tv_refuted = 0usize;
+    let mut compile_errors = 0usize;
+    let mut improved: Vec<String> = Vec::new();
+    let mut regressed: Vec<String> = Vec::new();
+    // Pinned rows that improved with their gap closed.
+    let mut pinned_ok: Vec<&str> = Vec::new();
+
+    for ((jo, ro), (rn, &(ki, mi))) in
+        jobs_off.iter().zip(&off).zip(on.iter().zip(&pairs))
+    {
+        let (c_off, c_on) = match (&ro.outcome, &rn.outcome) {
+            (Ok(a), Ok(b)) => (a, b),
+            (Err(e), _) | (_, Err(e)) => {
+                let _ = writeln!(out, "# job {} failed to compile: {e}", jo.name);
+                compile_errors += 1;
+                continue;
+            }
+        };
+        // Re-prove the refuted compile: the audit rebuilds the graphs
+        // with the same refutation applied (A405 net), the validator
+        // re-proves the emitted code symbolically.
+        let audit = analysis::audit_compiled_with(
+            &ks[ki].program,
+            c_on,
+            &machines[mi].1,
+            &ks[ki].input,
+            &on_opts(),
+        );
+        if let Some(e) = &audit.trace_error {
+            let _ = writeln!(out, "# job {} trace faulted: {e}", jo.name);
+        }
+        let tv = analysis::validate_compiled(
+            &ks[ki].program,
+            c_on,
+            &machines[mi].1,
+            Some(&ks[ki].input),
+            &analysis::TvOptions::default(),
+        )
+        .verdict;
+        if tv.token() == "refuted" {
+            tv_refuted += 1;
+            eprintln!("FAIL: {}: translation validation refuted", jo.name);
+        }
+        for (rep_off, rep_on) in c_off.reports.iter().zip(&c_on.reports) {
+            assert_eq!(rep_off.label, rep_on.label, "{}: report order", jo.name);
+            loops += 1;
+            let a = rep_on.stats.absint.as_ref();
+            let la = audit.loops.iter().find(|l| l.label == rep_on.label);
+            violations += la.map_or(0, |l| l.violations);
+            refuted_total += a.map_or(0, |s| s.refuted);
+            cert_failures += a.map_or(0, |s| s.cert_failures);
+            let fmt_ii = |ii: Option<u32>| ii.map_or("-".to_string(), |x| x.to_string());
+            let rec = a
+                .and_then(|s| s.rec_mii_before.zip(s.rec_mii_after))
+                .map_or_else(
+                    || format!("{}->{}", rep_off.mii_rec, rep_on.mii_rec),
+                    |(b, aft)| format!("{b}->{aft}"),
+                );
+            let _ = writeln!(
+                out,
+                "loop {}/{} ii={}->{} rec_mii={rec} mem={} lin={} ivs={} considered={} \
+                 refuted={} cert_fail={} demoted={} gap={} tv={}",
+                jo.name,
+                rep_on.label,
+                fmt_ii(rep_off.ii),
+                fmt_ii(rep_on.ii),
+                a.map_or(0, |s| s.mem_accs),
+                a.map_or(0, |s| s.lin_addrs),
+                a.map_or(0, |s| s.ivs),
+                a.map_or(0, |s| s.considered),
+                a.map_or(0, |s| s.refuted),
+                a.map_or(0, |s| s.cert_failures),
+                a.map_or(0, |s| s.spot_demotions),
+                la.map_or("-".to_string(), |l| l.ii_gap().to_string()),
+                tv.token(),
+            );
+            match (rep_off.ii, rep_on.ii) {
+                (Some(b), Some(aft)) if aft < b => {
+                    improved.push(format!("{}/{} ii {b} -> {aft}", jo.name, rep_on.label));
+                    if let Some(pin) =
+                        PINNED_IMPROVED.iter().find(|p| **p == jo.name.as_str())
+                    {
+                        if la.is_some_and(|l| l.ii_gap() == 0) {
+                            pinned_ok.push(pin);
+                        }
+                    }
+                }
+                (Some(b), Some(aft)) if aft > b => {
+                    regressed.push(format!("{}/{} ii {b} -> {aft}", jo.name, rep_on.label));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "# summary loops={loops} refuted_edges={refuted_total} cert_failures={cert_failures} \
+         violations={violations} tv_refuted={tv_refuted} compile_errors={compile_errors} \
+         improved_loops={} regressed_loops={}",
+        improved.len(),
+        regressed.len()
+    );
+    for line in &improved {
+        let _ = writeln!(out, "# improved: {line}");
+    }
+    for line in &regressed {
+        let _ = writeln!(out, "# regressed: {line}");
+    }
+
+    eprintln!(
+        "absint: {loops} loop(s), {refuted_total} certified-refuted edge(s), \
+         {} strictly improved, {} regressed, {cert_failures} cert failure(s), \
+         {violations} violation(s)",
+        improved.len(),
+        regressed.len()
+    );
+
+    bench::cli::emit_report(&cfg, &out);
+
+    let mut fail = false;
+    if cert_failures > 0 {
+        eprintln!("FAIL: {cert_failures} certificate(s) rejected by the checker (A703)");
+        fail = true;
+    }
+    if violations > 0 {
+        eprintln!("FAIL: {violations} dynamic soundness violation(s) under refutation (A405)");
+        fail = true;
+    }
+    if tv_refuted > 0 {
+        eprintln!("FAIL: {tv_refuted} translation-validation refutation(s) (A603)");
+        fail = true;
+    }
+    if compile_errors > 0 {
+        eprintln!("FAIL: {compile_errors} compile error(s)");
+        fail = true;
+    }
+    if cfg.smoke {
+        for pin in PINNED_IMPROVED {
+            if !pinned_ok.contains(pin) {
+                eprintln!(
+                    "FAIL: pinned loop {pin} did not certify-and-close its \
+                     conservative II gap under absint_refute"
+                );
+                fail = true;
+            }
+        }
+    }
+    if fail {
+        std::process::exit(1);
+    }
+}

@@ -9,7 +9,7 @@
 //! cargo run -p bench --bin audit -- --smoke            # CI smoke subset
 //! ```
 //!
-//! Flags:
+//! Flags (the shared [`bench::cli`] dialect):
 //!
 //! * `--smoke` — Livermore × Warp cell only, report to stdout;
 //! * `--threads N` — worker threads for compilation;
@@ -23,51 +23,11 @@
 
 use std::fmt::Write as _;
 
-use machine::MachineDescription;
 use swp::{compile_batch, BatchJob, CompileOptions};
 
-struct Config {
-    threads: usize,
-    smoke: bool,
-    out: String,
-}
-
-fn parse_args() -> Config {
-    let mut cfg = Config {
-        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
-        smoke: false,
-        out: "results/audit_report.txt".to_string(),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--threads" => {
-                let v = args.next().expect("--threads needs a value");
-                cfg.threads = v.parse().expect("--threads needs an integer");
-            }
-            "--smoke" => cfg.smoke = true,
-            "--out" => cfg.out = args.next().expect("--out needs a path"),
-            other => panic!("unknown flag {other:?} (try --threads N, --smoke, --out PATH)"),
-        }
-    }
-    cfg
-}
-
-fn corpus(smoke: bool) -> (Vec<kernels::Kernel>, Vec<(String, MachineDescription)>) {
-    let mut ks = kernels::livermore::all();
-    let mut machines = vec![("warp_cell".to_string(), machine::presets::warp_cell())];
-    if !smoke {
-        ks.extend(kernels::apps::all());
-        ks.extend(kernels::synth::population());
-        machines.push(("test_machine".to_string(), machine::presets::test_machine()));
-        machines.push(("toy_vector".to_string(), machine::presets::toy_vector()));
-    }
-    (ks, machines)
-}
-
 fn main() {
-    let cfg = parse_args();
-    let (ks, machines) = corpus(cfg.smoke);
+    let cfg = bench::cli::parse("results/audit_report.txt");
+    let (ks, machines) = bench::cli::corpus(cfg.smoke);
 
     // One job per kernel × machine; `pairs` remembers which kernel and
     // machine each job came from so the audit can reach the kernel's
@@ -188,18 +148,7 @@ fn main() {
         gapped.len()
     );
 
-    if cfg.smoke {
-        println!("{out}");
-    } else {
-        std::fs::create_dir_all(
-            std::path::Path::new(&cfg.out)
-                .parent()
-                .unwrap_or(std::path::Path::new(".")),
-        )
-        .expect("create report directory");
-        std::fs::write(&cfg.out, &out).expect("write report");
-        println!("wrote {}", cfg.out);
-    }
+    bench::cli::emit_report(&cfg, &out);
 
     if violations > 0 {
         eprintln!("FAIL: {violations} memory-dependence soundness violation(s) (A405)");

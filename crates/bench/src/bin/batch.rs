@@ -35,7 +35,11 @@
 //! against its source program. The column lives in the deterministic
 //! body — the validator is pure, so rendering it for both the serial
 //! and parallel results doubles as a determinism check of the
-//! validator itself.
+//! validator itself. v9 adds per-loop `refuted=`/`absint=` columns:
+//! the abstract interpretation's certified-refutable edge count and
+//! the recurrence-MII movement it buys (DESIGN.md §17), replayed
+//! post-hoc on the loop's dependence graph — again pure, again
+//! rendered on both the serial and parallel paths.
 
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -173,6 +177,48 @@ fn proved_optimal_token(
     }
 }
 
+/// `refuted=` / `absint=` tokens for one loop: certified refutation
+/// (DESIGN.md §17) replayed post-hoc on a clone of the loop's
+/// dependence graph. The report's jobs compile with
+/// [`swp::BuildOptions::absint_refute`] off, so the columns are
+/// attribution telemetry: how many bounded/conservative memory edges
+/// the abstract interpretation would certify away, and what that does
+/// to the recurrence-limited MII (`absint=<before>-><after>`, `-` when
+/// no edge falls). The pass is pure, so rendering it for both the
+/// serial and parallel bodies keeps the identity check green.
+fn absint_tokens(
+    facts: &swp::absint::ProgramFacts,
+    c: &swp::CompiledProgram,
+    rep: &swp::LoopReport,
+) -> (String, String) {
+    if let Some(s) = &rep.stats.absint {
+        // The compile already ran the pass (knob on): report its stats.
+        let absint = match s.rec_mii_before.zip(s.rec_mii_after) {
+            Some((b, a)) => format!("{b}->{a}"),
+            None => "-".to_string(),
+        };
+        return (s.refuted.to_string(), absint);
+    }
+    let Some(a) = c.artifacts.iter().find(|a| a.label == rep.label) else {
+        return ("-".to_string(), "-".to_string());
+    };
+    let Some(lf) = rep
+        .label
+        .strip_prefix("loop")
+        .and_then(|s| s.parse::<u32>().ok())
+        .and_then(|idx| facts.for_loop(idx))
+    else {
+        return ("-".to_string(), "-".to_string());
+    };
+    let mut g = a.graph.clone();
+    let out = swp::absint::refute_graph(&mut g, lf);
+    let absint = match out.stats.rec_mii_before.zip(out.stats.rec_mii_after) {
+        Some((b, a)) => format!("{b}->{a}"),
+        None => "-".to_string(),
+    };
+    (out.stats.refuted.to_string(), absint)
+}
+
 /// `refined=` token for one loop: `-` (not pipelined), `opt` (already
 /// at MII, nothing to refine), `closed:<k>:<move>` (the budgeted
 /// perturbation search shaved `k` cycles via the named move), `open`
@@ -239,11 +285,13 @@ fn report_lines(
          mve_copies=<n> conds=<n> not_pipelined=<reason|-> \
          memdeps=<exact>/<bounded>/<conservative>(scc=<n>)|- \
          proved_optimal=<y|gap:k|feas:k|n|-> refined=<-|opt|closed:k:move|open> \
+         refuted=<certified-refutable edges|-> absint=<rec_mii before->after|-> \
          canon=<dependence-graph content address|->\n",
     );
     for (job, r) in jobs.iter().zip(results) {
         match &r.outcome {
             Ok(c) => {
+                let facts = swp::absint::resolve_facts(job.program);
                 let diags = analysis::analyze_compiled(c, job.mach);
                 let count = |s: analysis::Severity| diags.iter().filter(|d| d.severity == s).count();
                 let mut memdeps = swp::DepEdgeSummary::default();
@@ -304,12 +352,14 @@ fn report_lines(
                         .map_or("-".to_string(), |a| {
                             format!("{:016x}", swp::canon::graph_hash(&a.graph))
                         });
+                    let (refuted, absint) = absint_tokens(&facts, c, rep);
                     let _ = writeln!(
                         out,
                         "loop {}/{} ii={} mii={}/{} attempts={} aborts={} sccs={} \
                          relax={} reuse={} \
                          unroll={} stages={} hist={} mve_copies={} conds={} \
-                         not_pipelined={} memdeps={} proved_optimal={} refined={} canon={}",
+                         not_pipelined={} memdeps={} proved_optimal={} refined={} \
+                         refuted={refuted} absint={absint} canon={}",
                         r.name,
                         rep.label,
                         rep.ii.map_or("-".to_string(), |ii| ii.to_string()),
@@ -429,7 +479,7 @@ fn main() {
     }
 
     let mut report = String::new();
-    report.push_str("# batch_report v8\n");
+    report.push_str("# batch_report v9\n");
     let _ = writeln!(report, "# jobs={} mismatches={}", js.len(), mismatches);
     // Host-dependent measurements live only on this line; golden
     // comparisons and run-to-run diffs must exclude `# volatile:` lines.

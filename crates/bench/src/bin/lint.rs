@@ -13,12 +13,13 @@
 //! and register pressure of every pipelined loop are analyzed. A compile
 //! failure becomes an `A401` diagnostic rather than an abort.
 //!
-//! Flags:
+//! Flags (the shared [`bench::cli`] dialect, plus `--prune`):
 //!
 //! * `--json` — one JSON array of all diagnostics on stdout;
 //! * `--prune` — compile with [`swp::BuildOptions::prune_dominated`];
 //! * `--verbose` — also print info-severity findings (attribution: A202,
 //!   A203, A302, A303); by default only warnings and errors print;
+//! * `--smoke` — Livermore × Warp cell only;
 //! * `--threads N` — worker threads for compilation.
 //!
 //! Exit status is nonzero iff any **error**-severity diagnostic fired
@@ -26,52 +27,7 @@
 //! error-clean, register pressure included.
 
 use analysis::{max_severity, render_json, Diagnostic, LintCode, Severity};
-use machine::MachineDescription;
 use swp::{compile_batch, BatchJob, BuildOptions, CompileOptions};
-
-struct Config {
-    json: bool,
-    prune: bool,
-    verbose: bool,
-    threads: usize,
-}
-
-fn parse_args() -> Config {
-    let mut cfg = Config {
-        json: false,
-        prune: false,
-        verbose: false,
-        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
-    };
-    let mut args = std::env::args().skip(1);
-    while let Some(a) = args.next() {
-        match a.as_str() {
-            "--json" => cfg.json = true,
-            "--prune" => cfg.prune = true,
-            "--verbose" => cfg.verbose = true,
-            "--threads" => {
-                let v = args.next().expect("--threads needs a value");
-                cfg.threads = v.parse().expect("--threads needs an integer");
-            }
-            other => {
-                panic!("unknown flag {other:?} (try --json, --prune, --verbose, --threads N)")
-            }
-        }
-    }
-    cfg
-}
-
-fn corpus() -> (Vec<kernels::Kernel>, Vec<(&'static str, MachineDescription)>) {
-    let mut ks = kernels::livermore::all();
-    ks.extend(kernels::apps::all());
-    ks.extend(kernels::synth::population());
-    let machines = vec![
-        ("warp_cell", machine::presets::warp_cell()),
-        ("test_machine", machine::presets::test_machine()),
-        ("toy_vector", machine::presets::toy_vector()),
-    ];
-    (ks, machines)
-}
 
 /// Prefixes every diagnostic's message with its corpus context so the flat
 /// stream (human or JSON) stays attributable.
@@ -86,8 +42,16 @@ fn contextualize(ctx: &str, diags: Vec<Diagnostic>) -> Vec<Diagnostic> {
 }
 
 fn main() {
-    let cfg = parse_args();
-    let (ks, machines) = corpus();
+    let mut prune = false;
+    let cfg = bench::cli::parse_with("", &["--prune"], |flag, _| {
+        if flag == "--prune" {
+            prune = true;
+            true
+        } else {
+            false
+        }
+    });
+    let (ks, machines) = bench::cli::corpus(cfg.smoke);
     let mut all: Vec<Diagnostic> = Vec::new();
 
     // Machine descriptions, once each.
@@ -104,7 +68,7 @@ fn main() {
     // graphs, schedules and register pressure.
     let opts = CompileOptions {
         build: BuildOptions {
-            prune_dominated: cfg.prune,
+            prune_dominated: prune,
             ..BuildOptions::default()
         },
         ..CompileOptions::default()
@@ -126,7 +90,7 @@ fn main() {
         machines.len(),
         jobs.len(),
         cfg.threads,
-        if cfg.prune { ", pruning dominated edges" } else { "" }
+        if prune { ", pruning dominated edges" } else { "" }
     );
     let results = compile_batch(&jobs, cfg.threads);
     for (job, r) in jobs.iter().zip(&results) {

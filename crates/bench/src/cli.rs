@@ -1,0 +1,204 @@
+//! Shared command-line plumbing for the sweep binaries.
+//!
+//! Every `bench` binary historically re-implemented the same flag loop
+//! (`--threads N`, `--smoke`, `--out PATH`, `--json`, `--verbose`) and
+//! the same corpus selection. This module centralizes both: a binary
+//! calls [`parse`] (or [`parse_with`] when it has bin-specific flags),
+//! takes its kernels and machines from [`corpus`], and hands its
+//! finished report to [`emit_report`], which implements the shared
+//! smoke-to-stdout / full-to-file convention.
+
+use std::collections::VecDeque;
+
+use machine::MachineDescription;
+
+/// The standard flags shared by the sweep binaries. A binary that has
+/// no use for a field simply ignores it — the dialect is uniform so
+/// that `--smoke`/`--threads`/`--out` mean the same thing everywhere.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Worker threads for batch compilation (`--threads N`; defaults to
+    /// the host's available parallelism).
+    pub threads: usize,
+    /// Run the CI smoke subset and report to stdout (`--smoke`).
+    pub smoke: bool,
+    /// Report path for the full run (`--out PATH`).
+    pub out: String,
+    /// Machine-readable output (`--json`).
+    pub json: bool,
+    /// Also print info-severity findings (`--verbose`).
+    pub verbose: bool,
+}
+
+/// Parses the standard flag set from the process arguments, panicking
+/// on anything unknown. `default_out` seeds [`Options::out`].
+pub fn parse(default_out: &str) -> Options {
+    parse_with(default_out, &[], |_, _| false)
+}
+
+/// Like [`parse`], but unknown flags are first offered to `extra`,
+/// which may consume follow-up values from the queue and returns
+/// whether it recognized the flag. `extra_usage` lists the bin-specific
+/// flags for the unknown-flag panic message.
+pub fn parse_with(
+    default_out: &str,
+    extra_usage: &[&str],
+    extra: impl FnMut(&str, &mut VecDeque<String>) -> bool,
+) -> Options {
+    parse_from(
+        std::env::args().skip(1).collect(),
+        default_out,
+        extra_usage,
+        extra,
+    )
+}
+
+/// Testable core of [`parse_with`]: parses an explicit argument list.
+pub fn parse_from(
+    args: Vec<String>,
+    default_out: &str,
+    extra_usage: &[&str],
+    mut extra: impl FnMut(&str, &mut VecDeque<String>) -> bool,
+) -> Options {
+    let mut o = Options {
+        threads: std::thread::available_parallelism().map_or(4, |n| n.get()),
+        smoke: false,
+        out: default_out.to_string(),
+        json: false,
+        verbose: false,
+    };
+    let mut args: VecDeque<String> = args.into();
+    while let Some(a) = args.pop_front() {
+        match a.as_str() {
+            "--threads" => {
+                let v = value(&mut args, "--threads");
+                o.threads = v.parse().expect("--threads needs an integer");
+            }
+            "--smoke" => o.smoke = true,
+            "--out" => o.out = value(&mut args, "--out"),
+            "--json" => o.json = true,
+            "--verbose" => o.verbose = true,
+            other => {
+                if !extra(other, &mut args) {
+                    let mut known = vec![
+                        "--threads N".to_string(),
+                        "--smoke".to_string(),
+                        "--out PATH".to_string(),
+                        "--json".to_string(),
+                        "--verbose".to_string(),
+                    ];
+                    known.extend(extra_usage.iter().map(|s| s.to_string()));
+                    panic!("unknown flag {other:?} (try {})", known.join(", "));
+                }
+            }
+        }
+    }
+    o
+}
+
+/// Pops the value following a flag, panicking when it is missing.
+pub fn value(args: &mut VecDeque<String>, flag: &str) -> String {
+    args.pop_front()
+        .unwrap_or_else(|| panic!("{flag} needs a value"))
+}
+
+/// The standard sweep corpus: Livermore × Warp cell in smoke mode; the
+/// full kernel set (apps and the synthetic population) across all three
+/// machine presets otherwise.
+pub fn corpus(smoke: bool) -> (Vec<kernels::Kernel>, Vec<(String, MachineDescription)>) {
+    let mut ks = kernels::livermore::all();
+    let mut machines = vec![("warp_cell".to_string(), machine::presets::warp_cell())];
+    if !smoke {
+        ks.extend(kernels::apps::all());
+        ks.extend(kernels::synth::population());
+        machines.push(("test_machine".to_string(), machine::presets::test_machine()));
+        machines.push(("toy_vector".to_string(), machine::presets::toy_vector()));
+    }
+    (ks, machines)
+}
+
+/// Prints the report to stdout in smoke mode; otherwise writes it to
+/// [`Options::out`] (creating parent directories) and prints the path.
+pub fn emit_report(o: &Options, report: &str) {
+    if o.smoke {
+        println!("{report}");
+    } else {
+        std::fs::create_dir_all(
+            std::path::Path::new(&o.out)
+                .parent()
+                .unwrap_or(std::path::Path::new(".")),
+        )
+        .expect("create report directory");
+        std::fs::write(&o.out, report).expect("write report");
+        println!("wrote {}", o.out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn standard_flags_parse() {
+        let o = parse_from(
+            v(&["--threads", "3", "--smoke", "--out", "x.txt", "--json", "--verbose"]),
+            "default.txt",
+            &[],
+            |_, _| false,
+        );
+        assert_eq!(o.threads, 3);
+        assert!(o.smoke && o.json && o.verbose);
+        assert_eq!(o.out, "x.txt");
+    }
+
+    #[test]
+    fn default_out_applies() {
+        let o = parse_from(v(&[]), "results/r.txt", &[], |_, _| false);
+        assert!(!o.smoke);
+        assert_eq!(o.out, "results/r.txt");
+    }
+
+    #[test]
+    fn extra_flags_reach_the_hook() {
+        let mut prune = false;
+        let mut budget = 0u64;
+        let o = parse_from(
+            v(&["--prune", "--budget", "500", "--smoke"]),
+            "d",
+            &["--prune", "--budget N"],
+            |flag, args| match flag {
+                "--prune" => {
+                    prune = true;
+                    true
+                }
+                "--budget" => {
+                    budget = value(args, "--budget").parse().unwrap();
+                    true
+                }
+                _ => false,
+            },
+        );
+        assert!(prune && o.smoke);
+        assert_eq!(budget, 500);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn unknown_flags_panic() {
+        parse_from(v(&["--bogus"]), "d", &[], |_, _| false);
+    }
+
+    #[test]
+    fn corpus_smoke_is_livermore_on_warp() {
+        let (ks, ms) = corpus(true);
+        assert!(ks.iter().all(|k| k.name.starts_with("ll")));
+        assert_eq!(ms.len(), 1);
+        let (full_ks, full_ms) = corpus(false);
+        assert!(full_ks.len() > ks.len());
+        assert_eq!(full_ms.len(), 3);
+    }
+}

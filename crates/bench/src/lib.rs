@@ -7,6 +7,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cli;
+
 use kernels::{Kernel, Measurement};
 use machine::presets::{warp_cell, WARP_ARRAY_CELLS, WARP_CLOCK_MHZ};
 use swp::CompileOptions;

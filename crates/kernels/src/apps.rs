@@ -454,7 +454,117 @@ pub fn roberts() -> Kernel {
     )
 }
 
-/// The full Table 4-1 suite.
+/// Interleaved even/odd streams through a computed index: the store hits
+/// `a[2i]`, the load `a[2i+1]`. The index register `k := i * 2` is opaque
+/// to the frontend's subscript analysis (ordinary scalar, not the loop
+/// counter), so both accesses carry `MemRef::unknown` and the builder
+/// serializes the loop on conservative store↔load edges — edges
+/// `swp::absint` refutes by congruence (`2t` vs `2t + 1` never meet
+/// mod 2).
+pub fn even_odd() -> Kernel {
+    let n = 64u32;
+    let src = format!(
+        "program even_odd;
+         var i, k : int;
+         var v, s : float;
+         var a : array[{sz}] of float;
+         var sink : array[2] of float;
+         begin
+           s := 0.0;
+           for i := 0 to {last} do begin
+             k := i * 2;
+             v := a[k + 1];
+             a[k] := v + 1.0;
+             s := s + v * 0.125;
+           end;
+           sink[0] := s;
+         end",
+        sz = 2 * n + 2,
+        last = n - 1
+    );
+    let mut mem = test_data((2 * n + 2) as usize, 40);
+    mem.extend(vec![0.0; 2]);
+    kernel(
+        "even_odd",
+        "Even/odd interleaved streams via a computed index: dependence-limited \
+         by subscript opacity, parity-disjoint in truth",
+        &src,
+        RunInput {
+            mem,
+            ..Default::default()
+        },
+    )
+}
+
+/// Block copy to a non-overlapping destination window through a computed
+/// index: load `a[i]`, store `a[i + 60]` over 40 iterations. The store
+/// index lives in an ordinary scalar, so the frontend emits
+/// `MemRef::unknown` and the builder serializes on conservative edges;
+/// the two windows `[0, 40)` and `[60, 100)` are disjoint, which
+/// `swp::absint` certifies by interval reasoning.
+pub fn shift_copy() -> Kernel {
+    let n = 40u32;
+    let shift = 60u32;
+    let src = format!(
+        "program shift_copy;
+         var i, k : int;
+         var v : float;
+         var a : array[{sz}] of float;
+         begin
+           for i := 0 to {last} do begin
+             k := i + {shift};
+             v := a[i];
+             a[k] := v * 1.5;
+           end;
+         end",
+        sz = shift + n,
+        last = n - 1,
+        shift = shift
+    );
+    kernel(
+        "shift_copy",
+        "Shifted block copy via a computed index: source and destination \
+         windows provably disjoint over the trip count",
+        &src,
+        RunInput {
+            mem: test_data((shift + n) as usize, 41),
+            ..Default::default()
+        },
+    )
+}
+
+/// Mirror-image accumulation `a[i] += a[99 - i]` with the trip count
+/// computed in a program variable (`n := 40`). Both subscripts are exact
+/// affine, but the *register* trip hides the iteration window from the
+/// builder, leaving bounded crossing edges (`t1 + t2 = 99` has solutions
+/// for large trips). Constant propagation resolves the trip to 40, the
+/// windows stop overlapping, and the edges vanish.
+pub fn mirror_sum() -> Kernel {
+    let src = "program mirror_sum;
+         var i, n : int;
+         var a : array[100] of float;
+         begin
+           n := 40;
+           for i := 0 to n - 1 do begin
+             a[i] := a[i] + a[99 - i];
+           end;
+         end";
+    kernel(
+        "mirror_sum",
+        "Mirrored accumulation under an in-program-computed trip count: \
+         bounded crossing edges refuted once the trip resolves",
+        src,
+        RunInput {
+            mem: test_data(100, 42),
+            ..Default::default()
+        },
+    )
+}
+
+/// The full Table 4-1 suite, plus the dependence-limited extension trio
+/// ([`even_odd`], [`shift_copy`], [`mirror_sum`]) that exercises the
+/// abstract-interpretation refutation path (A404 flags them; compiling
+/// under `absint_refute` closes the gap).
 pub fn all() -> Vec<Kernel> {
     vec![
         matmul(),
@@ -464,6 +574,9 @@ pub fn all() -> Vec<Kernel> {
         local_averaging(),
         warshall(),
         roberts(),
+        even_odd(),
+        shift_copy(),
+        mirror_sum(),
     ]
 }
 
@@ -516,6 +629,51 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn even_odd_matches_reference() {
+        let k = even_odd();
+        let mut it = ir::Interp::new(&k.program);
+        it.mem[..k.input.mem.len()].copy_from_slice(&k.input.mem);
+        it.run(&k.program).unwrap();
+        let init = &k.input.mem;
+        let mut s = 0.0f32;
+        for i in 0..64usize {
+            // a[2i] = a[2i+1] + 1 (odd cells untouched), s accumulates.
+            assert_eq!(it.mem[2 * i], init[2 * i + 1] + 1.0);
+            assert_eq!(it.mem[2 * i + 1], init[2 * i + 1]);
+            s += init[2 * i + 1] * 0.125;
+        }
+        assert_eq!(it.mem[130], s, "sink[0] sees the full accumulation");
+    }
+
+    #[test]
+    fn shift_copy_matches_reference() {
+        let k = shift_copy();
+        let mut it = ir::Interp::new(&k.program);
+        it.mem[..k.input.mem.len()].copy_from_slice(&k.input.mem);
+        it.run(&k.program).unwrap();
+        let init = &k.input.mem;
+        for i in 0..40usize {
+            assert_eq!(it.mem[i + 60], init[i] * 1.5);
+            assert_eq!(it.mem[i], init[i], "source window untouched");
+        }
+    }
+
+    #[test]
+    fn mirror_sum_matches_reference() {
+        let k = mirror_sum();
+        let mut it = ir::Interp::new(&k.program);
+        it.mem[..k.input.mem.len()].copy_from_slice(&k.input.mem);
+        it.run(&k.program).unwrap();
+        let init = &k.input.mem;
+        for i in 0..40usize {
+            assert_eq!(it.mem[i], init[i] + init[99 - i]);
+        }
+        for i in 40..100usize {
+            assert_eq!(it.mem[i], init[i], "mirror half untouched");
         }
     }
 

@@ -1,0 +1,212 @@
+//! Golden regression for the certified refutation pass: for every
+//! Livermore and Warp-app loop on every machine preset, the achieved II
+//! without and with [`swp::BuildOptions::absint_refute`] plus the
+//! number of certified-refuted edges, pinned in
+//! `results/golden_absint.txt`.
+//!
+//! A row's entry reads `loop=<ii off>:<ii on>:<refuted>` (`-` for an
+//! unpipelined loop). Regenerate after an intentional scheduler or
+//! analysis change with
+//!
+//! ```text
+//! GOLDEN_ABSINT_REGEN=1 cargo test -p kernels --test golden_absint
+//! ```
+//!
+//! Three facts are additionally pinned as hard assertions, independent
+//! of the snapshot file:
+//!
+//! * the knob never regresses an II anywhere in this corpus — refuting
+//!   certified-dead edges and sharpening trips only relaxes the
+//!   scheduling problem;
+//! * the dependence-limited app trio (`even_odd`, `shift_copy`,
+//!   `mirror_sum`) lands on a strictly lower II on the Warp cell —
+//!   `even_odd`/`shift_copy` by dropping certified-refuted edges,
+//!   `mirror_sum` by the resolved in-program trip register;
+//! * with the knob off the compile records no absint stats at all —
+//!   the pass is pay-for-what-you-ask (the knob-off IIs themselves are
+//!   pinned by `golden_ii`, which this corpus change does not touch).
+
+use machine::presets::{test_machine, toy_vector, warp_cell};
+use machine::MachineDescription;
+use swp::{compile_batch, BatchJob, BuildOptions, CompileOptions};
+
+const GOLDEN_PATH: &str =
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../results/golden_absint.txt");
+
+fn presets() -> Vec<MachineDescription> {
+    vec![warp_cell(), test_machine(), toy_vector()]
+}
+
+fn on_opts() -> CompileOptions {
+    CompileOptions {
+        build: BuildOptions {
+            absint_refute: true,
+            ..BuildOptions::default()
+        },
+        ..CompileOptions::default()
+    }
+}
+
+/// Per kernel × machine: each loop's `(label, ii_off, ii_on, refuted)`.
+type Rows = Vec<(String, Vec<(String, Option<u32>, Option<u32>, u32)>)>;
+
+fn rows() -> Rows {
+    let machines = presets();
+    let mut corpus = kernels::livermore::all();
+    corpus.extend(kernels::apps::all());
+    let mut jobs_off = Vec::new();
+    let mut jobs_on = Vec::new();
+    for m in &machines {
+        for k in &corpus {
+            let name = format!("{} {}", k.name, m.name());
+            jobs_off.push(BatchJob {
+                name: name.clone(),
+                program: &k.program,
+                mach: m,
+                opts: CompileOptions::default(),
+            });
+            jobs_on.push(BatchJob {
+                name,
+                program: &k.program,
+                mach: m,
+                opts: on_opts(),
+            });
+        }
+    }
+    let off = compile_batch(&jobs_off, 4);
+    let on = compile_batch(&jobs_on, 4);
+    off.into_iter()
+        .zip(on)
+        .map(|(ro, rn)| {
+            let co = ro.outcome.unwrap_or_else(|e| panic!("{}: {e}", ro.name));
+            let cn = rn.outcome.unwrap_or_else(|e| panic!("{}: {e}", rn.name));
+            assert!(
+                co.reports.iter().all(|rep| rep.stats.absint.is_none()),
+                "{}: knob off must record no absint stats",
+                ro.name
+            );
+            let loops = co
+                .reports
+                .iter()
+                .zip(&cn.reports)
+                .map(|(rep_off, rep_on)| {
+                    assert_eq!(rep_off.label, rep_on.label, "{}: report order", ro.name);
+                    let refuted =
+                        rep_on.stats.absint.as_ref().map_or(0, |s| s.refuted);
+                    (rep_off.label.clone(), rep_off.ii, rep_on.ii, refuted)
+                })
+                .collect();
+            (ro.name, loops)
+        })
+        .collect()
+}
+
+fn render(rows: &Rows) -> String {
+    let mut out = String::from(
+        "# Certified refutation (absint_refute): kernel machine \
+         loop=<ii off>:<ii on>:<refuted edges>[,...]\n\
+         # ('-' = loop not pipelined.) Regenerate after intentional scheduler\n\
+         # or analysis changes with:\n\
+         # GOLDEN_ABSINT_REGEN=1 cargo test -p kernels --test golden_absint\n",
+    );
+    for (name, loops) in rows {
+        let cells: Vec<String> = loops
+            .iter()
+            .map(|(label, off, on, refuted)| {
+                let f = |ii: &Option<u32>| ii.map_or("-".to_string(), |x| x.to_string());
+                format!("{label}={}:{}:{refuted}", f(off), f(on))
+            })
+            .collect();
+        let cells = if cells.is_empty() {
+            "-".to_string()
+        } else {
+            cells.join(",")
+        };
+        out.push_str(&format!("{name} {cells}\n"));
+    }
+    out
+}
+
+fn check_against_golden(actual: &str, path: &str) {
+    if std::env::var("GOLDEN_ABSINT_REGEN").is_ok_and(|v| v == "1") {
+        std::fs::write(path, actual).expect("write golden file");
+        eprintln!("golden_absint: regenerated {path}");
+        return;
+    }
+    let expected = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {path} ({e}); \
+             run GOLDEN_ABSINT_REGEN=1 cargo test -p kernels --test golden_absint"
+        )
+    });
+    if actual == expected {
+        return;
+    }
+    let mut diffs = Vec::new();
+    let mut old = expected.lines();
+    let mut new = actual.lines();
+    loop {
+        match (old.next(), new.next()) {
+            (None, None) => break,
+            (o, n) if o == n => continue,
+            (o, n) => diffs.push(format!(
+                "  - {}\n  + {}",
+                o.unwrap_or("<missing>"),
+                n.unwrap_or("<missing>")
+            )),
+        }
+    }
+    panic!(
+        "absint IIs diverge from {path} ({} row(s)):\n{}\n\
+         If the scheduler or analysis change is intentional, regenerate with \
+         GOLDEN_ABSINT_REGEN=1 and commit the new table.",
+        diffs.len(),
+        diffs.join("\n")
+    );
+}
+
+#[test]
+fn absint_iis_match_golden() {
+    let rows = rows();
+    check_against_golden(&render(&rows), GOLDEN_PATH);
+
+    // Snapshot-independent pins. First: the knob never regresses an II
+    // and never loses pipelining.
+    for (name, loops) in &rows {
+        for (label, off, on, _) in loops {
+            match (off, on) {
+                (Some(b), Some(a)) => {
+                    assert!(a <= b, "{name}/{label}: absint_refute regressed II {b} -> {a}")
+                }
+                (Some(b), None) => {
+                    panic!("{name}/{label}: absint_refute lost pipelining (was II {b})")
+                }
+                (None, _) => {}
+            }
+        }
+    }
+
+    // Second: the dependence-limited trio improves strictly on the Warp
+    // cell, with the refutation channel doing the work for the two
+    // edge-limited kernels.
+    let entry = |kernel_machine: &str, label: &str| {
+        rows.iter()
+            .find(|(n, _)| n == kernel_machine)
+            .and_then(|(_, ls)| ls.iter().find(|(l, ..)| l == label))
+            .unwrap_or_else(|| panic!("row {kernel_machine}/{label} missing"))
+            .clone()
+    };
+    for pinned in ["even_odd warp-cell", "shift_copy warp-cell"] {
+        let (_, off, on, refuted) = entry(pinned, "loop0");
+        assert!(
+            on.unwrap() < off.unwrap(),
+            "{pinned}: expected a strict II win, got {off:?} -> {on:?}"
+        );
+        assert!(refuted > 0, "{pinned}: the win must come from refuted edges");
+    }
+    let (_, off, on, _) = entry("mirror_sum warp-cell", "loop0");
+    assert!(
+        on.unwrap() < off.unwrap(),
+        "mirror_sum: expected a strict II win from the resolved trip register"
+    );
+}

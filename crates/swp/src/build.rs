@@ -53,6 +53,14 @@ pub struct BuildOptions {
     /// the iteration space are refuted, differing-stride pairs get exact
     /// distance ranges.
     pub trip: Option<u32>,
+    /// Run the certified refutation pass ([`crate::absint`]) after graph
+    /// construction: bounded/conservative memory edges whose access
+    /// pairs are all refuted by independently checked certificates are
+    /// dropped, and in-program-computed trip registers are resolved to
+    /// sharpen `trip`. Off by default; the knob is part of the options
+    /// wire encoding and canonical fingerprint, so cached schedules
+    /// never cross the on/off boundary.
+    pub absint_refute: bool,
 }
 
 impl Default for BuildOptions {
@@ -62,6 +70,7 @@ impl Default for BuildOptions {
             enable_mve: true,
             prune_dominated: false,
             trip: None,
+            absint_refute: false,
         }
     }
 }
@@ -514,8 +523,7 @@ mod tests {
             BuildOptions {
                 loop_carried: true,
                 enable_mve: false,
-                prune_dominated: false,
-                trip: None,
+                ..Default::default()
             },
         );
         assert!(g.expandable.is_empty());
@@ -658,8 +666,7 @@ mod tests {
             BuildOptions {
                 loop_carried: false,
                 enable_mve: false,
-                prune_dominated: false,
-                trip: None,
+                ..Default::default()
             },
         );
         assert!(g.edges().iter().all(|e| e.omega == 0), "{g}");

@@ -373,6 +373,7 @@ pub fn options_fingerprint(o: &CompileOptions) -> u64 {
         o.build.loop_carried as u8,
         o.build.enable_mve as u8,
         o.build.prune_dominated as u8,
+        o.build.absint_refute as u8,
         o.respect_reg_files as u8,
         o.hierarchical as u8,
         o.fuse_epilog as u8,
@@ -413,21 +414,40 @@ pub fn options_fingerprint(o: &CompileOptions) -> u64 {
 /// address — so the cache pairs it with an exact guard (see
 /// [`crate::cache::CacheKey`]) before serving bytes.
 pub fn program_canon_hash(p: &Program, mach: &MachineDescription, opts: &CompileOptions) -> u64 {
+    let facts = opts
+        .build
+        .absint_refute
+        .then(|| crate::absint::resolve_facts(p));
     let mut acc = splitmix(0x5357_5044); // "SWPD"
-    canon_stmts(&p.body, mach, opts, &mut acc);
+    let mut next_loop = 0u32;
+    canon_stmts(&p.body, mach, opts, facts.as_ref(), &mut next_loop, &mut acc);
     acc = mix(acc, machine_fingerprint(mach));
     mix(acc, options_fingerprint(opts))
 }
 
-fn canon_stmts(stmts: &[Stmt], mach: &MachineDescription, opts: &CompileOptions, acc: &mut u64) {
+fn canon_stmts(
+    stmts: &[Stmt],
+    mach: &MachineDescription,
+    opts: &CompileOptions,
+    facts: Option<&crate::absint::ProgramFacts>,
+    next_loop: &mut u32,
+    acc: &mut u64,
+) {
     for s in stmts {
         match s {
             Stmt::Op(_) => {}
             Stmt::If(i) => {
-                canon_stmts(&i.then_body, mach, opts, acc);
-                canon_stmts(&i.else_body, mach, opts, acc);
+                canon_stmts(&i.then_body, mach, opts, facts, next_loop, acc);
+                canon_stmts(&i.else_body, mach, opts, facts, next_loop, acc);
             }
             Stmt::Loop(l) => {
+                // Track the emitter's pre-order loop numbering so per-loop
+                // facts resolve to the same loop here as in
+                // `Emitter::plan_pipeline`. Zero-trip loops are numbered
+                // but their bodies are not (the emitter never walks them).
+                let loop_idx = *next_loop;
+                *next_loop += 1;
+                let zero_trip = matches!(l.trip, TripCount::Const(0));
                 let all_ops = l.body.iter().all(|s| matches!(s, Stmt::Op(_)));
                 let items = if all_ops || opts.hierarchical {
                     reduce_stmts_with(&l.body, mach, opts.cond_mode)
@@ -438,17 +458,34 @@ fn canon_stmts(stmts: &[Stmt], mach: &MachineDescription, opts: &CompileOptions,
                     Some(items) => {
                         // Mirror the emitter's graph construction exactly
                         // (`Emitter::plan_pipeline`): loop-carried edges
-                        // on, trip threaded through for disambiguation.
+                        // on, trip threaded through for disambiguation,
+                        // certified refutations applied when requested.
                         let mut build_opts = opts.build;
                         build_opts.loop_carried = true;
                         build_opts.trip = match l.trip {
                             TripCount::Const(n) => Some(n),
                             TripCount::Reg(_) => None,
                         };
-                        let g = build_item_graph(items, mach, build_opts);
+                        let lf = facts.and_then(|f| f.for_loop(loop_idx));
+                        if let Some(lf) = lf {
+                            if build_opts.trip.is_none() {
+                                build_opts.trip = lf.trip;
+                            }
+                        }
+                        let mut g = build_item_graph(items, mach, build_opts);
+                        if let Some(lf) = lf {
+                            crate::absint::refute_graph(&mut g, lf);
+                        }
                         *acc = mix(*acc, graph_hash(&g));
                     }
-                    None => canon_stmts(&l.body, mach, opts, acc),
+                    None if zero_trip => {
+                        // The emitter assigns no numbers inside a skipped
+                        // body; walk it with a detached counter (the graph
+                        // hash still sees the body, the facts do not).
+                        let mut detached = 0u32;
+                        canon_stmts(&l.body, mach, opts, None, &mut detached, acc);
+                    }
+                    None => canon_stmts(&l.body, mach, opts, facts, next_loop, acc),
                 }
             }
         }
@@ -590,10 +627,52 @@ mod tests {
             CompileOptions { fuse_epilog: false, ..base },
             CompileOptions { cond_mode: crate::CondMode::Exclusive, ..base },
             CompileOptions { refine: true, ..base },
+            CompileOptions {
+                build: crate::BuildOptions { absint_refute: true, ..base.build },
+                ..base
+            },
         ];
         for v in &variants {
             assert_ne!(options_fingerprint(v), fp, "{v:?}");
         }
+    }
+
+    #[test]
+    fn absint_refute_separates_cache_keys() {
+        // A refuting request must never land on a cache line compiled
+        // without refutation: both halves of the daemon's cache address —
+        // the content hash and the exact wire fingerprint — separate on
+        // the knob alone, even for a program absint cannot improve.
+        use ir::{ProgramBuilder, TripCount};
+        let mut b = ProgramBuilder::new("sep");
+        let a = b.array("a", 32);
+        b.for_counted(TripCount::Const(32), |b, i| {
+            let addr = b.elem_addr(a, i.into(), 1, 0);
+            let x = b.load(addr.into(), ir::MemRef::affine(a, 1, 0));
+            let y = b.fmul(x.into(), 2.0f32.into());
+            b.store(addr.into(), y.into(), ir::MemRef::affine(a, 1, 0));
+        });
+        let p = b.finish();
+        let m = machine::presets::warp_cell();
+        let off = CompileOptions::default();
+        let on = CompileOptions {
+            build: crate::BuildOptions { absint_refute: true, ..off.build },
+            ..off
+        };
+        assert_ne!(
+            program_canon_hash(&p, &m, &off),
+            program_canon_hash(&p, &m, &on)
+        );
+        let job = |opts: CompileOptions| crate::wire::JobRequest {
+            name: "sep".into(),
+            program: p.clone(),
+            mach: m.clone(),
+            opts,
+        };
+        assert_ne!(
+            crate::wire::job_exact_fingerprint(&job(off)),
+            crate::wire::job_exact_fingerprint(&job(on))
+        );
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub fn compact_block(ops: &[ir::Op], mach: &MachineDescription) -> CompactedRegi
             enable_mve: false,
             prune_dominated: false,
             trip: None,
+            ..BuildOptions::default()
         },
     );
     compact_graph(&g, mach)

@@ -304,6 +304,10 @@ pub fn compile_with_scratch(
     scratch: &mut SchedScratch,
 ) -> Result<CompiledProgram, CompileError> {
     p.validate().map_err(|e| CompileError(e.to_string()))?;
+    let facts = opts
+        .build
+        .absint_refute
+        .then(|| crate::absint::resolve_facts(p));
     let mut e = Emitter {
         mach,
         opts: *opts,
@@ -312,6 +316,7 @@ pub fn compile_with_scratch(
         reports: Vec::new(),
         artifacts: Vec::new(),
         next_loop: 0,
+        facts,
         scratch,
     };
     e.emit_stmts(&p.body, 0);
@@ -350,6 +355,10 @@ struct Emitter<'m> {
     reports: Vec<LoopReport>,
     artifacts: Vec<LoopArtifacts>,
     next_loop: u32,
+    /// Per-loop constant-propagation facts, resolved once per program.
+    /// `Some` only under [`crate::BuildOptions::absint_refute`]; indexed by
+    /// the same pre-order numbering as `next_loop`.
+    facts: Option<crate::absint::ProgramFacts>,
     /// Reusable scheduler buffers, threaded through every loop's II search.
     scratch: &'m mut SchedScratch,
 }
@@ -462,6 +471,7 @@ impl<'m> Emitter<'m> {
     /// its block; returns true if it was *consumed* (fused into the
     /// loop's epilog) and must not be emitted again.
     fn emit_loop(&mut self, l: &ir::Loop, depth: u32, tail: &[Op]) -> bool {
+        let loop_idx = self.next_loop;
         let label = format!("loop{}", self.next_loop);
         self.next_loop += 1;
         if matches!(l.trip, TripCount::Const(0)) {
@@ -541,7 +551,7 @@ impl<'m> Emitter<'m> {
         report.stats.phases.reduce = reduce_time;
         report.stats.reduced_conds = stats::cond_count(&items);
 
-        let plan = self.plan_pipeline(items, &l.trip, unpip_len, &mut report);
+        let plan = self.plan_pipeline(items, &l.trip, unpip_len, loop_idx, &mut report);
         let words_before = self.total_words();
         let emit_start = Instant::now();
         let consumed = match plan {
@@ -699,6 +709,7 @@ impl<'m> Emitter<'m> {
         items: Vec<Node>,
         trip: &TripCount,
         unpip_len: u32,
+        loop_idx: u32,
         report: &mut LoopReport,
     ) -> Option<PipelinePlan> {
         // Compute the bounds even when pipelining is skipped, for the
@@ -713,7 +724,25 @@ impl<'m> Emitter<'m> {
             TripCount::Const(n) => Some(n),
             TripCount::Reg(_) => None,
         };
-        let g = build_item_graph(items, self.mach, build_opts);
+        let lf = self
+            .facts
+            .as_ref()
+            .and_then(|f| f.for_loop(loop_idx))
+            .cloned();
+        if let Some(lf) = &lf {
+            // Constant propagation may have resolved a register trip count
+            // to a literal; that sharpens `alias_with_trip` the same way a
+            // syntactic constant does.
+            if build_opts.trip.is_none() {
+                build_opts.trip = lf.trip;
+            }
+        }
+        let mut g = build_item_graph(items, self.mach, build_opts);
+        if let Some(lf) = &lf {
+            let out = crate::absint::refute_graph(&mut g, lf);
+            report.stats.absint = Some(out.stats);
+        }
+        let g = g;
         report.stats.phases.build = build_start.elapsed();
         report.stats.memdeps = DepEdgeSummary::collect(&g);
         let bounds_start = Instant::now();
@@ -1049,6 +1078,7 @@ impl<'m> Emitter<'m> {
                 enable_mve: false,
                 prune_dominated: false,
                 trip: None,
+                ..BuildOptions::default()
             },
         );
         let nb = base.len();

@@ -133,6 +133,7 @@ fn schedule_arm(
             enable_mve: false,
             prune_dominated: false,
             trip: None,
+            ..BuildOptions::default()
         },
     );
     let times = linear_place(&g, mach);
@@ -204,6 +205,7 @@ pub mod stats {
                 enable_mve: false,
                 prune_dominated: false,
                 trip: None,
+                ..BuildOptions::default()
             },
         );
         let times = linear_place(&g, mach);

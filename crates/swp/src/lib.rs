@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod absint;
 mod build;
 pub mod cache;
 pub mod canon;
@@ -103,8 +104,8 @@ pub use refine::{
     refine, refine_with_witness, Improvement, RefineConfig, RefineMove, RefineOutcome,
 };
 pub use stats::{
-    AttemptFailure, DepEdgeSummary, IiAttempt, LimitingConstraint, LoopStats, PhaseTimes,
-    RefineStats, SchedTelemetry,
+    AbsintStats, AttemptFailure, DepEdgeSummary, IiAttempt, LimitingConstraint, LoopStats,
+    PhaseTimes, RefineStats, SchedTelemetry,
 };
 pub use mrt::{LinearTable, ModuloTable};
 pub use optimal::{certify, IiVerdict, OracleOptions, OracleOutcome, OracleResult};

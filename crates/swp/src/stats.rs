@@ -353,6 +353,35 @@ impl RefineStats {
     }
 }
 
+/// What the certified refutation pass ([`crate::absint`]) did to one
+/// loop's dependence graph before scheduling: how much linear structure
+/// the abstract interpretation recovered and how many bounded/
+/// conservative memory edges fell to checked certificates.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AbsintStats {
+    /// Memory accesses in the loop body.
+    pub mem_accs: u32,
+    /// Accesses whose address resolved to an exact linear form.
+    pub lin_addrs: u32,
+    /// Induction variables recognized.
+    pub ivs: u32,
+    /// Bounded/conservative memory edges examined.
+    pub considered: u32,
+    /// Edges dropped (every supporting certificate checked).
+    pub refuted: u32,
+    /// Edges the analysis believed refutable but the independent
+    /// certificate checker rejected — kept, and surfaced as A703.
+    pub cert_failures: u32,
+    /// Address forms demoted by the concrete spot-check (an analysis
+    /// self-disagreement; the form is discarded, never used).
+    pub spot_demotions: u32,
+    /// Recurrence-limited MII before dropping edges (`Some` only when
+    /// at least one edge fell).
+    pub rec_mii_before: Option<u32>,
+    /// Recurrence-limited MII after dropping edges.
+    pub rec_mii_after: Option<u32>,
+}
+
 /// Everything the telemetry layer records about one loop; carried on
 /// [`crate::LoopReport::stats`].
 #[derive(Debug, Clone, Default)]
@@ -374,6 +403,9 @@ pub struct LoopStats {
     /// Refinement telemetry; `Some` only when the loop was pipelined
     /// under [`crate::CompileOptions::refine`].
     pub refine: Option<RefineStats>,
+    /// Certified-refutation telemetry; `Some` only when the loop was
+    /// compiled under [`crate::BuildOptions::absint_refute`].
+    pub absint: Option<AbsintStats>,
 }
 
 #[cfg(test)]

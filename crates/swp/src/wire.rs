@@ -29,7 +29,9 @@ use crate::BuildOptions;
 
 /// Version byte of the job encoding; bump on any layout change.
 /// v2 appended [`CompileOptions::refine`] to the options encoding.
-pub const WIRE_VERSION: u8 = 2;
+/// v3 appended [`BuildOptions::absint_refute`], so a refuting request can
+/// never be answered from a cache entry compiled without refutation.
+pub const WIRE_VERSION: u8 = 3;
 
 /// Upper bound on one frame's payload (defensive: a corrupt length prefix
 /// must not drive a giant allocation).
@@ -644,6 +646,7 @@ pub(crate) fn put_options(out: &mut Vec<u8>, o: &CompileOptions) {
     });
     out.push(o.fuse_epilog as u8);
     out.push(o.refine as u8);
+    out.push(o.build.absint_refute as u8);
 }
 
 /// Deserializes compile options.
@@ -652,43 +655,63 @@ pub(crate) fn put_options(out: &mut Vec<u8>, o: &CompileOptions) {
 ///
 /// Returns [`WireError`] on malformed bytes.
 pub(crate) fn get_options(c: &mut Cursor) -> Result<CompileOptions> {
+    // Fields are read as locals in wire order: later versions append to the
+    // end of the stream, which is not struct-literal order.
+    let pipeline = c.bool()?;
+    let loop_carried = c.bool()?;
+    let enable_mve = c.bool()?;
+    let prune_dominated = c.bool()?;
+    let trip = c.opt_u32()?;
+    let search = match c.u8()? {
+        0 => IiSearch::Linear,
+        1 => IiSearch::Binary,
+        b => return err(format!("invalid search tag {b}")),
+    };
+    let priority = match c.u8()? {
+        0 => Priority::Height,
+        1 => Priority::SourceOrder,
+        b => return err(format!("invalid priority tag {b}")),
+    };
+    let max_ii = c.opt_u32()?;
+    let unroll_policy = match c.u8()? {
+        0 => UnrollPolicy::MinRegisters,
+        1 => UnrollPolicy::MinCodeSize,
+        b => return err(format!("invalid unroll policy tag {b}")),
+    };
+    let body_len_threshold = c.u32()?;
+    let near_bound_fraction = f64::from_bits(c.u64()?);
+    let respect_reg_files = c.bool()?;
+    let hierarchical = c.bool()?;
+    let cond_mode = match c.u8()? {
+        0 => CondMode::Union,
+        1 => CondMode::Exclusive,
+        b => return err(format!("invalid cond mode tag {b}")),
+    };
+    let fuse_epilog = c.bool()?;
+    let refine = c.bool()?;
+    let absint_refute = c.bool()?;
     Ok(CompileOptions {
-        pipeline: c.bool()?,
+        pipeline,
         build: BuildOptions {
-            loop_carried: c.bool()?,
-            enable_mve: c.bool()?,
-            prune_dominated: c.bool()?,
-            trip: c.opt_u32()?,
+            loop_carried,
+            enable_mve,
+            prune_dominated,
+            trip,
+            absint_refute,
         },
         sched: SchedOptions {
-            search: match c.u8()? {
-                0 => IiSearch::Linear,
-                1 => IiSearch::Binary,
-                b => return err(format!("invalid search tag {b}")),
-            },
-            priority: match c.u8()? {
-                0 => Priority::Height,
-                1 => Priority::SourceOrder,
-                b => return err(format!("invalid priority tag {b}")),
-            },
-            max_ii: c.opt_u32()?,
+            search,
+            priority,
+            max_ii,
         },
-        unroll_policy: match c.u8()? {
-            0 => UnrollPolicy::MinRegisters,
-            1 => UnrollPolicy::MinCodeSize,
-            b => return err(format!("invalid unroll policy tag {b}")),
-        },
-        body_len_threshold: c.u32()?,
-        near_bound_fraction: f64::from_bits(c.u64()?),
-        respect_reg_files: c.bool()?,
-        hierarchical: c.bool()?,
-        cond_mode: match c.u8()? {
-            0 => CondMode::Union,
-            1 => CondMode::Exclusive,
-            b => return err(format!("invalid cond mode tag {b}")),
-        },
-        fuse_epilog: c.bool()?,
-        refine: c.bool()?,
+        unroll_policy,
+        body_len_threshold,
+        near_bound_fraction,
+        respect_reg_files,
+        hierarchical,
+        cond_mode,
+        fuse_epilog,
+        refine,
     })
 }
 
@@ -1086,6 +1109,13 @@ mod tests {
                 build: BuildOptions {
                     prune_dominated: true,
                     trip: Some(5),
+                    ..Default::default()
+                },
+                ..Default::default()
+            },
+            CompileOptions {
+                build: BuildOptions {
+                    absint_refute: true,
                     ..Default::default()
                 },
                 ..Default::default()
